@@ -1,0 +1,340 @@
+// Package level benchmarks: one per paper table/figure (Tables III/IV,
+// Figs. 9–15) plus ablations for the design choices DESIGN.md calls out.
+// cmd/benchmark is the full harness with TPS/percentile output; these
+// testing.B benches measure single-stream transaction latency per system
+// so `go test -bench=.` regenerates each comparison's shape quickly.
+package shardingsphere
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"shardingsphere/internal/bench"
+	"shardingsphere/internal/bench/sysbench"
+	"shardingsphere/internal/bench/tpcc"
+	"shardingsphere/internal/merge"
+	"shardingsphere/internal/resource"
+	"shardingsphere/internal/rewrite"
+	"shardingsphere/internal/sqlparser"
+	"shardingsphere/internal/sqltypes"
+	"shardingsphere/internal/transaction"
+)
+
+const benchRows = 20000
+
+func mustSystem(b *testing.B, build func() (*bench.System, error)) *bench.System {
+	b.Helper()
+	sys, err := build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(sys.Close)
+	return sys
+}
+
+func loadSysbench(b *testing.B, sys *bench.System, cfg sysbench.Config) {
+	b.Helper()
+	if err := bench.PrepareOn(sys, func(c bench.Client) error {
+		return sysbench.Prepare(c, cfg)
+	}); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func runTx(b *testing.B, sys *bench.System, tx bench.TxFunc) {
+	b.Helper()
+	c, err := sys.NewClient(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tx(c, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table III: Sysbench scenarios × systems ---
+
+func benchSysbench(b *testing.B, build func(bench.Topology) (*bench.System, error), scenario func(sysbench.Config) bench.TxFunc) {
+	cfg := sysbench.DefaultConfig(benchRows)
+	sys := mustSystem(b, func() (*bench.System, error) { return build(bench.Topology{Sources: 2, MaxCon: 4}) })
+	loadSysbench(b, sys, cfg)
+	runTx(b, sys, scenario(cfg))
+}
+
+func benchSingle(b *testing.B, scenario func(sysbench.Config) bench.TxFunc) {
+	cfg := sysbench.DefaultConfig(benchRows)
+	sys := mustSystem(b, func() (*bench.System, error) { return bench.NewSingle("single", 0) })
+	loadSysbench(b, sys, cfg)
+	runTx(b, sys, scenario(cfg))
+}
+
+func BenchmarkTable3_PointSelect_SSJ(b *testing.B) {
+	benchSysbench(b, bench.NewSSJ, func(c sysbench.Config) bench.TxFunc { return c.PointSelect() })
+}
+
+func BenchmarkTable3_PointSelect_SSP(b *testing.B) {
+	benchSysbench(b, bench.NewSSP, func(c sysbench.Config) bench.TxFunc { return c.PointSelect() })
+}
+
+func BenchmarkTable3_PointSelect_Naive(b *testing.B) {
+	benchSysbench(b, bench.NewNaive, func(c sysbench.Config) bench.TxFunc { return c.PointSelect() })
+}
+
+func BenchmarkTable3_PointSelect_Single(b *testing.B) {
+	benchSingle(b, func(c sysbench.Config) bench.TxFunc { return c.PointSelect() })
+}
+
+func BenchmarkTable3_ReadOnly_SSJ(b *testing.B) {
+	benchSysbench(b, bench.NewSSJ, func(c sysbench.Config) bench.TxFunc { return c.ReadOnly() })
+}
+
+func BenchmarkTable3_ReadOnly_SSP(b *testing.B) {
+	benchSysbench(b, bench.NewSSP, func(c sysbench.Config) bench.TxFunc { return c.ReadOnly() })
+}
+
+func BenchmarkTable3_ReadWrite_SSJ(b *testing.B) {
+	benchSysbench(b, bench.NewSSJ, func(c sysbench.Config) bench.TxFunc { return c.ReadWrite() })
+}
+
+func BenchmarkTable3_ReadWrite_SSP(b *testing.B) {
+	benchSysbench(b, bench.NewSSP, func(c sysbench.Config) bench.TxFunc { return c.ReadWrite() })
+}
+
+func BenchmarkTable3_WriteOnly_SSJ(b *testing.B) {
+	benchSysbench(b, bench.NewSSJ, func(c sysbench.Config) bench.TxFunc { return c.WriteOnly() })
+}
+
+func BenchmarkTable3_WriteOnly_Single(b *testing.B) {
+	benchSingle(b, func(c sysbench.Config) bench.TxFunc { return c.WriteOnly() })
+}
+
+// --- Table IV: one server, big table vs 10 small tables ---
+
+func BenchmarkTable4_ReadWrite_MS(b *testing.B) {
+	benchSingle(b, func(c sysbench.Config) bench.TxFunc { return c.ReadWrite() })
+}
+
+func BenchmarkTable4_ReadWrite_SSJ1(b *testing.B) {
+	cfg := sysbench.DefaultConfig(benchRows)
+	sys := mustSystem(b, func() (*bench.System, error) {
+		return bench.NewSSJ(bench.Topology{Sources: 1, TablesPerSource: 10, MaxCon: 4})
+	})
+	loadSysbench(b, sys, cfg)
+	runTx(b, sys, cfg.ReadWrite())
+}
+
+// --- Fig. 9: TPCC ---
+
+func benchTPCC(b *testing.B, build func() (*bench.System, error)) {
+	cfg := tpcc.DefaultConfig(2)
+	sys := mustSystem(b, build)
+	if err := bench.PrepareOn(sys, func(c bench.Client) error {
+		return tpcc.Prepare(c, cfg)
+	}); err != nil {
+		b.Fatal(err)
+	}
+	runTx(b, sys, cfg.Mix())
+}
+
+func BenchmarkFig9_TPCC_SSJ(b *testing.B) {
+	benchTPCC(b, func() (*bench.System, error) {
+		rules, err := tpcc.Rules([]string{"ds0", "ds1"})
+		if err != nil {
+			return nil, err
+		}
+		return bench.NewSSJ(bench.Topology{Sources: 2, MaxCon: 4}.WithRules(rules))
+	})
+}
+
+func BenchmarkFig9_TPCC_Single(b *testing.B) {
+	benchTPCC(b, func() (*bench.System, error) {
+		return bench.NewSingle("single", 0)
+	})
+}
+
+// --- Fig. 10: data sizes ---
+
+func benchDataSize(b *testing.B, rows int) {
+	cfg := sysbench.DefaultConfig(rows)
+	sys := mustSystem(b, func() (*bench.System, error) { return bench.NewSSJ(bench.Topology{Sources: 2, MaxCon: 4}) })
+	loadSysbench(b, sys, cfg)
+	runTx(b, sys, cfg.ReadWrite())
+}
+
+func BenchmarkFig10_Rows20k(b *testing.B)  { benchDataSize(b, 20000) }
+func BenchmarkFig10_Rows100k(b *testing.B) { benchDataSize(b, 100000) }
+
+// --- Fig. 13: transaction types ---
+
+func benchTxType(b *testing.B, typ transaction.Type) {
+	cfg := sysbench.DefaultConfig(benchRows)
+	sys := mustSystem(b, func() (*bench.System, error) {
+		return bench.NewSSJ(bench.Topology{Sources: 2, MaxCon: 4, TxType: typ})
+	})
+	loadSysbench(b, sys, cfg)
+	runTx(b, sys, cfg.ReadWrite())
+}
+
+func BenchmarkFig13_Local(b *testing.B) { benchTxType(b, transaction.Local) }
+func BenchmarkFig13_XA(b *testing.B)    { benchTxType(b, transaction.XA) }
+func BenchmarkFig13_Base(b *testing.B)  { benchTxType(b, transaction.Base) }
+
+// --- Fig. 14: binding vs common join ---
+
+func benchJoin(b *testing.B, binding bool) {
+	rows := benchRows / 10
+	sys := mustSystem(b, func() (*bench.System, error) {
+		return bench.NewSSJ(bench.Topology{
+			Sources: 2, TablesPerSource: 10, MaxCon: 4,
+			Tables: []string{"t_a", "t_b"}, Binding: binding,
+		})
+	})
+	if err := bench.PrepareOn(sys, func(c bench.Client) error {
+		for _, table := range []string{"t_a", "t_b"} {
+			cfg := sysbench.DefaultConfig(rows)
+			cfg.Table = table
+			if err := sysbench.Prepare(c, cfg); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		b.Fatal(err)
+	}
+	runTx(b, sys, func(c bench.Client, rng *rand.Rand) error {
+		id := int64(rng.Intn(rows) + 1)
+		_, err := c.Query("SELECT a.c, b.c FROM t_a a JOIN t_b b ON a.id = b.id WHERE a.id IN (?, ?)",
+			sqltypes.NewInt(id), sqltypes.NewInt(id+1))
+		return err
+	})
+}
+
+func BenchmarkFig14_BindingJoin(b *testing.B) { benchJoin(b, true) }
+func BenchmarkFig14_CommonJoin(b *testing.B)  { benchJoin(b, false) }
+
+// --- Fig. 15: MaxCon ---
+
+func benchMaxCon(b *testing.B, maxCon int) {
+	cfg := sysbench.DefaultConfig(benchRows)
+	sys := mustSystem(b, func() (*bench.System, error) {
+		return bench.NewSSJ(bench.Topology{
+			Sources: 2, MaxCon: maxCon, Latency: 200 * time.Microsecond,
+		})
+	})
+	loadSysbench(b, sys, cfg)
+	runTx(b, sys, func(c bench.Client, rng *rand.Rand) error {
+		_, err := c.Query("SELECT COUNT(*) FROM sbtest WHERE k BETWEEN ? AND ?",
+			sqltypes.NewInt(1), sqltypes.NewInt(int64(rng.Intn(cfg.Rows)+1)))
+		return err
+	})
+}
+
+func BenchmarkFig15_MaxCon1(b *testing.B)  { benchMaxCon(b, 1) }
+func BenchmarkFig15_MaxCon5(b *testing.B)  { benchMaxCon(b, 5) }
+func BenchmarkFig15_MaxCon20(b *testing.B) { benchMaxCon(b, 20) }
+
+// --- Ablations ---
+
+// BenchmarkAblation_ParserCache quantifies the node-side prepared
+// statement cache (DESIGN.md: cached parse vs full parse).
+func BenchmarkAblation_ParserCache(b *testing.B) {
+	const sql = "SELECT c FROM sbtest_3 WHERE id = ? AND k > 100 ORDER BY c LIMIT 10"
+	b.Run("parse-every-time", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sqlparser.Parse(sql); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblation_MergerStreamVsMemory compares the stream group merger
+// (pre-sorted node results) against the hash memory merger on the same
+// partial aggregates (paper Section VI-E's trade-off).
+func BenchmarkAblation_MergerStreamVsMemory(b *testing.B) {
+	const nodes = 8
+	const groupsPerNode = 512
+	mk := func(ordered bool) []resource.ResultSet {
+		sets := make([]resource.ResultSet, nodes)
+		for n := 0; n < nodes; n++ {
+			rows := make([]sqltypes.Row, groupsPerNode)
+			for g := 0; g < groupsPerNode; g++ {
+				rows[g] = sqltypes.Row{
+					sqltypes.NewString(fmt.Sprintf("group-%04d", g)),
+					sqltypes.NewInt(int64(n + g)),
+				}
+			}
+			if !ordered {
+				rand.New(rand.NewSource(int64(n))).Shuffle(len(rows), func(i, j int) {
+					rows[i], rows[j] = rows[j], rows[i]
+				})
+			}
+			sets[n] = resource.NewSliceResultSet([]string{"name", "SUM(x)"}, rows)
+		}
+		return sets
+	}
+	aggs := []rewrite.AggregateItem{{Index: 1, Kind: rewrite.AggSum}}
+	b.Run("stream", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ctx := &rewrite.SelectContext{
+				GroupBy:      []rewrite.OrderKey{{Index: 0}},
+				OrderBy:      []rewrite.OrderKey{{Index: 0}},
+				GroupOrdered: true,
+				Aggregates:   aggs,
+			}
+			rs, err := merge.Merge(mk(true), ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := resource.ReadAll(rs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("memory", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ctx := &rewrite.SelectContext{
+				GroupBy:    []rewrite.OrderKey{{Index: 0}},
+				Aggregates: aggs,
+			}
+			rs, err := merge.Merge(mk(false), ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := resource.ReadAll(rs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblation_RouteNarrowing isolates the router's contribution: a
+// point query against the intelligent router vs the naive broadcast twin.
+func BenchmarkAblation_RouteNarrowing(b *testing.B) {
+	cfg := sysbench.DefaultConfig(benchRows)
+	point := func(c bench.Client, rng *rand.Rand) error {
+		_, err := c.Query("SELECT c FROM sbtest WHERE id = ?", sqltypes.NewInt(int64(rng.Intn(cfg.Rows)+1)))
+		return err
+	}
+	b.Run("standard-route", func(b *testing.B) {
+		sys := mustSystem(b, func() (*bench.System, error) { return bench.NewSSJ(bench.Topology{Sources: 2, MaxCon: 4}) })
+		loadSysbench(b, sys, cfg)
+		runTx(b, sys, point)
+	})
+	b.Run("broadcast-route", func(b *testing.B) {
+		sys := mustSystem(b, func() (*bench.System, error) { return bench.NewNaive(bench.Topology{Sources: 2, MaxCon: 4}) })
+		loadSysbench(b, sys, cfg)
+		runTx(b, sys, point)
+	})
+}

@@ -1,0 +1,129 @@
+// Command distsql is an interactive SQL/DistSQL shell against a proxy —
+// the "use the middleware like a database" experience of paper Section
+// V-A. Each input line is one statement; results print as aligned tables.
+//
+// Usage:
+//
+//	distsql -addr 127.0.0.1:7300
+//	echo "SHOW SHARDING TABLE RULES;" | distsql -addr 127.0.0.1:7300
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"shardingsphere/internal/resource"
+	"shardingsphere/internal/sqltypes"
+	"shardingsphere/pkg/client"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7300", "proxy address")
+	flag.Parse()
+
+	conn, err := client.Dial(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer conn.Close()
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	interactive := isTerminalPrompt()
+	if interactive {
+		fmt.Print("distsql> ")
+	}
+	for in.Scan() {
+		line := strings.TrimSpace(in.Text())
+		if line == "" || strings.HasPrefix(line, "--") {
+			if interactive {
+				fmt.Print("distsql> ")
+			}
+			continue
+		}
+		if strings.EqualFold(line, "exit") || strings.EqualFold(line, "quit") {
+			return
+		}
+		run(conn, line)
+		if interactive {
+			fmt.Print("distsql> ")
+		}
+	}
+}
+
+func isTerminalPrompt() bool {
+	info, err := os.Stdin.Stat()
+	return err == nil && (info.Mode()&os.ModeCharDevice) != 0
+}
+
+// run executes one statement, printing rows or the affected count.
+func run(conn *client.Conn, sql string) {
+	res, err := conn.Do(sql)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return
+	}
+	if res.Rows != nil {
+		printRows(res.Rows)
+		return
+	}
+	fmt.Printf("OK, %d row(s) affected\n", res.Exec.Affected)
+}
+
+func printRows(rs resource.ResultSet) {
+	cols := rs.Columns()
+	rows, err := resource.ReadAll(rs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		return
+	}
+	widths := make([]int, len(cols))
+	for i, c := range cols {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(rows))
+	for ri, row := range rows {
+		cells[ri] = make([]string, len(cols))
+		for ci := range cols {
+			v := ""
+			if ci < len(row) {
+				v = renderValue(row[ci])
+			}
+			cells[ri][ci] = v
+			if len(v) > widths[ci] {
+				widths[ci] = len(v)
+			}
+		}
+	}
+	line := func() {
+		for _, w := range widths {
+			fmt.Print("+", strings.Repeat("-", w+2))
+		}
+		fmt.Println("+")
+	}
+	line()
+	for i, c := range cols {
+		fmt.Printf("| %-*s ", widths[i], c)
+	}
+	fmt.Println("|")
+	line()
+	for _, row := range cells {
+		for i, v := range row {
+			fmt.Printf("| %-*s ", widths[i], v)
+		}
+		fmt.Println("|")
+	}
+	line()
+	fmt.Printf("%d row(s)\n", len(rows))
+}
+
+func renderValue(v sqltypes.Value) string {
+	if v.IsNull() {
+		return "NULL"
+	}
+	return v.AsString()
+}

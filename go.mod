@@ -1,0 +1,3 @@
+module shardingsphere
+
+go 1.22

@@ -1,0 +1,219 @@
+// Package bench is the load-generation harness behind every experiment:
+// a small client abstraction over the systems under test, a worker-pool
+// driver that measures TPS and latency percentiles, and the metric
+// containers the paper's tables report (TPS, AvgT, 99T, 90T).
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"shardingsphere/internal/core"
+	"shardingsphere/internal/resource"
+	"shardingsphere/internal/sqltypes"
+	"shardingsphere/pkg/client"
+)
+
+// Client is one session against a system under test. Implementations are
+// not safe for concurrent use; the harness gives each worker its own.
+type Client interface {
+	Exec(sql string, args ...sqltypes.Value) error
+	Query(sql string, args ...sqltypes.Value) ([]sqltypes.Row, error)
+	Close()
+}
+
+// KernelClient adapts an embedded kernel session (the SSJ systems and
+// baselines).
+type KernelClient struct {
+	Sess *core.Session
+}
+
+// NewKernelClient opens a session on the kernel.
+func NewKernelClient(k *core.Kernel) *KernelClient {
+	return &KernelClient{Sess: k.NewSession()}
+}
+
+// Exec implements Client.
+func (c *KernelClient) Exec(sql string, args ...sqltypes.Value) error {
+	res, err := c.Sess.Execute(sql, args...)
+	if err != nil {
+		return err
+	}
+	return res.Close()
+}
+
+// Query implements Client.
+func (c *KernelClient) Query(sql string, args ...sqltypes.Value) ([]sqltypes.Row, error) {
+	rs, err := c.Sess.Query(sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	return resource.ReadAll(rs)
+}
+
+// Close implements Client.
+func (c *KernelClient) Close() { c.Sess.Close() }
+
+// RemoteClient adapts a proxy connection (the SSP systems).
+type RemoteClient struct {
+	Conn *client.Conn
+}
+
+// DialRemote connects to a proxy.
+func DialRemote(addr string) (*RemoteClient, error) {
+	conn, err := client.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	return &RemoteClient{Conn: conn}, nil
+}
+
+// Exec implements Client.
+func (c *RemoteClient) Exec(sql string, args ...sqltypes.Value) error {
+	_, err := c.Conn.Exec(sql, args...)
+	return err
+}
+
+// Query implements Client.
+func (c *RemoteClient) Query(sql string, args ...sqltypes.Value) ([]sqltypes.Row, error) {
+	rs, err := c.Conn.Query(sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	return resource.ReadAll(rs)
+}
+
+// Close implements Client.
+func (c *RemoteClient) Close() { c.Conn.Close() }
+
+// Metrics are the paper's reported quantities.
+type Metrics struct {
+	TPS    float64
+	AvgMs  float64
+	P90Ms  float64
+	P99Ms  float64
+	Count  int64
+	Errors int64
+}
+
+// String renders a table row.
+func (m Metrics) String() string {
+	return fmt.Sprintf("TPS=%8.0f  AvgT=%7.3fms  90T=%7.3fms  99T=%7.3fms  n=%d  err=%d",
+		m.TPS, m.AvgMs, m.P90Ms, m.P99Ms, m.Count, m.Errors)
+}
+
+// TxFunc is one benchmark transaction; rng is worker-local.
+type TxFunc func(c Client, rng *rand.Rand) error
+
+// Options drives a load run.
+type Options struct {
+	Workers  int
+	Duration time.Duration
+	// Seed makes runs reproducible; worker w uses Seed+w.
+	Seed int64
+}
+
+// Run drives the transaction with Workers concurrent clients for
+// Duration and reports metrics. Transaction errors count but do not stop
+// the run (lock timeouts under contention are expected); client
+// construction errors do.
+func Run(opts Options, newClient func(worker int) (Client, error), tx TxFunc) (Metrics, error) {
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = time.Second
+	}
+	type workerResult struct {
+		lat  []int64 // ns
+		errs int64
+	}
+	results := make([]workerResult, opts.Workers)
+	clients := make([]Client, opts.Workers)
+	for w := 0; w < opts.Workers; w++ {
+		c, err := newClient(w)
+		if err != nil {
+			for _, cc := range clients[:w] {
+				cc.Close()
+			}
+			return Metrics{}, err
+		}
+		clients[w] = c
+	}
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+	start := time.Now()
+	deadline := start.Add(opts.Duration)
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer clients[w].Close()
+			rng := rand.New(rand.NewSource(opts.Seed + int64(w)*7919))
+			res := &results[w]
+			for !stop.Load() && time.Now().Before(deadline) {
+				t0 := time.Now()
+				err := tx(clients[w], rng)
+				lat := time.Since(t0).Nanoseconds()
+				if err != nil {
+					res.errs++
+					continue
+				}
+				res.lat = append(res.lat, lat)
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	stop.Store(true)
+
+	var all []int64
+	var errs int64
+	for _, r := range results {
+		all = append(all, r.lat...)
+		errs += r.errs
+	}
+	return summarize(all, errs, elapsed), nil
+}
+
+func summarize(latNs []int64, errs int64, elapsed time.Duration) Metrics {
+	m := Metrics{Count: int64(len(latNs)), Errors: errs}
+	if len(latNs) == 0 {
+		return m
+	}
+	sort.Slice(latNs, func(i, j int) bool { return latNs[i] < latNs[j] })
+	var sum int64
+	for _, v := range latNs {
+		sum += v
+	}
+	m.TPS = float64(len(latNs)) / elapsed.Seconds()
+	m.AvgMs = float64(sum) / float64(len(latNs)) / 1e6
+	m.P90Ms = float64(latNs[pctIndex(len(latNs), 0.90)]) / 1e6
+	m.P99Ms = float64(latNs[pctIndex(len(latNs), 0.99)]) / 1e6
+	return m
+}
+
+func pctIndex(n int, p float64) int {
+	i := int(float64(n)*p) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}
+
+// RandString returns an n-character string in sysbench's letter style.
+func RandString(rng *rand.Rand, n int) string {
+	const letters = "abcdefghijklmnopqrstuvwxyz0123456789-"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[rng.Intn(len(letters))]
+	}
+	return string(b)
+}

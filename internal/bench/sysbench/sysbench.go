@@ -1,0 +1,271 @@
+// Package sysbench reimplements the Sysbench OLTP workload the paper's
+// evaluation uses (Tables II–IV, Figs. 10–15): the sbtest table (id, k,
+// c, pad) and the four scenarios — Point Select, Read Only, Write Only
+// and Read Write — with Table II's per-transaction event mix (10 point
+// selects, 1 simple/sum/order/distinct range of size 100, 1 index and 1
+// non-index update, 1 delete + 1 insert).
+package sysbench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"shardingsphere/internal/bench"
+	"shardingsphere/internal/sqltypes"
+)
+
+// Config mirrors the paper's Table II parameters.
+type Config struct {
+	Table string
+	// Rows is the total number of data records.
+	Rows int
+	// RangeSize is the size of range queries (range_size = 100).
+	RangeSize int
+	// Event counts per transaction (Table II defaults).
+	PointSelects    int
+	SimpleRanges    int
+	SumRanges       int
+	OrderRanges     int
+	DistinctRanges  int
+	IndexUpdates    int
+	NonIndexUpdates int
+	DeleteInserts   int
+	// UseTx wraps scenario events in BEGIN/COMMIT (sysbench default).
+	UseTx bool
+}
+
+// DefaultConfig returns Table II's settings at the given data size.
+func DefaultConfig(rows int) Config {
+	return Config{
+		Table:           "sbtest",
+		Rows:            rows,
+		RangeSize:       100,
+		PointSelects:    10,
+		SimpleRanges:    1,
+		SumRanges:       1,
+		OrderRanges:     1,
+		DistinctRanges:  1,
+		IndexUpdates:    1,
+		NonIndexUpdates: 1,
+		DeleteInserts:   1,
+		UseTx:           true,
+	}
+}
+
+// CreateSQL returns the sbtest DDL (logical table; the kernel fans it out
+// to every shard).
+func (cfg Config) CreateSQL() string {
+	return fmt.Sprintf(`CREATE TABLE %s (
+		id INT PRIMARY KEY,
+		k INT NOT NULL,
+		c VARCHAR(120) NOT NULL,
+		pad CHAR(60) NOT NULL
+	)`, cfg.Table)
+}
+
+// IndexSQL returns the secondary index on k that sysbench creates.
+func (cfg Config) IndexSQL() string {
+	return fmt.Sprintf("CREATE INDEX k_%s ON %s (k)", cfg.Table, cfg.Table)
+}
+
+// Prepare creates and loads the table through the client in batches.
+func Prepare(c bench.Client, cfg Config) error {
+	if err := c.Exec(cfg.CreateSQL()); err != nil {
+		return err
+	}
+	if err := c.Exec(cfg.IndexSQL()); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(20220501))
+	const batch = 500
+	for start := 1; start <= cfg.Rows; start += batch {
+		end := start + batch - 1
+		if end > cfg.Rows {
+			end = cfg.Rows
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "INSERT INTO %s (id, k, c, pad) VALUES ", cfg.Table)
+		for id := start; id <= end; id++ {
+			if id > start {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "(%d, %d, '%s', '%s')",
+				id, rng.Intn(cfg.Rows)+1, bench.RandString(rng, 119), bench.RandString(rng, 59))
+		}
+		if err := c.Exec(b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (cfg Config) randID(rng *rand.Rand) int64 {
+	return int64(rng.Intn(cfg.Rows) + 1)
+}
+
+// rangeBounds picks [lo, lo+RangeSize-1] within the table.
+func (cfg Config) rangeBounds(rng *rand.Rand) (int64, int64) {
+	max := cfg.Rows - cfg.RangeSize
+	if max < 1 {
+		max = 1
+	}
+	lo := int64(rng.Intn(max) + 1)
+	return lo, lo + int64(cfg.RangeSize) - 1
+}
+
+func (cfg Config) pointSelect(c bench.Client, rng *rand.Rand) error {
+	_, err := c.Query(fmt.Sprintf("SELECT c FROM %s WHERE id = ?", cfg.Table),
+		sqltypes.NewInt(cfg.randID(rng)))
+	return err
+}
+
+func (cfg Config) simpleRange(c bench.Client, rng *rand.Rand) error {
+	lo, hi := cfg.rangeBounds(rng)
+	_, err := c.Query(fmt.Sprintf("SELECT c FROM %s WHERE id BETWEEN ? AND ?", cfg.Table),
+		sqltypes.NewInt(lo), sqltypes.NewInt(hi))
+	return err
+}
+
+func (cfg Config) sumRange(c bench.Client, rng *rand.Rand) error {
+	lo, hi := cfg.rangeBounds(rng)
+	_, err := c.Query(fmt.Sprintf("SELECT SUM(k) FROM %s WHERE id BETWEEN ? AND ?", cfg.Table),
+		sqltypes.NewInt(lo), sqltypes.NewInt(hi))
+	return err
+}
+
+func (cfg Config) orderRange(c bench.Client, rng *rand.Rand) error {
+	lo, hi := cfg.rangeBounds(rng)
+	_, err := c.Query(fmt.Sprintf("SELECT c FROM %s WHERE id BETWEEN ? AND ? ORDER BY c", cfg.Table),
+		sqltypes.NewInt(lo), sqltypes.NewInt(hi))
+	return err
+}
+
+func (cfg Config) distinctRange(c bench.Client, rng *rand.Rand) error {
+	lo, hi := cfg.rangeBounds(rng)
+	_, err := c.Query(fmt.Sprintf("SELECT DISTINCT c FROM %s WHERE id BETWEEN ? AND ? ORDER BY c", cfg.Table),
+		sqltypes.NewInt(lo), sqltypes.NewInt(hi))
+	return err
+}
+
+func (cfg Config) indexUpdate(c bench.Client, rng *rand.Rand) error {
+	return c.Exec(fmt.Sprintf("UPDATE %s SET k = k + 1 WHERE id = ?", cfg.Table),
+		sqltypes.NewInt(cfg.randID(rng)))
+}
+
+func (cfg Config) nonIndexUpdate(c bench.Client, rng *rand.Rand) error {
+	return c.Exec(fmt.Sprintf("UPDATE %s SET c = ? WHERE id = ?", cfg.Table),
+		sqltypes.NewString(bench.RandString(rng, 119)), sqltypes.NewInt(cfg.randID(rng)))
+}
+
+func (cfg Config) deleteInsert(c bench.Client, rng *rand.Rand) error {
+	id := cfg.randID(rng)
+	if err := c.Exec(fmt.Sprintf("DELETE FROM %s WHERE id = ?", cfg.Table), sqltypes.NewInt(id)); err != nil {
+		return err
+	}
+	return c.Exec(fmt.Sprintf("INSERT INTO %s (id, k, c, pad) VALUES (?, ?, ?, ?)", cfg.Table),
+		sqltypes.NewInt(id), sqltypes.NewInt(int64(rng.Intn(cfg.Rows)+1)),
+		sqltypes.NewString(bench.RandString(rng, 119)), sqltypes.NewString(bench.RandString(rng, 59)))
+}
+
+// inTx wraps events in a transaction when configured, rolling back on
+// error so lock-timeout retries start clean.
+func (cfg Config) inTx(c bench.Client, body func() error) error {
+	if !cfg.UseTx {
+		return body()
+	}
+	if err := c.Exec("BEGIN"); err != nil {
+		return err
+	}
+	if err := body(); err != nil {
+		c.Exec("ROLLBACK")
+		return err
+	}
+	return c.Exec("COMMIT")
+}
+
+// PointSelect is the "Point Select" scenario: one primary-key lookup, no
+// transaction.
+func (cfg Config) PointSelect() bench.TxFunc {
+	return func(c bench.Client, rng *rand.Rand) error {
+		return cfg.pointSelect(c, rng)
+	}
+}
+
+// ReadOnly runs the read events of Table II in one transaction.
+func (cfg Config) ReadOnly() bench.TxFunc {
+	return func(c bench.Client, rng *rand.Rand) error {
+		return cfg.inTx(c, func() error {
+			return cfg.readEvents(c, rng)
+		})
+	}
+}
+
+// WriteOnly runs the write events of Table II in one transaction.
+func (cfg Config) WriteOnly() bench.TxFunc {
+	return func(c bench.Client, rng *rand.Rand) error {
+		return cfg.inTx(c, func() error {
+			return cfg.writeEvents(c, rng)
+		})
+	}
+}
+
+// ReadWrite runs all events — the paper's default scenario.
+func (cfg Config) ReadWrite() bench.TxFunc {
+	return func(c bench.Client, rng *rand.Rand) error {
+		return cfg.inTx(c, func() error {
+			if err := cfg.readEvents(c, rng); err != nil {
+				return err
+			}
+			return cfg.writeEvents(c, rng)
+		})
+	}
+}
+
+func (cfg Config) readEvents(c bench.Client, rng *rand.Rand) error {
+	for i := 0; i < cfg.PointSelects; i++ {
+		if err := cfg.pointSelect(c, rng); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < cfg.SimpleRanges; i++ {
+		if err := cfg.simpleRange(c, rng); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < cfg.SumRanges; i++ {
+		if err := cfg.sumRange(c, rng); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < cfg.OrderRanges; i++ {
+		if err := cfg.orderRange(c, rng); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < cfg.DistinctRanges; i++ {
+		if err := cfg.distinctRange(c, rng); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (cfg Config) writeEvents(c bench.Client, rng *rand.Rand) error {
+	for i := 0; i < cfg.IndexUpdates; i++ {
+		if err := cfg.indexUpdate(c, rng); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < cfg.NonIndexUpdates; i++ {
+		if err := cfg.nonIndexUpdate(c, rng); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < cfg.DeleteInserts; i++ {
+		if err := cfg.deleteInsert(c, rng); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,335 @@
+// Package btree implements an in-memory B-tree keyed by SQL value tuples.
+// It backs the storage engine's primary and secondary indexes: point
+// lookups and ordered range scans are O(log n), and — as the paper observes
+// for its data-size experiment (Fig. 10) — lookup cost grows with the tree
+// height, so sharding a table into smaller trees genuinely reduces per-row
+// access cost.
+package btree
+
+import (
+	"shardingsphere/internal/sqltypes"
+)
+
+// degree is the minimum number of children per internal node. 16 keeps
+// nodes around one cache line's worth of key headers without making splits
+// too frequent.
+const degree = 16
+
+const (
+	maxItems = 2*degree - 1
+	minItems = degree - 1
+)
+
+// Key is a tuple key. Keys compare column-wise with sqltypes.Compare.
+type Key = sqltypes.Row
+
+// CompareKeys orders two tuple keys column by column; a shorter key that is
+// a prefix of a longer one sorts first, which makes prefix range scans on
+// composite indexes natural.
+func CompareKeys(a, b Key) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := sqltypes.Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+type item struct {
+	key Key
+	val any
+}
+
+type node struct {
+	items    []item
+	children []*node // nil for leaves
+}
+
+func (n *node) leaf() bool { return len(n.children) == 0 }
+
+// Tree is a B-tree map from Key to any. Not safe for concurrent use; the
+// storage engine serializes access with its table latches.
+type Tree struct {
+	root *node
+	size int
+}
+
+// New returns an empty tree.
+func New() *Tree { return &Tree{root: &node{}} }
+
+// Len returns the number of entries.
+func (t *Tree) Len() int { return t.size }
+
+// search finds the position of key within items, and whether it was found.
+func search(items []item, key Key) (int, bool) {
+	lo, hi := 0, len(items)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if CompareKeys(items[mid].key, key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(items) && CompareKeys(items[lo].key, key) == 0 {
+		return lo, true
+	}
+	return lo, false
+}
+
+// Get returns the value stored at key.
+func (t *Tree) Get(key Key) (any, bool) {
+	n := t.root
+	for {
+		i, ok := search(n.items, key)
+		if ok {
+			return n.items[i].val, true
+		}
+		if n.leaf() {
+			return nil, false
+		}
+		n = n.children[i]
+	}
+}
+
+// Set inserts or replaces the value at key, returning the previous value.
+func (t *Tree) Set(key Key, val any) (any, bool) {
+	if len(t.root.items) == maxItems {
+		old := t.root
+		t.root = &node{children: []*node{old}}
+		t.root.splitChild(0)
+	}
+	prev, replaced := t.root.set(key, val)
+	if !replaced {
+		t.size++
+	}
+	return prev, replaced
+}
+
+func (n *node) set(key Key, val any) (any, bool) {
+	i, ok := search(n.items, key)
+	if ok {
+		prev := n.items[i].val
+		n.items[i].val = val
+		return prev, true
+	}
+	if n.leaf() {
+		n.items = append(n.items, item{})
+		copy(n.items[i+1:], n.items[i:])
+		n.items[i] = item{key: key, val: val}
+		return nil, false
+	}
+	if len(n.children[i].items) == maxItems {
+		n.splitChild(i)
+		if c := CompareKeys(key, n.items[i].key); c == 0 {
+			prev := n.items[i].val
+			n.items[i].val = val
+			return prev, true
+		} else if c > 0 {
+			i++
+		}
+	}
+	return n.children[i].set(key, val)
+}
+
+// splitChild splits the full child at index i, hoisting its median item.
+func (n *node) splitChild(i int) {
+	child := n.children[i]
+	median := child.items[minItems]
+	right := &node{}
+	right.items = append(right.items, child.items[minItems+1:]...)
+	child.items = child.items[:minItems]
+	if !child.leaf() {
+		right.children = append(right.children, child.children[minItems+1:]...)
+		child.children = child.children[:minItems+1]
+	}
+	n.items = append(n.items, item{})
+	copy(n.items[i+1:], n.items[i:])
+	n.items[i] = median
+	n.children = append(n.children, nil)
+	copy(n.children[i+2:], n.children[i+1:])
+	n.children[i+1] = right
+}
+
+// Delete removes key, returning its value.
+func (t *Tree) Delete(key Key) (any, bool) {
+	val, ok := t.root.delete(key)
+	if ok {
+		t.size--
+	}
+	if len(t.root.items) == 0 && !t.root.leaf() {
+		t.root = t.root.children[0]
+	}
+	return val, ok
+}
+
+// delete follows the classic CLRS algorithm: before descending into a
+// child, that child is guaranteed to hold at least `degree` items, so the
+// removal at the leaf never leaves an underfull node behind.
+func (n *node) delete(key Key) (any, bool) {
+	i, found := search(n.items, key)
+	if n.leaf() {
+		if !found {
+			return nil, false
+		}
+		val := n.items[i].val
+		n.items = append(n.items[:i], n.items[i+1:]...)
+		return val, true
+	}
+	if found {
+		val := n.items[i].val
+		switch {
+		case len(n.children[i].items) > minItems:
+			// Replace with predecessor and delete it from the left child.
+			pred := n.children[i].max()
+			n.items[i] = pred
+			n.children[i].delete(pred.key)
+		case len(n.children[i+1].items) > minItems:
+			// Replace with successor and delete it from the right child.
+			succ := n.children[i+1].min()
+			n.items[i] = succ
+			n.children[i+1].delete(succ.key)
+		default:
+			// Merge the two children around the key, then delete from the
+			// merged child.
+			n.mergeChildren(i)
+			n.children[i].delete(key)
+		}
+		return val, true
+	}
+	// Key lives in subtree i; ensure that child can lose an item.
+	if len(n.children[i].items) == minItems {
+		i = n.fillChild(i)
+	}
+	return n.children[i].delete(key)
+}
+
+// max returns the maximum item of the subtree.
+func (n *node) max() item {
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	return n.items[len(n.items)-1]
+}
+
+// min returns the minimum item of the subtree.
+func (n *node) min() item {
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.items[0]
+}
+
+// fillChild grows children[i] to at least degree items by borrowing from a
+// sibling or merging, and returns the (possibly shifted) index of the child
+// that now covers the original key range.
+func (n *node) fillChild(i int) int {
+	child := n.children[i]
+	// Borrow from left sibling.
+	if i > 0 && len(n.children[i-1].items) > minItems {
+		left := n.children[i-1]
+		child.items = append([]item{n.items[i-1]}, child.items...)
+		n.items[i-1] = left.items[len(left.items)-1]
+		left.items = left.items[:len(left.items)-1]
+		if !child.leaf() {
+			child.children = append([]*node{left.children[len(left.children)-1]}, child.children...)
+			left.children = left.children[:len(left.children)-1]
+		}
+		return i
+	}
+	// Borrow from right sibling.
+	if i < len(n.children)-1 && len(n.children[i+1].items) > minItems {
+		right := n.children[i+1]
+		child.items = append(child.items, n.items[i])
+		n.items[i] = right.items[0]
+		right.items = right.items[1:]
+		if !child.leaf() {
+			child.children = append(child.children, right.children[0])
+			right.children = right.children[1:]
+		}
+		return i
+	}
+	// Merge with a sibling; the merged child covers the key range.
+	if i > 0 {
+		n.mergeChildren(i - 1)
+		return i - 1
+	}
+	n.mergeChildren(i)
+	return i
+}
+
+// mergeChildren merges children i and i+1 around separator item i.
+func (n *node) mergeChildren(i int) {
+	left, right := n.children[i], n.children[i+1]
+	left.items = append(left.items, n.items[i])
+	left.items = append(left.items, right.items...)
+	left.children = append(left.children, right.children...)
+	n.items = append(n.items[:i], n.items[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+// Ascend visits every entry in key order until fn returns false.
+func (t *Tree) Ascend(fn func(Key, any) bool) {
+	t.root.ascend(nil, nil, fn)
+}
+
+// AscendRange visits entries with lo <= key <= hi (nil bounds are open)
+// in key order until fn returns false.
+func (t *Tree) AscendRange(lo, hi Key, fn func(Key, any) bool) {
+	t.root.ascend(lo, hi, fn)
+}
+
+func (n *node) ascend(lo, hi Key, fn func(Key, any) bool) bool {
+	start := 0
+	if lo != nil {
+		start, _ = search(n.items, lo)
+	}
+	for i := start; i < len(n.items); i++ {
+		if !n.leaf() {
+			if !n.children[i].ascend(lo, hi, fn) {
+				return false
+			}
+		}
+		it := n.items[i]
+		if lo != nil && CompareKeys(it.key, lo) < 0 {
+			continue
+		}
+		if hi != nil && CompareKeys(it.key, hi) > 0 {
+			return false
+		}
+		if !fn(it.key, it.val) {
+			return false
+		}
+	}
+	if !n.leaf() {
+		return n.children[len(n.children)-1].ascend(lo, hi, fn)
+	}
+	return true
+}
+
+// Height returns the tree height (0 for an empty tree); exported for tests
+// and for the engine's statistics.
+func (t *Tree) Height() int {
+	h := 0
+	n := t.root
+	for {
+		if len(n.items) > 0 {
+			h++
+		}
+		if n.leaf() {
+			return h
+		}
+		n = n.children[0]
+	}
+}

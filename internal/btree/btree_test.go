@@ -1,0 +1,241 @@
+package btree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"shardingsphere/internal/sqltypes"
+)
+
+func intKey(v int64) Key { return Key{sqltypes.NewInt(v)} }
+
+func TestSetGetDelete(t *testing.T) {
+	tr := New()
+	if _, ok := tr.Get(intKey(1)); ok {
+		t.Fatal("empty tree should miss")
+	}
+	tr.Set(intKey(1), "a")
+	tr.Set(intKey(2), "b")
+	if v, ok := tr.Get(intKey(1)); !ok || v != "a" {
+		t.Fatalf("get 1: %v %v", v, ok)
+	}
+	if prev, replaced := tr.Set(intKey(1), "a2"); !replaced || prev != "a" {
+		t.Fatalf("replace: %v %v", prev, replaced)
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("len: %d", tr.Len())
+	}
+	if v, ok := tr.Delete(intKey(1)); !ok || v != "a2" {
+		t.Fatalf("delete: %v %v", v, ok)
+	}
+	if _, ok := tr.Get(intKey(1)); ok {
+		t.Fatal("deleted key still present")
+	}
+	if _, ok := tr.Delete(intKey(99)); ok {
+		t.Fatal("delete of missing key should miss")
+	}
+}
+
+func TestAscendOrder(t *testing.T) {
+	tr := New()
+	perm := rand.New(rand.NewSource(1)).Perm(1000)
+	for _, v := range perm {
+		tr.Set(intKey(int64(v)), v)
+	}
+	var got []int64
+	tr.Ascend(func(k Key, v any) bool {
+		got = append(got, k[0].I)
+		return true
+	})
+	if len(got) != 1000 {
+		t.Fatalf("ascend count: %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1] >= got[i] {
+			t.Fatalf("not sorted at %d: %d >= %d", i, got[i-1], got[i])
+		}
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New()
+	for i := int64(0); i < 100; i++ {
+		tr.Set(intKey(i), i)
+	}
+	var got []int64
+	tr.AscendRange(intKey(10), intKey(20), func(k Key, v any) bool {
+		got = append(got, k[0].I)
+		return true
+	})
+	if len(got) != 11 || got[0] != 10 || got[10] != 20 {
+		t.Fatalf("range [10,20]: %v", got)
+	}
+	// Open bounds.
+	got = nil
+	tr.AscendRange(nil, intKey(2), func(k Key, v any) bool {
+		got = append(got, k[0].I)
+		return true
+	})
+	if len(got) != 3 {
+		t.Fatalf("range (,2]: %v", got)
+	}
+	got = nil
+	tr.AscendRange(intKey(97), nil, func(k Key, v any) bool {
+		got = append(got, k[0].I)
+		return true
+	})
+	if len(got) != 3 {
+		t.Fatalf("range [97,): %v", got)
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New()
+	for i := int64(0); i < 100; i++ {
+		tr.Set(intKey(i), i)
+	}
+	count := 0
+	tr.Ascend(func(k Key, v any) bool {
+		count++
+		return count < 5
+	})
+	if count != 5 {
+		t.Fatalf("early stop: %d", count)
+	}
+}
+
+func TestCompositeKeys(t *testing.T) {
+	tr := New()
+	k1 := Key{sqltypes.NewInt(1), sqltypes.NewString("a")}
+	k2 := Key{sqltypes.NewInt(1), sqltypes.NewString("b")}
+	k3 := Key{sqltypes.NewInt(2), sqltypes.NewString("a")}
+	tr.Set(k2, 2)
+	tr.Set(k3, 3)
+	tr.Set(k1, 1)
+	var got []int
+	tr.Ascend(func(k Key, v any) bool {
+		got = append(got, v.(int))
+		return true
+	})
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("composite order: %v", got)
+	}
+	// Prefix sorts before extension.
+	if CompareKeys(Key{sqltypes.NewInt(1)}, k1) >= 0 {
+		t.Fatal("prefix must sort first")
+	}
+}
+
+func TestCompareKeysMixedTypes(t *testing.T) {
+	if CompareKeys(Key{sqltypes.Null}, Key{sqltypes.NewInt(0)}) >= 0 {
+		t.Fatal("NULL must sort before values")
+	}
+	if CompareKeys(Key{sqltypes.NewInt(2)}, Key{sqltypes.NewFloat(2.5)}) >= 0 {
+		t.Fatal("cross-kind numeric compare")
+	}
+}
+
+// TestRandomAgainstReference drives the tree with random operations and
+// checks every answer against a reference map.
+func TestRandomAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	tr := New()
+	ref := map[int64]int{}
+	const keySpace = 500
+	for op := 0; op < 20000; op++ {
+		k := int64(rng.Intn(keySpace))
+		switch rng.Intn(3) {
+		case 0: // set
+			v := rng.Int()
+			_, replaced := tr.Set(intKey(k), v)
+			_, exists := ref[k]
+			if replaced != exists {
+				t.Fatalf("op %d: set replaced=%v exists=%v", op, replaced, exists)
+			}
+			ref[k] = v
+		case 1: // get
+			v, ok := tr.Get(intKey(k))
+			rv, exists := ref[k]
+			if ok != exists || (ok && v.(int) != rv) {
+				t.Fatalf("op %d: get mismatch key %d", op, k)
+			}
+		case 2: // delete
+			v, ok := tr.Delete(intKey(k))
+			rv, exists := ref[k]
+			if ok != exists || (ok && v.(int) != rv) {
+				t.Fatalf("op %d: delete mismatch key %d", op, k)
+			}
+			delete(ref, k)
+		}
+		if tr.Len() != len(ref) {
+			t.Fatalf("op %d: len %d != ref %d", op, tr.Len(), len(ref))
+		}
+	}
+	// Final full scan matches sorted reference.
+	var want []int64
+	for k := range ref {
+		want = append(want, k)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	var got []int64
+	tr.Ascend(func(k Key, v any) bool {
+		got = append(got, k[0].I)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("final scan: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("final scan at %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHeightGrowsLogarithmically(t *testing.T) {
+	tr := New()
+	for i := int64(0); i < 100000; i++ {
+		tr.Set(intKey(i), nil)
+	}
+	h := tr.Height()
+	if h < 2 || h > 6 {
+		t.Fatalf("height of 100k sequential keys should be small, got %d", h)
+	}
+}
+
+func TestDeleteAllDescending(t *testing.T) {
+	tr := New()
+	const n = 2000
+	for i := int64(0); i < n; i++ {
+		tr.Set(intKey(i), i)
+	}
+	for i := int64(n - 1); i >= 0; i-- {
+		if _, ok := tr.Delete(intKey(i)); !ok {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("len after drain: %d", tr.Len())
+	}
+}
+
+func BenchmarkSet(b *testing.B) {
+	tr := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Set(intKey(int64(i)), i)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := New()
+	for i := int64(0); i < 100000; i++ {
+		tr.Set(intKey(i), i)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Get(intKey(int64(i % 100000)))
+	}
+}

@@ -1,0 +1,298 @@
+// Package core is the kernel of the platform (paper Section III): it wires
+// the SQL engine's five stages — parse, route, rewrite, execute, merge —
+// into one pipeline, threads the three distributed-transaction types
+// through it, and exposes the pluggable feature hooks (read-write
+// splitting, encryption, shadow, …) that decorate each stage. Both
+// adaptors — the embedded driver ("ShardingSphere-JDBC") and the network
+// proxy ("ShardingSphere-Proxy") — are thin shells around this package.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"shardingsphere/internal/exec"
+	"shardingsphere/internal/registry"
+	"shardingsphere/internal/resource"
+	"shardingsphere/internal/rewrite"
+	"shardingsphere/internal/route"
+	"shardingsphere/internal/sharding"
+	"shardingsphere/internal/sqlparser"
+	"shardingsphere/internal/sqltypes"
+	"shardingsphere/internal/transaction"
+)
+
+// Errors returned by the kernel.
+var (
+	ErrInTransaction = errors.New("core: already in a transaction")
+	ErrNotQuery      = errors.New("core: statement returns no rows")
+	ErrSourceDown    = errors.New("core: data source disabled by circuit breaker")
+)
+
+// Feature is the base of the pluggable feature SPI. Concrete features
+// additionally implement one or more of StatementTransformer,
+// SourceResolver and ResultDecorator; the kernel calls whichever hooks a
+// feature provides, in registration order.
+type Feature interface {
+	Name() string
+}
+
+// StatementTransformer rewrites a statement before routing (e.g. the
+// encrypt feature replaces plaintext literals with ciphertext).
+type StatementTransformer interface {
+	TransformStatement(stmt sqlparser.Statement, args []sqltypes.Value) (sqlparser.Statement, []sqltypes.Value, error)
+}
+
+// SourceResolver remaps a routed data source before execution (read-write
+// splitting picks a replica for reads; shadow diverts test traffic).
+type SourceResolver interface {
+	ResolveSource(ds string, readOnly, inTx bool, stmt sqlparser.Statement) string
+}
+
+// ResultDecorator wraps the merged result before it reaches the client
+// (encrypt decrypts selected columns).
+type ResultDecorator interface {
+	DecorateResult(stmt sqlparser.Statement, rs resource.ResultSet) (resource.ResultSet, error)
+}
+
+// SourceGate vetoes execution on a data source (circuit breaking).
+type SourceGate interface {
+	Allow(ds string) bool
+}
+
+// Config assembles a kernel.
+type Config struct {
+	Rules   *sharding.RuleSet
+	Sources map[string]*resource.DataSource
+	// MaxCon is the per-query connection budget per data source (paper
+	// Section VI-D). Default 1.
+	MaxCon int
+	// Registry is the Governor's coordination store; nil for a private
+	// in-memory one.
+	Registry *registry.Registry
+	// TxLog overrides the XA transaction log (default: registry-backed).
+	TxLog transaction.LogStore
+	// Features are the pluggable features, applied in order.
+	Features []Feature
+	// DefaultTxType is the initial distributed transaction type.
+	DefaultTxType transaction.Type
+}
+
+// Kernel is one runtime instance shared by all sessions.
+type Kernel struct {
+	rules    *sharding.RuleSet
+	router   *route.Router
+	rewriter *rewrite.Rewriter
+	executor *exec.Executor
+	txMgr    *transaction.Manager
+	registry *registry.Registry
+	features []Feature
+	gates    []SourceGate
+
+	metaMu    sync.RWMutex
+	metaCache map[string]tableMeta
+
+	defaultTxType transaction.Type
+	distSQL       DistSQLHandler
+
+	ruleMu sync.RWMutex
+}
+
+type tableMeta struct {
+	pk   []string
+	cols []string
+}
+
+// New builds a kernel from the config.
+func New(cfg Config) (*Kernel, error) {
+	if cfg.Rules == nil {
+		cfg.Rules = sharding.NewRuleSet()
+	}
+	if len(cfg.Sources) == 0 {
+		return nil, fmt.Errorf("core: at least one data source is required")
+	}
+	reg := cfg.Registry
+	if reg == nil {
+		reg = registry.New()
+	}
+	var names []string
+	for n := range cfg.Sources {
+		names = append(names, n)
+	}
+	if cfg.Rules.DefaultDataSource == "" {
+		// Deterministic default: lexically smallest source.
+		min := names[0]
+		for _, n := range names[1:] {
+			if n < min {
+				min = n
+			}
+		}
+		cfg.Rules.DefaultDataSource = min
+	}
+	executor := exec.New(cfg.Sources, cfg.MaxCon)
+	k := &Kernel{
+		rules:         cfg.Rules,
+		router:        route.New(cfg.Rules, sortedNames(names)),
+		executor:      executor,
+		registry:      reg,
+		features:      cfg.Features,
+		metaCache:     map[string]tableMeta{},
+		defaultTxType: cfg.DefaultTxType,
+	}
+	k.router.Columns = func(logicTable string) ([]string, error) {
+		rule, ok := k.rules.Rule(logicTable)
+		if !ok || len(rule.DataNodes) == 0 {
+			return nil, fmt.Errorf("core: no data nodes for %s", logicTable)
+		}
+		first := rule.DataNodes[0]
+		_, cols, err := k.TableMeta(first.DataSource, first.Table)
+		return cols, err
+	}
+	k.rewriter = rewrite.New(func(ds string) sqlparser.Dialect {
+		if src, err := executor.Source(ds); err == nil {
+			return src.Dialect()
+		}
+		return sqlparser.DialectMySQL
+	})
+	txLog := cfg.TxLog
+	if txLog == nil {
+		txLog = transaction.NewRegistryLog(reg, "/transactions")
+	}
+	k.txMgr = transaction.NewManager(executor, txLog, k)
+	for _, f := range cfg.Features {
+		if g, ok := f.(SourceGate); ok {
+			k.gates = append(k.gates, g)
+		}
+	}
+	return k, nil
+}
+
+func sortedNames(names []string) []string {
+	out := append([]string(nil), names...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Rules returns the live rule set. Callers mutating it must hold no
+// concurrent statements (DistSQL serializes through LockRules).
+func (k *Kernel) Rules() *sharding.RuleSet { return k.rules }
+
+// Executor exposes the execution engine (used by features and DistSQL).
+func (k *Kernel) Executor() *exec.Executor { return k.executor }
+
+// Registry exposes the Governor's coordination store.
+func (k *Kernel) Registry() *registry.Registry { return k.registry }
+
+// TxManager exposes the distributed transaction manager.
+func (k *Kernel) TxManager() *transaction.Manager { return k.txMgr }
+
+// Router exposes the router (tests and PREVIEW).
+func (k *Kernel) Router() *route.Router { return k.router }
+
+// LockRules serializes rule mutations; returns the unlock function.
+func (k *Kernel) LockRules() func() {
+	k.ruleMu.Lock()
+	return k.ruleMu.Unlock
+}
+
+// InvalidateMeta clears the table-metadata cache (after DDL).
+func (k *Kernel) InvalidateMeta() {
+	k.metaMu.Lock()
+	k.metaCache = map[string]tableMeta{}
+	k.metaMu.Unlock()
+}
+
+// TableMeta implements transaction.MetaProvider: it resolves the primary
+// key and columns of an actual table by asking the data source (DESCRIBE)
+// and caches the answer — the kernel-side metadata service the Governor's
+// configuration management keeps in real deployments.
+func (k *Kernel) TableMeta(ds, table string) ([]string, []string, error) {
+	key := ds + "." + table
+	k.metaMu.RLock()
+	m, ok := k.metaCache[key]
+	k.metaMu.RUnlock()
+	if ok {
+		return m.pk, m.cols, nil
+	}
+	src, err := k.executor.Source(ds)
+	if err != nil {
+		return nil, nil, err
+	}
+	conn, err := src.Acquire()
+	if err != nil {
+		return nil, nil, err
+	}
+	defer conn.Release()
+	rs, err := conn.Query("DESCRIBE " + table)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows, err := resource.ReadAll(rs)
+	if err != nil {
+		return nil, nil, err
+	}
+	var meta tableMeta
+	for _, r := range rows {
+		meta.cols = append(meta.cols, r[0].AsString())
+		if r[2].AsString() == "PRI" {
+			meta.pk = append(meta.pk, r[0].AsString())
+		}
+	}
+	k.metaMu.Lock()
+	k.metaCache[key] = meta
+	k.metaMu.Unlock()
+	return meta.pk, meta.cols, nil
+}
+
+// AddGate installs a source gate at runtime; the governor registers its
+// circuit breakers this way.
+func (k *Kernel) AddGate(g SourceGate) { k.gates = append(k.gates, g) }
+
+// checkGates rejects units aimed at circuit-broken sources.
+func (k *Kernel) checkGates(units []rewrite.SQLUnit) error {
+	for _, g := range k.gates {
+		for _, u := range units {
+			if !g.Allow(u.DataSource) {
+				return fmt.Errorf("%w: %s", ErrSourceDown, u.DataSource)
+			}
+		}
+	}
+	return nil
+}
+
+// resolveSources applies SourceResolver features to every unit.
+func (k *Kernel) resolveSources(units []rewrite.SQLUnit, readOnly, inTx bool, stmt sqlparser.Statement) {
+	for _, f := range k.features {
+		r, ok := f.(SourceResolver)
+		if !ok {
+			continue
+		}
+		for i := range units {
+			units[i].DataSource = r.ResolveSource(units[i].DataSource, readOnly, inTx, stmt)
+		}
+	}
+}
+
+// isDistSQL sniffs DistSQL statements before the SQL parser sees them.
+func isDistSQL(sql string) bool {
+	s := strings.TrimSpace(sql)
+	up := strings.ToUpper(s)
+	for _, prefix := range []string{
+		"CREATE SHARDING", "ALTER SHARDING", "DROP SHARDING",
+		"SHOW SHARDING", "ADD RESOURCE", "DROP RESOURCE", "SHOW RESOURCES",
+		"CREATE BINDING", "DROP BINDING", "SHOW BINDING",
+		"SET VARIABLE", "SHOW VARIABLE", "PREVIEW", "SHOW STATUS",
+		"CREATE BROADCAST", "SHOW BROADCAST", "SHOW TRANSACTION", "RESHARD",
+	} {
+		if strings.HasPrefix(up, prefix) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,454 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"shardingsphere/internal/exec"
+	"shardingsphere/internal/merge"
+	"shardingsphere/internal/resource"
+	"shardingsphere/internal/rewrite"
+	"shardingsphere/internal/sqlparser"
+	"shardingsphere/internal/sqltypes"
+	"shardingsphere/internal/transaction"
+)
+
+// Result is the outcome of one statement: a row stream for queries, or an
+// affected-rows count for everything else.
+type Result struct {
+	RS           resource.ResultSet
+	Affected     int64
+	LastInsertID int64
+}
+
+// IsQuery reports whether the result carries rows.
+func (r *Result) IsQuery() bool { return r.RS != nil }
+
+// Close releases the row stream, if any.
+func (r *Result) Close() error {
+	if r.RS != nil {
+		return r.RS.Close()
+	}
+	return nil
+}
+
+// DistSQLHandler processes DistSQL statements; the distsql package
+// installs it (a function value breaks the import cycle between the
+// kernel and its management language).
+type DistSQLHandler func(sess *Session, sql string) (*Result, error)
+
+// SetDistSQLHandler installs the DistSQL processor.
+func (k *Kernel) SetDistSQLHandler(h DistSQLHandler) { k.distSQL = h }
+
+// NewSession opens a client session. Sessions are not safe for concurrent
+// use, mirroring database connection semantics.
+func (k *Kernel) NewSession() *Session {
+	return &Session{
+		k:      k,
+		txType: k.defaultTxType,
+		vars:   map[string]sqltypes.Value{},
+	}
+}
+
+// Session is one client's state: its open distributed transaction, its
+// transaction-type setting and its session variables (including the
+// sharding hint).
+type Session struct {
+	k      *Kernel
+	tx     transaction.Tx
+	txType transaction.Type
+	vars   map[string]sqltypes.Value
+	hint   *sqltypes.Value
+
+	stmtCache map[string]sqlparser.Statement
+}
+
+// Kernel returns the owning kernel (DistSQL needs it).
+func (s *Session) Kernel() *Kernel { return s.k }
+
+// InTransaction reports whether a distributed transaction is open.
+func (s *Session) InTransaction() bool { return s.tx != nil }
+
+// TransactionType returns the session's transaction type.
+func (s *Session) TransactionType() transaction.Type { return s.txType }
+
+// SetTransactionType switches the transaction type for subsequent
+// transactions (DistSQL RAL: SET VARIABLE transaction_type = ...).
+func (s *Session) SetTransactionType(t transaction.Type) { s.txType = t }
+
+// SetHint sets the out-of-band sharding hint value; pass nil to clear.
+func (s *Session) SetHint(v *sqltypes.Value) { s.hint = v }
+
+// Vars exposes the session variables.
+func (s *Session) Vars() map[string]sqltypes.Value { return s.vars }
+
+// Close rolls back any open transaction.
+func (s *Session) Close() {
+	if s.tx != nil {
+		s.tx.Rollback()
+		s.tx = nil
+	}
+}
+
+// parse returns a cached parsed statement. Cached statements are shared
+// and must be treated as immutable; every pipeline stage clones before
+// mutating.
+func (s *Session) parse(sql string) (sqlparser.Statement, error) {
+	if s.stmtCache == nil {
+		s.stmtCache = map[string]sqlparser.Statement{}
+	}
+	if stmt, ok := s.stmtCache[sql]; ok {
+		return stmt, nil
+	}
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.stmtCache) > 4096 {
+		s.stmtCache = map[string]sqlparser.Statement{}
+	}
+	s.stmtCache[sql] = stmt
+	return stmt, nil
+}
+
+// Execute runs one SQL or DistSQL statement.
+func (s *Session) Execute(sql string, args ...sqltypes.Value) (*Result, error) {
+	if isDistSQL(sql) {
+		if s.k.distSQL == nil {
+			return nil, fmt.Errorf("core: DistSQL handler not installed")
+		}
+		return s.k.distSQL(s, sql)
+	}
+	stmt, err := s.parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.ExecuteStmt(stmt, args)
+}
+
+// Query runs a statement that must return rows.
+func (s *Session) Query(sql string, args ...sqltypes.Value) (resource.ResultSet, error) {
+	res, err := s.Execute(sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	if !res.IsQuery() {
+		return nil, fmt.Errorf("%w: %s", ErrNotQuery, sql)
+	}
+	return res.RS, nil
+}
+
+// Exec runs a statement that returns no rows.
+func (s *Session) Exec(sql string, args ...sqltypes.Value) (resource.ExecResult, error) {
+	res, err := s.Execute(sql, args...)
+	if err != nil {
+		return resource.ExecResult{}, err
+	}
+	if res.IsQuery() {
+		res.Close()
+		return resource.ExecResult{}, fmt.Errorf("core: %s returned rows; use Query", sql)
+	}
+	return resource.ExecResult{Affected: res.Affected, LastInsertID: res.LastInsertID}, nil
+}
+
+// ExecuteStmt runs a parsed statement through the kernel pipeline.
+func (s *Session) ExecuteStmt(stmt sqlparser.Statement, args []sqltypes.Value) (*Result, error) {
+	switch t := stmt.(type) {
+	case *sqlparser.BeginStmt:
+		if s.tx != nil {
+			return nil, ErrInTransaction
+		}
+		tx, err := s.k.txMgr.Begin(s.txType)
+		if err != nil {
+			return nil, err
+		}
+		s.tx = tx
+		return &Result{}, nil
+	case *sqlparser.CommitStmt:
+		if s.tx == nil {
+			return &Result{}, nil
+		}
+		tx := s.tx
+		s.tx = nil
+		if err := tx.Commit(); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sqlparser.RollbackStmt:
+		if s.tx == nil {
+			return &Result{}, nil
+		}
+		tx := s.tx
+		s.tx = nil
+		if err := tx.Rollback(); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sqlparser.SetStmt:
+		return s.executeSet(t)
+	case *sqlparser.ShowStmt:
+		return s.showTables()
+	case *sqlparser.DescribeStmt:
+		return s.describe(t)
+	}
+
+	// Generated keys: INSERTs into tables with a key generator that omit
+	// the key column gain it before routing (the distributed replacement
+	// for AUTO_INCREMENT; see sharding.KeyGenerator).
+	var genKey int64
+	if ins, ok := stmt.(*sqlparser.InsertStmt); ok {
+		stmt, genKey = s.k.fillGeneratedKey(ins)
+	}
+
+	// Feature transforms (cached statements stay untouched: transformers
+	// clone on write).
+	var err error
+	for _, f := range s.k.features {
+		tr, ok := f.(StatementTransformer)
+		if !ok {
+			continue
+		}
+		stmt, args, err = tr.TransformStatement(stmt, args)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	sel, isSelect := stmt.(*sqlparser.SelectStmt)
+	if isSelect && len(sel.From) == 0 {
+		return s.selectWithoutFrom(sel, args)
+	}
+
+	rt, err := s.k.router.Route(stmt, args, s.hint)
+	if err != nil {
+		return nil, err
+	}
+	rw, err := s.k.rewriter.Rewrite(stmt, rt, args)
+	if err != nil {
+		return nil, err
+	}
+	readOnly := isSelect && !sel.ForUpdate
+	s.k.resolveSources(rw.Units, readOnly, s.tx != nil, stmt)
+	if err := s.k.checkGates(rw.Units); err != nil {
+		return nil, err
+	}
+
+	if s.tx != nil {
+		if err := s.tx.BeforeStatement(rw.Units); err != nil {
+			return nil, err
+		}
+	}
+	var result *Result
+	var execErr error
+	if isSelect {
+		var qr *execQueryResult
+		qr, execErr = s.runQuery(rw)
+		if execErr == nil {
+			var rs resource.ResultSet
+			rs, execErr = merge.Merge(qr.sets, rw.Select)
+			if execErr == nil {
+				for _, f := range s.k.features {
+					if d, ok := f.(ResultDecorator); ok {
+						rs, execErr = d.DecorateResult(stmt, rs)
+						if execErr != nil {
+							break
+						}
+					}
+				}
+			}
+			if execErr == nil {
+				result = &Result{RS: rs}
+			}
+		}
+	} else {
+		var er resource.ExecResult
+		var held = heldOf(s.tx)
+		er, execErr = s.k.executor.ExecuteUpdate(rw.Units, held)
+		if execErr == nil {
+			result = &Result{Affected: er.Affected, LastInsertID: er.LastInsertID}
+			if genKey != 0 {
+				result.LastInsertID = genKey
+			}
+			if stmt.StatementType() == sqlparser.StmtDDL {
+				s.k.InvalidateMeta()
+			}
+		}
+	}
+	if s.tx != nil {
+		if err := s.tx.AfterStatement(rw.Units, execErr); err != nil {
+			return nil, err
+		}
+	}
+	if execErr != nil {
+		return nil, execErr
+	}
+	return result, nil
+}
+
+type execQueryResult struct {
+	sets []resource.ResultSet
+}
+
+func (s *Session) runQuery(rw *rewrite.Result) (*execQueryResult, error) {
+	qr, err := s.k.executor.Query(rw.Units, heldOf(s.tx))
+	if err != nil {
+		return nil, err
+	}
+	return &execQueryResult{sets: qr.Sets}, nil
+}
+
+func heldOf(tx transaction.Tx) *exec.HeldConns {
+	if tx == nil {
+		return nil
+	}
+	return tx.Held()
+}
+
+func (s *Session) executeSet(t *sqlparser.SetStmt) (*Result, error) {
+	name := strings.ToLower(t.Name)
+	s.vars[name] = t.Value
+	switch name {
+	case "transaction_type":
+		typ, err := transaction.ParseType(t.Value.AsString())
+		if err != nil {
+			return nil, err
+		}
+		s.txType = typ
+	case "sharding_hint":
+		v := t.Value
+		if v.IsNull() {
+			s.hint = nil
+		} else {
+			s.hint = &v
+		}
+	}
+	return &Result{}, nil
+}
+
+// showTables lists the logic tables: rule tables, broadcast tables and
+// the unsharded tables on the default source.
+func (s *Session) showTables() (*Result, error) {
+	seen := map[string]bool{}
+	var names []string
+	add := func(n string) {
+		if !seen[n] {
+			seen[n] = true
+			names = append(names, n)
+		}
+	}
+	for _, t := range s.k.rules.LogicTables() {
+		add(t)
+	}
+	for t := range s.k.rules.Broadcast {
+		add(t)
+	}
+	if def := s.k.rules.DefaultDataSource; def != "" {
+		if src, err := s.k.executor.Source(def); err == nil {
+			if conn, err := src.Acquire(); err == nil {
+				if rs, err := conn.Query("SHOW TABLES"); err == nil {
+					rows, _ := resource.ReadAll(rs)
+					for _, r := range rows {
+						if !s.k.isActualTable(r[0].AsString()) {
+							add(r[0].AsString())
+						}
+					}
+				}
+				conn.Release()
+			}
+		}
+	}
+	names = sortedNames(names)
+	rows := make([]sqltypes.Row, len(names))
+	for i, n := range names {
+		rows[i] = sqltypes.Row{sqltypes.NewString(n)}
+	}
+	return &Result{RS: resource.NewSliceResultSet([]string{"Tables"}, rows)}, nil
+}
+
+// isActualTable reports whether the name is an actual shard of some rule
+// (hidden from SHOW TABLES).
+func (k *Kernel) isActualTable(name string) bool {
+	for _, r := range k.rules.Tables {
+		for _, n := range r.DataNodes {
+			if strings.EqualFold(n.Table, name) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// describe forwards DESCRIBE to the first data node of the logic table.
+func (s *Session) describe(t *sqlparser.DescribeStmt) (*Result, error) {
+	ds := s.k.rules.DefaultDataSource
+	table := t.Table
+	if rule, ok := s.k.rules.Rule(t.Table); ok && len(rule.DataNodes) > 0 {
+		ds = rule.DataNodes[0].DataSource
+		table = rule.DataNodes[0].Table
+	}
+	src, err := s.k.executor.Source(ds)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := src.Acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Release()
+	rs, err := conn.Query("DESCRIBE " + table)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := resource.ReadAll(rs)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{RS: resource.NewSliceResultSet(rs.Columns(), rows)}, nil
+}
+
+// fillGeneratedKey appends the key-generator column and fresh keys to an
+// INSERT that omits it. It returns the (possibly cloned) statement and the
+// last key generated (0 when none).
+func (k *Kernel) fillGeneratedKey(ins *sqlparser.InsertStmt) (sqlparser.Statement, int64) {
+	rule, ok := k.rules.Rule(ins.Table)
+	if !ok || rule.KeyGen == nil || rule.KeyGenColumn == "" || len(ins.Columns) == 0 {
+		return ins, 0
+	}
+	for _, c := range ins.Columns {
+		if strings.EqualFold(c, rule.KeyGenColumn) {
+			return ins, 0
+		}
+	}
+	clone := sqlparser.CloneStatement(ins).(*sqlparser.InsertStmt)
+	clone.Columns = append(clone.Columns, rule.KeyGenColumn)
+	var last int64
+	for i := range clone.Rows {
+		last = rule.KeyGen.NextKey()
+		clone.Rows[i] = append(clone.Rows[i], &sqlparser.Literal{Val: sqltypes.NewInt(last)})
+	}
+	return clone, last
+}
+
+// selectWithoutFrom evaluates table-less selects on the default source.
+func (s *Session) selectWithoutFrom(sel *sqlparser.SelectStmt, args []sqltypes.Value) (*Result, error) {
+	ds := s.k.rules.DefaultDataSource
+	src, err := s.k.executor.Source(ds)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := src.Acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Release()
+	ser := sqlparser.NewSerializer(src.Dialect())
+	rs, err := conn.Query(ser.Serialize(sel), args...)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := resource.ReadAll(rs)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{RS: resource.NewSliceResultSet(rs.Columns(), rows)}, nil
+}

@@ -1,0 +1,397 @@
+package distsql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"shardingsphere/internal/core"
+	"shardingsphere/internal/features/scaling"
+	"shardingsphere/internal/governor"
+	"shardingsphere/internal/resource"
+	"shardingsphere/internal/rewrite"
+	"shardingsphere/internal/sharding"
+	"shardingsphere/internal/sqlparser"
+	"shardingsphere/internal/sqltypes"
+	"shardingsphere/internal/transaction"
+)
+
+// Handler executes DistSQL against a kernel, persisting configuration
+// through the Governor when one is attached.
+type Handler struct {
+	gov *governor.Governor
+}
+
+// Install wires DistSQL processing into the kernel. gov may be nil (no
+// persistence, status commands degrade gracefully).
+func Install(k *core.Kernel, gov *governor.Governor) *Handler {
+	h := &Handler{gov: gov}
+	k.SetDistSQLHandler(func(sess *core.Session, sql string) (*core.Result, error) {
+		return h.Execute(sess, sql)
+	})
+	return h
+}
+
+// Execute parses and runs one DistSQL statement.
+func (h *Handler) Execute(sess *core.Session, sql string) (*core.Result, error) {
+	stmt, err := Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	k := sess.Kernel()
+	switch t := stmt.(type) {
+	case *CreateShardingRule:
+		return h.createRule(k, t)
+	case *DropShardingRule:
+		return h.dropRule(k, t)
+	case *CreateBinding:
+		unlock := k.LockRules()
+		defer unlock()
+		if err := k.Rules().AddBindingGroup(t.Tables...); err != nil {
+			return nil, err
+		}
+		h.persist(k)
+		return &core.Result{}, nil
+	case *DropBinding:
+		unlock := k.LockRules()
+		defer unlock()
+		dropBindingGroup(k.Rules(), t.Tables)
+		h.persist(k)
+		return &core.Result{}, nil
+	case *CreateBroadcast:
+		unlock := k.LockRules()
+		defer unlock()
+		for _, table := range t.Tables {
+			k.Rules().Broadcast[strings.ToLower(table)] = true
+		}
+		h.persist(k)
+		return &core.Result{}, nil
+	case *ShowRules:
+		return h.showRules(k, t)
+	case *ShowResources:
+		return h.showResources(k)
+	case *ShowStatus:
+		return h.showStatus(k)
+	case *SetVariable:
+		return h.setVariable(sess, t)
+	case *ShowVariable:
+		return h.showVariable(sess, t)
+	case *Preview:
+		return h.preview(sess, t)
+	case *Reshard:
+		return h.reshard(k, t)
+	default:
+		return nil, fmt.Errorf("distsql: unhandled statement %T", stmt)
+	}
+}
+
+// createRule implements the AutoTable strategy (paper Section V-A): the
+// user names the resources and the shard count; the platform computes the
+// data distribution and binds logic to actual tables. Physical tables
+// materialize when the logic CREATE TABLE arrives (the DDL broadcast
+// creates every shard).
+func (h *Handler) createRule(k *core.Kernel, t *CreateShardingRule) (*core.Result, error) {
+	for _, r := range t.Resources {
+		if _, err := k.Executor().Source(r); err != nil {
+			return nil, err
+		}
+	}
+	rule, err := sharding.BuildAutoRule(sharding.AutoTableSpec{
+		LogicTable:     t.Table,
+		Resources:      t.Resources,
+		ShardingColumn: t.Column,
+		AlgorithmType:  t.Type,
+		Properties:     t.Properties,
+	})
+	if err != nil {
+		return nil, err
+	}
+	unlock := k.LockRules()
+	defer unlock()
+	if !t.Alter && k.Rules().IsSharded(t.Table) {
+		return nil, fmt.Errorf("distsql: rule for %s exists; use ALTER SHARDING TABLE RULE", t.Table)
+	}
+	k.Rules().AddRule(rule)
+	h.persist(k)
+	return &core.Result{}, nil
+}
+
+func (h *Handler) dropRule(k *core.Kernel, t *DropShardingRule) (*core.Result, error) {
+	unlock := k.LockRules()
+	defer unlock()
+	if !k.Rules().RemoveRule(t.Table) {
+		return nil, fmt.Errorf("distsql: no sharding rule for %s", t.Table)
+	}
+	if h.gov != nil {
+		h.gov.DropRule(t.Table)
+	}
+	h.persist(k)
+	return &core.Result{}, nil
+}
+
+func (h *Handler) persist(k *core.Kernel) {
+	if h.gov != nil {
+		h.gov.PersistRules(k.Rules())
+	}
+}
+
+func dropBindingGroup(rs *sharding.RuleSet, tables []string) {
+	match := func(group []string) bool {
+		if len(group) != len(tables) {
+			return false
+		}
+		for _, t := range tables {
+			found := false
+			for _, g := range group {
+				if strings.EqualFold(g, t) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	out := rs.BindingGroups[:0]
+	for _, group := range rs.BindingGroups {
+		if !match(group) {
+			out = append(out, group)
+		}
+	}
+	rs.BindingGroups = out
+}
+
+func rowsResult(cols []string, rows []sqltypes.Row) *core.Result {
+	return &core.Result{RS: resource.NewSliceResultSet(cols, rows)}
+}
+
+func (h *Handler) showRules(k *core.Kernel, t *ShowRules) (*core.Result, error) {
+	switch t.Kind {
+	case "binding":
+		var rows []sqltypes.Row
+		for _, group := range k.Rules().BindingGroups {
+			rows = append(rows, sqltypes.Row{sqltypes.NewString(strings.Join(group, ", "))})
+		}
+		return rowsResult([]string{"binding_tables"}, rows), nil
+	case "broadcast":
+		var names []string
+		for t := range k.Rules().Broadcast {
+			names = append(names, t)
+		}
+		sort.Strings(names)
+		var rows []sqltypes.Row
+		for _, n := range names {
+			rows = append(rows, sqltypes.Row{sqltypes.NewString(n)})
+		}
+		return rowsResult([]string{"broadcast_table"}, rows), nil
+	default:
+		cols := []string{"table", "sharding_column", "type", "sharding_count", "data_nodes"}
+		names := k.Rules().LogicTables()
+		sort.Strings(names)
+		var rows []sqltypes.Row
+		for _, name := range names {
+			if t.Table != "" && !strings.EqualFold(t.Table, name) {
+				continue
+			}
+			rule, _ := k.Rules().Rule(name)
+			col, typ := "", ""
+			if rule.AutoSpec != nil {
+				col = rule.AutoSpec.ShardingColumn
+				typ = rule.AutoSpec.AlgorithmType
+			} else if rule.AutoStrategy != nil {
+				col = rule.AutoStrategy.Column
+			}
+			nodes := make([]string, len(rule.DataNodes))
+			for i, n := range rule.DataNodes {
+				nodes[i] = n.String()
+			}
+			rows = append(rows, sqltypes.Row{
+				sqltypes.NewString(rule.LogicTable),
+				sqltypes.NewString(col),
+				sqltypes.NewString(typ),
+				sqltypes.NewInt(int64(len(rule.DataNodes))),
+				sqltypes.NewString(strings.Join(nodes, ", ")),
+			})
+		}
+		return rowsResult(cols, rows), nil
+	}
+}
+
+func (h *Handler) showResources(k *core.Kernel) (*core.Result, error) {
+	names := k.Executor().Sources()
+	sort.Strings(names)
+	var rows []sqltypes.Row
+	for _, n := range names {
+		src, err := k.Executor().Source(n)
+		if err != nil {
+			continue
+		}
+		rows = append(rows, sqltypes.Row{
+			sqltypes.NewString(n),
+			sqltypes.NewString(src.Dialect().String()),
+			sqltypes.NewInt(int64(src.PoolSize())),
+		})
+	}
+	return rowsResult([]string{"resource", "dialect", "pool_size"}, rows), nil
+}
+
+func (h *Handler) showStatus(k *core.Kernel) (*core.Result, error) {
+	var rows []sqltypes.Row
+	if h.gov != nil {
+		for _, id := range h.gov.Instances() {
+			rows = append(rows, sqltypes.Row{
+				sqltypes.NewString("instance"), sqltypes.NewString(id), sqltypes.NewString("alive"),
+			})
+		}
+	}
+	names := k.Executor().Sources()
+	sort.Strings(names)
+	for _, n := range names {
+		status := "unknown"
+		if h.gov != nil {
+			status = h.gov.SourceStatus(n)
+		}
+		rows = append(rows, sqltypes.Row{
+			sqltypes.NewString("datasource"), sqltypes.NewString(n), sqltypes.NewString(status),
+		})
+	}
+	return rowsResult([]string{"kind", "name", "status"}, rows), nil
+}
+
+// setVariable implements the RAL commands: the paper's transaction-type
+// switch plus circuit breaking.
+func (h *Handler) setVariable(sess *core.Session, t *SetVariable) (*core.Result, error) {
+	switch t.Name {
+	case "transaction_type":
+		typ, err := transaction.ParseType(t.Value)
+		if err != nil {
+			return nil, err
+		}
+		sess.SetTransactionType(typ)
+		return &core.Result{}, nil
+	case "circuit_break":
+		// Value form: "<datasource>:on" or "<datasource>:off".
+		if h.gov == nil {
+			return nil, fmt.Errorf("distsql: circuit breaking needs a governor")
+		}
+		parts := strings.SplitN(t.Value, ":", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("distsql: circuit_break wants '<datasource>:on|off'")
+		}
+		h.gov.BreakSource(parts[0], strings.EqualFold(parts[1], "on"))
+		return &core.Result{}, nil
+	case "sharding_hint":
+		v := sqltypes.NewString(t.Value)
+		if n := strings.TrimSpace(t.Value); n != "" {
+			// Numeric hints stay numeric for mod-style algorithms.
+			allDigits := true
+			for i := 0; i < len(n); i++ {
+				if n[i] < '0' || n[i] > '9' {
+					allDigits = false
+					break
+				}
+			}
+			if allDigits {
+				v = sqltypes.NewInt(sqltypes.NewString(n).AsInt())
+			}
+		}
+		sess.SetHint(&v)
+		return &core.Result{}, nil
+	default:
+		sess.Vars()[t.Name] = sqltypes.NewString(t.Value)
+		return &core.Result{}, nil
+	}
+}
+
+func (h *Handler) showVariable(sess *core.Session, t *ShowVariable) (*core.Result, error) {
+	var val string
+	switch t.Name {
+	case "transaction_type":
+		val = sess.TransactionType().String()
+	default:
+		if v, ok := sess.Vars()[t.Name]; ok {
+			val = v.AsString()
+		}
+	}
+	return rowsResult([]string{t.Name}, []sqltypes.Row{{sqltypes.NewString(val)}}), nil
+}
+
+// preview routes and rewrites the statement without executing, returning
+// one row per SQL unit (RAL's PREVIEW).
+func (h *Handler) preview(sess *core.Session, t *Preview) (*core.Result, error) {
+	k := sess.Kernel()
+	stmt, err := sqlparserParse(t.SQL)
+	if err != nil {
+		return nil, err
+	}
+	rt, err := k.Router().Route(stmt, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	rw, err := rewriteNew(k).Rewrite(stmt, rt, nil)
+	if err != nil {
+		return nil, err
+	}
+	var rows []sqltypes.Row
+	for _, u := range rw.Units {
+		rows = append(rows, sqltypes.Row{
+			sqltypes.NewString(u.DataSource),
+			sqltypes.NewString(u.SQL),
+		})
+	}
+	return rowsResult([]string{"data_source", "actual_sql"}, rows), nil
+}
+
+// reshard runs an online scaling job (paper Section IV-C): copy the logic
+// table onto the new layout, verify row counts, switch the rule. The
+// generation counter lives in the registry so table names never collide
+// across runs.
+func (h *Handler) reshard(k *core.Kernel, t *Reshard) (*core.Result, error) {
+	gen := 1
+	if h.gov != nil || k.Registry() != nil {
+		reg := k.Registry()
+		key := "/scaling/generation/" + strings.ToLower(t.Rule.Table)
+		if raw, _, err := reg.Get(key); err == nil {
+			fmt.Sscanf(raw, "%d", &gen)
+			gen++
+		}
+		reg.Put(key, fmt.Sprintf("%d", gen))
+	}
+	job, err := scaling.Reshard(k, sharding.AutoTableSpec{
+		LogicTable:     t.Rule.Table,
+		Resources:      t.Rule.Resources,
+		ShardingColumn: t.Rule.Column,
+		AlgorithmType:  t.Rule.Type,
+		Properties:     t.Rule.Properties,
+	}, gen)
+	if err != nil {
+		return nil, err
+	}
+	st, moved, jerr := job.Status()
+	if jerr != nil {
+		return nil, jerr
+	}
+	h.persist(k)
+	return rowsResult([]string{"table", "status", "rows_moved"}, []sqltypes.Row{{
+		sqltypes.NewString(t.Rule.Table),
+		sqltypes.NewString(st.String()),
+		sqltypes.NewInt(moved),
+	}}), nil
+}
+
+// sqlparserParse and rewriteNew keep the preview implementation's imports
+// local to this file's bottom (they alias the shared packages).
+func sqlparserParse(sql string) (sqlparserStatement, error) { return sqlparser.Parse(sql) }
+
+type sqlparserStatement = sqlparser.Statement
+
+func rewriteNew(k *core.Kernel) *rewrite.Rewriter {
+	return rewrite.New(func(ds string) sqlparser.Dialect {
+		if src, err := k.Executor().Source(ds); err == nil {
+			return src.Dialect()
+		}
+		return sqlparser.DialectMySQL
+	})
+}

@@ -1,0 +1,478 @@
+// Package distsql implements DistSQL (paper Section V-A), the SQL-like
+// management language that "breaks the boundary between middlewares and
+// databases": RDL defines resources and rules (including the AutoTable
+// strategy), RQL queries them, and RAL administers the runtime (switching
+// transaction types, circuit breaking, previewing routes).
+package distsql
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"shardingsphere/internal/sqlparser"
+)
+
+// ErrNotDistSQL reports input that is not a DistSQL statement.
+var ErrNotDistSQL = errors.New("distsql: not a DistSQL statement")
+
+// Statement is a parsed DistSQL statement.
+type Statement interface{ distSQLStmt() }
+
+// CreateShardingRule is:
+//
+//	CREATE|ALTER SHARDING TABLE RULE <t> (
+//	    RESOURCES(ds0, ds1),
+//	    SHARDING_COLUMN = uid,
+//	    TYPE = hash_mod,
+//	    PROPERTIES("sharding-count" = 2)
+//	)
+type CreateShardingRule struct {
+	Table      string
+	Alter      bool
+	Resources  []string
+	Column     string
+	Type       string
+	Properties map[string]string
+}
+
+// DropShardingRule is DROP SHARDING TABLE RULE <t>.
+type DropShardingRule struct {
+	Table string
+}
+
+// CreateBinding is CREATE BINDING TABLE RULES (t1, t2, ...).
+type CreateBinding struct {
+	Tables []string
+}
+
+// DropBinding is DROP BINDING TABLE RULES (t1, t2, ...).
+type DropBinding struct {
+	Tables []string
+}
+
+// CreateBroadcast is CREATE BROADCAST TABLE RULE t1 [, t2 ...].
+type CreateBroadcast struct {
+	Tables []string
+}
+
+// ShowRules is SHOW SHARDING TABLE RULES [FROM <t>] /
+// SHOW BINDING TABLE RULES / SHOW BROADCAST TABLE RULES.
+type ShowRules struct {
+	Kind  string // "sharding", "binding", "broadcast"
+	Table string // optional filter for sharding rules
+}
+
+// ShowResources is SHOW RESOURCES.
+type ShowResources struct{}
+
+// ShowStatus is SHOW STATUS: live instances and data source health.
+type ShowStatus struct{}
+
+// SetVariable is SET VARIABLE name = value (RAL).
+type SetVariable struct {
+	Name  string
+	Value string
+}
+
+// ShowVariable is SHOW VARIABLE name.
+type ShowVariable struct {
+	Name string
+}
+
+// Preview is PREVIEW <sql>: shows the route and rewrite result without
+// executing.
+type Preview struct {
+	SQL string
+}
+
+// Reshard is RESHARD TABLE <t> (RESOURCES(...), SHARDING_COLUMN=...,
+// TYPE=..., PROPERTIES(...)): an online scaling job (paper Section IV-C)
+// that copies the table onto the new layout, verifies, and switches.
+type Reshard struct {
+	Rule *CreateShardingRule
+}
+
+func (*CreateShardingRule) distSQLStmt() {}
+func (*DropShardingRule) distSQLStmt()   {}
+func (*CreateBinding) distSQLStmt()      {}
+func (*DropBinding) distSQLStmt()        {}
+func (*CreateBroadcast) distSQLStmt()    {}
+func (*ShowRules) distSQLStmt()          {}
+func (*ShowResources) distSQLStmt()      {}
+func (*ShowStatus) distSQLStmt()         {}
+func (*SetVariable) distSQLStmt()        {}
+func (*ShowVariable) distSQLStmt()       {}
+func (*Preview) distSQLStmt()            {}
+func (*Reshard) distSQLStmt()            {}
+
+// parser walks the token stream from the shared lexer.
+type parser struct {
+	toks []sqlparser.Token
+	pos  int
+	sql  string
+}
+
+// Parse parses one DistSQL statement.
+func Parse(sql string) (Statement, error) {
+	trimmed := strings.TrimSpace(sql)
+	up := strings.ToUpper(trimmed)
+	// PREVIEW keeps its payload verbatim.
+	if strings.HasPrefix(up, "PREVIEW") {
+		rest := strings.TrimSpace(trimmed[len("PREVIEW"):])
+		if rest == "" {
+			return nil, fmt.Errorf("distsql: PREVIEW needs a statement")
+		}
+		return &Preview{SQL: strings.TrimSuffix(rest, ";")}, nil
+	}
+	toks, err := sqlparser.Tokenize(trimmed)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, sql: trimmed}
+	stmt, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(";")
+	if !p.eof() {
+		return nil, fmt.Errorf("distsql: trailing input after statement: %q", p.cur().Val)
+	}
+	return stmt, nil
+}
+
+func (p *parser) cur() sqlparser.Token { return p.toks[p.pos] }
+
+func (p *parser) eof() bool { return p.cur().Type == sqlparser.TokenEOF }
+
+// word returns the upper-cased text of the current token if it is a word.
+func (p *parser) word() string {
+	t := p.cur()
+	if t.Type == sqlparser.TokenIdent || t.Type == sqlparser.TokenKeyword {
+		return strings.ToUpper(t.Val)
+	}
+	return ""
+}
+
+// accept consumes the token if its text matches (case-insensitive).
+func (p *parser) accept(text string) bool {
+	t := p.cur()
+	if strings.EqualFold(t.Val, text) && t.Type != sqlparser.TokenEOF && t.Type != sqlparser.TokenString {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return fmt.Errorf("distsql: expected %q, got %q in %q", text, p.cur().Val, p.sql)
+	}
+	return nil
+}
+
+// ident consumes an identifier (or keyword used as one).
+func (p *parser) ident() (string, error) {
+	t := p.cur()
+	if t.Type == sqlparser.TokenIdent || t.Type == sqlparser.TokenKeyword {
+		p.pos++
+		return t.Val, nil
+	}
+	return "", fmt.Errorf("distsql: expected identifier, got %q in %q", t.Val, p.sql)
+}
+
+// value consumes a string, number or bare word as its text.
+func (p *parser) value() (string, error) {
+	t := p.cur()
+	switch t.Type {
+	case sqlparser.TokenString, sqlparser.TokenInt, sqlparser.TokenFloat,
+		sqlparser.TokenIdent, sqlparser.TokenKeyword:
+		p.pos++
+		return t.Val, nil
+	default:
+		return "", fmt.Errorf("distsql: expected value, got %q in %q", t.Val, p.sql)
+	}
+}
+
+func (p *parser) parse() (Statement, error) {
+	switch p.word() {
+	case "CREATE", "ALTER":
+		alter := p.word() == "ALTER"
+		p.pos++
+		switch p.word() {
+		case "SHARDING":
+			return p.parseShardingRule(alter)
+		case "BINDING":
+			return p.parseBinding(true)
+		case "BROADCAST":
+			return p.parseBroadcast()
+		}
+		return nil, fmt.Errorf("distsql: unsupported CREATE/ALTER target %q", p.cur().Val)
+	case "DROP":
+		p.pos++
+		switch p.word() {
+		case "SHARDING":
+			p.pos++
+			if err := p.expect("TABLE"); err != nil {
+				return nil, err
+			}
+			if err := p.expect("RULE"); err != nil {
+				return nil, err
+			}
+			t, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &DropShardingRule{Table: t}, nil
+		case "BINDING":
+			return p.parseBinding(false)
+		}
+		return nil, fmt.Errorf("distsql: unsupported DROP target %q", p.cur().Val)
+	case "SHOW":
+		p.pos++
+		switch p.word() {
+		case "SHARDING":
+			p.pos++
+			if err := p.expect("TABLE"); err != nil {
+				return nil, err
+			}
+			if p.accept("RULES") {
+				return &ShowRules{Kind: "sharding"}, nil
+			}
+			if err := p.expect("RULE"); err != nil {
+				return nil, err
+			}
+			t, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &ShowRules{Kind: "sharding", Table: t}, nil
+		case "BINDING":
+			p.pos++
+			if err := p.expect("TABLE"); err != nil {
+				return nil, err
+			}
+			if err := p.expect("RULES"); err != nil {
+				return nil, err
+			}
+			return &ShowRules{Kind: "binding"}, nil
+		case "BROADCAST":
+			p.pos++
+			if err := p.expect("TABLE"); err != nil {
+				return nil, err
+			}
+			if err := p.expect("RULES"); err != nil {
+				return nil, err
+			}
+			return &ShowRules{Kind: "broadcast"}, nil
+		case "RESOURCES":
+			p.pos++
+			return &ShowResources{}, nil
+		case "STATUS":
+			p.pos++
+			return &ShowStatus{}, nil
+		case "VARIABLE":
+			p.pos++
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return &ShowVariable{Name: strings.ToLower(name)}, nil
+		}
+		return nil, fmt.Errorf("distsql: unsupported SHOW target %q", p.cur().Val)
+	case "RESHARD":
+		p.pos++
+		if p.word() == "SHARDING" {
+			p.pos++ // tolerate RESHARD SHARDING TABLE ...
+		}
+		if err := p.expect("TABLE"); err != nil {
+			return nil, err
+		}
+		table, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		rule, err := p.parseRuleBody(table, true)
+		if err != nil {
+			return nil, err
+		}
+		return &Reshard{Rule: rule}, nil
+	case "SET":
+		p.pos++
+		if err := p.expect("VARIABLE"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		v, err := p.value()
+		if err != nil {
+			return nil, err
+		}
+		return &SetVariable{Name: strings.ToLower(name), Value: v}, nil
+	}
+	return nil, fmt.Errorf("%w: %q", ErrNotDistSQL, p.sql)
+}
+
+// parseShardingRule parses the body after CREATE/ALTER SHARDING.
+func (p *parser) parseShardingRule(alter bool) (Statement, error) {
+	p.pos++ // SHARDING
+	if err := p.expect("TABLE"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("RULE"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return p.parseRuleBody(table, alter)
+}
+
+// parseRuleBody parses "(RESOURCES(...), SHARDING_COLUMN=..., TYPE=...,
+// PROPERTIES(...))" after the table name.
+func (p *parser) parseRuleBody(table string, alter bool) (*CreateShardingRule, error) {
+	stmt := &CreateShardingRule{Table: table, Alter: alter, Properties: map[string]string{}}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	for {
+		switch p.word() {
+		case "RESOURCES":
+			p.pos++
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			for {
+				r, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				stmt.Resources = append(stmt.Resources, r)
+				if !p.accept(",") {
+					break
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+		case "SHARDING_COLUMN":
+			p.pos++
+			if err := p.expect("="); err != nil {
+				return nil, err
+			}
+			c, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Column = c
+		case "TYPE":
+			p.pos++
+			if err := p.expect("="); err != nil {
+				return nil, err
+			}
+			v, err := p.value()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Type = v
+		case "PROPERTIES":
+			p.pos++
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			for {
+				k, err := p.value()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expect("="); err != nil {
+					return nil, err
+				}
+				v, err := p.value()
+				if err != nil {
+					return nil, err
+				}
+				stmt.Properties[strings.ToLower(k)] = v
+				if !p.accept(",") {
+					break
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("distsql: unexpected rule clause %q in %q", p.cur().Val, p.sql)
+		}
+		if !p.accept(",") {
+			break
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if len(stmt.Resources) == 0 || stmt.Column == "" || stmt.Type == "" {
+		return nil, fmt.Errorf("distsql: rule for %s needs RESOURCES, SHARDING_COLUMN and TYPE", table)
+	}
+	return stmt, nil
+}
+
+// parseBinding parses CREATE/DROP BINDING TABLE RULES (t1, t2, ...).
+func (p *parser) parseBinding(create bool) (Statement, error) {
+	p.pos++ // BINDING
+	if err := p.expect("TABLE"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("RULES"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var tables []string
+	for {
+		t, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, t)
+		if !p.accept(",") {
+			break
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if create {
+		return &CreateBinding{Tables: tables}, nil
+	}
+	return &DropBinding{Tables: tables}, nil
+}
+
+// parseBroadcast parses CREATE BROADCAST TABLE RULE t1 [, t2 ...].
+func (p *parser) parseBroadcast() (Statement, error) {
+	p.pos++ // BROADCAST
+	if err := p.expect("TABLE"); err != nil {
+		return nil, err
+	}
+	if err := p.expect("RULE"); err != nil {
+		return nil, err
+	}
+	var tables []string
+	for {
+		t, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, t)
+		if !p.accept(",") {
+			break
+		}
+	}
+	return &CreateBroadcast{Tables: tables}, nil
+}

@@ -1,0 +1,524 @@
+// Package exec implements the automatic execution engine (paper Section
+// VI-D). For each query it groups the rewritten SQL units by physical data
+// source, computes θ = ⌈NumSQL/MaxCon⌉ per source, and picks the
+// connection mode: θ > 1 forces CONNECTION_STRICTLY (each connection runs
+// several statements serially, results drain into memory so the
+// connection frees early — memory merger); θ ≤ 1 allows MEMORY_STRICTLY
+// (one connection per statement, cursors stay open — stream merger).
+// Connections for one query are acquired atomically per data source to
+// avoid the two-query deadlock the paper describes, with the two
+// lock-elision cases it lists (single connection, or memory mode).
+package exec
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"shardingsphere/internal/resource"
+	"shardingsphere/internal/rewrite"
+	"shardingsphere/internal/sqltypes"
+)
+
+// ConnectionMode is the per-data-source execution mode.
+type ConnectionMode uint8
+
+// Connection modes (paper Section VI-D).
+const (
+	MemoryStrictly     ConnectionMode = iota // stream merge, conn per SQL
+	ConnectionStrictly                       // memory merge, ≤ MaxCon conns
+)
+
+func (m ConnectionMode) String() string {
+	if m == ConnectionStrictly {
+		return "CONNECTION_STRICTLY"
+	}
+	return "MEMORY_STRICTLY"
+}
+
+// Options tunes the executor.
+type Options struct {
+	// MaxCon is the maximum connections one query may use per data source
+	// (the paper's maxConnectionsSizePerQuery). Default 1.
+	MaxCon int
+	// Serial forces sequential execution (used by transactions pinned to
+	// one connection per source).
+	Serial bool
+}
+
+// Listener observes statement execution; the governor wires monitoring
+// and circuit breaking through it (the paper's "event messages").
+type Listener func(dataSource, sql string, dur time.Duration, err error)
+
+// Executor runs rewritten SQL units against pooled data sources.
+type Executor struct {
+	sources map[string]*resource.DataSource
+	maxCon  int
+
+	lockMu  sync.Mutex
+	dsLocks map[string]*sync.Mutex
+
+	listener Listener
+}
+
+// New builds an executor over the named data sources.
+func New(sources map[string]*resource.DataSource, maxCon int) *Executor {
+	if maxCon <= 0 {
+		maxCon = 1
+	}
+	return &Executor{
+		sources: sources,
+		maxCon:  maxCon,
+		dsLocks: map[string]*sync.Mutex{},
+	}
+}
+
+// SetListener installs an execution observer.
+func (e *Executor) SetListener(l Listener) { e.listener = l }
+
+// MaxCon reports the configured per-query connection budget.
+func (e *Executor) MaxCon() int { return e.maxCon }
+
+// Source returns a data source by name.
+func (e *Executor) Source(name string) (*resource.DataSource, error) {
+	e.lockMu.Lock()
+	ds, ok := e.sources[name]
+	e.lockMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("exec: unknown data source %q", name)
+	}
+	return ds, nil
+}
+
+// Sources lists the data source names.
+func (e *Executor) Sources() []string {
+	e.lockMu.Lock()
+	defer e.lockMu.Unlock()
+	out := make([]string, 0, len(e.sources))
+	for n := range e.sources {
+		out = append(out, n)
+	}
+	return out
+}
+
+// AddSource registers a data source at runtime (DistSQL ADD RESOURCE).
+func (e *Executor) AddSource(ds *resource.DataSource) error {
+	e.lockMu.Lock()
+	defer e.lockMu.Unlock()
+	if _, dup := e.sources[ds.Name()]; dup {
+		return fmt.Errorf("exec: data source %q already registered", ds.Name())
+	}
+	e.sources[ds.Name()] = ds
+	return nil
+}
+
+// RemoveSource drops a data source (DistSQL DROP RESOURCE). It fails if
+// unknown; callers must ensure no rule still references it.
+func (e *Executor) RemoveSource(name string) error {
+	e.lockMu.Lock()
+	defer e.lockMu.Unlock()
+	ds, ok := e.sources[name]
+	if !ok {
+		return fmt.Errorf("exec: unknown data source %q", name)
+	}
+	delete(e.sources, name)
+	ds.Close()
+	return nil
+}
+
+func (e *Executor) dsLock(name string) *sync.Mutex {
+	e.lockMu.Lock()
+	defer e.lockMu.Unlock()
+	m, ok := e.dsLocks[name]
+	if !ok {
+		m = &sync.Mutex{}
+		e.dsLocks[name] = m
+	}
+	return m
+}
+
+func (e *Executor) observe(ds, sql string, start time.Time, err error) {
+	if e.listener != nil {
+		e.listener(ds, sql, time.Since(start), err)
+	}
+}
+
+// QueryResult is the outcome of executing a query statement: one result
+// set per SQL unit, in unit order, plus the connection modes used per data
+// source (surfaced for the MaxCon experiment and tests).
+type QueryResult struct {
+	Sets  []resource.ResultSet
+	Modes map[string]ConnectionMode
+}
+
+// HeldConns pins one connection per data source for the life of a
+// distributed transaction: every statement in the transaction for a given
+// source must ride the same connection.
+type HeldConns struct {
+	mu    sync.Mutex
+	conns map[string]*resource.PooledConn
+}
+
+// NewHeldConns returns an empty pinned-connection set.
+func NewHeldConns() *HeldConns {
+	return &HeldConns{conns: map[string]*resource.PooledConn{}}
+}
+
+// Get returns the pinned connection for ds, acquiring and pinning one on
+// first use.
+func (h *HeldConns) Get(e *Executor, ds string) (*resource.PooledConn, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if c, ok := h.conns[ds]; ok {
+		return c, nil
+	}
+	src, err := e.Source(ds)
+	if err != nil {
+		return nil, err
+	}
+	c, err := src.Acquire()
+	if err != nil {
+		return nil, err
+	}
+	h.conns[ds] = c
+	return c, nil
+}
+
+// Peek returns the pinned connection without acquiring.
+func (h *HeldConns) Peek(ds string) (*resource.PooledConn, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	c, ok := h.conns[ds]
+	return c, ok
+}
+
+// Each visits every pinned connection.
+func (h *HeldConns) Each(fn func(ds string, c *resource.PooledConn) error) error {
+	h.mu.Lock()
+	snapshot := make(map[string]*resource.PooledConn, len(h.conns))
+	for k, v := range h.conns {
+		snapshot[k] = v
+	}
+	h.mu.Unlock()
+	for ds, c := range snapshot {
+		if err := fn(ds, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sources lists the data sources with pinned connections.
+func (h *HeldConns) Sources() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]string, 0, len(h.conns))
+	for ds := range h.conns {
+		out = append(out, ds)
+	}
+	return out
+}
+
+// ReleaseAll returns every pinned connection to its pool.
+func (h *HeldConns) ReleaseAll() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for ds, c := range h.conns {
+		c.Release()
+		delete(h.conns, ds)
+	}
+}
+
+// group is the per-data-source execution plan.
+type group struct {
+	ds    string
+	units []int // indexes into the unit slice
+	mode  ConnectionMode
+	conns int
+}
+
+// plan groups units by data source and decides each group's mode.
+func (e *Executor) plan(units []rewrite.SQLUnit, held *HeldConns) []group {
+	order := []string{}
+	byDS := map[string][]int{}
+	for i, u := range units {
+		if _, ok := byDS[u.DataSource]; !ok {
+			order = append(order, u.DataSource)
+		}
+		byDS[u.DataSource] = append(byDS[u.DataSource], i)
+	}
+	out := make([]group, 0, len(order))
+	for _, ds := range order {
+		idxs := byDS[ds]
+		g := group{ds: ds, units: idxs}
+		if held != nil {
+			// Transactions ride a single pinned connection: always
+			// connection-strict with one connection.
+			g.mode = ConnectionStrictly
+			g.conns = 1
+		} else {
+			theta := (len(idxs) + e.maxCon - 1) / e.maxCon
+			if theta > 1 {
+				g.mode = ConnectionStrictly
+				g.conns = e.maxCon
+			} else {
+				g.mode = MemoryStrictly
+				g.conns = len(idxs)
+			}
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// Query executes query units and returns one result set per unit. When
+// held is non-nil the statements ride the transaction's pinned
+// connections (and drain to memory, since the connection must be reusable
+// immediately).
+func (e *Executor) Query(units []rewrite.SQLUnit, held *HeldConns) (*QueryResult, error) {
+	groups := e.plan(units, held)
+	res := &QueryResult{
+		Sets:  make([]resource.ResultSet, len(units)),
+		Modes: map[string]ConnectionMode{},
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(groups))
+	var mu sync.Mutex
+	for _, g := range groups {
+		res.Modes[g.ds] = g.mode
+		wg.Add(1)
+		go func(g group) {
+			defer wg.Done()
+			if err := e.runQueryGroup(units, g, held, res, &mu); err != nil {
+				errCh <- err
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		for _, rs := range res.Sets {
+			if rs != nil {
+				rs.Close()
+			}
+		}
+		return nil, err
+	}
+	return res, nil
+}
+
+func (e *Executor) runQueryGroup(units []rewrite.SQLUnit, g group, held *HeldConns, res *QueryResult, mu *sync.Mutex) error {
+	if held != nil {
+		conn, err := held.Get(e, g.ds)
+		if err != nil {
+			return err
+		}
+		for _, idx := range g.units {
+			u := units[idx]
+			start := time.Now()
+			rs, err := conn.Query(u.SQL, u.Args...)
+			e.observe(g.ds, u.SQL, start, err)
+			if err != nil {
+				return err
+			}
+			drained, err := drain(rs)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			res.Sets[idx] = drained
+			mu.Unlock()
+		}
+		return nil
+	}
+
+	src, err := e.Source(g.ds)
+	if err != nil {
+		return err
+	}
+	// Deadlock avoidance (paper VI-D): acquire all connections for this
+	// query atomically under the data source lock — except the two elision
+	// cases: a single connection (no hold-and-wait cycle possible) and
+	// connection-strict mode (connections release as soon as results are
+	// drained).
+	needLock := g.conns > 1 && g.mode == MemoryStrictly
+	if needLock {
+		l := e.dsLock(g.ds)
+		l.Lock()
+		defer l.Unlock()
+	}
+	conns := make([]*resource.PooledConn, 0, g.conns)
+	for i := 0; i < g.conns; i++ {
+		c, err := src.Acquire()
+		if err != nil {
+			for _, cc := range conns {
+				cc.Release()
+			}
+			return err
+		}
+		conns = append(conns, c)
+	}
+
+	// Distribute the group's units over the connections round-robin; each
+	// connection executes its share serially, connections run in parallel.
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(conns))
+	for ci, conn := range conns {
+		share := make([]int, 0, len(g.units)/len(conns)+1)
+		for ui := ci; ui < len(g.units); ui += len(conns) {
+			share = append(share, g.units[ui])
+		}
+		wg.Add(1)
+		go func(conn *resource.PooledConn, share []int) {
+			defer wg.Done()
+			streaming := false
+			for _, idx := range share {
+				u := units[idx]
+				start := time.Now()
+				rs, err := conn.Query(u.SQL, u.Args...)
+				e.observe(g.ds, u.SQL, start, err)
+				if err != nil {
+					errCh <- err
+					break
+				}
+				if g.mode == ConnectionStrictly {
+					drained, err := drain(rs)
+					if err != nil {
+						errCh <- err
+						break
+					}
+					mu.Lock()
+					res.Sets[idx] = drained
+					mu.Unlock()
+				} else {
+					// Memory-strict: hand the open cursor to the merger;
+					// the connection releases when the cursor closes.
+					wrapped := &connBoundSet{inner: rs, conn: conn}
+					streaming = true
+					mu.Lock()
+					res.Sets[idx] = wrapped
+					mu.Unlock()
+				}
+			}
+			if !streaming {
+				conn.Release()
+			}
+		}(conn, share)
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
+// drain materializes a result set so its connection can be reused. Both
+// connection implementations already return fully buffered sets, so the
+// common case is a free rewind rather than a row-by-row copy.
+func drain(rs resource.ResultSet) (resource.ResultSet, error) {
+	if s, ok := rs.(*resource.SliceResultSet); ok && s.OnClose == nil {
+		return s, nil
+	}
+	rows, err := resource.ReadAll(rs)
+	if err != nil {
+		return nil, err
+	}
+	return resource.NewSliceResultSet(rs.Columns(), rows), nil
+}
+
+// connBoundSet ties a connection's lifetime to its cursor: the stream
+// merger holds both until it finishes (paper: stream merger keeps one
+// connection per data node).
+type connBoundSet struct {
+	inner resource.ResultSet
+	conn  *resource.PooledConn
+	done  bool
+}
+
+func (s *connBoundSet) Columns() []string { return s.inner.Columns() }
+
+func (s *connBoundSet) Next() (sqltypes.Row, error) { return s.inner.Next() }
+
+func (s *connBoundSet) Close() error {
+	if s.done {
+		return nil
+	}
+	s.done = true
+	err := s.inner.Close()
+	s.conn.Release()
+	return err
+}
+
+// ExecuteUpdate runs DML/DDL units and returns the summed affected count
+// and the last insert id observed.
+func (e *Executor) ExecuteUpdate(units []rewrite.SQLUnit, held *HeldConns) (resource.ExecResult, error) {
+	groups := e.plan(units, held)
+	var total resource.ExecResult
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(groups))
+	for _, g := range groups {
+		wg.Add(1)
+		go func(g group) {
+			defer wg.Done()
+			var conn *resource.PooledConn
+			var err error
+			if held != nil {
+				conn, err = held.Get(e, g.ds)
+				if err != nil {
+					errCh <- err
+					return
+				}
+			} else {
+				src, err2 := e.Source(g.ds)
+				if err2 != nil {
+					errCh <- err2
+					return
+				}
+				conn, err = src.Acquire()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				defer conn.Release()
+			}
+			for _, idx := range g.units {
+				u := units[idx]
+				start := time.Now()
+				r, err := conn.Exec(u.SQL, u.Args...)
+				e.observe(g.ds, u.SQL, start, err)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				mu.Lock()
+				total.Affected += r.Affected
+				if r.LastInsertID != 0 {
+					total.LastInsertID = r.LastInsertID
+				}
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errCh)
+	if err := <-errCh; err != nil {
+		return resource.ExecResult{}, err
+	}
+	return total, nil
+}
+
+// Broadcast sends one statement to every data source (TCL fan-out and
+// governance commands).
+func (e *Executor) Broadcast(sql string, held *HeldConns) error {
+	var units []rewrite.SQLUnit
+	if held != nil {
+		for _, ds := range held.Sources() {
+			units = append(units, rewrite.SQLUnit{DataSource: ds, SQL: sql})
+		}
+	} else {
+		for _, ds := range e.Sources() {
+			units = append(units, rewrite.SQLUnit{DataSource: ds, SQL: sql})
+		}
+	}
+	_, err := e.ExecuteUpdate(units, held)
+	return err
+}

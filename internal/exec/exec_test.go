@@ -1,0 +1,329 @@
+package exec
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"shardingsphere/internal/resource"
+	"shardingsphere/internal/rewrite"
+	"shardingsphere/internal/sqltypes"
+	"shardingsphere/internal/storage"
+)
+
+// fixture builds two embedded data sources each holding table t with rows
+// keyed 0..9 (ds0) and 10..19 (ds1).
+func fixture(t *testing.T, poolSize int) *Executor {
+	t.Helper()
+	sources := map[string]*resource.DataSource{}
+	for d := 0; d < 2; d++ {
+		eng := storage.NewEngine(fmt.Sprintf("ds%d", d))
+		ds := resource.NewEmbedded(eng, &resource.Options{PoolSize: poolSize})
+		conn, err := ds.Acquire()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Exec("CREATE TABLE t (id INT PRIMARY KEY, v INT)"); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			id := d*10 + i
+			if _, err := conn.Exec(fmt.Sprintf("INSERT INTO t VALUES (%d, %d)", id, id%3)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		conn.Release()
+		sources[eng.Name()] = ds
+	}
+	return New(sources, 1)
+}
+
+func unitsFor(sqls map[string][]string) []rewrite.SQLUnit {
+	var out []rewrite.SQLUnit
+	for _, ds := range []string{"ds0", "ds1"} {
+		for _, s := range sqls[ds] {
+			out = append(out, rewrite.SQLUnit{DataSource: ds, SQL: s})
+		}
+	}
+	return out
+}
+
+func TestQueryAcrossSources(t *testing.T) {
+	e := fixture(t, 8)
+	res, err := e.Query(unitsFor(map[string][]string{
+		"ds0": {"SELECT * FROM t ORDER BY id"},
+		"ds1": {"SELECT * FROM t ORDER BY id"},
+	}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sets) != 2 {
+		t.Fatalf("sets: %d", len(res.Sets))
+	}
+	rows0, _ := resource.ReadAll(res.Sets[0])
+	rows1, _ := resource.ReadAll(res.Sets[1])
+	if len(rows0) != 10 || len(rows1) != 10 {
+		t.Fatalf("rows: %d %d", len(rows0), len(rows1))
+	}
+	// One SQL per source with MaxCon 1 → θ=1 → memory-strict (stream).
+	if res.Modes["ds0"] != MemoryStrictly {
+		t.Fatalf("mode: %v", res.Modes["ds0"])
+	}
+}
+
+func TestThetaSelectsConnectionStrict(t *testing.T) {
+	e := fixture(t, 8) // MaxCon = 1
+	// Two SQLs on one source with MaxCon=1 → θ=2 → connection-strict.
+	res, err := e.Query(unitsFor(map[string][]string{
+		"ds0": {"SELECT * FROM t WHERE id < 5", "SELECT * FROM t WHERE id >= 5"},
+	}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Modes["ds0"] != ConnectionStrictly {
+		t.Fatalf("mode: %v", res.Modes["ds0"])
+	}
+	n := 0
+	for _, rs := range res.Sets {
+		rows, _ := resource.ReadAll(rs)
+		n += len(rows)
+	}
+	if n != 10 {
+		t.Fatalf("rows: %d", n)
+	}
+}
+
+func TestMaxConRaisesParallelism(t *testing.T) {
+	sources := map[string]*resource.DataSource{}
+	eng := storage.NewEngine("ds0")
+	ds := resource.NewEmbedded(eng, &resource.Options{PoolSize: 8})
+	conn, _ := ds.Acquire()
+	conn.Exec("CREATE TABLE t (id INT PRIMARY KEY)")
+	conn.Exec("INSERT INTO t VALUES (1), (2), (3), (4)")
+	conn.Release()
+	sources["ds0"] = ds
+	e := New(sources, 4)
+	units := unitsFor(map[string][]string{
+		"ds0": {
+			"SELECT * FROM t WHERE id = 1", "SELECT * FROM t WHERE id = 2",
+			"SELECT * FROM t WHERE id = 3", "SELECT * FROM t WHERE id = 4",
+		},
+	})
+	res, err := e.Query(units, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 SQLs / MaxCon 4 → θ=1 → memory-strict.
+	if res.Modes["ds0"] != MemoryStrictly {
+		t.Fatalf("mode: %v", res.Modes["ds0"])
+	}
+	for _, rs := range res.Sets {
+		rows, _ := resource.ReadAll(rs)
+		if len(rows) != 1 {
+			t.Fatalf("rows: %v", rows)
+		}
+	}
+}
+
+func TestStreamSetHoldsConnection(t *testing.T) {
+	e := fixture(t, 1) // pool of exactly 1 per source
+	res, err := e.Query(unitsFor(map[string][]string{
+		"ds0": {"SELECT * FROM t"},
+	}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, _ := e.Source("ds0")
+	// The cursor holds the only pooled connection.
+	if _, ok := src.TryAcquire(); ok {
+		t.Fatal("stream cursor should pin the connection")
+	}
+	res.Sets[0].Close()
+	c, ok := src.TryAcquire()
+	if !ok {
+		t.Fatal("connection not released on cursor close")
+	}
+	c.Release()
+}
+
+func TestExecuteUpdateAggregates(t *testing.T) {
+	e := fixture(t, 4)
+	res, err := e.ExecuteUpdate(unitsFor(map[string][]string{
+		"ds0": {"UPDATE t SET v = 99 WHERE id < 5"},
+		"ds1": {"UPDATE t SET v = 99 WHERE id >= 15"},
+	}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Affected != 10 {
+		t.Fatalf("affected: %d", res.Affected)
+	}
+}
+
+func TestQueryErrorPropagates(t *testing.T) {
+	e := fixture(t, 4)
+	_, err := e.Query(unitsFor(map[string][]string{
+		"ds0": {"SELECT * FROM missing_table"},
+	}), nil)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	_, err = e.ExecuteUpdate(unitsFor(map[string][]string{
+		"ds1": {"UPDATE missing SET x = 1"},
+	}), nil)
+	if err == nil {
+		t.Fatal("want update error")
+	}
+}
+
+func TestUnknownDataSource(t *testing.T) {
+	e := fixture(t, 4)
+	_, err := e.Query([]rewrite.SQLUnit{{DataSource: "nope", SQL: "SELECT 1"}}, nil)
+	if err == nil {
+		t.Fatal("want unknown source error")
+	}
+}
+
+func TestHeldConnsPinning(t *testing.T) {
+	e := fixture(t, 4)
+	held := NewHeldConns()
+	c1, err := held.Get(e, "ds0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := held.Get(e, "ds0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Fatal("held conns must pin per source")
+	}
+	if got := held.Sources(); len(got) != 1 || got[0] != "ds0" {
+		t.Fatalf("sources: %v", got)
+	}
+	// Transactional execution rides the pinned conn serially.
+	if _, err := c1.Exec("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Query(unitsFor(map[string][]string{
+		"ds0": {"SELECT * FROM t WHERE id = 1"},
+	}), held)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := resource.ReadAll(res.Sets[0])
+	if len(rows) != 1 {
+		t.Fatalf("tx query rows: %v", rows)
+	}
+	if res.Modes["ds0"] != ConnectionStrictly {
+		t.Fatalf("tx mode: %v", res.Modes["ds0"])
+	}
+	if _, err := c1.Exec("ROLLBACK"); err != nil {
+		t.Fatal(err)
+	}
+	held.ReleaseAll()
+	if got := held.Sources(); len(got) != 0 {
+		t.Fatalf("release all: %v", got)
+	}
+}
+
+func TestListenerObservesExecutions(t *testing.T) {
+	e := fixture(t, 4)
+	var count atomic.Int64
+	e.SetListener(func(ds, sql string, dur time.Duration, err error) {
+		count.Add(1)
+	})
+	e.Query(unitsFor(map[string][]string{
+		"ds0": {"SELECT * FROM t"},
+		"ds1": {"SELECT * FROM t"},
+	}), nil)
+	if count.Load() != 2 {
+		t.Fatalf("listener calls: %d", count.Load())
+	}
+}
+
+func TestBroadcast(t *testing.T) {
+	e := fixture(t, 4)
+	if err := e.Broadcast("CREATE TABLE b (id INT PRIMARY KEY)", nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Query(unitsFor(map[string][]string{
+		"ds0": {"SELECT COUNT(*) FROM b"},
+		"ds1": {"SELECT COUNT(*) FROM b"},
+	}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rs := range res.Sets {
+		rows, _ := resource.ReadAll(rs)
+		if rows[0][0].I != 0 {
+			t.Fatalf("broadcast table: %v", rows)
+		}
+	}
+}
+
+func TestParallelQueriesNoDeadlock(t *testing.T) {
+	// Two concurrent multi-SQL queries against a pool of 2 in stream mode:
+	// atomic acquisition prevents the A-has-1-waits-2 / B-has-2-waits-1
+	// deadlock from the paper.
+	sources := map[string]*resource.DataSource{}
+	eng := storage.NewEngine("ds0")
+	ds := resource.NewEmbedded(eng, &resource.Options{
+		PoolSize:       2,
+		AcquireTimeout: 2 * time.Second,
+	})
+	conn, _ := ds.Acquire()
+	conn.Exec("CREATE TABLE t (id INT PRIMARY KEY)")
+	conn.Exec("INSERT INTO t VALUES (1), (2)")
+	conn.Release()
+	sources["ds0"] = ds
+	e := New(sources, 2)
+
+	units := unitsFor(map[string][]string{
+		"ds0": {"SELECT * FROM t WHERE id = 1", "SELECT * FROM t WHERE id = 2"},
+	})
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 20; j++ {
+				res, err := e.Query(units, nil)
+				if err != nil {
+					done <- err
+					return
+				}
+				for _, rs := range res.Sets {
+					resource.ReadAll(rs)
+				}
+			}
+			done <- nil
+		}()
+	}
+	deadline := time.After(20 * time.Second)
+	for i := 0; i < 8; i++ {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-deadline:
+			t.Fatal("deadlock: workers did not finish")
+		}
+	}
+}
+
+func TestArgsPassThrough(t *testing.T) {
+	e := fixture(t, 4)
+	res, err := e.Query([]rewrite.SQLUnit{{
+		DataSource: "ds0",
+		SQL:        "SELECT * FROM t WHERE id = ?",
+		Args:       []sqltypes.Value{sqltypes.NewInt(3)},
+	}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, _ := resource.ReadAll(res.Sets[0])
+	if len(rows) != 1 || rows[0][0].I != 3 {
+		t.Fatalf("args: %v", rows)
+	}
+}

@@ -1,0 +1,366 @@
+// Package encrypt implements transparent column encryption (paper Section
+// IV-C): configured columns are encrypted before statements route to the
+// data sources and decrypted in merged results, so applications read and
+// write plaintext while the stored data is ciphertext.
+//
+// The cipher is AES-128 in a deterministic (ECB-like, per-block) mode:
+// deterministic ciphertext is what keeps equality predicates — and
+// therefore sharding routes — working on encrypted columns, the same
+// trade-off ShardingSphere's default AES encryptor makes.
+package encrypt
+
+import (
+	"crypto/aes"
+	"crypto/sha256"
+	"encoding/base64"
+	"fmt"
+	"strings"
+
+	"shardingsphere/internal/resource"
+	"shardingsphere/internal/sqlparser"
+	"shardingsphere/internal/sqltypes"
+)
+
+// Encryptor encrypts and decrypts one column's values.
+type Encryptor interface {
+	Encrypt(plain string) string
+	Decrypt(cipher string) (string, error)
+}
+
+// AESEncryptor is the deterministic AES encryptor.
+type AESEncryptor struct {
+	key [16]byte
+}
+
+// NewAES derives a 128-bit key from the passphrase.
+func NewAES(passphrase string) *AESEncryptor {
+	sum := sha256.Sum256([]byte(passphrase))
+	e := &AESEncryptor{}
+	copy(e.key[:], sum[:16])
+	return e
+}
+
+// Encrypt returns base64(AES-ECB(pkcs7(plain))).
+func (e *AESEncryptor) Encrypt(plain string) string {
+	block, _ := aes.NewCipher(e.key[:])
+	data := pkcs7Pad([]byte(plain), aes.BlockSize)
+	out := make([]byte, len(data))
+	for i := 0; i < len(data); i += aes.BlockSize {
+		block.Encrypt(out[i:i+aes.BlockSize], data[i:i+aes.BlockSize])
+	}
+	return base64.StdEncoding.EncodeToString(out)
+}
+
+// Decrypt reverses Encrypt.
+func (e *AESEncryptor) Decrypt(cipher string) (string, error) {
+	raw, err := base64.StdEncoding.DecodeString(cipher)
+	if err != nil {
+		return "", fmt.Errorf("encrypt: bad ciphertext: %w", err)
+	}
+	if len(raw) == 0 || len(raw)%aes.BlockSize != 0 {
+		return "", fmt.Errorf("encrypt: ciphertext length %d", len(raw))
+	}
+	block, _ := aes.NewCipher(e.key[:])
+	out := make([]byte, len(raw))
+	for i := 0; i < len(raw); i += aes.BlockSize {
+		block.Decrypt(out[i:i+aes.BlockSize], raw[i:i+aes.BlockSize])
+	}
+	return string(pkcs7Unpad(out)), nil
+}
+
+func pkcs7Pad(data []byte, size int) []byte {
+	pad := size - len(data)%size
+	out := make([]byte, len(data)+pad)
+	copy(out, data)
+	for i := len(data); i < len(out); i++ {
+		out[i] = byte(pad)
+	}
+	return out
+}
+
+func pkcs7Unpad(data []byte) []byte {
+	if len(data) == 0 {
+		return data
+	}
+	pad := int(data[len(data)-1])
+	if pad <= 0 || pad > len(data) {
+		return data
+	}
+	return data[:len(data)-pad]
+}
+
+// ColumnRule marks one column of one logic table as encrypted.
+type ColumnRule struct {
+	Table     string
+	Column    string
+	Encryptor Encryptor
+}
+
+// Feature implements the kernel's StatementTransformer and
+// ResultDecorator hooks.
+type Feature struct {
+	// rules[tableLower][columnLower]
+	rules map[string]map[string]Encryptor
+}
+
+// New builds the feature from column rules.
+func New(rules ...ColumnRule) *Feature {
+	f := &Feature{rules: map[string]map[string]Encryptor{}}
+	for _, r := range rules {
+		t := strings.ToLower(r.Table)
+		if f.rules[t] == nil {
+			f.rules[t] = map[string]Encryptor{}
+		}
+		f.rules[t][strings.ToLower(r.Column)] = r.Encryptor
+	}
+	return f
+}
+
+// Name implements core.Feature.
+func (f *Feature) Name() string { return "encrypt" }
+
+func (f *Feature) encryptorFor(table, column string) (Encryptor, bool) {
+	cols, ok := f.rules[strings.ToLower(table)]
+	if !ok {
+		return nil, false
+	}
+	e, ok := cols[strings.ToLower(column)]
+	return e, ok
+}
+
+// columnOwner resolves which logic table a column reference belongs to
+// within the statement's scope; a single-table statement owns everything.
+func columnOwner(ref *sqlparser.ColumnRef, tables []sqlparser.TableRef) string {
+	if len(tables) == 1 {
+		return tables[0].Name
+	}
+	for _, t := range tables {
+		if ref.Table != "" && (strings.EqualFold(ref.Table, t.Name) || strings.EqualFold(ref.Table, t.Alias)) {
+			return t.Name
+		}
+	}
+	return ""
+}
+
+// TransformStatement encrypts literals bound to encrypted columns in
+// INSERT values, UPDATE SET lists and WHERE equality/IN predicates. The
+// statement is cloned before mutation (kernel statements are shared).
+func (f *Feature) TransformStatement(stmt sqlparser.Statement, args []sqltypes.Value) (sqlparser.Statement, []sqltypes.Value, error) {
+	switch t := stmt.(type) {
+	case *sqlparser.InsertStmt:
+		if f.rules[strings.ToLower(t.Table)] == nil {
+			return stmt, args, nil
+		}
+		clone := sqlparser.CloneStatement(t).(*sqlparser.InsertStmt)
+		args = cloneArgs(args)
+		for ci, col := range clone.Columns {
+			enc, ok := f.encryptorFor(clone.Table, col)
+			if !ok {
+				continue
+			}
+			for _, row := range clone.Rows {
+				if ci < len(row) {
+					if err := encryptExpr(&row[ci], enc, args); err != nil {
+						return nil, nil, err
+					}
+				}
+			}
+		}
+		return clone, args, nil
+	case *sqlparser.UpdateStmt:
+		if f.rules[strings.ToLower(t.Table)] == nil {
+			return stmt, args, nil
+		}
+		clone := sqlparser.CloneStatement(t).(*sqlparser.UpdateStmt)
+		args = cloneArgs(args)
+		for i := range clone.Set {
+			enc, ok := f.encryptorFor(clone.Table, clone.Set[i].Column)
+			if !ok {
+				continue
+			}
+			if err := encryptExpr(&clone.Set[i].Value, enc, args); err != nil {
+				return nil, nil, err
+			}
+		}
+		tables := []sqlparser.TableRef{{Name: clone.Table, Alias: clone.Alias}}
+		if err := f.encryptWhere(clone.Where, tables, args); err != nil {
+			return nil, nil, err
+		}
+		return clone, args, nil
+	case *sqlparser.DeleteStmt:
+		if f.rules[strings.ToLower(t.Table)] == nil {
+			return stmt, args, nil
+		}
+		clone := sqlparser.CloneStatement(t).(*sqlparser.DeleteStmt)
+		args = cloneArgs(args)
+		tables := []sqlparser.TableRef{{Name: clone.Table, Alias: clone.Alias}}
+		if err := f.encryptWhere(clone.Where, tables, args); err != nil {
+			return nil, nil, err
+		}
+		return clone, args, nil
+	case *sqlparser.SelectStmt:
+		if !f.touches(t) {
+			return stmt, args, nil
+		}
+		clone := sqlparser.CloneStatement(t).(*sqlparser.SelectStmt)
+		args = cloneArgs(args)
+		if err := f.encryptWhere(clone.Where, clone.From, args); err != nil {
+			return nil, nil, err
+		}
+		return clone, args, nil
+	default:
+		return stmt, args, nil
+	}
+}
+
+func (f *Feature) touches(sel *sqlparser.SelectStmt) bool {
+	for _, ref := range sel.From {
+		if f.rules[strings.ToLower(ref.Name)] != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// encryptWhere rewrites "col = literal" and "col IN (...)" predicates on
+// encrypted columns. Range predicates cannot work on ciphertext and are
+// rejected.
+func (f *Feature) encryptWhere(where sqlparser.Expr, tables []sqlparser.TableRef, args []sqltypes.Value) error {
+	var outerErr error
+	sqlparser.WalkExpr(where, func(e sqlparser.Expr) bool {
+		switch t := e.(type) {
+		case *sqlparser.BinaryExpr:
+			ref, ok := t.L.(*sqlparser.ColumnRef)
+			side := &t.R
+			if !ok {
+				ref, ok = t.R.(*sqlparser.ColumnRef)
+				side = &t.L
+			}
+			if !ok {
+				return true
+			}
+			owner := columnOwner(ref, tables)
+			enc, found := f.encryptorFor(owner, ref.Name)
+			if !found {
+				return true
+			}
+			switch t.Op {
+			case sqlparser.OpEQ, sqlparser.OpNE:
+				if err := encryptExpr(side, enc, args); err != nil {
+					outerErr = err
+					return false
+				}
+			case sqlparser.OpLT, sqlparser.OpLE, sqlparser.OpGT, sqlparser.OpGE:
+				outerErr = fmt.Errorf("encrypt: range predicate on encrypted column %s.%s", owner, ref.Name)
+				return false
+			}
+		case *sqlparser.InExpr:
+			ref, ok := t.E.(*sqlparser.ColumnRef)
+			if !ok {
+				return true
+			}
+			owner := columnOwner(ref, tables)
+			enc, found := f.encryptorFor(owner, ref.Name)
+			if !found {
+				return true
+			}
+			for i := range t.List {
+				if err := encryptExpr(&t.List[i], enc, args); err != nil {
+					outerErr = err
+					return false
+				}
+			}
+		case *sqlparser.LikeExpr:
+			ref, ok := t.E.(*sqlparser.ColumnRef)
+			if ok {
+				owner := columnOwner(ref, tables)
+				if _, found := f.encryptorFor(owner, ref.Name); found {
+					outerErr = fmt.Errorf("encrypt: LIKE on encrypted column %s.%s", owner, ref.Name)
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return outerErr
+}
+
+// encryptExpr replaces a literal in place, or encrypts the bound argument
+// of a placeholder (args were cloned by the caller).
+func encryptExpr(e *sqlparser.Expr, enc Encryptor, args []sqltypes.Value) error {
+	switch t := (*e).(type) {
+	case *sqlparser.Literal:
+		if t.Val.IsNull() {
+			return nil
+		}
+		*e = &sqlparser.Literal{Val: sqltypes.NewString(enc.Encrypt(t.Val.AsString()))}
+		return nil
+	case *sqlparser.Placeholder:
+		if t.Index < len(args) && !args[t.Index].IsNull() {
+			args[t.Index] = sqltypes.NewString(enc.Encrypt(args[t.Index].AsString()))
+		}
+		return nil
+	default:
+		return fmt.Errorf("encrypt: cannot encrypt non-literal expression %T", *e)
+	}
+}
+
+func cloneArgs(args []sqltypes.Value) []sqltypes.Value {
+	if args == nil {
+		return nil
+	}
+	return append([]sqltypes.Value(nil), args...)
+}
+
+// DecorateResult decrypts encrypted columns of a SELECT's merged rows by
+// matching result column names against the statement's tables.
+func (f *Feature) DecorateResult(stmt sqlparser.Statement, rs resource.ResultSet) (resource.ResultSet, error) {
+	sel, ok := stmt.(*sqlparser.SelectStmt)
+	if !ok || !f.touches(sel) {
+		return rs, nil
+	}
+	cols := rs.Columns()
+	decs := make([]Encryptor, len(cols))
+	found := false
+	for i, c := range cols {
+		for _, ref := range sel.From {
+			if enc, ok := f.encryptorFor(ref.Name, c); ok {
+				decs[i] = enc
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		return rs, nil
+	}
+	return &decryptSet{inner: rs, decs: decs}, nil
+}
+
+type decryptSet struct {
+	inner resource.ResultSet
+	decs  []Encryptor
+}
+
+func (s *decryptSet) Columns() []string { return s.inner.Columns() }
+
+func (s *decryptSet) Next() (sqltypes.Row, error) {
+	row, err := s.inner.Next()
+	if err != nil {
+		return nil, err
+	}
+	out := row.Clone()
+	for i, d := range s.decs {
+		if d == nil || i >= len(out) || out[i].IsNull() {
+			continue
+		}
+		plain, err := d.Decrypt(out[i].AsString())
+		if err != nil {
+			return nil, err
+		}
+		out[i] = sqltypes.NewString(plain)
+	}
+	return out, nil
+}
+
+func (s *decryptSet) Close() error { return s.inner.Close() }

@@ -1,0 +1,211 @@
+package encrypt
+
+import (
+	"strings"
+	"testing"
+
+	"shardingsphere/internal/resource"
+	"shardingsphere/internal/sqlparser"
+	"shardingsphere/internal/sqltypes"
+)
+
+func TestAESRoundTrip(t *testing.T) {
+	e := NewAES("secret-key")
+	for _, plain := range []string{"", "a", "hello world", "1234567890123456", "多字节字符"} {
+		c := e.Encrypt(plain)
+		if c == plain && plain != "" {
+			t.Fatalf("not encrypted: %q", c)
+		}
+		got, err := e.Decrypt(c)
+		if err != nil || got != plain {
+			t.Fatalf("round trip %q: %q %v", plain, got, err)
+		}
+	}
+	// Deterministic: equality predicates keep working.
+	if e.Encrypt("x") != e.Encrypt("x") {
+		t.Fatal("non-deterministic encryption breaks routing")
+	}
+	// Different keys, different ciphertext.
+	if NewAES("other").Encrypt("x") == e.Encrypt("x") {
+		t.Fatal("key ignored")
+	}
+	if _, err := e.Decrypt("!!!not-base64!!!"); err == nil {
+		t.Fatal("bad ciphertext accepted")
+	}
+}
+
+func newFeature() *Feature {
+	return New(ColumnRule{Table: "t_user", Column: "phone", Encryptor: NewAES("k")})
+}
+
+func parse(t *testing.T, sql string) sqlparser.Statement {
+	t.Helper()
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stmt
+}
+
+func TestInsertEncrypted(t *testing.T) {
+	f := newFeature()
+	stmt := parse(t, "INSERT INTO t_user (uid, phone) VALUES (1, '13800001111')")
+	out, _, err := f.TransformStatement(stmt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := out.(*sqlparser.InsertStmt)
+	cipher := ins.Rows[0][1].(*sqlparser.Literal).Val.S
+	if cipher == "13800001111" {
+		t.Fatal("not encrypted")
+	}
+	plain, err := NewAES("k").Decrypt(cipher)
+	if err != nil || plain != "13800001111" {
+		t.Fatalf("decrypt: %q %v", plain, err)
+	}
+	// Original statement untouched.
+	if stmt.(*sqlparser.InsertStmt).Rows[0][1].(*sqlparser.Literal).Val.S != "13800001111" {
+		t.Fatal("shared statement mutated")
+	}
+	// uid column untouched.
+	if ins.Rows[0][0].(*sqlparser.Literal).Val.I != 1 {
+		t.Fatal("unencrypted column changed")
+	}
+}
+
+func TestWhereEqualityEncrypted(t *testing.T) {
+	f := newFeature()
+	stmt := parse(t, "SELECT uid FROM t_user WHERE phone = '13800001111'")
+	out, _, err := f.TransformStatement(stmt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := out.(*sqlparser.SelectStmt)
+	lit := sel.Where.(*sqlparser.BinaryExpr).R.(*sqlparser.Literal)
+	if lit.Val.S == "13800001111" {
+		t.Fatal("where literal not encrypted")
+	}
+}
+
+func TestWherePlaceholderEncrypted(t *testing.T) {
+	f := newFeature()
+	stmt := parse(t, "SELECT uid FROM t_user WHERE phone = ?")
+	args := []sqltypes.Value{sqltypes.NewString("13800001111")}
+	_, outArgs, err := f.TransformStatement(stmt, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outArgs[0].S == "13800001111" {
+		t.Fatal("placeholder arg not encrypted")
+	}
+	// Caller's args untouched.
+	if args[0].S != "13800001111" {
+		t.Fatal("caller args mutated")
+	}
+}
+
+func TestInExpressionEncrypted(t *testing.T) {
+	f := newFeature()
+	stmt := parse(t, "SELECT uid FROM t_user WHERE phone IN ('a', 'b')")
+	out, _, err := f.TransformStatement(stmt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := out.(*sqlparser.SelectStmt).Where.(*sqlparser.InExpr)
+	if in.List[0].(*sqlparser.Literal).Val.S == "a" {
+		t.Fatal("IN literal not encrypted")
+	}
+}
+
+func TestRangeOnEncryptedColumnRejected(t *testing.T) {
+	f := newFeature()
+	stmt := parse(t, "SELECT uid FROM t_user WHERE phone > 'a'")
+	if _, _, err := f.TransformStatement(stmt, nil); err == nil {
+		t.Fatal("range on encrypted column accepted")
+	}
+	stmt = parse(t, "SELECT uid FROM t_user WHERE phone LIKE 'a%'")
+	if _, _, err := f.TransformStatement(stmt, nil); err == nil {
+		t.Fatal("LIKE on encrypted column accepted")
+	}
+}
+
+func TestUpdateSetEncrypted(t *testing.T) {
+	f := newFeature()
+	stmt := parse(t, "UPDATE t_user SET phone = '222' WHERE phone = '111'")
+	out, _, err := f.TransformStatement(stmt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := out.(*sqlparser.UpdateStmt)
+	if up.Set[0].Value.(*sqlparser.Literal).Val.S == "222" {
+		t.Fatal("SET literal not encrypted")
+	}
+	if up.Where.(*sqlparser.BinaryExpr).R.(*sqlparser.Literal).Val.S == "111" {
+		t.Fatal("WHERE literal not encrypted")
+	}
+}
+
+func TestUnrelatedTablePassthrough(t *testing.T) {
+	f := newFeature()
+	stmt := parse(t, "SELECT * FROM other WHERE phone = 'x'")
+	out, _, err := f.TransformStatement(stmt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != stmt {
+		t.Fatal("unrelated statement cloned needlessly")
+	}
+}
+
+func TestDecorateResultDecrypts(t *testing.T) {
+	f := newFeature()
+	enc := NewAES("k")
+	stmt := parse(t, "SELECT uid, phone FROM t_user")
+	rs := resource.NewSliceResultSet([]string{"uid", "phone"}, []sqltypes.Row{
+		{sqltypes.NewInt(1), sqltypes.NewString(enc.Encrypt("13800001111"))},
+		{sqltypes.NewInt(2), sqltypes.Null},
+	})
+	out, err := f.DecorateResult(stmt, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := resource.ReadAll(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][1].S != "13800001111" {
+		t.Fatalf("not decrypted: %v", rows[0])
+	}
+	if !rows[1][1].IsNull() {
+		t.Fatal("NULL mangled")
+	}
+	if rows[0][0].I != 1 {
+		t.Fatal("plain column mangled")
+	}
+}
+
+func TestDecorateSkipsUnencryptedResult(t *testing.T) {
+	f := newFeature()
+	stmt := parse(t, "SELECT uid FROM t_user")
+	rs := resource.NewSliceResultSet([]string{"uid"}, nil)
+	out, err := f.DecorateResult(stmt, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != rs {
+		t.Fatal("needless decoration")
+	}
+}
+
+func TestPKCS7(t *testing.T) {
+	for n := 0; n < 40; n++ {
+		data := []byte(strings.Repeat("x", n))
+		padded := pkcs7Pad(data, 16)
+		if len(padded)%16 != 0 {
+			t.Fatalf("pad %d: len %d", n, len(padded))
+		}
+		if got := pkcs7Unpad(padded); string(got) != string(data) {
+			t.Fatalf("unpad %d: %q", n, got)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Package readwrite implements read-write splitting (paper Section IV-C):
+// a logical data source name expands to one primary and N replicas;
+// writes, locking reads and every statement inside a transaction go to the
+// primary, plain reads rotate across healthy replicas through a pluggable
+// load balancer.
+package readwrite
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+
+	"shardingsphere/internal/sqlparser"
+)
+
+// Balancer picks a replica index for the next read.
+type Balancer interface {
+	Pick(n int) int
+}
+
+// RoundRobin rotates evenly.
+type RoundRobin struct{ n atomic.Int64 }
+
+// Pick implements Balancer.
+func (b *RoundRobin) Pick(n int) int { return int(b.n.Add(1)-1) % n }
+
+// Random picks uniformly.
+type Random struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewRandom builds a seeded random balancer.
+func NewRandom(seed int64) *Random { return &Random{rng: rand.New(rand.NewSource(seed))} }
+
+// Pick implements Balancer.
+func (b *Random) Pick(n int) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.rng.Intn(n)
+}
+
+// Group is one read-write splitting group.
+type Group struct {
+	// Name is the logical data source name sharding rules reference.
+	Name string
+	// Primary receives writes and transactional statements.
+	Primary string
+	// Replicas receive plain reads.
+	Replicas []string
+	// Balancer defaults to round-robin.
+	Balancer Balancer
+
+	mu       sync.RWMutex
+	disabled map[string]bool
+}
+
+// Feature routes reads to replicas. It implements the kernel's
+// SourceResolver hook.
+type Feature struct {
+	groups map[string]*Group
+}
+
+// New builds the feature from groups.
+func New(groups ...*Group) (*Feature, error) {
+	f := &Feature{groups: map[string]*Group{}}
+	for _, g := range groups {
+		if g.Name == "" || g.Primary == "" {
+			return nil, fmt.Errorf("readwrite: group needs a name and a primary")
+		}
+		if g.Balancer == nil {
+			g.Balancer = &RoundRobin{}
+		}
+		g.disabled = map[string]bool{}
+		f.groups[g.Name] = g
+	}
+	return f, nil
+}
+
+// Name implements core.Feature.
+func (f *Feature) Name() string { return "readwrite-splitting" }
+
+// DisableReplica removes a replica from rotation (health detection calls
+// this when a replica dies); EnableReplica restores it.
+func (f *Feature) DisableReplica(group, replica string) {
+	if g, ok := f.groups[group]; ok {
+		g.mu.Lock()
+		g.disabled[replica] = true
+		g.mu.Unlock()
+	}
+}
+
+// EnableReplica restores a replica into rotation.
+func (f *Feature) EnableReplica(group, replica string) {
+	if g, ok := f.groups[group]; ok {
+		g.mu.Lock()
+		delete(g.disabled, replica)
+		g.mu.Unlock()
+	}
+}
+
+// ResolveSource implements the kernel hook: reads outside transactions go
+// to a healthy replica, everything else to the primary.
+func (f *Feature) ResolveSource(ds string, readOnly, inTx bool, stmt sqlparser.Statement) string {
+	g, ok := f.groups[ds]
+	if !ok {
+		return ds
+	}
+	if !readOnly || inTx {
+		return g.Primary
+	}
+	g.mu.RLock()
+	live := make([]string, 0, len(g.Replicas))
+	for _, r := range g.Replicas {
+		if !g.disabled[r] {
+			live = append(live, r)
+		}
+	}
+	g.mu.RUnlock()
+	if len(live) == 0 {
+		return g.Primary
+	}
+	return live[g.Balancer.Pick(len(live))]
+}

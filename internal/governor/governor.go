@@ -1,0 +1,379 @@
+// Package governor implements the Governor (paper Section V):
+// configuration management — persisting data-source metadata and sharding
+// rules in the coordination registry so every instance shares one
+// configuration — and health detection — registering instances as
+// ephemeral nodes, probing data sources periodically, and flipping
+// circuit breakers so the cluster keeps working when a source dies.
+package governor
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"shardingsphere/internal/exec"
+	"shardingsphere/internal/registry"
+	"shardingsphere/internal/sharding"
+)
+
+// Paths in the registry.
+const (
+	rulesPath     = "/config/rules"
+	bindingsPath  = "/config/bindings"
+	broadcastPath = "/config/broadcast"
+	defaultDSPath = "/config/default_datasource"
+	instancesPath = "/instances"
+	statusPath    = "/status/sources"
+)
+
+// Governor manages configuration and health for one cluster.
+type Governor struct {
+	reg  *registry.Registry
+	exec *exec.Executor
+
+	mu        sync.Mutex
+	breakers  map[string]*Breaker
+	lastState map[string]bool
+	listeners []func(ds string, up bool)
+	stopCh    chan struct{}
+	stopOnce  sync.Once
+
+	// BreakThreshold consecutive probe failures open a source's breaker;
+	// CoolDown is how long it stays open before a half-open retry.
+	BreakThreshold int
+	CoolDown       time.Duration
+}
+
+// New builds a governor over the registry and executor.
+func New(reg *registry.Registry, e *exec.Executor) *Governor {
+	return &Governor{
+		reg:            reg,
+		exec:           e,
+		breakers:       map[string]*Breaker{},
+		lastState:      map[string]bool{},
+		stopCh:         make(chan struct{}),
+		BreakThreshold: 3,
+		CoolDown:       5 * time.Second,
+	}
+}
+
+// --- configuration management (paper Section V-A) ---
+
+// ruleConfig is the persisted form of an AutoTable rule.
+type ruleConfig struct {
+	Spec  sharding.AutoTableSpec `json:"spec"`
+	Nodes []sharding.DataNode    `json:"nodes"`
+}
+
+// PersistRules stores the rule set in the registry. Only AutoTable rules
+// (the DistSQL-managed kind) carry enough configuration to round-trip;
+// programmatically built standard rules must be rebuilt by the embedding
+// application.
+func (g *Governor) PersistRules(rs *sharding.RuleSet) error {
+	for name, rule := range rs.Tables {
+		if rule.AutoSpec == nil {
+			continue
+		}
+		data, err := json.Marshal(ruleConfig{Spec: *rule.AutoSpec, Nodes: rule.DataNodes})
+		if err != nil {
+			return err
+		}
+		g.reg.Put(rulesPath+"/"+name, string(data))
+	}
+	bindings, err := json.Marshal(rs.BindingGroups)
+	if err != nil {
+		return err
+	}
+	g.reg.Put(bindingsPath, string(bindings))
+	var broadcast []string
+	for t := range rs.Broadcast {
+		broadcast = append(broadcast, t)
+	}
+	sort.Strings(broadcast)
+	bc, err := json.Marshal(broadcast)
+	if err != nil {
+		return err
+	}
+	g.reg.Put(broadcastPath, string(bc))
+	g.reg.Put(defaultDSPath, rs.DefaultDataSource)
+	return nil
+}
+
+// DropRule removes one persisted rule.
+func (g *Governor) DropRule(table string) {
+	g.reg.Delete(rulesPath + "/" + strings.ToLower(table))
+}
+
+// LoadRules rebuilds a rule set from the registry.
+func (g *Governor) LoadRules() (*sharding.RuleSet, error) {
+	return LoadRules(g.reg)
+}
+
+// LoadRules rebuilds a rule set from a registry; instances use it at
+// startup to adopt the cluster's shared configuration before their own
+// governor exists.
+func LoadRules(reg *registry.Registry) (*sharding.RuleSet, error) {
+	rs := sharding.NewRuleSet()
+	for path, raw := range reg.List(rulesPath) {
+		var cfg ruleConfig
+		if err := json.Unmarshal([]byte(raw), &cfg); err != nil {
+			return nil, fmt.Errorf("governor: bad rule at %s: %w", path, err)
+		}
+		rule, err := sharding.BuildAutoRule(cfg.Spec)
+		if err != nil {
+			return nil, err
+		}
+		rs.AddRule(rule)
+	}
+	if raw, _, err := reg.Get(bindingsPath); err == nil && raw != "" {
+		var groups [][]string
+		if err := json.Unmarshal([]byte(raw), &groups); err != nil {
+			return nil, err
+		}
+		for _, grp := range groups {
+			if len(grp) >= 2 {
+				if err := rs.AddBindingGroup(grp...); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if raw, _, err := reg.Get(broadcastPath); err == nil && raw != "" {
+		var tables []string
+		if err := json.Unmarshal([]byte(raw), &tables); err != nil {
+			return nil, err
+		}
+		for _, t := range tables {
+			rs.Broadcast[strings.ToLower(t)] = true
+		}
+	}
+	if raw, _, err := reg.Get(defaultDSPath); err == nil {
+		rs.DefaultDataSource = raw
+	}
+	return rs, nil
+}
+
+// --- instance registration & health detection (paper Section V-B) ---
+
+// RegisterInstance advertises a running instance (proxy or embedded
+// driver) as an ephemeral node; it disappears when the session closes.
+func (g *Governor) RegisterInstance(sess *registry.Session, id, kind string) error {
+	_, err := g.reg.PutEphemeral(sess, instancesPath+"/"+id, kind)
+	return err
+}
+
+// Instances lists the live instance ids.
+func (g *Governor) Instances() []string {
+	return g.reg.Children(instancesPath)
+}
+
+// breaker returns the per-source breaker, creating it lazily.
+func (g *Governor) breaker(ds string) *Breaker {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	b, ok := g.breakers[ds]
+	if !ok {
+		b = &Breaker{threshold: g.BreakThreshold, coolDown: g.CoolDown}
+		g.breakers[ds] = b
+	}
+	return b
+}
+
+// Allow implements the kernel's SourceGate: a statement may run on the
+// source only while its breaker is closed.
+func (g *Governor) Allow(ds string) bool {
+	return g.breaker(ds).Allow()
+}
+
+// BreakSource manually opens (true) or closes (false) a source's circuit
+// — the RAL circuit-breaking command.
+func (g *Governor) BreakSource(ds string, open bool) {
+	b := g.breaker(ds)
+	b.Force(open)
+	g.publishStatus(ds, !open)
+}
+
+// probe checks one source with a trivial query.
+func (g *Governor) probe(ds string) error {
+	src, err := g.exec.Source(ds)
+	if err != nil {
+		return err
+	}
+	conn, err := src.Acquire()
+	if err != nil {
+		return err
+	}
+	defer conn.Release()
+	rs, err := conn.Query("SELECT 1")
+	if err != nil {
+		return err
+	}
+	return rs.Close()
+}
+
+// Subscribe registers a callback invoked whenever a source's health flips
+// (the paper's "Governor would change the configurations automatically" —
+// e.g. the read-write splitting feature pulls dead replicas out of
+// rotation through it).
+func (g *Governor) Subscribe(fn func(ds string, up bool)) {
+	g.mu.Lock()
+	g.listeners = append(g.listeners, fn)
+	g.mu.Unlock()
+}
+
+func (g *Governor) publishStatus(ds string, up bool) {
+	status := "up"
+	if !up {
+		status = "down"
+	}
+	g.reg.Put(statusPath+"/"+ds, status)
+	g.mu.Lock()
+	prev, seen := g.lastState[ds]
+	g.lastState[ds] = up
+	listeners := append([]func(string, bool){}, g.listeners...)
+	g.mu.Unlock()
+	if !seen || prev != up {
+		for _, fn := range listeners {
+			fn(ds, up)
+		}
+	}
+}
+
+// CheckOnce probes every source once, updating breakers and published
+// status; it returns the sources currently down.
+func (g *Governor) CheckOnce() []string {
+	var down []string
+	for _, ds := range g.exec.Sources() {
+		b := g.breaker(ds)
+		err := g.probe(ds)
+		b.Observe(err)
+		up := b.Allow()
+		g.publishStatus(ds, up && err == nil)
+		if err != nil || !up {
+			down = append(down, ds)
+		}
+	}
+	sort.Strings(down)
+	return down
+}
+
+// StartHealthCheck launches the periodic health-detection loop.
+func (g *Governor) StartHealthCheck(interval time.Duration) {
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				g.CheckOnce()
+			case <-g.stopCh:
+				return
+			}
+		}
+	}()
+}
+
+// Stop terminates the health-check loop.
+func (g *Governor) Stop() { g.stopOnce.Do(func() { close(g.stopCh) }) }
+
+// SourceStatus reads the published status of a source.
+func (g *Governor) SourceStatus(ds string) string {
+	v, _, err := g.reg.Get(statusPath + "/" + ds)
+	if err != nil {
+		return "unknown"
+	}
+	return v
+}
+
+// --- circuit breaker ---
+
+// Breaker is a per-source circuit breaker: threshold consecutive failures
+// open it; after coolDown it half-opens and one success closes it again.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	coolDown  time.Duration
+	failures  int
+	openedAt  time.Time
+	open      bool
+	forced    bool
+}
+
+// Allow reports whether traffic may pass.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.forced {
+		return false
+	}
+	if !b.open {
+		return true
+	}
+	// Half-open after the cool-down: let one probe through.
+	return time.Since(b.openedAt) >= b.coolDown
+}
+
+// Observe records a probe or execution outcome.
+func (b *Breaker) Observe(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		b.failures = 0
+		b.open = false
+		return
+	}
+	b.failures++
+	if b.failures >= b.threshold && !b.open {
+		b.open = true
+		b.openedAt = time.Now()
+	}
+}
+
+// Force opens (true) or releases (false) the breaker manually.
+func (b *Breaker) Force(open bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.forced = open
+	if !open {
+		b.failures = 0
+		b.open = false
+	}
+}
+
+// --- throttling ---
+
+// RateLimiter is a token-bucket limiter; the proxy throttles inbound
+// statements with it (paper Section IV-C, "Throttling").
+type RateLimiter struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// NewRateLimiter builds a limiter admitting rate ops/second with the
+// given burst.
+func NewRateLimiter(rate float64, burst int) *RateLimiter {
+	return &RateLimiter{rate: rate, burst: float64(burst), tokens: float64(burst), last: time.Now()}
+}
+
+// Acquire takes one token, reporting whether the call is admitted.
+func (l *RateLimiter) Acquire() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := time.Now()
+	l.tokens += now.Sub(l.last).Seconds() * l.rate
+	if l.tokens > l.burst {
+		l.tokens = l.burst
+	}
+	l.last = now
+	if l.tokens < 1 {
+		return false
+	}
+	l.tokens--
+	return true
+}

@@ -1,0 +1,548 @@
+// Package merge implements the result merger (paper Section VI-E): it
+// combines the per-data-node result sets of one logical query into a
+// single result. Stream mergers (iteration, order-by via a priority
+// queue, ordered group-by) hold one cursor per node and never materialize
+// the full result; memory mergers (hash group-by, distinct) drain the
+// cursors first. Decorators re-apply pagination and strip the columns the
+// rewriter derived.
+package merge
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"shardingsphere/internal/resource"
+	"shardingsphere/internal/rewrite"
+	"shardingsphere/internal/sqltypes"
+)
+
+// Merge combines node results according to the rewriter's merge context.
+// It consumes the given result sets; the returned set must be closed.
+func Merge(results []resource.ResultSet, ctx *rewrite.SelectContext) (resource.ResultSet, error) {
+	if len(results) == 0 {
+		return resource.NewSliceResultSet(nil, nil), nil
+	}
+	if ctx == nil {
+		ctx = &rewrite.SelectContext{}
+	}
+	// Fast path: one node, nothing to post-process (the single-node
+	// optimization of Section VI-C makes this the common case).
+	if len(results) == 1 && ctx.Derived == 0 && ctx.Limit == nil && !needsGrouping(ctx) {
+		return results[0], nil
+	}
+
+	var merged resource.ResultSet
+	var err error
+	switch {
+	case needsGrouping(ctx) && len(ctx.GroupBy) == 0:
+		merged, err = mergeGlobalAggregates(results, ctx)
+	case needsGrouping(ctx) && ctx.GroupOrdered:
+		merged, err = newGroupStreamMerger(results, ctx)
+	case needsGrouping(ctx):
+		merged, err = mergeGroupsInMemory(results, ctx)
+	case len(ctx.OrderBy) > 0:
+		merged, err = newOrderedStreamMerger(results, ctx.OrderBy)
+	default:
+		merged = newIterationMerger(results)
+	}
+	if err != nil {
+		closeAll(results)
+		return nil, err
+	}
+	if ctx.Distinct && len(results) > 1 {
+		merged, err = dedupe(merged, ctx.Derived)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if ctx.Limit != nil {
+		skip := int64(0)
+		if ctx.Limit.Revised {
+			skip = ctx.Limit.Offset
+		}
+		merged = &limitSet{inner: merged, skip: skip, take: ctx.Limit.Count}
+	}
+	if ctx.Derived > 0 {
+		merged = &stripSet{inner: merged, derived: ctx.Derived}
+	}
+	return merged, nil
+}
+
+func needsGrouping(ctx *rewrite.SelectContext) bool {
+	return len(ctx.GroupBy) > 0 || len(ctx.Aggregates) > 0
+}
+
+func closeAll(results []resource.ResultSet) {
+	for _, rs := range results {
+		rs.Close()
+	}
+}
+
+// resolveKeys maps merge keys to concrete column indexes using the result
+// columns (name resolution for star projections).
+func resolveKeys(keys []rewrite.OrderKey, cols []string) ([]rewrite.OrderKey, error) {
+	out := make([]rewrite.OrderKey, len(keys))
+	for i, k := range keys {
+		if k.Index >= 0 {
+			out[i] = k
+			continue
+		}
+		found := -1
+		for j, c := range cols {
+			if strings.EqualFold(c, k.Name) {
+				found = j
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("merge: ordering column %q not in result %v", k.Name, cols)
+		}
+		out[i] = rewrite.OrderKey{Index: found, Name: k.Name, Desc: k.Desc}
+	}
+	return out, nil
+}
+
+func compareByKeys(a, b sqltypes.Row, keys []rewrite.OrderKey) int {
+	for _, k := range keys {
+		c := sqltypes.Compare(a[k.Index], b[k.Index])
+		if c != 0 {
+			if k.Desc {
+				return -c
+			}
+			return c
+		}
+	}
+	return 0
+}
+
+// --- iteration merger (paper VI-E case 1) ---
+
+type iterationSet struct {
+	results []resource.ResultSet
+	idx     int
+}
+
+func newIterationMerger(results []resource.ResultSet) resource.ResultSet {
+	return &iterationSet{results: results}
+}
+
+func (s *iterationSet) Columns() []string {
+	if len(s.results) == 0 {
+		return nil
+	}
+	return s.results[0].Columns()
+}
+
+func (s *iterationSet) Next() (sqltypes.Row, error) {
+	for s.idx < len(s.results) {
+		row, err := s.results[s.idx].Next()
+		if errors.Is(err, io.EOF) {
+			s.results[s.idx].Close()
+			s.idx++
+			continue
+		}
+		return row, err
+	}
+	return nil, io.EOF
+}
+
+func (s *iterationSet) Close() error {
+	for ; s.idx < len(s.results); s.idx++ {
+		s.results[s.idx].Close()
+	}
+	return nil
+}
+
+// --- order-by stream merger (paper VI-E case 2) ---
+
+// cursor is one node stream with its buffered head row.
+type cursor struct {
+	rs   resource.ResultSet
+	head sqltypes.Row
+}
+
+func (c *cursor) advance() (bool, error) {
+	row, err := c.rs.Next()
+	if errors.Is(err, io.EOF) {
+		c.rs.Close()
+		c.head = nil
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	c.head = row
+	return true, nil
+}
+
+// cursorHeap implements the multiway-merge priority queue the paper
+// resorts to.
+type cursorHeap struct {
+	cursors []*cursor
+	keys    []rewrite.OrderKey
+}
+
+func (h *cursorHeap) Len() int { return len(h.cursors) }
+func (h *cursorHeap) Less(i, j int) bool {
+	return compareByKeys(h.cursors[i].head, h.cursors[j].head, h.keys) < 0
+}
+func (h *cursorHeap) Swap(i, j int) { h.cursors[i], h.cursors[j] = h.cursors[j], h.cursors[i] }
+func (h *cursorHeap) Push(x any)    { h.cursors = append(h.cursors, x.(*cursor)) }
+func (h *cursorHeap) Pop() any {
+	old := h.cursors
+	n := len(old)
+	c := old[n-1]
+	h.cursors = old[:n-1]
+	return c
+}
+
+type orderedStreamSet struct {
+	h    *cursorHeap
+	cols []string
+}
+
+func newOrderedStreamMerger(results []resource.ResultSet, keys []rewrite.OrderKey) (resource.ResultSet, error) {
+	cols := results[0].Columns()
+	resolved, err := resolveKeys(keys, cols)
+	if err != nil {
+		return nil, err
+	}
+	h := &cursorHeap{keys: resolved}
+	for _, rs := range results {
+		c := &cursor{rs: rs}
+		ok, err := c.advance()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			h.cursors = append(h.cursors, c)
+		}
+	}
+	heap.Init(h)
+	return &orderedStreamSet{h: h, cols: cols}, nil
+}
+
+func (s *orderedStreamSet) Columns() []string { return s.cols }
+
+func (s *orderedStreamSet) Next() (sqltypes.Row, error) {
+	if s.h.Len() == 0 {
+		return nil, io.EOF
+	}
+	c := s.h.cursors[0]
+	row := c.head
+	ok, err := c.advance()
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		heap.Fix(s.h, 0)
+	} else {
+		heap.Pop(s.h)
+	}
+	return row, nil
+}
+
+func (s *orderedStreamSet) Close() error {
+	for _, c := range s.h.cursors {
+		c.rs.Close()
+	}
+	s.h.cursors = nil
+	return nil
+}
+
+// --- aggregate combination ---
+
+// combiner accumulates one output row from per-node partial rows.
+type combiner struct {
+	aggs []rewrite.AggregateItem
+	row  sqltypes.Row
+	// counts tracks non-null contributions per aggregate column for SUM.
+	started bool
+}
+
+func newCombiner(aggs []rewrite.AggregateItem) *combiner {
+	return &combiner{aggs: aggs}
+}
+
+func (c *combiner) add(row sqltypes.Row) {
+	if !c.started {
+		c.row = row.Clone()
+		c.started = true
+		return
+	}
+	for _, a := range c.aggs {
+		cur, nv := c.row[a.Index], row[a.Index]
+		switch a.Kind {
+		case rewrite.AggCount, rewrite.AggSum:
+			switch {
+			case nv.IsNull():
+			case cur.IsNull():
+				c.row[a.Index] = nv
+			default:
+				c.row[a.Index] = sqltypes.Add(cur, nv)
+			}
+		case rewrite.AggMax:
+			if cur.IsNull() || (!nv.IsNull() && sqltypes.Compare(nv, cur) > 0) {
+				c.row[a.Index] = nv
+			}
+		case rewrite.AggMin:
+			if cur.IsNull() || (!nv.IsNull() && sqltypes.Compare(nv, cur) < 0) {
+				c.row[a.Index] = nv
+			}
+		}
+	}
+}
+
+// finish recomputes AVG columns from their derived SUM/COUNT partials.
+func (c *combiner) finish() sqltypes.Row {
+	for _, a := range c.aggs {
+		if a.Kind != rewrite.AggAvg {
+			continue
+		}
+		sum, cnt := c.row[a.SumIndex], c.row[a.CountIndex]
+		if cnt.IsNull() || cnt.AsInt() == 0 || sum.IsNull() {
+			c.row[a.Index] = sqltypes.Null
+			continue
+		}
+		c.row[a.Index] = sqltypes.NewFloat(sum.AsFloat() / cnt.AsFloat())
+	}
+	return c.row
+}
+
+// mergeGlobalAggregates combines the single partial-aggregate row each
+// node returns for an ungrouped aggregate query.
+func mergeGlobalAggregates(results []resource.ResultSet, ctx *rewrite.SelectContext) (resource.ResultSet, error) {
+	cols := results[0].Columns()
+	comb := newCombiner(ctx.Aggregates)
+	for _, rs := range results {
+		rows, err := resource.ReadAll(rs)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range rows {
+			comb.add(row)
+		}
+	}
+	if !comb.started {
+		return resource.NewSliceResultSet(cols, nil), nil
+	}
+	return resource.NewSliceResultSet(cols, []sqltypes.Row{comb.finish()}), nil
+}
+
+// --- group-by stream merger (paper VI-E case 3, Fig. 7(a)) ---
+
+type groupStreamSet struct {
+	inner resource.ResultSet
+	ctx   *rewrite.SelectContext
+	keys  []rewrite.OrderKey
+	head  sqltypes.Row
+	done  bool
+}
+
+func newGroupStreamMerger(results []resource.ResultSet, ctx *rewrite.SelectContext) (resource.ResultSet, error) {
+	cols := results[0].Columns()
+	orderKeys := ctx.OrderBy
+	if len(orderKeys) == 0 {
+		orderKeys = ctx.GroupBy
+	}
+	inner, err := newOrderedStreamMerger(results, orderKeys)
+	if err != nil {
+		return nil, err
+	}
+	groupKeys, err := resolveKeys(ctx.GroupBy, cols)
+	if err != nil {
+		inner.Close()
+		return nil, err
+	}
+	return &groupStreamSet{inner: inner, ctx: ctx, keys: groupKeys}, nil
+}
+
+func (s *groupStreamSet) Columns() []string { return s.inner.Columns() }
+
+func (s *groupStreamSet) Next() (sqltypes.Row, error) {
+	if s.done {
+		return nil, io.EOF
+	}
+	if s.head == nil {
+		row, err := s.inner.Next()
+		if errors.Is(err, io.EOF) {
+			s.done = true
+			return nil, io.EOF
+		}
+		if err != nil {
+			return nil, err
+		}
+		s.head = row
+	}
+	comb := newCombiner(s.ctx.Aggregates)
+	comb.add(s.head)
+	for {
+		row, err := s.inner.Next()
+		if errors.Is(err, io.EOF) {
+			s.done = true
+			s.head = nil
+			return comb.finish(), nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if compareByKeys(row, s.head, s.keys) == 0 {
+			comb.add(row)
+			continue
+		}
+		s.head = row
+		return comb.finish(), nil
+	}
+}
+
+func (s *groupStreamSet) Close() error { return s.inner.Close() }
+
+// --- group-by memory merger (paper VI-E case 4, Fig. 7(b)) ---
+
+func mergeGroupsInMemory(results []resource.ResultSet, ctx *rewrite.SelectContext) (resource.ResultSet, error) {
+	cols := results[0].Columns()
+	groupKeys, err := resolveKeys(ctx.GroupBy, cols)
+	if err != nil {
+		closeAll(results)
+		return nil, err
+	}
+	groups := map[string]*combiner{}
+	var order []string
+	for _, rs := range results {
+		rows, err := resource.ReadAll(rs)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range rows {
+			var kb strings.Builder
+			for _, k := range groupKeys {
+				kb.WriteString(row[k.Index].AsString())
+				kb.WriteByte(0)
+				kb.WriteByte(byte(row[k.Index].Kind))
+			}
+			key := kb.String()
+			comb, ok := groups[key]
+			if !ok {
+				comb = newCombiner(ctx.Aggregates)
+				groups[key] = comb
+				order = append(order, key)
+			}
+			comb.add(row)
+		}
+	}
+	out := make([]sqltypes.Row, 0, len(groups))
+	for _, key := range order {
+		out = append(out, groups[key].finish())
+	}
+	// Apply ORDER BY in memory when requested.
+	if len(ctx.OrderBy) > 0 {
+		orderKeys, err := resolveKeys(ctx.OrderBy, cols)
+		if err != nil {
+			return nil, err
+		}
+		sortRows(out, orderKeys)
+	}
+	return resource.NewSliceResultSet(cols, out), nil
+}
+
+func sortRows(rows []sqltypes.Row, keys []rewrite.OrderKey) {
+	// Insertion sort is fine for the small grouped outputs; use stdlib
+	// sort for generality.
+	sortSlice(rows, func(a, b sqltypes.Row) bool {
+		return compareByKeys(a, b, keys) < 0
+	})
+}
+
+// --- distinct (memory) ---
+
+func dedupe(rs resource.ResultSet, derived int) (resource.ResultSet, error) {
+	cols := rs.Columns()
+	rows, err := resource.ReadAll(rs)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]struct{}{}
+	out := rows[:0]
+	for _, row := range rows {
+		visible := row
+		if derived > 0 && len(row) >= derived {
+			visible = row[:len(row)-derived]
+		}
+		var kb strings.Builder
+		for _, v := range visible {
+			kb.WriteString(v.AsString())
+			kb.WriteByte(0)
+			kb.WriteByte(byte(v.Kind))
+		}
+		key := kb.String()
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		out = append(out, row)
+	}
+	return resource.NewSliceResultSet(cols, out), nil
+}
+
+// --- decorators ---
+
+// limitSet re-applies pagination across the merged stream.
+type limitSet struct {
+	inner resource.ResultSet
+	skip  int64
+	take  int64
+	given int64
+}
+
+func (s *limitSet) Columns() []string { return s.inner.Columns() }
+
+func (s *limitSet) Next() (sqltypes.Row, error) {
+	for s.skip > 0 {
+		if _, err := s.inner.Next(); err != nil {
+			return nil, err
+		}
+		s.skip--
+	}
+	if s.given >= s.take {
+		return nil, io.EOF
+	}
+	row, err := s.inner.Next()
+	if err != nil {
+		return nil, err
+	}
+	s.given++
+	return row, nil
+}
+
+func (s *limitSet) Close() error { return s.inner.Close() }
+
+// stripSet removes the trailing derived columns before rows reach the
+// client.
+type stripSet struct {
+	inner   resource.ResultSet
+	derived int
+}
+
+func (s *stripSet) Columns() []string {
+	cols := s.inner.Columns()
+	if len(cols) >= s.derived {
+		return cols[:len(cols)-s.derived]
+	}
+	return cols
+}
+
+func (s *stripSet) Next() (sqltypes.Row, error) {
+	row, err := s.inner.Next()
+	if err != nil {
+		return nil, err
+	}
+	if len(row) >= s.derived {
+		return row[:len(row)-s.derived], nil
+	}
+	return row, nil
+}
+
+func (s *stripSet) Close() error { return s.inner.Close() }

@@ -1,0 +1,365 @@
+package merge
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"shardingsphere/internal/resource"
+	"shardingsphere/internal/rewrite"
+	"shardingsphere/internal/sqltypes"
+)
+
+func vi(n int64) sqltypes.Value  { return sqltypes.NewInt(n) }
+func vs(s string) sqltypes.Value { return sqltypes.NewString(s) }
+
+func rsOf(cols []string, rows ...sqltypes.Row) resource.ResultSet {
+	return resource.NewSliceResultSet(cols, rows)
+}
+
+func drain(t *testing.T, rs resource.ResultSet) []sqltypes.Row {
+	t.Helper()
+	rows, err := resource.ReadAll(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestIterationMerge(t *testing.T) {
+	cols := []string{"id"}
+	merged, err := Merge([]resource.ResultSet{
+		rsOf(cols, sqltypes.Row{vi(1)}, sqltypes.Row{vi(2)}),
+		rsOf(cols),
+		rsOf(cols, sqltypes.Row{vi(3)}),
+	}, &rewrite.SelectContext{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := drain(t, merged)
+	if len(rows) != 3 || rows[0][0].I != 1 || rows[2][0].I != 3 {
+		t.Fatalf("iteration: %v", rows)
+	}
+}
+
+func TestSingleNodePassthrough(t *testing.T) {
+	cols := []string{"id"}
+	in := rsOf(cols, sqltypes.Row{vi(9)})
+	merged, err := Merge([]resource.ResultSet{in}, &rewrite.SelectContext{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged != in {
+		t.Fatal("single node should pass through")
+	}
+	merged.Close()
+}
+
+func TestOrderByStreamMerge(t *testing.T) {
+	cols := []string{"id", "name"}
+	// Each node returns pre-sorted rows, as real data sources do.
+	merged, err := Merge([]resource.ResultSet{
+		rsOf(cols, sqltypes.Row{vi(1), vs("a")}, sqltypes.Row{vi(4), vs("d")}),
+		rsOf(cols, sqltypes.Row{vi(2), vs("b")}, sqltypes.Row{vi(3), vs("c")}, sqltypes.Row{vi(6), vs("f")}),
+		rsOf(cols, sqltypes.Row{vi(5), vs("e")}),
+	}, &rewrite.SelectContext{OrderBy: []rewrite.OrderKey{{Index: 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := drain(t, merged)
+	for i, r := range rows {
+		if r[0].I != int64(i+1) {
+			t.Fatalf("order merge: %v", rows)
+		}
+	}
+}
+
+func TestOrderByDescMerge(t *testing.T) {
+	cols := []string{"id"}
+	merged, err := Merge([]resource.ResultSet{
+		rsOf(cols, sqltypes.Row{vi(5)}, sqltypes.Row{vi(1)}),
+		rsOf(cols, sqltypes.Row{vi(4)}, sqltypes.Row{vi(2)}),
+	}, &rewrite.SelectContext{OrderBy: []rewrite.OrderKey{{Index: 0, Desc: true}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := drain(t, merged)
+	want := []int64{5, 4, 2, 1}
+	for i, r := range rows {
+		if r[0].I != want[i] {
+			t.Fatalf("desc merge: %v", rows)
+		}
+	}
+}
+
+func TestOrderByNameResolution(t *testing.T) {
+	cols := []string{"uid", "name"}
+	merged, err := Merge([]resource.ResultSet{
+		rsOf(cols, sqltypes.Row{vi(2), vs("b")}),
+		rsOf(cols, sqltypes.Row{vi(1), vs("a")}),
+	}, &rewrite.SelectContext{OrderBy: []rewrite.OrderKey{{Index: -1, Name: "NAME"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := drain(t, merged)
+	if rows[0][1].S != "a" {
+		t.Fatalf("name-resolved merge: %v", rows)
+	}
+	// Unknown name errors.
+	_, err = Merge([]resource.ResultSet{
+		rsOf(cols), rsOf(cols),
+	}, &rewrite.SelectContext{OrderBy: []rewrite.OrderKey{{Index: -1, Name: "zzz"}}})
+	if err == nil {
+		t.Fatal("unknown order column must fail")
+	}
+}
+
+func TestGlobalAggregateMerge(t *testing.T) {
+	cols := []string{"COUNT(*)", "SUM(x)", "MIN(x)", "MAX(x)"}
+	ctx := &rewrite.SelectContext{Aggregates: []rewrite.AggregateItem{
+		{Index: 0, Kind: rewrite.AggCount},
+		{Index: 1, Kind: rewrite.AggSum},
+		{Index: 2, Kind: rewrite.AggMin},
+		{Index: 3, Kind: rewrite.AggMax},
+	}}
+	merged, err := Merge([]resource.ResultSet{
+		rsOf(cols, sqltypes.Row{vi(2), vi(10), vi(3), vi(7)}),
+		rsOf(cols, sqltypes.Row{vi(3), vi(20), vi(1), vi(9)}),
+	}, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := drain(t, merged)
+	r := rows[0]
+	if r[0].I != 5 || r[1].I != 30 || r[2].I != 1 || r[3].I != 9 {
+		t.Fatalf("global agg: %v", r)
+	}
+}
+
+func TestGlobalAggregateWithNullPartials(t *testing.T) {
+	cols := []string{"SUM(x)"}
+	ctx := &rewrite.SelectContext{Aggregates: []rewrite.AggregateItem{{Index: 0, Kind: rewrite.AggSum}}}
+	merged, err := Merge([]resource.ResultSet{
+		rsOf(cols, sqltypes.Row{sqltypes.Null}),
+		rsOf(cols, sqltypes.Row{vi(5)}),
+	}, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := drain(t, merged)
+	if rows[0][0].I != 5 {
+		t.Fatalf("null partial: %v", rows)
+	}
+}
+
+func TestAvgRecomputedFromPartials(t *testing.T) {
+	// AVG at col 0, derived SUM at 1 and COUNT at 2 (as the rewriter lays
+	// them out).
+	cols := []string{"AVG(x)", "AVG_SUM_DERIVED_0", "AVG_COUNT_DERIVED_1"}
+	ctx := &rewrite.SelectContext{
+		Derived: 2,
+		Aggregates: []rewrite.AggregateItem{
+			{Index: 0, Kind: rewrite.AggAvg, SumIndex: 1, CountIndex: 2},
+			{Index: 1, Kind: rewrite.AggSum},
+			{Index: 2, Kind: rewrite.AggCount},
+		},
+	}
+	// Node 1: avg=2 over 3 rows (sum 6); node 2: avg=10 over 1 row.
+	// A naive average-of-averages would give 6; the true mean is 4.
+	merged, err := Merge([]resource.ResultSet{
+		rsOf(cols, sqltypes.Row{sqltypes.NewFloat(2), vi(6), vi(3)}),
+		rsOf(cols, sqltypes.Row{sqltypes.NewFloat(10), vi(10), vi(1)}),
+	}, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := drain(t, merged)
+	if len(rows) != 1 || rows[0][0].AsFloat() != 4 {
+		t.Fatalf("avg merge: %v", rows)
+	}
+	// Derived columns stripped.
+	if len(rows[0]) != 1 {
+		t.Fatalf("derived not stripped: %v", rows[0])
+	}
+	if got := merged.Columns(); len(got) != 1 {
+		t.Fatalf("derived columns visible: %v", got)
+	}
+}
+
+func TestGroupStreamMerge(t *testing.T) {
+	// Matches the paper's Fig. 7 walkthrough: per-node results are grouped
+	// and ordered by name; the stream merger combines groups that span
+	// nodes.
+	cols := []string{"name", "SUM(score)"}
+	ctx := &rewrite.SelectContext{
+		GroupBy:      []rewrite.OrderKey{{Index: 0}},
+		OrderBy:      []rewrite.OrderKey{{Index: 0}},
+		GroupOrdered: true,
+		Aggregates:   []rewrite.AggregateItem{{Index: 1, Kind: rewrite.AggSum}},
+	}
+	merged, err := Merge([]resource.ResultSet{
+		rsOf(cols, sqltypes.Row{vs("jerry"), vi(90)}, sqltypes.Row{vs("tom"), vi(80)}),
+		rsOf(cols, sqltypes.Row{vs("jerry"), vi(88)}, sqltypes.Row{vs("tony"), vi(100)}),
+	}, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := drain(t, merged)
+	if len(rows) != 3 {
+		t.Fatalf("groups: %v", rows)
+	}
+	if rows[0][0].S != "jerry" || rows[0][1].I != 178 {
+		t.Fatalf("jerry group: %v", rows[0])
+	}
+	if rows[1][0].S != "tom" || rows[1][1].I != 80 {
+		t.Fatalf("tom group: %v", rows[1])
+	}
+	if rows[2][0].S != "tony" || rows[2][1].I != 100 {
+		t.Fatalf("tony group: %v", rows[2])
+	}
+}
+
+func TestGroupMemoryMerge(t *testing.T) {
+	// Unordered node results (no injected ORDER BY) force the memory
+	// merger.
+	cols := []string{"name", "COUNT(*)"}
+	ctx := &rewrite.SelectContext{
+		GroupBy:    []rewrite.OrderKey{{Index: 0}},
+		Aggregates: []rewrite.AggregateItem{{Index: 1, Kind: rewrite.AggCount}},
+	}
+	merged, err := Merge([]resource.ResultSet{
+		rsOf(cols, sqltypes.Row{vs("b"), vi(1)}, sqltypes.Row{vs("a"), vi(2)}),
+		rsOf(cols, sqltypes.Row{vs("a"), vi(3)}),
+	}, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := drain(t, merged)
+	if len(rows) != 2 {
+		t.Fatalf("memory groups: %v", rows)
+	}
+	counts := map[string]int64{}
+	for _, r := range rows {
+		counts[r[0].S] = r[1].I
+	}
+	if counts["a"] != 5 || counts["b"] != 1 {
+		t.Fatalf("memory group sums: %v", counts)
+	}
+}
+
+func TestGroupMemoryMergeWithOrderBy(t *testing.T) {
+	cols := []string{"name", "SUM(x)"}
+	ctx := &rewrite.SelectContext{
+		GroupBy:    []rewrite.OrderKey{{Index: 0}},
+		OrderBy:    []rewrite.OrderKey{{Index: 1, Desc: true}},
+		Aggregates: []rewrite.AggregateItem{{Index: 1, Kind: rewrite.AggSum}},
+	}
+	merged, err := Merge([]resource.ResultSet{
+		rsOf(cols, sqltypes.Row{vs("a"), vi(1)}, sqltypes.Row{vs("b"), vi(10)}),
+		rsOf(cols, sqltypes.Row{vs("a"), vi(2)}),
+	}, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := drain(t, merged)
+	if rows[0][0].S != "b" || rows[1][1].I != 3 {
+		t.Fatalf("ordered memory groups: %v", rows)
+	}
+}
+
+func TestLimitDecorator(t *testing.T) {
+	cols := []string{"id"}
+	mk := func() []resource.ResultSet {
+		return []resource.ResultSet{
+			rsOf(cols, sqltypes.Row{vi(1)}, sqltypes.Row{vi(3)}, sqltypes.Row{vi(5)}),
+			rsOf(cols, sqltypes.Row{vi(2)}, sqltypes.Row{vi(4)}, sqltypes.Row{vi(6)}),
+		}
+	}
+	// Revised pagination: skip offset, take count.
+	ctx := &rewrite.SelectContext{
+		OrderBy: []rewrite.OrderKey{{Index: 0}},
+		Limit:   &rewrite.LimitInfo{Offset: 2, Count: 3, Revised: true},
+	}
+	merged, err := Merge(mk(), ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := drain(t, merged)
+	if len(rows) != 3 || rows[0][0].I != 3 || rows[2][0].I != 5 {
+		t.Fatalf("revised limit: %v", rows)
+	}
+	// Unrevised (offset 0): just cap the count.
+	ctx = &rewrite.SelectContext{
+		OrderBy: []rewrite.OrderKey{{Index: 0}},
+		Limit:   &rewrite.LimitInfo{Offset: 0, Count: 2},
+	}
+	merged, err = Merge(mk(), ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows = drain(t, merged)
+	if len(rows) != 2 || rows[1][0].I != 2 {
+		t.Fatalf("capped limit: %v", rows)
+	}
+}
+
+func TestLimitPastEnd(t *testing.T) {
+	cols := []string{"id"}
+	ctx := &rewrite.SelectContext{
+		Limit: &rewrite.LimitInfo{Offset: 10, Count: 5, Revised: true},
+	}
+	merged, err := Merge([]resource.ResultSet{
+		rsOf(cols, sqltypes.Row{vi(1)}),
+		rsOf(cols, sqltypes.Row{vi(2)}),
+	}, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := drain(t, merged)
+	if len(rows) != 0 {
+		t.Fatalf("past-end limit: %v", rows)
+	}
+}
+
+func TestDistinctMerge(t *testing.T) {
+	cols := []string{"age"}
+	ctx := &rewrite.SelectContext{Distinct: true}
+	merged, err := Merge([]resource.ResultSet{
+		rsOf(cols, sqltypes.Row{vi(25)}, sqltypes.Row{vi(30)}),
+		rsOf(cols, sqltypes.Row{vi(25)}, sqltypes.Row{vi(35)}),
+	}, ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := drain(t, merged)
+	if len(rows) != 3 {
+		t.Fatalf("distinct: %v", rows)
+	}
+}
+
+func TestMergeEmptyInput(t *testing.T) {
+	merged, err := Merge(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := merged.Next(); !errors.Is(err, io.EOF) {
+		t.Fatal("empty merge must EOF")
+	}
+}
+
+func TestIterationCloseMidway(t *testing.T) {
+	cols := []string{"id"}
+	merged, err := Merge([]resource.ResultSet{
+		rsOf(cols, sqltypes.Row{vi(1)}),
+		rsOf(cols, sqltypes.Row{vi(2)}),
+	}, &rewrite.SelectContext{Derived: 0, Limit: &rewrite.LimitInfo{Count: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := merged.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,12 @@
+package merge
+
+import (
+	"sort"
+
+	"shardingsphere/internal/sqltypes"
+)
+
+// sortSlice stable-sorts rows with the given less function.
+func sortSlice(rows []sqltypes.Row, less func(a, b sqltypes.Row) bool) {
+	sort.SliceStable(rows, func(i, j int) bool { return less(rows[i], rows[j]) })
+}

@@ -1,0 +1,285 @@
+// Package proxy implements the network server side of the wire protocol.
+// Run over a kernel it is "ShardingSphere-Proxy" (paper Section VII-A): a
+// standalone process applications of any language connect to as if it
+// were one database. Run over a single query processor it is a data node
+// server (cmd/datanode) — the stand-in for a networked MySQL instance.
+package proxy
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"shardingsphere/internal/core"
+	"shardingsphere/internal/protocol"
+	"shardingsphere/internal/sqlexec"
+	"shardingsphere/internal/sqltypes"
+)
+
+// BackendSession serves one client connection's statements.
+type BackendSession interface {
+	// Execute runs one statement; rows is nil for non-queries.
+	Execute(sql string, args []sqltypes.Value) (cols []string, rows []sqltypes.Row, affected, lastInsertID int64, err error)
+	Close()
+}
+
+// Backend creates per-connection sessions.
+type Backend interface {
+	NewBackendSession() BackendSession
+}
+
+// Limiter optionally throttles inbound statements (the governor's rate
+// limiter implements it).
+type Limiter interface {
+	Acquire() bool
+}
+
+// Server is a TCP server speaking the wire protocol.
+type Server struct {
+	backend Backend
+	limiter Limiter
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]struct{}
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer builds a server over the backend.
+func NewServer(backend Backend) *Server {
+	return &Server{backend: backend, conns: map[net.Conn]struct{}{}}
+}
+
+// SetLimiter installs a statement rate limiter.
+func (s *Server) SetLimiter(l Limiter) { s.limiter = l }
+
+// Listen binds the address and returns the bound address (useful with
+// ":0" for tests).
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	return ln.Addr().String(), nil
+}
+
+// Serve accepts connections until Close; it returns nil after Close.
+func (s *Server) Serve() error {
+	s.mu.Lock()
+	ln := s.listener
+	s.mu.Unlock()
+	if ln == nil {
+		return fmt.Errorf("proxy: Serve before Listen")
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+// Start is Listen+Serve on a goroutine; it returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	bound, err := s.Listen(addr)
+	if err != nil {
+		return "", err
+	}
+	go s.Serve()
+	return bound, nil
+}
+
+// Close stops accepting, closes every connection and waits for handlers.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	if s.listener != nil {
+		s.listener.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	sess := s.backend.NewBackendSession()
+	defer sess.Close()
+	r := bufio.NewReaderSize(conn, 64<<10)
+	w := bufio.NewWriterSize(conn, 64<<10)
+
+	for {
+		typ, payload, err := protocol.ReadFrame(r)
+		if err != nil {
+			return // client went away
+		}
+		switch typ {
+		case protocol.FrameQuit:
+			return
+		case protocol.FramePing:
+			if err := protocol.WriteFrame(w, protocol.FramePong, nil); err != nil {
+				return
+			}
+			if err := w.Flush(); err != nil {
+				return
+			}
+		case protocol.FrameQuery:
+			if s.limiter != nil && !s.limiter.Acquire() {
+				if err := s.reply(w, protocol.FrameError, protocol.EncodeError("proxy: throttled")); err != nil {
+					return
+				}
+				continue
+			}
+			sql, args, err := protocol.DecodeQuery(payload)
+			if err != nil {
+				s.reply(w, protocol.FrameError, protocol.EncodeError(err.Error()))
+				return
+			}
+			if err := s.runQuery(w, sess, sql, args); err != nil {
+				return
+			}
+		default:
+			if err := s.reply(w, protocol.FrameError, protocol.EncodeError("proxy: unknown frame")); err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) reply(w *bufio.Writer, typ byte, payload []byte) error {
+	if err := protocol.WriteFrame(w, typ, payload); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+func (s *Server) runQuery(w *bufio.Writer, sess BackendSession, sql string, args []sqltypes.Value) error {
+	cols, rows, affected, lastID, err := sess.Execute(sql, args)
+	if err != nil {
+		return s.reply(w, protocol.FrameError, protocol.EncodeError(err.Error()))
+	}
+	if cols == nil {
+		return s.reply(w, protocol.FrameOK, protocol.EncodeOK(affected, lastID))
+	}
+	if err := protocol.WriteFrame(w, protocol.FrameHeader, protocol.EncodeHeader(cols)); err != nil {
+		return err
+	}
+	for _, row := range rows {
+		if err := protocol.WriteFrame(w, protocol.FrameRow, protocol.EncodeRow(row)); err != nil {
+			return err
+		}
+	}
+	if err := protocol.WriteFrame(w, protocol.FrameEOF, nil); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+// --- backends ---
+
+// KernelBackend serves kernel sessions: the ShardingSphere-Proxy mode.
+type KernelBackend struct {
+	Kernel *core.Kernel
+}
+
+// NewBackendSession implements Backend.
+func (b *KernelBackend) NewBackendSession() BackendSession {
+	return &kernelSession{sess: b.Kernel.NewSession()}
+}
+
+type kernelSession struct {
+	sess *core.Session
+}
+
+func (ks *kernelSession) Execute(sql string, args []sqltypes.Value) ([]string, []sqltypes.Row, int64, int64, error) {
+	res, err := ks.sess.Execute(sql, args...)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	if !res.IsQuery() {
+		return nil, nil, res.Affected, res.LastInsertID, nil
+	}
+	defer res.Close()
+	cols := res.RS.Columns()
+	if cols == nil {
+		cols = []string{}
+	}
+	var rows []sqltypes.Row
+	for {
+		row, err := res.RS.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, nil, 0, 0, err
+		}
+		rows = append(rows, row)
+	}
+	return cols, rows, 0, 0, nil
+}
+
+func (ks *kernelSession) Close() { ks.sess.Close() }
+
+// NodeBackend serves plain query-processor sessions: the data node mode
+// (a stand-in networked MySQL).
+type NodeBackend struct {
+	Processor *sqlexec.Processor
+}
+
+// NewBackendSession implements Backend.
+func (b *NodeBackend) NewBackendSession() BackendSession {
+	return &nodeSession{sess: b.Processor.NewSession()}
+}
+
+type nodeSession struct {
+	sess *sqlexec.Session
+}
+
+func (ns *nodeSession) Execute(sql string, args []sqltypes.Value) ([]string, []sqltypes.Row, int64, int64, error) {
+	res, err := ns.sess.Execute(sql, args...)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	if !res.IsQuery() {
+		return nil, nil, res.Affected, res.LastInsertID, nil
+	}
+	cols := res.Columns
+	if cols == nil {
+		cols = []string{}
+	}
+	return cols, res.Rows, 0, 0, nil
+}
+
+func (ns *nodeSession) Close() { ns.sess.Close() }

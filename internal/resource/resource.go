@@ -1,0 +1,344 @@
+// Package resource abstracts the kernel's view of a data source: named
+// databases reached through pooled connections that execute SQL text and
+// stream result rows back. It is the Go analogue of the JDBC layer the
+// paper's kernel drives (Section VI-D): the execution engine acquires a
+// bounded number of connections per data source (MaxCon), and the choice
+// between holding cursors open (stream merge) and draining them into
+// memory (memory merge) happens against these interfaces.
+//
+// Two implementations exist: the embedded connection in this package,
+// which drives an in-process sqlexec session, and the remote connection in
+// package proxyclient, which speaks the wire protocol to a data node
+// server.
+package resource
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"shardingsphere/internal/sqlexec"
+	"shardingsphere/internal/sqlparser"
+	"shardingsphere/internal/sqltypes"
+	"shardingsphere/internal/storage"
+)
+
+// Errors returned by the resource layer.
+var (
+	ErrPoolExhausted = errors.New("resource: connection pool exhausted")
+	ErrConnClosed    = errors.New("resource: connection closed")
+)
+
+// ExecResult is the outcome of DML/DDL on a data source.
+type ExecResult struct {
+	Affected     int64
+	LastInsertID int64
+}
+
+// ResultSet is a cursor over one query result from one data source. Next
+// returns io.EOF after the last row. A ResultSet holds node resources (and
+// for pooled connections, the connection itself) until Close.
+type ResultSet interface {
+	Columns() []string
+	Next() (sqltypes.Row, error)
+	Close() error
+}
+
+// Conn is one connection to a data source. Conns carry session state
+// (open transactions), so a transaction must stay on one Conn. Conns are
+// not safe for concurrent use.
+type Conn interface {
+	// Query executes a statement that returns rows.
+	Query(sql string, args ...sqltypes.Value) (ResultSet, error)
+	// Exec executes a statement that returns no rows.
+	Exec(sql string, args ...sqltypes.Value) (ExecResult, error)
+	// Close releases the underlying session.
+	Close() error
+}
+
+// SliceResultSet adapts a materialized row set to the ResultSet interface.
+type SliceResultSet struct {
+	Cols []string
+	Data []sqltypes.Row
+	pos  int
+	// OnClose, if set, runs once when the set is closed (used by pooled
+	// connections to release the connection with the cursor).
+	OnClose func()
+	closed  bool
+}
+
+// NewSliceResultSet wraps columns and rows as a ResultSet.
+func NewSliceResultSet(cols []string, rows []sqltypes.Row) *SliceResultSet {
+	return &SliceResultSet{Cols: cols, Data: rows}
+}
+
+// Columns implements ResultSet.
+func (rs *SliceResultSet) Columns() []string { return rs.Cols }
+
+// Next implements ResultSet.
+func (rs *SliceResultSet) Next() (sqltypes.Row, error) {
+	if rs.pos >= len(rs.Data) {
+		return nil, io.EOF
+	}
+	row := rs.Data[rs.pos]
+	rs.pos++
+	return row, nil
+}
+
+// Close implements ResultSet.
+func (rs *SliceResultSet) Close() error {
+	if !rs.closed {
+		rs.closed = true
+		if rs.OnClose != nil {
+			rs.OnClose()
+		}
+	}
+	return nil
+}
+
+// ReadAll drains a result set into memory and closes it.
+func ReadAll(rs ResultSet) ([]sqltypes.Row, error) {
+	defer rs.Close()
+	var rows []sqltypes.Row
+	for {
+		row, err := rs.Next()
+		if errors.Is(err, io.EOF) {
+			return rows, nil
+		}
+		if err != nil {
+			return rows, err
+		}
+		rows = append(rows, row)
+	}
+}
+
+// --- embedded connection ---
+
+// embeddedConn drives an in-process query processor session, optionally
+// delaying each operation to model the network round trip a real data
+// source would cost.
+type embeddedConn struct {
+	sess    *sqlexec.Session
+	latency time.Duration
+	closed  bool
+}
+
+func (c *embeddedConn) delay() {
+	if c.latency > 0 {
+		time.Sleep(c.latency)
+	}
+}
+
+func (c *embeddedConn) Query(sql string, args ...sqltypes.Value) (ResultSet, error) {
+	if c.closed {
+		return nil, ErrConnClosed
+	}
+	c.delay()
+	res, err := c.sess.Execute(sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	if !res.IsQuery() {
+		return nil, fmt.Errorf("resource: %q returned no row set", sql)
+	}
+	return NewSliceResultSet(res.Columns, res.Rows), nil
+}
+
+func (c *embeddedConn) Exec(sql string, args ...sqltypes.Value) (ExecResult, error) {
+	if c.closed {
+		return ExecResult{}, ErrConnClosed
+	}
+	c.delay()
+	res, err := c.sess.Execute(sql, args...)
+	if err != nil {
+		return ExecResult{}, err
+	}
+	return ExecResult{Affected: res.Affected, LastInsertID: res.LastInsertID}, nil
+}
+
+func (c *embeddedConn) Close() error {
+	if !c.closed {
+		c.closed = true
+		c.sess.Close()
+	}
+	return nil
+}
+
+// --- data source ---
+
+// Options configures a DataSource.
+type Options struct {
+	// PoolSize bounds the total open connections (default 64).
+	PoolSize int
+	// AcquireTimeout bounds waits for a pooled connection (default 5s).
+	AcquireTimeout time.Duration
+	// Dialect selects the SQL dialect the source speaks.
+	Dialect sqlparser.Dialect
+	// Latency adds a per-operation delay on embedded connections,
+	// modelling the network round trip to a remote database.
+	Latency time.Duration
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{PoolSize: 64, AcquireTimeout: 5 * time.Second}
+	if o == nil {
+		return out
+	}
+	if o.PoolSize > 0 {
+		out.PoolSize = o.PoolSize
+	}
+	if o.AcquireTimeout > 0 {
+		out.AcquireTimeout = o.AcquireTimeout
+	}
+	out.Dialect = o.Dialect
+	out.Latency = o.Latency
+	return out
+}
+
+// ConnFactory creates raw connections for a DataSource.
+type ConnFactory func() (Conn, error)
+
+// DataSource is one named database with a connection pool.
+type DataSource struct {
+	name    string
+	dialect sqlparser.Dialect
+	factory ConnFactory
+	opts    Options
+
+	idle  chan Conn
+	slots chan struct{} // capacity tokens: one per open or openable conn
+}
+
+// NewDataSource builds a data source from a connection factory.
+func NewDataSource(name string, factory ConnFactory, opts *Options) *DataSource {
+	o := opts.withDefaults()
+	ds := &DataSource{
+		name:    name,
+		dialect: o.Dialect,
+		factory: factory,
+		opts:    o,
+		idle:    make(chan Conn, o.PoolSize),
+		slots:   make(chan struct{}, o.PoolSize),
+	}
+	for i := 0; i < o.PoolSize; i++ {
+		ds.slots <- struct{}{}
+	}
+	return ds
+}
+
+// NewEmbedded builds a data source over an in-process storage engine.
+func NewEmbedded(engine *storage.Engine, opts *Options) *DataSource {
+	o := opts.withDefaults()
+	proc := sqlexec.NewProcessor(engine)
+	return NewDataSource(engine.Name(), func() (Conn, error) {
+		return &embeddedConn{sess: proc.NewSession(), latency: o.Latency}, nil
+	}, &o)
+}
+
+// Name returns the data source name.
+func (ds *DataSource) Name() string { return ds.name }
+
+// Dialect returns the SQL dialect the source speaks.
+func (ds *DataSource) Dialect() sqlparser.Dialect { return ds.dialect }
+
+// PoolSize returns the configured pool capacity.
+func (ds *DataSource) PoolSize() int { return ds.opts.PoolSize }
+
+// Acquire returns a pooled connection, creating one if the pool has spare
+// capacity, or waiting until one is released.
+func (ds *DataSource) Acquire() (*PooledConn, error) {
+	// Fast path: an idle connection.
+	select {
+	case c := <-ds.idle:
+		return &PooledConn{Conn: c, ds: ds}, nil
+	default:
+	}
+	timer := time.NewTimer(ds.opts.AcquireTimeout)
+	defer timer.Stop()
+	select {
+	case c := <-ds.idle:
+		return &PooledConn{Conn: c, ds: ds}, nil
+	case <-ds.slots:
+		c, err := ds.factory()
+		if err != nil {
+			ds.slots <- struct{}{}
+			return nil, err
+		}
+		return &PooledConn{Conn: c, ds: ds}, nil
+	case <-timer.C:
+		return nil, fmt.Errorf("%w: %s (pool %d)", ErrPoolExhausted, ds.name, ds.opts.PoolSize)
+	}
+}
+
+// TryAcquire acquires a connection without blocking.
+func (ds *DataSource) TryAcquire() (*PooledConn, bool) {
+	select {
+	case c := <-ds.idle:
+		return &PooledConn{Conn: c, ds: ds}, true
+	default:
+	}
+	select {
+	case <-ds.slots:
+		c, err := ds.factory()
+		if err != nil {
+			ds.slots <- struct{}{}
+			return nil, false
+		}
+		return &PooledConn{Conn: c, ds: ds}, true
+	default:
+		return nil, false
+	}
+}
+
+// Close drains and closes idle connections. In-flight connections close
+// when released.
+func (ds *DataSource) Close() {
+	for {
+		select {
+		case c := <-ds.idle:
+			c.Close()
+		default:
+			return
+		}
+	}
+}
+
+// PooledConn is a connection checked out of a DataSource pool.
+type PooledConn struct {
+	Conn
+	ds       *DataSource
+	released bool
+	// Broken marks the connection unusable (protocol error); it is closed
+	// instead of pooled on release.
+	Broken bool
+}
+
+// Defuncter is implemented by connections that can report a transport
+// failure; the pool discards them on release instead of pooling.
+type Defuncter interface {
+	Defunct() bool
+}
+
+// Release returns the connection to the pool.
+func (pc *PooledConn) Release() {
+	if pc.released {
+		return
+	}
+	pc.released = true
+	if d, ok := pc.Conn.(Defuncter); ok && d.Defunct() {
+		pc.Broken = true
+	}
+	if pc.Broken {
+		pc.Conn.Close()
+		pc.ds.slots <- struct{}{}
+		return
+	}
+	select {
+	case pc.ds.idle <- pc.Conn:
+	default:
+		// Pool full (shouldn't happen given slot accounting); close.
+		pc.Conn.Close()
+		pc.ds.slots <- struct{}{}
+	}
+}

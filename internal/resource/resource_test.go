@@ -1,0 +1,220 @@
+package resource
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"shardingsphere/internal/sqltypes"
+	"shardingsphere/internal/storage"
+)
+
+func newDS(t *testing.T, opts *Options) *DataSource {
+	t.Helper()
+	e := storage.NewEngine("ds0")
+	ds := NewEmbedded(e, opts)
+	conn, err := ds.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Release()
+	if _, err := conn.Exec("CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR(20))"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Exec("INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c')"); err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestQueryAndExec(t *testing.T) {
+	ds := newDS(t, nil)
+	conn, err := ds.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Release()
+	rs, err := conn.Query("SELECT * FROM t WHERE id >= ?", sqltypes.NewInt(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := ReadAll(rs)
+	if err != nil || len(rows) != 2 {
+		t.Fatalf("rows: %v err: %v", rows, err)
+	}
+	res, err := conn.Exec("UPDATE t SET v = 'x' WHERE id = 1")
+	if err != nil || res.Affected != 1 {
+		t.Fatalf("exec: %+v %v", res, err)
+	}
+	// Query on an Exec statement errors.
+	if _, err := conn.Query("UPDATE t SET v = 'y'"); err == nil {
+		t.Fatal("Query of DML should fail")
+	}
+}
+
+func TestPoolReusesConnections(t *testing.T) {
+	ds := newDS(t, &Options{PoolSize: 1})
+	c1, err := ds.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := c1.Conn
+	c1.Release()
+	c2, err := ds.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Conn != inner {
+		t.Fatal("pool did not reuse the idle connection")
+	}
+	c2.Release()
+}
+
+func TestPoolExhaustion(t *testing.T) {
+	ds := newDS(t, &Options{PoolSize: 1, AcquireTimeout: 50 * time.Millisecond})
+	c1, err := ds.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.Acquire(); !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("want exhaustion, got %v", err)
+	}
+	if _, ok := ds.TryAcquire(); ok {
+		t.Fatal("TryAcquire should fail while pool is empty")
+	}
+	c1.Release()
+	c2, err := ds.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.Release()
+}
+
+func TestAcquireUnblocksOnRelease(t *testing.T) {
+	ds := newDS(t, &Options{PoolSize: 1, AcquireTimeout: 2 * time.Second})
+	c1, _ := ds.Acquire()
+	done := make(chan struct{})
+	go func() {
+		c2, err := ds.Acquire()
+		if err == nil {
+			c2.Release()
+		}
+		close(done)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	c1.Release()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("waiter not released")
+	}
+}
+
+func TestBrokenConnNotPooled(t *testing.T) {
+	ds := newDS(t, &Options{PoolSize: 1})
+	c1, _ := ds.Acquire()
+	inner := c1.Conn
+	c1.Broken = true
+	c1.Release()
+	c2, err := ds.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Conn == inner {
+		t.Fatal("broken connection was pooled")
+	}
+	c2.Release()
+}
+
+func TestDoubleReleaseIsSafe(t *testing.T) {
+	ds := newDS(t, &Options{PoolSize: 2})
+	c, _ := ds.Acquire()
+	c.Release()
+	c.Release() // must not panic or double-pool
+	c1, _ := ds.Acquire()
+	c2, _ := ds.Acquire()
+	c1.Release()
+	c2.Release()
+}
+
+func TestTransactionsPinnedToConn(t *testing.T) {
+	ds := newDS(t, nil)
+	c1, _ := ds.Acquire()
+	defer c1.Release()
+	c2, _ := ds.Acquire()
+	defer c2.Release()
+	if _, err := c1.Exec("BEGIN"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.Exec("UPDATE t SET v = 'tx' WHERE id = 1"); err != nil {
+		t.Fatal(err)
+	}
+	// c2 must not see the in-flight change.
+	rs, _ := c2.Query("SELECT v FROM t WHERE id = 1")
+	rows, _ := ReadAll(rs)
+	if rows[0][0].S != "a" {
+		t.Fatalf("dirty read across conns: %v", rows)
+	}
+	if _, err := c1.Exec("COMMIT"); err != nil {
+		t.Fatal(err)
+	}
+	rs, _ = c2.Query("SELECT v FROM t WHERE id = 1")
+	rows, _ = ReadAll(rs)
+	if rows[0][0].S != "tx" {
+		t.Fatalf("commit invisible: %v", rows)
+	}
+}
+
+func TestConcurrentAcquireRelease(t *testing.T) {
+	ds := newDS(t, &Options{PoolSize: 4})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				c, err := ds.Acquire()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				rs, err := c.Query("SELECT COUNT(*) FROM t")
+				if err != nil {
+					t.Error(err)
+					c.Release()
+					return
+				}
+				rows, _ := ReadAll(rs)
+				if rows[0][0].I != 3 {
+					t.Errorf("count: %v", rows)
+				}
+				c.Release()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestLatencyOption(t *testing.T) {
+	e := storage.NewEngine("slow")
+	ds := NewEmbedded(e, &Options{Latency: 10 * time.Millisecond})
+	c, _ := ds.Acquire()
+	defer c.Release()
+	start := time.Now()
+	c.Exec("CREATE TABLE t (id INT PRIMARY KEY)")
+	if time.Since(start) < 10*time.Millisecond {
+		t.Fatal("latency not applied")
+	}
+}
+
+func TestSliceResultSetOnClose(t *testing.T) {
+	called := 0
+	rs := NewSliceResultSet([]string{"a"}, nil)
+	rs.OnClose = func() { called++ }
+	rs.Close()
+	rs.Close()
+	if called != 1 {
+		t.Fatalf("OnClose called %d times", called)
+	}
+}

@@ -1,0 +1,317 @@
+package rewrite
+
+import (
+	"strings"
+	"testing"
+
+	"shardingsphere/internal/route"
+	"shardingsphere/internal/sharding"
+	"shardingsphere/internal/sqlparser"
+	"shardingsphere/internal/sqltypes"
+)
+
+func fixtureRouter(t *testing.T) *route.Router {
+	t.Helper()
+	rs := sharding.NewRuleSet()
+	rs.DefaultDataSource = "ds0"
+	for _, table := range []string{"t_user", "t_order"} {
+		rule, err := sharding.BuildAutoRule(sharding.AutoTableSpec{
+			LogicTable:     table,
+			Resources:      []string{"ds0", "ds1"},
+			ShardingColumn: "uid",
+			AlgorithmType:  "MOD",
+			ShardingCount:  2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs.AddRule(rule)
+	}
+	if err := rs.AddBindingGroup("t_user", "t_order"); err != nil {
+		t.Fatal(err)
+	}
+	return route.New(rs, []string{"ds0", "ds1"})
+}
+
+func rewriteSQL(t *testing.T, sql string, args ...sqltypes.Value) *Result {
+	t.Helper()
+	r := fixtureRouter(t)
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := r.Route(stmt, args, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(nil).Rewrite(stmt, rt, args)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestIdentifierRewrite(t *testing.T) {
+	res := rewriteSQL(t, "SELECT * FROM t_user WHERE uid = 3")
+	if len(res.Units) != 1 {
+		t.Fatalf("units: %+v", res.Units)
+	}
+	if !strings.Contains(res.Units[0].SQL, "t_user_1") {
+		t.Fatalf("table not renamed: %s", res.Units[0].SQL)
+	}
+	if strings.Contains(res.Units[0].SQL, "FROM t_user ") {
+		t.Fatalf("logic table leaked: %s", res.Units[0].SQL)
+	}
+}
+
+func TestBindingJoinRewrite(t *testing.T) {
+	res := rewriteSQL(t, "SELECT * FROM t_user u JOIN t_order o ON u.uid = o.uid WHERE u.uid IN (1, 2)")
+	if len(res.Units) != 2 {
+		t.Fatalf("units: %d", len(res.Units))
+	}
+	for _, u := range res.Units {
+		if strings.Contains(u.SQL, "t_user_0") && !strings.Contains(u.SQL, "t_order_0") {
+			t.Fatalf("binding rename misaligned: %s", u.SQL)
+		}
+		if strings.Contains(u.SQL, "t_user_1") && !strings.Contains(u.SQL, "t_order_1") {
+			t.Fatalf("binding rename misaligned: %s", u.SQL)
+		}
+	}
+}
+
+func TestDeriveOrderByColumn(t *testing.T) {
+	// The paper's example: "SELECT oid FROM t_order ORDER BY uid" must
+	// gain a derived uid column for the merger.
+	res := rewriteSQL(t, "SELECT name FROM t_user ORDER BY uid")
+	if res.Select.Derived != 1 {
+		t.Fatalf("derived: %d", res.Select.Derived)
+	}
+	sql := res.Units[0].SQL
+	if !strings.Contains(sql, "ORDER_BY_DERIVED_0") {
+		t.Fatalf("derived column missing: %s", sql)
+	}
+	if len(res.Select.OrderBy) != 1 || res.Select.OrderBy[0].Index != 1 {
+		t.Fatalf("order key: %+v", res.Select.OrderBy)
+	}
+}
+
+func TestNoDeriveWhenSelected(t *testing.T) {
+	res := rewriteSQL(t, "SELECT uid, name FROM t_user ORDER BY uid")
+	if res.Select.Derived != 0 {
+		t.Fatalf("unnecessary derivation: %+v", res.Select)
+	}
+	if res.Select.OrderBy[0].Index != 0 {
+		t.Fatalf("order key: %+v", res.Select.OrderBy)
+	}
+}
+
+func TestStarOrderByResolvesByName(t *testing.T) {
+	res := rewriteSQL(t, "SELECT * FROM t_user ORDER BY name DESC")
+	if res.Select.Derived != 0 {
+		t.Fatalf("star must not derive: %+v", res.Select)
+	}
+	key := res.Select.OrderBy[0]
+	if key.Index != -1 || key.Name != "name" || !key.Desc {
+		t.Fatalf("star order key: %+v", key)
+	}
+}
+
+func TestAvgDecomposition(t *testing.T) {
+	res := rewriteSQL(t, "SELECT AVG(age) FROM t_user")
+	sql := res.Units[0].SQL
+	if !strings.Contains(sql, "SUM(age)") || !strings.Contains(sql, "COUNT(age)") {
+		t.Fatalf("avg not decomposed: %s", sql)
+	}
+	if len(res.Select.Aggregates) != 3 { // AVG + derived SUM + derived COUNT
+		t.Fatalf("aggregates: %+v", res.Select.Aggregates)
+	}
+	avg := res.Select.Aggregates[0]
+	if avg.Kind != AggAvg || avg.SumIndex != 1 || avg.CountIndex != 2 {
+		t.Fatalf("avg item: %+v", avg)
+	}
+	if res.Select.Derived != 2 {
+		t.Fatalf("derived count: %d", res.Select.Derived)
+	}
+}
+
+func TestGroupByGainsOrderBy(t *testing.T) {
+	// Stream-merger optimization (paper VI-C "Optimization Rewrite").
+	res := rewriteSQL(t, "SELECT name, SUM(age) FROM t_user GROUP BY name")
+	sql := res.Units[0].SQL
+	if !strings.Contains(sql, "ORDER BY name") {
+		t.Fatalf("missing injected ORDER BY: %s", sql)
+	}
+	if !res.Select.GroupOrdered {
+		t.Fatal("GroupOrdered not set")
+	}
+	if len(res.Select.GroupBy) != 1 || res.Select.GroupBy[0].Index != 0 {
+		t.Fatalf("group keys: %+v", res.Select.GroupBy)
+	}
+}
+
+func TestGroupBySameOrderByStreams(t *testing.T) {
+	res := rewriteSQL(t, "SELECT name, SUM(age) FROM t_user GROUP BY name ORDER BY name")
+	if !res.Select.GroupOrdered {
+		t.Fatal("same group/order keys must stream")
+	}
+	res = rewriteSQL(t, "SELECT name, SUM(age) FROM t_user GROUP BY name ORDER BY SUM(age)")
+	if res.Select.GroupOrdered {
+		t.Fatal("different order key cannot stream-group")
+	}
+}
+
+func TestPaginationRevision(t *testing.T) {
+	res := rewriteSQL(t, "SELECT * FROM t_user ORDER BY uid LIMIT 20, 10")
+	sql := res.Units[0].SQL
+	if !strings.Contains(sql, "LIMIT 30") {
+		t.Fatalf("pagination not revised: %s", sql)
+	}
+	li := res.Select.Limit
+	if li == nil || !li.Revised || li.Offset != 20 || li.Count != 10 {
+		t.Fatalf("limit info: %+v", li)
+	}
+}
+
+func TestPaginationSingleNodeUntouched(t *testing.T) {
+	res := rewriteSQL(t, "SELECT * FROM t_user WHERE uid = 2 ORDER BY name LIMIT 20, 10")
+	sql := res.Units[0].SQL
+	if !strings.Contains(sql, "LIMIT 20, 10") {
+		t.Fatalf("single-node pagination rewritten: %s", sql)
+	}
+	if res.Select.Limit != nil {
+		t.Fatalf("single-node limit context should be nil: %+v", res.Select.Limit)
+	}
+	if res.Select.Derived != 0 {
+		t.Fatal("single-node query must not derive columns")
+	}
+}
+
+func TestPaginationPlaceholders(t *testing.T) {
+	res := rewriteSQL(t, "SELECT * FROM t_user ORDER BY uid LIMIT ?, ?",
+		sqltypes.NewInt(5), sqltypes.NewInt(3))
+	li := res.Select.Limit
+	if li == nil || li.Offset != 5 || li.Count != 3 {
+		t.Fatalf("placeholder limit: %+v", li)
+	}
+	if !strings.Contains(res.Units[0].SQL, "LIMIT 8") {
+		t.Fatalf("revised SQL: %s", res.Units[0].SQL)
+	}
+}
+
+func TestBatchedInsertSplit(t *testing.T) {
+	res := rewriteSQL(t, "INSERT INTO t_user (uid, name) VALUES (1, 'a'), (2, 'b'), (3, 'c')")
+	if len(res.Units) != 2 {
+		t.Fatalf("units: %d", len(res.Units))
+	}
+	for _, u := range res.Units {
+		if strings.Contains(u.SQL, "t_user_1") {
+			if !strings.Contains(u.SQL, "(1, 'a'), (3, 'c')") {
+				t.Fatalf("odd shard rows: %s", u.SQL)
+			}
+		} else {
+			if !strings.Contains(u.SQL, "(2, 'b')") || strings.Contains(u.SQL, "'a'") {
+				t.Fatalf("even shard rows: %s", u.SQL)
+			}
+		}
+	}
+}
+
+func TestInsertPlaceholderInlining(t *testing.T) {
+	res := rewriteSQL(t, "INSERT INTO t_user (uid, name) VALUES (?, ?), (?, ?)",
+		sqltypes.NewInt(1), sqltypes.NewString("a"),
+		sqltypes.NewInt(2), sqltypes.NewString("b"))
+	if len(res.Units) != 2 {
+		t.Fatalf("units: %d", len(res.Units))
+	}
+	for _, u := range res.Units {
+		if strings.Contains(u.SQL, "?") {
+			t.Fatalf("placeholders must be inlined on split insert: %s", u.SQL)
+		}
+		if u.Args != nil {
+			t.Fatalf("args must be cleared: %+v", u.Args)
+		}
+	}
+}
+
+func TestSingleUnitInsertKeepsArgs(t *testing.T) {
+	res := rewriteSQL(t, "INSERT INTO t_user (uid, name) VALUES (?, ?)",
+		sqltypes.NewInt(1), sqltypes.NewString("a"))
+	if len(res.Units) != 1 {
+		t.Fatalf("units: %d", len(res.Units))
+	}
+	if !strings.Contains(res.Units[0].SQL, "?") || len(res.Units[0].Args) != 2 {
+		t.Fatalf("single insert must keep placeholders: %s %v", res.Units[0].SQL, res.Units[0].Args)
+	}
+}
+
+func TestUpdateDeleteRewrite(t *testing.T) {
+	res := rewriteSQL(t, "UPDATE t_user SET name = 'x' WHERE uid = 3")
+	if len(res.Units) != 1 || !strings.Contains(res.Units[0].SQL, "t_user_1") {
+		t.Fatalf("update rewrite: %+v", res.Units)
+	}
+	res = rewriteSQL(t, "DELETE FROM t_user WHERE name = 'x'")
+	if len(res.Units) != 2 {
+		t.Fatalf("delete broadcast rewrite: %+v", res.Units)
+	}
+}
+
+func TestDDLRewrite(t *testing.T) {
+	res := rewriteSQL(t, "CREATE TABLE t_user (uid INT PRIMARY KEY, name VARCHAR(20))")
+	if len(res.Units) != 2 {
+		t.Fatalf("ddl units: %d", len(res.Units))
+	}
+	found := map[string]bool{}
+	for _, u := range res.Units {
+		for _, actual := range []string{"t_user_0", "t_user_1"} {
+			if strings.Contains(u.SQL, actual) {
+				found[actual] = true
+			}
+		}
+	}
+	if len(found) != 2 {
+		t.Fatalf("ddl renames: %+v", res.Units)
+	}
+}
+
+func TestDialectSerialization(t *testing.T) {
+	r := fixtureRouter(t)
+	stmt, _ := sqlparser.Parse("SELECT * FROM t_user ORDER BY uid LIMIT 5, 10")
+	rt, _ := r.Route(stmt, nil, nil)
+	rw := New(func(ds string) sqlparser.Dialect {
+		if ds == "ds1" {
+			return sqlparser.DialectPostgreSQL
+		}
+		return sqlparser.DialectMySQL
+	})
+	res, err := rw.Rewrite(stmt, rt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pagination was revised multi-node, so both dialects emit LIMIT 15,
+	// but the PG form never uses the "off, count" comma syntax.
+	for _, u := range res.Units {
+		if !strings.Contains(u.SQL, "LIMIT 15") {
+			t.Fatalf("revised limit: %s", u.SQL)
+		}
+	}
+
+	// Single-node routes keep the original pagination in each dialect.
+	stmt2, _ := sqlparser.Parse("SELECT * FROM t_user WHERE uid = 3 ORDER BY uid LIMIT 5, 10")
+	rt2, _ := r.Route(stmt2, nil, nil) // uid=3 → ds1 (PostgreSQL)
+	res2, err := rw.Rewrite(stmt2, rt2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res2.Units[0].SQL, "LIMIT 10 OFFSET 5") {
+		t.Fatalf("pg dialect: %s", res2.Units[0].SQL)
+	}
+	stmt3, _ := sqlparser.Parse("SELECT * FROM t_user WHERE uid = 2 ORDER BY uid LIMIT 5, 10")
+	rt3, _ := r.Route(stmt3, nil, nil) // uid=2 → ds0 (MySQL)
+	res3, err := rw.Rewrite(stmt3, rt3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res3.Units[0].SQL, "LIMIT 5, 10") {
+		t.Fatalf("mysql dialect: %s", res3.Units[0].SQL)
+	}
+}

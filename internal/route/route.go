@@ -1,0 +1,418 @@
+// Package route implements the SQL router (paper Section VI-B): it maps a
+// logical statement onto data nodes. Statements whose WHERE clause pins
+// the sharding key take the standard route (one or a few nodes); joins
+// between binding tables collapse to per-shard pairs; joins between
+// unrelated sharded tables fall back to the cartesian route; everything
+// else broadcasts.
+package route
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"shardingsphere/internal/sharding"
+	"shardingsphere/internal/sqlparser"
+	"shardingsphere/internal/sqltypes"
+)
+
+// Errors returned by the router.
+var (
+	ErrNoShardingValue = errors.New("route: INSERT without a sharding key value")
+	ErrUpdateSharding  = errors.New("route: updating the sharding key is not supported")
+	ErrCrossSource     = errors.New("route: cartesian join spans data sources; bind the tables or co-locate them")
+	ErrNoDataSource    = errors.New("route: statement routes to no data source")
+)
+
+// Kind labels which strategy produced a route, mirroring the paper's
+// taxonomy; experiments and EXPLAIN output surface it.
+type Kind uint8
+
+// Route kinds.
+const (
+	KindStandard Kind = iota
+	KindBinding
+	KindCartesian
+	KindBroadcast
+	KindDefault // unsharded statement to the default data source
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindStandard:
+		return "standard"
+	case KindBinding:
+		return "binding"
+	case KindCartesian:
+		return "cartesian"
+	case KindBroadcast:
+		return "broadcast"
+	default:
+		return "default"
+	}
+}
+
+// Unit is one rewritten-statement target: a data source plus the
+// logical→actual table mapping to apply there.
+type Unit struct {
+	DataSource string
+	TableMap   map[string]string
+	// RowIndexes carries, for a multi-row INSERT, which value tuples this
+	// unit receives (nil means all).
+	RowIndexes []int
+}
+
+// Result is the full route result.
+type Result struct {
+	Kind  Kind
+	Units []Unit
+}
+
+// SingleNode reports whether the route hit exactly one data node, which
+// unlocks the rewriter's single-node optimizations (paper Section VI-C).
+func (r *Result) SingleNode() bool { return len(r.Units) == 1 }
+
+// DataSources returns the distinct data sources touched, in unit order.
+func (r *Result) DataSources() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, u := range r.Units {
+		if !seen[u.DataSource] {
+			seen[u.DataSource] = true
+			out = append(out, u.DataSource)
+		}
+	}
+	return out
+}
+
+// Router routes statements against a rule set.
+type Router struct {
+	rules *sharding.RuleSet
+	// AllDataSources lists every known data source for DDL broadcast and
+	// broadcast tables.
+	allDataSources []string
+	// Columns optionally resolves a logic table's column order; INSERT
+	// statements without an explicit column list need it to locate the
+	// sharding key. The kernel wires its metadata service here.
+	Columns func(logicTable string) ([]string, error)
+}
+
+// New builds a router. allDataSources is the complete data source list
+// (used for broadcast routes).
+func New(rules *sharding.RuleSet, allDataSources []string) *Router {
+	return &Router{rules: rules, allDataSources: allDataSources}
+}
+
+// Rules exposes the rule set (read-only).
+func (r *Router) Rules() *sharding.RuleSet { return r.rules }
+
+// Route maps a statement to its units. hint optionally carries an
+// out-of-band sharding value for hint-based strategies.
+func (r *Router) Route(stmt sqlparser.Statement, args []sqltypes.Value, hint *sqltypes.Value) (*Result, error) {
+	switch t := stmt.(type) {
+	case *sqlparser.SelectStmt:
+		return r.routeSelect(t, args, hint)
+	case *sqlparser.InsertStmt:
+		return r.routeInsert(t, args, hint)
+	case *sqlparser.UpdateStmt:
+		return r.routeUpdate(t, args, hint)
+	case *sqlparser.DeleteStmt:
+		return r.routeWhereOnly(t.Table, t.Alias, t.Where, args, hint)
+	case *sqlparser.CreateTableStmt:
+		return r.routeDDL(t.Table)
+	case *sqlparser.DropTableStmt:
+		return r.routeDDL(t.Table)
+	case *sqlparser.TruncateStmt:
+		return r.routeDDL(t.Table)
+	case *sqlparser.CreateIndexStmt:
+		return r.routeDDL(t.Table)
+	default:
+		// TCL/XA/SET are handled by the kernel, not the router.
+		return nil, fmt.Errorf("route: statement %T is not routable", stmt)
+	}
+}
+
+// routeDDL fans DDL out to every node of a sharded table, or to the
+// default source for unsharded tables (paper: DDL broadcasts).
+func (r *Router) routeDDL(table string) (*Result, error) {
+	if rule, ok := r.rules.Rule(table); ok {
+		res := &Result{Kind: KindBroadcast}
+		for _, n := range rule.DataNodes {
+			res.Units = append(res.Units, Unit{
+				DataSource: n.DataSource,
+				TableMap:   map[string]string{rule.LogicTable: n.Table},
+			})
+		}
+		return res, nil
+	}
+	if r.rules.Broadcast[strings.ToLower(table)] {
+		res := &Result{Kind: KindBroadcast}
+		for _, ds := range r.allDataSources {
+			res.Units = append(res.Units, Unit{DataSource: ds, TableMap: map[string]string{}})
+		}
+		return res, nil
+	}
+	return r.defaultRoute()
+}
+
+func (r *Router) defaultRoute() (*Result, error) {
+	if r.rules.DefaultDataSource == "" {
+		return nil, fmt.Errorf("%w: no default data source configured", ErrNoDataSource)
+	}
+	return &Result{Kind: KindDefault, Units: []Unit{{DataSource: r.rules.DefaultDataSource, TableMap: map[string]string{}}}}, nil
+}
+
+// tableAliases maps reference names (alias or table name) to logic tables.
+type tableAliases map[string]string
+
+func aliasesOf(from []sqlparser.TableRef) tableAliases {
+	out := tableAliases{}
+	for _, ref := range from {
+		out[strings.ToLower(ref.Name)] = strings.ToLower(ref.Name)
+		if ref.Alias != "" {
+			out[strings.ToLower(ref.Alias)] = strings.ToLower(ref.Name)
+		}
+	}
+	return out
+}
+
+func (r *Router) routeSelect(stmt *sqlparser.SelectStmt, args []sqltypes.Value, hint *sqltypes.Value) (*Result, error) {
+	tables := sqlparser.TableNames(stmt)
+	var shardedTables []string
+	for _, t := range tables {
+		if r.rules.IsSharded(t) {
+			shardedTables = append(shardedTables, t)
+		}
+	}
+	if len(shardedTables) == 0 {
+		return r.defaultRoute()
+	}
+	aliases := aliasesOf(stmt.From)
+	// Conditions from WHERE and from all join ON clauses (equality on the
+	// sharding key in ON participates in routing).
+	conds := extractConditions(stmt.Where, args, aliases)
+	for _, ref := range stmt.From {
+		if ref.On != nil {
+			merge(conds, extractConditions(ref.On, args, aliases))
+		}
+	}
+
+	primary := shardedTables[0]
+	rule, _ := r.rules.Rule(primary)
+	nodes, err := rule.Route(condsFor(conds, primary, rule), hint)
+	if err != nil {
+		return nil, err
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNoDataSource, primary)
+	}
+	kind := KindStandard
+	if len(nodes) == len(rule.DataNodes) {
+		kind = KindBroadcast
+	}
+
+	if len(shardedTables) == 1 {
+		return unitsFromNodes(rule, nodes, kind), nil
+	}
+
+	// Multiple sharded tables: binding route if all bound, else cartesian.
+	if r.rules.AllBound(shardedTables) {
+		res := unitsFromNodes(rule, nodes, KindBinding)
+		for _, other := range shardedTables[1:] {
+			otherRule, _ := r.rules.Rule(other)
+			for i := range res.Units {
+				idx := rule.ShardIndex(res.Units[i].TableMap[rule.LogicTable])
+				if idx < 0 || idx >= len(otherRule.DataNodes) {
+					return nil, fmt.Errorf("route: binding tables %s and %s misaligned", primary, other)
+				}
+				res.Units[i].TableMap[otherRule.LogicTable] = otherRule.DataNodes[idx].Table
+			}
+		}
+		return res, nil
+	}
+	return r.cartesian(shardedTables, conds, hint)
+}
+
+// cartesian enumerates every combination of actual tables that share a
+// data source (paper Section VI-B: "Cartesian route").
+func (r *Router) cartesian(tables []string, conds map[string]map[string]sharding.Condition, hint *sqltypes.Value) (*Result, error) {
+	perTable := make([][]sharding.DataNode, len(tables))
+	for i, t := range tables {
+		rule, _ := r.rules.Rule(t)
+		nodes, err := rule.Route(condsFor(conds, t, rule), hint)
+		if err != nil {
+			return nil, err
+		}
+		perTable[i] = nodes
+	}
+	res := &Result{Kind: KindCartesian}
+	var build func(i int, ds string, acc map[string]string) error
+	build = func(i int, ds string, acc map[string]string) error {
+		if i == len(tables) {
+			m := make(map[string]string, len(acc))
+			for k, v := range acc {
+				m[k] = v
+			}
+			res.Units = append(res.Units, Unit{DataSource: ds, TableMap: m})
+			return nil
+		}
+		rule, _ := r.rules.Rule(tables[i])
+		matched := false
+		for _, n := range perTable[i] {
+			if ds != "" && n.DataSource != ds {
+				continue
+			}
+			matched = true
+			acc[rule.LogicTable] = n.Table
+			if err := build(i+1, n.DataSource, acc); err != nil {
+				return err
+			}
+			delete(acc, rule.LogicTable)
+		}
+		if !matched && ds != "" {
+			// This combination cannot be satisfied within one source; a
+			// real cross-source join would need federation.
+			return nil
+		}
+		return nil
+	}
+	if err := build(0, "", map[string]string{}); err != nil {
+		return nil, err
+	}
+	if len(res.Units) == 0 {
+		return nil, ErrCrossSource
+	}
+	return res, nil
+}
+
+func unitsFromNodes(rule *sharding.TableRule, nodes []sharding.DataNode, kind Kind) *Result {
+	res := &Result{Kind: kind}
+	for _, n := range nodes {
+		res.Units = append(res.Units, Unit{
+			DataSource: n.DataSource,
+			TableMap:   map[string]string{rule.LogicTable: n.Table},
+		})
+	}
+	return res
+}
+
+func (r *Router) routeInsert(stmt *sqlparser.InsertStmt, args []sqltypes.Value, hint *sqltypes.Value) (*Result, error) {
+	rule, ok := r.rules.Rule(stmt.Table)
+	if !ok {
+		if r.rules.Broadcast[strings.ToLower(stmt.Table)] {
+			res := &Result{Kind: KindBroadcast}
+			for _, ds := range r.allDataSources {
+				res.Units = append(res.Units, Unit{DataSource: ds, TableMap: map[string]string{}})
+			}
+			return res, nil
+		}
+		return r.defaultRoute()
+	}
+	cols := rule.ShardingColumns()
+	// Locate the sharding columns among the insert columns; a column-less
+	// INSERT uses the table's schema order from the metadata service.
+	insertCols := stmt.Columns
+	if len(insertCols) == 0 && r.Columns != nil {
+		resolved, err := r.Columns(stmt.Table)
+		if err != nil {
+			return nil, fmt.Errorf("route: cannot resolve columns of %s: %w", stmt.Table, err)
+		}
+		insertCols = resolved
+	}
+	positions := map[string]int{}
+	for i, c := range insertCols {
+		positions[strings.ToLower(c)] = i
+	}
+	type target struct {
+		node sharding.DataNode
+		rows []int
+	}
+	order := []string{}
+	targets := map[string]*target{}
+	env := evalEnv{args: args}
+	for rowIdx, row := range stmt.Rows {
+		conds := map[string]sharding.Condition{}
+		for _, col := range cols {
+			pos, ok := positions[col]
+			if !ok || pos >= len(row) {
+				if hint == nil {
+					return nil, fmt.Errorf("%w: table %s needs column %s", ErrNoShardingValue, stmt.Table, col)
+				}
+				continue
+			}
+			v, err := env.eval(row[pos])
+			if err != nil {
+				return nil, err
+			}
+			conds[col] = sharding.Condition{Values: []sqltypes.Value{v}}
+		}
+		nodes, err := rule.Route(conds, hint)
+		if err != nil {
+			return nil, err
+		}
+		if len(nodes) != 1 {
+			return nil, fmt.Errorf("%w: row %d of INSERT INTO %s maps to %d nodes",
+				ErrNoShardingValue, rowIdx, stmt.Table, len(nodes))
+		}
+		key := nodes[0].String()
+		tg, ok := targets[key]
+		if !ok {
+			tg = &target{node: nodes[0]}
+			targets[key] = tg
+			order = append(order, key)
+		}
+		tg.rows = append(tg.rows, rowIdx)
+	}
+	res := &Result{Kind: KindStandard}
+	for _, key := range order {
+		tg := targets[key]
+		res.Units = append(res.Units, Unit{
+			DataSource: tg.node.DataSource,
+			TableMap:   map[string]string{rule.LogicTable: tg.node.Table},
+			RowIndexes: tg.rows,
+		})
+	}
+	return res, nil
+}
+
+func (r *Router) routeUpdate(stmt *sqlparser.UpdateStmt, args []sqltypes.Value, hint *sqltypes.Value) (*Result, error) {
+	if rule, ok := r.rules.Rule(stmt.Table); ok {
+		for _, a := range stmt.Set {
+			for _, col := range rule.ShardingColumns() {
+				if strings.EqualFold(a.Column, col) {
+					return nil, fmt.Errorf("%w: %s.%s", ErrUpdateSharding, stmt.Table, col)
+				}
+			}
+		}
+	}
+	return r.routeWhereOnly(stmt.Table, stmt.Alias, stmt.Where, args, hint)
+}
+
+// routeWhereOnly routes single-table DML by its WHERE clause.
+func (r *Router) routeWhereOnly(table, alias string, where sqlparser.Expr, args []sqltypes.Value, hint *sqltypes.Value) (*Result, error) {
+	rule, ok := r.rules.Rule(table)
+	if !ok {
+		if r.rules.Broadcast[strings.ToLower(table)] {
+			res := &Result{Kind: KindBroadcast}
+			for _, ds := range r.allDataSources {
+				res.Units = append(res.Units, Unit{DataSource: ds, TableMap: map[string]string{}})
+			}
+			return res, nil
+		}
+		return r.defaultRoute()
+	}
+	aliases := tableAliases{strings.ToLower(table): strings.ToLower(table)}
+	if alias != "" {
+		aliases[strings.ToLower(alias)] = strings.ToLower(table)
+	}
+	conds := extractConditions(where, args, aliases)
+	nodes, err := rule.Route(condsFor(conds, table, rule), hint)
+	if err != nil {
+		return nil, err
+	}
+	kind := KindStandard
+	if len(nodes) == len(rule.DataNodes) {
+		kind = KindBroadcast
+	}
+	return unitsFromNodes(rule, nodes, kind), nil
+}

@@ -1,0 +1,324 @@
+package route
+
+import (
+	"errors"
+	"testing"
+
+	"shardingsphere/internal/sharding"
+	"shardingsphere/internal/sqlparser"
+	"shardingsphere/internal/sqltypes"
+)
+
+// fixture builds the paper's running example: t_user and t_order sharded
+// by uid%2 over ds0/ds1 (each source holding one actual table), bound
+// together; t_other sharded independently; t_dict broadcast; t_plain
+// unsharded on ds0.
+func fixture(t *testing.T, bind bool) *Router {
+	t.Helper()
+	rs := sharding.NewRuleSet()
+	rs.DefaultDataSource = "ds0"
+	rs.Broadcast["t_dict"] = true
+	for _, table := range []string{"t_user", "t_order", "t_other"} {
+		rule, err := sharding.BuildAutoRule(sharding.AutoTableSpec{
+			LogicTable:     table,
+			Resources:      []string{"ds0", "ds1"},
+			ShardingColumn: "uid",
+			AlgorithmType:  "MOD",
+			ShardingCount:  2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs.AddRule(rule)
+	}
+	if bind {
+		if err := rs.AddBindingGroup("t_user", "t_order"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return New(rs, []string{"ds0", "ds1"})
+}
+
+func parse(t *testing.T, sql string) sqlparser.Statement {
+	t.Helper()
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stmt
+}
+
+func routeSQL(t *testing.T, r *Router, sql string, args ...sqltypes.Value) *Result {
+	t.Helper()
+	res, err := r.Route(parse(t, sql), args, nil)
+	if err != nil {
+		t.Fatalf("route %q: %v", sql, err)
+	}
+	return res
+}
+
+func TestStandardRouteEquality(t *testing.T) {
+	r := fixture(t, true)
+	res := routeSQL(t, r, "SELECT * FROM t_user WHERE uid = 3")
+	if res.Kind != KindStandard || len(res.Units) != 1 {
+		t.Fatalf("route: %+v", res)
+	}
+	u := res.Units[0]
+	if u.DataSource != "ds1" || u.TableMap["t_user"] != "t_user_1" {
+		t.Fatalf("unit: %+v", u)
+	}
+	if !res.SingleNode() {
+		t.Fatal("single node expected")
+	}
+}
+
+func TestStandardRouteIn(t *testing.T) {
+	r := fixture(t, true)
+	// Paper example: uid IN (1, 2) hits both shards with the same SQL.
+	res := routeSQL(t, r, "SELECT * FROM t_user WHERE uid IN (1, 2)")
+	if len(res.Units) != 2 {
+		t.Fatalf("IN route: %+v", res)
+	}
+	// Same-parity INs collapse to one shard.
+	res = routeSQL(t, r, "SELECT * FROM t_user WHERE uid IN (2, 4, 6)")
+	if len(res.Units) != 1 || res.Units[0].TableMap["t_user"] != "t_user_0" {
+		t.Fatalf("IN collapse: %+v", res)
+	}
+}
+
+func TestRouteWithPlaceholders(t *testing.T) {
+	r := fixture(t, true)
+	res := routeSQL(t, r, "SELECT * FROM t_user WHERE uid = ?", sqltypes.NewInt(4))
+	if len(res.Units) != 1 || res.Units[0].TableMap["t_user"] != "t_user_0" {
+		t.Fatalf("placeholder route: %+v", res)
+	}
+}
+
+func TestBroadcastWithoutShardingKey(t *testing.T) {
+	r := fixture(t, true)
+	res := routeSQL(t, r, "SELECT * FROM t_user WHERE name = 'alice'")
+	if res.Kind != KindBroadcast || len(res.Units) != 2 {
+		t.Fatalf("broadcast: %+v", res)
+	}
+}
+
+func TestOrDisablesNarrowing(t *testing.T) {
+	r := fixture(t, true)
+	res := routeSQL(t, r, "SELECT * FROM t_user WHERE uid = 1 OR name = 'x'")
+	if len(res.Units) != 2 {
+		t.Fatalf("OR must broadcast: %+v", res)
+	}
+}
+
+func TestBindingJoinRoute(t *testing.T) {
+	r := fixture(t, true)
+	// The paper's example: binding join fans out pairwise, not cartesian.
+	res := routeSQL(t, r, "SELECT * FROM t_user u JOIN t_order o ON u.uid = o.uid WHERE u.uid IN (1, 2)")
+	if res.Kind != KindBinding || len(res.Units) != 2 {
+		t.Fatalf("binding route: %+v", res)
+	}
+	for _, u := range res.Units {
+		ut := u.TableMap["t_user"]
+		ot := u.TableMap["t_order"]
+		if ut[len(ut)-1] != ot[len(ot)-1] {
+			t.Fatalf("binding misaligned: %+v", u)
+		}
+	}
+}
+
+func TestCartesianJoinRoute(t *testing.T) {
+	r := fixture(t, false) // no binding
+	res := routeSQL(t, r, "SELECT * FROM t_user u JOIN t_order o ON u.uid = o.uid WHERE u.uid IN (1, 2)")
+	if res.Kind != KindCartesian {
+		t.Fatalf("kind: %v", res.Kind)
+	}
+	// Within-source combinations only: ds0 holds (t_user_0, t_order_0),
+	// ds1 holds (t_user_1, t_order_1) → 2 units, not 4, because each
+	// source has one actual table per logic table.
+	if len(res.Units) != 2 {
+		t.Fatalf("cartesian units: %+v", res.Units)
+	}
+}
+
+func TestCartesianMultipleTablesPerSource(t *testing.T) {
+	// 4 shards over 2 sources → each source has 2 actual tables per logic
+	// table → cartesian yields 2×(2×2) = 8 units.
+	rs := sharding.NewRuleSet()
+	for _, table := range []string{"a", "b"} {
+		rule, _ := sharding.BuildAutoRule(sharding.AutoTableSpec{
+			LogicTable: table, Resources: []string{"ds0", "ds1"},
+			ShardingColumn: "k", AlgorithmType: "MOD", ShardingCount: 4,
+		})
+		rs.AddRule(rule)
+	}
+	r := New(rs, []string{"ds0", "ds1"})
+	res := routeSQL(t, r, "SELECT * FROM a JOIN b ON a.k = b.k")
+	if res.Kind != KindCartesian || len(res.Units) != 8 {
+		t.Fatalf("cartesian fanout: kind=%v units=%d", res.Kind, len(res.Units))
+	}
+}
+
+func TestJoinOnConditionRoutes(t *testing.T) {
+	r := fixture(t, true)
+	// Sharding value appears only in ON.
+	res := routeSQL(t, r, "SELECT * FROM t_user u JOIN t_order o ON u.uid = o.uid AND u.uid = 3")
+	if len(res.Units) != 1 || res.Units[0].DataSource != "ds1" {
+		t.Fatalf("ON-condition route: %+v", res)
+	}
+}
+
+func TestInsertRoute(t *testing.T) {
+	r := fixture(t, true)
+	res := routeSQL(t, r, "INSERT INTO t_user (uid, name) VALUES (1, 'a'), (2, 'b'), (3, 'c')")
+	if len(res.Units) != 2 {
+		t.Fatalf("insert route: %+v", res)
+	}
+	// Row indexes must partition by parity: rows 0,2 → shard 1; row 1 → shard 0.
+	for _, u := range res.Units {
+		switch u.TableMap["t_user"] {
+		case "t_user_1":
+			if len(u.RowIndexes) != 2 || u.RowIndexes[0] != 0 || u.RowIndexes[1] != 2 {
+				t.Fatalf("odd rows: %+v", u)
+			}
+		case "t_user_0":
+			if len(u.RowIndexes) != 1 || u.RowIndexes[0] != 1 {
+				t.Fatalf("even rows: %+v", u)
+			}
+		default:
+			t.Fatalf("unexpected table: %+v", u)
+		}
+	}
+}
+
+func TestInsertWithoutShardingKeyFails(t *testing.T) {
+	r := fixture(t, true)
+	_, err := r.Route(parse(t, "INSERT INTO t_user (name) VALUES ('a')"), nil, nil)
+	if !errors.Is(err, ErrNoShardingValue) {
+		t.Fatalf("want ErrNoShardingValue, got %v", err)
+	}
+}
+
+func TestInsertPlaceholders(t *testing.T) {
+	r := fixture(t, true)
+	res, err := r.Route(parse(t, "INSERT INTO t_user (uid, name) VALUES (?, ?)"),
+		[]sqltypes.Value{sqltypes.NewInt(5), sqltypes.NewString("x")}, nil)
+	if err != nil || len(res.Units) != 1 || res.Units[0].TableMap["t_user"] != "t_user_1" {
+		t.Fatalf("insert placeholder route: %+v %v", res, err)
+	}
+}
+
+func TestUpdateDeleteRoute(t *testing.T) {
+	r := fixture(t, true)
+	res := routeSQL(t, r, "UPDATE t_user SET name = 'x' WHERE uid = 2")
+	if len(res.Units) != 1 || res.Units[0].TableMap["t_user"] != "t_user_0" {
+		t.Fatalf("update route: %+v", res)
+	}
+	res = routeSQL(t, r, "DELETE FROM t_user WHERE uid BETWEEN 1 AND 100")
+	if len(res.Units) != 2 {
+		t.Fatalf("delete range route: %+v", res)
+	}
+}
+
+func TestUpdateShardingKeyRejected(t *testing.T) {
+	r := fixture(t, true)
+	_, err := r.Route(parse(t, "UPDATE t_user SET uid = 9 WHERE uid = 2"), nil, nil)
+	if !errors.Is(err, ErrUpdateSharding) {
+		t.Fatalf("want ErrUpdateSharding, got %v", err)
+	}
+}
+
+func TestDDLBroadcast(t *testing.T) {
+	r := fixture(t, true)
+	res := routeSQL(t, r, "CREATE TABLE t_user (uid INT PRIMARY KEY, name VARCHAR(10))")
+	if res.Kind != KindBroadcast || len(res.Units) != 2 {
+		t.Fatalf("ddl route: %+v", res)
+	}
+	if res.Units[0].TableMap["t_user"] == "" {
+		t.Fatal("ddl must rename tables")
+	}
+	res = routeSQL(t, r, "DROP TABLE t_user")
+	if len(res.Units) != 2 {
+		t.Fatalf("drop route: %+v", res)
+	}
+}
+
+func TestBroadcastTableDML(t *testing.T) {
+	r := fixture(t, true)
+	res := routeSQL(t, r, "INSERT INTO t_dict (k, v) VALUES (1, 'x')")
+	if res.Kind != KindBroadcast || len(res.Units) != 2 {
+		t.Fatalf("broadcast table insert: %+v", res)
+	}
+	res = routeSQL(t, r, "DELETE FROM t_dict WHERE k = 1")
+	if len(res.Units) != 2 {
+		t.Fatalf("broadcast table delete: %+v", res)
+	}
+}
+
+func TestUnshardedDefaultRoute(t *testing.T) {
+	r := fixture(t, true)
+	res := routeSQL(t, r, "SELECT * FROM t_plain WHERE id = 5")
+	if res.Kind != KindDefault || len(res.Units) != 1 || res.Units[0].DataSource != "ds0" {
+		t.Fatalf("default route: %+v", res)
+	}
+	// Without a default source it fails.
+	r.rules.DefaultDataSource = ""
+	if _, err := r.Route(parse(t, "SELECT * FROM t_plain"), nil, nil); !errors.Is(err, ErrNoDataSource) {
+		t.Fatalf("no default: %v", err)
+	}
+}
+
+func TestRangeConditionTightening(t *testing.T) {
+	rs := sharding.NewRuleSet()
+	rule, _ := sharding.BuildAutoRule(sharding.AutoTableSpec{
+		LogicTable: "t", Resources: []string{"ds0"},
+		ShardingColumn: "k", AlgorithmType: "VOLUME_RANGE", ShardingCount: 5,
+		Properties: map[string]string{"range-lower": "0", "range-upper": "30", "sharding-volume": "10"},
+	})
+	rs.AddRule(rule)
+	r := New(rs, []string{"ds0"})
+	// k >= 5 AND k <= 15 → buckets [0,10) and [10,20) only.
+	res := routeSQL(t, r, "SELECT * FROM t WHERE k >= 5 AND k <= 15")
+	if len(res.Units) != 2 {
+		t.Fatalf("tightened range: %+v", res.Units)
+	}
+	// BETWEEN does the same.
+	res = routeSQL(t, r, "SELECT * FROM t WHERE k BETWEEN 5 AND 15")
+	if len(res.Units) != 2 {
+		t.Fatalf("between range: %+v", res.Units)
+	}
+}
+
+func TestHintRoute(t *testing.T) {
+	hintAlgo, err := sharding.NewHintInline(map[string]string{"algorithm-expression": "t_h_${value % 2}"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := sharding.NewRuleSet()
+	rs.AddRule(&sharding.TableRule{
+		LogicTable: "t_h",
+		Auto:       true,
+		DataNodes: []sharding.DataNode{
+			{DataSource: "ds0", Table: "t_h_0"}, {DataSource: "ds1", Table: "t_h_1"},
+		},
+		AutoStrategy: &sharding.Strategy{Hint: hintAlgo},
+	})
+	r := New(rs, []string{"ds0", "ds1"})
+	hint := sqltypes.NewInt(3)
+	res, err := r.Route(parse(t, "SELECT * FROM t_h"), nil, &hint)
+	if err != nil || len(res.Units) != 1 || res.Units[0].TableMap["t_h"] != "t_h_1" {
+		t.Fatalf("hint route: %+v %v", res, err)
+	}
+	// Without a hint: broadcast.
+	res, _ = r.Route(parse(t, "SELECT * FROM t_h"), nil, nil)
+	if len(res.Units) != 2 {
+		t.Fatalf("hintless route: %+v", res)
+	}
+}
+
+func TestDataSourcesHelper(t *testing.T) {
+	r := fixture(t, true)
+	res := routeSQL(t, r, "SELECT * FROM t_user")
+	if got := res.DataSources(); len(got) != 2 {
+		t.Fatalf("data sources: %v", got)
+	}
+}

@@ -1,0 +1,102 @@
+package sharding
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSnowflakeUniqueAndMonotonic(t *testing.T) {
+	g, err := NewSnowflake(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int64]bool{}
+	prev := int64(-1)
+	for i := 0; i < 10000; i++ {
+		k := g.NextKey()
+		if seen[k] {
+			t.Fatalf("duplicate key %d", k)
+		}
+		seen[k] = true
+		if k <= prev {
+			t.Fatalf("not monotonic: %d after %d", k, prev)
+		}
+		prev = k
+		// Worker id is embedded.
+		if (k>>12)&0x3ff != 7 {
+			t.Fatalf("worker id lost in %d", k)
+		}
+	}
+}
+
+func TestSnowflakeWorkerValidation(t *testing.T) {
+	if _, err := NewSnowflake(-1); err == nil {
+		t.Fatal("negative worker accepted")
+	}
+	if _, err := NewSnowflake(1024); err == nil {
+		t.Fatal("oversized worker accepted")
+	}
+}
+
+func TestSnowflakeConcurrent(t *testing.T) {
+	g, _ := NewSnowflake(1)
+	var mu sync.Mutex
+	seen := map[int64]bool{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]int64, 0, 2000)
+			for i := 0; i < 2000; i++ {
+				local = append(local, g.NextKey())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, k := range local {
+				if seen[k] {
+					t.Errorf("duplicate key %d", k)
+					return
+				}
+				seen[k] = true
+			}
+		}()
+	}
+	wg.Wait()
+	if len(seen) != 16000 {
+		t.Fatalf("keys: %d", len(seen))
+	}
+}
+
+func TestSnowflakeClockBackwards(t *testing.T) {
+	g, _ := NewSnowflake(0)
+	ms := int64(1000)
+	g.now = func() int64 { return ms + snowflakeEpoch }
+	k1 := g.NextKey()
+	ms = 900 // clock goes backwards
+	k2 := g.NextKey()
+	if k2 <= k1 {
+		t.Fatalf("clock regression broke monotonicity: %d then %d", k1, k2)
+	}
+}
+
+func TestSnowflakeSequenceOverflowAdvances(t *testing.T) {
+	g, _ := NewSnowflake(0)
+	ms := int64(5000)
+	calls := 0
+	g.now = func() int64 {
+		calls++
+		if calls > 4200 {
+			ms = 5001 // let the spin escape
+		}
+		return ms + snowflakeEpoch
+	}
+	seen := map[int64]bool{}
+	for i := 0; i < 4200; i++ {
+		k := g.NextKey()
+		if seen[k] {
+			t.Fatalf("duplicate at %d", i)
+		}
+		seen[k] = true
+	}
+}

@@ -1,0 +1,426 @@
+package sharding
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"shardingsphere/internal/sqltypes"
+)
+
+// DataNode is the atomic unit of sharding: one actual table in one data
+// source (paper Section IV-A), e.g. {ds0, t_user_h1}.
+type DataNode struct {
+	DataSource string
+	Table      string
+}
+
+// String renders "ds.table".
+func (n DataNode) String() string { return n.DataSource + "." + n.Table }
+
+// Condition is the routing information extracted for one sharding column:
+// either a list of exact values (=, IN) or an inclusive range (BETWEEN,
+// comparison chains); nil bounds are open.
+type Condition struct {
+	Values []sqltypes.Value
+	Lo, Hi *sqltypes.Value
+	Ranged bool
+}
+
+// Strategy pairs sharding columns with an algorithm.
+type Strategy struct {
+	Column    string
+	Algorithm Algorithm
+	// Complex, when set, shards on multiple columns and overrides
+	// Column/Algorithm.
+	Complex        ComplexAlgorithm
+	ComplexColumns []string
+	// Hint, when set, shards on an out-of-band hint value.
+	Hint HintAlgorithm
+}
+
+// TableRule is the sharding configuration of one logic table.
+type TableRule struct {
+	LogicTable string
+	// DataNodes lists every actual table, ordered by shard index.
+	DataNodes []DataNode
+	// Auto marks an AutoTable rule (paper Section V-A): a single strategy
+	// assigns rows directly to data nodes; the data source is implied by
+	// the chosen actual table.
+	Auto bool
+	// AutoStrategy is the strategy of an AutoTable rule.
+	AutoStrategy *Strategy
+	// AutoSpec preserves the AutoTable configuration for persistence
+	// (the Governor round-trips rules through the registry with it).
+	AutoSpec *AutoTableSpec
+	// DBStrategy and TableStrategy drive standard (manually laid out)
+	// rules: the database strategy picks data sources, the table strategy
+	// picks actual tables within each.
+	DBStrategy    *Strategy
+	TableStrategy *Strategy
+	// KeyGenColumn, when set with KeyGen, fills the named column of
+	// INSERTs that omit it with generated distributed keys (AUTO_INCREMENT
+	// would collide across shards).
+	KeyGenColumn string
+	KeyGen       KeyGenerator
+}
+
+// ErrNoRule reports a table with no sharding rule.
+var ErrNoRule = errors.New("sharding: no rule for table")
+
+// DataSources returns the distinct data source names, in first-appearance
+// order.
+func (r *TableRule) DataSources() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, n := range r.DataNodes {
+		if !seen[n.DataSource] {
+			seen[n.DataSource] = true
+			out = append(out, n.DataSource)
+		}
+	}
+	return out
+}
+
+// TablesIn returns the actual tables in one data source, in order.
+func (r *TableRule) TablesIn(ds string) []string {
+	var out []string
+	for _, n := range r.DataNodes {
+		if n.DataSource == ds {
+			out = append(out, n.Table)
+		}
+	}
+	return out
+}
+
+// AllTables returns every actual table name in shard order.
+func (r *TableRule) AllTables() []string {
+	out := make([]string, len(r.DataNodes))
+	for i, n := range r.DataNodes {
+		out[i] = n.Table
+	}
+	return out
+}
+
+// nodeByTable finds the data node holding the actual table.
+func (r *TableRule) nodeByTable(table string) (DataNode, bool) {
+	for _, n := range r.DataNodes {
+		if n.Table == table {
+			return n, true
+		}
+	}
+	return DataNode{}, false
+}
+
+// ShardingColumns lists the columns that influence routing for this rule,
+// lower-cased.
+func (r *TableRule) ShardingColumns() []string {
+	var out []string
+	add := func(s *Strategy) {
+		if s == nil {
+			return
+		}
+		if s.Complex != nil {
+			for _, c := range s.ComplexColumns {
+				out = append(out, strings.ToLower(c))
+			}
+			return
+		}
+		if s.Column != "" {
+			out = append(out, strings.ToLower(s.Column))
+		}
+	}
+	if r.Auto {
+		add(r.AutoStrategy)
+	} else {
+		add(r.DBStrategy)
+		add(r.TableStrategy)
+	}
+	return out
+}
+
+// applyStrategy routes a strategy over targets given per-column
+// conditions. A missing condition matches every target.
+func applyStrategy(s *Strategy, targets []string, conds map[string]Condition, hint *sqltypes.Value) ([]string, error) {
+	if s == nil {
+		return targets, nil
+	}
+	if s.Hint != nil {
+		if hint == nil {
+			return targets, nil
+		}
+		return s.Hint.DoHint(targets, *hint)
+	}
+	if s.Complex != nil {
+		values := map[string]sqltypes.Value{}
+		complete := true
+		for _, col := range s.ComplexColumns {
+			c, ok := conds[strings.ToLower(col)]
+			if !ok || c.Ranged || len(c.Values) != 1 {
+				complete = false
+				break
+			}
+			values[strings.ToLower(col)] = c.Values[0]
+		}
+		if !complete {
+			return targets, nil
+		}
+		return s.Complex.DoSharding(targets, values)
+	}
+	cond, ok := conds[strings.ToLower(s.Column)]
+	if !ok {
+		return targets, nil
+	}
+	if cond.Ranged {
+		return s.Algorithm.DoRange(targets, s.Column, cond.Lo, cond.Hi)
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, v := range cond.Values {
+		t, err := s.Algorithm.Precise(targets, s.Column, v)
+		if err != nil {
+			return nil, err
+		}
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out, nil
+}
+
+// Route returns the data nodes matching the conditions (keyed by
+// lower-case column name). With no usable condition every node is
+// returned — the full-broadcast case the paper warns about.
+func (r *TableRule) Route(conds map[string]Condition, hint *sqltypes.Value) ([]DataNode, error) {
+	if r.Auto {
+		tables, err := applyStrategy(r.AutoStrategy, r.AllTables(), conds, hint)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]DataNode, 0, len(tables))
+		for _, t := range tables {
+			n, ok := r.nodeByTable(t)
+			if !ok {
+				return nil, fmt.Errorf("sharding: auto rule %s routed to unknown table %s", r.LogicTable, t)
+			}
+			out = append(out, n)
+		}
+		return out, nil
+	}
+	dss, err := applyStrategy(r.DBStrategy, r.DataSources(), conds, hint)
+	if err != nil {
+		return nil, err
+	}
+	var out []DataNode
+	for _, ds := range dss {
+		tables, err := applyStrategy(r.TableStrategy, r.TablesIn(ds), conds, hint)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range tables {
+			out = append(out, DataNode{DataSource: ds, Table: t})
+		}
+	}
+	return out, nil
+}
+
+// ShardIndex returns the shard ordinal of an actual table name, or -1.
+func (r *TableRule) ShardIndex(table string) int {
+	for i, n := range r.DataNodes {
+		if n.Table == table {
+			return i
+		}
+	}
+	return -1
+}
+
+// RuleSet is the complete sharding configuration: per-table rules, binding
+// groups, broadcast tables and the default data sources for unsharded
+// tables.
+type RuleSet struct {
+	Tables map[string]*TableRule
+	// BindingGroups lists groups of logic tables sharded identically
+	// (paper Section IV-A, "binding table").
+	BindingGroups [][]string
+	// Broadcast tables exist identically in every data source (dimension
+	// tables); DML on them fans out everywhere.
+	Broadcast map[string]bool
+	// DefaultDataSource hosts tables with no rule.
+	DefaultDataSource string
+}
+
+// NewRuleSet returns an empty rule set.
+func NewRuleSet() *RuleSet {
+	return &RuleSet{Tables: map[string]*TableRule{}, Broadcast: map[string]bool{}}
+}
+
+// Rule returns the rule for a logic table.
+func (rs *RuleSet) Rule(table string) (*TableRule, bool) {
+	r, ok := rs.Tables[strings.ToLower(table)]
+	return r, ok
+}
+
+// AddRule registers a rule under its logic table name.
+func (rs *RuleSet) AddRule(r *TableRule) {
+	rs.Tables[strings.ToLower(r.LogicTable)] = r
+}
+
+// RemoveRule drops a rule, reporting whether it existed.
+func (rs *RuleSet) RemoveRule(table string) bool {
+	key := strings.ToLower(table)
+	if _, ok := rs.Tables[key]; !ok {
+		return false
+	}
+	delete(rs.Tables, key)
+	// Remove from binding groups too.
+	for gi, group := range rs.BindingGroups {
+		out := group[:0]
+		for _, t := range group {
+			if !strings.EqualFold(t, table) {
+				out = append(out, t)
+			}
+		}
+		rs.BindingGroups[gi] = out
+	}
+	return true
+}
+
+// IsSharded reports whether the logic table has a rule.
+func (rs *RuleSet) IsSharded(table string) bool {
+	_, ok := rs.Tables[strings.ToLower(table)]
+	return ok
+}
+
+// AddBindingGroup declares the tables mutually binding. It validates that
+// all tables exist and have the same shard count.
+func (rs *RuleSet) AddBindingGroup(tables ...string) error {
+	if len(tables) < 2 {
+		return fmt.Errorf("sharding: a binding group needs at least two tables")
+	}
+	var n int
+	for i, t := range tables {
+		r, ok := rs.Rule(t)
+		if !ok {
+			return fmt.Errorf("%w: %s", ErrNoRule, t)
+		}
+		if i == 0 {
+			n = len(r.DataNodes)
+		} else if len(r.DataNodes) != n {
+			return fmt.Errorf("sharding: binding tables %s and %s have different shard counts", tables[0], t)
+		}
+	}
+	rs.BindingGroups = append(rs.BindingGroups, append([]string(nil), tables...))
+	return nil
+}
+
+// Bound reports whether two logic tables are binding tables of each other.
+func (rs *RuleSet) Bound(a, b string) bool {
+	if strings.EqualFold(a, b) {
+		return true
+	}
+	for _, group := range rs.BindingGroups {
+		hasA, hasB := false, false
+		for _, t := range group {
+			if strings.EqualFold(t, a) {
+				hasA = true
+			}
+			if strings.EqualFold(t, b) {
+				hasB = true
+			}
+		}
+		if hasA && hasB {
+			return true
+		}
+	}
+	return false
+}
+
+// AllBound reports whether every listed table is in one binding group (or
+// there is at most one sharded table).
+func (rs *RuleSet) AllBound(tables []string) bool {
+	var sharded []string
+	for _, t := range tables {
+		if rs.IsSharded(t) {
+			sharded = append(sharded, t)
+		}
+	}
+	if len(sharded) <= 1 {
+		return true
+	}
+	for _, t := range sharded[1:] {
+		if !rs.Bound(sharded[0], t) {
+			return false
+		}
+	}
+	return true
+}
+
+// LogicTables lists the rule table names, unsorted.
+func (rs *RuleSet) LogicTables() []string {
+	out := make([]string, 0, len(rs.Tables))
+	for t := range rs.Tables {
+		out = append(out, t)
+	}
+	return out
+}
+
+// --- AutoTable construction (paper Section V-A) ---
+
+// AutoTableSpec describes a CREATE SHARDING TABLE RULE ... request.
+type AutoTableSpec struct {
+	LogicTable     string
+	Resources      []string // data source names
+	ShardingColumn string
+	AlgorithmType  string // MOD, HASH_MOD, ...
+	Properties     map[string]string
+	ShardingCount  int // shards; defaults to properties["sharding-count"]
+}
+
+// BuildAutoRule computes the data distribution for an AutoTable: shard i
+// becomes actual table "<logic>_<i>" on resource i % len(resources), and
+// the named algorithm routes rows to shards. The caller (DistSQL executor)
+// creates the physical tables.
+func BuildAutoRule(spec AutoTableSpec) (*TableRule, error) {
+	if len(spec.Resources) == 0 {
+		return nil, fmt.Errorf("sharding: auto table %s needs resources", spec.LogicTable)
+	}
+	count := spec.ShardingCount
+	if count == 0 {
+		if s, ok := spec.Properties["sharding-count"]; ok {
+			fmt.Sscanf(s, "%d", &count)
+		}
+	}
+	if count <= 0 {
+		return nil, fmt.Errorf("sharding: auto table %s needs a positive sharding-count", spec.LogicTable)
+	}
+	props := map[string]string{}
+	for k, v := range spec.Properties {
+		props[k] = v
+	}
+	if _, ok := props["sharding-count"]; !ok {
+		props["sharding-count"] = fmt.Sprintf("%d", count)
+	}
+	algo, err := New(spec.AlgorithmType, props)
+	if err != nil {
+		return nil, err
+	}
+	specCopy := spec
+	specCopy.ShardingCount = count
+	rule := &TableRule{
+		LogicTable: spec.LogicTable,
+		Auto:       true,
+		AutoStrategy: &Strategy{
+			Column:    spec.ShardingColumn,
+			Algorithm: algo,
+		},
+		AutoSpec: &specCopy,
+	}
+	for i := 0; i < count; i++ {
+		rule.DataNodes = append(rule.DataNodes, DataNode{
+			DataSource: spec.Resources[i%len(spec.Resources)],
+			Table:      fmt.Sprintf("%s_%d", spec.LogicTable, i),
+		})
+	}
+	return rule, nil
+}

@@ -1,0 +1,185 @@
+package sqlexec
+
+import (
+	"fmt"
+
+	"shardingsphere/internal/sqlparser"
+	"shardingsphere/internal/sqltypes"
+	"shardingsphere/internal/storage"
+)
+
+func (s *Session) executeInsert(tx *storage.Tx, stmt *sqlparser.InsertStmt, args []sqltypes.Value) (*Result, error) {
+	tbl, err := s.engine.Table(stmt.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := tbl.Schema()
+	// Map statement columns to schema positions.
+	var positions []int
+	if len(stmt.Columns) == 0 {
+		positions = make([]int, len(schema))
+		for i := range schema {
+			positions[i] = i
+		}
+	} else {
+		positions = make([]int, len(stmt.Columns))
+		for i, name := range stmt.Columns {
+			p := schema.Index(name)
+			if p < 0 {
+				return nil, fmt.Errorf("%w: %s.%s", ErrUnknownColumn, stmt.Table, name)
+			}
+			positions[i] = p
+		}
+	}
+	env := &rowEnv{args: args}
+	res := &Result{}
+	for _, exprs := range stmt.Rows {
+		if len(exprs) != len(positions) {
+			return nil, fmt.Errorf("sqlexec: INSERT row has %d values, want %d", len(exprs), len(positions))
+		}
+		row := make(sqltypes.Row, len(schema))
+		for i, e := range exprs {
+			v, err := env.eval(e)
+			if err != nil {
+				return nil, err
+			}
+			row[positions[i]] = v
+		}
+		inserted, err := tx.Insert(stmt.Table, row)
+		if err != nil {
+			return nil, err
+		}
+		if ac := tbl.AutoIncrementColumn(); ac >= 0 {
+			res.LastInsertID = inserted[ac].I
+		}
+		res.Affected++
+	}
+	return res, nil
+}
+
+// matchEntries fetches candidate rows for a WHERE clause on one table and
+// returns those that satisfy it.
+func (s *Session) matchEntries(tbl *storage.Table, alias string, where sqlparser.Expr, args []sqltypes.Value, txID int64) ([]storage.ScanEntry, error) {
+	names := []string{tbl.Name()}
+	if alias != "" {
+		names = append(names, alias)
+	}
+	conjuncts := splitConjuncts(where)
+	plan := planAccess(tbl, names, conjuncts, args)
+	entries := fetch(tbl, txID, plan)
+	if where == nil {
+		return entries, nil
+	}
+	env := &rowEnv{args: args}
+	for _, c := range tbl.Schema() {
+		env.cols = append(env.cols, colBinding{qualifiers: names, name: c.Name})
+	}
+	kept := entries[:0]
+	for _, se := range entries {
+		env.row = se.Row
+		v, err := env.eval(where)
+		if err != nil {
+			return nil, err
+		}
+		if v.Bool() {
+			kept = append(kept, se)
+		}
+	}
+	return kept, nil
+}
+
+func (s *Session) executeUpdate(tx *storage.Tx, stmt *sqlparser.UpdateStmt, args []sqltypes.Value) (*Result, error) {
+	tbl, err := s.engine.Table(stmt.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := tbl.Schema()
+	entries, err := s.matchEntries(tbl, stmt.Alias, stmt.Where, args, tx.ID())
+	if err != nil {
+		return nil, err
+	}
+	names := []string{tbl.Name()}
+	if stmt.Alias != "" {
+		names = append(names, stmt.Alias)
+	}
+	env := &rowEnv{args: args}
+	for _, c := range schema {
+		env.cols = append(env.cols, colBinding{qualifiers: names, name: c.Name})
+	}
+	// Resolve assignment targets once.
+	targets := make([]int, len(stmt.Set))
+	for i, a := range stmt.Set {
+		p := schema.Index(a.Column)
+		if p < 0 {
+			return nil, fmt.Errorf("%w: %s.%s", ErrUnknownColumn, stmt.Table, a.Column)
+		}
+		targets[i] = p
+	}
+	res := &Result{}
+	for _, se := range entries {
+		env.row = se.Row
+		newRow := se.Row.Clone()
+		for i, a := range stmt.Set {
+			v, err := env.eval(a.Value)
+			if err != nil {
+				return nil, err
+			}
+			newRow[targets[i]] = v
+		}
+		ok, err := tx.Update(stmt.Table, se.RowID, newRow)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			res.Affected++
+		}
+	}
+	return res, nil
+}
+
+func (s *Session) executeDelete(tx *storage.Tx, stmt *sqlparser.DeleteStmt, args []sqltypes.Value) (*Result, error) {
+	tbl, err := s.engine.Table(stmt.Table)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := s.matchEntries(tbl, stmt.Alias, stmt.Where, args, tx.ID())
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	for _, se := range entries {
+		ok, err := tx.Delete(stmt.Table, se.RowID)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			res.Affected++
+		}
+	}
+	return res, nil
+}
+
+// lockForUpdate implements SELECT ... FOR UPDATE for single-table queries
+// inside an explicit transaction by acquiring each matching row's write
+// lock. The subsequent read (and any re-read in the transaction) then
+// observes the latest committed version, so read-modify-write sequences
+// cannot lose updates.
+func (s *Session) lockForUpdate(stmt *sqlparser.SelectStmt, args []sqltypes.Value) error {
+	if s.tx == nil || len(stmt.From) != 1 {
+		return nil
+	}
+	tbl, err := s.engine.Table(stmt.From[0].Name)
+	if err != nil {
+		return err
+	}
+	entries, err := s.matchEntries(tbl, stmt.From[0].Alias, stmt.Where, args, s.tx.ID())
+	if err != nil {
+		return err
+	}
+	for _, se := range entries {
+		if _, err := s.tx.Lock(stmt.From[0].Name, se.RowID); err != nil {
+			return err
+		}
+	}
+	return nil
+}

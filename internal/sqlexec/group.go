@@ -1,0 +1,247 @@
+package sqlexec
+
+import (
+	"sort"
+	"strings"
+
+	"shardingsphere/internal/sqlparser"
+	"shardingsphere/internal/sqltypes"
+)
+
+// aggState accumulates one aggregate function over a group.
+type aggState struct {
+	fn       string
+	star     bool
+	distinct bool
+	arg      sqlparser.Expr
+
+	count   int64
+	sumI    int64
+	sumF    float64
+	isFloat bool
+	hasMin  bool
+	min     sqltypes.Value
+	max     sqltypes.Value
+	seen    map[string]struct{}
+}
+
+func newAggState(f *sqlparser.FuncExpr) *aggState {
+	st := &aggState{fn: f.Name, star: f.Star, distinct: f.Distinct}
+	if len(f.Args) > 0 {
+		st.arg = f.Args[0]
+	}
+	if f.Distinct {
+		st.seen = map[string]struct{}{}
+	}
+	return st
+}
+
+func (st *aggState) update(env *rowEnv) error {
+	if st.star {
+		st.count++
+		return nil
+	}
+	v, err := env.eval(st.arg)
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return nil
+	}
+	if st.distinct {
+		k := hashKey(v)
+		if _, dup := st.seen[k]; dup {
+			return nil
+		}
+		st.seen[k] = struct{}{}
+	}
+	st.count++
+	switch st.fn {
+	case "SUM", "AVG":
+		if v.Kind == sqltypes.KindFloat || st.isFloat {
+			if !st.isFloat {
+				st.sumF = float64(st.sumI)
+				st.isFloat = true
+			}
+			st.sumF += v.AsFloat()
+		} else {
+			st.sumI += v.AsInt()
+		}
+	case "MIN":
+		if !st.hasMin || sqltypes.Compare(v, st.min) < 0 {
+			st.min = v
+		}
+		st.hasMin = true
+	case "MAX":
+		if !st.hasMin || sqltypes.Compare(v, st.max) > 0 {
+			st.max = v
+		}
+		st.hasMin = true
+	}
+	return nil
+}
+
+func (st *aggState) result() sqltypes.Value {
+	switch st.fn {
+	case "COUNT":
+		return sqltypes.NewInt(st.count)
+	case "SUM":
+		if st.count == 0 {
+			return sqltypes.Null
+		}
+		if st.isFloat {
+			return sqltypes.NewFloat(st.sumF)
+		}
+		return sqltypes.NewInt(st.sumI)
+	case "AVG":
+		if st.count == 0 {
+			return sqltypes.Null
+		}
+		if st.isFloat {
+			return sqltypes.NewFloat(st.sumF / float64(st.count))
+		}
+		return sqltypes.NewFloat(float64(st.sumI) / float64(st.count))
+	case "MIN":
+		if !st.hasMin {
+			return sqltypes.Null
+		}
+		return st.min
+	case "MAX":
+		if !st.hasMin {
+			return sqltypes.Null
+		}
+		return st.max
+	default:
+		return sqltypes.Null
+	}
+}
+
+// collectAggregates gathers every distinct aggregate expression appearing
+// in the projection, HAVING and ORDER BY, keyed by serialized text.
+func collectAggregates(stmt *sqlparser.SelectStmt, env *rowEnv) map[string]*sqlparser.FuncExpr {
+	out := map[string]*sqlparser.FuncExpr{}
+	visit := func(e sqlparser.Expr) {
+		sqlparser.WalkExpr(e, func(x sqlparser.Expr) bool {
+			if f, ok := x.(*sqlparser.FuncExpr); ok && f.IsAggregate() {
+				out[env.serialize(f)] = f
+				return false
+			}
+			return true
+		})
+	}
+	for _, item := range stmt.Items {
+		visit(item.Expr)
+	}
+	visit(stmt.Having)
+	for _, o := range stmt.OrderBy {
+		visit(o.Expr)
+	}
+	return out
+}
+
+// groupAndProject implements hash aggregation: rows are bucketed by the
+// GROUP BY key, aggregates accumulate per bucket, and each bucket emits
+// one output row (filtered by HAVING, ordered by ORDER BY).
+func (s *Session) groupAndProject(stmt *sqlparser.SelectStmt, env *rowEnv, rows []sqltypes.Row) (*Result, error) {
+	items, names, err := expandItems(stmt, env)
+	if err != nil {
+		return nil, err
+	}
+	aggExprs := collectAggregates(stmt, env)
+
+	type group struct {
+		first sqltypes.Row
+		aggs  map[string]*aggState
+	}
+	groups := map[string]*group{}
+	var order []string
+
+	for _, r := range rows {
+		env.row = r
+		var kb strings.Builder
+		for _, g := range stmt.GroupBy {
+			v, err := env.eval(g)
+			if err != nil {
+				return nil, err
+			}
+			kb.WriteString(hashKey(v))
+			kb.WriteByte(0)
+		}
+		key := kb.String()
+		grp, ok := groups[key]
+		if !ok {
+			grp = &group{first: r, aggs: map[string]*aggState{}}
+			for text, f := range aggExprs {
+				grp.aggs[text] = newAggState(f)
+			}
+			groups[key] = grp
+			order = append(order, key)
+		}
+		for _, st := range grp.aggs {
+			if err := st.update(env); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// A global aggregate over zero rows still yields one group.
+	if len(groups) == 0 && len(stmt.GroupBy) == 0 {
+		grp := &group{first: nullRow(len(env.cols)), aggs: map[string]*aggState{}}
+		for text, f := range aggExprs {
+			grp.aggs[text] = newAggState(f)
+		}
+		groups[""] = grp
+		order = append(order, "")
+	}
+
+	res := &Result{Columns: names}
+	type sortable struct {
+		out  sqltypes.Row
+		keys sqltypes.Row
+	}
+	needSort := len(stmt.OrderBy) > 0
+	var sorted []sortable
+	for _, key := range order {
+		grp := groups[key]
+		env.row = grp.first
+		env.aggs = make(map[string]sqltypes.Value, len(grp.aggs))
+		for text, st := range grp.aggs {
+			env.aggs[text] = st.result()
+		}
+		if stmt.Having != nil {
+			v, err := env.eval(stmt.Having)
+			if err != nil {
+				return nil, err
+			}
+			if !v.Bool() {
+				continue
+			}
+		}
+		out := make(sqltypes.Row, len(items))
+		for i, item := range items {
+			v, err := env.eval(item.Expr)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		if needSort {
+			keys, err := sortKeys(stmt, env, out, items, names)
+			if err != nil {
+				return nil, err
+			}
+			sorted = append(sorted, sortable{out: out, keys: keys})
+		} else {
+			res.Rows = append(res.Rows, out)
+		}
+	}
+	env.aggs = nil
+	if needSort {
+		sort.SliceStable(sorted, func(i, j int) bool {
+			return compareKeyRows(sorted[i].keys, sorted[j].keys, stmt.OrderBy) < 0
+		})
+		for _, sr := range sorted {
+			res.Rows = append(res.Rows, sr.out)
+		}
+	}
+	return res, nil
+}

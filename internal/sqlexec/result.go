@@ -1,0 +1,22 @@
+package sqlexec
+
+import "shardingsphere/internal/sqltypes"
+
+// Result is the outcome of executing one statement on a data node. Query
+// results are materialized: a node-local result buffer, as a real server
+// would hold for a client cursor. The kernel's mergers stream *across*
+// node results, which is where the paper's stream/memory distinction
+// lives.
+type Result struct {
+	// Columns names the result columns of a query; nil for DML/DDL.
+	Columns []string
+	// Rows holds the result rows of a query.
+	Rows []sqltypes.Row
+	// Affected is the number of rows touched by DML.
+	Affected int64
+	// LastInsertID is the last auto-increment value assigned by an INSERT.
+	LastInsertID int64
+}
+
+// IsQuery reports whether the result carries a row set.
+func (r *Result) IsQuery() bool { return r.Columns != nil }

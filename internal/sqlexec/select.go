@@ -1,0 +1,565 @@
+package sqlexec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"shardingsphere/internal/sqlparser"
+	"shardingsphere/internal/sqltypes"
+	"shardingsphere/internal/storage"
+)
+
+// tableSource is one resolved FROM table.
+type tableSource struct {
+	ref    sqlparser.TableRef
+	tbl    *storage.Table
+	names  []string // names a column qualifier may use: table name and alias
+	schema sqltypes.Schema
+}
+
+func (s *Session) resolveSources(stmt *sqlparser.SelectStmt) ([]tableSource, error) {
+	sources := make([]tableSource, len(stmt.From))
+	for i, ref := range stmt.From {
+		tbl, err := s.engine.Table(ref.Name)
+		if err != nil {
+			return nil, err
+		}
+		names := []string{ref.Name}
+		if ref.Alias != "" {
+			names = append(names, ref.Alias)
+		}
+		sources[i] = tableSource{ref: ref, tbl: tbl, names: names, schema: tbl.Schema()}
+	}
+	return sources, nil
+}
+
+// buildEnvCols flattens the sources into the evaluation environment's
+// column bindings.
+func buildEnvCols(sources []tableSource) []colBinding {
+	var cols []colBinding
+	for _, src := range sources {
+		for _, c := range src.schema {
+			cols = append(cols, colBinding{qualifiers: src.names, name: c.Name})
+		}
+	}
+	return cols
+}
+
+func (s *Session) executeSelect(stmt *sqlparser.SelectStmt, args []sqltypes.Value) (*Result, error) {
+	if len(stmt.From) == 0 {
+		return s.selectWithoutFrom(stmt, args)
+	}
+	sources, err := s.resolveSources(stmt)
+	if err != nil {
+		return nil, err
+	}
+	conjuncts := splitConjuncts(stmt.Where)
+	rows, err := s.joinSources(sources, conjuncts, args)
+	if err != nil {
+		return nil, err
+	}
+	env := &rowEnv{cols: buildEnvCols(sources), args: args}
+
+	// Residual WHERE filter (access paths only prune, never decide).
+	if stmt.Where != nil {
+		kept := rows[:0]
+		for _, r := range rows {
+			env.row = r
+			v, err := env.eval(stmt.Where)
+			if err != nil {
+				return nil, err
+			}
+			if v.Bool() {
+				kept = append(kept, r)
+			}
+		}
+		rows = kept
+	}
+
+	var out *Result
+	if len(stmt.GroupBy) > 0 || stmt.HasAggregates() || hasAggregate(stmt.Having) {
+		out, err = s.groupAndProject(stmt, env, rows)
+	} else {
+		out, err = s.project(stmt, env, rows)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if stmt.Distinct {
+		out.Rows = distinctRows(out.Rows)
+	}
+	if err := s.applyLimit(stmt.Limit, args, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (s *Session) selectWithoutFrom(stmt *sqlparser.SelectStmt, args []sqltypes.Value) (*Result, error) {
+	env := &rowEnv{args: args}
+	res := &Result{Columns: []string{}}
+	row := make(sqltypes.Row, 0, len(stmt.Items))
+	for _, item := range stmt.Items {
+		if item.Star {
+			return nil, fmt.Errorf("sqlexec: SELECT * requires a FROM clause")
+		}
+		v, err := env.eval(item.Expr)
+		if err != nil {
+			return nil, err
+		}
+		row = append(row, v)
+		res.Columns = append(res.Columns, itemName(item, env))
+	}
+	res.Rows = []sqltypes.Row{row}
+	return res, nil
+}
+
+// joinSources scans the first table and folds each further table in with a
+// hash join (equi ON), or a nested-loop join otherwise.
+func (s *Session) joinSources(sources []tableSource, whereConjuncts []sqlparser.Expr, args []sqltypes.Value) ([]sqltypes.Row, error) {
+	txID := s.txID()
+	// Leaf scan with pushed-down single-table predicates.
+	leafRows := func(src tableSource) []sqltypes.Row {
+		var applicable []sqlparser.Expr
+		for _, c := range whereConjuncts {
+			if exprOnlyUses(c, src.names, src.schema) {
+				applicable = append(applicable, c)
+			}
+		}
+		plan := planAccess(src.tbl, src.names, applicable, args)
+		entries := fetch(src.tbl, txID, plan)
+		rows := make([]sqltypes.Row, len(entries))
+		for i, se := range entries {
+			rows[i] = se.Row
+		}
+		return rows
+	}
+
+	acc := leafRows(sources[0])
+	accCols := buildEnvCols(sources[:1])
+	for i := 1; i < len(sources); i++ {
+		src := sources[i]
+		right := leafRows(src)
+		rightCols := buildEnvCols([]tableSource{src})
+		joined, err := joinStep(acc, accCols, right, rightCols, src, args)
+		if err != nil {
+			return nil, err
+		}
+		acc = joined
+		accCols = append(accCols, rightCols...)
+	}
+	return acc, nil
+}
+
+// exprOnlyUses reports whether every column in e resolves within the one
+// table described by names/schema.
+func exprOnlyUses(e sqlparser.Expr, names []string, schema sqltypes.Schema) bool {
+	ok := true
+	sqlparser.WalkExpr(e, func(x sqlparser.Expr) bool {
+		if ref, isCol := x.(*sqlparser.ColumnRef); isCol {
+			if !refersToTable(ref, names, schema) {
+				ok = false
+				return false
+			}
+		}
+		return true
+	})
+	return ok
+}
+
+// joinStep joins the accumulated left rows with the right table's rows.
+func joinStep(left []sqltypes.Row, leftCols []colBinding, right []sqltypes.Row, rightCols []colBinding, src tableSource, args []sqltypes.Value) ([]sqltypes.Row, error) {
+	jt := src.ref.Join
+	on := src.ref.On
+	combinedCols := append(append([]colBinding{}, leftCols...), rightCols...)
+	combinedEnv := &rowEnv{cols: combinedCols, args: args}
+
+	evalOn := func(l, r sqltypes.Row) (bool, error) {
+		if on == nil {
+			return true, nil
+		}
+		combinedEnv.row = append(append(sqltypes.Row{}, l...), r...)
+		v, err := combinedEnv.eval(on)
+		if err != nil {
+			return false, err
+		}
+		return v.Bool(), nil
+	}
+
+	// Try a hash join for inner/left joins with at least one equi-pair.
+	if (jt == sqlparser.JoinInner || jt == sqlparser.JoinLeft) && on != nil {
+		lExpr, rExpr, ok := findEquiPair(on, leftCols, rightCols)
+		if ok {
+			return hashJoin(left, leftCols, right, rightCols, lExpr, rExpr, jt, args, evalOn)
+		}
+	}
+
+	// Nested loop join.
+	var out []sqltypes.Row
+	switch jt {
+	case sqlparser.JoinRight:
+		for _, r := range right {
+			matched := false
+			for _, l := range left {
+				ok, err := evalOn(l, r)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					out = append(out, concatRows(l, r))
+					matched = true
+				}
+			}
+			if !matched {
+				out = append(out, concatRows(nullRow(len(leftCols)), r))
+			}
+		}
+	case sqlparser.JoinLeft:
+		for _, l := range left {
+			matched := false
+			for _, r := range right {
+				ok, err := evalOn(l, r)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					out = append(out, concatRows(l, r))
+					matched = true
+				}
+			}
+			if !matched {
+				out = append(out, concatRows(l, nullRow(len(rightCols))))
+			}
+		}
+	default: // inner and cross
+		for _, l := range left {
+			for _, r := range right {
+				ok, err := evalOn(l, r)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					out = append(out, concatRows(l, r))
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// findEquiPair finds one conjunct of ON shaped "leftExpr = rightExpr"
+// where each side resolves entirely on its own input.
+func findEquiPair(on sqlparser.Expr, leftCols, rightCols []colBinding) (sqlparser.Expr, sqlparser.Expr, bool) {
+	for _, c := range splitConjuncts(on) {
+		b, ok := c.(*sqlparser.BinaryExpr)
+		if !ok || b.Op != sqlparser.OpEQ {
+			continue
+		}
+		switch {
+		case sideResolves(b.L, leftCols) && sideResolves(b.R, rightCols):
+			return b.L, b.R, true
+		case sideResolves(b.R, leftCols) && sideResolves(b.L, rightCols):
+			return b.R, b.L, true
+		}
+	}
+	return nil, nil, false
+}
+
+func sideResolves(e sqlparser.Expr, cols []colBinding) bool {
+	env := &rowEnv{cols: cols}
+	ok := true
+	hasCol := false
+	sqlparser.WalkExpr(e, func(x sqlparser.Expr) bool {
+		if ref, isCol := x.(*sqlparser.ColumnRef); isCol {
+			hasCol = true
+			if _, err := env.lookup(ref); err != nil {
+				ok = false
+				return false
+			}
+		}
+		return true
+	})
+	return ok && hasCol
+}
+
+func hashJoin(left []sqltypes.Row, leftCols []colBinding, right []sqltypes.Row, rightCols []colBinding,
+	lExpr, rExpr sqlparser.Expr, jt sqlparser.JoinType, args []sqltypes.Value,
+	evalOn func(l, r sqltypes.Row) (bool, error)) ([]sqltypes.Row, error) {
+
+	rightEnv := &rowEnv{cols: rightCols, args: args}
+	table := make(map[string][]sqltypes.Row, len(right))
+	for _, r := range right {
+		rightEnv.row = r
+		v, err := rightEnv.eval(rExpr)
+		if err != nil {
+			return nil, err
+		}
+		if v.IsNull() {
+			continue
+		}
+		k := hashKey(v)
+		table[k] = append(table[k], r)
+	}
+	leftEnv := &rowEnv{cols: leftCols, args: args}
+	var out []sqltypes.Row
+	for _, l := range left {
+		leftEnv.row = l
+		v, err := leftEnv.eval(lExpr)
+		if err != nil {
+			return nil, err
+		}
+		matched := false
+		if !v.IsNull() {
+			for _, r := range table[hashKey(v)] {
+				ok, err := evalOn(l, r)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					out = append(out, concatRows(l, r))
+					matched = true
+				}
+			}
+		}
+		if !matched && jt == sqlparser.JoinLeft {
+			out = append(out, concatRows(l, nullRow(len(rightCols))))
+		}
+	}
+	return out, nil
+}
+
+func concatRows(a, b sqltypes.Row) sqltypes.Row {
+	out := make(sqltypes.Row, 0, len(a)+len(b))
+	return append(append(out, a...), b...)
+}
+
+func nullRow(n int) sqltypes.Row {
+	return make(sqltypes.Row, n)
+}
+
+// hashKey renders a value as a map key; numeric kinds share an encoding so
+// 2 and 2.0 join. Integers never round-trip through float64 — beyond 2^53
+// that would collapse distinct keys (snowflake ids live up there).
+func hashKey(v sqltypes.Value) string {
+	switch v.Kind {
+	case sqltypes.KindString:
+		return "s" + v.S
+	case sqltypes.KindNull:
+		return "n"
+	case sqltypes.KindInt, sqltypes.KindBool:
+		return "i" + strconv.FormatInt(v.I, 10)
+	default:
+		f := v.F
+		if f == math.Trunc(f) && math.Abs(f) < 1<<53 {
+			return "i" + strconv.FormatInt(int64(f), 10)
+		}
+		return "f" + strconv.FormatFloat(f, 'g', -1, 64)
+	}
+}
+
+// --- projection ---
+
+func itemName(item sqlparser.SelectItem, env *rowEnv) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	if ref, ok := item.Expr.(*sqlparser.ColumnRef); ok {
+		return ref.Name
+	}
+	return env.serialize(item.Expr)
+}
+
+// expandItems resolves stars into concrete column references, returning
+// the output column names alongside.
+func expandItems(stmt *sqlparser.SelectStmt, env *rowEnv) ([]sqlparser.SelectItem, []string, error) {
+	var items []sqlparser.SelectItem
+	var names []string
+	for _, item := range stmt.Items {
+		if !item.Star {
+			items = append(items, item)
+			names = append(names, itemName(item, env))
+			continue
+		}
+		for _, c := range env.cols {
+			if item.StarTable != "" {
+				match := false
+				for _, q := range c.qualifiers {
+					if equalFold(q, item.StarTable) {
+						match = true
+						break
+					}
+				}
+				if !match {
+					continue
+				}
+			}
+			qual := ""
+			if len(c.qualifiers) > 0 {
+				qual = c.qualifiers[len(c.qualifiers)-1]
+			}
+			items = append(items, sqlparser.SelectItem{Expr: &sqlparser.ColumnRef{Table: qual, Name: c.name}})
+			names = append(names, c.name)
+		}
+	}
+	if len(items) == 0 {
+		return nil, nil, fmt.Errorf("sqlexec: empty projection")
+	}
+	return items, names, nil
+}
+
+func (s *Session) project(stmt *sqlparser.SelectStmt, env *rowEnv, rows []sqltypes.Row) (*Result, error) {
+	items, names, err := expandItems(stmt, env)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Columns: names}
+	type sortable struct {
+		out  sqltypes.Row
+		keys sqltypes.Row
+	}
+	needSort := len(stmt.OrderBy) > 0
+	var sorted []sortable
+	for _, r := range rows {
+		env.row = r
+		out := make(sqltypes.Row, len(items))
+		for i, item := range items {
+			v, err := env.eval(item.Expr)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		if needSort {
+			keys, err := sortKeys(stmt, env, out, items, names)
+			if err != nil {
+				return nil, err
+			}
+			sorted = append(sorted, sortable{out: out, keys: keys})
+		} else {
+			res.Rows = append(res.Rows, out)
+		}
+	}
+	if needSort {
+		sort.SliceStable(sorted, func(i, j int) bool {
+			return compareKeyRows(sorted[i].keys, sorted[j].keys, stmt.OrderBy) < 0
+		})
+		for _, sr := range sorted {
+			res.Rows = append(res.Rows, sr.out)
+		}
+	}
+	return res, nil
+}
+
+// sortKeys computes the ORDER BY key values for one row. Keys may name an
+// output alias, a 1-based output position, or any expression over the
+// source row (including aggregates in grouped queries, via env.aggs).
+func sortKeys(stmt *sqlparser.SelectStmt, env *rowEnv, out sqltypes.Row, items []sqlparser.SelectItem, names []string) (sqltypes.Row, error) {
+	keys := make(sqltypes.Row, len(stmt.OrderBy))
+	for i, o := range stmt.OrderBy {
+		// Positional: ORDER BY 2.
+		if lit, ok := o.Expr.(*sqlparser.Literal); ok && lit.Val.Kind == sqltypes.KindInt {
+			pos := int(lit.Val.I) - 1
+			if pos < 0 || pos >= len(out) {
+				return nil, fmt.Errorf("sqlexec: ORDER BY position %d out of range", lit.Val.I)
+			}
+			keys[i] = out[pos]
+			continue
+		}
+		// Alias of an output item.
+		if ref, ok := o.Expr.(*sqlparser.ColumnRef); ok && ref.Table == "" {
+			found := -1
+			for j, n := range names {
+				if equalFold(n, ref.Name) {
+					found = j
+					break
+				}
+			}
+			if found >= 0 {
+				keys[i] = out[found]
+				continue
+			}
+		}
+		v, err := env.eval(o.Expr)
+		if err != nil {
+			return nil, err
+		}
+		keys[i] = v
+	}
+	return keys, nil
+}
+
+func compareKeyRows(a, b sqltypes.Row, order []sqlparser.OrderItem) int {
+	for i := range order {
+		c := sqltypes.Compare(a[i], b[i])
+		if c != 0 {
+			if order[i].Desc {
+				return -c
+			}
+			return c
+		}
+	}
+	return 0
+}
+
+func distinctRows(rows []sqltypes.Row) []sqltypes.Row {
+	seen := make(map[string]struct{}, len(rows))
+	out := rows[:0]
+	for _, r := range rows {
+		var b strings.Builder
+		for _, v := range r {
+			b.WriteString(hashKey(v))
+			b.WriteByte(0)
+		}
+		k := b.String()
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, r)
+	}
+	return out
+}
+
+func (s *Session) applyLimit(lim *sqlparser.Limit, args []sqltypes.Value, res *Result) error {
+	if lim == nil {
+		return nil
+	}
+	env := &rowEnv{args: args}
+	count, err := env.eval(lim.Count)
+	if err != nil {
+		return err
+	}
+	offset := int64(0)
+	if lim.Offset != nil {
+		ov, err := env.eval(lim.Offset)
+		if err != nil {
+			return err
+		}
+		offset = ov.AsInt()
+	}
+	n := int64(len(res.Rows))
+	if offset >= n {
+		res.Rows = nil
+		return nil
+	}
+	end := offset + count.AsInt()
+	if end > n || count.AsInt() < 0 {
+		end = n
+	}
+	res.Rows = res.Rows[offset:end]
+	return nil
+}
+
+func hasAggregate(e sqlparser.Expr) bool {
+	found := false
+	sqlparser.WalkExpr(e, func(x sqlparser.Expr) bool {
+		if f, ok := x.(*sqlparser.FuncExpr); ok && f.IsAggregate() {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

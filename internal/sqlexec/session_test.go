@@ -1,0 +1,520 @@
+package sqlexec
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"shardingsphere/internal/sqltypes"
+	"shardingsphere/internal/storage"
+)
+
+func newTestSession(t *testing.T) *Session {
+	t.Helper()
+	e := storage.NewEngine("ds0")
+	p := NewProcessor(e)
+	return p.NewSession()
+}
+
+func mustExec(t *testing.T, s *Session, sql string, args ...sqltypes.Value) *Result {
+	t.Helper()
+	res, err := s.Execute(sql, args...)
+	if err != nil {
+		t.Fatalf("Execute(%q): %v", sql, err)
+	}
+	return res
+}
+
+func seedUsers(t *testing.T, s *Session) {
+	t.Helper()
+	mustExec(t, s, "CREATE TABLE t_user (uid INT PRIMARY KEY, name VARCHAR(64), age INT)")
+	mustExec(t, s, "INSERT INTO t_user (uid, name, age) VALUES (1, 'alice', 30), (2, 'bob', 25), (3, 'carol', 35), (4, 'dave', 25)")
+}
+
+func TestSelectAll(t *testing.T) {
+	s := newTestSession(t)
+	seedUsers(t, s)
+	res := mustExec(t, s, "SELECT * FROM t_user")
+	if len(res.Rows) != 4 || len(res.Columns) != 3 {
+		t.Fatalf("rows=%d cols=%v", len(res.Rows), res.Columns)
+	}
+	// Full scans return rows in primary-key order.
+	for i, r := range res.Rows {
+		if r[0].I != int64(i+1) {
+			t.Fatalf("pk order broken: %v", res.Rows)
+		}
+	}
+}
+
+func TestSelectWherePaths(t *testing.T) {
+	s := newTestSession(t)
+	seedUsers(t, s)
+	cases := []struct {
+		sql  string
+		want int
+	}{
+		{"SELECT * FROM t_user WHERE uid = 2", 1},
+		{"SELECT * FROM t_user WHERE uid IN (1, 3)", 2},
+		{"SELECT * FROM t_user WHERE uid BETWEEN 2 AND 4", 3},
+		{"SELECT * FROM t_user WHERE uid >= 2 AND uid < 4", 2},
+		{"SELECT * FROM t_user WHERE age = 25", 2},
+		{"SELECT * FROM t_user WHERE name LIKE 'a%'", 1},
+		{"SELECT * FROM t_user WHERE name LIKE '%o%'", 2},
+		{"SELECT * FROM t_user WHERE age = 25 AND name = 'bob'", 1},
+		{"SELECT * FROM t_user WHERE age = 25 OR age = 30", 3},
+		{"SELECT * FROM t_user WHERE NOT (age = 25)", 2},
+		{"SELECT * FROM t_user WHERE uid = 99", 0},
+		{"SELECT * FROM t_user WHERE age IS NULL", 0},
+		{"SELECT * FROM t_user WHERE age IS NOT NULL", 4},
+	}
+	for _, tc := range cases {
+		res := mustExec(t, s, tc.sql)
+		if len(res.Rows) != tc.want {
+			t.Errorf("%s: want %d rows, got %d", tc.sql, tc.want, len(res.Rows))
+		}
+	}
+}
+
+func TestSelectPlaceholders(t *testing.T) {
+	s := newTestSession(t)
+	seedUsers(t, s)
+	res := mustExec(t, s, "SELECT name FROM t_user WHERE uid = ?", sqltypes.NewInt(2))
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "bob" {
+		t.Fatalf("placeholder query: %v", res.Rows)
+	}
+	_, err := s.Execute("SELECT * FROM t_user WHERE uid = ?")
+	if !errors.Is(err, ErrBadArgCount) {
+		t.Fatalf("missing arg: %v", err)
+	}
+}
+
+func TestSelectProjectionAndAlias(t *testing.T) {
+	s := newTestSession(t)
+	seedUsers(t, s)
+	res := mustExec(t, s, "SELECT name AS n, age + 1 AS next_age FROM t_user WHERE uid = 1")
+	if res.Columns[0] != "n" || res.Columns[1] != "next_age" {
+		t.Fatalf("columns: %v", res.Columns)
+	}
+	if res.Rows[0][1].I != 31 {
+		t.Fatalf("arith projection: %v", res.Rows[0])
+	}
+}
+
+func TestSelectOrderLimit(t *testing.T) {
+	s := newTestSession(t)
+	seedUsers(t, s)
+	res := mustExec(t, s, "SELECT uid FROM t_user ORDER BY age DESC, uid LIMIT 2")
+	if res.Rows[0][0].I != 3 || res.Rows[1][0].I != 1 {
+		t.Fatalf("order: %v", res.Rows)
+	}
+	res = mustExec(t, s, "SELECT uid FROM t_user ORDER BY uid LIMIT 1, 2")
+	if len(res.Rows) != 2 || res.Rows[0][0].I != 2 {
+		t.Fatalf("offset: %v", res.Rows)
+	}
+	res = mustExec(t, s, "SELECT uid FROM t_user ORDER BY 1 DESC LIMIT 1")
+	if res.Rows[0][0].I != 4 {
+		t.Fatalf("positional order: %v", res.Rows)
+	}
+}
+
+func TestSelectDistinct(t *testing.T) {
+	s := newTestSession(t)
+	seedUsers(t, s)
+	res := mustExec(t, s, "SELECT DISTINCT age FROM t_user")
+	if len(res.Rows) != 3 {
+		t.Fatalf("distinct: %v", res.Rows)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	s := newTestSession(t)
+	seedUsers(t, s)
+	res := mustExec(t, s, "SELECT COUNT(*), SUM(age), AVG(age), MIN(age), MAX(age) FROM t_user")
+	r := res.Rows[0]
+	if r[0].I != 4 || r[1].I != 115 || r[3].I != 25 || r[4].I != 35 {
+		t.Fatalf("aggregates: %v", r)
+	}
+	if av := r[2].AsFloat(); av < 28.7 || av > 28.8 {
+		t.Fatalf("avg: %v", r[2])
+	}
+	// Aggregate over empty set: COUNT 0, SUM NULL.
+	res = mustExec(t, s, "SELECT COUNT(*), SUM(age) FROM t_user WHERE uid > 100")
+	if res.Rows[0][0].I != 0 || !res.Rows[0][1].IsNull() {
+		t.Fatalf("empty aggregates: %v", res.Rows[0])
+	}
+	res = mustExec(t, s, "SELECT COUNT(DISTINCT age) FROM t_user")
+	if res.Rows[0][0].I != 3 {
+		t.Fatalf("count distinct: %v", res.Rows[0])
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	s := newTestSession(t)
+	seedUsers(t, s)
+	res := mustExec(t, s, "SELECT age, COUNT(*) AS c FROM t_user GROUP BY age ORDER BY age")
+	if len(res.Rows) != 3 {
+		t.Fatalf("groups: %v", res.Rows)
+	}
+	if res.Rows[0][0].I != 25 || res.Rows[0][1].I != 2 {
+		t.Fatalf("group row: %v", res.Rows[0])
+	}
+	// HAVING on an aggregate.
+	res = mustExec(t, s, "SELECT age, COUNT(*) FROM t_user GROUP BY age HAVING COUNT(*) > 1")
+	if len(res.Rows) != 1 || res.Rows[0][0].I != 25 {
+		t.Fatalf("having: %v", res.Rows)
+	}
+	// ORDER BY an aggregate.
+	res = mustExec(t, s, "SELECT age FROM t_user GROUP BY age ORDER BY COUNT(*) DESC, age")
+	if res.Rows[0][0].I != 25 {
+		t.Fatalf("order by agg: %v", res.Rows)
+	}
+}
+
+func TestJoins(t *testing.T) {
+	s := newTestSession(t)
+	seedUsers(t, s)
+	mustExec(t, s, "CREATE TABLE t_order (oid INT PRIMARY KEY, uid INT, amount INT)")
+	mustExec(t, s, "INSERT INTO t_order VALUES (100, 1, 10), (101, 1, 20), (102, 2, 30), (103, 9, 40)")
+
+	res := mustExec(t, s, "SELECT u.name, o.amount FROM t_user u JOIN t_order o ON u.uid = o.uid ORDER BY o.oid")
+	if len(res.Rows) != 3 {
+		t.Fatalf("inner join: %v", res.Rows)
+	}
+	if res.Rows[0][0].S != "alice" || res.Rows[2][1].I != 30 {
+		t.Fatalf("join rows: %v", res.Rows)
+	}
+
+	res = mustExec(t, s, "SELECT u.name, o.oid FROM t_user u LEFT JOIN t_order o ON u.uid = o.uid ORDER BY u.uid")
+	if len(res.Rows) != 5 { // alice×2, bob×1, carol pad, dave pad
+		t.Fatalf("left join: %v", res.Rows)
+	}
+	var padded int
+	for _, r := range res.Rows {
+		if r[1].IsNull() {
+			padded++
+		}
+	}
+	if padded != 2 {
+		t.Fatalf("left join padding: %v", res.Rows)
+	}
+
+	res = mustExec(t, s, "SELECT o.oid, u.name FROM t_user u RIGHT JOIN t_order o ON u.uid = o.uid ORDER BY o.oid")
+	if len(res.Rows) != 4 || !res.Rows[3][1].IsNull() {
+		t.Fatalf("right join: %v", res.Rows)
+	}
+
+	// Comma (cross) join with WHERE.
+	res = mustExec(t, s, "SELECT COUNT(*) FROM t_user, t_order WHERE t_user.uid = t_order.uid")
+	if res.Rows[0][0].I != 3 {
+		t.Fatalf("cross+where: %v", res.Rows)
+	}
+	// Pure cartesian.
+	res = mustExec(t, s, "SELECT COUNT(*) FROM t_user, t_order")
+	if res.Rows[0][0].I != 16 {
+		t.Fatalf("cartesian: %v", res.Rows)
+	}
+}
+
+func TestJoinThreeTables(t *testing.T) {
+	s := newTestSession(t)
+	seedUsers(t, s)
+	mustExec(t, s, "CREATE TABLE t_order (oid INT PRIMARY KEY, uid INT)")
+	mustExec(t, s, "CREATE TABLE t_item (iid INT PRIMARY KEY, oid INT, sku VARCHAR(10))")
+	mustExec(t, s, "INSERT INTO t_order VALUES (100, 1), (101, 2)")
+	mustExec(t, s, "INSERT INTO t_item VALUES (1, 100, 'a'), (2, 100, 'b'), (3, 101, 'c')")
+	res := mustExec(t, s, `SELECT u.name, i.sku FROM t_user u
+		JOIN t_order o ON u.uid = o.uid
+		JOIN t_item i ON o.oid = i.oid
+		ORDER BY i.iid`)
+	if len(res.Rows) != 3 || res.Rows[2][0].S != "bob" {
+		t.Fatalf("3-way join: %v", res.Rows)
+	}
+}
+
+func TestInsertUpdateDelete(t *testing.T) {
+	s := newTestSession(t)
+	seedUsers(t, s)
+	res := mustExec(t, s, "INSERT INTO t_user VALUES (5, 'eve', 20)")
+	if res.Affected != 1 {
+		t.Fatalf("insert affected: %d", res.Affected)
+	}
+	res = mustExec(t, s, "UPDATE t_user SET age = age + 10 WHERE age = 25")
+	if res.Affected != 2 {
+		t.Fatalf("update affected: %d", res.Affected)
+	}
+	res = mustExec(t, s, "SELECT COUNT(*) FROM t_user WHERE age = 35")
+	if res.Rows[0][0].I != 3 {
+		t.Fatalf("after update: %v", res.Rows)
+	}
+	res = mustExec(t, s, "DELETE FROM t_user WHERE uid > 3")
+	if res.Affected != 2 {
+		t.Fatalf("delete affected: %d", res.Affected)
+	}
+	res = mustExec(t, s, "SELECT COUNT(*) FROM t_user")
+	if res.Rows[0][0].I != 3 {
+		t.Fatalf("after delete: %v", res.Rows)
+	}
+}
+
+func TestInsertColumnSubsetAndAutoInc(t *testing.T) {
+	s := newTestSession(t)
+	mustExec(t, s, "CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, v VARCHAR(10), n INT)")
+	res := mustExec(t, s, "INSERT INTO t (v) VALUES ('a'), ('b')")
+	if res.Affected != 2 || res.LastInsertID != 2 {
+		t.Fatalf("auto inc insert: %+v", res)
+	}
+	out := mustExec(t, s, "SELECT id, v, n FROM t ORDER BY id")
+	if out.Rows[0][0].I != 1 || !out.Rows[0][2].IsNull() {
+		t.Fatalf("subset insert: %v", out.Rows)
+	}
+}
+
+func TestTransactionCommitRollback(t *testing.T) {
+	s := newTestSession(t)
+	seedUsers(t, s)
+	mustExec(t, s, "BEGIN")
+	mustExec(t, s, "UPDATE t_user SET age = 99 WHERE uid = 1")
+	// Another session must not see the uncommitted change.
+	s2 := s.proc.NewSession()
+	res := mustExec(t, s2, "SELECT age FROM t_user WHERE uid = 1")
+	if res.Rows[0][0].I != 30 {
+		t.Fatalf("dirty read: %v", res.Rows)
+	}
+	mustExec(t, s, "COMMIT")
+	res = mustExec(t, s2, "SELECT age FROM t_user WHERE uid = 1")
+	if res.Rows[0][0].I != 99 {
+		t.Fatalf("commit lost: %v", res.Rows)
+	}
+
+	mustExec(t, s, "BEGIN")
+	mustExec(t, s, "DELETE FROM t_user")
+	mustExec(t, s, "ROLLBACK")
+	res = mustExec(t, s, "SELECT COUNT(*) FROM t_user")
+	if res.Rows[0][0].I != 4 {
+		t.Fatalf("rollback lost rows: %v", res.Rows)
+	}
+}
+
+func TestBeginTwiceFails(t *testing.T) {
+	s := newTestSession(t)
+	mustExec(t, s, "BEGIN")
+	if _, err := s.Execute("BEGIN"); !errors.Is(err, ErrInTransaction) {
+		t.Fatalf("nested begin: %v", err)
+	}
+	mustExec(t, s, "ROLLBACK")
+}
+
+func TestXAThroughSQL(t *testing.T) {
+	s := newTestSession(t)
+	seedUsers(t, s)
+	mustExec(t, s, "XA BEGIN 'g1'")
+	mustExec(t, s, "UPDATE t_user SET age = 50 WHERE uid = 1")
+	mustExec(t, s, "XA END 'g1'")
+	mustExec(t, s, "XA PREPARE 'g1'")
+	res := mustExec(t, s, "XA RECOVER")
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "g1" {
+		t.Fatalf("xa recover: %v", res.Rows)
+	}
+	// Visible only after XA COMMIT.
+	out := mustExec(t, s, "SELECT age FROM t_user WHERE uid = 1")
+	if out.Rows[0][0].I != 30 {
+		t.Fatalf("prepared visible: %v", out.Rows)
+	}
+	mustExec(t, s, "XA COMMIT 'g1'")
+	out = mustExec(t, s, "SELECT age FROM t_user WHERE uid = 1")
+	if out.Rows[0][0].I != 50 {
+		t.Fatalf("xa commit lost: %v", out.Rows)
+	}
+}
+
+func TestXARollbackBeforePrepare(t *testing.T) {
+	s := newTestSession(t)
+	seedUsers(t, s)
+	mustExec(t, s, "XA BEGIN 'g2'")
+	mustExec(t, s, "UPDATE t_user SET age = 77 WHERE uid = 2")
+	mustExec(t, s, "XA ROLLBACK 'g2'")
+	out := mustExec(t, s, "SELECT age FROM t_user WHERE uid = 2")
+	if out.Rows[0][0].I != 25 {
+		t.Fatalf("xa rollback before prepare: %v", out.Rows)
+	}
+}
+
+func TestSelectForUpdateLocksRows(t *testing.T) {
+	s := newTestSession(t)
+	seedUsers(t, s)
+	s.engine.SetLockTimeout(50_000_000) // 50ms
+	mustExec(t, s, "BEGIN")
+	mustExec(t, s, "SELECT * FROM t_user WHERE uid = 1 FOR UPDATE")
+	s2 := s.proc.NewSession()
+	_, err := s2.Execute("UPDATE t_user SET age = 1 WHERE uid = 1")
+	if !errors.Is(err, storage.ErrLockTimeout) {
+		t.Fatalf("for update did not lock: %v", err)
+	}
+	mustExec(t, s, "COMMIT")
+	mustExec(t, s2, "UPDATE t_user SET age = 1 WHERE uid = 1")
+}
+
+func TestDDLThroughSQL(t *testing.T) {
+	s := newTestSession(t)
+	mustExec(t, s, "CREATE TABLE a (id INT PRIMARY KEY)")
+	mustExec(t, s, "CREATE TABLE IF NOT EXISTS a (id INT PRIMARY KEY)")
+	if _, err := s.Execute("CREATE TABLE a (id INT PRIMARY KEY)"); err == nil {
+		t.Fatal("duplicate create must fail")
+	}
+	mustExec(t, s, "CREATE INDEX idx_id2 ON a (id)")
+	res := mustExec(t, s, "SHOW TABLES")
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "a" {
+		t.Fatalf("show tables: %v", res.Rows)
+	}
+	mustExec(t, s, "DROP TABLE a")
+	mustExec(t, s, "DROP TABLE IF EXISTS a")
+	if _, err := s.Execute("DROP TABLE a"); err == nil {
+		t.Fatal("drop missing must fail")
+	}
+}
+
+func TestTruncateThroughSQL(t *testing.T) {
+	s := newTestSession(t)
+	seedUsers(t, s)
+	mustExec(t, s, "TRUNCATE TABLE t_user")
+	res := mustExec(t, s, "SELECT COUNT(*) FROM t_user")
+	if res.Rows[0][0].I != 0 {
+		t.Fatalf("truncate: %v", res.Rows)
+	}
+}
+
+func TestSetAndVars(t *testing.T) {
+	s := newTestSession(t)
+	mustExec(t, s, "SET autocommit = 1")
+	if v, ok := s.Vars()["autocommit"]; !ok || v.I != 1 {
+		t.Fatalf("vars: %v", s.Vars())
+	}
+}
+
+func TestSelectWithoutFrom(t *testing.T) {
+	s := newTestSession(t)
+	res := mustExec(t, s, "SELECT 1 + 2 AS three, 'x'")
+	if res.Rows[0][0].I != 3 || res.Rows[0][1].S != "x" {
+		t.Fatalf("no-from select: %v", res.Rows)
+	}
+}
+
+func TestCaseExpression(t *testing.T) {
+	s := newTestSession(t)
+	seedUsers(t, s)
+	res := mustExec(t, s, "SELECT name, CASE WHEN age >= 30 THEN 'senior' ELSE 'junior' END AS grade FROM t_user ORDER BY uid")
+	if res.Rows[0][1].S != "senior" || res.Rows[1][1].S != "junior" {
+		t.Fatalf("case: %v", res.Rows)
+	}
+}
+
+func TestScalarFunctions(t *testing.T) {
+	s := newTestSession(t)
+	res := mustExec(t, s, "SELECT ABS(-5), LENGTH('abc'), UPPER('ab'), LOWER('AB'), COALESCE(NULL, 7), CONCAT('a', 'b')")
+	r := res.Rows[0]
+	if r[0].I != 5 || r[1].I != 3 || r[2].S != "AB" || r[3].S != "ab" || r[4].I != 7 || r[5].S != "ab" {
+		t.Fatalf("scalars: %v", r)
+	}
+}
+
+func TestNullSemantics(t *testing.T) {
+	s := newTestSession(t)
+	mustExec(t, s, "CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+	mustExec(t, s, "INSERT INTO t VALUES (1, NULL), (2, 5)")
+	// NULL = NULL is not true.
+	res := mustExec(t, s, "SELECT COUNT(*) FROM t WHERE v = NULL")
+	if res.Rows[0][0].I != 0 {
+		t.Fatalf("null equality: %v", res.Rows)
+	}
+	res = mustExec(t, s, "SELECT COUNT(*) FROM t WHERE v IS NULL")
+	if res.Rows[0][0].I != 1 {
+		t.Fatalf("is null: %v", res.Rows)
+	}
+	// Aggregates skip NULLs.
+	res = mustExec(t, s, "SELECT COUNT(v), SUM(v) FROM t")
+	if res.Rows[0][0].I != 1 || res.Rows[0][1].I != 5 {
+		t.Fatalf("null aggregates: %v", res.Rows)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	s := newTestSession(t)
+	seedUsers(t, s)
+	for _, sql := range []string{
+		"SELECT * FROM missing",
+		"SELECT nosuch FROM t_user",
+		"INSERT INTO t_user (bad) VALUES (1)",
+		"UPDATE t_user SET bad = 1",
+		"SELECT NOSUCHFUNC(uid) FROM t_user",
+	} {
+		if _, err := s.Execute(sql); err == nil {
+			t.Errorf("%s: expected error", sql)
+		}
+	}
+}
+
+func TestAmbiguousColumn(t *testing.T) {
+	s := newTestSession(t)
+	seedUsers(t, s)
+	mustExec(t, s, "CREATE TABLE t2 (uid INT PRIMARY KEY)")
+	mustExec(t, s, "INSERT INTO t2 VALUES (1)")
+	_, err := s.Execute("SELECT uid FROM t_user, t2")
+	if !errors.Is(err, ErrAmbiguousColumn) {
+		t.Fatalf("ambiguous: %v", err)
+	}
+}
+
+func TestStatementCache(t *testing.T) {
+	e := storage.NewEngine("ds0")
+	p := NewProcessor(e)
+	s1, err := p.Parse("SELECT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := p.Parse("SELECT 1")
+	if s1 != s2 {
+		t.Fatal("cache miss on identical SQL")
+	}
+}
+
+func TestLikeMatch(t *testing.T) {
+	cases := []struct {
+		s, p string
+		want bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "h%", true},
+		{"hello", "%o", true},
+		{"hello", "%ell%", true},
+		{"hello", "h_llo", true},
+		{"hello", "h_l_o", true},
+		{"hello", "h_x_o", false},
+		{"hello", "", false},
+		{"", "%", true},
+		{"abc", "a%b%c", true},
+		{"abc", "%%%", true},
+		{"abc", "_b_", true},
+		{"ab", "_b_", false},
+	}
+	for _, tc := range cases {
+		if got := likeMatch(tc.s, tc.p); got != tc.want {
+			t.Errorf("likeMatch(%q, %q) = %v, want %v", tc.s, tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestLargeScanAndRangeQuery(t *testing.T) {
+	s := newTestSession(t)
+	mustExec(t, s, "CREATE TABLE big (id INT PRIMARY KEY, k INT)")
+	for i := 0; i < 50; i++ {
+		mustExec(t, s, fmt.Sprintf("INSERT INTO big VALUES (%d, %d)", i, i%7))
+	}
+	res := mustExec(t, s, "SELECT SUM(k) FROM big WHERE id BETWEEN 10 AND 19")
+	want := int64(0)
+	for i := 10; i <= 19; i++ {
+		want += int64(i % 7)
+	}
+	if res.Rows[0][0].I != want {
+		t.Fatalf("range sum: %v want %d", res.Rows[0][0], want)
+	}
+}

@@ -1,0 +1,455 @@
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+)
+
+// fmtSprintf is a thin alias so parser.go keeps a single fmt dependency
+// point.
+func fmtSprintf(format string, args ...any) string { return fmt.Sprintf(format, args...) }
+
+// Serializer renders AST nodes back to SQL text for a target dialect. The
+// SQL rewriter (paper Section VI-C) mutates the AST — renaming logic tables
+// to actual tables, deriving columns, revising pagination — and then uses a
+// Serializer to produce the executable statements sent to data nodes.
+type Serializer struct {
+	Dialect Dialect
+	// QuoteIdents forces identifier quoting; default leaves bare
+	// identifiers unquoted, which keeps rewritten SQL human-readable.
+	QuoteIdents bool
+}
+
+// NewSerializer returns a serializer for the dialect.
+func NewSerializer(d Dialect) *Serializer { return &Serializer{Dialect: d} }
+
+func (s *Serializer) quote(ident string) string {
+	if !s.QuoteIdents && !needsQuote(ident) {
+		return ident
+	}
+	if s.Dialect == DialectPostgreSQL {
+		return `"` + strings.ReplaceAll(ident, `"`, `""`) + `"`
+	}
+	return "`" + strings.ReplaceAll(ident, "`", "``") + "`"
+}
+
+func needsQuote(ident string) bool {
+	if ident == "" {
+		return true
+	}
+	if keywords[upper(ident)] {
+		return true
+	}
+	for i := 0; i < len(ident); i++ {
+		c := ident[i]
+		if !isIdentPart(c) {
+			return true
+		}
+	}
+	return !isIdentStart(ident[0])
+}
+
+// Serialize renders a statement to SQL text.
+func (s *Serializer) Serialize(stmt Statement) string {
+	var b strings.Builder
+	s.writeStmt(&b, stmt)
+	return b.String()
+}
+
+// SerializeExpr renders one expression to SQL text.
+func (s *Serializer) SerializeExpr(e Expr) string {
+	var b strings.Builder
+	s.writeExpr(&b, e)
+	return b.String()
+}
+
+func (s *Serializer) writeStmt(b *strings.Builder, stmt Statement) {
+	switch t := stmt.(type) {
+	case *SelectStmt:
+		s.writeSelect(b, t)
+	case *InsertStmt:
+		s.writeInsert(b, t)
+	case *UpdateStmt:
+		s.writeUpdate(b, t)
+	case *DeleteStmt:
+		s.writeDelete(b, t)
+	case *CreateTableStmt:
+		s.writeCreateTable(b, t)
+	case *DropTableStmt:
+		b.WriteString("DROP TABLE ")
+		if t.IfExists {
+			b.WriteString("IF EXISTS ")
+		}
+		b.WriteString(s.quote(t.Table))
+	case *TruncateStmt:
+		b.WriteString("TRUNCATE TABLE ")
+		b.WriteString(s.quote(t.Table))
+	case *CreateIndexStmt:
+		fmt.Fprintf(b, "CREATE INDEX %s ON %s (%s)", s.quote(t.Name), s.quote(t.Table), s.identList(t.Columns))
+	case *BeginStmt:
+		b.WriteString("BEGIN")
+	case *CommitStmt:
+		b.WriteString("COMMIT")
+	case *RollbackStmt:
+		b.WriteString("ROLLBACK")
+	case *XAStmt:
+		b.WriteString(t.Op.String())
+		if t.Op != XARecover {
+			b.WriteString(" '")
+			b.WriteString(strings.ReplaceAll(t.XID, "'", "''"))
+			b.WriteString("'")
+		}
+	case *ShowStmt:
+		b.WriteString("SHOW ")
+		b.WriteString(t.What)
+	case *DescribeStmt:
+		b.WriteString("DESCRIBE ")
+		b.WriteString(s.quote(t.Table))
+	case *SetStmt:
+		fmt.Fprintf(b, "SET %s = %s", t.Name, t.Value.SQLLiteral())
+	default:
+		fmt.Fprintf(b, "/* unserializable %T */", stmt)
+	}
+}
+
+func (s *Serializer) identList(cols []string) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = s.quote(c)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func (s *Serializer) writeSelect(b *strings.Builder, t *SelectStmt) {
+	b.WriteString("SELECT ")
+	if t.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, item := range t.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		switch {
+		case item.Star && item.StarTable != "":
+			b.WriteString(s.quote(item.StarTable))
+			b.WriteString(".*")
+		case item.Star:
+			b.WriteString("*")
+		default:
+			s.writeExpr(b, item.Expr)
+			if item.Alias != "" {
+				b.WriteString(" AS ")
+				b.WriteString(s.quote(item.Alias))
+			}
+		}
+	}
+	if len(t.From) > 0 {
+		b.WriteString(" FROM ")
+		for i, ref := range t.From {
+			if i > 0 {
+				if ref.Join == JoinCross && ref.On == nil {
+					b.WriteString(", ")
+				} else {
+					b.WriteString(" ")
+					b.WriteString(ref.Join.String())
+					b.WriteString(" ")
+				}
+			}
+			b.WriteString(s.quote(ref.Name))
+			if ref.Alias != "" {
+				b.WriteString(" ")
+				b.WriteString(s.quote(ref.Alias))
+			}
+			if ref.On != nil {
+				b.WriteString(" ON ")
+				s.writeExpr(b, ref.On)
+			}
+		}
+	}
+	if t.Where != nil {
+		b.WriteString(" WHERE ")
+		s.writeExpr(b, t.Where)
+	}
+	if len(t.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, e := range t.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			s.writeExpr(b, e)
+		}
+	}
+	if t.Having != nil {
+		b.WriteString(" HAVING ")
+		s.writeExpr(b, t.Having)
+	}
+	if len(t.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range t.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			s.writeExpr(b, o.Expr)
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if t.Limit != nil {
+		if s.Dialect == DialectPostgreSQL {
+			b.WriteString(" LIMIT ")
+			s.writeExpr(b, t.Limit.Count)
+			if t.Limit.Offset != nil {
+				b.WriteString(" OFFSET ")
+				s.writeExpr(b, t.Limit.Offset)
+			}
+		} else {
+			b.WriteString(" LIMIT ")
+			if t.Limit.Offset != nil {
+				s.writeExpr(b, t.Limit.Offset)
+				b.WriteString(", ")
+			}
+			s.writeExpr(b, t.Limit.Count)
+		}
+	}
+	if t.ForUpdate {
+		b.WriteString(" FOR UPDATE")
+	}
+}
+
+func (s *Serializer) writeInsert(b *strings.Builder, t *InsertStmt) {
+	b.WriteString("INSERT INTO ")
+	b.WriteString(s.quote(t.Table))
+	if len(t.Columns) > 0 {
+		b.WriteString(" (")
+		b.WriteString(s.identList(t.Columns))
+		b.WriteString(")")
+	}
+	b.WriteString(" VALUES ")
+	for i, row := range t.Rows {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString("(")
+		for j, e := range row {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			s.writeExpr(b, e)
+		}
+		b.WriteString(")")
+	}
+}
+
+func (s *Serializer) writeUpdate(b *strings.Builder, t *UpdateStmt) {
+	b.WriteString("UPDATE ")
+	b.WriteString(s.quote(t.Table))
+	if t.Alias != "" {
+		b.WriteString(" ")
+		b.WriteString(s.quote(t.Alias))
+	}
+	b.WriteString(" SET ")
+	for i, a := range t.Set {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(s.quote(a.Column))
+		b.WriteString(" = ")
+		s.writeExpr(b, a.Value)
+	}
+	if t.Where != nil {
+		b.WriteString(" WHERE ")
+		s.writeExpr(b, t.Where)
+	}
+}
+
+func (s *Serializer) writeDelete(b *strings.Builder, t *DeleteStmt) {
+	b.WriteString("DELETE FROM ")
+	b.WriteString(s.quote(t.Table))
+	if t.Alias != "" {
+		b.WriteString(" ")
+		b.WriteString(s.quote(t.Alias))
+	}
+	if t.Where != nil {
+		b.WriteString(" WHERE ")
+		s.writeExpr(b, t.Where)
+	}
+}
+
+func (s *Serializer) writeCreateTable(b *strings.Builder, t *CreateTableStmt) {
+	b.WriteString("CREATE TABLE ")
+	if t.IfNotExists {
+		b.WriteString("IF NOT EXISTS ")
+	}
+	b.WriteString(s.quote(t.Table))
+	b.WriteString(" (")
+	for i, c := range t.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(s.quote(c.Name))
+		b.WriteString(" ")
+		b.WriteString(c.TypeName)
+		if c.Size > 0 {
+			fmt.Fprintf(b, "(%d)", c.Size)
+		}
+		if c.PrimaryKey {
+			b.WriteString(" PRIMARY KEY")
+		}
+		if c.NotNull {
+			b.WriteString(" NOT NULL")
+		}
+		if c.AutoIncrement {
+			b.WriteString(" AUTO_INCREMENT")
+		}
+	}
+	if len(t.PrimaryKey) > 0 {
+		b.WriteString(", PRIMARY KEY (")
+		b.WriteString(s.identList(t.PrimaryKey))
+		b.WriteString(")")
+	}
+	b.WriteString(")")
+}
+
+func (s *Serializer) writeExpr(b *strings.Builder, e Expr) {
+	switch t := e.(type) {
+	case *Literal:
+		b.WriteString(t.Val.SQLLiteral())
+	case *Placeholder:
+		b.WriteString("?")
+	case *ColumnRef:
+		if t.Table != "" {
+			b.WriteString(s.quote(t.Table))
+			b.WriteString(".")
+		}
+		b.WriteString(s.quote(t.Name))
+	case *BinaryExpr:
+		// Parenthesize nested boolean operators to preserve precedence.
+		lparen := needParens(t.Op, t.L)
+		rparen := needParens(t.Op, t.R)
+		if lparen {
+			b.WriteString("(")
+		}
+		s.writeExpr(b, t.L)
+		if lparen {
+			b.WriteString(")")
+		}
+		b.WriteString(" ")
+		b.WriteString(t.Op.String())
+		b.WriteString(" ")
+		if rparen {
+			b.WriteString("(")
+		}
+		s.writeExpr(b, t.R)
+		if rparen {
+			b.WriteString(")")
+		}
+	case *UnaryExpr:
+		if t.Op == OpNot {
+			b.WriteString("NOT (")
+			s.writeExpr(b, t.E)
+			b.WriteString(")")
+		} else {
+			b.WriteString("-(")
+			s.writeExpr(b, t.E)
+			b.WriteString(")")
+		}
+	case *InExpr:
+		s.writeExpr(b, t.E)
+		if t.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" IN (")
+		for i, x := range t.List {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			s.writeExpr(b, x)
+		}
+		b.WriteString(")")
+	case *BetweenExpr:
+		s.writeExpr(b, t.E)
+		if t.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" BETWEEN ")
+		s.writeExpr(b, t.Lo)
+		b.WriteString(" AND ")
+		s.writeExpr(b, t.Hi)
+	case *LikeExpr:
+		s.writeExpr(b, t.E)
+		if t.Not {
+			b.WriteString(" NOT")
+		}
+		b.WriteString(" LIKE ")
+		s.writeExpr(b, t.Pattern)
+	case *IsNullExpr:
+		s.writeExpr(b, t.E)
+		b.WriteString(" IS ")
+		if t.Not {
+			b.WriteString("NOT ")
+		}
+		b.WriteString("NULL")
+	case *FuncExpr:
+		b.WriteString(t.Name)
+		b.WriteString("(")
+		if t.Star {
+			b.WriteString("*")
+		} else {
+			if t.Distinct {
+				b.WriteString("DISTINCT ")
+			}
+			for i, a := range t.Args {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				s.writeExpr(b, a)
+			}
+		}
+		b.WriteString(")")
+	case *CaseExpr:
+		b.WriteString("CASE")
+		if t.Operand != nil {
+			b.WriteString(" ")
+			s.writeExpr(b, t.Operand)
+		}
+		for _, w := range t.Whens {
+			b.WriteString(" WHEN ")
+			s.writeExpr(b, w.When)
+			b.WriteString(" THEN ")
+			s.writeExpr(b, w.Then)
+		}
+		if t.Else != nil {
+			b.WriteString(" ELSE ")
+			s.writeExpr(b, t.Else)
+		}
+		b.WriteString(" END")
+	default:
+		fmt.Fprintf(b, "/* expr %T */", e)
+	}
+}
+
+// needParens reports whether a child of a binary operator must be
+// parenthesized: OR children under AND, and any boolean child under
+// arithmetic/comparison.
+func needParens(parent BinOp, child Expr) bool {
+	c, ok := child.(*BinaryExpr)
+	if !ok {
+		return false
+	}
+	prec := func(op BinOp) int {
+		switch op {
+		case OpOr:
+			return 1
+		case OpAnd:
+			return 2
+		case OpEQ, OpNE, OpLT, OpLE, OpGT, OpGE:
+			return 3
+		case OpAdd, OpSub, OpConcat:
+			return 4
+		default:
+			return 5
+		}
+	}
+	return prec(c.Op) < prec(parent)
+}

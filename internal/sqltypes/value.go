@@ -1,0 +1,270 @@
+// Package sqltypes defines the value, row and schema types shared by every
+// layer of the system: the storage engines, the per-node query processor,
+// the sharding kernel, the mergers and the wire protocol.
+//
+// Values are a small concrete struct rather than interface{} so rows can be
+// copied and compared without per-cell heap allocation, which matters on the
+// hot path of the executor and the stream mergers.
+package sqltypes
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the runtime type of a Value.
+type Kind uint8
+
+// The supported value kinds. They deliberately mirror the small set of
+// SQL-92 types the paper's data sources need: integers, floating point,
+// character data and NULL. Booleans appear only as expression results.
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "VARCHAR"
+	case KindBool:
+		return "BOOLEAN"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single SQL value. The zero Value is NULL.
+type Value struct {
+	Kind Kind
+	I    int64
+	F    float64
+	S    string
+}
+
+// Null is the SQL NULL value.
+var Null = Value{}
+
+// NewInt returns an integer value.
+func NewInt(v int64) Value { return Value{Kind: KindInt, I: v} }
+
+// NewFloat returns a floating-point value.
+func NewFloat(v float64) Value { return Value{Kind: KindFloat, F: v} }
+
+// NewString returns a character value.
+func NewString(v string) Value { return Value{Kind: KindString, S: v} }
+
+// NewBool returns a boolean value.
+func NewBool(v bool) Value {
+	if v {
+		return Value{Kind: KindBool, I: 1}
+	}
+	return Value{Kind: KindBool}
+}
+
+// IsNull reports whether the value is SQL NULL.
+func (v Value) IsNull() bool { return v.Kind == KindNull }
+
+// Bool reports the truth value; NULL and zero values are false.
+func (v Value) Bool() bool {
+	switch v.Kind {
+	case KindBool, KindInt:
+		return v.I != 0
+	case KindFloat:
+		return v.F != 0
+	case KindString:
+		return v.S != ""
+	default:
+		return false
+	}
+}
+
+// AsInt coerces the value to an integer, following the permissive numeric
+// coercion of the MySQL family (strings parse their numeric prefix).
+func (v Value) AsInt() int64 {
+	switch v.Kind {
+	case KindInt, KindBool:
+		return v.I
+	case KindFloat:
+		return int64(v.F)
+	case KindString:
+		n, _ := strconv.ParseInt(strings.TrimSpace(v.S), 10, 64)
+		return n
+	default:
+		return 0
+	}
+}
+
+// AsFloat coerces the value to a float64.
+func (v Value) AsFloat() float64 {
+	switch v.Kind {
+	case KindInt, KindBool:
+		return float64(v.I)
+	case KindFloat:
+		return v.F
+	case KindString:
+		f, _ := strconv.ParseFloat(strings.TrimSpace(v.S), 64)
+		return f
+	default:
+		return 0
+	}
+}
+
+// AsString renders the value as its SQL text form without quotes.
+func (v Value) AsString() string {
+	switch v.Kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case KindString:
+		return v.S
+	case KindBool:
+		if v.I != 0 {
+			return "TRUE"
+		}
+		return "FALSE"
+	default:
+		return ""
+	}
+}
+
+// SQLLiteral renders the value as a literal that can be embedded in a SQL
+// statement, quoting and escaping strings.
+func (v Value) SQLLiteral() string {
+	if v.Kind == KindString {
+		return "'" + strings.ReplaceAll(v.S, "'", "''") + "'"
+	}
+	return v.AsString()
+}
+
+// String implements fmt.Stringer for debugging.
+func (v Value) String() string { return v.AsString() }
+
+// numericKind reports whether the kind participates in numeric comparison.
+func numericKind(k Kind) bool { return k == KindInt || k == KindFloat || k == KindBool }
+
+// Compare orders two values. NULL sorts before everything (as in MySQL's
+// ORDER BY). Numeric kinds compare numerically even across kinds; strings
+// compare lexicographically; a numeric and a string compare numerically,
+// matching the coercion used by the expression evaluator.
+func Compare(a, b Value) int {
+	an, bn := a.IsNull(), b.IsNull()
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return -1
+	case bn:
+		return 1
+	}
+	if a.Kind == KindString && b.Kind == KindString {
+		return strings.Compare(a.S, b.S)
+	}
+	if numericKind(a.Kind) && numericKind(b.Kind) {
+		if a.Kind == KindInt && b.Kind == KindInt {
+			switch {
+			case a.I < b.I:
+				return -1
+			case a.I > b.I:
+				return 1
+			default:
+				return 0
+			}
+		}
+		return compareFloat(a.AsFloat(), b.AsFloat())
+	}
+	// Mixed string/numeric: coerce to numbers, as the evaluator does.
+	return compareFloat(a.AsFloat(), b.AsFloat())
+}
+
+func compareFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports whether two values compare equal under Compare, with the
+// SQL caveat that NULL never equals anything, including NULL.
+func Equal(a, b Value) bool {
+	if a.IsNull() || b.IsNull() {
+		return false
+	}
+	return Compare(a, b) == 0
+}
+
+// Add returns a+b with numeric promotion (int+int stays int).
+func Add(a, b Value) Value {
+	if a.IsNull() || b.IsNull() {
+		return Null
+	}
+	if a.Kind == KindInt && b.Kind == KindInt {
+		return NewInt(a.I + b.I)
+	}
+	return NewFloat(a.AsFloat() + b.AsFloat())
+}
+
+// Sub returns a-b with numeric promotion.
+func Sub(a, b Value) Value {
+	if a.IsNull() || b.IsNull() {
+		return Null
+	}
+	if a.Kind == KindInt && b.Kind == KindInt {
+		return NewInt(a.I - b.I)
+	}
+	return NewFloat(a.AsFloat() - b.AsFloat())
+}
+
+// Mul returns a*b with numeric promotion.
+func Mul(a, b Value) Value {
+	if a.IsNull() || b.IsNull() {
+		return Null
+	}
+	if a.Kind == KindInt && b.Kind == KindInt {
+		return NewInt(a.I * b.I)
+	}
+	return NewFloat(a.AsFloat() * b.AsFloat())
+}
+
+// Div returns a/b; division always yields a float (as in PostgreSQL's
+// float division and MySQL's "/" operator) and NULL on division by zero.
+func Div(a, b Value) Value {
+	if a.IsNull() || b.IsNull() {
+		return Null
+	}
+	d := b.AsFloat()
+	if d == 0 {
+		return Null
+	}
+	return NewFloat(a.AsFloat() / d)
+}
+
+// Mod returns a%b on integers and NULL on division by zero.
+func Mod(a, b Value) Value {
+	if a.IsNull() || b.IsNull() {
+		return Null
+	}
+	d := b.AsInt()
+	if d == 0 {
+		return Null
+	}
+	return NewInt(a.AsInt() % d)
+}

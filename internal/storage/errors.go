@@ -1,0 +1,31 @@
+// Package storage implements the per-node storage engine that stands in
+// for the paper's MySQL/PostgreSQL data sources (see DESIGN.md's
+// substitution table). Each Engine is one independent "database instance":
+// it owns tables with B-tree-backed primary and secondary indexes, provides
+// local ACID transactions with row-level locking and read-committed
+// visibility, and exposes the XA hooks (prepare / commit-prepared /
+// rollback-prepared / recover) that the distributed transaction manager
+// drives during two-phase commit (paper Section IV-B).
+package storage
+
+import "errors"
+
+// Sentinel errors returned by the engine. Callers match them with
+// errors.Is.
+var (
+	ErrTableExists   = errors.New("storage: table already exists")
+	ErrTableNotFound = errors.New("storage: table not found")
+	ErrDuplicateKey  = errors.New("storage: duplicate primary key")
+	ErrLockTimeout   = errors.New("storage: lock wait timeout")
+	ErrTxFinished    = errors.New("storage: transaction already finished")
+	ErrTxPrepared    = errors.New("storage: transaction is prepared; use XA commit/rollback")
+	ErrXIDNotFound   = errors.New("storage: prepared transaction not found")
+	ErrXIDExists     = errors.New("storage: XID already prepared")
+	ErrPKUpdate      = errors.New("storage: updating primary key columns is not supported")
+	ErrColumnCount   = errors.New("storage: row length does not match schema")
+	ErrNullPK        = errors.New("storage: primary key column must not be NULL")
+	ErrIndexExists   = errors.New("storage: index already exists")
+	ErrIndexNotFound = errors.New("storage: index not found")
+	ErrEngineClosed  = errors.New("storage: engine closed")
+	ErrNotNullColumn = errors.New("storage: NULL value in NOT NULL column")
+)

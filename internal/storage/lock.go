@@ -1,0 +1,106 @@
+package storage
+
+import (
+	"sync"
+	"time"
+)
+
+// lockKey identifies one row lock: a table and a row id.
+type lockKey struct {
+	table *Table
+	rowID int64
+}
+
+// waiter is one transaction queued for a lock; grant is closed when
+// ownership transfers to it.
+type waiter struct {
+	txID  int64
+	grant chan struct{}
+}
+
+// lockState is the current holder and FIFO wait queue of one row lock.
+type lockState struct {
+	owner   int64
+	waiters []waiter
+}
+
+// lockManager grants exclusive row locks to transactions. Deadlocks are
+// resolved by lock-wait timeout, the same pragmatic policy InnoDB defaults
+// to; the kernel's execution engine additionally avoids connection-level
+// deadlocks by atomic acquisition (paper Section VI-D).
+type lockManager struct {
+	mu    sync.Mutex
+	locks map[lockKey]*lockState
+}
+
+func newLockManager() *lockManager {
+	return &lockManager{locks: map[lockKey]*lockState{}}
+}
+
+// acquire blocks until the transaction holds the row lock, reentrantly.
+// It fails with ErrLockTimeout after the timeout elapses.
+func (lm *lockManager) acquire(tx *Tx, key lockKey, timeout time.Duration) error {
+	lm.mu.Lock()
+	st, held := lm.locks[key]
+	if !held {
+		lm.locks[key] = &lockState{owner: tx.id}
+		lm.mu.Unlock()
+		tx.noteLock(key)
+		return nil
+	}
+	if st.owner == tx.id {
+		lm.mu.Unlock()
+		return nil
+	}
+	w := waiter{txID: tx.id, grant: make(chan struct{})}
+	st.waiters = append(st.waiters, w)
+	lm.mu.Unlock()
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-w.grant:
+		tx.noteLock(key)
+		return nil
+	case <-timer.C:
+		lm.mu.Lock()
+		// The grant may have raced the timeout; if we own the lock now,
+		// accept it.
+		if st, ok := lm.locks[key]; ok {
+			if st.owner == tx.id {
+				lm.mu.Unlock()
+				tx.noteLock(key)
+				return nil
+			}
+			for i, cand := range st.waiters {
+				if cand.txID == tx.id && cand.grant == w.grant {
+					st.waiters = append(st.waiters[:i], st.waiters[i+1:]...)
+					break
+				}
+			}
+		}
+		lm.mu.Unlock()
+		return ErrLockTimeout
+	}
+}
+
+// releaseAll releases every lock held by the transaction, transferring
+// each to its first waiter if any.
+func (lm *lockManager) releaseAll(keys []lockKey, txID int64) {
+	lm.mu.Lock()
+	defer lm.mu.Unlock()
+	for _, key := range keys {
+		st, ok := lm.locks[key]
+		if !ok || st.owner != txID {
+			continue
+		}
+		if len(st.waiters) == 0 {
+			delete(lm.locks, key)
+			continue
+		}
+		next := st.waiters[0]
+		st.waiters = st.waiters[1:]
+		st.owner = next.txID
+		close(next.grant)
+	}
+}

@@ -1,0 +1,236 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"shardingsphere/internal/btree"
+	"shardingsphere/internal/sqltypes"
+)
+
+// rowSlot is the stored state of one row. committed is the version every
+// other transaction reads; uncommitted is the pending version private to
+// the owning transaction (read-committed isolation). A pending delete sets
+// deleted with owner identifying the deleter.
+type rowSlot struct {
+	id          int64
+	pkKey       btree.Key    // cached primary-key key; immutable for the slot's life
+	committed   sqltypes.Row // nil until the creating tx commits
+	uncommitted sqltypes.Row // nil when no pending write
+	owner       int64        // tx id with a pending write; 0 = none
+	deleted     bool         // pending delete by owner
+}
+
+// visible returns the version of the row the transaction may read, or nil.
+func (s *rowSlot) visible(txID int64) sqltypes.Row {
+	if s.owner != 0 && s.owner == txID {
+		if s.deleted {
+			return nil
+		}
+		if s.uncommitted != nil {
+			return s.uncommitted
+		}
+		return s.committed
+	}
+	return s.committed
+}
+
+// secondaryIndex is a non-unique ordered index: key → set of row ids.
+type secondaryIndex struct {
+	name string
+	cols []int // schema positions
+	tree *btree.Tree
+}
+
+func (ix *secondaryIndex) keyOf(row sqltypes.Row) btree.Key {
+	key := make(btree.Key, len(ix.cols))
+	for i, c := range ix.cols {
+		key[i] = row[c]
+	}
+	return key
+}
+
+func (ix *secondaryIndex) add(row sqltypes.Row, rowID int64) {
+	key := ix.keyOf(row)
+	v, ok := ix.tree.Get(key)
+	if !ok {
+		ix.tree.Set(key, map[int64]struct{}{rowID: {}})
+		return
+	}
+	v.(map[int64]struct{})[rowID] = struct{}{}
+}
+
+func (ix *secondaryIndex) remove(row sqltypes.Row, rowID int64) {
+	key := ix.keyOf(row)
+	v, ok := ix.tree.Get(key)
+	if !ok {
+		return
+	}
+	set := v.(map[int64]struct{})
+	delete(set, rowID)
+	if len(set) == 0 {
+		ix.tree.Delete(key)
+	}
+}
+
+// Table is one physical table: a schema, a slot store, a primary-key
+// B-tree and any secondary indexes. All structural access is serialized by
+// mu; long scans hold the read lock for their duration, which mirrors the
+// latch behaviour of a single-node engine closely enough for the paper's
+// workloads.
+type Table struct {
+	mu      sync.RWMutex
+	name    string
+	schema  sqltypes.Schema
+	pkCols  []int
+	autoCol int // schema position of AUTO_INCREMENT column, -1 if none
+	notNull []bool
+
+	autoInc int64
+	rowSeq  int64
+	slots   map[int64]*rowSlot
+	pk      *btree.Tree // pk key → rowID
+	indexes map[string]*secondaryIndex
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema. The returned slice must not be mutated.
+func (t *Table) Schema() sqltypes.Schema { return t.schema }
+
+// PKColumns returns schema positions of the primary key columns.
+func (t *Table) PKColumns() []int { return t.pkCols }
+
+// AutoIncrementColumn returns the position of the auto-increment column or
+// -1.
+func (t *Table) AutoIncrementColumn() int { return t.autoCol }
+
+// Len returns the number of committed rows (approximate under concurrent
+// writers).
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	for _, s := range t.slots {
+		if s.committed != nil && !(s.owner != 0 && s.deleted) {
+			n++
+		}
+	}
+	return n
+}
+
+// IndexHeight reports the height of the primary index; the engine's stats
+// surface it so experiments can correlate data size with tree depth.
+func (t *Table) IndexHeight() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.pk.Height()
+}
+
+func (t *Table) pkKeyOf(row sqltypes.Row) (btree.Key, error) {
+	key := make(btree.Key, len(t.pkCols))
+	for i, c := range t.pkCols {
+		if row[c].IsNull() {
+			return nil, fmt.Errorf("%w: table %s", ErrNullPK, t.name)
+		}
+		key[i] = row[c]
+	}
+	return key, nil
+}
+
+// HasIndexOn reports whether a secondary index exists whose first column
+// is the given schema position, returning its name.
+func (t *Table) HasIndexOn(col int) (string, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for name, ix := range t.indexes {
+		if ix.cols[0] == col {
+			return name, true
+		}
+	}
+	return "", false
+}
+
+// ScanEntry is one visible row surfaced by a scan, carrying the row id the
+// caller needs to update or delete it.
+type ScanEntry struct {
+	RowID int64
+	Row   sqltypes.Row
+}
+
+// Scan visits every visible row in primary-key order until fn returns
+// false.
+func (t *Table) Scan(txID int64, fn func(ScanEntry) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.pk.Ascend(func(_ btree.Key, v any) bool {
+		slot := t.slots[v.(int64)]
+		row := slot.visible(txID)
+		if row == nil {
+			return true
+		}
+		return fn(ScanEntry{RowID: slot.id, Row: row})
+	})
+}
+
+// PKRange visits visible rows with lo <= pk <= hi in key order. Nil bounds
+// are open.
+func (t *Table) PKRange(txID int64, lo, hi btree.Key, fn func(ScanEntry) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.pk.AscendRange(lo, hi, func(_ btree.Key, v any) bool {
+		slot := t.slots[v.(int64)]
+		row := slot.visible(txID)
+		if row == nil {
+			return true
+		}
+		return fn(ScanEntry{RowID: slot.id, Row: row})
+	})
+}
+
+// PKGet returns the visible row with the given primary key.
+func (t *Table) PKGet(txID int64, key btree.Key) (ScanEntry, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	v, ok := t.pk.Get(key)
+	if !ok {
+		return ScanEntry{}, false
+	}
+	slot := t.slots[v.(int64)]
+	row := slot.visible(txID)
+	if row == nil {
+		return ScanEntry{}, false
+	}
+	return ScanEntry{RowID: slot.id, Row: row}, true
+}
+
+// IndexRange visits visible rows whose index key is within [lo, hi] on the
+// named secondary index. Because index entries may be stale relative to a
+// row's visible version, callers must re-check their predicates — the query
+// processor always does.
+func (t *Table) IndexRange(txID int64, index string, lo, hi btree.Key, fn func(ScanEntry) bool) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ix, ok := t.indexes[index]
+	if !ok {
+		return fmt.Errorf("%w: %s.%s", ErrIndexNotFound, t.name, index)
+	}
+	ix.tree.AscendRange(lo, hi, func(_ btree.Key, v any) bool {
+		for rowID := range v.(map[int64]struct{}) {
+			slot, ok := t.slots[rowID]
+			if !ok {
+				continue
+			}
+			row := slot.visible(txID)
+			if row == nil {
+				continue
+			}
+			if !fn(ScanEntry{RowID: slot.id, Row: row}) {
+				return false
+			}
+		}
+		return true
+	})
+	return nil
+}

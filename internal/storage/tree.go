@@ -1,0 +1,6 @@
+package storage
+
+import "shardingsphere/internal/btree"
+
+// newTree is a local alias so table/engine code reads tersely.
+func newTree() *btree.Tree { return btree.New() }

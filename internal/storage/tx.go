@@ -1,0 +1,381 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"shardingsphere/internal/btree"
+	"shardingsphere/internal/sqltypes"
+)
+
+// txState is the lifecycle state of a transaction.
+type txState uint8
+
+const (
+	txActive txState = iota
+	txPrepared
+	txCommitted
+	txAborted
+)
+
+// writeRecord remembers a transaction's first touch of a row so commit and
+// rollback know whether the slot was created by this transaction.
+type writeRecord struct {
+	key      lockKey
+	inserted bool
+}
+
+// Tx is one local transaction on an Engine. A Tx is used by a single
+// session goroutine; the engine's internal structures handle cross-
+// transaction concurrency.
+type Tx struct {
+	id     int64
+	engine *Engine
+
+	mu     sync.Mutex
+	state  txState
+	xid    string
+	writes map[lockKey]*writeRecord
+	order  []*writeRecord
+	locked []lockKey
+	// versionFloor gates nothing yet; reserved for snapshot upgrades.
+}
+
+// ID returns the transaction id (unique per engine).
+func (tx *Tx) ID() int64 { return tx.id }
+
+// noteLock records an acquired row lock for release at completion.
+func (tx *Tx) noteLock(key lockKey) {
+	tx.mu.Lock()
+	tx.locked = append(tx.locked, key)
+	tx.mu.Unlock()
+}
+
+func (tx *Tx) noteWrite(key lockKey, inserted bool) *writeRecord {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if rec, ok := tx.writes[key]; ok {
+		return rec
+	}
+	rec := &writeRecord{key: key, inserted: inserted}
+	tx.writes[key] = rec
+	tx.order = append(tx.order, rec)
+	return rec
+}
+
+func (tx *Tx) checkActive() error {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	switch tx.state {
+	case txActive:
+		return nil
+	case txPrepared:
+		return ErrTxPrepared
+	default:
+		return ErrTxFinished
+	}
+}
+
+// Insert adds a row to the table. A NULL in the auto-increment column is
+// replaced with the next sequence value; the inserted row is returned.
+func (tx *Tx) Insert(table string, row sqltypes.Row) (sqltypes.Row, error) {
+	if err := tx.checkActive(); err != nil {
+		return nil, err
+	}
+	t, err := tx.engine.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	if len(row) != len(t.schema) {
+		return nil, fmt.Errorf("%w: table %s wants %d columns, got %d",
+			ErrColumnCount, t.name, len(t.schema), len(row))
+	}
+	row = row.Clone()
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.autoCol >= 0 && row[t.autoCol].IsNull() {
+		t.autoInc++
+		row[t.autoCol] = sqltypes.NewInt(t.autoInc)
+	} else if t.autoCol >= 0 {
+		if v := row[t.autoCol].AsInt(); v > t.autoInc {
+			t.autoInc = v
+		}
+	}
+	for i, nn := range t.notNull {
+		if nn && row[i].IsNull() {
+			return nil, fmt.Errorf("%w: %s.%s", ErrNotNullColumn, t.name, t.schema[i].Name)
+		}
+	}
+	pkKey, err := t.pkKeyOf(row)
+	if err != nil {
+		return nil, err
+	}
+	if v, ok := t.pk.Get(pkKey); ok {
+		slot := t.slots[v.(int64)]
+		// Re-insert of a row this transaction deleted: revive it in place.
+		if slot.owner == tx.id && slot.deleted {
+			slot.deleted = false
+			slot.uncommitted = row
+			t.addVersionEntries(row, slot.committed, slot.id)
+			return row, nil
+		}
+		return nil, fmt.Errorf("%w: table %s key %v", ErrDuplicateKey, t.name, btree.Key(pkKey))
+	}
+	t.rowSeq++
+	slot := &rowSlot{id: t.rowSeq, pkKey: pkKey, uncommitted: row, owner: tx.id}
+	t.slots[slot.id] = slot
+	t.pk.Set(pkKey, slot.id)
+	t.addVersionEntries(row, nil, slot.id)
+	// The row is brand new, so the lock is uncontended; register it
+	// directly rather than going through the wait queue.
+	tx.engine.locks.mu.Lock()
+	tx.engine.locks.locks[lockKey{t, slot.id}] = &lockState{owner: tx.id}
+	tx.engine.locks.mu.Unlock()
+	tx.noteLock(lockKey{t, slot.id})
+	tx.noteWrite(lockKey{t, slot.id}, true)
+	return row, nil
+}
+
+// Update replaces the visible row identified by rowID. It returns false if
+// the row disappeared before the lock was granted (deleted by a committed
+// concurrent transaction). Primary key columns must be unchanged.
+func (tx *Tx) Update(table string, rowID int64, newRow sqltypes.Row) (bool, error) {
+	if err := tx.checkActive(); err != nil {
+		return false, err
+	}
+	t, err := tx.engine.Table(table)
+	if err != nil {
+		return false, err
+	}
+	if len(newRow) != len(t.schema) {
+		return false, fmt.Errorf("%w: table %s wants %d columns, got %d",
+			ErrColumnCount, t.name, len(t.schema), len(newRow))
+	}
+	key := lockKey{t, rowID}
+	if err := tx.engine.locks.acquire(tx, key, tx.engine.lockTimeout); err != nil {
+		return false, err
+	}
+	newRow = newRow.Clone()
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	slot, ok := t.slots[rowID]
+	if !ok {
+		return false, nil
+	}
+	cur := slot.visible(tx.id)
+	if cur == nil {
+		return false, nil
+	}
+	for _, c := range t.pkCols {
+		if !sqltypes.Equal(cur[c], newRow[c]) {
+			return false, fmt.Errorf("%w: %s.%s", ErrPKUpdate, t.name, t.schema[c].Name)
+		}
+	}
+	for i, nn := range t.notNull {
+		if nn && newRow[i].IsNull() {
+			return false, fmt.Errorf("%w: %s.%s", ErrNotNullColumn, t.name, t.schema[i].Name)
+		}
+	}
+	tx.noteWrite(key, false)
+	if slot.owner == tx.id && slot.uncommitted != nil {
+		t.removeVersionEntries(slot.uncommitted, slot.committed, rowID)
+	}
+	slot.owner = tx.id
+	slot.deleted = false
+	slot.uncommitted = newRow
+	t.addVersionEntries(newRow, slot.committed, rowID)
+	return true, nil
+}
+
+// Lock acquires the row's write lock without modifying it (SELECT ...
+// FOR UPDATE). Re-reads after Lock see the latest committed version, so
+// read-modify-write sequences built on it cannot lose updates. It returns
+// false if the row vanished before the lock was granted.
+func (tx *Tx) Lock(table string, rowID int64) (bool, error) {
+	if err := tx.checkActive(); err != nil {
+		return false, err
+	}
+	t, err := tx.engine.Table(table)
+	if err != nil {
+		return false, err
+	}
+	key := lockKey{t, rowID}
+	if err := tx.engine.locks.acquire(tx, key, tx.engine.lockTimeout); err != nil {
+		return false, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	slot, ok := t.slots[rowID]
+	if !ok || slot.visible(tx.id) == nil {
+		return false, nil
+	}
+	return true, nil
+}
+
+// Delete removes the visible row identified by rowID, returning false if
+// the row was already gone.
+func (tx *Tx) Delete(table string, rowID int64) (bool, error) {
+	if err := tx.checkActive(); err != nil {
+		return false, err
+	}
+	t, err := tx.engine.Table(table)
+	if err != nil {
+		return false, err
+	}
+	key := lockKey{t, rowID}
+	if err := tx.engine.locks.acquire(tx, key, tx.engine.lockTimeout); err != nil {
+		return false, err
+	}
+
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	slot, ok := t.slots[rowID]
+	if !ok {
+		return false, nil
+	}
+	if slot.visible(tx.id) == nil {
+		return false, nil
+	}
+	tx.noteWrite(key, slot.owner == tx.id && slot.committed == nil)
+	if slot.owner == tx.id && slot.uncommitted != nil {
+		t.removeVersionEntries(slot.uncommitted, slot.committed, rowID)
+	}
+	slot.owner = tx.id
+	slot.uncommitted = nil
+	slot.deleted = true
+	return true, nil
+}
+
+// Commit makes the transaction's writes durable and visible.
+func (tx *Tx) Commit() error {
+	tx.mu.Lock()
+	if tx.state != txActive {
+		st := tx.state
+		tx.mu.Unlock()
+		if st == txPrepared {
+			return ErrTxPrepared
+		}
+		return ErrTxFinished
+	}
+	tx.state = txCommitted
+	tx.mu.Unlock()
+	tx.apply(true)
+	return nil
+}
+
+// Rollback discards the transaction's writes.
+func (tx *Tx) Rollback() error {
+	tx.mu.Lock()
+	if tx.state != txActive {
+		st := tx.state
+		tx.mu.Unlock()
+		if st == txPrepared {
+			return ErrTxPrepared
+		}
+		return ErrTxFinished
+	}
+	tx.state = txAborted
+	tx.mu.Unlock()
+	tx.apply(false)
+	return nil
+}
+
+// apply finalizes every written slot and releases the row locks.
+func (tx *Tx) apply(commit bool) {
+	// Group records per table so each table latch is taken once.
+	perTable := map[*Table][]*writeRecord{}
+	for _, rec := range tx.order {
+		perTable[rec.key.table] = append(perTable[rec.key.table], rec)
+	}
+	for t, recs := range perTable {
+		t.mu.Lock()
+		for _, rec := range recs {
+			slot, ok := t.slots[rec.key.rowID]
+			if !ok || slot.owner != tx.id {
+				continue
+			}
+			if commit {
+				t.commitSlot(slot, rec.inserted)
+			} else {
+				t.rollbackSlot(slot, rec.inserted)
+			}
+		}
+		t.mu.Unlock()
+	}
+	tx.engine.locks.releaseAll(tx.locked, tx.id)
+	tx.locked = nil
+	tx.order = nil
+	tx.writes = nil
+}
+
+// commitSlot promotes the pending version. Caller holds t.mu.
+func (t *Table) commitSlot(slot *rowSlot, inserted bool) {
+	switch {
+	case slot.deleted:
+		if slot.committed != nil {
+			t.removeVersionEntries(slot.committed, nil, slot.id)
+		}
+		t.dropPKEntryFor(slot)
+		delete(t.slots, slot.id)
+	case slot.uncommitted != nil:
+		if slot.committed != nil {
+			t.removeVersionEntries(slot.committed, slot.uncommitted, slot.id)
+		}
+		slot.committed = slot.uncommitted
+		slot.uncommitted = nil
+		slot.owner = 0
+	default:
+		slot.owner = 0
+	}
+}
+
+// rollbackSlot discards the pending version. Caller holds t.mu.
+func (t *Table) rollbackSlot(slot *rowSlot, inserted bool) {
+	if inserted {
+		if slot.uncommitted != nil {
+			t.removeVersionEntries(slot.uncommitted, nil, slot.id)
+		}
+		t.dropPKEntryFor(slot)
+		delete(t.slots, slot.id)
+		return
+	}
+	if slot.uncommitted != nil {
+		t.removeVersionEntries(slot.uncommitted, slot.committed, slot.id)
+	}
+	slot.uncommitted = nil
+	slot.deleted = false
+	slot.owner = 0
+}
+
+// dropPKEntryFor removes the pk entry that points at the slot, using the
+// key cached when the slot was created.
+func (t *Table) dropPKEntryFor(slot *rowSlot) {
+	if v, ok := t.pk.Get(slot.pkKey); ok && v.(int64) == slot.id {
+		t.pk.Delete(slot.pkKey)
+	}
+}
+
+// addVersionEntries adds secondary-index entries for row, skipping indexes
+// where an existing version already holds the same key (the entry sets are
+// shared between versions with equal keys).
+func (t *Table) addVersionEntries(row, existing sqltypes.Row, rowID int64) {
+	for _, ix := range t.indexes {
+		if existing != nil && btree.CompareKeys(ix.keyOf(existing), ix.keyOf(row)) == 0 {
+			continue
+		}
+		ix.add(row, rowID)
+	}
+}
+
+// removeVersionEntries removes secondary-index entries for victim, keeping
+// entries still needed by survivor.
+func (t *Table) removeVersionEntries(victim, survivor sqltypes.Row, rowID int64) {
+	for _, ix := range t.indexes {
+		if survivor != nil && btree.CompareKeys(ix.keyOf(survivor), ix.keyOf(victim)) == 0 {
+			continue
+		}
+		ix.remove(victim, rowID)
+	}
+}

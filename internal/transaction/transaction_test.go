@@ -1,0 +1,384 @@
+package transaction
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"shardingsphere/internal/exec"
+	"shardingsphere/internal/registry"
+	"shardingsphere/internal/resource"
+	"shardingsphere/internal/rewrite"
+	"shardingsphere/internal/sqltypes"
+	"shardingsphere/internal/storage"
+)
+
+// testMeta serves metadata for the fixture tables.
+type testMeta struct{}
+
+func (testMeta) TableMeta(ds, table string) ([]string, []string, error) {
+	return []string{"id"}, []string{"id", "v"}, nil
+}
+
+// fixture builds two sources each holding table t(id pk, v) with one row.
+func fixture(t *testing.T, log LogStore) (*Manager, *exec.Executor) {
+	t.Helper()
+	sources := map[string]*resource.DataSource{}
+	for d := 0; d < 2; d++ {
+		eng := storage.NewEngine(fmt.Sprintf("ds%d", d))
+		ds := resource.NewEmbedded(eng, nil)
+		conn, err := ds.Acquire()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Exec("CREATE TABLE t (id INT PRIMARY KEY, v INT)"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Exec(fmt.Sprintf("INSERT INTO t VALUES (%d, 0)", d)); err != nil {
+			t.Fatal(err)
+		}
+		conn.Release()
+		sources[eng.Name()] = ds
+	}
+	e := exec.New(sources, 1)
+	return NewManager(e, log, testMeta{}), e
+}
+
+func unitsBoth(sql string) []rewrite.SQLUnit {
+	return []rewrite.SQLUnit{
+		{DataSource: "ds0", SQL: sql},
+		{DataSource: "ds1", SQL: sql},
+	}
+}
+
+func readV(t *testing.T, e *exec.Executor, ds string, id int) int64 {
+	t.Helper()
+	src, err := e.Source(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := src.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Release()
+	rs, err := conn.Query(fmt.Sprintf("SELECT v FROM t WHERE id = %d", id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := resource.ReadAll(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		return -1
+	}
+	return rows[0][0].I
+}
+
+// run drives one distributed statement through a transaction, the way the
+// kernel does.
+func run(t *testing.T, mgr *Manager, e *exec.Executor, tx Tx, units []rewrite.SQLUnit) {
+	t.Helper()
+	if err := tx.BeforeStatement(units); err != nil {
+		t.Fatal(err)
+	}
+	_, execErr := e.ExecuteUpdate(units, tx.Held())
+	if err := tx.AfterStatement(units, execErr); err != nil {
+		t.Fatal(err)
+	}
+	if execErr != nil {
+		t.Fatal(execErr)
+	}
+}
+
+func TestParseType(t *testing.T) {
+	for s, want := range map[string]Type{"local": Local, "XA": XA, "base": Base} {
+		got, err := ParseType(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseType(%s) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseType("nope"); err == nil {
+		t.Fatal("bad type accepted")
+	}
+	if Local.String() != "LOCAL" || XA.String() != "XA" || Base.String() != "BASE" {
+		t.Fatal("type names")
+	}
+}
+
+func TestLocalCommitSpansSources(t *testing.T) {
+	mgr, e := fixture(t, nil)
+	tx, err := mgr.Begin(Local)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, mgr, e, tx, unitsBoth("UPDATE t SET v = 7"))
+	// Uncommitted: fresh connections see the old value.
+	if readV(t, e, "ds0", 0) != 0 || readV(t, e, "ds1", 1) != 0 {
+		t.Fatal("local tx leaked before commit")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if readV(t, e, "ds0", 0) != 7 || readV(t, e, "ds1", 1) != 7 {
+		t.Fatal("local commit lost")
+	}
+	if err := tx.Commit(); !errors.Is(err, ErrTxClosed) {
+		t.Fatalf("double commit: %v", err)
+	}
+}
+
+func TestLocalRollback(t *testing.T) {
+	mgr, e := fixture(t, nil)
+	tx, _ := mgr.Begin(Local)
+	run(t, mgr, e, tx, unitsBoth("UPDATE t SET v = 7"))
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if readV(t, e, "ds0", 0) != 0 || readV(t, e, "ds1", 1) != 0 {
+		t.Fatal("local rollback lost")
+	}
+}
+
+func TestXACommit(t *testing.T) {
+	mgr, e := fixture(t, nil)
+	tx, _ := mgr.Begin(XA)
+	run(t, mgr, e, tx, unitsBoth("UPDATE t SET v = 9"))
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if readV(t, e, "ds0", 0) != 9 || readV(t, e, "ds1", 1) != 9 {
+		t.Fatal("xa commit lost")
+	}
+	// Log cleaned up.
+	recs, _ := mgr.log.List()
+	if len(recs) != 0 {
+		t.Fatalf("log lingers: %v", recs)
+	}
+}
+
+func TestXARollback(t *testing.T) {
+	mgr, e := fixture(t, nil)
+	tx, _ := mgr.Begin(XA)
+	run(t, mgr, e, tx, unitsBoth("UPDATE t SET v = 9"))
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if readV(t, e, "ds0", 0) != 0 || readV(t, e, "ds1", 1) != 0 {
+		t.Fatal("xa rollback lost")
+	}
+}
+
+func TestXAPrepareFailureRollsBack(t *testing.T) {
+	// A second prepared XID with the same name forces a prepare failure on
+	// ds0; the whole global transaction must roll back.
+	mgr, e := fixture(t, nil)
+
+	// Park a prepared branch with the XID the next transaction will get.
+	src, _ := e.Source("ds0")
+	conn, _ := src.Acquire()
+	if _, err := conn.Exec("XA BEGIN 'gtx-1'"); err != nil {
+		t.Fatal(err)
+	}
+	// Touch a row the transaction under test will not lock.
+	if _, err := conn.Exec("INSERT INTO t (id, v) VALUES (50, 1)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Exec("XA END 'gtx-1'"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Exec("XA PREPARE 'gtx-1'"); err != nil {
+		t.Fatal(err)
+	}
+	conn.Release()
+
+	tx, _ := mgr.Begin(XA) // xid gtx-1 (fresh manager sequence)
+	if tx.XID() != "gtx-1" {
+		t.Skipf("xid scheme changed: %s", tx.XID())
+	}
+	run(t, mgr, e, tx, unitsBoth("UPDATE t SET v = 9"))
+	if err := tx.Commit(); err == nil {
+		t.Fatal("commit should fail on duplicate XID prepare")
+	}
+	// Neither source shows the update (ds1's branch rolled back too).
+	if readV(t, e, "ds1", 1) != 0 {
+		t.Fatal("xa abort incomplete")
+	}
+}
+
+func TestXARecoveryCommitsDecided(t *testing.T) {
+	reg := registry.New()
+	log := NewRegistryLog(reg, "/transactions")
+	mgr, e := fixture(t, log)
+
+	// Simulate a coordinator crash after the decision: prepare branches by
+	// hand and write a decided log record.
+	for _, ds := range []string{"ds0", "ds1"} {
+		src, _ := e.Source(ds)
+		conn, _ := src.Acquire()
+		conn.Exec("XA BEGIN 'crash-1'")
+		conn.Exec("UPDATE t SET v = 42")
+		conn.Exec("XA END 'crash-1'")
+		if _, err := conn.Exec("XA PREPARE 'crash-1'"); err != nil {
+			t.Fatal(err)
+		}
+		conn.Release()
+	}
+	log.Write(LogRecord{XID: "crash-1", Branches: []string{"ds0", "ds1"}, Decided: true})
+
+	// A "new" coordinator (same registry) recovers and commits.
+	mgr2 := NewManager(e, NewRegistryLog(reg, "/transactions"), testMeta{})
+	n, err := mgr2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("nothing recovered")
+	}
+	if readV(t, e, "ds0", 0) != 42 || readV(t, e, "ds1", 1) != 42 {
+		t.Fatal("recovery did not commit decided branches")
+	}
+	recs, _ := mgr2.log.List()
+	if len(recs) != 0 {
+		t.Fatalf("log lingers: %v", recs)
+	}
+	_ = mgr
+}
+
+func TestXARecoveryAbortsUndecided(t *testing.T) {
+	mgr, e := fixture(t, nil)
+	// Prepared branch with no log record: presumed abort.
+	src, _ := e.Source("ds0")
+	conn, _ := src.Acquire()
+	conn.Exec("XA BEGIN 'orphan-1'")
+	conn.Exec("UPDATE t SET v = 13")
+	conn.Exec("XA END 'orphan-1'")
+	if _, err := conn.Exec("XA PREPARE 'orphan-1'"); err != nil {
+		t.Fatal(err)
+	}
+	conn.Release()
+
+	n, err := mgr.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("recovered: %d", n)
+	}
+	if readV(t, e, "ds0", 0) != 0 {
+		t.Fatal("orphan branch committed")
+	}
+}
+
+func TestBaseCommit(t *testing.T) {
+	mgr, e := fixture(t, nil)
+	tx, err := mgr.Begin(Base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run(t, mgr, e, tx, unitsBoth("UPDATE t SET v = 5"))
+	// BASE commits locally in phase 1: other connections see it already.
+	if readV(t, e, "ds0", 0) != 5 || readV(t, e, "ds1", 1) != 5 {
+		t.Fatal("BASE phase-1 local commit missing")
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	st, ok := mgr.Coordinator().Status(tx.XID())
+	if !ok || st != StatusCommitted {
+		t.Fatalf("tc status: %v %v", st, ok)
+	}
+}
+
+func TestBaseRollbackCompensates(t *testing.T) {
+	mgr, e := fixture(t, nil)
+	tx, _ := mgr.Begin(Base)
+	run(t, mgr, e, tx, unitsBoth("UPDATE t SET v = 5"))
+	run(t, mgr, e, tx, []rewrite.SQLUnit{{DataSource: "ds0", SQL: "INSERT INTO t (id, v) VALUES (100, 1)"}})
+	run(t, mgr, e, tx, []rewrite.SQLUnit{{DataSource: "ds1", SQL: "DELETE FROM t WHERE id = 1"}})
+	// All locally committed.
+	if readV(t, e, "ds0", 100) != 1 || readV(t, e, "ds1", 1) != -1 {
+		t.Fatal("BASE local effects missing")
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	// Compensations restore everything.
+	if got := readV(t, e, "ds0", 0); got != 0 {
+		t.Fatalf("update compensation: v=%d", got)
+	}
+	if got := readV(t, e, "ds1", 1); got != 0 {
+		t.Fatalf("delete compensation: v=%d", got)
+	}
+	if readV(t, e, "ds0", 100) != -1 {
+		t.Fatal("insert compensation: row still there")
+	}
+	st, _ := mgr.Coordinator().Status(tx.XID())
+	if st != StatusRolledBack {
+		t.Fatalf("tc status: %v", st)
+	}
+}
+
+func TestBaseInsertWithPlaceholders(t *testing.T) {
+	mgr, e := fixture(t, nil)
+	tx, _ := mgr.Begin(Base)
+	units := []rewrite.SQLUnit{{
+		DataSource: "ds0",
+		SQL:        "INSERT INTO t (id, v) VALUES (?, ?)",
+		Args:       []sqltypes.Value{sqltypes.NewInt(200), sqltypes.NewInt(3)},
+	}}
+	run(t, mgr, e, tx, units)
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	if readV(t, e, "ds0", 200) != -1 {
+		t.Fatal("placeholder insert not compensated")
+	}
+}
+
+func TestBaseNeedsMeta(t *testing.T) {
+	sources := map[string]*resource.DataSource{}
+	eng := storage.NewEngine("ds0")
+	sources["ds0"] = resource.NewEmbedded(eng, nil)
+	mgr := NewManager(exec.New(sources, 1), nil, nil)
+	if _, err := mgr.Begin(Base); err == nil {
+		t.Fatal("BASE without meta must fail")
+	}
+}
+
+func TestRegistryLogRoundTrip(t *testing.T) {
+	reg := registry.New()
+	log := NewRegistryLog(reg, "/tx")
+	rec := LogRecord{XID: "x1", Branches: []string{"ds0"}, Decided: true}
+	if err := log.Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := log.List()
+	if err != nil || len(recs) != 1 || recs[0].XID != "x1" || !recs[0].Decided {
+		t.Fatalf("list: %v %v", recs, err)
+	}
+	if err := log.Delete("x1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Delete("x1"); err != nil {
+		t.Fatal("idempotent delete")
+	}
+	recs, _ = log.List()
+	if len(recs) != 0 {
+		t.Fatalf("lingering: %v", recs)
+	}
+}
+
+func TestUndoSQLGeneration(t *testing.T) {
+	row := sqltypes.Row{sqltypes.NewInt(7), sqltypes.NewString("x'y")}
+	ins := insertSQL("t", []string{"id", "v"}, row, nil)
+	if ins != "INSERT INTO t (id, v) VALUES (7, 'x''y')" {
+		t.Fatalf("insert undo: %s", ins)
+	}
+	up := updateSQL("t", []string{"id"}, []string{"id", "v"}, row, nil)
+	if !strings.Contains(up, "SET v = 'x''y'") || !strings.Contains(up, "WHERE id = 7") {
+		t.Fatalf("update undo: %s", up)
+	}
+}

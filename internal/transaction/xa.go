@@ -1,0 +1,326 @@
+package transaction
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"shardingsphere/internal/exec"
+	"shardingsphere/internal/registry"
+	"shardingsphere/internal/resource"
+	"shardingsphere/internal/rewrite"
+)
+
+// LogRecord is one XA transaction-log entry: the set of branches and
+// whether the commit decision was taken. Its presence without Decided
+// means "roll the branches back"; with Decided it means "commit them" —
+// the standard presumed-abort protocol.
+type LogRecord struct {
+	XID      string   `json:"xid"`
+	Branches []string `json:"branches"` // data source names
+	Decided  bool     `json:"decided"`  // commit decision logged
+}
+
+// LogStore persists XA transaction logs; the registry-backed
+// implementation survives a coordinator restart (the paper's recovery
+// after "the server is down or the network jitters").
+type LogStore interface {
+	Write(rec LogRecord) error
+	Delete(xid string) error
+	List() ([]LogRecord, error)
+}
+
+// memoryLog is the default in-process log store.
+type memoryLog struct {
+	mu   sync.Mutex
+	recs map[string]LogRecord
+}
+
+// NewMemoryLog returns an in-memory XA log store.
+func NewMemoryLog() LogStore { return &memoryLog{recs: map[string]LogRecord{}} }
+
+func (l *memoryLog) Write(rec LogRecord) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.recs[rec.XID] = rec
+	return nil
+}
+
+func (l *memoryLog) Delete(xid string) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.recs, xid)
+	return nil
+}
+
+func (l *memoryLog) List() ([]LogRecord, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]LogRecord, 0, len(l.recs))
+	for _, r := range l.recs {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].XID < out[j].XID })
+	return out, nil
+}
+
+// registryLog stores XA logs in the Governor's registry.
+type registryLog struct {
+	reg    *registry.Registry
+	prefix string
+}
+
+// NewRegistryLog returns a LogStore persisting under prefix (e.g.
+// "/transactions") in the coordination registry.
+func NewRegistryLog(reg *registry.Registry, prefix string) LogStore {
+	return &registryLog{reg: reg, prefix: strings.TrimRight(prefix, "/")}
+}
+
+func (l *registryLog) path(xid string) string { return l.prefix + "/" + xid }
+
+func (l *registryLog) Write(rec LogRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	l.reg.Put(l.path(rec.XID), string(data))
+	return nil
+}
+
+func (l *registryLog) Delete(xid string) error {
+	err := l.reg.Delete(l.path(xid))
+	if err == registry.ErrNotFound {
+		return nil
+	}
+	return err
+}
+
+func (l *registryLog) List() ([]LogRecord, error) {
+	var out []LogRecord
+	for _, v := range l.reg.List(l.prefix) {
+		var rec LogRecord
+		if err := json.Unmarshal([]byte(v), &rec); err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].XID < out[j].XID })
+	return out, nil
+}
+
+// --- XA transaction (2PC, paper Fig. 5(c)) ---
+
+type xaTx struct {
+	mgr    *Manager
+	xid    string
+	held   *exec.HeldConns
+	begun  map[string]bool
+	closed bool
+}
+
+func (t *xaTx) Type() Type            { return XA }
+func (t *xaTx) XID() string           { return t.xid }
+func (t *xaTx) Held() *exec.HeldConns { return t.held }
+
+func (t *xaTx) BeforeStatement(units []rewrite.SQLUnit) error {
+	if t.closed {
+		return ErrTxClosed
+	}
+	for _, u := range units {
+		if t.begun[u.DataSource] {
+			continue
+		}
+		conn, err := t.held.Get(t.mgr.exec, u.DataSource)
+		if err != nil {
+			return err
+		}
+		if _, err := conn.Exec(fmt.Sprintf("XA BEGIN '%s'", t.xid)); err != nil {
+			return err
+		}
+		t.begun[u.DataSource] = true
+	}
+	return nil
+}
+
+func (t *xaTx) AfterStatement([]rewrite.SQLUnit, error) error { return nil }
+
+// Commit runs two-phase commit: prepare every branch, log the commit
+// decision, then commit every branch. A failed prepare rolls everything
+// back; a failed phase-2 commit leaves the log record for Recover.
+func (t *xaTx) Commit() error {
+	if t.closed {
+		return ErrTxClosed
+	}
+	t.closed = true
+	defer t.held.ReleaseAll()
+
+	branches := make([]string, 0, len(t.begun))
+	for ds := range t.begun {
+		branches = append(branches, ds)
+	}
+	sort.Strings(branches)
+
+	// Phase 1: prepare. An RM replying "NO" (an error here) aborts.
+	prepared := make([]string, 0, len(branches))
+	var prepareErr error
+	for _, ds := range branches {
+		conn, _ := t.held.Peek(ds)
+		if _, err := conn.Exec(fmt.Sprintf("XA END '%s'", t.xid)); err != nil {
+			prepareErr = err
+			break
+		}
+		if _, err := conn.Exec(fmt.Sprintf("XA PREPARE '%s'", t.xid)); err != nil {
+			prepareErr = err
+			break
+		}
+		prepared = append(prepared, ds)
+	}
+	if prepareErr != nil {
+		// Roll back every branch: prepared ones via XA ROLLBACK on the
+		// prepared XID, unprepared ones likewise (the session resolves
+		// its own active branch).
+		for _, ds := range branches {
+			conn, _ := t.held.Peek(ds)
+			if _, err := conn.Exec(fmt.Sprintf("XA ROLLBACK '%s'", t.xid)); err != nil {
+				conn.Broken = true
+			}
+		}
+		return fmt.Errorf("transaction: XA prepare failed, rolled back: %w", prepareErr)
+	}
+
+	// Decision point: log before phase 2 so a coordinator crash commits.
+	if err := t.mgr.log.Write(LogRecord{XID: t.xid, Branches: branches, Decided: true}); err != nil {
+		for _, ds := range prepared {
+			conn, _ := t.held.Peek(ds)
+			conn.Exec(fmt.Sprintf("XA ROLLBACK '%s'", t.xid))
+		}
+		return fmt.Errorf("transaction: XA log write failed, rolled back: %w", err)
+	}
+
+	// Phase 2: commit. Failures leave the log record; Recover finishes.
+	allOK := true
+	for _, ds := range branches {
+		conn, _ := t.held.Peek(ds)
+		if _, err := conn.Exec(fmt.Sprintf("XA COMMIT '%s'", t.xid)); err != nil {
+			conn.Broken = true
+			allOK = false
+		}
+	}
+	if allOK {
+		return t.mgr.log.Delete(t.xid)
+	}
+	return nil // commit decision stands; recovery completes the stragglers
+}
+
+func (t *xaTx) Rollback() error {
+	if t.closed {
+		return ErrTxClosed
+	}
+	t.closed = true
+	defer t.held.ReleaseAll()
+	for ds := range t.begun {
+		conn, _ := t.held.Peek(ds)
+		if _, err := conn.Exec(fmt.Sprintf("XA ROLLBACK '%s'", t.xid)); err != nil {
+			conn.Broken = true
+		}
+	}
+	return nil
+}
+
+// Recover completes in-doubt XA transactions after a coordinator restart
+// (paper: "recover the transaction after the server restarts or re-commit
+// periodically according to the recorded logs"). Logged-decided branches
+// are committed; every other prepared XID found via XA RECOVER is rolled
+// back (presumed abort). It returns the number of resolved transactions.
+func (m *Manager) Recover() (int, error) {
+	resolved := 0
+	recs, err := m.log.List()
+	if err != nil {
+		return 0, err
+	}
+	logged := map[string]bool{}
+	for _, rec := range recs {
+		logged[rec.XID] = true
+		if !rec.Decided {
+			continue
+		}
+		for _, ds := range rec.Branches {
+			if err := m.execOn(ds, fmt.Sprintf("XA COMMIT '%s'", rec.XID)); err != nil {
+				// Already committed on this branch, or branch unknown —
+				// both mean the branch needs no further action.
+				continue
+			}
+		}
+		if err := m.log.Delete(rec.XID); err != nil {
+			return resolved, err
+		}
+		resolved++
+	}
+	// Presumed abort: any prepared XID with no decided log rolls back.
+	for _, ds := range m.exec.Sources() {
+		xids, err := m.recoverOn(ds)
+		if err != nil {
+			continue
+		}
+		for _, xid := range xids {
+			if logged[xid] {
+				continue
+			}
+			if err := m.execOn(ds, fmt.Sprintf("XA ROLLBACK '%s'", xid)); err == nil {
+				resolved++
+			}
+		}
+	}
+	// Undecided log records are cleaned up after their branches aborted.
+	for _, rec := range recs {
+		if !rec.Decided {
+			for _, ds := range rec.Branches {
+				m.execOn(ds, fmt.Sprintf("XA ROLLBACK '%s'", rec.XID))
+			}
+			m.log.Delete(rec.XID)
+			resolved++
+		}
+	}
+	return resolved, nil
+}
+
+func (m *Manager) execOn(ds, sql string) error {
+	src, err := m.exec.Source(ds)
+	if err != nil {
+		return err
+	}
+	conn, err := src.Acquire()
+	if err != nil {
+		return err
+	}
+	defer conn.Release()
+	_, err = conn.Exec(sql)
+	return err
+}
+
+func (m *Manager) recoverOn(ds string) ([]string, error) {
+	src, err := m.exec.Source(ds)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := src.Acquire()
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Release()
+	rs, err := conn.Query("XA RECOVER")
+	if err != nil {
+		return nil, err
+	}
+	rows, err := resource.ReadAll(rs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, r[0].AsString())
+	}
+	return out, nil
+}

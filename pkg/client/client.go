@@ -1,0 +1,252 @@
+// Package client is the Go client for the wire protocol: applications use
+// it to talk to a ShardingSphere-Proxy instance, and the kernel uses it to
+// drive networked data nodes (cmd/datanode). A Conn satisfies the
+// kernel's resource connection contract, so a remote data source plugs in
+// exactly like an embedded one.
+package client
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"shardingsphere/internal/protocol"
+	"shardingsphere/internal/resource"
+	"shardingsphere/internal/sqltypes"
+)
+
+// ErrRemote wraps an error reported by the server.
+var ErrRemote = errors.New("remote error")
+
+// Conn is one protocol connection. Not safe for concurrent use (like a
+// database connection).
+type Conn struct {
+	nc      net.Conn
+	r       *bufio.Reader
+	w       *bufio.Writer
+	closed  bool
+	defunct bool
+}
+
+// Defunct reports whether the connection suffered a transport failure and
+// must not be reused; the pool checks it on release.
+func (c *Conn) Defunct() bool { return c.defunct }
+
+// fail marks the connection defunct and passes the error through.
+func (c *Conn) fail(err error) error {
+	if err != nil {
+		c.defunct = true
+	}
+	return err
+}
+
+// Dial connects to a proxy or data node.
+func Dial(addr string) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return &Conn{
+		nc: nc,
+		r:  bufio.NewReaderSize(nc, 64<<10),
+		w:  bufio.NewWriterSize(nc, 64<<10),
+	}, nil
+}
+
+// Ping round-trips a ping frame.
+func (c *Conn) Ping() error {
+	if err := protocol.WriteFrame(c.w, protocol.FramePing, nil); err != nil {
+		return c.fail(err)
+	}
+	if err := c.w.Flush(); err != nil {
+		return c.fail(err)
+	}
+	typ, _, err := protocol.ReadFrame(c.r)
+	if err != nil {
+		return c.fail(err)
+	}
+	if typ != protocol.FramePong {
+		return fmt.Errorf("client: unexpected frame %#x to ping", typ)
+	}
+	return nil
+}
+
+func (c *Conn) send(sql string, args []sqltypes.Value) error {
+	if c.closed {
+		return resource.ErrConnClosed
+	}
+	if err := protocol.WriteFrame(c.w, protocol.FrameQuery, protocol.EncodeQuery(sql, args)); err != nil {
+		return c.fail(err)
+	}
+	return c.fail(c.w.Flush())
+}
+
+// Query executes a statement and returns its row set. Statements that
+// return no rows yield an empty result set with nil columns.
+func (c *Conn) Query(sql string, args ...sqltypes.Value) (resource.ResultSet, error) {
+	if err := c.send(sql, args); err != nil {
+		return nil, err
+	}
+	typ, payload, err := protocol.ReadFrame(c.r)
+	if err != nil {
+		return nil, c.fail(err)
+	}
+	switch typ {
+	case protocol.FrameError:
+		msg, _ := protocol.DecodeError(payload)
+		return nil, fmt.Errorf("%w: %s", ErrRemote, msg)
+	case protocol.FrameOK:
+		return nil, fmt.Errorf("client: %q returned no row set", sql)
+	case protocol.FrameHeader:
+		cols, err := protocol.DecodeHeader(payload)
+		if err != nil {
+			return nil, err
+		}
+		var rows []sqltypes.Row
+		for {
+			typ, payload, err := protocol.ReadFrame(c.r)
+			if err != nil {
+				return nil, c.fail(err)
+			}
+			switch typ {
+			case protocol.FrameRow:
+				row, err := protocol.DecodeRow(payload)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, row)
+			case protocol.FrameEOF:
+				return resource.NewSliceResultSet(cols, rows), nil
+			case protocol.FrameError:
+				msg, _ := protocol.DecodeError(payload)
+				return nil, fmt.Errorf("%w: %s", ErrRemote, msg)
+			default:
+				return nil, fmt.Errorf("client: unexpected frame %#x in row stream", typ)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("client: unexpected frame %#x", typ)
+	}
+}
+
+// Exec executes a statement that returns no rows.
+func (c *Conn) Exec(sql string, args ...sqltypes.Value) (resource.ExecResult, error) {
+	if err := c.send(sql, args); err != nil {
+		return resource.ExecResult{}, err
+	}
+	typ, payload, err := protocol.ReadFrame(c.r)
+	if err != nil {
+		return resource.ExecResult{}, c.fail(err)
+	}
+	switch typ {
+	case protocol.FrameError:
+		msg, _ := protocol.DecodeError(payload)
+		return resource.ExecResult{}, fmt.Errorf("%w: %s", ErrRemote, msg)
+	case protocol.FrameOK:
+		affected, lastID, err := protocol.DecodeOK(payload)
+		if err != nil {
+			return resource.ExecResult{}, err
+		}
+		return resource.ExecResult{Affected: affected, LastInsertID: lastID}, nil
+	case protocol.FrameHeader:
+		// A row set came back (e.g. SELECT via Exec): drain it and report
+		// zero affected, mirroring database/sql's tolerance.
+		for {
+			typ, _, err := protocol.ReadFrame(c.r)
+			if err != nil {
+				return resource.ExecResult{}, err
+			}
+			if typ == protocol.FrameEOF {
+				return resource.ExecResult{}, nil
+			}
+			if typ == protocol.FrameError {
+				return resource.ExecResult{}, fmt.Errorf("%w: mid-stream", ErrRemote)
+			}
+		}
+	default:
+		return resource.ExecResult{}, fmt.Errorf("client: unexpected frame %#x", typ)
+	}
+}
+
+// Result is the outcome of Do: either a row set or an exec summary.
+type Result struct {
+	Rows resource.ResultSet // nil for non-queries
+	Exec resource.ExecResult
+}
+
+// Do executes one statement in a single round trip, returning rows when
+// the server sends them and an exec result otherwise. Interactive shells
+// use it to avoid guessing the statement kind.
+func (c *Conn) Do(sql string, args ...sqltypes.Value) (*Result, error) {
+	if err := c.send(sql, args); err != nil {
+		return nil, err
+	}
+	typ, payload, err := protocol.ReadFrame(c.r)
+	if err != nil {
+		return nil, err
+	}
+	switch typ {
+	case protocol.FrameError:
+		msg, _ := protocol.DecodeError(payload)
+		return nil, fmt.Errorf("%w: %s", ErrRemote, msg)
+	case protocol.FrameOK:
+		affected, lastID, err := protocol.DecodeOK(payload)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Exec: resource.ExecResult{Affected: affected, LastInsertID: lastID}}, nil
+	case protocol.FrameHeader:
+		cols, err := protocol.DecodeHeader(payload)
+		if err != nil {
+			return nil, err
+		}
+		var rows []sqltypes.Row
+		for {
+			typ, payload, err := protocol.ReadFrame(c.r)
+			if err != nil {
+				return nil, c.fail(err)
+			}
+			switch typ {
+			case protocol.FrameRow:
+				row, err := protocol.DecodeRow(payload)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, row)
+			case protocol.FrameEOF:
+				return &Result{Rows: resource.NewSliceResultSet(cols, rows)}, nil
+			case protocol.FrameError:
+				msg, _ := protocol.DecodeError(payload)
+				return nil, fmt.Errorf("%w: %s", ErrRemote, msg)
+			default:
+				return nil, fmt.Errorf("client: unexpected frame %#x in row stream", typ)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("client: unexpected frame %#x", typ)
+	}
+}
+
+// Close terminates the connection.
+func (c *Conn) Close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	protocol.WriteFrame(c.w, protocol.FrameQuit, nil)
+	c.w.Flush()
+	return c.nc.Close()
+}
+
+// NewRemoteDataSource builds a pooled data source whose connections dial
+// the given address — how the kernel attaches networked data nodes.
+func NewRemoteDataSource(name, addr string, opts *resource.Options) *resource.DataSource {
+	return resource.NewDataSource(name, func() (resource.Conn, error) {
+		return Dial(addr)
+	}, opts)
+}

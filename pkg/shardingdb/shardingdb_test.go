@@ -1,0 +1,327 @@
+package shardingdb
+
+import (
+	"database/sql"
+	"fmt"
+	"testing"
+	"time"
+
+	"shardingsphere/internal/proxy"
+	"shardingsphere/internal/registry"
+	"shardingsphere/internal/sqlexec"
+	"shardingsphere/internal/storage"
+)
+
+func open(t *testing.T, n int) *DB {
+	t.Helper()
+	var dss []DataSourceConfig
+	for i := 0; i < n; i++ {
+		dss = append(dss, DataSourceConfig{Name: fmt.Sprintf("ds%d", i)})
+	}
+	db, err := Open(Config{DataSources: dss, MaxCon: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(db.Close)
+	return db
+}
+
+func setupOrders(t *testing.T, db *DB) *Session {
+	t.Helper()
+	s := db.Session()
+	if _, err := s.Exec(`CREATE SHARDING TABLE RULE t_order (
+		RESOURCES(ds0, ds1),
+		SHARDING_COLUMN = uid,
+		TYPE = mod,
+		PROPERTIES("sharding-count" = 4)
+	)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("CREATE TABLE t_order (oid INT PRIMARY KEY, uid INT, amount INT)"); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	db := open(t, 2)
+	s := setupOrders(t, db)
+	for i := 1; i <= 10; i++ {
+		if _, err := s.Exec("INSERT INTO t_order (oid, uid, amount) VALUES (?, ?, ?)",
+			Int(int64(i)), Int(int64(i%5)), Int(int64(i*100))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, err := s.QueryAll("SELECT COUNT(*), SUM(amount) FROM t_order")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0].I != 10 || rows[0][1].I != 5500 {
+		t.Fatalf("aggregate: %v", rows)
+	}
+	rows, err = s.QueryAll("SELECT amount FROM t_order WHERE uid = ? ORDER BY oid", Int(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0][0].I != 200 || rows[1][0].I != 700 {
+		t.Fatalf("point query: %v", rows)
+	}
+}
+
+func TestWithTx(t *testing.T) {
+	db := open(t, 2)
+	s := setupOrders(t, db)
+	err := s.WithTx(func(s *Session) error {
+		_, err := s.Exec("INSERT INTO t_order (oid, uid, amount) VALUES (1, 1, 100)")
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Failing body rolls back.
+	err = s.WithTx(func(s *Session) error {
+		if _, err := s.Exec("INSERT INTO t_order (oid, uid, amount) VALUES (2, 2, 100)"); err != nil {
+			return err
+		}
+		return fmt.Errorf("business failure")
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	rows, _ := s.QueryAll("SELECT COUNT(*) FROM t_order")
+	if rows[0][0].I != 1 {
+		t.Fatalf("rollback lost: %v", rows)
+	}
+}
+
+func TestStreamingRows(t *testing.T) {
+	db := open(t, 2)
+	s := setupOrders(t, db)
+	for i := 1; i <= 5; i++ {
+		s.Exec(fmt.Sprintf("INSERT INTO t_order (oid, uid, amount) VALUES (%d, %d, 1)", i, i))
+	}
+	rows, err := s.Query("SELECT oid FROM t_order ORDER BY oid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	n := 0
+	for {
+		row, ok, err := rows.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		n++
+		if row[0].I != int64(n) {
+			t.Fatalf("order: %v at %d", row, n)
+		}
+	}
+	if n != 5 {
+		t.Fatalf("rows: %d", n)
+	}
+}
+
+func TestDatabaseSQLDriver(t *testing.T) {
+	db := open(t, 2)
+	setupOrders(t, db)
+	RegisterForSQL("driver-test", db)
+	sqlDB, err := sql.Open("shardingsphere", "driver-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sqlDB.Close()
+
+	res, err := sqlDB.Exec("INSERT INTO t_order (oid, uid, amount) VALUES (?, ?, ?)", 1, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.RowsAffected(); n != 1 {
+		t.Fatalf("affected: %d", n)
+	}
+	var count, total int64
+	if err := sqlDB.QueryRow("SELECT COUNT(*), SUM(amount) FROM t_order").Scan(&count, &total); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 || total != 100 {
+		t.Fatalf("scan: %d %d", count, total)
+	}
+
+	// Transactions through database/sql.
+	tx, err := sqlDB.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec("INSERT INTO t_order (oid, uid, amount) VALUES (2, 2, 50)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Rollback(); err != nil {
+		t.Fatal(err)
+	}
+	sqlDB.QueryRow("SELECT COUNT(*) FROM t_order").Scan(&count)
+	if count != 1 {
+		t.Fatalf("tx rollback via database/sql: %d", count)
+	}
+
+	// Unregistered DSN fails.
+	bad, _ := sql.Open("shardingsphere", "nope")
+	if err := bad.Ping(); err == nil {
+		t.Fatal("unregistered DSN accepted")
+	}
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := Open(Config{
+		DataSources:            []DataSourceConfig{{Name: "ds0"}},
+		DefaultTransactionType: "NOPE",
+	}); err == nil {
+		t.Fatal("bad tx type accepted")
+	}
+}
+
+func TestDistSQLThroughSession(t *testing.T) {
+	db := open(t, 2)
+	s := setupOrders(t, db)
+	rows, err := s.QueryAll("SHOW SHARDING TABLE RULES")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].S != "t_order" {
+		t.Fatalf("rules: %v", rows)
+	}
+	rows, err = s.QueryAll("PREVIEW SELECT * FROM t_order WHERE uid = 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("preview: %v", rows)
+	}
+}
+
+func TestRecoverNoOpWhenClean(t *testing.T) {
+	db := open(t, 2)
+	n, err := db.Recover()
+	if err != nil || n != 0 {
+		t.Fatalf("recover: %d %v", n, err)
+	}
+}
+
+func TestSharedRegistryConfigAdoption(t *testing.T) {
+	// Instance 1 defines rules; instance 2 sharing the registry adopts
+	// them at startup (the Governor's configuration management).
+	reg := registry.New()
+	db1, err := Open(Config{
+		DataSources: []DataSourceConfig{{Name: "ds0"}, {Name: "ds1"}},
+		Registry:    reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db1.Close()
+	s1 := db1.Session()
+	if _, err := s1.Exec(`CREATE SHARDING TABLE RULE t_shared (
+		RESOURCES(ds0, ds1), SHARDING_COLUMN = id, TYPE = mod,
+		PROPERTIES("sharding-count" = 2))`); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(Config{
+		DataSources: []DataSourceConfig{{Name: "ds0"}, {Name: "ds1"}},
+		Registry:    reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if !db2.Kernel().Rules().IsSharded("t_shared") {
+		t.Fatal("second instance did not adopt shared rules")
+	}
+	// Both instances are registered with the Governor.
+	if got := db1.Governor().Instances(); len(got) != 2 {
+		t.Fatalf("instances: %v", got)
+	}
+}
+
+func TestRemoteDataSourceThroughConfig(t *testing.T) {
+	// Start a data node server and attach it via DataSourceConfig.Addr —
+	// the networked deployment path of shardingdb.Open.
+	eng := storage.NewEngine("ds1")
+	srv := proxy.NewServer(&proxy.NodeBackend{Processor: sqlexec.NewProcessor(eng)})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	db, err := Open(Config{
+		DataSources: []DataSourceConfig{
+			{Name: "ds0"},             // embedded
+			{Name: "ds1", Addr: addr}, // remote
+		},
+		MaxCon: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	s := db.Session()
+	if _, err := s.Exec(`CREATE SHARDING TABLE RULE t (
+		RESOURCES(ds0, ds1), SHARDING_COLUMN = id, TYPE = mod,
+		PROPERTIES("sharding-count" = 2))`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec("CREATE TABLE t (id INT PRIMARY KEY, v INT)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := s.Exec("INSERT INTO t (id, v) VALUES (?, ?)", Int(int64(i)), Int(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rows, err := s.QueryAll("SELECT SUM(v) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0].I != 45 {
+		t.Fatalf("mixed embedded+remote sum: %v", rows)
+	}
+	// Odd ids (shard 1) live on the remote node.
+	proc := sqlexec.NewProcessor(eng)
+	sess := proc.NewSession()
+	res, err := sess.Execute("SELECT COUNT(*) FROM t_1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 5 {
+		t.Fatalf("remote shard rows: %v", res.Rows)
+	}
+}
+
+func TestHealthCheckGateInDB(t *testing.T) {
+	db, err := Open(Config{
+		DataSources:         []DataSourceConfig{{Name: "ds0"}},
+		HealthCheckInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	s := db.Session()
+	if _, err := s.Exec("CREATE TABLE t (id INT PRIMARY KEY)"); err != nil {
+		t.Fatal(err)
+	}
+	// Manual break through the governor blocks traffic via the gate.
+	db.Governor().BreakSource("ds0", true)
+	if _, err := s.Exec("INSERT INTO t VALUES (1)"); err == nil {
+		t.Fatal("broken source accepted traffic")
+	}
+	db.Governor().BreakSource("ds0", false)
+	if _, err := s.Exec("INSERT INTO t VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,182 @@
+package shardingdb
+
+import (
+	"database/sql"
+	"database/sql/driver"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"shardingsphere/internal/sqltypes"
+)
+
+// The database/sql adapter: register a DB under a name, then
+// sql.Open("shardingsphere", name). This mirrors how ShardingSphere-JDBC
+// slots in wherever JDBC is used — here, wherever database/sql is used.
+
+var (
+	sqlRegMu  sync.RWMutex
+	sqlRegist = map[string]*DB{}
+	initOnce  sync.Once
+)
+
+// RegisterForSQL exposes the DB to database/sql under the given DSN name.
+func RegisterForSQL(name string, db *DB) {
+	initOnce.Do(func() { sql.Register("shardingsphere", &sqlDriver{}) })
+	sqlRegMu.Lock()
+	sqlRegist[name] = db
+	sqlRegMu.Unlock()
+}
+
+type sqlDriver struct{}
+
+// Open implements driver.Driver: the DSN is a registered DB name.
+func (d *sqlDriver) Open(dsn string) (driver.Conn, error) {
+	sqlRegMu.RLock()
+	db, ok := sqlRegist[dsn]
+	sqlRegMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("shardingdb: no DB registered under %q; call RegisterForSQL first", dsn)
+	}
+	return &sqlConn{sess: db.Session()}, nil
+}
+
+type sqlConn struct {
+	sess *Session
+}
+
+func (c *sqlConn) Prepare(query string) (driver.Stmt, error) {
+	return &sqlStmt{conn: c, query: query}, nil
+}
+
+func (c *sqlConn) Close() error {
+	c.sess.Close()
+	return nil
+}
+
+func (c *sqlConn) Begin() (driver.Tx, error) {
+	if err := c.sess.Begin(); err != nil {
+		return nil, err
+	}
+	return &sqlTx{sess: c.sess}, nil
+}
+
+// ExecContext-less fast paths (database/sql uses these when available).
+
+func (c *sqlConn) Exec(query string, args []driver.Value) (driver.Result, error) {
+	vals, err := toValues(args)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.sess.Exec(query, vals...)
+	if err != nil {
+		return nil, err
+	}
+	return sqlResult{res}, nil
+}
+
+func (c *sqlConn) Query(query string, args []driver.Value) (driver.Rows, error) {
+	vals, err := toValues(args)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := c.sess.Query(query, vals...)
+	if err != nil {
+		return nil, err
+	}
+	return &sqlRows{rows: rows}, nil
+}
+
+type sqlTx struct {
+	sess *Session
+}
+
+func (t *sqlTx) Commit() error   { return t.sess.Commit() }
+func (t *sqlTx) Rollback() error { return t.sess.Rollback() }
+
+type sqlStmt struct {
+	conn  *sqlConn
+	query string
+}
+
+func (s *sqlStmt) Close() error { return nil }
+
+// NumInput returns -1: the driver does not pre-validate argument counts
+// (the kernel reports a precise error at execution).
+func (s *sqlStmt) NumInput() int { return -1 }
+
+func (s *sqlStmt) Exec(args []driver.Value) (driver.Result, error) {
+	return s.conn.Exec(s.query, args)
+}
+
+func (s *sqlStmt) Query(args []driver.Value) (driver.Rows, error) {
+	return s.conn.Query(s.query, args)
+}
+
+type sqlResult struct {
+	res ExecResult
+}
+
+func (r sqlResult) LastInsertId() (int64, error) { return r.res.LastInsertID, nil }
+func (r sqlResult) RowsAffected() (int64, error) { return r.res.Affected, nil }
+
+type sqlRows struct {
+	rows *Rows
+}
+
+func (r *sqlRows) Columns() []string { return r.rows.Columns() }
+
+func (r *sqlRows) Close() error { return r.rows.Close() }
+
+func (r *sqlRows) Next(dest []driver.Value) error {
+	row, ok, err := r.rows.Next()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return io.EOF
+	}
+	for i := range dest {
+		if i >= len(row) {
+			dest[i] = nil
+			continue
+		}
+		switch row[i].Kind {
+		case sqltypes.KindNull:
+			dest[i] = nil
+		case sqltypes.KindInt:
+			dest[i] = row[i].I
+		case sqltypes.KindFloat:
+			dest[i] = row[i].F
+		case sqltypes.KindBool:
+			dest[i] = row[i].I != 0
+		default:
+			dest[i] = row[i].S
+		}
+	}
+	return nil
+}
+
+func toValues(args []driver.Value) ([]Value, error) {
+	out := make([]Value, len(args))
+	for i, a := range args {
+		switch v := a.(type) {
+		case nil:
+			out[i] = sqltypes.Null
+		case int64:
+			out[i] = sqltypes.NewInt(v)
+		case float64:
+			out[i] = sqltypes.NewFloat(v)
+		case bool:
+			out[i] = sqltypes.NewBool(v)
+		case string:
+			out[i] = sqltypes.NewString(v)
+		case []byte:
+			out[i] = sqltypes.NewString(string(v))
+		default:
+			return nil, errors.New("shardingdb: unsupported bind argument type")
+		}
+	}
+	return out, nil
+}
