@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: build test race bench bench-plancache vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Tier-1 gate: the full suite must also pass under the race detector.
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem ./...
+
+bench-plancache:
+	$(GO) test -run xxx -bench 'PointSelect|RepeatedShape' -benchtime 2s ./internal/bench/

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -182,5 +183,98 @@ func TestRandString(t *testing.T) {
 	s := bench.RandString(rng, 119)
 	if len(s) != 119 {
 		t.Fatalf("length: %d", len(s))
+	}
+}
+
+// --- plan-cache benchmarks ---
+//
+// BenchmarkPointSelectCached vs BenchmarkPointSelectUncached isolates the
+// parameterized plan cache: identical topology and workload, cache on vs
+// off. The parallel variant exercises the sharded-lock design under
+// concurrent sessions.
+
+func planCacheSystem(b *testing.B, planCacheSize int) (*bench.System, sysbench.Config) {
+	b.Helper()
+	sys, err := bench.NewSSJ(bench.Topology{
+		Sources: 2, TablesPerSource: 2, MaxCon: 4, PlanCacheSize: planCacheSize,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sysbench.DefaultConfig(1000)
+	if err := bench.PrepareOn(sys, func(c bench.Client) error {
+		return sysbench.Prepare(c, cfg)
+	}); err != nil {
+		b.Fatal(err)
+	}
+	return sys, cfg
+}
+
+func benchPointSelect(b *testing.B, planCacheSize int) {
+	sys, _ := planCacheSystem(b, planCacheSize)
+	defer sys.Close()
+	c, err := sys.NewClient(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+	rng := rand.New(rand.NewSource(7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := sqltypes.NewInt(int64(rng.Intn(1000)))
+		if _, err := c.Query("SELECT c FROM sbtest WHERE id = ?", id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPointSelectCached(b *testing.B)   { benchPointSelect(b, 0) }
+func BenchmarkPointSelectUncached(b *testing.B) { benchPointSelect(b, -1) }
+
+func BenchmarkPointSelectCachedParallel(b *testing.B) {
+	sys, _ := planCacheSystem(b, 0)
+	defer sys.Close()
+	var seed int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		c, err := sys.NewClient(0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		rng := rand.New(rand.NewSource(atomic.AddInt64(&seed, 1)))
+		for pb.Next() {
+			id := sqltypes.NewInt(int64(rng.Intn(1000)))
+			if _, err := c.Query("SELECT c FROM sbtest WHERE id = ?", id); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkRepeatedShapeSysbench runs the sysbench point-select scenario —
+// the repeated-shape OLTP workload the cache targets — cache on vs off.
+func BenchmarkRepeatedShapeSysbench(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		size int
+	}{{"cached", 0}, {"uncached", -1}} {
+		b.Run(mode.name, func(b *testing.B) {
+			sys, cfg := planCacheSystem(b, mode.size)
+			defer sys.Close()
+			c, err := sys.NewClient(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			scenario := cfg.PointSelect()
+			rng := rand.New(rand.NewSource(11))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := scenario(c, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

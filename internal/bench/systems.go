@@ -45,6 +45,10 @@ type Topology struct {
 	// CustomRules overrides the generated sbtest-style rules entirely
 	// (the TPCC experiment supplies its own rule set).
 	CustomRules *sharding.RuleSet
+	// PlanCacheSize passes through to core.Config: 0 uses the default
+	// capacity, negative disables the parameterized plan cache (the
+	// uncached baseline in the plan-cache experiment).
+	PlanCacheSize int
 }
 
 // WithRules returns a copy of the topology using the given rule set.
@@ -129,6 +133,7 @@ func NewSSJ(top Topology) (*System, error) {
 		Sources:       top.buildSources(),
 		MaxCon:        top.MaxCon,
 		DefaultTxType: top.TxType,
+		PlanCacheSize: top.PlanCacheSize,
 	})
 	if err != nil {
 		return nil, err

@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"shardingsphere/internal/exec"
+	"shardingsphere/internal/plancache"
 	"shardingsphere/internal/registry"
 	"shardingsphere/internal/resource"
 	"shardingsphere/internal/rewrite"
@@ -78,6 +79,10 @@ type Config struct {
 	Features []Feature
 	// DefaultTxType is the initial distributed transaction type.
 	DefaultTxType transaction.Type
+	// PlanCacheSize bounds the shared parameterized plan cache (0 uses
+	// plancache.DefaultCapacity; negative disables caching — every
+	// statement re-runs the full parse→route→rewrite pipeline).
+	PlanCacheSize int
 }
 
 // Kernel is one runtime instance shared by all sessions.
@@ -96,6 +101,12 @@ type Kernel struct {
 
 	defaultTxType transaction.Type
 	distSQL       DistSQLHandler
+
+	// planCache is the shared parameterized plan cache (nil when disabled).
+	// hasTransformers gates its fast path: statement-transforming features
+	// force every shape back onto the generic pipeline.
+	planCache       *plancache.Cache
+	hasTransformers bool
 
 	ruleMu sync.RWMutex
 }
@@ -150,12 +161,15 @@ func New(cfg Config) (*Kernel, error) {
 		_, cols, err := k.TableMeta(first.DataSource, first.Table)
 		return cols, err
 	}
-	k.rewriter = rewrite.New(func(ds string) sqlparser.Dialect {
-		if src, err := executor.Source(ds); err == nil {
-			return src.Dialect()
+	k.rewriter = rewrite.New(k.dialectOf)
+	if cfg.PlanCacheSize >= 0 {
+		k.planCache = plancache.New(cfg.PlanCacheSize)
+	}
+	for _, f := range cfg.Features {
+		if _, ok := f.(StatementTransformer); ok {
+			k.hasTransformers = true
 		}
-		return sqlparser.DialectMySQL
-	})
+	}
 	txLog := cfg.TxLog
 	if txLog == nil {
 		txLog = transaction.NewRegistryLog(reg, "/transactions")
@@ -201,11 +215,35 @@ func (k *Kernel) LockRules() func() {
 	return k.ruleMu.Unlock
 }
 
-// InvalidateMeta clears the table-metadata cache (after DDL).
+// InvalidateMeta clears the table-metadata cache (after DDL). Cached plans
+// depend on the same schema and rule state, so the plan-cache epoch bumps
+// with it.
 func (k *Kernel) InvalidateMeta() {
 	k.metaMu.Lock()
 	k.metaCache = map[string]tableMeta{}
 	k.metaMu.Unlock()
+	k.BumpPlanEpoch()
+}
+
+// PlanCache exposes the shared plan cache (nil when disabled); DistSQL's
+// SHOW PLAN CACHE STATUS and the governor's metrics listener read it.
+func (k *Kernel) PlanCache() *plancache.Cache { return k.planCache }
+
+// BumpPlanEpoch invalidates every cached plan. DDL, DistSQL rule changes
+// and governor-pushed config updates call it.
+func (k *Kernel) BumpPlanEpoch() {
+	if k.planCache != nil {
+		k.planCache.Invalidate()
+	}
+}
+
+// dialectOf resolves a data source's SQL dialect (MySQL for unknown
+// sources, matching the rewriter's historical default).
+func (k *Kernel) dialectOf(ds string) sqlparser.Dialect {
+	if src, err := k.executor.Source(ds); err == nil {
+		return src.Dialect()
+	}
+	return sqlparser.DialectMySQL
 }
 
 // TableMeta implements transaction.MetaProvider: it resolves the primary
@@ -289,6 +327,7 @@ func isDistSQL(sql string) bool {
 		"CREATE BINDING", "DROP BINDING", "SHOW BINDING",
 		"SET VARIABLE", "SHOW VARIABLE", "PREVIEW", "SHOW STATUS",
 		"CREATE BROADCAST", "SHOW BROADCAST", "SHOW TRANSACTION", "RESHARD",
+		"SHOW PLAN CACHE",
 	} {
 		if strings.HasPrefix(up, prefix) {
 			return true

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"shardingsphere/internal/rewrite"
+	"shardingsphere/internal/route"
+	"shardingsphere/internal/sqlparser"
+	"shardingsphere/internal/sqltypes"
+)
+
+// plan is one cached statement shape: the parsed AST plus, for shapes the
+// fast path serves, the precomputed route skeleton and rewrite template.
+// Plans are shared across sessions and never mutated after buildPlan; every
+// pipeline stage that needs to change the AST clones it first.
+type plan struct {
+	key  string
+	stmt sqlparser.Statement
+	sel  *sqlparser.SelectStmt // non-nil when stmt is a SELECT
+
+	// fast marks shapes executed without any AST walk: bind args → skeleton
+	// route → template splice. Everything else replays the generic pipeline
+	// on the cached AST (still zero parser invocations).
+	fast        bool
+	skel        *route.Skeleton
+	tmpl        *rewrite.Template
+	selCtx      *rewrite.SelectContext // single-node merge context (SELECT only)
+	tableInStmt string                 // logic table as written in the statement
+	logicTable  string                 // rule's LogicTable key for TableMap lookups
+}
+
+// buildPlan compiles a normalized shape into a plan. It runs once per shape
+// (under the plan cache's singleflight); a parse error here means the
+// caller re-parses the original text so the error carries it.
+func buildPlan(k *Kernel, norm *sqlparser.Normalized) (*plan, error) {
+	stmt, err := sqlparser.Parse(norm.Key)
+	if err != nil {
+		return nil, err
+	}
+	p := &plan{key: norm.Key, stmt: stmt}
+	p.sel, _ = stmt.(*sqlparser.SelectStmt)
+
+	// Fast-path eligibility. Statement transformers (encrypt, shadow) may
+	// rewrite the AST per execution, so their presence keeps every shape on
+	// the generic pipeline.
+	if k.hasTransformers {
+		return p, nil
+	}
+	switch t := stmt.(type) {
+	case *sqlparser.SelectStmt:
+		if len(t.From) != 1 {
+			return p, nil
+		}
+		p.tableInStmt = t.From[0].Name
+	case *sqlparser.UpdateStmt:
+		p.tableInStmt = t.Table
+	case *sqlparser.DeleteStmt:
+		p.tableInStmt = t.Table
+	default:
+		return p, nil
+	}
+	skel, ok := k.router.BuildSkeleton(stmt)
+	if !ok {
+		return p, nil
+	}
+	tmpl, ok := rewrite.NewTemplate(stmt, p.tableInStmt)
+	if !ok {
+		return p, nil
+	}
+	if rule, ok := k.rules.Rule(p.tableInStmt); ok {
+		p.logicTable = rule.LogicTable
+	}
+	if p.sel != nil {
+		p.selCtx = rewrite.SingleNodeSelectContext(p.sel)
+	}
+	p.fast, p.skel, p.tmpl = true, skel, tmpl
+	return p, nil
+}
+
+// executePlan runs a cached plan with bound argument values. Fast shapes
+// route through the skeleton and splice the rewrite template; everything
+// else replays the generic pipeline on the cached AST.
+func (s *Session) executePlan(p *plan, args []sqltypes.Value) (*Result, error) {
+	if !p.fast {
+		return s.ExecuteStmt(p.stmt, args)
+	}
+	rt, err := p.skel.Route(args, s.hint)
+	if err != nil {
+		return nil, err
+	}
+	if p.sel != nil && p.sel.Limit != nil {
+		// Reproduce the rewriter's LIMIT validation (single-node pagination
+		// is pushed down, but bad values must still error here).
+		if _, err := rewrite.EvalLimit(p.sel.Limit, args); err != nil {
+			return nil, err
+		}
+	}
+	var rw *rewrite.Result
+	if rt.SingleNode() {
+		unit := rt.Units[0]
+		actual := p.tableInStmt
+		if a, ok := unit.TableMap[p.logicTable]; ok {
+			actual = a
+		}
+		sql, ok := p.tmpl.Render(s.k.dialectOf(unit.DataSource), actual)
+		if !ok {
+			return s.ExecuteStmt(p.stmt, args)
+		}
+		rw = &rewrite.Result{
+			Units:  []rewrite.SQLUnit{{DataSource: unit.DataSource, SQL: sql, Args: args}},
+			Select: p.selCtx,
+		}
+	} else {
+		// Multi-node shapes need column derivation / pagination revision;
+		// run the full rewriter on the cached AST (clone-on-write inside).
+		rw, err = s.k.rewriter.Rewrite(p.stmt, rt, args)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s.runUnits(p.stmt, p.sel, rw, 0)
+}

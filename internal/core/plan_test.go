@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"shardingsphere/internal/resource"
+	"shardingsphere/internal/sharding"
+	"shardingsphere/internal/sqlparser"
+	"shardingsphere/internal/sqltypes"
+	"shardingsphere/internal/storage"
+	"shardingsphere/internal/transaction"
+)
+
+// parses counts parser invocations while fn runs.
+func parses(fn func()) uint64 {
+	before := sqlparser.ParseCount()
+	fn()
+	return sqlparser.ParseCount() - before
+}
+
+func TestPlanCacheZeroParseOnRepeatedShapes(t *testing.T) {
+	k := newKernel(t, 2, 4)
+	s := k.NewSession()
+	seed(t, s, 10)
+
+	// Warm the shape across every shard: the first execution compiles the
+	// plan (one parse of the normalized key), and the embedded data nodes
+	// parse each distinct actual-table text once into their own
+	// prepared-statement caches — exactly what a real backend would do.
+	warm := parses(func() {
+		for uid := 1; uid <= 4; uid++ {
+			mustQuery(t, s, fmt.Sprintf("SELECT name FROM t_user WHERE uid = %d", uid))
+		}
+	})
+	if warm == 0 {
+		t.Fatal("cold executions should parse")
+	}
+	// Same shape, different literals: the parser must not run at all.
+	n := parses(func() {
+		for uid := 5; uid <= 10; uid++ {
+			rows := mustQuery(t, s, fmt.Sprintf("SELECT name FROM t_user WHERE uid = %d", uid))
+			if len(rows) != 1 || rows[0][0].S != fmt.Sprintf("user%d", uid) {
+				t.Fatalf("uid %d: %v", uid, rows)
+			}
+		}
+	})
+	if n != 0 {
+		t.Fatalf("hot shape parsed %d times, want 0", n)
+	}
+	// Placeholder form shares the shape with the literal form.
+	n = parses(func() {
+		rows := mustQuery(t, s, "SELECT name FROM t_user WHERE uid = ?", sqltypes.NewInt(3))
+		if len(rows) != 1 || rows[0][0].S != "user3" {
+			t.Fatalf("placeholder exec: %v", rows)
+		}
+	})
+	if n != 0 {
+		t.Fatalf("placeholder variant parsed %d times, want 0", n)
+	}
+}
+
+func TestPlanCacheSharedAcrossSessions(t *testing.T) {
+	k := newKernel(t, 2, 4)
+	s1 := k.NewSession()
+	seed(t, s1, 5)
+	mustQuery(t, s1, "SELECT name FROM t_user WHERE uid = 1") // warm (shard 1)
+
+	s2 := k.NewSession()
+	n := parses(func() {
+		// uid 5 lands on the warmed shard; only the kernel could parse here.
+		rows := mustQuery(t, s2, "SELECT name FROM t_user WHERE uid = 5")
+		if len(rows) != 1 || rows[0][0].S != "user5" {
+			t.Fatalf("cross-session: %v", rows)
+		}
+	})
+	if n != 0 {
+		t.Fatalf("second session parsed %d times; plans must be shared", n)
+	}
+}
+
+func TestPlanCacheCorrectAcrossShards(t *testing.T) {
+	// Every uid routes through the same cached plan to a different shard;
+	// updates and deletes through the fast path must hit the same rows.
+	k := newKernel(t, 2, 4)
+	s := k.NewSession()
+	seed(t, s, 16)
+	for uid := 1; uid <= 16; uid++ {
+		rows := mustQuery(t, s, "SELECT name FROM t_user WHERE uid = ?", sqltypes.NewInt(int64(uid)))
+		if len(rows) != 1 || rows[0][0].S != fmt.Sprintf("user%d", uid) {
+			t.Fatalf("uid %d: %v", uid, rows)
+		}
+	}
+	for uid := 1; uid <= 16; uid++ {
+		if r := mustExec(t, s, "UPDATE t_user SET age = ? WHERE uid = ?",
+			sqltypes.NewInt(int64(100+uid)), sqltypes.NewInt(int64(uid))); r.Affected != 1 {
+			t.Fatalf("update uid %d affected %d", uid, r.Affected)
+		}
+	}
+	for uid := 1; uid <= 16; uid++ {
+		rows := mustQuery(t, s, "SELECT age FROM t_user WHERE uid = ?", sqltypes.NewInt(int64(uid)))
+		if rows[0][0].I != int64(100+uid) {
+			t.Fatalf("uid %d age %v", uid, rows)
+		}
+	}
+	if r := mustExec(t, s, "DELETE FROM t_user WHERE uid = ?", sqltypes.NewInt(7)); r.Affected != 1 {
+		t.Fatalf("delete affected %d", r.Affected)
+	}
+	if rows := mustQuery(t, s, "SELECT COUNT(*) FROM t_user"); rows[0][0].I != 15 {
+		t.Fatalf("count after delete: %v", rows)
+	}
+}
+
+func TestPlanCacheMultiNodeShapes(t *testing.T) {
+	// Shapes that route to many nodes reuse the cached AST through the full
+	// rewriter — still zero parses on the hot path.
+	k := newKernel(t, 2, 4)
+	s := k.NewSession()
+	seed(t, s, 12)
+	mustQuery(t, s, "SELECT COUNT(*) FROM t_user WHERE age > 0") // warm
+	n := parses(func() {
+		rows := mustQuery(t, s, "SELECT COUNT(*) FROM t_user WHERE age > 200")
+		if rows[0][0].I != 0 {
+			t.Fatalf("broadcast count: %v", rows)
+		}
+		rows = mustQuery(t, s, "SELECT COUNT(*) FROM t_user WHERE age > 1")
+		if rows[0][0].I != 12 {
+			t.Fatalf("broadcast count: %v", rows)
+		}
+	})
+	if n != 0 {
+		t.Fatalf("multi-node hot shape parsed %d times", n)
+	}
+}
+
+func TestPlanCacheForUpdateBypassInTransaction(t *testing.T) {
+	k := newKernel(t, 2, 4)
+	s := k.NewSession()
+	seed(t, s, 4)
+	s.SetTransactionType(transaction.XA)
+	mustExec(t, s, "BEGIN")
+	// Warm the shape outside suspicion: still inside the tx, each locking
+	// read must take the full pipeline (parse every time).
+	for i := 0; i < 3; i++ {
+		n := parses(func() { mustQuery(t, s, fmt.Sprintf("SELECT name FROM t_user WHERE uid = %d FOR UPDATE", i+1)) })
+		if n == 0 {
+			t.Fatalf("iteration %d: FOR UPDATE inside XA must bypass the plan cache", i)
+		}
+	}
+	mustExec(t, s, "COMMIT")
+	// Outside a transaction the same shape is cacheable (uid 1 and 5 share
+	// a shard, so the data node's own statement cache is warm too).
+	mustQuery(t, s, "SELECT name FROM t_user WHERE uid = 1 FOR UPDATE")
+	n := parses(func() { mustQuery(t, s, "SELECT name FROM t_user WHERE uid = 5 FOR UPDATE") })
+	if n != 0 {
+		t.Fatalf("FOR UPDATE outside tx parsed %d times", n)
+	}
+}
+
+func TestPlanCacheInvalidatedByDDL(t *testing.T) {
+	k := newKernel(t, 2, 4)
+	s := k.NewSession()
+	seed(t, s, 4)
+	mustQuery(t, s, "SELECT name FROM t_user WHERE uid = 1") // warm
+	epoch := k.PlanCache().Epoch()
+	mustExec(t, s, "CREATE TABLE t_extra (id INT PRIMARY KEY)")
+	if k.PlanCache().Epoch() == epoch {
+		t.Fatal("DDL did not bump the plan-cache epoch")
+	}
+	// Stale plan dropped: next execution recompiles (parses) and works.
+	n := parses(func() {
+		rows := mustQuery(t, s, "SELECT name FROM t_user WHERE uid = 2")
+		if len(rows) != 1 || rows[0][0].S != "user2" {
+			t.Fatalf("post-DDL: %v", rows)
+		}
+	})
+	if n == 0 {
+		t.Fatal("stale plan served after DDL epoch bump")
+	}
+}
+
+func TestPlanCacheDisabled(t *testing.T) {
+	rules := sharding.NewRuleSet()
+	sources := map[string]*resource.DataSource{
+		"ds0": resource.NewEmbedded(storage.NewEngine("ds0"), nil),
+	}
+	rule, err := sharding.BuildAutoRule(sharding.AutoTableSpec{
+		LogicTable: "t", Resources: []string{"ds0"},
+		ShardingColumn: "id", AlgorithmType: "MOD", ShardingCount: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules.AddRule(rule)
+	k, err := New(Config{Rules: rules, Sources: sources, PlanCacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.PlanCache() != nil {
+		t.Fatal("negative PlanCacheSize must disable the cache")
+	}
+	s := k.NewSession()
+	mustExec(t, s, "CREATE TABLE t (id INT PRIMARY KEY)")
+	mustExec(t, s, "INSERT INTO t (id) VALUES (1)")
+	for i := 0; i < 2; i++ {
+		n := parses(func() { mustQuery(t, s, "SELECT id FROM t WHERE id = 1") })
+		if n == 0 {
+			t.Fatalf("iteration %d: disabled cache must parse every statement", i)
+		}
+	}
+}
+
+func TestPlanCacheLimitValidationParity(t *testing.T) {
+	// The fast path must reproduce the rewriter's LIMIT argument errors.
+	k := newKernel(t, 2, 4)
+	s := k.NewSession()
+	seed(t, s, 4)
+	// Warm with a good binding, then fail on a missing one.
+	if _, err := s.Query("SELECT name FROM t_user WHERE uid = ? LIMIT ?",
+		sqltypes.NewInt(1), sqltypes.NewInt(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Query("SELECT name FROM t_user WHERE uid = ? LIMIT ?", sqltypes.NewInt(1)); err == nil {
+		t.Fatal("missing LIMIT bind argument must error")
+	}
+}

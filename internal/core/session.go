@@ -59,8 +59,6 @@ type Session struct {
 	txType transaction.Type
 	vars   map[string]sqltypes.Value
 	hint   *sqltypes.Value
-
-	stmtCache map[string]sqlparser.Statement
 }
 
 // Kernel returns the owning kernel (DistSQL needs it).
@@ -90,28 +88,12 @@ func (s *Session) Close() {
 	}
 }
 
-// parse returns a cached parsed statement. Cached statements are shared
-// and must be treated as immutable; every pipeline stage clones before
-// mutating.
-func (s *Session) parse(sql string) (sqlparser.Statement, error) {
-	if s.stmtCache == nil {
-		s.stmtCache = map[string]sqlparser.Statement{}
-	}
-	if stmt, ok := s.stmtCache[sql]; ok {
-		return stmt, nil
-	}
-	stmt, err := sqlparser.Parse(sql)
-	if err != nil {
-		return nil, err
-	}
-	if len(s.stmtCache) > 4096 {
-		s.stmtCache = map[string]sqlparser.Statement{}
-	}
-	s.stmtCache[sql] = stmt
-	return stmt, nil
-}
-
-// Execute runs one SQL or DistSQL statement.
+// Execute runs one SQL or DistSQL statement. Cacheable DML goes through
+// the kernel's shared parameterized plan cache: the statement is
+// normalized (literals → parameter slots), the shape's plan is looked up
+// or compiled once, and execution binds the captured values — on a cache
+// hit the parser never runs (the former per-session exact-string AST map,
+// wiped wholesale at 4096 entries, is gone).
 func (s *Session) Execute(sql string, args ...sqltypes.Value) (*Result, error) {
 	if isDistSQL(sql) {
 		if s.k.distSQL == nil {
@@ -119,7 +101,26 @@ func (s *Session) Execute(sql string, args ...sqltypes.Value) (*Result, error) {
 		}
 		return s.k.distSQL(s, sql)
 	}
-	stmt, err := s.parse(sql)
+	if pc := s.k.planCache; pc != nil {
+		if norm, ok := sqlparser.Normalize(sql); ok {
+			// Locking reads inside a distributed transaction bypass the
+			// cache: a SELECT ... FOR UPDATE under XA must see the pipeline
+			// state of its own transaction, never a shared shortcut.
+			if !(norm.ForUpdate && s.tx != nil) {
+				if bound, err := norm.BindArgs(args); err == nil {
+					v, err := pc.GetOrCompute(norm.Key, func() (any, error) {
+						return buildPlan(s.k, norm)
+					})
+					if err == nil {
+						return s.executePlan(v.(*plan), bound)
+					}
+					// A failed build is not cached; fall through to a full
+					// parse so syntax errors reference the original text.
+				}
+			}
+		}
+	}
+	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
@@ -227,6 +228,14 @@ func (s *Session) ExecuteStmt(stmt sqlparser.Statement, args []sqltypes.Value) (
 	if err != nil {
 		return nil, err
 	}
+	return s.runUnits(stmt, sel, rw, genKey)
+}
+
+// runUnits executes rewritten SQL units: source resolution, circuit-breaker
+// gates, transaction hooks, execution and merge. Both the generic pipeline
+// and the plan cache's fast path end here.
+func (s *Session) runUnits(stmt sqlparser.Statement, sel *sqlparser.SelectStmt, rw *rewrite.Result, genKey int64) (*Result, error) {
+	isSelect := sel != nil
 	readOnly := isSelect && !sel.ForUpdate
 	s.k.resolveSources(rw.Units, readOnly, s.tx != nil, stmt)
 	if err := s.k.checkGates(rw.Units); err != nil {

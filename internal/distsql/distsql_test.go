@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+	"time"
 
 	"shardingsphere/internal/core"
 	"shardingsphere/internal/governor"
@@ -282,6 +283,125 @@ func TestParseToleratesCase(t *testing.T) {
 	rule := stmt.(*CreateShardingRule)
 	if rule.Table != "T" || rule.Type != "mod" || rule.Properties["sharding-count"] != "2" {
 		t.Fatalf("parsed: %+v", rule)
+	}
+}
+
+func TestAlterRuleInvalidatesCachedPlans(t *testing.T) {
+	// Regression: a point query cached under MOD(2) must not keep routing
+	// by the old layout after ALTER SHARDING TABLE RULE moves to MOD(4).
+	k, s, _ := fixture(t)
+	exec(t, s, `CREATE SHARDING TABLE RULE t_user (
+		RESOURCES(ds0, ds1),
+		SHARDING_COLUMN = uid,
+		TYPE = mod,
+		PROPERTIES("sharding-count" = 2)
+	)`)
+	exec(t, s, "CREATE TABLE t_user (uid INT PRIMARY KEY, name VARCHAR(32))")
+	for i := 0; i < 4; i++ {
+		exec(t, s, fmt.Sprintf("INSERT INTO t_user (uid, name) VALUES (%d, 'u%d')", i, i))
+	}
+	// Warm the plan cache with the point-select shape.
+	got := rows(t, exec(t, s, "SELECT name FROM t_user WHERE uid = 2"))
+	if len(got) != 1 || got[0][0].S != "u2" {
+		t.Fatalf("warm query: %v", got)
+	}
+
+	epoch := k.PlanCache().Epoch()
+	exec(t, s, `ALTER SHARDING TABLE RULE t_user (
+		RESOURCES(ds0, ds1),
+		SHARDING_COLUMN = uid,
+		TYPE = mod,
+		PROPERTIES("sharding-count" = 4)
+	)`)
+	if k.PlanCache().Epoch() == epoch {
+		t.Fatal("ALTER SHARDING TABLE RULE did not bump the plan-cache epoch")
+	}
+	// Materialize the two new shards and land a row on one of them:
+	// uid 6 routes to t_user_2 under MOD(4) but to t_user_0 under the old
+	// MOD(2) layout, which never held it.
+	exec(t, s, "CREATE TABLE IF NOT EXISTS t_user (uid INT PRIMARY KEY, name VARCHAR(32))")
+	exec(t, s, "INSERT INTO t_user (uid, name) VALUES (6, 'u6')")
+	got = rows(t, exec(t, s, "SELECT name FROM t_user WHERE uid = 6"))
+	if len(got) != 1 || got[0][0].S != "u6" {
+		t.Fatalf("stale plan routed by the old layout: %v", got)
+	}
+}
+
+func TestShowPlanCacheStatus(t *testing.T) {
+	_, s, _ := fixture(t)
+	exec(t, s, createUserRule)
+	exec(t, s, "CREATE TABLE t_user (uid INT PRIMARY KEY, name VARCHAR(32))")
+	exec(t, s, "INSERT INTO t_user (uid, name) VALUES (1, 'u1')")
+	// Same shape twice: one miss (compile), then one hit.
+	exec(t, s, "SELECT name FROM t_user WHERE uid = 1")
+	exec(t, s, "SELECT name FROM t_user WHERE uid = 1")
+
+	res := exec(t, s, "SHOW PLAN CACHE STATUS")
+	got := rows(t, res)
+	if len(got) != 1 {
+		t.Fatalf("status rows: %v", got)
+	}
+	r := got[0]
+	if r[0].S != "true" {
+		t.Fatalf("enabled: %v", r)
+	}
+	if r[1].I < 1 { // hits
+		t.Fatalf("expected at least one hit: %v", r)
+	}
+	if r[2].I < 1 { // misses
+		t.Fatalf("expected at least one miss: %v", r)
+	}
+	if r[5].I < 1 || r[6].I < r[5].I { // size, capacity
+		t.Fatalf("size/capacity: %v", r)
+	}
+}
+
+func TestShowPlanCacheStatusDisabled(t *testing.T) {
+	sources := map[string]*resource.DataSource{
+		"ds0": resource.NewEmbedded(storage.NewEngine("ds0"), nil),
+	}
+	k, err := core.New(core.Config{Sources: sources, PlanCacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Install(k, nil)
+	s := k.NewSession()
+	got := rows(t, exec(t, s, "SHOW PLAN CACHE STATUS"))
+	if len(got) != 1 || got[0][0].S != "false" {
+		t.Fatalf("disabled cache status: %v", got)
+	}
+}
+
+func TestConfigWatchInvalidatesPeerInstance(t *testing.T) {
+	// Two instances share one coordination registry. A rule change executed
+	// on instance A must drop instance B's cached plans via the governor's
+	// config watch — B never sees the DistSQL statement itself.
+	reg := registry.New()
+	mk := func(tag string) (*core.Kernel, *core.Session) {
+		sources := map[string]*resource.DataSource{}
+		for i := 0; i < 2; i++ {
+			name := fmt.Sprintf("ds%d", i)
+			sources[name] = resource.NewEmbedded(storage.NewEngine(tag+name), nil)
+		}
+		k, err := core.New(core.Config{Sources: sources, Registry: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		Install(k, governor.New(reg, k.Executor()))
+		return k, k.NewSession()
+	}
+	_, sA := mk("a_")
+	kB, _ := mk("b_")
+
+	epoch := kB.PlanCache().Epoch()
+	exec(t, sA, createUserRule)
+	// Watch delivery is asynchronous; poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for kB.PlanCache().Epoch() == epoch {
+		if time.Now().After(deadline) {
+			t.Fatal("peer instance's plan cache was not invalidated by the config push")
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

@@ -19,17 +19,34 @@ import (
 // Handler executes DistSQL against a kernel, persisting configuration
 // through the Governor when one is attached.
 type Handler struct {
-	gov *governor.Governor
+	gov         *governor.Governor
+	cancelWatch func()
 }
 
 // Install wires DistSQL processing into the kernel. gov may be nil (no
-// persistence, status commands degrade gracefully).
+// persistence, status commands degrade gracefully). With a governor
+// attached, the plan cache's counters register as a metrics source and
+// registry-pushed configuration changes invalidate cached plans — so a
+// rule change made on any instance drops stale plans on this one too.
 func Install(k *core.Kernel, gov *governor.Governor) *Handler {
 	h := &Handler{gov: gov}
 	k.SetDistSQLHandler(func(sess *core.Session, sql string) (*core.Result, error) {
 		return h.Execute(sess, sql)
 	})
+	if gov != nil {
+		if pc := k.PlanCache(); pc != nil {
+			gov.RegisterMetrics("plan_cache", pc.Metrics)
+		}
+		h.cancelWatch = gov.WatchConfig(k.BumpPlanEpoch)
+	}
 	return h
+}
+
+// Close releases the handler's registry watch.
+func (h *Handler) Close() {
+	if h.cancelWatch != nil {
+		h.cancelWatch()
+	}
 }
 
 // Execute parses and runs one DistSQL statement.
@@ -50,12 +67,14 @@ func (h *Handler) Execute(sess *core.Session, sql string) (*core.Result, error) 
 		if err := k.Rules().AddBindingGroup(t.Tables...); err != nil {
 			return nil, err
 		}
+		k.BumpPlanEpoch()
 		h.persist(k)
 		return &core.Result{}, nil
 	case *DropBinding:
 		unlock := k.LockRules()
 		defer unlock()
 		dropBindingGroup(k.Rules(), t.Tables)
+		k.BumpPlanEpoch()
 		h.persist(k)
 		return &core.Result{}, nil
 	case *CreateBroadcast:
@@ -64,6 +83,7 @@ func (h *Handler) Execute(sess *core.Session, sql string) (*core.Result, error) 
 		for _, table := range t.Tables {
 			k.Rules().Broadcast[strings.ToLower(table)] = true
 		}
+		k.BumpPlanEpoch()
 		h.persist(k)
 		return &core.Result{}, nil
 	case *ShowRules:
@@ -72,6 +92,8 @@ func (h *Handler) Execute(sess *core.Session, sql string) (*core.Result, error) 
 		return h.showResources(k)
 	case *ShowStatus:
 		return h.showStatus(k)
+	case *ShowPlanCache:
+		return h.showPlanCache(k)
 	case *SetVariable:
 		return h.setVariable(sess, t)
 	case *ShowVariable:
@@ -112,6 +134,7 @@ func (h *Handler) createRule(k *core.Kernel, t *CreateShardingRule) (*core.Resul
 		return nil, fmt.Errorf("distsql: rule for %s exists; use ALTER SHARDING TABLE RULE", t.Table)
 	}
 	k.Rules().AddRule(rule)
+	k.BumpPlanEpoch()
 	h.persist(k)
 	return &core.Result{}, nil
 }
@@ -125,6 +148,7 @@ func (h *Handler) dropRule(k *core.Kernel, t *DropShardingRule) (*core.Result, e
 	if h.gov != nil {
 		h.gov.DropRule(t.Table)
 	}
+	k.BumpPlanEpoch()
 	h.persist(k)
 	return &core.Result{}, nil
 }
@@ -258,6 +282,31 @@ func (h *Handler) showStatus(k *core.Kernel) (*core.Result, error) {
 		})
 	}
 	return rowsResult([]string{"kind", "name", "status"}, rows), nil
+}
+
+// showPlanCache surfaces the shared plan cache's counters (RAL). A
+// disabled cache reports a single "disabled" row instead of erroring.
+func (h *Handler) showPlanCache(k *core.Kernel) (*core.Result, error) {
+	cols := []string{"enabled", "hits", "misses", "evictions", "invalidations", "size", "capacity", "epoch"}
+	pc := k.PlanCache()
+	if pc == nil {
+		return rowsResult(cols, []sqltypes.Row{{
+			sqltypes.NewString("false"),
+			sqltypes.NewInt(0), sqltypes.NewInt(0), sqltypes.NewInt(0),
+			sqltypes.NewInt(0), sqltypes.NewInt(0), sqltypes.NewInt(0), sqltypes.NewInt(0),
+		}}), nil
+	}
+	st := pc.Stats()
+	return rowsResult(cols, []sqltypes.Row{{
+		sqltypes.NewString("true"),
+		sqltypes.NewInt(int64(st.Hits)),
+		sqltypes.NewInt(int64(st.Misses)),
+		sqltypes.NewInt(int64(st.Evictions)),
+		sqltypes.NewInt(int64(st.Invalidations)),
+		sqltypes.NewInt(int64(st.Size)),
+		sqltypes.NewInt(int64(st.Capacity)),
+		sqltypes.NewInt(int64(st.Epoch)),
+	}}), nil
 }
 
 // setVariable implements the RAL commands: the paper's transaction-type

@@ -69,6 +69,10 @@ type ShowResources struct{}
 // ShowStatus is SHOW STATUS: live instances and data source health.
 type ShowStatus struct{}
 
+// ShowPlanCache is SHOW PLAN CACHE STATUS: the shared plan cache's
+// hit/miss/eviction/invalidation counters, size and epoch (RAL).
+type ShowPlanCache struct{}
+
 // SetVariable is SET VARIABLE name = value (RAL).
 type SetVariable struct {
 	Name  string
@@ -101,6 +105,7 @@ func (*CreateBroadcast) distSQLStmt()    {}
 func (*ShowRules) distSQLStmt()          {}
 func (*ShowResources) distSQLStmt()      {}
 func (*ShowStatus) distSQLStmt()         {}
+func (*ShowPlanCache) distSQLStmt()      {}
 func (*SetVariable) distSQLStmt()        {}
 func (*ShowVariable) distSQLStmt()       {}
 func (*Preview) distSQLStmt()            {}
@@ -271,6 +276,15 @@ func (p *parser) parse() (Statement, error) {
 		case "STATUS":
 			p.pos++
 			return &ShowStatus{}, nil
+		case "PLAN":
+			p.pos++
+			if err := p.expect("CACHE"); err != nil {
+				return nil, err
+			}
+			if err := p.expect("STATUS"); err != nil {
+				return nil, err
+			}
+			return &ShowPlanCache{}, nil
 		case "VARIABLE":
 			p.pos++
 			name, err := p.ident()

@@ -281,22 +281,33 @@ func (e *Executor) Query(units []rewrite.SQLUnit, held *HeldConns) (*QueryResult
 		Sets:  make([]resource.ResultSet, len(units)),
 		Modes: map[string]ConnectionMode{},
 	}
-	var wg sync.WaitGroup
-	errCh := make(chan error, len(groups))
 	var mu sync.Mutex
 	for _, g := range groups {
 		res.Modes[g.ds] = g.mode
-		wg.Add(1)
-		go func(g group) {
-			defer wg.Done()
-			if err := e.runQueryGroup(units, g, held, res, &mu); err != nil {
-				errCh <- err
-			}
-		}(g)
 	}
-	wg.Wait()
-	close(errCh)
-	if err := <-errCh; err != nil {
+	var err error
+	if len(groups) == 1 {
+		// Single data source — no fan-out to overlap, so run on the
+		// caller's stack instead of paying a goroutine spawn (and its
+		// stack growth) per statement. Point queries live here.
+		err = e.runQueryGroup(units, groups[0], held, res, &mu)
+	} else {
+		var wg sync.WaitGroup
+		errCh := make(chan error, len(groups))
+		for _, g := range groups {
+			wg.Add(1)
+			go func(g group) {
+				defer wg.Done()
+				if gerr := e.runQueryGroup(units, g, held, res, &mu); gerr != nil {
+					errCh <- gerr
+				}
+			}(g)
+		}
+		wg.Wait()
+		close(errCh)
+		err = <-errCh
+	}
+	if err != nil {
 		for _, rs := range res.Sets {
 			if rs != nil {
 				rs.Close()
@@ -361,6 +372,10 @@ func (e *Executor) runQueryGroup(units []rewrite.SQLUnit, g group, held *HeldCon
 
 	// Distribute the group's units over the connections round-robin; each
 	// connection executes its share serially, connections run in parallel.
+	// A single connection runs inline — nothing to overlap.
+	if len(conns) == 1 {
+		return e.runConnShare(units, g, conns[0], g.units, res, mu)
+	}
 	var wg sync.WaitGroup
 	errCh := make(chan error, len(conns))
 	for ci, conn := range conns {
@@ -371,43 +386,52 @@ func (e *Executor) runQueryGroup(units []rewrite.SQLUnit, g group, held *HeldCon
 		wg.Add(1)
 		go func(conn *resource.PooledConn, share []int) {
 			defer wg.Done()
-			streaming := false
-			for _, idx := range share {
-				u := units[idx]
-				start := time.Now()
-				rs, err := conn.Query(u.SQL, u.Args...)
-				e.observe(g.ds, u.SQL, start, err)
-				if err != nil {
-					errCh <- err
-					break
-				}
-				if g.mode == ConnectionStrictly {
-					drained, err := drain(rs)
-					if err != nil {
-						errCh <- err
-						break
-					}
-					mu.Lock()
-					res.Sets[idx] = drained
-					mu.Unlock()
-				} else {
-					// Memory-strict: hand the open cursor to the merger;
-					// the connection releases when the cursor closes.
-					wrapped := &connBoundSet{inner: rs, conn: conn}
-					streaming = true
-					mu.Lock()
-					res.Sets[idx] = wrapped
-					mu.Unlock()
-				}
-			}
-			if !streaming {
-				conn.Release()
+			if err := e.runConnShare(units, g, conn, share, res, mu); err != nil {
+				errCh <- err
 			}
 		}(conn, share)
 	}
 	wg.Wait()
 	close(errCh)
 	return <-errCh
+}
+
+// runConnShare executes one connection's share of a group's units.
+func (e *Executor) runConnShare(units []rewrite.SQLUnit, g group, conn *resource.PooledConn, share []int, res *QueryResult, mu *sync.Mutex) error {
+	streaming := false
+	var firstErr error
+	for _, idx := range share {
+		u := units[idx]
+		start := time.Now()
+		rs, err := conn.Query(u.SQL, u.Args...)
+		e.observe(g.ds, u.SQL, start, err)
+		if err != nil {
+			firstErr = err
+			break
+		}
+		if g.mode == ConnectionStrictly {
+			drained, err := drain(rs)
+			if err != nil {
+				firstErr = err
+				break
+			}
+			mu.Lock()
+			res.Sets[idx] = drained
+			mu.Unlock()
+		} else {
+			// Memory-strict: hand the open cursor to the merger;
+			// the connection releases when the cursor closes.
+			wrapped := &connBoundSet{inner: rs, conn: conn}
+			streaming = true
+			mu.Lock()
+			res.Sets[idx] = wrapped
+			mu.Unlock()
+		}
+	}
+	if !streaming {
+		conn.Release()
+	}
+	return firstErr
 }
 
 // drain materializes a result set so its connection can be reused. Both
@@ -453,48 +477,21 @@ func (e *Executor) ExecuteUpdate(units []rewrite.SQLUnit, held *HeldConns) (reso
 	groups := e.plan(units, held)
 	var total resource.ExecResult
 	var mu sync.Mutex
+	if len(groups) == 1 {
+		// Single data source: run inline (see Query).
+		if err := e.runUpdateGroup(units, groups[0], held, &total, &mu); err != nil {
+			return resource.ExecResult{}, err
+		}
+		return total, nil
+	}
 	var wg sync.WaitGroup
 	errCh := make(chan error, len(groups))
 	for _, g := range groups {
 		wg.Add(1)
 		go func(g group) {
 			defer wg.Done()
-			var conn *resource.PooledConn
-			var err error
-			if held != nil {
-				conn, err = held.Get(e, g.ds)
-				if err != nil {
-					errCh <- err
-					return
-				}
-			} else {
-				src, err2 := e.Source(g.ds)
-				if err2 != nil {
-					errCh <- err2
-					return
-				}
-				conn, err = src.Acquire()
-				if err != nil {
-					errCh <- err
-					return
-				}
-				defer conn.Release()
-			}
-			for _, idx := range g.units {
-				u := units[idx]
-				start := time.Now()
-				r, err := conn.Exec(u.SQL, u.Args...)
-				e.observe(g.ds, u.SQL, start, err)
-				if err != nil {
-					errCh <- err
-					return
-				}
-				mu.Lock()
-				total.Affected += r.Affected
-				if r.LastInsertID != 0 {
-					total.LastInsertID = r.LastInsertID
-				}
-				mu.Unlock()
+			if err := e.runUpdateGroup(units, g, held, &total, &mu); err != nil {
+				errCh <- err
 			}
 		}(g)
 	}
@@ -504,6 +501,44 @@ func (e *Executor) ExecuteUpdate(units []rewrite.SQLUnit, held *HeldConns) (reso
 		return resource.ExecResult{}, err
 	}
 	return total, nil
+}
+
+// runUpdateGroup executes one data source's DML units serially.
+func (e *Executor) runUpdateGroup(units []rewrite.SQLUnit, g group, held *HeldConns, total *resource.ExecResult, mu *sync.Mutex) error {
+	var conn *resource.PooledConn
+	var err error
+	if held != nil {
+		conn, err = held.Get(e, g.ds)
+		if err != nil {
+			return err
+		}
+	} else {
+		src, err2 := e.Source(g.ds)
+		if err2 != nil {
+			return err2
+		}
+		conn, err = src.Acquire()
+		if err != nil {
+			return err
+		}
+		defer conn.Release()
+	}
+	for _, idx := range g.units {
+		u := units[idx]
+		start := time.Now()
+		r, err := conn.Exec(u.SQL, u.Args...)
+		e.observe(g.ds, u.SQL, start, err)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		total.Affected += r.Affected
+		if r.LastInsertID != 0 {
+			total.LastInsertID = r.LastInsertID
+		}
+		mu.Unlock()
+	}
+	return nil
 }
 
 // Broadcast sends one statement to every data source (TCL fan-out and

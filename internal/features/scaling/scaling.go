@@ -128,6 +128,9 @@ func Reshard(k *core.Kernel, spec sharding.AutoTableSpec, generation int) (*Job,
 	unlock := k.LockRules()
 	k.Rules().AddRule(newRule)
 	unlock()
+	// Cached plans route against the old layout; invalidate them before the
+	// old actual tables disappear.
+	k.BumpPlanEpoch()
 	for _, node := range oldRule.DataNodes {
 		execOn(k, node.DataSource, "DROP TABLE IF EXISTS "+node.Table)
 	}

@@ -25,8 +25,10 @@ const (
 	bindingsPath  = "/config/bindings"
 	broadcastPath = "/config/broadcast"
 	defaultDSPath = "/config/default_datasource"
+	configPath    = "/config"
 	instancesPath = "/instances"
 	statusPath    = "/status/sources"
+	metricsPath   = "/metrics"
 )
 
 // Governor manages configuration and health for one cluster.
@@ -34,12 +36,14 @@ type Governor struct {
 	reg  *registry.Registry
 	exec *exec.Executor
 
-	mu        sync.Mutex
-	breakers  map[string]*Breaker
-	lastState map[string]bool
-	listeners []func(ds string, up bool)
-	stopCh    chan struct{}
-	stopOnce  sync.Once
+	mu          sync.Mutex
+	breakers    map[string]*Breaker
+	lastState   map[string]bool
+	listeners   []func(ds string, up bool)
+	metricsSrcs map[string]MetricsSource
+	metricsSubs []func(map[string]int64)
+	stopCh      chan struct{}
+	stopOnce    sync.Once
 
 	// BreakThreshold consecutive probe failures open a source's breaker;
 	// CoolDown is how long it stays open before a half-open retry.
@@ -54,6 +58,7 @@ func New(reg *registry.Registry, e *exec.Executor) *Governor {
 		exec:           e,
 		breakers:       map[string]*Breaker{},
 		lastState:      map[string]bool{},
+		metricsSrcs:    map[string]MetricsSource{},
 		stopCh:         make(chan struct{}),
 		BreakThreshold: 3,
 		CoolDown:       5 * time.Second,
@@ -154,6 +159,88 @@ func LoadRules(reg *registry.Registry) (*sharding.RuleSet, error) {
 		rs.DefaultDataSource = raw
 	}
 	return rs, nil
+}
+
+// --- configuration watch (paper Section V-A, "dynamic configuration") ---
+
+// WatchConfig invokes fn whenever any configuration key under /config
+// changes — another instance altering rules, bindings or resources through
+// the shared registry. The kernel hooks its plan-cache invalidation here so
+// cluster-pushed changes drop stale plans on every instance, not just the
+// one that ran the DistSQL. The returned cancel releases the watch.
+func (g *Governor) WatchConfig(fn func()) (cancel func()) {
+	ch, stop := g.reg.Watch(configPath)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range ch {
+			fn()
+		}
+	}()
+	return func() {
+		stop()
+		<-done
+	}
+}
+
+// --- metrics (observability) ---
+
+// MetricsSource yields one component's counters; the governor snapshots
+// registered sources on every health-check cycle.
+type MetricsSource func() map[string]int64
+
+// RegisterMetrics attaches a named counter source. Counters appear in
+// Metrics() and the registry namespaced "<name>.<counter>"; re-registering
+// a name replaces the source.
+func (g *Governor) RegisterMetrics(name string, src MetricsSource) {
+	g.mu.Lock()
+	g.metricsSrcs[name] = src
+	g.mu.Unlock()
+}
+
+// SubscribeMetrics registers a listener invoked with the aggregated
+// snapshot after every health-check cycle.
+func (g *Governor) SubscribeMetrics(fn func(map[string]int64)) {
+	g.mu.Lock()
+	g.metricsSubs = append(g.metricsSubs, fn)
+	g.mu.Unlock()
+}
+
+// Metrics aggregates every registered source into one namespaced map.
+func (g *Governor) Metrics() map[string]int64 {
+	g.mu.Lock()
+	srcs := make(map[string]MetricsSource, len(g.metricsSrcs))
+	for name, src := range g.metricsSrcs {
+		srcs[name] = src
+	}
+	g.mu.Unlock()
+	out := map[string]int64{}
+	for name, src := range srcs {
+		for k, v := range src() {
+			out[name+"."+k] = v
+		}
+	}
+	return out
+}
+
+// publishMetrics snapshots every source into the registry under /metrics
+// and fans the snapshot out to subscribers.
+func (g *Governor) publishMetrics() {
+	snap := g.Metrics()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		g.reg.Put(metricsPath+"/"+k, fmt.Sprintf("%d", snap[k]))
+	}
+	g.mu.Lock()
+	subs := append([]func(map[string]int64){}, g.metricsSubs...)
+	g.mu.Unlock()
+	for _, fn := range subs {
+		fn(snap)
+	}
 }
 
 // --- instance registration & health detection (paper Section V-B) ---
@@ -257,6 +344,7 @@ func (g *Governor) CheckOnce() []string {
 		}
 	}
 	sort.Strings(down)
+	g.publishMetrics()
 	return down
 }
 

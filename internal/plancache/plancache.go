@@ -1,0 +1,246 @@
+// Package plancache is the engine-level parameterized plan cache: a
+// fixed-shard LRU keyed by normalized SQL shape, shared by every session
+// of a kernel. Shards bound lock contention under concurrent OLTP load,
+// singleflight population keeps a hot shape from being compiled by every
+// waiting session at once, and a version epoch invalidates the whole
+// cache in O(1) when DDL or rule changes make cached routes stale.
+package plancache
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// NumShards is the fixed shard count. Sixteen keeps per-shard mutexes
+// uncontended at proxy-level concurrency while the power-of-two mask makes
+// shard selection one AND instruction.
+const NumShards = 16
+
+// DefaultCapacity bounds the cache when the caller passes 0.
+const DefaultCapacity = 4096
+
+// Stats is a snapshot of the cache counters, surfaced through the
+// governor's metrics listener and DistSQL's SHOW PLAN CACHE STATUS.
+type Stats struct {
+	Hits          uint64
+	Misses        uint64
+	Evictions     uint64
+	Invalidations uint64 // epoch bumps (DDL, rule changes, config pushes)
+	Size          int
+	Capacity      int
+	Epoch         uint64
+}
+
+// Cache is the sharded LRU. The zero value is not usable; call New.
+type Cache struct {
+	epoch         atomic.Uint64
+	hits          atomic.Uint64
+	misses        atomic.Uint64
+	evictions     atomic.Uint64
+	invalidations atomic.Uint64
+
+	capacity int // total, spread evenly over shards
+	shards   [NumShards]shard
+}
+
+type shard struct {
+	mu       sync.Mutex
+	entries  map[string]*entry
+	lru      list.List // front = most recently used
+	inflight map[string]*flight
+}
+
+type entry struct {
+	key   string
+	val   any
+	epoch uint64
+	elem  *list.Element
+}
+
+// flight is one in-progress build other callers wait on.
+type flight struct {
+	wg  sync.WaitGroup
+	val any
+	err error
+}
+
+// New builds a cache holding up to capacity plans (DefaultCapacity when
+// capacity is 0; capacity is rounded up so every shard holds at least one).
+func New(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	c := &Cache{capacity: capacity}
+	for i := range c.shards {
+		c.shards[i].entries = map[string]*entry{}
+		c.shards[i].inflight = map[string]*flight{}
+	}
+	return c
+}
+
+func (c *Cache) perShard() int {
+	n := c.capacity / NumShards
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// fnv1a hashes the key for shard selection.
+func fnv1a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+func (c *Cache) shard(key string) *shard {
+	return &c.shards[fnv1a(key)&(NumShards-1)]
+}
+
+// Epoch returns the current invalidation epoch.
+func (c *Cache) Epoch() uint64 { return c.epoch.Load() }
+
+// Invalidate bumps the epoch: every cached plan becomes stale at once and
+// is dropped lazily on next lookup. Called on DDL, DistSQL rule changes
+// and governor-pushed configuration updates.
+func (c *Cache) Invalidate() {
+	c.epoch.Add(1)
+	c.invalidations.Add(1)
+}
+
+// Get returns the cached value for key, if present and current.
+func (c *Cache) Get(key string) (any, bool) {
+	s := c.shard(key)
+	epoch := c.epoch.Load()
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if ok && e.epoch == epoch {
+		s.lru.MoveToFront(e.elem)
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return e.val, true
+	}
+	if ok {
+		// Stale epoch: drop eagerly so Size reflects live entries.
+		s.lru.Remove(e.elem)
+		delete(s.entries, key)
+	}
+	s.mu.Unlock()
+	c.misses.Add(1)
+	return nil, false
+}
+
+// GetOrCompute returns the cached value for key, building and inserting
+// it with build() on a miss. Concurrent callers of the same key share one
+// build (singleflight). A build error is returned to every waiter and
+// nothing is cached. The entry is stamped with the epoch observed before
+// the build starts, so an invalidation racing with a build correctly
+// marks the fresh entry stale.
+func (c *Cache) GetOrCompute(key string, build func() (any, error)) (any, error) {
+	if v, ok := c.Get(key); ok {
+		return v, nil
+	}
+	s := c.shard(key)
+	epoch := c.epoch.Load()
+	s.mu.Lock()
+	// Re-check under the lock: another goroutine may have finished while
+	// we were between Get and Lock.
+	if e, ok := s.entries[key]; ok && e.epoch == c.epoch.Load() {
+		s.lru.MoveToFront(e.elem)
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return e.val, nil
+	}
+	if f, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		f.wg.Wait()
+		return f.val, f.err
+	}
+	f := &flight{}
+	f.wg.Add(1)
+	s.inflight[key] = f
+	s.mu.Unlock()
+
+	f.val, f.err = build()
+
+	s.mu.Lock()
+	delete(s.inflight, key)
+	if f.err == nil {
+		c.insertLocked(s, key, f.val, epoch)
+	}
+	s.mu.Unlock()
+	f.wg.Done()
+	return f.val, f.err
+}
+
+// Put inserts a value directly (tests and warmers).
+func (c *Cache) Put(key string, val any) {
+	s := c.shard(key)
+	epoch := c.epoch.Load()
+	s.mu.Lock()
+	c.insertLocked(s, key, val, epoch)
+	s.mu.Unlock()
+}
+
+func (c *Cache) insertLocked(s *shard, key string, val any, epoch uint64) {
+	if e, ok := s.entries[key]; ok {
+		e.val = val
+		e.epoch = epoch
+		s.lru.MoveToFront(e.elem)
+		return
+	}
+	e := &entry{key: key, val: val, epoch: epoch}
+	e.elem = s.lru.PushFront(e)
+	s.entries[key] = e
+	for s.lru.Len() > c.perShard() {
+		last := s.lru.Back()
+		victim := last.Value.(*entry)
+		s.lru.Remove(last)
+		delete(s.entries, victim.key)
+		c.evictions.Add(1)
+	}
+}
+
+// Len returns the number of live entries across all shards (stale entries
+// not yet lazily dropped are included; they vanish on next touch).
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += len(c.shards[i].entries)
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invalidations.Load(),
+		Size:          c.Len(),
+		Capacity:      c.perShard() * NumShards,
+		Epoch:         c.epoch.Load(),
+	}
+}
+
+// Metrics returns the counters as a flat name→value map for the
+// governor's metrics listener.
+func (c *Cache) Metrics() map[string]int64 {
+	st := c.Stats()
+	return map[string]int64{
+		"hits":          int64(st.Hits),
+		"misses":        int64(st.Misses),
+		"evictions":     int64(st.Evictions),
+		"invalidations": int64(st.Invalidations),
+		"size":          int64(st.Size),
+		"capacity":      int64(st.Capacity),
+		"epoch":         int64(st.Epoch),
+	}
+}

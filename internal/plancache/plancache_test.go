@@ -1,0 +1,190 @@
+package plancache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGetPutBasics(t *testing.T) {
+	c := New(64)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("k", 42)
+	v, ok := c.Get("k")
+	if !ok || v.(int) != 42 {
+		t.Fatalf("got %v %v", v, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestLRUEvictionBound(t *testing.T) {
+	// Capacity 16 → one entry per shard; inserting many keys must keep
+	// Len bounded at NumShards and count evictions.
+	c := New(16)
+	for i := 0; i < 1000; i++ {
+		c.Put(fmt.Sprintf("key-%d", i), i)
+	}
+	if got := c.Len(); got > NumShards {
+		t.Fatalf("cache grew past bound: %d entries", got)
+	}
+	if c.Stats().Evictions == 0 {
+		t.Fatal("no evictions counted")
+	}
+}
+
+func TestLRUOrderWithinShard(t *testing.T) {
+	// Force all keys through one shard by brute-forcing keys that collide.
+	c := New(NumShards * 2) // two entries per shard
+	shardOf := func(k string) uint32 { return fnv1a(k) & (NumShards - 1) }
+	var keys []string
+	for i := 0; len(keys) < 3; i++ {
+		k := fmt.Sprintf("k%d", i)
+		if shardOf(k) == 0 {
+			keys = append(keys, k)
+		}
+	}
+	c.Put(keys[0], 0)
+	c.Put(keys[1], 1)
+	c.Get(keys[0]) // touch: keys[1] is now LRU
+	c.Put(keys[2], 2)
+	if _, ok := c.Get(keys[1]); ok {
+		t.Fatal("LRU entry survived eviction")
+	}
+	if _, ok := c.Get(keys[0]); !ok {
+		t.Fatal("recently-used entry was evicted")
+	}
+}
+
+func TestEpochInvalidation(t *testing.T) {
+	c := New(64)
+	c.Put("k", "old")
+	c.Invalidate()
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("stale entry served after Invalidate")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("stale entry not dropped: len=%d", c.Len())
+	}
+	st := c.Stats()
+	if st.Invalidations != 1 || st.Epoch != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	// Cache works again after re-population.
+	c.Put("k", "new")
+	if v, ok := c.Get("k"); !ok || v.(string) != "new" {
+		t.Fatal("repopulation after invalidation failed")
+	}
+}
+
+func TestGetOrComputeSingleflight(t *testing.T) {
+	c := New(64)
+	var builds atomic.Int32
+	release := make(chan struct{})
+	const workers = 16
+	var wg sync.WaitGroup
+	results := make([]any, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.GetOrCompute("hot", func() (any, error) {
+				builds.Add(1)
+				<-release
+				return "plan", nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Let the goroutines pile up on the inflight entry, then release.
+	close(release)
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("build ran %d times, want 1", n)
+	}
+	for i, v := range results {
+		if v.(string) != "plan" {
+			t.Fatalf("worker %d got %v", i, v)
+		}
+	}
+}
+
+func TestGetOrComputeErrorNotCached(t *testing.T) {
+	c := New(64)
+	boom := errors.New("boom")
+	if _, err := c.GetOrCompute("k", func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("error result was cached")
+	}
+	v, err := c.GetOrCompute("k", func() (any, error) { return 7, nil })
+	if err != nil || v.(int) != 7 {
+		t.Fatalf("retry after error failed: %v %v", v, err)
+	}
+}
+
+func TestGetOrComputeStampedWithPreBuildEpoch(t *testing.T) {
+	// A rule change that lands while a plan is being built must invalidate
+	// that plan: the entry is stamped with the epoch read before the build.
+	c := New(64)
+	_, err := c.GetOrCompute("k", func() (any, error) {
+		c.Invalidate() // races with the build in real life
+		return "stale-plan", nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("plan built before an invalidation was served after it")
+	}
+}
+
+func TestConcurrentAccessParallel(t *testing.T) {
+	c := New(256)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				key := fmt.Sprintf("shape-%d", i%97)
+				if _, err := c.GetOrCompute(key, func() (any, error) { return key, nil }); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%500 == 0 && g == 0 {
+					c.Invalidate()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 256 {
+		t.Fatalf("cache overgrew: %d", c.Len())
+	}
+}
+
+func TestMetricsMap(t *testing.T) {
+	c := New(32)
+	c.Put("a", 1)
+	c.Get("a")
+	c.Get("zzz")
+	c.Invalidate()
+	m := c.Metrics()
+	if m["hits"] != 1 || m["misses"] != 1 || m["invalidations"] != 1 {
+		t.Fatalf("metrics %v", m)
+	}
+	if m["capacity"] != 32 {
+		t.Fatalf("capacity %d", m["capacity"])
+	}
+}

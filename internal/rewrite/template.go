@@ -1,0 +1,73 @@
+package rewrite
+
+import (
+	"strings"
+
+	"shardingsphere/internal/sqlparser"
+	"shardingsphere/internal/sqltypes"
+)
+
+// tmplSentinel is the table name a Template substitutes at render time. It
+// is a valid bare identifier in both dialects, so its occurrences in the
+// serialized text correspond one-to-one to renamed table references.
+const tmplSentinel = "__sharding_tmpl__"
+
+// Template is the cached rewrite for one statement shape whose AST needs
+// no per-execution mutation (single-node SELECTs, and UPDATE/DELETE which
+// only get identifier rewrite): the statement is serialized once per
+// dialect with a sentinel in place of the logic table, and execution
+// splices the routed actual table name into the pre-split segments —
+// string concatenation instead of clone + rename + serialize
+// (paper Section VI-C, identifier rewrite).
+type Template struct {
+	table string // logic table as written in the statement
+	segs  map[sqlparser.Dialect][]string
+}
+
+// NewTemplate builds the rewrite template for a statement referencing one
+// logic table (as written in the statement, case-sensitively — the same
+// form RenameTables matches). It reports ok=false when the statement text
+// itself contains the sentinel, which would make splicing ambiguous.
+func NewTemplate(stmt sqlparser.Statement, table string) (*Template, bool) {
+	if strings.Contains(sqlparser.NewSerializer(sqlparser.DialectMySQL).Serialize(stmt), tmplSentinel) {
+		return nil, false
+	}
+	clone := sqlparser.CloneStatement(stmt)
+	sqlparser.RenameTables(clone, map[string]string{table: tmplSentinel})
+	t := &Template{table: table, segs: map[sqlparser.Dialect][]string{}}
+	for _, d := range []sqlparser.Dialect{sqlparser.DialectMySQL, sqlparser.DialectPostgreSQL} {
+		t.segs[d] = strings.Split(sqlparser.NewSerializer(d).Serialize(clone), tmplSentinel)
+	}
+	return t, true
+}
+
+// Render splices the actual table name into the dialect's pre-serialized
+// segments. ok=false for a dialect the template was not built for; the
+// caller falls back to the full rewriter.
+func (t *Template) Render(d sqlparser.Dialect, actual string) (string, bool) {
+	segs, ok := t.segs[d]
+	if !ok {
+		return "", false
+	}
+	if len(segs) == 1 {
+		return segs[0], true
+	}
+	return strings.Join(segs, sqlparser.QuoteIdent(d, actual)), true
+}
+
+// EvalLimit exposes LIMIT evaluation for the plan cache's fast path, which
+// must reproduce the rewriter's validation errors (missing bind argument,
+// negative values) without running the full rewrite.
+func EvalLimit(lim *sqlparser.Limit, args []sqltypes.Value) (*LimitInfo, error) {
+	return evalLimit(lim, args)
+}
+
+// SingleNodeSelectContext derives the merge context the rewriter would
+// produce for a single-node SELECT (paper Section VI-C, optimization
+// rewrite: no derivation, no pagination revision). It only reads the
+// statement, so the result can be cached and shared across sessions.
+func SingleNodeSelectContext(stmt *sqlparser.SelectStmt) *SelectContext {
+	ctx := &SelectContext{Distinct: stmt.Distinct}
+	resolveKeysForSingleNode(stmt, ctx)
+	return ctx
+}

@@ -1,0 +1,85 @@
+package rewrite
+
+import (
+	"testing"
+
+	"shardingsphere/internal/sqlparser"
+)
+
+func parseStmt(t *testing.T, sql string) sqlparser.Statement {
+	t.Helper()
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stmt
+}
+
+// TestTemplateMatchesFullRewrite checks that template splicing produces
+// byte-identical SQL to clone + RenameTables + Serialize.
+func TestTemplateMatchesFullRewrite(t *testing.T) {
+	cases := []struct {
+		sql   string
+		table string
+	}{
+		{"SELECT * FROM t_order WHERE order_id = ?", "t_order"},
+		{"SELECT a, b FROM t_order o WHERE o.order_id = ? ORDER BY a LIMIT ?", "t_order"},
+		{"SELECT * FROM t_order WHERE t_order.order_id = ? AND t_order.status = ?", "t_order"},
+		{"UPDATE t_order SET status = ? WHERE order_id = ?", "t_order"},
+		{"DELETE FROM t_order WHERE order_id IN (?, ?)", "t_order"},
+		{"SELECT COUNT(*) FROM `select` WHERE id = ?", "select"}, // quoted logic table
+	}
+	for _, c := range cases {
+		stmt := parseStmt(t, c.sql)
+		tmpl, ok := NewTemplate(stmt, c.table)
+		if !ok {
+			t.Fatalf("NewTemplate(%q) refused", c.sql)
+		}
+		for _, d := range []sqlparser.Dialect{sqlparser.DialectMySQL, sqlparser.DialectPostgreSQL} {
+			for _, actual := range []string{c.table + "_3", "some table"} { // plain and needs-quoting
+				clone := sqlparser.CloneStatement(stmt)
+				sqlparser.RenameTables(clone, map[string]string{c.table: actual})
+				want := sqlparser.NewSerializer(d).Serialize(clone)
+				got, ok := tmpl.Render(d, actual)
+				if !ok {
+					t.Fatalf("Render refused dialect %v", d)
+				}
+				if got != want {
+					t.Errorf("%q (%v, →%s):\n got %q\nwant %q", c.sql, d, actual, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestTemplateSentinelCollision(t *testing.T) {
+	stmt := parseStmt(t, "SELECT * FROM __sharding_tmpl__ WHERE id = ?")
+	if _, ok := NewTemplate(stmt, "__sharding_tmpl__"); ok {
+		t.Fatal("statement containing the sentinel must be refused")
+	}
+}
+
+func TestTemplateNoOccurrences(t *testing.T) {
+	// Renaming a table the statement doesn't reference: render is identity.
+	stmt := parseStmt(t, "SELECT * FROM t_plain WHERE id = ?")
+	tmpl, ok := NewTemplate(stmt, "t_order")
+	if !ok {
+		t.Fatal("refused")
+	}
+	got, _ := tmpl.Render(sqlparser.DialectMySQL, "anything")
+	want := sqlparser.NewSerializer(sqlparser.DialectMySQL).Serialize(stmt)
+	if got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+func TestSingleNodeSelectContext(t *testing.T) {
+	stmt := parseStmt(t, "SELECT a, b FROM t_order WHERE order_id = ? ORDER BY b DESC").(*sqlparser.SelectStmt)
+	ctx := SingleNodeSelectContext(stmt)
+	if len(ctx.OrderBy) != 1 || ctx.OrderBy[0].Index != 1 || !ctx.OrderBy[0].Desc {
+		t.Fatalf("ctx %+v", ctx)
+	}
+	if ctx.Limit != nil || ctx.Derived != 0 {
+		t.Fatalf("single-node context must not revise pagination or derive: %+v", ctx)
+	}
+}

@@ -96,33 +96,7 @@ func extractConditions(where sqlparser.Expr, args []sqltypes.Value, aliases tabl
 	}
 	env := evalEnv{args: args}
 	put := func(table, col string, c sharding.Condition) {
-		m, ok := out[table]
-		if !ok {
-			m = map[string]sharding.Condition{}
-			out[table] = m
-		}
-		prev, exists := m[col]
-		if !exists {
-			m[col] = c
-			return
-		}
-		// Merge: equality wins over range (conjuncts must all hold, so the
-		// equality is at least as narrow); two ranges tighten bounds.
-		switch {
-		case !prev.Ranged:
-			// keep prev
-		case !c.Ranged:
-			m[col] = c
-		default:
-			merged := prev
-			if c.Lo != nil && (merged.Lo == nil || sqltypes.Compare(*c.Lo, *merged.Lo) > 0) {
-				merged.Lo = c.Lo
-			}
-			if c.Hi != nil && (merged.Hi == nil || sqltypes.Compare(*c.Hi, *merged.Hi) < 0) {
-				merged.Hi = c.Hi
-			}
-			m[col] = merged
-		}
+		putCond(out, table, col, c)
 	}
 
 	for _, conj := range splitAnd(where) {
@@ -188,6 +162,38 @@ func extractConditions(where sqlparser.Expr, args []sqltypes.Value, aliases tabl
 		}
 	}
 	return out
+}
+
+// putCond folds one condition into the table→column map. Merge rules:
+// equality wins over range (conjuncts must all hold, so the equality is at
+// least as narrow); two ranges tighten bounds. Shared by extractConditions
+// and the plan cache's route skeleton so both produce identical routes.
+func putCond(out map[string]map[string]sharding.Condition, table, col string, c sharding.Condition) {
+	m, ok := out[table]
+	if !ok {
+		m = map[string]sharding.Condition{}
+		out[table] = m
+	}
+	prev, exists := m[col]
+	if !exists {
+		m[col] = c
+		return
+	}
+	switch {
+	case !prev.Ranged:
+		// keep prev
+	case !c.Ranged:
+		m[col] = c
+	default:
+		merged := prev
+		if c.Lo != nil && (merged.Lo == nil || sqltypes.Compare(*c.Lo, *merged.Lo) > 0) {
+			merged.Lo = c.Lo
+		}
+		if c.Hi != nil && (merged.Hi == nil || sqltypes.Compare(*c.Hi, *merged.Hi) < 0) {
+			merged.Hi = c.Hi
+		}
+		m[col] = merged
+	}
 }
 
 func splitAnd(e sqlparser.Expr) []sqlparser.Expr {

@@ -1,0 +1,207 @@
+package route
+
+import (
+	"fmt"
+	"strings"
+
+	"shardingsphere/internal/sharding"
+	"shardingsphere/internal/sqlparser"
+	"shardingsphere/internal/sqltypes"
+)
+
+// Skeleton is the precomputed routing plan for one cached statement shape
+// (paper Section VI-B run once per shape): at build time the WHERE clause
+// is walked once and every sharding-relevant comparison is recorded as a
+// symbolic slot (column, operator, constant expressions). Binding a new
+// set of argument values evaluates only those tiny constant expressions —
+// no re-parse, no AST walk — and feeds the resulting conditions to the
+// same sharding algorithm the slow path uses.
+type Skeleton struct {
+	r     *Router
+	rule  *sharding.TableRule // nil → default-route statement
+	table string              // lowercased logic table (valid when rule != nil)
+	slots []condSlot
+}
+
+// condSlot kinds.
+const (
+	slotCmp     = iota // exprs[0] compared to the column with op
+	slotIn             // exprs are the IN list
+	slotBetween        // exprs[0], exprs[1] are lo and hi
+)
+
+// condSlot is one symbolic condition on a sharding column.
+type condSlot struct {
+	col       string // sharding column, lowercased
+	qualified bool   // condition was table-qualified in the statement
+	kind      int
+	op        sqlparser.BinOp // valid for slotCmp
+	exprs     []sqlparser.Expr
+}
+
+// BuildSkeleton precomputes the route skeleton for a single-table SELECT,
+// UPDATE or DELETE. It reports ok=false for shapes the fast path does not
+// serve (joins, broadcast tables, INSERT, sharding-key updates); those keep
+// using Router.Route on the cached AST.
+func (r *Router) BuildSkeleton(stmt sqlparser.Statement) (*Skeleton, bool) {
+	var table, alias string
+	var where sqlparser.Expr
+	switch t := stmt.(type) {
+	case *sqlparser.SelectStmt:
+		if len(t.From) != 1 || t.From[0].On != nil {
+			return nil, false
+		}
+		if names := sqlparser.TableNames(t); len(names) != 1 {
+			return nil, false
+		}
+		table, alias, where = t.From[0].Name, t.From[0].Alias, t.Where
+	case *sqlparser.UpdateStmt:
+		table, alias, where = t.Table, t.Alias, t.Where
+		if rule, ok := r.rules.Rule(table); ok {
+			for _, a := range t.Set {
+				for _, col := range rule.ShardingColumns() {
+					if strings.EqualFold(a.Column, col) {
+						return nil, false // generic path reports ErrUpdateSharding
+					}
+				}
+			}
+		}
+	case *sqlparser.DeleteStmt:
+		table, alias, where = t.Table, t.Alias, t.Where
+	default:
+		return nil, false
+	}
+
+	rule, sharded := r.rules.Rule(table)
+	if !sharded {
+		if r.rules.Broadcast[strings.ToLower(table)] {
+			return nil, false // broadcast fan-out stays on the generic path
+		}
+		return &Skeleton{r: r}, true
+	}
+
+	sk := &Skeleton{r: r, rule: rule, table: strings.ToLower(table)}
+	want := map[string]bool{}
+	for _, c := range rule.ShardingColumns() {
+		want[c] = true
+	}
+	aliases := tableAliases{strings.ToLower(table): strings.ToLower(table)}
+	if alias != "" {
+		aliases[strings.ToLower(alias)] = strings.ToLower(table)
+	}
+	// keep mirrors extractConditions' capture rules: only conditions that
+	// the slow path would extract (and condsFor would project onto this
+	// rule) become slots. Anything else is ignored, which can only widen
+	// the route, never narrow it incorrectly.
+	keep := func(ref *sqlparser.ColumnRef, kind int, op sqlparser.BinOp, exprs ...sqlparser.Expr) {
+		tbl, col := condKey(ref, aliases)
+		if !want[col] || (tbl != "" && tbl != sk.table) {
+			return
+		}
+		for _, e := range exprs {
+			if !isConst(e) {
+				return
+			}
+		}
+		sk.slots = append(sk.slots, condSlot{col: col, qualified: tbl != "", kind: kind, op: op, exprs: exprs})
+	}
+	if where != nil {
+		for _, conj := range splitAnd(where) {
+			switch t := conj.(type) {
+			case *sqlparser.BinaryExpr:
+				switch t.Op {
+				case sqlparser.OpEQ, sqlparser.OpLT, sqlparser.OpLE, sqlparser.OpGT, sqlparser.OpGE:
+				default:
+					continue
+				}
+				if ref, ok := t.L.(*sqlparser.ColumnRef); ok && isConst(t.R) {
+					keep(ref, slotCmp, t.Op, t.R)
+				} else if ref, ok := t.R.(*sqlparser.ColumnRef); ok && isConst(t.L) {
+					keep(ref, slotCmp, flip(t.Op), t.L)
+				}
+			case *sqlparser.InExpr:
+				if t.Not {
+					continue
+				}
+				if ref, ok := t.E.(*sqlparser.ColumnRef); ok {
+					keep(ref, slotIn, 0, t.List...)
+				}
+			case *sqlparser.BetweenExpr:
+				if t.Not {
+					continue
+				}
+				if ref, ok := t.E.(*sqlparser.ColumnRef); ok {
+					keep(ref, slotBetween, 0, t.Lo, t.Hi)
+				}
+			}
+		}
+	}
+	return sk, true
+}
+
+// Route binds argument values into the skeleton's condition slots and
+// computes the target data nodes. Semantically identical to Router.Route
+// on the original statement, minus the AST traversal.
+func (s *Skeleton) Route(args []sqltypes.Value, hint *sqltypes.Value) (*Result, error) {
+	if s.rule == nil {
+		return s.r.defaultRoute()
+	}
+	env := evalEnv{args: args}
+	conds := map[string]map[string]sharding.Condition{}
+	for _, slot := range s.slots {
+		tbl := ""
+		if slot.qualified {
+			tbl = s.table
+		}
+		switch slot.kind {
+		case slotCmp:
+			v, err := env.eval(slot.exprs[0])
+			if err != nil {
+				continue // slow path skips unevaluable conjuncts too
+			}
+			switch slot.op {
+			case sqlparser.OpEQ:
+				putCond(conds, tbl, slot.col, sharding.Condition{Values: []sqltypes.Value{v}})
+			case sqlparser.OpGE, sqlparser.OpGT:
+				vv := v
+				putCond(conds, tbl, slot.col, sharding.Condition{Ranged: true, Lo: &vv})
+			case sqlparser.OpLE, sqlparser.OpLT:
+				vv := v
+				putCond(conds, tbl, slot.col, sharding.Condition{Ranged: true, Hi: &vv})
+			}
+		case slotIn:
+			values := make([]sqltypes.Value, 0, len(slot.exprs))
+			usable := true
+			for _, e := range slot.exprs {
+				v, err := env.eval(e)
+				if err != nil {
+					usable = false
+					break
+				}
+				values = append(values, v)
+			}
+			if usable {
+				putCond(conds, tbl, slot.col, sharding.Condition{Values: values})
+			}
+		case slotBetween:
+			lo, err1 := env.eval(slot.exprs[0])
+			hi, err2 := env.eval(slot.exprs[1])
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			putCond(conds, tbl, slot.col, sharding.Condition{Ranged: true, Lo: &lo, Hi: &hi})
+		}
+	}
+	nodes, err := s.rule.Route(condsFor(conds, s.table, s.rule), hint)
+	if err != nil {
+		return nil, err
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("%w: %s", ErrNoDataSource, s.table)
+	}
+	kind := KindStandard
+	if len(nodes) == len(s.rule.DataNodes) {
+		kind = KindBroadcast
+	}
+	return unitsFromNodes(s.rule, nodes, kind), nil
+}

@@ -1,0 +1,116 @@
+package route
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"shardingsphere/internal/sharding"
+	"shardingsphere/internal/sqltypes"
+)
+
+func skeletonFixture(t *testing.T) *Router {
+	t.Helper()
+	rs := sharding.NewRuleSet()
+	rs.DefaultDataSource = "ds0"
+	rs.Broadcast["t_dict"] = true
+	rule, err := sharding.BuildAutoRule(sharding.AutoTableSpec{
+		LogicTable:     "t_order",
+		Resources:      []string{"ds0", "ds1"},
+		ShardingColumn: "order_id",
+		AlgorithmType:  "MOD",
+		ShardingCount:  4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs.AddRule(rule)
+	return New(rs, []string{"ds0", "ds1"})
+}
+
+// assertSkeletonMatchesRouter checks the fast path against the slow path
+// for one statement and argument set.
+func assertSkeletonMatchesRouter(t *testing.T, r *Router, sql string, args []sqltypes.Value) {
+	t.Helper()
+	stmt := parse(t, sql)
+	sk, ok := r.BuildSkeleton(stmt)
+	if !ok {
+		t.Fatalf("BuildSkeleton(%q) refused", sql)
+	}
+	want, wantErr := r.Route(stmt, args, nil)
+	got, gotErr := sk.Route(args, nil)
+	if (wantErr == nil) != (gotErr == nil) {
+		t.Fatalf("%q: slow err %v, fast err %v", sql, wantErr, gotErr)
+	}
+	if wantErr != nil {
+		return
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("%q: slow %+v fast %+v", sql, want, got)
+	}
+}
+
+func TestSkeletonMatchesRouter(t *testing.T) {
+	r := skeletonFixture(t)
+	cases := []struct {
+		sql  string
+		args []sqltypes.Value
+	}{
+		{"SELECT * FROM t_order WHERE order_id = ?", []sqltypes.Value{sqltypes.NewInt(7)}},
+		{"SELECT * FROM t_order WHERE order_id = 2", nil},
+		{"SELECT * FROM t_order o WHERE o.order_id = ?", []sqltypes.Value{sqltypes.NewInt(1)}},
+		{"SELECT * FROM t_order WHERE t_order.order_id = ?", []sqltypes.Value{sqltypes.NewInt(3)}},
+		{"SELECT * FROM t_order WHERE order_id IN (?, ?)", []sqltypes.Value{sqltypes.NewInt(0), sqltypes.NewInt(3)}},
+		{"SELECT * FROM t_order WHERE order_id BETWEEN ? AND ?", []sqltypes.Value{sqltypes.NewInt(1), sqltypes.NewInt(2)}},
+		{"SELECT * FROM t_order WHERE order_id >= ? AND order_id <= ?", []sqltypes.Value{sqltypes.NewInt(1), sqltypes.NewInt(2)}},
+		{"SELECT * FROM t_order WHERE ? = order_id", []sqltypes.Value{sqltypes.NewInt(5)}},
+		{"SELECT * FROM t_order WHERE order_id = - ?", []sqltypes.Value{sqltypes.NewInt(-3)}},    // -(-3) = 3
+		{"SELECT * FROM t_order WHERE status = ?", []sqltypes.Value{sqltypes.NewString("open")}}, // full scan
+		{"SELECT * FROM t_order", nil},
+		{"UPDATE t_order SET status = ? WHERE order_id = ?", []sqltypes.Value{sqltypes.NewString("paid"), sqltypes.NewInt(6)}},
+		{"DELETE FROM t_order WHERE order_id = ?", []sqltypes.Value{sqltypes.NewInt(2)}},
+		{"DELETE FROM t_order WHERE order_id IN (?, ?, ?)", []sqltypes.Value{sqltypes.NewInt(0), sqltypes.NewInt(1), sqltypes.NewInt(2)}},
+		{"SELECT * FROM t_unknown WHERE id = ?", []sqltypes.Value{sqltypes.NewInt(1)}}, // default route
+		// Equality wins over range when merged on the same column.
+		{"SELECT * FROM t_order WHERE order_id > ? AND order_id = ?", []sqltypes.Value{sqltypes.NewInt(0), sqltypes.NewInt(3)}},
+	}
+	for _, c := range cases {
+		assertSkeletonMatchesRouter(t, r, c.sql, c.args)
+	}
+}
+
+func TestSkeletonRefusals(t *testing.T) {
+	r := skeletonFixture(t)
+	for _, sql := range []string{
+		"SELECT * FROM t_order, t_dict WHERE t_order.order_id = ?", // join
+		"INSERT INTO t_order (order_id) VALUES (?)",                // insert
+		"UPDATE t_order SET order_id = ? WHERE order_id = ?",       // sharding-key update
+		"SELECT * FROM t_dict WHERE id = ?",                        // broadcast table
+	} {
+		if _, ok := r.BuildSkeleton(parse(t, sql)); ok {
+			t.Errorf("BuildSkeleton(%q) should refuse", sql)
+		}
+	}
+}
+
+func TestSkeletonArgsVaryAcrossExecutions(t *testing.T) {
+	// One skeleton, many bindings: each binding must route independently.
+	r := skeletonFixture(t)
+	sk, ok := r.BuildSkeleton(parse(t, "SELECT * FROM t_order WHERE order_id = ?"))
+	if !ok {
+		t.Fatal("refused")
+	}
+	for id := int64(0); id < 8; id++ {
+		rt, err := sk.Route([]sqltypes.Value{sqltypes.NewInt(id)}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rt.Units) != 1 {
+			t.Fatalf("id %d routed to %d units", id, len(rt.Units))
+		}
+		wantTable := map[string]string{"t_order": fmt.Sprintf("t_order_%d", id%4)}
+		if !reflect.DeepEqual(rt.Units[0].TableMap, wantTable) {
+			t.Fatalf("id %d → %v", id, rt.Units[0].TableMap)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package sqlparser
+
+import (
+	"strconv"
+	"strings"
+
+	"shardingsphere/internal/sqltypes"
+)
+
+// Normalized is the shape-level canonical form of a DML statement: every
+// literal is replaced by a parameter slot, so statements that differ only
+// in literal values share one Key. The kernel's plan cache keys on it
+// (paper Sections VI-A..VI-C run once per shape instead of once per
+// statement).
+type Normalized struct {
+	// Key is the canonical SQL with every literal rewritten to "?".
+	// Placeholders are numbered left to right, matching the parser's
+	// Placeholder.Index assignment, so parsing Key yields an AST whose
+	// parameter slots line up with Args.
+	Key string
+	// Args holds one slot per "?" in Key, in order.
+	Args []ArgSlot
+	// ForUpdate reports a trailing FOR UPDATE clause (locking reads inside
+	// XA transactions must bypass the plan cache).
+	ForUpdate bool
+}
+
+// ArgSlot is one parameter slot of a normalized statement: either a
+// literal captured from the original text or a reference to one of the
+// caller's bind arguments.
+type ArgSlot struct {
+	// Arg is the index into the caller's bind arguments, or -1 when the
+	// slot was a literal in the original text.
+	Arg int
+	// Lit is the captured literal value (valid when Arg < 0).
+	Lit sqltypes.Value
+}
+
+// BindArgs materializes the positional argument list for the normalized
+// statement: captured literals fill their own slots, the caller's bind
+// arguments fill the rest.
+func (n *Normalized) BindArgs(args []sqltypes.Value) ([]sqltypes.Value, error) {
+	out := make([]sqltypes.Value, len(n.Args))
+	for i, slot := range n.Args {
+		if slot.Arg < 0 {
+			out[i] = slot.Lit
+			continue
+		}
+		if slot.Arg >= len(args) {
+			return nil, &ParseError{Pos: 0, Msg: sprintf("missing bind argument %d", slot.Arg+1), SQL: n.Key}
+		}
+		out[i] = args[slot.Arg]
+	}
+	return out, nil
+}
+
+// normalizable holds the statement classes the plan cache serves. DDL,
+// TCL, XA, SET, SHOW and DESCRIBE bypass normalization entirely: they are
+// rare, their literals are structural (VARCHAR(64) is part of the shape),
+// and caching them would only dilute the cache.
+var normalizable = map[string]bool{
+	"SELECT": true, "INSERT": true, "UPDATE": true, "DELETE": true,
+}
+
+// Normalize canonicalizes one DML statement without parsing it: a single
+// lexer pass rewrites literals to ordered parameter slots and emits the
+// cache key. It reports ok=false for statements that must bypass the plan
+// cache (DDL, TCL, management commands, unlexable input); the caller falls
+// back to a full Parse.
+func Normalize(sql string) (*Normalized, bool) {
+	l := &lexer{src: sql}
+	first, err := l.next()
+	if err != nil || first.Type != TokenKeyword || !normalizable[first.Val] {
+		return nil, false
+	}
+	var b strings.Builder
+	b.Grow(len(sql))
+	b.WriteString(first.Val)
+	n := &Normalized{}
+	nArg := 0
+	prevKeyword := first.Val
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, false
+		}
+		if t.Type == TokenEOF {
+			break
+		}
+		switch t.Type {
+		case TokenInt:
+			v, err := strconv.ParseInt(t.Val, 10, 64)
+			if err != nil {
+				return nil, false
+			}
+			n.Args = append(n.Args, ArgSlot{Arg: -1, Lit: sqltypes.NewInt(v)})
+			b.WriteString(" ?")
+		case TokenFloat:
+			v, err := strconv.ParseFloat(t.Val, 64)
+			if err != nil {
+				return nil, false
+			}
+			n.Args = append(n.Args, ArgSlot{Arg: -1, Lit: sqltypes.NewFloat(v)})
+			b.WriteString(" ?")
+		case TokenString:
+			n.Args = append(n.Args, ArgSlot{Arg: -1, Lit: sqltypes.NewString(t.Val)})
+			b.WriteString(" ?")
+		case TokenPlaceholder:
+			n.Args = append(n.Args, ArgSlot{Arg: nArg})
+			nArg++
+			b.WriteString(" ?")
+		case TokenKeyword:
+			if t.Val == "UPDATE" && prevKeyword == "FOR" {
+				n.ForUpdate = true
+			}
+			prevKeyword = t.Val
+			b.WriteByte(' ')
+			b.WriteString(t.Val)
+		case TokenIdent:
+			// Re-quote identifiers that need it (quoted idents lex to their
+			// inner text) so the key re-parses to the same AST.
+			b.WriteByte(' ')
+			if needsQuote(t.Val) {
+				b.WriteByte('`')
+				b.WriteString(strings.ReplaceAll(t.Val, "`", "``"))
+				b.WriteByte('`')
+			} else {
+				b.WriteString(t.Val)
+			}
+		default: // TokenOp
+			b.WriteByte(' ')
+			b.WriteString(t.Val)
+		}
+		if t.Type != TokenKeyword {
+			prevKeyword = ""
+		}
+	}
+	n.Key = b.String()
+	return n, true
+}

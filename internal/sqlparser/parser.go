@@ -2,6 +2,7 @@ package sqlparser
 
 import (
 	"strconv"
+	"sync/atomic"
 
 	"shardingsphere/internal/sqltypes"
 )
@@ -25,8 +26,17 @@ func (d Dialect) String() string {
 	return "MySQL"
 }
 
+// parseCount counts Parse invocations; the plan cache's tests assert hot
+// paths never re-parse (see ParseCount).
+var parseCount atomic.Uint64
+
+// ParseCount returns the number of Parse calls made so far; a test hook
+// for asserting that cached plans skip the parser entirely.
+func ParseCount() uint64 { return parseCount.Load() }
+
 // Parse parses one SQL statement.
 func Parse(sql string) (Statement, error) {
+	parseCount.Add(1)
 	p := &parser{lex: lexer{src: sql}, sql: sql}
 	if err := p.advance(); err != nil {
 		return nil, err

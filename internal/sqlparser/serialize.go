@@ -33,6 +33,13 @@ func (s *Serializer) quote(ident string) string {
 	return "`" + strings.ReplaceAll(ident, "`", "``") + "`"
 }
 
+// QuoteIdent renders an identifier for the dialect, quoting only when
+// required — the same rules the Serializer applies. The rewrite template
+// uses it to splice actual table names into pre-serialized SQL.
+func QuoteIdent(d Dialect, ident string) string {
+	return (&Serializer{Dialect: d}).quote(ident)
+}
+
 func needsQuote(ident string) bool {
 	if ident == "" {
 		return true

@@ -256,13 +256,21 @@ func (t *baseTx) undoForUpdateDelete(conn *resource.PooledConn, ds, table string
 	if err != nil {
 		return nil, err
 	}
+	// The before-image SELECT keeps only the WHERE clause, so the
+	// statement's bind arguments must be projected onto the placeholders
+	// that survive (an UPDATE's SET values come first in the arg list and
+	// would otherwise bind into the WHERE positions).
+	where, whereArgs, err := projectArgs(where, args)
+	if err != nil {
+		return nil, err
+	}
 	sel := &sqlparser.SelectStmt{
 		Items:     []sqlparser.SelectItem{{Star: true}},
 		From:      []sqlparser.TableRef{{Name: table}},
 		Where:     where,
 		ForUpdate: true,
 	}
-	rs, err := conn.Query(ser.Serialize(sel), args...)
+	rs, err := conn.Query(ser.Serialize(sel), whereArgs...)
 	if err != nil {
 		return nil, err
 	}
@@ -282,6 +290,33 @@ func (t *baseTx) undoForUpdateDelete(conn *resource.PooledConn, ds, table string
 		}
 	}
 	return out, nil
+}
+
+// projectArgs rebinds an expression extracted from a larger statement:
+// placeholders are renumbered from zero in source order and the matching
+// argument values are collected, so the expression can run standalone.
+// A nil expression needs no work.
+func projectArgs(e sqlparser.Expr, args []sqltypes.Value) (sqlparser.Expr, []sqltypes.Value, error) {
+	if e == nil {
+		return nil, nil, nil
+	}
+	clone := sqlparser.CloneExpr(e)
+	var out []sqltypes.Value
+	var missing error
+	sqlparser.WalkExpr(clone, func(x sqlparser.Expr) bool {
+		p, ok := x.(*sqlparser.Placeholder)
+		if !ok {
+			return true
+		}
+		if p.Index >= len(args) {
+			missing = fmt.Errorf("transaction: missing bind argument %d", p.Index+1)
+			return false
+		}
+		out = append(out, args[p.Index])
+		p.Index = len(out) - 1
+		return true
+	})
+	return clone, out, missing
 }
 
 // undoForInsert emits one DELETE per inserted row, keyed on the primary
