@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: build test race bench bench-plancache vet
+.PHONY: build test race bench bench-plancache vet check
+
+# Pre-PR gate: static checks plus the full suite under the race
+# detector. Run this before every PR.
+check: vet race
 
 build:
 	$(GO) build ./...

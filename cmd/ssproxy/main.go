@@ -79,6 +79,7 @@ func main() {
 	}
 
 	srv := proxy.NewServer(&proxy.KernelBackend{Kernel: kernel})
+	gov.RegisterMetrics("proxy", srv.Metrics)
 	if *rate > 0 {
 		srv.SetLimiter(governor.NewRateLimiter(*rate, int(*rate)))
 	}

@@ -49,6 +49,9 @@ type Topology struct {
 	// capacity, negative disables the parameterized plan cache (the
 	// uncached baseline in the plan-cache experiment).
 	PlanCacheSize int
+	// DisableTelemetry passes through to core.Config: the telemetry-off
+	// baseline in the observability overhead experiment.
+	DisableTelemetry bool
 }
 
 // WithRules returns a copy of the topology using the given rule set.
@@ -129,11 +132,12 @@ func NewSSJ(top Topology) (*System, error) {
 		return nil, err
 	}
 	k, err := core.New(core.Config{
-		Rules:         rules,
-		Sources:       top.buildSources(),
-		MaxCon:        top.MaxCon,
-		DefaultTxType: top.TxType,
-		PlanCacheSize: top.PlanCacheSize,
+		Rules:            rules,
+		Sources:          top.buildSources(),
+		MaxCon:           top.MaxCon,
+		DefaultTxType:    top.TxType,
+		PlanCacheSize:    top.PlanCacheSize,
+		DisableTelemetry: top.DisableTelemetry,
 	})
 	if err != nil {
 		return nil, err

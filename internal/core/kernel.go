@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"shardingsphere/internal/exec"
 	"shardingsphere/internal/plancache"
@@ -22,6 +23,7 @@ import (
 	"shardingsphere/internal/sharding"
 	"shardingsphere/internal/sqlparser"
 	"shardingsphere/internal/sqltypes"
+	"shardingsphere/internal/telemetry"
 	"shardingsphere/internal/transaction"
 )
 
@@ -83,6 +85,9 @@ type Config struct {
 	// plancache.DefaultCapacity; negative disables caching — every
 	// statement re-runs the full parse→route→rewrite pipeline).
 	PlanCacheSize int
+	// DisableTelemetry turns off per-statement trace collection (the
+	// collector still exists so TRACE and DistSQL surfaces keep working).
+	DisableTelemetry bool
 }
 
 // Kernel is one runtime instance shared by all sessions.
@@ -107,6 +112,9 @@ type Kernel struct {
 	// force every shape back onto the generic pipeline.
 	planCache       *plancache.Cache
 	hasTransformers bool
+
+	// tel is the always-on telemetry collector every statement feeds.
+	tel *telemetry.Collector
 
 	ruleMu sync.RWMutex
 }
@@ -143,6 +151,17 @@ func New(cfg Config) (*Kernel, error) {
 		cfg.Rules.DefaultDataSource = min
 	}
 	executor := exec.New(cfg.Sources, cfg.MaxCon)
+	tel := telemetry.NewCollector()
+	if cfg.DisableTelemetry {
+		tel.SetEnabled(false)
+	}
+	executor.SetTelemetry(tel)
+	for name, src := range cfg.Sources {
+		name := name
+		src.SetAcquireObserver(func(wait time.Duration, timedOut bool) {
+			tel.ObserveAcquire(name, wait, timedOut)
+		})
+	}
 	k := &Kernel{
 		rules:         cfg.Rules,
 		router:        route.New(cfg.Rules, sortedNames(names)),
@@ -151,6 +170,7 @@ func New(cfg Config) (*Kernel, error) {
 		features:      cfg.Features,
 		metaCache:     map[string]tableMeta{},
 		defaultTxType: cfg.DefaultTxType,
+		tel:           tel,
 	}
 	k.router.Columns = func(logicTable string) ([]string, error) {
 		rule, ok := k.rules.Rule(logicTable)
@@ -175,6 +195,7 @@ func New(cfg Config) (*Kernel, error) {
 		txLog = transaction.NewRegistryLog(reg, "/transactions")
 	}
 	k.txMgr = transaction.NewManager(executor, txLog, k)
+	k.txMgr.SetTelemetry(tel)
 	for _, f := range cfg.Features {
 		if g, ok := f.(SourceGate); ok {
 			k.gates = append(k.gates, g)
@@ -228,6 +249,9 @@ func (k *Kernel) InvalidateMeta() {
 // PlanCache exposes the shared plan cache (nil when disabled); DistSQL's
 // SHOW PLAN CACHE STATUS and the governor's metrics listener read it.
 func (k *Kernel) PlanCache() *plancache.Cache { return k.planCache }
+
+// Telemetry exposes the statement telemetry collector (never nil).
+func (k *Kernel) Telemetry() *telemetry.Collector { return k.tel }
 
 // BumpPlanEpoch invalidates every cached plan. DDL, DistSQL rule changes
 // and governor-pushed config updates call it.
@@ -327,7 +351,7 @@ func isDistSQL(sql string) bool {
 		"CREATE BINDING", "DROP BINDING", "SHOW BINDING",
 		"SET VARIABLE", "SHOW VARIABLE", "PREVIEW", "SHOW STATUS",
 		"CREATE BROADCAST", "SHOW BROADCAST", "SHOW TRANSACTION", "RESHARD",
-		"SHOW PLAN CACHE",
+		"SHOW PLAN CACHE", "SHOW SQL METRICS", "SHOW SLOW QUERIES", "TRACE ",
 	} {
 		if strings.HasPrefix(up, prefix) {
 			return true

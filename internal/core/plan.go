@@ -5,6 +5,7 @@ import (
 	"shardingsphere/internal/route"
 	"shardingsphere/internal/sqlparser"
 	"shardingsphere/internal/sqltypes"
+	"shardingsphere/internal/telemetry"
 )
 
 // plan is one cached statement shape: the parsed AST plus, for shapes the
@@ -77,9 +78,13 @@ func buildPlan(k *Kernel, norm *sqlparser.Normalized) (*plan, error) {
 
 // executePlan runs a cached plan with bound argument values. Fast shapes
 // route through the skeleton and splice the rewrite template; everything
-// else replays the generic pipeline on the cached AST.
+// else replays the generic pipeline on the cached AST. The fast path
+// records one combined plan_cache span (normalize + lookup + route +
+// render) instead of separate route/rewrite marks, keeping the hot path
+// at a handful of clock reads.
 func (s *Session) executePlan(p *plan, args []sqltypes.Value) (*Result, error) {
 	if !p.fast {
+		s.tr.Mark(telemetry.StagePlanCache)
 		return s.ExecuteStmt(p.stmt, args)
 	}
 	rt, err := p.skel.Route(args, s.hint)
@@ -102,10 +107,17 @@ func (s *Session) executePlan(p *plan, args []sqltypes.Value) (*Result, error) {
 		}
 		sql, ok := p.tmpl.Render(s.k.dialectOf(unit.DataSource), actual)
 		if !ok {
+			s.tr.Mark(telemetry.StagePlanCache)
 			return s.ExecuteStmt(p.stmt, args)
 		}
 		rw = &rewrite.Result{
-			Units:  []rewrite.SQLUnit{{DataSource: unit.DataSource, SQL: sql, Args: args}},
+			Units: []rewrite.SQLUnit{{
+				DataSource:  unit.DataSource,
+				SQL:         sql,
+				Args:        args,
+				LogicTable:  p.logicTable,
+				ActualTable: actual,
+			}},
 			Select: p.selCtx,
 		}
 	} else {
@@ -116,5 +128,6 @@ func (s *Session) executePlan(p *plan, args []sqltypes.Value) (*Result, error) {
 			return nil, err
 		}
 	}
+	s.tr.Mark(telemetry.StagePlanCache)
 	return s.runUnits(p.stmt, p.sel, rw, 0)
 }

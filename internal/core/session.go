@@ -10,6 +10,7 @@ import (
 	"shardingsphere/internal/rewrite"
 	"shardingsphere/internal/sqlparser"
 	"shardingsphere/internal/sqltypes"
+	"shardingsphere/internal/telemetry"
 	"shardingsphere/internal/transaction"
 )
 
@@ -59,6 +60,12 @@ type Session struct {
 	txType transaction.Type
 	vars   map[string]sqltypes.Value
 	hint   *sqltypes.Value
+	// tr is the current statement's trace (nil when collection is off);
+	// it lives only for the duration of one Execute call. trBuf is its
+	// session-owned storage, reused across statements so the hot path
+	// skips the collector's trace pool.
+	tr    *telemetry.Trace
+	trBuf telemetry.Trace
 }
 
 // Kernel returns the owning kernel (DistSQL needs it).
@@ -101,6 +108,36 @@ func (s *Session) Execute(sql string, args ...sqltypes.Value) (*Result, error) {
 		}
 		return s.k.distSQL(s, sql)
 	}
+	tr := s.k.tel.StartInto(&s.trBuf, sql)
+	s.tr = tr
+	res, err := s.executeSQL(sql, args)
+	s.tr = nil
+	tr.Finish(err)
+	return res, err
+}
+
+// ExecuteTraced runs one statement through the full (uncached) pipeline
+// with a detailed, retained trace: every stage is marked, pool
+// acquisition is timed per data source, and the trace survives Finish so
+// the caller can read its span table (DistSQL TRACE). The caller must
+// Release the returned trace.
+func (s *Session) ExecuteTraced(sql string, args ...sqltypes.Value) (*Result, *telemetry.Trace, error) {
+	tr := s.k.tel.StartDetailed(sql)
+	s.tr = tr
+	stmt, err := sqlparser.Parse(sql)
+	tr.Mark(telemetry.StageParse)
+	var res *Result
+	if err == nil {
+		res, err = s.ExecuteStmt(stmt, args)
+	}
+	s.tr = nil
+	tr.Finish(err)
+	return res, tr, err
+}
+
+// executeSQL is the statement body of Execute: plan-cache fast path or
+// parse + generic pipeline.
+func (s *Session) executeSQL(sql string, args []sqltypes.Value) (*Result, error) {
 	if pc := s.k.planCache; pc != nil {
 		if norm, ok := sqlparser.Normalize(sql); ok {
 			// Locking reads inside a distributed transaction bypass the
@@ -124,6 +161,7 @@ func (s *Session) Execute(sql string, args ...sqltypes.Value) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	s.tr.Mark(telemetry.StageParse)
 	return s.ExecuteStmt(stmt, args)
 }
 
@@ -171,6 +209,7 @@ func (s *Session) ExecuteStmt(stmt sqlparser.Statement, args []sqltypes.Value) (
 		}
 		tx := s.tx
 		s.tx = nil
+		tx.AttachTrace(s.tr)
 		if err := tx.Commit(); err != nil {
 			return nil, err
 		}
@@ -181,6 +220,7 @@ func (s *Session) ExecuteStmt(stmt sqlparser.Statement, args []sqltypes.Value) (
 		}
 		tx := s.tx
 		s.tx = nil
+		tx.AttachTrace(s.tr)
 		if err := tx.Rollback(); err != nil {
 			return nil, err
 		}
@@ -224,10 +264,12 @@ func (s *Session) ExecuteStmt(stmt sqlparser.Statement, args []sqltypes.Value) (
 	if err != nil {
 		return nil, err
 	}
+	s.tr.Mark(telemetry.StageRoute)
 	rw, err := s.k.rewriter.Rewrite(stmt, rt, args)
 	if err != nil {
 		return nil, err
 	}
+	s.tr.Mark(telemetry.StageRewrite)
 	return s.runUnits(stmt, sel, rw, genKey)
 }
 
@@ -243,6 +285,9 @@ func (s *Session) runUnits(stmt sqlparser.Statement, sel *sqlparser.SelectStmt, 
 	}
 
 	if s.tx != nil {
+		// Transaction phases (XA prepare/commit, BASE undo capture) record
+		// their spans into the current statement's trace.
+		s.tx.AttachTrace(s.tr)
 		if err := s.tx.BeforeStatement(rw.Units); err != nil {
 			return nil, err
 		}
@@ -253,6 +298,7 @@ func (s *Session) runUnits(stmt sqlparser.Statement, sel *sqlparser.SelectStmt, 
 		var qr *execQueryResult
 		qr, execErr = s.runQuery(rw)
 		if execErr == nil {
+			s.tr.Mark(telemetry.StageExecute)
 			var rs resource.ResultSet
 			rs, execErr = merge.Merge(qr.sets, rw.Select)
 			if execErr == nil {
@@ -267,13 +313,15 @@ func (s *Session) runUnits(stmt sqlparser.Statement, sel *sqlparser.SelectStmt, 
 			}
 			if execErr == nil {
 				result = &Result{RS: rs}
+				s.tr.Mark(telemetry.StageMerge)
 			}
 		}
 	} else {
 		var er resource.ExecResult
 		var held = heldOf(s.tx)
-		er, execErr = s.k.executor.ExecuteUpdate(rw.Units, held)
+		er, execErr = s.k.executor.ExecuteUpdateTraced(rw.Units, held, s.tr)
 		if execErr == nil {
+			s.tr.Mark(telemetry.StageExecute)
 			result = &Result{Affected: er.Affected, LastInsertID: er.LastInsertID}
 			if genKey != 0 {
 				result.LastInsertID = genKey
@@ -287,6 +335,9 @@ func (s *Session) runUnits(stmt sqlparser.Statement, sel *sqlparser.SelectStmt, 
 		if err := s.tx.AfterStatement(rw.Units, execErr); err != nil {
 			return nil, err
 		}
+		// Include AfterStatement work (BASE local commits) in the trace
+		// total without attributing it to the next stage.
+		s.tr.Skip()
 	}
 	if execErr != nil {
 		return nil, execErr
@@ -299,7 +350,7 @@ type execQueryResult struct {
 }
 
 func (s *Session) runQuery(rw *rewrite.Result) (*execQueryResult, error) {
-	qr, err := s.k.executor.Query(rw.Units, heldOf(s.tx))
+	qr, err := s.k.executor.QueryTraced(rw.Units, heldOf(s.tx), s.tr)
 	if err != nil {
 		return nil, err
 	}

@@ -250,13 +250,149 @@ func TestShowStatus(t *testing.T) {
 	gov.CheckOnce()
 	res := exec(t, s, "SHOW STATUS")
 	got := rows(t, res)
-	if len(got) != 2 {
+	if len(got) != 4 {
 		t.Fatalf("status rows: %v", got)
 	}
+	pools := 0
 	for _, r := range got {
-		if r[2].S != "up" {
-			t.Fatalf("status: %v", r)
+		switch r[0].S {
+		case "datasource":
+			if r[2].S != "up" {
+				t.Fatalf("status: %v", r)
+			}
+		case "pool":
+			pools++
+			if !strings.Contains(r[2].S, "in_use=") || !strings.Contains(r[2].S, "idle=") {
+				t.Fatalf("pool row: %v", r)
+			}
+		default:
+			t.Fatalf("unexpected kind: %v", r)
 		}
+	}
+	if pools != 2 {
+		t.Fatalf("want 2 pool rows, got %d", pools)
+	}
+}
+
+func TestTraceReportsSpans(t *testing.T) {
+	_, s, _ := fixture(t)
+	exec(t, s, createUserRule)
+	exec(t, s, "CREATE TABLE t_user (uid INT PRIMARY KEY, name VARCHAR(32))")
+	for i := 0; i < 8; i++ {
+		exec(t, s, fmt.Sprintf("INSERT INTO t_user (uid, name) VALUES (%d, 'u%d')", i, i))
+	}
+
+	// Full-table SELECT routes to all 4 shards: one execute span per
+	// routed unit (data_source set) plus the pipeline's own execute mark.
+	got := rows(t, exec(t, s, "TRACE SELECT * FROM t_user"))
+	stageCount := map[string]int{}
+	perSource := 0
+	for _, r := range got {
+		stage, ds := r[0].S, r[1].S
+		stageCount[stage]++
+		if stage == "execute" && ds != "" {
+			perSource++
+		}
+	}
+	for _, st := range []string{"parse", "route", "rewrite", "merge", "total"} {
+		if stageCount[st] != 1 {
+			t.Fatalf("stage %s: want 1 span, got %d (%v)", st, stageCount[st], got)
+		}
+	}
+	if perSource != 4 {
+		t.Fatalf("want 4 per-source execute spans, got %d (%v)", perSource, got)
+	}
+
+	// A point select routes to exactly one shard.
+	got = rows(t, exec(t, s, "TRACE SELECT name FROM t_user WHERE uid = 3"))
+	perSource = 0
+	for _, r := range got {
+		if r[0].S == "execute" && r[1].S != "" {
+			perSource++
+		}
+	}
+	if perSource != 1 {
+		t.Fatalf("point select: want 1 per-source execute span, got %d (%v)", perSource, got)
+	}
+}
+
+func TestShowSQLMetrics(t *testing.T) {
+	_, s, _ := fixture(t)
+	exec(t, s, createUserRule)
+	exec(t, s, "CREATE TABLE t_user (uid INT PRIMARY KEY, name VARCHAR(32))")
+	for i := 0; i < 10; i++ {
+		exec(t, s, fmt.Sprintf("INSERT INTO t_user (uid, name) VALUES (%d, 'u%d')", i, i))
+	}
+	rows(t, exec(t, s, "SELECT * FROM t_user"))
+
+	got := rows(t, exec(t, s, "SHOW SQL METRICS"))
+	stages := map[string]bool{}
+	sources := map[string]bool{}
+	for _, r := range got {
+		switch r[0].S {
+		case "stage":
+			stages[r[1].S] = true
+			if r[2].I <= 0 || r[3].I <= 0 || r[5].I < r[3].I {
+				t.Fatalf("bad stage row (count/p50/p99): %v", r)
+			}
+		case "source":
+			sources[r[1].S] = true
+		}
+	}
+	for _, st := range []string{"parse", "route", "rewrite", "execute", "total"} {
+		if !stages[st] {
+			t.Fatalf("missing stage %s in %v", st, got)
+		}
+	}
+	if !sources["ds0"] || !sources["ds1"] {
+		t.Fatalf("missing source rows: %v", got)
+	}
+}
+
+func TestShowSlowQueries(t *testing.T) {
+	_, s, _ := fixture(t)
+	exec(t, s, createUserRule)
+	exec(t, s, "CREATE TABLE t_user (uid INT PRIMARY KEY, name VARCHAR(32))")
+	// Threshold 0: every statement is a "slow" statement. Sampling 1 so
+	// the captured entry carries its span breakdown.
+	exec(t, s, "SET VARIABLE slow_query_threshold_ms = 0")
+	exec(t, s, "SET VARIABLE stage_sampling = 1")
+	exec(t, s, "INSERT INTO t_user (uid, name) VALUES (1, 'u1')")
+	got := rows(t, exec(t, s, "SHOW SLOW QUERIES"))
+	if len(got) == 0 {
+		t.Fatal("no slow queries captured at threshold 0")
+	}
+	found := false
+	for _, r := range got {
+		if strings.Contains(r[0].S, "INSERT INTO t_user") {
+			found = true
+			if r[1].I <= 0 || !strings.Contains(r[3].S, "total=") && !strings.Contains(r[3].S, "execute") {
+				t.Fatalf("bad slow row: %v", r)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("insert not captured: %v", got)
+	}
+}
+
+func TestShowPlanCacheExtraColumns(t *testing.T) {
+	_, s, _ := fixture(t)
+	exec(t, s, createUserRule)
+	exec(t, s, "CREATE TABLE t_user (uid INT PRIMARY KEY, name VARCHAR(32))")
+	for i := 0; i < 5; i++ {
+		exec(t, s, "SELECT name FROM t_user WHERE uid = 3")
+	}
+	got := rows(t, exec(t, s, "SHOW PLAN CACHE STATUS"))
+	r := got[0]
+	if len(r) != 10 {
+		t.Fatalf("want 10 columns, got %d: %v", len(r), r)
+	}
+	if r[8].S == "" || r[8].S == "0.000" {
+		t.Fatalf("hit_ratio not reported: %v", r)
+	}
+	if strings.Count(r[9].S, ",") != 15 {
+		t.Fatalf("shard_evictions should list 16 shards: %q", r[9].S)
 	}
 }
 

@@ -3,7 +3,9 @@ package distsql
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
+	"time"
 
 	"shardingsphere/internal/core"
 	"shardingsphere/internal/features/scaling"
@@ -13,6 +15,7 @@ import (
 	"shardingsphere/internal/sharding"
 	"shardingsphere/internal/sqlparser"
 	"shardingsphere/internal/sqltypes"
+	"shardingsphere/internal/telemetry"
 	"shardingsphere/internal/transaction"
 )
 
@@ -36,6 +39,10 @@ func Install(k *core.Kernel, gov *governor.Governor) *Handler {
 	if gov != nil {
 		if pc := k.PlanCache(); pc != nil {
 			gov.RegisterMetrics("plan_cache", pc.Metrics)
+		}
+		gov.RegisterMetrics("exec", k.Executor().Metrics)
+		if tel := k.Telemetry(); tel != nil {
+			gov.RegisterMetrics("sql", tel.Metrics)
 		}
 		h.cancelWatch = gov.WatchConfig(k.BumpPlanEpoch)
 	}
@@ -100,6 +107,12 @@ func (h *Handler) Execute(sess *core.Session, sql string) (*core.Result, error) 
 		return h.showVariable(sess, t)
 	case *Preview:
 		return h.preview(sess, t)
+	case *TraceStmt:
+		return h.trace(sess, t)
+	case *ShowSQLMetrics:
+		return h.showSQLMetrics(k)
+	case *ShowSlowQueries:
+		return h.showSlowQueries(k)
 	case *Reshard:
 		return h.reshard(k, t)
 	default:
@@ -281,22 +294,42 @@ func (h *Handler) showStatus(k *core.Kernel) (*core.Result, error) {
 			sqltypes.NewString("datasource"), sqltypes.NewString(n), sqltypes.NewString(status),
 		})
 	}
+	// Connection-pool gauges ride along as kind=pool rows so SHOW STATUS
+	// stays a single three-column surface.
+	for _, n := range names {
+		src, err := k.Executor().Source(n)
+		if err != nil {
+			continue
+		}
+		st := src.Stats()
+		rows = append(rows, sqltypes.Row{
+			sqltypes.NewString("pool"), sqltypes.NewString(n),
+			sqltypes.NewString(fmt.Sprintf(
+				"in_use=%d idle=%d waiters=%d acquires=%d wait_total=%s timeouts=%d",
+				st.InUse, st.Idle, st.Waiters, st.Acquires, st.WaitTotal, st.Timeouts)),
+		})
+	}
 	return rowsResult([]string{"kind", "name", "status"}, rows), nil
 }
 
 // showPlanCache surfaces the shared plan cache's counters (RAL). A
 // disabled cache reports a single "disabled" row instead of erroring.
 func (h *Handler) showPlanCache(k *core.Kernel) (*core.Result, error) {
-	cols := []string{"enabled", "hits", "misses", "evictions", "invalidations", "size", "capacity", "epoch"}
+	cols := []string{"enabled", "hits", "misses", "evictions", "invalidations", "size", "capacity", "epoch", "hit_ratio", "shard_evictions"}
 	pc := k.PlanCache()
 	if pc == nil {
 		return rowsResult(cols, []sqltypes.Row{{
 			sqltypes.NewString("false"),
 			sqltypes.NewInt(0), sqltypes.NewInt(0), sqltypes.NewInt(0),
 			sqltypes.NewInt(0), sqltypes.NewInt(0), sqltypes.NewInt(0), sqltypes.NewInt(0),
+			sqltypes.NewString("0.000"), sqltypes.NewString(""),
 		}}), nil
 	}
 	st := pc.Stats()
+	shardEv := make([]string, len(st.ShardEvictions))
+	for i, ev := range st.ShardEvictions {
+		shardEv[i] = strconv.FormatUint(ev, 10)
+	}
 	return rowsResult(cols, []sqltypes.Row{{
 		sqltypes.NewString("true"),
 		sqltypes.NewInt(int64(st.Hits)),
@@ -306,6 +339,8 @@ func (h *Handler) showPlanCache(k *core.Kernel) (*core.Result, error) {
 		sqltypes.NewInt(int64(st.Size)),
 		sqltypes.NewInt(int64(st.Capacity)),
 		sqltypes.NewInt(int64(st.Epoch)),
+		sqltypes.NewString(fmt.Sprintf("%.3f", st.HitRatio())),
+		sqltypes.NewString(strings.Join(shardEv, ",")),
 	}}), nil
 }
 
@@ -330,6 +365,20 @@ func (h *Handler) setVariable(sess *core.Session, t *SetVariable) (*core.Result,
 			return nil, fmt.Errorf("distsql: circuit_break wants '<datasource>:on|off'")
 		}
 		h.gov.BreakSource(parts[0], strings.EqualFold(parts[1], "on"))
+		return &core.Result{}, nil
+	case "slow_query_threshold_ms":
+		ms, err := strconv.ParseInt(strings.TrimSpace(t.Value), 10, 64)
+		if err != nil || ms < 0 {
+			return nil, fmt.Errorf("distsql: slow_query_threshold_ms wants a non-negative integer, got %q", t.Value)
+		}
+		sess.Kernel().Telemetry().SetSlowThreshold(time.Duration(ms) * time.Millisecond)
+		return &core.Result{}, nil
+	case "stage_sampling":
+		n, err := strconv.ParseInt(strings.TrimSpace(t.Value), 10, 64)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("distsql: stage_sampling wants a positive integer, got %q", t.Value)
+		}
+		sess.Kernel().Telemetry().SetStageSampling(int(n))
 		return &core.Result{}, nil
 	case "sharding_hint":
 		v := sqltypes.NewString(t.Value)
@@ -392,6 +441,105 @@ func (h *Handler) preview(sess *core.Session, t *Preview) (*core.Result, error) 
 	}
 	return rowsResult([]string{"data_source", "actual_sql"}, rows), nil
 }
+
+// trace executes the statement through the full pipeline with a detailed
+// trace (bypassing the plan cache so every stage appears) and returns the
+// span breakdown instead of the statement's rows (RAL's TRACE).
+func (h *Handler) trace(sess *core.Session, t *TraceStmt) (*core.Result, error) {
+	res, tr, err := sess.ExecuteTraced(t.SQL)
+	if tr != nil {
+		defer tr.Release()
+	}
+	if err != nil {
+		return nil, err
+	}
+	if res != nil && res.RS != nil {
+		// Drain the statement's own rows; TRACE returns the spans instead.
+		if _, derr := resource.ReadAll(res.RS); derr != nil {
+			return nil, derr
+		}
+	}
+	cols := []string{"stage", "data_source", "offset_us", "duration_us", "error"}
+	var rows []sqltypes.Row
+	for _, sp := range tr.Spans() {
+		rows = append(rows, sqltypes.Row{
+			sqltypes.NewString(sp.Stage.String()),
+			sqltypes.NewString(sp.DataSource),
+			sqltypes.NewInt(usOf(sp.Offset)),
+			sqltypes.NewInt(usOf(sp.Dur)),
+			sqltypes.NewString(sp.Err),
+		})
+	}
+	rows = append(rows, sqltypes.Row{
+		sqltypes.NewString("total"), sqltypes.NewString(""),
+		sqltypes.NewInt(0), sqltypes.NewInt(usOf(tr.Total())), sqltypes.NewString(""),
+	})
+	return rowsResult(cols, rows), nil
+}
+
+// showSQLMetrics reports the collector's per-stage and per-data-source
+// latency percentiles (RAL's SHOW SQL METRICS).
+func (h *Handler) showSQLMetrics(k *core.Kernel) (*core.Result, error) {
+	tel := k.Telemetry()
+	cols := []string{"scope", "name", "count", "p50_us", "p95_us", "p99_us", "errors", "acquire_p99_us"}
+	var rows []sqltypes.Row
+	for _, s := range tel.Stages() {
+		errs := int64(0)
+		if s.Stage == telemetry.StageTotal {
+			errs = int64(tel.ErrorCount())
+		}
+		rows = append(rows, sqltypes.Row{
+			sqltypes.NewString("stage"),
+			sqltypes.NewString(s.Stage.String()),
+			sqltypes.NewInt(int64(s.Count)),
+			sqltypes.NewInt(usOf(s.P50)),
+			sqltypes.NewInt(usOf(s.P95)),
+			sqltypes.NewInt(usOf(s.P99)),
+			sqltypes.NewInt(errs),
+			sqltypes.NewInt(0),
+		})
+	}
+	for _, s := range tel.SourcesSnapshot() {
+		rows = append(rows, sqltypes.Row{
+			sqltypes.NewString("source"),
+			sqltypes.NewString(s.Name),
+			sqltypes.NewInt(int64(s.Queries)),
+			sqltypes.NewInt(usOf(s.P50)),
+			sqltypes.NewInt(usOf(s.P95)),
+			sqltypes.NewInt(usOf(s.P99)),
+			sqltypes.NewInt(int64(s.Errors)),
+			sqltypes.NewInt(usOf(s.AcquireP99)),
+		})
+	}
+	return rowsResult(cols, rows), nil
+}
+
+// showSlowQueries returns the slow-query ring, most recent first, with a
+// compact per-span breakdown (RAL's SHOW SLOW QUERIES).
+func (h *Handler) showSlowQueries(k *core.Kernel) (*core.Result, error) {
+	tel := k.Telemetry()
+	cols := []string{"sql", "total_us", "at", "spans"}
+	var rows []sqltypes.Row
+	for _, e := range tel.Slow() {
+		parts := make([]string, 0, len(e.Spans))
+		for _, sp := range e.Spans {
+			name := sp.Stage.String()
+			if sp.DataSource != "" {
+				name += "@" + sp.DataSource
+			}
+			parts = append(parts, fmt.Sprintf("%s=%dus", name, usOf(sp.Dur)))
+		}
+		rows = append(rows, sqltypes.Row{
+			sqltypes.NewString(e.SQL),
+			sqltypes.NewInt(usOf(e.Total)),
+			sqltypes.NewString(e.At.Format(time.RFC3339Nano)),
+			sqltypes.NewString(strings.Join(parts, " ")),
+		})
+	}
+	return rowsResult(cols, rows), nil
+}
+
+func usOf(d time.Duration) int64 { return int64(d / time.Microsecond) }
 
 // reshard runs an online scaling job (paper Section IV-C): copy the logic
 // table onto the new layout, verify row counts, switch the rule. The

@@ -90,6 +90,20 @@ type Preview struct {
 	SQL string
 }
 
+// TraceStmt is TRACE <sql>: executes the statement with detailed
+// telemetry and returns its span breakdown as a table (RAL).
+type TraceStmt struct {
+	SQL string
+}
+
+// ShowSQLMetrics is SHOW SQL METRICS: per-stage and per-data-source
+// latency percentiles from the kernel's telemetry collector (RAL).
+type ShowSQLMetrics struct{}
+
+// ShowSlowQueries is SHOW SLOW QUERIES: the ring buffer of the slowest
+// recent statements with their span breakdowns (RAL).
+type ShowSlowQueries struct{}
+
 // Reshard is RESHARD TABLE <t> (RESOURCES(...), SHARDING_COLUMN=...,
 // TYPE=..., PROPERTIES(...)): an online scaling job (paper Section IV-C)
 // that copies the table onto the new layout, verifies, and switches.
@@ -109,6 +123,9 @@ func (*ShowPlanCache) distSQLStmt()      {}
 func (*SetVariable) distSQLStmt()        {}
 func (*ShowVariable) distSQLStmt()       {}
 func (*Preview) distSQLStmt()            {}
+func (*TraceStmt) distSQLStmt()          {}
+func (*ShowSQLMetrics) distSQLStmt()     {}
+func (*ShowSlowQueries) distSQLStmt()    {}
 func (*Reshard) distSQLStmt()            {}
 
 // parser walks the token stream from the shared lexer.
@@ -129,6 +146,14 @@ func Parse(sql string) (Statement, error) {
 			return nil, fmt.Errorf("distsql: PREVIEW needs a statement")
 		}
 		return &Preview{SQL: strings.TrimSuffix(rest, ";")}, nil
+	}
+	// TRACE keeps its payload verbatim too.
+	if strings.HasPrefix(up, "TRACE") {
+		rest := strings.TrimSpace(trimmed[len("TRACE"):])
+		if rest == "" {
+			return nil, fmt.Errorf("distsql: TRACE needs a statement")
+		}
+		return &TraceStmt{SQL: strings.TrimSuffix(rest, ";")}, nil
 	}
 	toks, err := sqlparser.Tokenize(trimmed)
 	if err != nil {
@@ -276,6 +301,18 @@ func (p *parser) parse() (Statement, error) {
 		case "STATUS":
 			p.pos++
 			return &ShowStatus{}, nil
+		case "SQL":
+			p.pos++
+			if err := p.expect("METRICS"); err != nil {
+				return nil, err
+			}
+			return &ShowSQLMetrics{}, nil
+		case "SLOW":
+			p.pos++
+			if err := p.expect("QUERIES"); err != nil {
+				return nil, err
+			}
+			return &ShowSlowQueries{}, nil
 		case "PLAN":
 			p.pos++
 			if err := p.expect("CACHE"); err != nil {

@@ -12,13 +12,66 @@ package exec
 
 import (
 	"fmt"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"shardingsphere/internal/resource"
 	"shardingsphere/internal/rewrite"
 	"shardingsphere/internal/sqltypes"
+	"shardingsphere/internal/telemetry"
 )
+
+// UnitError wraps a per-unit execution failure with the shard context a
+// client needs to locate it: which data source, which logical/actual
+// table, and how long the unit ran before failing.
+type UnitError struct {
+	DataSource  string
+	LogicTable  string
+	ActualTable string
+	SQL         string
+	Elapsed     time.Duration
+	Err         error
+}
+
+// Error formats as "data source ds1 (t_user → t_user_3, 1.2ms): <cause>",
+// keeping the cause text intact for substring matching.
+func (e *UnitError) Error() string {
+	var b strings.Builder
+	b.WriteString("data source ")
+	b.WriteString(e.DataSource)
+	b.WriteString(" (")
+	if e.LogicTable != "" {
+		b.WriteString(e.LogicTable)
+		if e.ActualTable != "" && e.ActualTable != e.LogicTable {
+			b.WriteString(" → ")
+			b.WriteString(e.ActualTable)
+		}
+		b.WriteString(", ")
+	}
+	b.WriteString(e.Elapsed.Round(time.Microsecond).String())
+	b.WriteString("): ")
+	b.WriteString(e.Err.Error())
+	return b.String()
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *UnitError) Unwrap() error { return e.Err }
+
+func wrapUnitErr(u rewrite.SQLUnit, dur time.Duration, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &UnitError{
+		DataSource:  u.DataSource,
+		LogicTable:  u.LogicTable,
+		ActualTable: u.ActualTable,
+		SQL:         u.SQL,
+		Elapsed:     dur,
+		Err:         err,
+	}
+}
 
 // ConnectionMode is the per-data-source execution mode.
 type ConnectionMode uint8
@@ -59,6 +112,18 @@ type Executor struct {
 	dsLocks map[string]*sync.Mutex
 
 	listener Listener
+	tel      *telemetry.Collector
+	// stats is a copy-on-write snapshot of per-source telemetry buckets,
+	// rebuilt on SetTelemetry/AddSource/RemoveSource so the per-unit hot
+	// path resolves its bucket with one plain map read.
+	stats atomic.Pointer[map[string]*telemetry.SourceStats]
+
+	// Dispatch counters: statements that ran on the caller's stack
+	// (single data source) vs. fanned out across goroutines.
+	queryInline  atomic.Uint64
+	queryFanout  atomic.Uint64
+	updateInline atomic.Uint64
+	updateFanout atomic.Uint64
 }
 
 // New builds an executor over the named data sources.
@@ -75,6 +140,38 @@ func New(sources map[string]*resource.DataSource, maxCon int) *Executor {
 
 // SetListener installs an execution observer.
 func (e *Executor) SetListener(l Listener) { e.listener = l }
+
+// SetTelemetry wires the kernel's collector so every unit execution feeds
+// the per-data-source histograms and error counters.
+func (e *Executor) SetTelemetry(c *telemetry.Collector) {
+	e.tel = c
+	e.lockMu.Lock()
+	e.rebuildStats()
+	e.lockMu.Unlock()
+}
+
+// rebuildStats recomputes the per-source stats snapshot; lockMu held.
+func (e *Executor) rebuildStats() {
+	if e.tel == nil {
+		return
+	}
+	m := make(map[string]*telemetry.SourceStats, len(e.sources))
+	for name := range e.sources {
+		m[name] = e.tel.Source(name)
+	}
+	e.stats.Store(&m)
+}
+
+// Metrics is a governor MetricsSource exposing the inline-vs-goroutine
+// dispatch counters.
+func (e *Executor) Metrics() map[string]int64 {
+	return map[string]int64{
+		"query_inline":  int64(e.queryInline.Load()),
+		"query_fanout":  int64(e.queryFanout.Load()),
+		"update_inline": int64(e.updateInline.Load()),
+		"update_fanout": int64(e.updateFanout.Load()),
+	}
+}
 
 // MaxCon reports the configured per-query connection budget.
 func (e *Executor) MaxCon() int { return e.maxCon }
@@ -109,6 +206,13 @@ func (e *Executor) AddSource(ds *resource.DataSource) error {
 		return fmt.Errorf("exec: data source %q already registered", ds.Name())
 	}
 	e.sources[ds.Name()] = ds
+	if tel := e.tel; tel != nil {
+		name := ds.Name()
+		ds.SetAcquireObserver(func(wait time.Duration, timedOut bool) {
+			tel.ObserveAcquire(name, wait, timedOut)
+		})
+	}
+	e.rebuildStats()
 	return nil
 }
 
@@ -123,6 +227,7 @@ func (e *Executor) RemoveSource(name string) error {
 	}
 	delete(e.sources, name)
 	ds.Close()
+	e.rebuildStats()
 	return nil
 }
 
@@ -137,10 +242,45 @@ func (e *Executor) dsLock(name string) *sync.Mutex {
 	return m
 }
 
-func (e *Executor) observe(ds, sql string, start time.Time, err error) {
-	if e.listener != nil {
-		e.listener(ds, sql, time.Since(start), err)
+// observe reports one unit execution to the listener, the telemetry
+// collector, and the statement trace. It reuses the single time.Since the
+// executor already pays, and returns the duration for error wrapping.
+func (e *Executor) observe(tr *telemetry.Trace, ds, sql string, start time.Time, err error) time.Duration {
+	// Two fast exits that skip the clock read entirely: nothing consumes
+	// the measurement (telemetry disabled, no listener), or the statement
+	// is unsampled — its trace measures the total with one read at Finish,
+	// and per-source latency is a sampled statistic (errors below stay
+	// exact because a failed unit always takes the slow path).
+	if err == nil && e.listener == nil {
+		if tr != nil {
+			if !tr.Sampled() {
+				return 0
+			}
+		} else if !e.tel.Enabled() {
+			return 0
+		}
 	}
+	enabled := e.tel.Enabled()
+	dur := time.Since(start)
+	if e.listener != nil {
+		e.listener(ds, sql, dur, err)
+	}
+	if enabled {
+		var s *telemetry.SourceStats
+		if m := e.stats.Load(); m != nil {
+			s = (*m)[ds]
+		}
+		if s != nil {
+			s.Execute.Observe(dur)
+			if err != nil {
+				s.Errors.Add(1)
+			}
+		} else {
+			e.tel.ObserveExec(ds, dur, err)
+		}
+	}
+	tr.AddExec(ds, start, dur, err)
+	return dur
 }
 
 // QueryResult is the outcome of executing a query statement: one result
@@ -276,6 +416,12 @@ func (e *Executor) plan(units []rewrite.SQLUnit, held *HeldConns) []group {
 // connections (and drain to memory, since the connection must be reusable
 // immediately).
 func (e *Executor) Query(units []rewrite.SQLUnit, held *HeldConns) (*QueryResult, error) {
+	return e.QueryTraced(units, held, nil)
+}
+
+// QueryTraced is Query with a statement trace receiving one execute span
+// per unit (nil trace is valid and free).
+func (e *Executor) QueryTraced(units []rewrite.SQLUnit, held *HeldConns, tr *telemetry.Trace) (*QueryResult, error) {
 	groups := e.plan(units, held)
 	res := &QueryResult{
 		Sets:  make([]resource.ResultSet, len(units)),
@@ -290,15 +436,17 @@ func (e *Executor) Query(units []rewrite.SQLUnit, held *HeldConns) (*QueryResult
 		// Single data source — no fan-out to overlap, so run on the
 		// caller's stack instead of paying a goroutine spawn (and its
 		// stack growth) per statement. Point queries live here.
-		err = e.runQueryGroup(units, groups[0], held, res, &mu)
+		e.queryInline.Add(1)
+		err = e.runQueryGroup(units, groups[0], held, res, &mu, tr)
 	} else {
+		e.queryFanout.Add(1)
 		var wg sync.WaitGroup
 		errCh := make(chan error, len(groups))
 		for _, g := range groups {
 			wg.Add(1)
 			go func(g group) {
 				defer wg.Done()
-				if gerr := e.runQueryGroup(units, g, held, res, &mu); gerr != nil {
+				if gerr := e.runQueryGroup(units, g, held, res, &mu, tr); gerr != nil {
 					errCh <- gerr
 				}
 			}(g)
@@ -318,7 +466,7 @@ func (e *Executor) Query(units []rewrite.SQLUnit, held *HeldConns) (*QueryResult
 	return res, nil
 }
 
-func (e *Executor) runQueryGroup(units []rewrite.SQLUnit, g group, held *HeldConns, res *QueryResult, mu *sync.Mutex) error {
+func (e *Executor) runQueryGroup(units []rewrite.SQLUnit, g group, held *HeldConns, res *QueryResult, mu *sync.Mutex, tr *telemetry.Trace) error {
 	if held != nil {
 		conn, err := held.Get(e, g.ds)
 		if err != nil {
@@ -328,13 +476,13 @@ func (e *Executor) runQueryGroup(units []rewrite.SQLUnit, g group, held *HeldCon
 			u := units[idx]
 			start := time.Now()
 			rs, err := conn.Query(u.SQL, u.Args...)
-			e.observe(g.ds, u.SQL, start, err)
+			dur := e.observe(tr, g.ds, u.SQL, start, err)
 			if err != nil {
-				return err
+				return wrapUnitErr(u, dur, err)
 			}
 			drained, err := drain(rs)
 			if err != nil {
-				return err
+				return wrapUnitErr(u, dur, err)
 			}
 			mu.Lock()
 			res.Sets[idx] = drained
@@ -358,6 +506,12 @@ func (e *Executor) runQueryGroup(units []rewrite.SQLUnit, g group, held *HeldCon
 		l.Lock()
 		defer l.Unlock()
 	}
+	// Detailed traces (TRACE <sql>) time pool acquisition separately from
+	// query time; hot-path traces skip the extra clock reads.
+	var acqStart time.Time
+	if tr.Detailed() {
+		acqStart = time.Now()
+	}
 	conns := make([]*resource.PooledConn, 0, g.conns)
 	for i := 0; i < g.conns; i++ {
 		c, err := src.Acquire()
@@ -369,12 +523,15 @@ func (e *Executor) runQueryGroup(units []rewrite.SQLUnit, g group, held *HeldCon
 		}
 		conns = append(conns, c)
 	}
+	if tr.Detailed() {
+		tr.AddSpan(telemetry.StageAcquire, g.ds, acqStart, time.Since(acqStart))
+	}
 
 	// Distribute the group's units over the connections round-robin; each
 	// connection executes its share serially, connections run in parallel.
 	// A single connection runs inline — nothing to overlap.
 	if len(conns) == 1 {
-		return e.runConnShare(units, g, conns[0], g.units, res, mu)
+		return e.runConnShare(units, g, conns[0], g.units, res, mu, tr)
 	}
 	var wg sync.WaitGroup
 	errCh := make(chan error, len(conns))
@@ -386,7 +543,7 @@ func (e *Executor) runQueryGroup(units []rewrite.SQLUnit, g group, held *HeldCon
 		wg.Add(1)
 		go func(conn *resource.PooledConn, share []int) {
 			defer wg.Done()
-			if err := e.runConnShare(units, g, conn, share, res, mu); err != nil {
+			if err := e.runConnShare(units, g, conn, share, res, mu, tr); err != nil {
 				errCh <- err
 			}
 		}(conn, share)
@@ -397,22 +554,22 @@ func (e *Executor) runQueryGroup(units []rewrite.SQLUnit, g group, held *HeldCon
 }
 
 // runConnShare executes one connection's share of a group's units.
-func (e *Executor) runConnShare(units []rewrite.SQLUnit, g group, conn *resource.PooledConn, share []int, res *QueryResult, mu *sync.Mutex) error {
+func (e *Executor) runConnShare(units []rewrite.SQLUnit, g group, conn *resource.PooledConn, share []int, res *QueryResult, mu *sync.Mutex, tr *telemetry.Trace) error {
 	streaming := false
 	var firstErr error
 	for _, idx := range share {
 		u := units[idx]
 		start := time.Now()
 		rs, err := conn.Query(u.SQL, u.Args...)
-		e.observe(g.ds, u.SQL, start, err)
+		dur := e.observe(tr, g.ds, u.SQL, start, err)
 		if err != nil {
-			firstErr = err
+			firstErr = wrapUnitErr(u, dur, err)
 			break
 		}
 		if g.mode == ConnectionStrictly {
 			drained, err := drain(rs)
 			if err != nil {
-				firstErr = err
+				firstErr = wrapUnitErr(u, dur, err)
 				break
 			}
 			mu.Lock()
@@ -474,23 +631,31 @@ func (s *connBoundSet) Close() error {
 // ExecuteUpdate runs DML/DDL units and returns the summed affected count
 // and the last insert id observed.
 func (e *Executor) ExecuteUpdate(units []rewrite.SQLUnit, held *HeldConns) (resource.ExecResult, error) {
+	return e.ExecuteUpdateTraced(units, held, nil)
+}
+
+// ExecuteUpdateTraced is ExecuteUpdate with a statement trace receiving
+// one execute span per unit (nil trace is valid and free).
+func (e *Executor) ExecuteUpdateTraced(units []rewrite.SQLUnit, held *HeldConns, tr *telemetry.Trace) (resource.ExecResult, error) {
 	groups := e.plan(units, held)
 	var total resource.ExecResult
 	var mu sync.Mutex
 	if len(groups) == 1 {
 		// Single data source: run inline (see Query).
-		if err := e.runUpdateGroup(units, groups[0], held, &total, &mu); err != nil {
+		e.updateInline.Add(1)
+		if err := e.runUpdateGroup(units, groups[0], held, &total, &mu, tr); err != nil {
 			return resource.ExecResult{}, err
 		}
 		return total, nil
 	}
+	e.updateFanout.Add(1)
 	var wg sync.WaitGroup
 	errCh := make(chan error, len(groups))
 	for _, g := range groups {
 		wg.Add(1)
 		go func(g group) {
 			defer wg.Done()
-			if err := e.runUpdateGroup(units, g, held, &total, &mu); err != nil {
+			if err := e.runUpdateGroup(units, g, held, &total, &mu, tr); err != nil {
 				errCh <- err
 			}
 		}(g)
@@ -504,7 +669,7 @@ func (e *Executor) ExecuteUpdate(units []rewrite.SQLUnit, held *HeldConns) (reso
 }
 
 // runUpdateGroup executes one data source's DML units serially.
-func (e *Executor) runUpdateGroup(units []rewrite.SQLUnit, g group, held *HeldConns, total *resource.ExecResult, mu *sync.Mutex) error {
+func (e *Executor) runUpdateGroup(units []rewrite.SQLUnit, g group, held *HeldConns, total *resource.ExecResult, mu *sync.Mutex, tr *telemetry.Trace) error {
 	var conn *resource.PooledConn
 	var err error
 	if held != nil {
@@ -517,9 +682,16 @@ func (e *Executor) runUpdateGroup(units []rewrite.SQLUnit, g group, held *HeldCo
 		if err2 != nil {
 			return err2
 		}
+		var acqStart time.Time
+		if tr.Detailed() {
+			acqStart = time.Now()
+		}
 		conn, err = src.Acquire()
 		if err != nil {
 			return err
+		}
+		if tr.Detailed() {
+			tr.AddSpan(telemetry.StageAcquire, g.ds, acqStart, time.Since(acqStart))
 		}
 		defer conn.Release()
 	}
@@ -527,9 +699,9 @@ func (e *Executor) runUpdateGroup(units []rewrite.SQLUnit, g group, held *HeldCo
 		u := units[idx]
 		start := time.Now()
 		r, err := conn.Exec(u.SQL, u.Args...)
-		e.observe(g.ds, u.SQL, start, err)
+		dur := e.observe(tr, g.ds, u.SQL, start, err)
 		if err != nil {
-			return err
+			return wrapUnitErr(u, dur, err)
 		}
 		mu.Lock()
 		total.Affected += r.Affected

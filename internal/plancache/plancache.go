@@ -30,6 +30,18 @@ type Stats struct {
 	Size          int
 	Capacity      int
 	Epoch         uint64
+	// ShardEvictions breaks Evictions down per LRU shard; a skewed
+	// distribution means hot shapes hash-collide into one shard.
+	ShardEvictions [NumShards]uint64
+}
+
+// HitRatio returns hits/(hits+misses), or 0 before any lookup.
+func (s Stats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
 }
 
 // Cache is the sharded LRU. The zero value is not usable; call New.
@@ -45,10 +57,11 @@ type Cache struct {
 }
 
 type shard struct {
-	mu       sync.Mutex
-	entries  map[string]*entry
-	lru      list.List // front = most recently used
-	inflight map[string]*flight
+	mu        sync.Mutex
+	entries   map[string]*entry
+	lru       list.List // front = most recently used
+	inflight  map[string]*flight
+	evictions atomic.Uint64
 }
 
 type entry struct {
@@ -202,6 +215,7 @@ func (c *Cache) insertLocked(s *shard, key string, val any, epoch uint64) {
 		s.lru.Remove(last)
 		delete(s.entries, victim.key)
 		c.evictions.Add(1)
+		s.evictions.Add(1)
 	}
 }
 
@@ -219,7 +233,7 @@ func (c *Cache) Len() int {
 
 // Stats snapshots the counters.
 func (c *Cache) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Hits:          c.hits.Load(),
 		Misses:        c.misses.Load(),
 		Evictions:     c.evictions.Load(),
@@ -228,6 +242,10 @@ func (c *Cache) Stats() Stats {
 		Capacity:      c.perShard() * NumShards,
 		Epoch:         c.epoch.Load(),
 	}
+	for i := range c.shards {
+		st.ShardEvictions[i] = c.shards[i].evictions.Load()
+	}
+	return st
 }
 
 // Metrics returns the counters as a flat name→value map for the
@@ -242,5 +260,7 @@ func (c *Cache) Metrics() map[string]int64 {
 		"size":          int64(st.Size),
 		"capacity":      int64(st.Capacity),
 		"epoch":         int64(st.Epoch),
+		// Scaled by 1000: the metrics tree carries integers only.
+		"hit_ratio_milli": int64(st.HitRatio() * 1000),
 	}
 }

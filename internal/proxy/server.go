@@ -12,6 +12,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 
 	"shardingsphere/internal/core"
 	"shardingsphere/internal/protocol"
@@ -47,6 +48,55 @@ type Server struct {
 	conns    map[net.Conn]struct{}
 	closed   bool
 	wg       sync.WaitGroup
+
+	// Wire-level telemetry: connection lifecycle, statement traffic and
+	// byte counts. All plain atomics — the handler loop stays lock-free.
+	connsTotal atomic.Int64
+	active     atomic.Int64
+	inFlight   atomic.Int64
+	statements atomic.Int64
+	errors     atomic.Int64
+	throttled  atomic.Int64
+	bytesIn    atomic.Int64
+	bytesOut   atomic.Int64
+}
+
+// Metrics snapshots the server's wire-level counters; it satisfies the
+// governor's MetricsSource shape for registry publication.
+func (s *Server) Metrics() map[string]int64 {
+	return map[string]int64{
+		"connections_total":  s.connsTotal.Load(),
+		"connections_active": s.active.Load(),
+		"in_flight":          s.inFlight.Load(),
+		"statements":         s.statements.Load(),
+		"errors":             s.errors.Load(),
+		"throttled":          s.throttled.Load(),
+		"bytes_in":           s.bytesIn.Load(),
+		"bytes_out":          s.bytesOut.Load(),
+	}
+}
+
+// countingReader / countingWriter tally wire bytes as they stream.
+type countingReader struct {
+	r io.Reader
+	n *atomic.Int64
+}
+
+func (c countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+type countingWriter struct {
+	w io.Writer
+	n *atomic.Int64
+}
+
+func (c countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n.Add(int64(n))
+	return n, err
 }
 
 // NewServer builds a server over the backend.
@@ -135,10 +185,13 @@ func (s *Server) handle(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+	s.connsTotal.Add(1)
+	s.active.Add(1)
+	defer s.active.Add(-1)
 	sess := s.backend.NewBackendSession()
 	defer sess.Close()
-	r := bufio.NewReaderSize(conn, 64<<10)
-	w := bufio.NewWriterSize(conn, 64<<10)
+	r := bufio.NewReaderSize(countingReader{conn, &s.bytesIn}, 64<<10)
+	w := bufio.NewWriterSize(countingWriter{conn, &s.bytesOut}, 64<<10)
 
 	for {
 		typ, payload, err := protocol.ReadFrame(r)
@@ -156,7 +209,9 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 		case protocol.FrameQuery:
+			s.statements.Add(1)
 			if s.limiter != nil && !s.limiter.Acquire() {
+				s.throttled.Add(1)
 				if err := s.reply(w, protocol.FrameError, protocol.EncodeError("proxy: throttled")); err != nil {
 					return
 				}
@@ -164,10 +219,14 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			sql, args, err := protocol.DecodeQuery(payload)
 			if err != nil {
+				s.errors.Add(1)
 				s.reply(w, protocol.FrameError, protocol.EncodeError(err.Error()))
 				return
 			}
-			if err := s.runQuery(w, sess, sql, args); err != nil {
+			s.inFlight.Add(1)
+			err = s.runQuery(w, sess, sql, args)
+			s.inFlight.Add(-1)
+			if err != nil {
 				return
 			}
 		default:
@@ -188,6 +247,7 @@ func (s *Server) reply(w *bufio.Writer, typ byte, payload []byte) error {
 func (s *Server) runQuery(w *bufio.Writer, sess BackendSession, sql string, args []sqltypes.Value) error {
 	cols, rows, affected, lastID, err := sess.Execute(sql, args)
 	if err != nil {
+		s.errors.Add(1)
 		return s.reply(w, protocol.FrameError, protocol.EncodeError(err.Error()))
 	}
 	if cols == nil {

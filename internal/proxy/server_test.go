@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"shardingsphere/internal/core"
 	"shardingsphere/internal/distsql"
@@ -241,4 +242,65 @@ func TestServerCloseIdempotent(t *testing.T) {
 	}
 	srv.Close()
 	srv.Close()
+}
+
+func TestServerMetricsMove(t *testing.T) {
+	proc := sqlexec.NewProcessor(storage.NewEngine("metrics-node"))
+	srv := NewServer(&NodeBackend{Processor: proc})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Exec("CREATE TABLE t (id INT PRIMARY KEY)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Exec("INSERT INTO t VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := conn.Query("SELECT * FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := resource.ReadAll(rs); err != nil {
+		t.Fatal(err)
+	}
+	// A failing statement bumps the error counter.
+	if _, err := conn.Query("SELECT * FROM missing"); err == nil {
+		t.Fatal("expected remote error")
+	}
+
+	m := srv.Metrics()
+	if m["connections_total"] != 1 || m["connections_active"] != 1 {
+		t.Fatalf("connection counters: %v", m)
+	}
+	if m["statements"] != 4 {
+		t.Fatalf("statements: %v", m)
+	}
+	if m["errors"] != 1 {
+		t.Fatalf("errors: %v", m)
+	}
+	if m["bytes_in"] <= 0 || m["bytes_out"] <= 0 {
+		t.Fatalf("byte counters: %v", m)
+	}
+	if m["in_flight"] != 0 {
+		t.Fatalf("in_flight should be idle: %v", m)
+	}
+
+	conn.Close()
+	// The handler goroutine may still be winding down; poll briefly.
+	for i := 0; i < 100; i++ {
+		if srv.Metrics()["connections_active"] == 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := srv.Metrics()["connections_active"]; got != 0 {
+		t.Fatalf("active after close: %d", got)
+	}
 }

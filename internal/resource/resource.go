@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync/atomic"
 	"time"
 
 	"shardingsphere/internal/sqlexec"
@@ -199,6 +200,10 @@ func (o *Options) withDefaults() Options {
 // ConnFactory creates raw connections for a DataSource.
 type ConnFactory func() (Conn, error)
 
+// AcquireObserver is notified of every acquisition that missed the idle
+// fast path: the time spent blocked and whether it ended in timeout.
+type AcquireObserver func(wait time.Duration, timedOut bool)
+
 // DataSource is one named database with a connection pool.
 type DataSource struct {
 	name    string
@@ -208,6 +213,26 @@ type DataSource struct {
 
 	idle  chan Conn
 	slots chan struct{} // capacity tokens: one per open or openable conn
+
+	// Pool gauges. The idle fast path pays exactly two atomic adds; wait
+	// accounting happens only on the blocking path.
+	inUse    atomic.Int64
+	waiters  atomic.Int64
+	acquires atomic.Uint64
+	waitNs   atomic.Int64
+	timeouts atomic.Uint64
+	observer atomic.Pointer[AcquireObserver]
+}
+
+// PoolStats is a point-in-time snapshot of one pool's gauges.
+type PoolStats struct {
+	Capacity  int
+	InUse     int64
+	Idle      int
+	Waiters   int64
+	Acquires  uint64
+	WaitTotal time.Duration
+	Timeouts  uint64
 }
 
 // NewDataSource builds a data source from a connection factory.
@@ -245,28 +270,73 @@ func (ds *DataSource) Dialect() sqlparser.Dialect { return ds.dialect }
 // PoolSize returns the configured pool capacity.
 func (ds *DataSource) PoolSize() int { return ds.opts.PoolSize }
 
+// SetAcquireObserver installs the blocking-acquire callback (telemetry).
+// Safe to call concurrently with Acquire.
+func (ds *DataSource) SetAcquireObserver(fn AcquireObserver) {
+	if fn == nil {
+		ds.observer.Store(nil)
+		return
+	}
+	ds.observer.Store(&fn)
+}
+
+// Stats snapshots the pool gauges.
+func (ds *DataSource) Stats() PoolStats {
+	return PoolStats{
+		Capacity:  ds.opts.PoolSize,
+		InUse:     ds.inUse.Load(),
+		Idle:      len(ds.idle),
+		Waiters:   ds.waiters.Load(),
+		Acquires:  ds.acquires.Load(),
+		WaitTotal: time.Duration(ds.waitNs.Load()),
+		Timeouts:  ds.timeouts.Load(),
+	}
+}
+
+func (ds *DataSource) observeWait(wait time.Duration, timedOut bool) {
+	ds.waitNs.Add(int64(wait))
+	if timedOut {
+		ds.timeouts.Add(1)
+	}
+	if p := ds.observer.Load(); p != nil {
+		(*p)(wait, timedOut)
+	}
+}
+
 // Acquire returns a pooled connection, creating one if the pool has spare
 // capacity, or waiting until one is released.
 func (ds *DataSource) Acquire() (*PooledConn, error) {
 	// Fast path: an idle connection.
 	select {
 	case c := <-ds.idle:
+		ds.acquires.Add(1)
+		ds.inUse.Add(1)
 		return &PooledConn{Conn: c, ds: ds}, nil
 	default:
 	}
+	waitStart := time.Now()
+	ds.waiters.Add(1)
+	defer ds.waiters.Add(-1)
 	timer := time.NewTimer(ds.opts.AcquireTimeout)
 	defer timer.Stop()
 	select {
 	case c := <-ds.idle:
+		ds.observeWait(time.Since(waitStart), false)
+		ds.acquires.Add(1)
+		ds.inUse.Add(1)
 		return &PooledConn{Conn: c, ds: ds}, nil
 	case <-ds.slots:
+		ds.observeWait(time.Since(waitStart), false)
 		c, err := ds.factory()
 		if err != nil {
 			ds.slots <- struct{}{}
 			return nil, err
 		}
+		ds.acquires.Add(1)
+		ds.inUse.Add(1)
 		return &PooledConn{Conn: c, ds: ds}, nil
 	case <-timer.C:
+		ds.observeWait(time.Since(waitStart), true)
 		return nil, fmt.Errorf("%w: %s (pool %d)", ErrPoolExhausted, ds.name, ds.opts.PoolSize)
 	}
 }
@@ -275,6 +345,8 @@ func (ds *DataSource) Acquire() (*PooledConn, error) {
 func (ds *DataSource) TryAcquire() (*PooledConn, bool) {
 	select {
 	case c := <-ds.idle:
+		ds.acquires.Add(1)
+		ds.inUse.Add(1)
 		return &PooledConn{Conn: c, ds: ds}, true
 	default:
 	}
@@ -285,6 +357,8 @@ func (ds *DataSource) TryAcquire() (*PooledConn, bool) {
 			ds.slots <- struct{}{}
 			return nil, false
 		}
+		ds.acquires.Add(1)
+		ds.inUse.Add(1)
 		return &PooledConn{Conn: c, ds: ds}, true
 	default:
 		return nil, false
@@ -326,6 +400,7 @@ func (pc *PooledConn) Release() {
 		return
 	}
 	pc.released = true
+	pc.ds.inUse.Add(-1)
 	if d, ok := pc.Conn.(Defuncter); ok && d.Defunct() {
 		pc.Broken = true
 	}

@@ -196,6 +196,59 @@ func TestConcurrentAcquireRelease(t *testing.T) {
 	wg.Wait()
 }
 
+func TestPoolStats(t *testing.T) {
+	ds := newDS(t, &Options{PoolSize: 2, AcquireTimeout: 50 * time.Millisecond})
+	var waits, timeouts int
+	var waited time.Duration
+	var mu sync.Mutex
+	ds.SetAcquireObserver(func(wait time.Duration, timedOut bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		waits++
+		waited += wait
+		if timedOut {
+			timeouts++
+		}
+	})
+
+	c1, err := ds.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := ds.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ds.Stats()
+	if st.InUse != 2 || st.Idle != 0 || st.Capacity != 2 {
+		t.Fatalf("stats with 2 held conns: %+v", st)
+	}
+	if _, err := ds.Acquire(); !errors.Is(err, ErrPoolExhausted) {
+		t.Fatalf("want exhaustion, got %v", err)
+	}
+	st = ds.Stats()
+	if st.Timeouts != 1 {
+		t.Fatalf("timeouts = %d, want 1", st.Timeouts)
+	}
+	if st.WaitTotal < 50*time.Millisecond {
+		t.Fatalf("wait total %v should cover the 50ms timeout", st.WaitTotal)
+	}
+	c1.Release()
+	c2.Release()
+	st = ds.Stats()
+	if st.InUse != 0 || st.Idle != 2 {
+		t.Fatalf("stats after release: %+v", st)
+	}
+	if st.Acquires < 2 {
+		t.Fatalf("acquires = %d, want >= 2", st.Acquires)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if timeouts != 1 || waits == 0 || waited < 50*time.Millisecond {
+		t.Fatalf("observer saw waits=%d timeouts=%d waited=%v", waits, timeouts, waited)
+	}
+}
+
 func TestLatencyOption(t *testing.T) {
 	e := storage.NewEngine("slow")
 	ds := NewEmbedded(e, &Options{Latency: 10 * time.Millisecond})

@@ -22,11 +22,27 @@ import (
 	"shardingsphere/internal/sqltypes"
 )
 
-// SQLUnit is one executable statement bound to a data source.
+// SQLUnit is one executable statement bound to a data source. LogicTable
+// and ActualTable identify the shard the unit targets (empty when the
+// unit spans several tables, e.g. a binding-group join).
 type SQLUnit struct {
-	DataSource string
-	SQL        string
-	Args       []sqltypes.Value
+	DataSource  string
+	SQL         string
+	Args        []sqltypes.Value
+	LogicTable  string
+	ActualTable string
+}
+
+// unitTables extracts the single logic→actual table pair of a route unit,
+// or empty strings when the unit maps several tables.
+func unitTables(unit route.Unit) (logic, actual string) {
+	if len(unit.TableMap) != 1 {
+		return "", ""
+	}
+	for l, a := range unit.TableMap {
+		return l, a
+	}
+	return "", ""
 }
 
 // AggregateKind labels how the merger combines a column.
@@ -124,10 +140,13 @@ func (rw *Rewriter) Rewrite(stmt sqlparser.Statement, rt *route.Result, args []s
 			clone := sqlparser.CloneStatement(stmt)
 			sqlparser.RenameTables(clone, unit.TableMap)
 			ser := sqlparser.NewSerializer(rw.dialect(unit.DataSource))
+			logic, actual := unitTables(unit)
 			out.Units = append(out.Units, SQLUnit{
-				DataSource: unit.DataSource,
-				SQL:        ser.Serialize(clone),
-				Args:       args,
+				DataSource:  unit.DataSource,
+				SQL:         ser.Serialize(clone),
+				Args:        args,
+				LogicTable:  logic,
+				ActualTable: actual,
 			})
 		}
 		return out, nil
@@ -187,10 +206,13 @@ func (rw *Rewriter) rewriteSelect(stmt *sqlparser.SelectStmt, rt *route.Result, 
 		clone := sqlparser.CloneStatement(work)
 		sqlparser.RenameTables(clone, unit.TableMap)
 		ser := sqlparser.NewSerializer(rw.dialect(unit.DataSource))
+		logic, actual := unitTables(unit)
 		out.Units = append(out.Units, SQLUnit{
-			DataSource: unit.DataSource,
-			SQL:        ser.Serialize(clone),
-			Args:       args,
+			DataSource:  unit.DataSource,
+			SQL:         ser.Serialize(clone),
+			Args:        args,
+			LogicTable:  logic,
+			ActualTable: actual,
 		})
 	}
 	return out, nil
@@ -411,10 +433,13 @@ func (rw *Rewriter) rewriteInsert(stmt *sqlparser.InsertStmt, rt *route.Result, 
 		}
 		sqlparser.RenameTables(clone, unit.TableMap)
 		ser := sqlparser.NewSerializer(rw.dialect(unit.DataSource))
+		logic, actual := unitTables(unit)
 		out.Units = append(out.Units, SQLUnit{
-			DataSource: unit.DataSource,
-			SQL:        ser.Serialize(clone),
-			Args:       unitArgs,
+			DataSource:  unit.DataSource,
+			SQL:         ser.Serialize(clone),
+			Args:        unitArgs,
+			LogicTable:  logic,
+			ActualTable: actual,
 		})
 	}
 	return out, nil

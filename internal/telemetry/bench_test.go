@@ -1,0 +1,48 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkTraceLifecycle(b *testing.B) {
+	c := NewCollector()
+	start := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := c.Start("SELECT c FROM sbtest WHERE id = ?")
+		tr.Mark(StagePlanCache)
+		tr.AddExec("ds0", start, time.Microsecond, nil)
+		tr.Mark(StageExecute)
+		tr.Mark(StageMerge)
+		tr.Finish(nil)
+	}
+}
+
+func BenchmarkTraceDisabled(b *testing.B) {
+	c := NewCollector()
+	c.SetEnabled(false)
+	start := time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := c.Start("SELECT c FROM sbtest WHERE id = ?")
+		tr.Mark(StagePlanCache)
+		tr.AddExec("ds0", start, time.Microsecond, nil)
+		tr.Mark(StageExecute)
+		tr.Mark(StageMerge)
+		tr.Finish(nil)
+	}
+}
+
+func BenchmarkNow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = time.Now()
+	}
+}
+
+func BenchmarkObserveExec(b *testing.B) {
+	c := NewCollector()
+	for i := 0; i < b.N; i++ {
+		c.ObserveExec("ds0", time.Microsecond, nil)
+	}
+}

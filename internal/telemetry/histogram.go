@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets covers latencies from <1µs up to ~2^24µs (≈16.8s); the last
+// bucket absorbs everything slower.
+const NumBuckets = 26
+
+// Histogram is a fixed-size power-of-two latency histogram. Bucket i
+// counts observations in [2^(i-1), 2^i) microseconds (bucket 0 counts
+// sub-microsecond observations). Observing is a single atomic add — no
+// locks, no allocation — so it is safe on the kernel hot path. Totals are
+// derived by summing buckets at read time instead of keeping separate
+// count/sum atomics.
+type Histogram struct {
+	buckets [NumBuckets]atomic.Uint64
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	us := uint64(d / time.Microsecond)
+	idx := bits.Len64(us)
+	if idx >= NumBuckets {
+		idx = NumBuckets - 1
+	}
+	h.buckets[idx].Add(1)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	var n uint64
+	for i := range h.buckets {
+		n += h.buckets[i].Load()
+	}
+	return n
+}
+
+// Snapshot copies the bucket counters.
+func (h *Histogram) Snapshot() [NumBuckets]uint64 {
+	var out [NumBuckets]uint64
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}
+
+// Quantile returns a conservative estimate (the upper bound of the bucket
+// where the cumulative count crosses q·total). Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	snap := h.Snapshot()
+	var total uint64
+	for _, c := range snap {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(total))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i, c := range snap {
+		cum += c
+		if cum >= rank {
+			return BucketUpperBound(i)
+		}
+	}
+	return BucketUpperBound(NumBuckets - 1)
+}
+
+// BucketUpperBound returns the exclusive upper latency bound of bucket i.
+func BucketUpperBound(i int) time.Duration {
+	if i <= 0 {
+		return time.Microsecond
+	}
+	return time.Duration(uint64(1)<<uint(i)) * time.Microsecond
+}

@@ -1,0 +1,65 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+)
+
+// SlowEntry is one captured slow statement with its full span breakdown.
+type SlowEntry struct {
+	SQL   string
+	Total time.Duration
+	At    time.Time
+	Spans []Span
+}
+
+// slowLog is a fixed-capacity ring of the most recent slow statements.
+// Capture happens only for statements over the threshold, so the mutex is
+// off the hot path entirely.
+type slowLog struct {
+	mu    sync.Mutex
+	ring  []SlowEntry
+	next  int
+	count uint64 // cumulative captures, not ring occupancy
+}
+
+func newSlowLog(capacity int) *slowLog {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &slowLog{ring: make([]SlowEntry, 0, capacity)}
+}
+
+func (l *slowLog) add(e SlowEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.count++
+	if len(l.ring) < cap(l.ring) {
+		l.ring = append(l.ring, e)
+		l.next = len(l.ring) % cap(l.ring)
+		return
+	}
+	l.ring[l.next] = e
+	l.next = (l.next + 1) % cap(l.ring)
+}
+
+// entries returns captured statements, most recent first.
+func (l *slowLog) entries() []SlowEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowEntry, 0, len(l.ring))
+	for i := 0; i < len(l.ring); i++ {
+		idx := (l.next - 1 - i + 2*cap(l.ring)) % cap(l.ring)
+		if idx >= len(l.ring) {
+			continue
+		}
+		out = append(out, l.ring[idx])
+	}
+	return out
+}
+
+func (l *slowLog) total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.count
+}

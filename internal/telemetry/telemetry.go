@@ -1,0 +1,625 @@
+// Package telemetry is the kernel's always-on observability layer. Every
+// statement carries a pooled Trace that records monotonic spans for each
+// pipeline stage (parse → route → rewrite → execute → merge), per-data-
+// source execution, and transaction phases (XA prepare/commit, BASE undo
+// capture). Finished traces feed fixed-bucket latency histograms, per-
+// source error/timeout counters, and a ring buffer of the slowest
+// statements — all designed so the hot path costs a handful of clock
+// reads and atomic adds, with no locks and no steady-state allocation.
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stage identifies one pipeline phase of a statement's lifetime.
+type Stage uint8
+
+const (
+	// StageParse covers SQL text → AST.
+	StageParse Stage = iota
+	// StagePlanCache covers the cached fast path end-to-end: normalize,
+	// shard lookup, skeleton route and template render. On the uncached
+	// pipeline it covers only the (missed) lookup and compile.
+	StagePlanCache
+	// StageRoute covers sharding-condition extraction and node routing.
+	StageRoute
+	// StageRewrite covers logical→actual SQL rewriting.
+	StageRewrite
+	// StageExecute covers the storage fan-out wall time. Per-unit spans
+	// additionally carry the data source name.
+	StageExecute
+	// StageMerge covers result merging (sort/aggregate/limit decoration).
+	StageMerge
+	// StageAcquire covers connection-pool acquisition inside execute
+	// (recorded per data source on detailed traces).
+	StageAcquire
+	// StageXAPrepare covers XA END + XA PREPARE across branches.
+	StageXAPrepare
+	// StageXACommit covers the XA second phase.
+	StageXACommit
+	// StageBaseUndo covers BASE before-image (undo log) capture.
+	StageBaseUndo
+	// StageTotal is the whole statement; also the slow-log trigger.
+	StageTotal
+	numStages
+)
+
+var stageNames = [numStages]string{
+	StageParse:     "parse",
+	StagePlanCache: "plan_cache",
+	StageRoute:     "route",
+	StageRewrite:   "rewrite",
+	StageExecute:   "execute",
+	StageMerge:     "merge",
+	StageAcquire:   "pool_acquire",
+	StageXAPrepare: "xa_prepare",
+	StageXACommit:  "xa_commit",
+	StageBaseUndo:  "base_undo",
+	StageTotal:     "total",
+}
+
+// String returns the wire name of the stage ("parse", "route", ...).
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "unknown"
+}
+
+// Span is one timed interval within a trace. Offset is relative to the
+// trace start so a span table reads as a waterfall.
+type Span struct {
+	Stage      Stage
+	DataSource string // set on per-unit execute and acquire spans
+	Offset     time.Duration
+	Dur        time.Duration
+	Err        string // non-empty when the spanned work failed
+}
+
+// Trace records the span breakdown of a single statement. It is pooled
+// and allocation-free in steady state. All methods are nil-receiver safe
+// so call sites need no telemetry-enabled branches.
+//
+// Clocking: all points are monotonic offsets from the collector's base
+// timestamp (taken once at NewCollector), so starting a trace costs one
+// time.Since — the monotonic-only fast path — rather than a full
+// time.Now. Mark pays one more time.Since per stage boundary (sampled
+// traces only) and AddExec/AddSpan re-derive offsets from timestamps
+// their callers already took, with no clock reads at all.
+//
+// Sampling: per-stage marks and per-unit measurements run on every Nth
+// statement (Collector.SetStageSampling) — an unsampled error-free
+// statement costs exactly two clock reads, one at StartInto and one at
+// Finish. Statement totals, error counters and slow-query capture are
+// always on and exact; per-source execute latency is sampled (its
+// percentiles are unbiased, its counts reflect sampled units only).
+// Detailed traces always mark.
+//
+// Concurrency: Mark/Finish run on the session goroutine. AddExec/AddSpan
+// run on executor goroutines and take mu; the session only resumes after
+// the executor's WaitGroup, which establishes the happens-before edge
+// that makes the unlocked session-side appends safe.
+type Trace struct {
+	col      *Collector
+	sql      string
+	startOff time.Duration // statement start, relative to col.base
+	lastOff  time.Duration // offset of the previous mark
+	tick     int64         // owner-local stage-sampling counter
+	sampled  bool          // stage marks active for this trace
+	detailed bool
+	retained bool
+	owned    bool          // caller-owned storage: Finish skips the pool
+	total    time.Duration // set by Finish
+
+	// endOff is the furthest known work end (exec / tx spans), advanced
+	// by executor goroutines with a CAS max loop.
+	endOff atomic.Int64
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// advanceEnd lifts endOff to at least end (monotonic max).
+func (t *Trace) advanceEnd(end time.Duration) {
+	for {
+		cur := t.endOff.Load()
+		if int64(end) <= cur || t.endOff.CompareAndSwap(cur, int64(end)) {
+			return
+		}
+	}
+}
+
+// Mark closes the interval since the previous mark (or trace start) as a
+// span of the given stage. One monotonic clock read per stage boundary,
+// and only on sampled traces.
+func (t *Trace) Mark(stage Stage) {
+	if t == nil || !t.sampled {
+		return
+	}
+	off := time.Since(t.col.base) - t.startOff
+	t.spans = append(t.spans, Span{
+		Stage:  stage,
+		Offset: t.lastOff,
+		Dur:    off - t.lastOff,
+	})
+	t.col.observeStage(stage, off-t.lastOff)
+	t.lastOff = off
+}
+
+// Skip advances the span clock without recording, excluding the elapsed
+// interval from the next Mark.
+func (t *Trace) Skip() {
+	if t == nil || !t.sampled {
+		return
+	}
+	t.lastOff = time.Since(t.col.base) - t.startOff
+}
+
+// Sampled reports whether this trace records per-stage and per-unit
+// detail; the executor uses it to skip per-unit clock reads entirely on
+// unsampled statements.
+func (t *Trace) Sampled() bool { return t != nil && t.sampled }
+
+// AddExec records one per-data-source execute span using timings the
+// executor already measured — no extra clock reads. Unsampled traces
+// only advance the work-end watermark unless the unit failed (their
+// slow-log entries carry SQL and total, not spans). Safe to call from
+// concurrent executor goroutines.
+func (t *Trace) AddExec(dataSource string, start time.Time, dur time.Duration, err error) {
+	if t == nil {
+		return
+	}
+	off := start.Sub(t.col.base) - t.startOff
+	t.advanceEnd(off + dur)
+	if !t.sampled && err == nil {
+		return
+	}
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{
+		Stage:      StageExecute,
+		DataSource: dataSource,
+		Offset:     off,
+		Dur:        dur,
+		Err:        msg,
+	})
+	t.mu.Unlock()
+}
+
+// AddSpan records an externally timed span (transaction phases, pool
+// acquisition) and advances the span clock past its end so the interval
+// is not double-counted by the next Mark. Safe to call from concurrent
+// executor goroutines.
+func (t *Trace) AddSpan(stage Stage, dataSource string, start time.Time, dur time.Duration) {
+	if t == nil {
+		return
+	}
+	off := start.Sub(t.col.base) - t.startOff
+	t.advanceEnd(off + dur)
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{
+		Stage:      stage,
+		DataSource: dataSource,
+		Offset:     off,
+		Dur:        dur,
+	})
+	if end := off + dur; t.sampled && end > t.lastOff {
+		t.lastOff = end
+	}
+	t.mu.Unlock()
+	t.col.observeStage(stage, dur)
+}
+
+// Detailed reports whether the trace wants fine-grained spans (TRACE
+// statements); hot-path traces keep coarse spans to stay cheap.
+func (t *Trace) Detailed() bool { return t != nil && t.detailed }
+
+// Finish closes the trace: records the total, counts errors, feeds the
+// slow log, and returns the trace to the pool unless it is retained.
+// Sampled traces already know their extent (last mark or furthest
+// recorded work end) and pay no clock read; unsampled traces measure the
+// full statement with the single read here — which also captures drain
+// and merge time their skipped unit spans would miss.
+func (t *Trace) Finish(err error) {
+	if t == nil {
+		return
+	}
+	total := t.lastOff
+	if end := time.Duration(t.endOff.Load()); end > total {
+		total = end
+	}
+	if total == 0 {
+		total = time.Since(t.col.base) - t.startOff
+	}
+	t.total = total
+	t.col.observeStage(StageTotal, total)
+	if err != nil {
+		t.col.errors.Add(1)
+	}
+	if total >= time.Duration(t.col.slowThresholdNs.Load()) {
+		spans := make([]Span, len(t.spans))
+		copy(spans, t.spans)
+		t.col.slow.add(SlowEntry{SQL: t.sql, Total: total, At: t.col.base.Add(t.startOff), Spans: spans})
+	}
+	if t.retained {
+		t.sortSpans()
+		return
+	}
+	if t.owned {
+		return
+	}
+	t.col.release(t)
+}
+
+// Total returns the statement wall time (valid after Finish).
+func (t *Trace) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.total
+}
+
+// Spans returns the recorded spans (valid after Finish on a retained
+// trace; the slice is owned by the trace).
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	return t.spans
+}
+
+// Release returns a retained trace to the pool.
+func (t *Trace) Release() {
+	if t == nil {
+		return
+	}
+	t.col.release(t)
+}
+
+func (t *Trace) sortSpans() {
+	sort.SliceStable(t.spans, func(i, j int) bool {
+		return t.spans[i].Offset < t.spans[j].Offset
+	})
+}
+
+// SourceStats aggregates per-data-source health: execute latency,
+// acquire-wait latency (only waits that actually blocked), and error /
+// acquire-timeout counters.
+type SourceStats struct {
+	Execute     Histogram
+	AcquireWait Histogram
+	Errors      atomic.Uint64
+	Timeouts    atomic.Uint64
+}
+
+// Collector owns the aggregate state traces feed into. A nil Collector is
+// valid and inert.
+type Collector struct {
+	enabled         atomic.Bool
+	slowThresholdNs atomic.Int64
+	errors          atomic.Uint64
+	sampleEvery     atomic.Int64
+	sampleTick      atomic.Int64
+
+	stage [numStages]Histogram
+
+	// sources is a sync.Map[string]*SourceStats: lock-free reads once a
+	// data source has been seen.
+	sources sync.Map
+
+	// base anchors all trace offsets: one wall+monotonic read at
+	// construction, so per-statement clocking stays on the cheaper
+	// monotonic-only path.
+	base time.Time
+
+	slow *slowLog
+	pool sync.Pool
+}
+
+// DefaultSlowThreshold is the initial slow-query capture threshold.
+const DefaultSlowThreshold = 100 * time.Millisecond
+
+// DefaultStageSampling is the default per-stage mark sampling interval:
+// one statement in N records stage-boundary spans. Totals, per-source
+// stats, errors and the slow log are never sampled.
+const DefaultStageSampling = 16
+
+// NewCollector returns an enabled collector with the default slow-query
+// threshold and a 64-entry slow log.
+func NewCollector() *Collector {
+	c := &Collector{slow: newSlowLog(64), base: time.Now()}
+	c.slowThresholdNs.Store(int64(DefaultSlowThreshold))
+	c.sampleEvery.Store(DefaultStageSampling)
+	c.enabled.Store(true)
+	c.pool.New = func() any {
+		return &Trace{spans: make([]Span, 0, 16)}
+	}
+	return c
+}
+
+// SetEnabled toggles hot-path trace collection. TRACE statements work
+// regardless.
+func (c *Collector) SetEnabled(on bool) {
+	if c != nil {
+		c.enabled.Store(on)
+	}
+}
+
+// Enabled reports whether hot-path collection is on.
+func (c *Collector) Enabled() bool { return c != nil && c.enabled.Load() }
+
+// SetStageSampling makes one statement in every records stage-boundary
+// marks (1 = every statement). Values below 1 are treated as 1.
+func (c *Collector) SetStageSampling(every int) {
+	if c == nil {
+		return
+	}
+	if every < 1 {
+		every = 1
+	}
+	c.sampleEvery.Store(int64(every))
+}
+
+// SetSlowThreshold sets the minimum statement total that enters the slow
+// log.
+func (c *Collector) SetSlowThreshold(d time.Duration) {
+	if c != nil {
+		c.slowThresholdNs.Store(int64(d))
+	}
+}
+
+// SlowThreshold returns the current slow-log capture threshold.
+func (c *Collector) SlowThreshold() time.Duration {
+	if c == nil {
+		return 0
+	}
+	return time.Duration(c.slowThresholdNs.Load())
+}
+
+// Start begins a trace for one statement, or returns nil (a valid inert
+// trace) when collection is disabled.
+func (c *Collector) Start(sql string) *Trace {
+	if c == nil || !c.enabled.Load() {
+		return nil
+	}
+	return c.begin(sql, false)
+}
+
+// StartInto begins a trace in caller-owned storage (typically embedded
+// in a session), skipping the pool round-trip on the hot path. Finish
+// leaves the buffer with the caller; it is reused by the next StartInto.
+func (c *Collector) StartInto(buf *Trace, sql string) *Trace {
+	if c == nil || !c.enabled.Load() {
+		return nil
+	}
+	buf.col = c
+	buf.sql = sql
+	buf.startOff = time.Since(c.base)
+	buf.lastOff = 0
+	buf.endOff.Store(0)
+	buf.total = 0
+	// Owner-local sampling tick: no shared counter, no cache-line bounce
+	// between sessions.
+	buf.tick--
+	if buf.tick <= 0 {
+		buf.tick = c.sampleEvery.Load()
+		buf.sampled = true
+	} else if every := c.sampleEvery.Load(); buf.tick >= every {
+		// The interval was lowered at runtime (SET VARIABLE
+		// stage_sampling): resample now instead of draining the old,
+		// longer cycle.
+		buf.tick = every
+		buf.sampled = true
+	} else {
+		buf.sampled = false
+	}
+	buf.detailed = false
+	buf.retained = false
+	buf.owned = true
+	buf.spans = buf.spans[:0]
+	return buf
+}
+
+// StartDetailed begins a retained, fine-grained trace (used by TRACE
+// statements); it works even when hot-path collection is disabled.
+func (c *Collector) StartDetailed(sql string) *Trace {
+	if c == nil {
+		return nil
+	}
+	t := c.begin(sql, true)
+	t.detailed = true
+	t.retained = true
+	return t
+}
+
+func (c *Collector) begin(sql string, detailed bool) *Trace {
+	t := c.pool.Get().(*Trace)
+	t.col = c
+	t.sql = sql
+	t.startOff = time.Since(c.base)
+	t.lastOff = 0
+	t.endOff.Store(0)
+	t.total = 0
+	t.sampled = detailed || (c.sampleTick.Add(1)-1)%c.sampleEvery.Load() == 0
+	t.detailed = detailed
+	t.retained = false
+	t.owned = false
+	t.spans = t.spans[:0]
+	return t
+}
+
+func (c *Collector) release(t *Trace) {
+	t.sql = ""
+	c.pool.Put(t)
+}
+
+func (c *Collector) observeStage(stage Stage, d time.Duration) {
+	if c == nil {
+		return
+	}
+	c.stage[stage].Observe(d)
+}
+
+// ObserveStage records a stage latency without a trace (used by
+// transaction phases on untraced statements).
+func (c *Collector) ObserveStage(stage Stage, d time.Duration) {
+	c.observeStage(stage, d)
+}
+
+// Source returns (creating if needed) the stats bucket for a data source.
+func (c *Collector) Source(name string) *SourceStats {
+	if c == nil {
+		return nil
+	}
+	if s, ok := c.sources.Load(name); ok {
+		return s.(*SourceStats)
+	}
+	s, _ := c.sources.LoadOrStore(name, &SourceStats{})
+	return s.(*SourceStats)
+}
+
+// ObserveExec records one per-source unit execution.
+func (c *Collector) ObserveExec(dataSource string, dur time.Duration, err error) {
+	if c == nil {
+		return
+	}
+	s := c.Source(dataSource)
+	s.Execute.Observe(dur)
+	if err != nil {
+		s.Errors.Add(1)
+	}
+}
+
+// ObserveAcquire records a blocking pool acquisition (or timeout) for a
+// data source.
+func (c *Collector) ObserveAcquire(dataSource string, wait time.Duration, timedOut bool) {
+	if c == nil {
+		return
+	}
+	s := c.Source(dataSource)
+	s.AcquireWait.Observe(wait)
+	if timedOut {
+		s.Timeouts.Add(1)
+	}
+}
+
+// StageSnapshot is the aggregate view of one stage's histogram.
+type StageSnapshot struct {
+	Stage Stage
+	Count uint64
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+}
+
+// Stages returns snapshots of all stages that saw traffic, in pipeline
+// order.
+func (c *Collector) Stages() []StageSnapshot {
+	if c == nil {
+		return nil
+	}
+	out := make([]StageSnapshot, 0, int(numStages))
+	for s := Stage(0); s < numStages; s++ {
+		h := &c.stage[s]
+		n := h.Count()
+		if n == 0 {
+			continue
+		}
+		out = append(out, StageSnapshot{
+			Stage: s,
+			Count: n,
+			P50:   h.Quantile(0.50),
+			P95:   h.Quantile(0.95),
+			P99:   h.Quantile(0.99),
+		})
+	}
+	return out
+}
+
+// SourceSnapshot is the aggregate view of one data source.
+type SourceSnapshot struct {
+	Name       string
+	Queries    uint64
+	Errors     uint64
+	Timeouts   uint64
+	P50        time.Duration
+	P95        time.Duration
+	P99        time.Duration
+	AcquireP99 time.Duration
+}
+
+// Sources returns per-data-source snapshots sorted by name.
+func (c *Collector) SourcesSnapshot() []SourceSnapshot {
+	if c == nil {
+		return nil
+	}
+	var out []SourceSnapshot
+	c.sources.Range(func(k, v any) bool {
+		s := v.(*SourceStats)
+		out = append(out, SourceSnapshot{
+			Name:       k.(string),
+			Queries:    s.Execute.Count(),
+			Errors:     s.Errors.Load(),
+			Timeouts:   s.Timeouts.Load(),
+			P50:        s.Execute.Quantile(0.50),
+			P95:        s.Execute.Quantile(0.95),
+			P99:        s.Execute.Quantile(0.99),
+			AcquireP99: s.AcquireWait.Quantile(0.99),
+		})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Slow returns captured slow statements, most recent first.
+func (c *Collector) Slow() []SlowEntry {
+	if c == nil {
+		return nil
+	}
+	return c.slow.entries()
+}
+
+// Errors returns the cumulative failed-statement count.
+func (c *Collector) ErrorCount() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.errors.Load()
+}
+
+// Metrics is a governor MetricsSource: flat counters published to the
+// registry /metrics tree. Quantiles are in microseconds.
+func (c *Collector) Metrics() map[string]int64 {
+	if c == nil {
+		return nil
+	}
+	out := map[string]int64{
+		"statements":        int64(c.stage[StageTotal].Count()),
+		"errors":            int64(c.errors.Load()),
+		"slow.count":        int64(c.slow.total()),
+		"slow.threshold_ms": c.slowThresholdNs.Load() / int64(time.Millisecond),
+	}
+	for _, s := range c.Stages() {
+		prefix := "stage." + s.Stage.String()
+		out[prefix+".count"] = int64(s.Count)
+		out[prefix+".p50_us"] = int64(s.P50 / time.Microsecond)
+		out[prefix+".p95_us"] = int64(s.P95 / time.Microsecond)
+		out[prefix+".p99_us"] = int64(s.P99 / time.Microsecond)
+	}
+	for _, s := range c.SourcesSnapshot() {
+		prefix := "source." + s.Name
+		out[prefix+".queries"] = int64(s.Queries)
+		out[prefix+".errors"] = int64(s.Errors)
+		out[prefix+".acquire_timeouts"] = int64(s.Timeouts)
+		out[prefix+".p99_us"] = int64(s.P99 / time.Microsecond)
+	}
+	return out
+}

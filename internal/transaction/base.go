@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"shardingsphere/internal/exec"
 	"shardingsphere/internal/resource"
 	"shardingsphere/internal/rewrite"
 	"shardingsphere/internal/sqlparser"
 	"shardingsphere/internal/sqltypes"
+	"shardingsphere/internal/telemetry"
 )
 
 // GlobalStatus is the TC-side state of a BASE global transaction.
@@ -117,15 +119,17 @@ type baseTx struct {
 	held   *exec.HeldConns
 	global *GlobalTx
 	closed bool
+	tr     *telemetry.Trace
 	// pending holds compensations computed before the statement ran,
 	// applied to the TC once the statement (and its local commit) succeed.
 	pending []UndoRecord
 	inLocal map[string]bool
 }
 
-func (t *baseTx) Type() Type            { return Base }
-func (t *baseTx) XID() string           { return t.xid }
-func (t *baseTx) Held() *exec.HeldConns { return t.held }
+func (t *baseTx) Type() Type                      { return Base }
+func (t *baseTx) XID() string                     { return t.xid }
+func (t *baseTx) Held() *exec.HeldConns           { return t.held }
+func (t *baseTx) AttachTrace(tr *telemetry.Trace) { t.tr = tr }
 
 // BeforeStatement opens a branch-local transaction on every touched
 // source and computes the compensation SQL from the current row images
@@ -134,6 +138,7 @@ func (t *baseTx) BeforeStatement(units []rewrite.SQLUnit) error {
 	if t.closed {
 		return ErrTxClosed
 	}
+	undoStart := time.Now()
 	t.pending = t.pending[:0]
 	t.inLocal = map[string]bool{}
 	for _, u := range units {
@@ -154,6 +159,7 @@ func (t *baseTx) BeforeStatement(units []rewrite.SQLUnit) error {
 		}
 		t.pending = append(t.pending, undo...)
 	}
+	t.tr.AddSpan(telemetry.StageBaseUndo, "", undoStart, time.Since(undoStart))
 	return nil
 }
 

@@ -25,6 +25,7 @@ import (
 	"shardingsphere/internal/exec"
 	"shardingsphere/internal/resource"
 	"shardingsphere/internal/rewrite"
+	"shardingsphere/internal/telemetry"
 )
 
 // Type selects the distributed transaction behaviour; switchable at
@@ -82,6 +83,10 @@ type Tx interface {
 	AfterStatement(units []rewrite.SQLUnit, execErr error) error
 	Commit() error
 	Rollback() error
+	// AttachTrace routes transaction-phase spans (XA prepare/commit, BASE
+	// undo capture) into the current statement's trace. The session calls
+	// it before each statement and before Commit/Rollback; nil detaches.
+	AttachTrace(tr *telemetry.Trace)
 }
 
 // Manager creates distributed transactions over an executor.
@@ -91,7 +96,12 @@ type Manager struct {
 	tc   *Coordinator
 	meta MetaProvider
 	seq  atomic.Int64
+	tel  *telemetry.Collector
 }
+
+// SetTelemetry wires the kernel's collector; transaction-phase latencies
+// recorded through attached traces aggregate there.
+func (m *Manager) SetTelemetry(c *telemetry.Collector) { m.tel = c }
 
 // MetaProvider resolves table metadata (primary key and column names) of
 // actual tables on a data source; BASE undo generation needs it.
@@ -136,11 +146,13 @@ type localTx struct {
 	held   *exec.HeldConns
 	begun  map[string]bool
 	closed bool
+	tr     *telemetry.Trace
 }
 
-func (t *localTx) Type() Type            { return Local }
-func (t *localTx) XID() string           { return t.xid }
-func (t *localTx) Held() *exec.HeldConns { return t.held }
+func (t *localTx) Type() Type                      { return Local }
+func (t *localTx) XID() string                     { return t.xid }
+func (t *localTx) Held() *exec.HeldConns           { return t.held }
+func (t *localTx) AttachTrace(tr *telemetry.Trace) { t.tr = tr }
 
 func (t *localTx) BeforeStatement(units []rewrite.SQLUnit) error {
 	if t.closed {

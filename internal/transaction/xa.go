@@ -6,11 +6,13 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"shardingsphere/internal/exec"
 	"shardingsphere/internal/registry"
 	"shardingsphere/internal/resource"
 	"shardingsphere/internal/rewrite"
+	"shardingsphere/internal/telemetry"
 )
 
 // LogRecord is one XA transaction-log entry: the set of branches and
@@ -118,11 +120,13 @@ type xaTx struct {
 	held   *exec.HeldConns
 	begun  map[string]bool
 	closed bool
+	tr     *telemetry.Trace
 }
 
-func (t *xaTx) Type() Type            { return XA }
-func (t *xaTx) XID() string           { return t.xid }
-func (t *xaTx) Held() *exec.HeldConns { return t.held }
+func (t *xaTx) Type() Type                      { return XA }
+func (t *xaTx) XID() string                     { return t.xid }
+func (t *xaTx) Held() *exec.HeldConns           { return t.held }
+func (t *xaTx) AttachTrace(tr *telemetry.Trace) { t.tr = tr }
 
 func (t *xaTx) BeforeStatement(units []rewrite.SQLUnit) error {
 	if t.closed {
@@ -163,6 +167,7 @@ func (t *xaTx) Commit() error {
 	sort.Strings(branches)
 
 	// Phase 1: prepare. An RM replying "NO" (an error here) aborts.
+	prepareStart := time.Now()
 	prepared := make([]string, 0, len(branches))
 	var prepareErr error
 	for _, ds := range branches {
@@ -177,6 +182,7 @@ func (t *xaTx) Commit() error {
 		}
 		prepared = append(prepared, ds)
 	}
+	t.tr.AddSpan(telemetry.StageXAPrepare, "", prepareStart, time.Since(prepareStart))
 	if prepareErr != nil {
 		// Roll back every branch: prepared ones via XA ROLLBACK on the
 		// prepared XID, unprepared ones likewise (the session resolves
@@ -200,6 +206,7 @@ func (t *xaTx) Commit() error {
 	}
 
 	// Phase 2: commit. Failures leave the log record; Recover finishes.
+	commitStart := time.Now()
 	allOK := true
 	for _, ds := range branches {
 		conn, _ := t.held.Peek(ds)
@@ -208,6 +215,7 @@ func (t *xaTx) Commit() error {
 			allOK = false
 		}
 	}
+	t.tr.AddSpan(telemetry.StageXACommit, "", commitStart, time.Since(commitStart))
 	if allOK {
 		return t.mgr.log.Delete(t.xid)
 	}
