@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-plancache vet check
+.PHONY: build test race bench bench-plancache vet check chaos
 
 # Pre-PR gate: static checks plus the full suite under the race
 # detector. Run this before every PR.
@@ -18,6 +18,12 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# Fault-injection smoke suite: chaos faults, breaker transitions,
+# retry/failover, fail-fast fan-out and pool resilience, under -race.
+chaos:
+	$(GO) test -race -run 'Chaos|Fault|Breaker|FailFast|Retry|Transient|Defunct|AcquireCtx|Exhaustion|Deadline|Timeout' \
+		./internal/chaos/ ./internal/governor/ ./internal/exec/ ./internal/resource/ ./internal/distsql/
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem ./...

@@ -1,0 +1,314 @@
+// Package chaos is the fault-injection layer that proves the kernel's
+// fault tolerance: an Injector wraps a data source's connections at
+// checkout time and perturbs every call according to a per-source Fault —
+// probabilistic errors, added latency, blackhole hangs, and connections
+// that break after N calls. Faults are driven at runtime through DistSQL
+// (INJECT FAULT / REMOVE FAULT / SHOW FAULTS) and are deterministic under
+// a fixed seed, so chaos tests are reproducible.
+//
+// Injected errors implement resource.TransientError, which places them in
+// the retry/failover class: the executor retries them with backoff, the
+// governor's breaker counts them, and read-write splitting routes around
+// a source that keeps producing them.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"shardingsphere/internal/resource"
+	"shardingsphere/internal/sqltypes"
+)
+
+// MaxHang bounds a blackhole fault for callers without a context (plain
+// blocking Query/Exec): the hang releases after this long instead of
+// wedging the connection forever.
+const MaxHang = 30 * time.Second
+
+// Fault describes the perturbation applied to every call on one source.
+type Fault struct {
+	// ErrorRate is the probability ∈ [0,1] that a call fails with an
+	// injected transient error.
+	ErrorRate float64
+	// Latency is added to every call before it reaches the real conn.
+	Latency time.Duration
+	// Hang blackholes every call: it blocks until the caller's context is
+	// cancelled (or MaxHang without one), then fails.
+	Hang bool
+	// BreakAfter breaks the source after N total calls: every later call
+	// fails and marks its connection defunct, so the pool discards it
+	// (models a datanode dying mid-traffic). 0 disables.
+	BreakAfter int64
+	// Seed makes the error-rate dice deterministic; 0 seeds from entropy.
+	Seed int64
+}
+
+// InjectedError is the failure produced by an active fault. It is
+// transient: retry and failover machinery treats it like an
+// infrastructure outage, not a SQL error.
+type InjectedError struct {
+	Source string
+	Reason string
+}
+
+// Error implements error.
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("chaos: injected %s fault on %s", e.Reason, e.Source)
+}
+
+// Transient implements resource.TransientError.
+func (e *InjectedError) Transient() bool { return true }
+
+// Status is one active fault with its live counters (SHOW FAULTS).
+type Status struct {
+	Source   string
+	Fault    Fault
+	Calls    int64
+	Injected int64
+}
+
+// Describe renders the fault configuration as a compact k=v list.
+func (s Status) Describe() string {
+	var parts []string
+	if s.Fault.ErrorRate > 0 {
+		parts = append(parts, fmt.Sprintf("error_rate=%g", s.Fault.ErrorRate))
+	}
+	if s.Fault.Latency > 0 {
+		parts = append(parts, fmt.Sprintf("latency=%s", s.Fault.Latency))
+	}
+	if s.Fault.Hang {
+		parts = append(parts, "hang=true")
+	}
+	if s.Fault.BreakAfter > 0 {
+		parts = append(parts, fmt.Sprintf("break_after=%d", s.Fault.BreakAfter))
+	}
+	if s.Fault.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", s.Fault.Seed))
+	}
+	if len(parts) == 0 {
+		return "noop"
+	}
+	return strings.Join(parts, " ")
+}
+
+// sourceFault is the live state of one source's fault.
+type sourceFault struct {
+	fault Fault
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	calls    atomic.Int64
+	injected atomic.Int64
+}
+
+func (sf *sourceFault) roll() bool {
+	if sf.fault.ErrorRate <= 0 {
+		return false
+	}
+	if sf.fault.ErrorRate >= 1 {
+		return true
+	}
+	sf.mu.Lock()
+	v := sf.rng.Float64()
+	sf.mu.Unlock()
+	return v < sf.fault.ErrorRate
+}
+
+// Injector owns the fault table and wraps data sources. One injector
+// serves a whole kernel; sources without an entry pass through untouched.
+type Injector struct {
+	mu     sync.Mutex
+	faults map[string]*sourceFault
+	wired  map[string]bool
+}
+
+// NewInjector returns an empty injector.
+func NewInjector() *Injector {
+	return &Injector{faults: map[string]*sourceFault{}, wired: map[string]bool{}}
+}
+
+// Apply installs (or replaces) the fault for a data source and wires the
+// injector's interceptor onto it. Counters reset on replacement.
+func (in *Injector) Apply(src *resource.DataSource, f Fault) {
+	seed := f.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	name := src.Name()
+	in.mu.Lock()
+	in.faults[name] = &sourceFault{fault: f, rng: rand.New(rand.NewSource(seed))}
+	if !in.wired[name] {
+		in.wired[name] = true
+		in.mu.Unlock()
+		src.SetConnInterceptor(func(c resource.Conn) resource.Conn {
+			return &faultConn{inner: c, injector: in, source: name}
+		})
+		return
+	}
+	in.mu.Unlock()
+}
+
+// Remove clears a source's fault, reporting whether one was active. The
+// interceptor stays wired but passes through with no fault entry.
+func (in *Injector) Remove(source string) bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if _, ok := in.faults[source]; !ok {
+		return false
+	}
+	delete(in.faults, source)
+	return true
+}
+
+// lookup returns the live fault state for a source (nil when none).
+func (in *Injector) lookup(source string) *sourceFault {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.faults[source]
+}
+
+// Statuses snapshots the active faults sorted by source name.
+func (in *Injector) Statuses() []Status {
+	in.mu.Lock()
+	out := make([]Status, 0, len(in.faults))
+	for name, sf := range in.faults {
+		out = append(out, Status{
+			Source:   name,
+			Fault:    sf.fault,
+			Calls:    sf.calls.Load(),
+			Injected: sf.injected.Load(),
+		})
+	}
+	in.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Source < out[j].Source })
+	return out
+}
+
+// Metrics is a governor MetricsSource: per-source injected-call counters.
+func (in *Injector) Metrics() map[string]int64 {
+	out := map[string]int64{}
+	for _, s := range in.Statuses() {
+		out[s.Source+".calls"] = s.Calls
+		out[s.Source+".injected"] = s.Injected
+	}
+	return out
+}
+
+// faultConn perturbs every call according to the source's live fault. It
+// resolves the fault on each call (not at wrap time) so INJECT/REMOVE
+// FAULT applies to already-checked-out connections immediately.
+type faultConn struct {
+	inner    resource.Conn
+	injector *Injector
+	source   string
+	defunct  atomic.Bool
+}
+
+// apply runs the fault gauntlet before a real call; a non-nil error means
+// the call fails without reaching the inner conn.
+func (c *faultConn) apply(ctx context.Context) error {
+	sf := c.injector.lookup(c.source)
+	if sf == nil {
+		return nil
+	}
+	sf.calls.Add(1)
+	if d := sf.fault.Latency; d > 0 {
+		if err := sleepCtx(ctx, d); err != nil {
+			return err
+		}
+	}
+	if sf.fault.Hang {
+		sf.injected.Add(1)
+		if err := sleepCtx(ctx, MaxHang); err != nil {
+			return err
+		}
+		return &InjectedError{Source: c.source, Reason: "hang"}
+	}
+	if n := sf.fault.BreakAfter; n > 0 && sf.calls.Load() > n {
+		sf.injected.Add(1)
+		c.defunct.Store(true)
+		return &InjectedError{Source: c.source, Reason: "broken-conn"}
+	}
+	if sf.roll() {
+		sf.injected.Add(1)
+		return &InjectedError{Source: c.source, Reason: "error-rate"}
+	}
+	return nil
+}
+
+// sleepCtx sleeps d or until the context is done, returning its error.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Query implements resource.Conn.
+func (c *faultConn) Query(sql string, args ...sqltypes.Value) (resource.ResultSet, error) {
+	return c.QueryContext(context.Background(), sql, args...)
+}
+
+// Exec implements resource.Conn.
+func (c *faultConn) Exec(sql string, args ...sqltypes.Value) (resource.ExecResult, error) {
+	return c.ExecContext(context.Background(), sql, args...)
+}
+
+// QueryContext implements resource.ContextConn: hang and latency faults
+// unblock when the caller's deadline or fail-fast cancellation fires.
+func (c *faultConn) QueryContext(ctx context.Context, sql string, args ...sqltypes.Value) (resource.ResultSet, error) {
+	if err := c.apply(ctx); err != nil {
+		return nil, err
+	}
+	if cc, ok := c.inner.(resource.ContextConn); ok {
+		return cc.QueryContext(ctx, sql, args...)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return c.inner.Query(sql, args...)
+}
+
+// ExecContext implements resource.ContextConn.
+func (c *faultConn) ExecContext(ctx context.Context, sql string, args ...sqltypes.Value) (resource.ExecResult, error) {
+	if err := c.apply(ctx); err != nil {
+		return resource.ExecResult{}, err
+	}
+	if cc, ok := c.inner.(resource.ContextConn); ok {
+		return cc.ExecContext(ctx, sql, args...)
+	}
+	if err := ctx.Err(); err != nil {
+		return resource.ExecResult{}, err
+	}
+	return c.inner.Exec(sql, args...)
+}
+
+// Close implements resource.Conn.
+func (c *faultConn) Close() error { return c.inner.Close() }
+
+// Defunct implements resource.Defuncter: a break fault poisons the
+// connection so the pool replaces it, and an inner transport failure
+// propagates through.
+func (c *faultConn) Defunct() bool {
+	if c.defunct.Load() {
+		return true
+	}
+	if d, ok := c.inner.(resource.Defuncter); ok {
+		return d.Defunct()
+	}
+	return false
+}

@@ -1,0 +1,176 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"shardingsphere/internal/resource"
+	"shardingsphere/internal/sqltypes"
+)
+
+type okConn struct{}
+
+func (okConn) Query(sql string, args ...sqltypes.Value) (resource.ResultSet, error) {
+	return resource.NewSliceResultSet([]string{"a"}, []sqltypes.Row{{sqltypes.NewInt(1)}}), nil
+}
+
+func (okConn) Exec(sql string, args ...sqltypes.Value) (resource.ExecResult, error) {
+	return resource.ExecResult{Affected: 1}, nil
+}
+
+func (okConn) Close() error { return nil }
+
+func newChaosDS(name string) *resource.DataSource {
+	return resource.NewDataSource(name, func() (resource.Conn, error) {
+		return okConn{}, nil
+	}, &resource.Options{PoolSize: 2})
+}
+
+func TestErrorRateFullInjectsAlways(t *testing.T) {
+	in := NewInjector()
+	ds := newChaosDS("ds0")
+	in.Apply(ds, Fault{ErrorRate: 1, Seed: 1})
+	conn, err := ds.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Release()
+	if _, err := conn.Query("SELECT 1"); err == nil {
+		t.Fatal("100% error rate should fail every call")
+	} else if !resource.IsTransient(err) {
+		t.Fatalf("injected errors must classify transient: %v", err)
+	}
+}
+
+func TestErrorRateDeterministicUnderSeed(t *testing.T) {
+	outcomes := func() []bool {
+		in := NewInjector()
+		ds := newChaosDS("ds0")
+		in.Apply(ds, Fault{ErrorRate: 0.5, Seed: 42})
+		conn, _ := ds.Acquire()
+		defer conn.Release()
+		var out []bool
+		for i := 0; i < 32; i++ {
+			_, err := conn.Query("SELECT 1")
+			out = append(out, err != nil)
+		}
+		return out
+	}
+	a, b := outcomes(), outcomes()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("seeded fault not deterministic at call %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestRemoveFaultRestoresPassThrough(t *testing.T) {
+	in := NewInjector()
+	ds := newChaosDS("ds0")
+	in.Apply(ds, Fault{ErrorRate: 1, Seed: 1})
+	if !in.Remove("ds0") {
+		t.Fatal("Remove should report the active fault")
+	}
+	if in.Remove("ds0") {
+		t.Fatal("second Remove should report nothing active")
+	}
+	conn, _ := ds.Acquire()
+	defer conn.Release()
+	// The interceptor stays wired but passes through with no fault —
+	// including conns checked out after removal.
+	if _, err := conn.Query("SELECT 1"); err != nil {
+		t.Fatalf("removed fault still fires: %v", err)
+	}
+}
+
+func TestLatencyFaultDelays(t *testing.T) {
+	in := NewInjector()
+	ds := newChaosDS("ds0")
+	in.Apply(ds, Fault{Latency: 30 * time.Millisecond})
+	conn, _ := ds.Acquire()
+	defer conn.Release()
+	start := time.Now()
+	if _, err := conn.Query("SELECT 1"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("latency fault not applied: %v", d)
+	}
+}
+
+func TestHangFaultUnblocksOnContext(t *testing.T) {
+	in := NewInjector()
+	ds := newChaosDS("ds0")
+	in.Apply(ds, Fault{Hang: true})
+	conn, _ := ds.Acquire()
+	defer conn.Release()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := conn.QueryCtx(ctx, "SELECT 1")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if d := time.Since(start); d > 500*time.Millisecond {
+		t.Fatalf("hang did not unblock on deadline: %v", d)
+	}
+}
+
+func TestBreakAfterPoisonsConnection(t *testing.T) {
+	in := NewInjector()
+	ds := newChaosDS("ds0")
+	in.Apply(ds, Fault{BreakAfter: 2})
+	conn, err := ds.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := conn.Query("SELECT 1"); err != nil {
+			t.Fatalf("call %d before the break failed: %v", i, err)
+		}
+	}
+	if _, err := conn.Query("SELECT 1"); err == nil {
+		t.Fatal("call after BreakAfter should fail")
+	}
+	conn.Release()
+	if !conn.Broken {
+		t.Fatal("broken conn should be discarded, not pooled")
+	}
+}
+
+func TestStatusesAndMetrics(t *testing.T) {
+	in := NewInjector()
+	ds := newChaosDS("ds0")
+	in.Apply(ds, Fault{ErrorRate: 1, Seed: 7})
+	conn, _ := ds.Acquire()
+	conn.Query("SELECT 1")
+	conn.Query("SELECT 1")
+	conn.Release()
+	sts := in.Statuses()
+	if len(sts) != 1 || sts[0].Source != "ds0" || sts[0].Calls != 2 || sts[0].Injected != 2 {
+		t.Fatalf("statuses: %+v", sts)
+	}
+	if got := sts[0].Describe(); got != "error_rate=1 seed=7" {
+		t.Fatalf("describe: %q", got)
+	}
+	m := in.Metrics()
+	if m["ds0.calls"] != 2 || m["ds0.injected"] != 2 {
+		t.Fatalf("metrics: %v", m)
+	}
+}
+
+func TestReplaceFaultResetsCounters(t *testing.T) {
+	in := NewInjector()
+	ds := newChaosDS("ds0")
+	in.Apply(ds, Fault{ErrorRate: 1, Seed: 1})
+	conn, _ := ds.Acquire()
+	conn.Query("SELECT 1")
+	conn.Release()
+	in.Apply(ds, Fault{Latency: time.Millisecond})
+	sts := in.Statuses()
+	if len(sts) != 1 || sts[0].Calls != 0 {
+		t.Fatalf("counters should reset on replacement: %+v", sts)
+	}
+}

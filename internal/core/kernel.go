@@ -12,8 +12,10 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"shardingsphere/internal/chaos"
 	"shardingsphere/internal/exec"
 	"shardingsphere/internal/plancache"
 	"shardingsphere/internal/registry"
@@ -29,9 +31,10 @@ import (
 
 // Errors returned by the kernel.
 var (
-	ErrInTransaction = errors.New("core: already in a transaction")
-	ErrNotQuery      = errors.New("core: statement returns no rows")
-	ErrSourceDown    = errors.New("core: data source disabled by circuit breaker")
+	ErrInTransaction    = errors.New("core: already in a transaction")
+	ErrNotQuery         = errors.New("core: statement returns no rows")
+	ErrSourceDown       = errors.New("core: data source disabled by circuit breaker")
+	ErrStatementTimeout = errors.New("core: statement timeout")
 )
 
 // Feature is the base of the pluggable feature SPI. Concrete features
@@ -99,7 +102,19 @@ type Kernel struct {
 	txMgr    *transaction.Manager
 	registry *registry.Registry
 	features []Feature
-	gates    []SourceGate
+	// gates is copy-on-write: AddGate swaps in a new slice while
+	// concurrent statements iterate the old one lock-free.
+	gates atomic.Pointer[[]SourceGate]
+
+	// chaosInj is the kernel's fault-injection table (DistSQL INJECT
+	// FAULT); it wires interceptors onto data sources on demand.
+	chaosInj *chaos.Injector
+
+	// Fault-tolerance counters (surfaced in SHOW SQL METRICS and the
+	// governor's metrics snapshot).
+	failovers         atomic.Uint64
+	failoverSuccess   atomic.Uint64
+	statementTimeouts atomic.Uint64
 
 	metaMu    sync.RWMutex
 	metaCache map[string]tableMeta
@@ -168,6 +183,7 @@ func New(cfg Config) (*Kernel, error) {
 		executor:      executor,
 		registry:      reg,
 		features:      cfg.Features,
+		chaosInj:      chaos.NewInjector(),
 		metaCache:     map[string]tableMeta{},
 		defaultTxType: cfg.DefaultTxType,
 		tel:           tel,
@@ -196,11 +212,13 @@ func New(cfg Config) (*Kernel, error) {
 	}
 	k.txMgr = transaction.NewManager(executor, txLog, k)
 	k.txMgr.SetTelemetry(tel)
+	var gates []SourceGate
 	for _, f := range cfg.Features {
 		if g, ok := f.(SourceGate); ok {
-			k.gates = append(k.gates, g)
+			gates = append(gates, g)
 		}
 	}
+	k.gates.Store(&gates)
 	return k, nil
 }
 
@@ -313,12 +331,23 @@ func (k *Kernel) TableMeta(ds, table string) ([]string, []string, error) {
 }
 
 // AddGate installs a source gate at runtime; the governor registers its
-// circuit breakers this way.
-func (k *Kernel) AddGate(g SourceGate) { k.gates = append(k.gates, g) }
+// circuit breakers this way. Copy-on-write: concurrent statements keep
+// iterating the previous gate slice unharmed.
+func (k *Kernel) AddGate(g SourceGate) {
+	for {
+		old := k.gates.Load()
+		next := make([]SourceGate, len(*old)+1)
+		copy(next, *old)
+		next[len(*old)] = g
+		if k.gates.CompareAndSwap(old, &next) {
+			return
+		}
+	}
+}
 
 // checkGates rejects units aimed at circuit-broken sources.
 func (k *Kernel) checkGates(units []rewrite.SQLUnit) error {
-	for _, g := range k.gates {
+	for _, g := range *k.gates.Load() {
 		for _, u := range units {
 			if !g.Allow(u.DataSource) {
 				return fmt.Errorf("%w: %s", ErrSourceDown, u.DataSource)
@@ -326,6 +355,23 @@ func (k *Kernel) checkGates(units []rewrite.SQLUnit) error {
 		}
 	}
 	return nil
+}
+
+// Features returns the registered pluggable features (DistSQL wiring
+// walks it to find the read-write splitting feature for health events).
+func (k *Kernel) Features() []Feature { return k.features }
+
+// Chaos exposes the kernel's fault-injection table.
+func (k *Kernel) Chaos() *chaos.Injector { return k.chaosInj }
+
+// ResilienceMetrics is a governor MetricsSource: the kernel's failover
+// and statement-timeout counters.
+func (k *Kernel) ResilienceMetrics() map[string]int64 {
+	return map[string]int64{
+		"failovers":          int64(k.failovers.Load()),
+		"failover_success":   int64(k.failoverSuccess.Load()),
+		"statement_timeouts": int64(k.statementTimeouts.Load()),
+	}
 }
 
 // resolveSources applies SourceResolver features to every unit.
@@ -352,6 +398,7 @@ func isDistSQL(sql string) bool {
 		"SET VARIABLE", "SHOW VARIABLE", "PREVIEW", "SHOW STATUS",
 		"CREATE BROADCAST", "SHOW BROADCAST", "SHOW TRANSACTION", "RESHARD",
 		"SHOW PLAN CACHE", "SHOW SQL METRICS", "SHOW SLOW QUERIES", "TRACE ",
+		"INJECT FAULT", "REMOVE FAULT", "SHOW FAULTS",
 	} {
 		if strings.HasPrefix(up, prefix) {
 			return true

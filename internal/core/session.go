@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"shardingsphere/internal/exec"
 	"shardingsphere/internal/merge"
@@ -60,6 +63,9 @@ type Session struct {
 	txType transaction.Type
 	vars   map[string]sqltypes.Value
 	hint   *sqltypes.Value
+	// stmtTimeout bounds each statement's execution (SET VARIABLE
+	// statement_timeout_ms); 0 means unbounded.
+	stmtTimeout time.Duration
 	// tr is the current statement's trace (nil when collection is off);
 	// it lives only for the duration of one Execute call. trBuf is its
 	// session-owned storage, reused across statements so the hot path
@@ -86,6 +92,14 @@ func (s *Session) SetHint(v *sqltypes.Value) { s.hint = v }
 
 // Vars exposes the session variables.
 func (s *Session) Vars() map[string]sqltypes.Value { return s.vars }
+
+// SetStatementTimeout bounds each subsequent statement's execution; 0
+// removes the bound (SET VARIABLE statement_timeout_ms).
+func (s *Session) SetStatementTimeout(d time.Duration) { s.stmtTimeout = d }
+
+// StatementTimeout returns the session's statement deadline (0 when
+// unbounded).
+func (s *Session) StatementTimeout() time.Duration { return s.stmtTimeout }
 
 // Close rolls back any open transaction.
 func (s *Session) Close() {
@@ -276,9 +290,68 @@ func (s *Session) ExecuteStmt(stmt sqlparser.Statement, args []sqltypes.Value) (
 // runUnits executes rewritten SQL units: source resolution, circuit-breaker
 // gates, transaction hooks, execution and merge. Both the generic pipeline
 // and the plan cache's fast path end here.
+//
+// Fault tolerance happens at two levels. The statement deadline
+// (statement_timeout_ms) bounds the whole call. Failover covers
+// idempotent reads outside transactions: when an attempt dies of a
+// transient infrastructure failure — or its resolved source is gated by
+// an open breaker — the units are reset to their routed sources and
+// re-resolved, so read-write splitting (whose replica table the
+// governor's health events just updated) lands the retry on a healthy
+// replica.
 func (s *Session) runUnits(stmt sqlparser.Statement, sel *sqlparser.SelectStmt, rw *rewrite.Result, genKey int64) (*Result, error) {
 	isSelect := sel != nil
 	readOnly := isSelect && !sel.ForUpdate
+	ctx := context.Background()
+	if s.stmtTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.stmtTimeout)
+		defer cancel()
+	}
+	canFailover := readOnly && s.tx == nil
+	attempts := 1
+	var origDS []string
+	if canFailover {
+		attempts = 1 + len(rw.Units) // at most one failover per candidate replica
+		if attempts > 4 {
+			attempts = 4
+		}
+		origDS = make([]string, len(rw.Units))
+		for i := range rw.Units {
+			origDS[i] = rw.Units[i].DataSource
+		}
+	}
+	var res *Result
+	var err error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			s.k.failovers.Add(1)
+			for i := range rw.Units {
+				rw.Units[i].DataSource = origDS[i]
+			}
+		}
+		res, err = s.runUnitsOnce(ctx, stmt, sel, rw, genKey, readOnly)
+		if err == nil {
+			if attempt > 0 {
+				s.k.failoverSuccess.Add(1)
+			}
+			return res, nil
+		}
+		if !canFailover || ctx.Err() != nil ||
+			!(resource.IsTransient(err) || errors.Is(err, ErrSourceDown)) {
+			break
+		}
+	}
+	if errors.Is(err, context.DeadlineExceeded) && s.stmtTimeout > 0 {
+		s.k.statementTimeouts.Add(1)
+		return nil, fmt.Errorf("%w after %v: %w", ErrStatementTimeout, s.stmtTimeout, err)
+	}
+	return nil, err
+}
+
+// runUnitsOnce is one execution attempt of runUnits.
+func (s *Session) runUnitsOnce(ctx context.Context, stmt sqlparser.Statement, sel *sqlparser.SelectStmt, rw *rewrite.Result, genKey int64, readOnly bool) (*Result, error) {
+	isSelect := sel != nil
 	s.k.resolveSources(rw.Units, readOnly, s.tx != nil, stmt)
 	if err := s.k.checkGates(rw.Units); err != nil {
 		return nil, err
@@ -296,7 +369,7 @@ func (s *Session) runUnits(stmt sqlparser.Statement, sel *sqlparser.SelectStmt, 
 	var execErr error
 	if isSelect {
 		var qr *execQueryResult
-		qr, execErr = s.runQuery(rw)
+		qr, execErr = s.runQuery(ctx, rw, readOnly && s.tx == nil)
 		if execErr == nil {
 			s.tr.Mark(telemetry.StageExecute)
 			var rs resource.ResultSet
@@ -319,7 +392,7 @@ func (s *Session) runUnits(stmt sqlparser.Statement, sel *sqlparser.SelectStmt, 
 	} else {
 		var er resource.ExecResult
 		var held = heldOf(s.tx)
-		er, execErr = s.k.executor.ExecuteUpdateTraced(rw.Units, held, s.tr)
+		er, execErr = s.k.executor.ExecuteUpdateCtx(ctx, rw.Units, held, s.tr)
 		if execErr == nil {
 			s.tr.Mark(telemetry.StageExecute)
 			result = &Result{Affected: er.Affected, LastInsertID: er.LastInsertID}
@@ -349,8 +422,8 @@ type execQueryResult struct {
 	sets []resource.ResultSet
 }
 
-func (s *Session) runQuery(rw *rewrite.Result) (*execQueryResult, error) {
-	qr, err := s.k.executor.QueryTraced(rw.Units, heldOf(s.tx), s.tr)
+func (s *Session) runQuery(ctx context.Context, rw *rewrite.Result, retry bool) (*execQueryResult, error) {
+	qr, err := s.k.executor.QueryCtx(ctx, rw.Units, heldOf(s.tx), s.tr, retry)
 	if err != nil {
 		return nil, err
 	}
@@ -381,6 +454,12 @@ func (s *Session) executeSet(t *sqlparser.SetStmt) (*Result, error) {
 		} else {
 			s.hint = &v
 		}
+	case "statement_timeout_ms":
+		ms := t.Value.AsInt()
+		if ms < 0 {
+			return nil, fmt.Errorf("core: statement_timeout_ms must be >= 0, got %d", ms)
+		}
+		s.stmtTimeout = time.Duration(ms) * time.Millisecond
 	}
 	return &Result{}, nil
 }

@@ -250,15 +250,20 @@ func TestShowStatus(t *testing.T) {
 	gov.CheckOnce()
 	res := exec(t, s, "SHOW STATUS")
 	got := rows(t, res)
-	if len(got) != 4 {
+	if len(got) != 6 {
 		t.Fatalf("status rows: %v", got)
 	}
-	pools := 0
+	pools, breakers := 0, 0
 	for _, r := range got {
 		switch r[0].S {
 		case "datasource":
 			if r[2].S != "up" {
 				t.Fatalf("status: %v", r)
+			}
+		case "breaker":
+			breakers++
+			if r[2].S != "closed" {
+				t.Fatalf("breaker row: %v", r)
 			}
 		case "pool":
 			pools++
@@ -269,8 +274,8 @@ func TestShowStatus(t *testing.T) {
 			t.Fatalf("unexpected kind: %v", r)
 		}
 	}
-	if pools != 2 {
-		t.Fatalf("want 2 pool rows, got %d", pools)
+	if pools != 2 || breakers != 2 {
+		t.Fatalf("want 2 pool and 2 breaker rows, got %d/%d", pools, breakers)
 	}
 }
 

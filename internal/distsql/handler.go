@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"shardingsphere/internal/chaos"
 	"shardingsphere/internal/core"
 	"shardingsphere/internal/features/scaling"
 	"shardingsphere/internal/governor"
@@ -43,6 +44,18 @@ func Install(k *core.Kernel, gov *governor.Governor) *Handler {
 		gov.RegisterMetrics("exec", k.Executor().Metrics)
 		if tel := k.Telemetry(); tel != nil {
 			gov.RegisterMetrics("sql", tel.Metrics)
+		}
+		gov.RegisterMetrics("governor", gov.ResilienceMetrics)
+		gov.RegisterMetrics("resilience", k.ResilienceMetrics)
+		gov.RegisterMetrics("chaos", k.Chaos().Metrics)
+		// Close the fault-tolerance loop: execution outcomes feed the
+		// breakers, and breaker-driven health flips pull dead replicas out
+		// of (or restore them into) read-write splitting rotation.
+		gov.AttachExecOutcomes()
+		for _, f := range k.Features() {
+			if rh, ok := f.(interface{ OnSourceHealth(string, bool) }); ok {
+				gov.Subscribe(rh.OnSourceHealth)
+			}
 		}
 		h.cancelWatch = gov.WatchConfig(k.BumpPlanEpoch)
 	}
@@ -115,9 +128,78 @@ func (h *Handler) Execute(sess *core.Session, sql string) (*core.Result, error) 
 		return h.showSlowQueries(k)
 	case *Reshard:
 		return h.reshard(k, t)
+	case *InjectFault:
+		return h.injectFault(k, t)
+	case *RemoveFault:
+		if !k.Chaos().Remove(t.Source) {
+			return nil, fmt.Errorf("distsql: no active fault on %s", t.Source)
+		}
+		return &core.Result{}, nil
+	case *ShowFaults:
+		return h.showFaults(k)
 	default:
 		return nil, fmt.Errorf("distsql: unhandled statement %T", stmt)
 	}
+}
+
+// injectFault installs a chaos fault on one data source (RAL, chaos
+// engineering): INJECT FAULT ds (ERROR_RATE=0.5, LATENCY_MS=10,
+// HANG=true, BREAK_AFTER=100, SEED=42).
+func (h *Handler) injectFault(k *core.Kernel, t *InjectFault) (*core.Result, error) {
+	src, err := k.Executor().Source(t.Source)
+	if err != nil {
+		return nil, err
+	}
+	var f chaos.Fault
+	for key, val := range t.Properties {
+		val = strings.TrimSpace(val)
+		switch key {
+		case "error_rate":
+			rate, err := strconv.ParseFloat(val, 64)
+			if err != nil || rate < 0 || rate > 1 {
+				return nil, fmt.Errorf("distsql: ERROR_RATE wants a number in [0,1], got %q", val)
+			}
+			f.ErrorRate = rate
+		case "latency_ms":
+			ms, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || ms < 0 {
+				return nil, fmt.Errorf("distsql: LATENCY_MS wants a non-negative integer, got %q", val)
+			}
+			f.Latency = time.Duration(ms) * time.Millisecond
+		case "hang":
+			f.Hang = strings.EqualFold(val, "true") || val == "1"
+		case "break_after":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("distsql: BREAK_AFTER wants a non-negative integer, got %q", val)
+			}
+			f.BreakAfter = n
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("distsql: SEED wants an integer, got %q", val)
+			}
+			f.Seed = n
+		default:
+			return nil, fmt.Errorf("distsql: unknown fault property %q (want ERROR_RATE, LATENCY_MS, HANG, BREAK_AFTER or SEED)", key)
+		}
+	}
+	k.Chaos().Apply(src, f)
+	return &core.Result{}, nil
+}
+
+// showFaults lists the active faults with their live counters.
+func (h *Handler) showFaults(k *core.Kernel) (*core.Result, error) {
+	var rows []sqltypes.Row
+	for _, s := range k.Chaos().Statuses() {
+		rows = append(rows, sqltypes.Row{
+			sqltypes.NewString(s.Source),
+			sqltypes.NewString(s.Describe()),
+			sqltypes.NewInt(s.Calls),
+			sqltypes.NewInt(s.Injected),
+		})
+	}
+	return rowsResult([]string{"source", "fault", "calls", "injected"}, rows), nil
 }
 
 // createRule implements the AutoTable strategy (paper Section V-A): the
@@ -294,6 +376,17 @@ func (h *Handler) showStatus(k *core.Kernel) (*core.Result, error) {
 			sqltypes.NewString("datasource"), sqltypes.NewString(n), sqltypes.NewString(status),
 		})
 	}
+	// Circuit breakers ride along as kind=breaker rows.
+	if h.gov != nil {
+		states := h.gov.BreakerStates()
+		for _, n := range names {
+			if st, ok := states[n]; ok {
+				rows = append(rows, sqltypes.Row{
+					sqltypes.NewString("breaker"), sqltypes.NewString(n), sqltypes.NewString(st.String()),
+				})
+			}
+		}
+	}
 	// Connection-pool gauges ride along as kind=pool rows so SHOW STATUS
 	// stays a single three-column surface.
 	for _, n := range names {
@@ -305,8 +398,8 @@ func (h *Handler) showStatus(k *core.Kernel) (*core.Result, error) {
 		rows = append(rows, sqltypes.Row{
 			sqltypes.NewString("pool"), sqltypes.NewString(n),
 			sqltypes.NewString(fmt.Sprintf(
-				"in_use=%d idle=%d waiters=%d acquires=%d wait_total=%s timeouts=%d",
-				st.InUse, st.Idle, st.Waiters, st.Acquires, st.WaitTotal, st.Timeouts)),
+				"in_use=%d idle=%d waiters=%d acquires=%d wait_total=%s timeouts=%d discarded=%d",
+				st.InUse, st.Idle, st.Waiters, st.Acquires, st.WaitTotal, st.Timeouts, st.Discarded)),
 		})
 	}
 	return rowsResult([]string{"kind", "name", "status"}, rows), nil
@@ -365,6 +458,14 @@ func (h *Handler) setVariable(sess *core.Session, t *SetVariable) (*core.Result,
 			return nil, fmt.Errorf("distsql: circuit_break wants '<datasource>:on|off'")
 		}
 		h.gov.BreakSource(parts[0], strings.EqualFold(parts[1], "on"))
+		return &core.Result{}, nil
+	case "statement_timeout_ms":
+		ms, err := strconv.ParseInt(strings.TrimSpace(t.Value), 10, 64)
+		if err != nil || ms < 0 {
+			return nil, fmt.Errorf("distsql: statement_timeout_ms wants a non-negative integer, got %q", t.Value)
+		}
+		sess.SetStatementTimeout(time.Duration(ms) * time.Millisecond)
+		sess.Vars()[t.Name] = sqltypes.NewInt(ms)
 		return &core.Result{}, nil
 	case "slow_query_threshold_ms":
 		ms, err := strconv.ParseInt(strings.TrimSpace(t.Value), 10, 64)
@@ -509,6 +610,30 @@ func (h *Handler) showSQLMetrics(k *core.Kernel) (*core.Result, error) {
 			sqltypes.NewInt(usOf(s.P99)),
 			sqltypes.NewInt(int64(s.Errors)),
 			sqltypes.NewInt(usOf(s.AcquireP99)),
+		})
+	}
+	// Fault-tolerance counters ride along as scope=counter rows: the
+	// executor's retry/fail-fast tallies and the kernel's failover and
+	// statement-timeout tallies.
+	counters := map[string]int64{}
+	for _, name := range []string{"retries", "retry_success", "fail_fast_aborts"} {
+		counters[name] = k.Executor().Metrics()[name]
+	}
+	for name, v := range k.ResilienceMetrics() {
+		counters[name] = v
+	}
+	names := make([]string, 0, len(counters))
+	for name := range counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rows = append(rows, sqltypes.Row{
+			sqltypes.NewString("counter"),
+			sqltypes.NewString(name),
+			sqltypes.NewInt(counters[name]),
+			sqltypes.NewInt(0), sqltypes.NewInt(0), sqltypes.NewInt(0),
+			sqltypes.NewInt(0), sqltypes.NewInt(0),
 		})
 	}
 	return rowsResult(cols, rows), nil

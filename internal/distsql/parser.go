@@ -111,6 +111,23 @@ type Reshard struct {
 	Rule *CreateShardingRule
 }
 
+// InjectFault is INJECT FAULT <source> (k = v, ...): installs a chaos
+// fault on one data source. Recognized properties: ERROR_RATE (0..1),
+// LATENCY_MS, HANG (true|false), BREAK_AFTER (calls), SEED (RAL, chaos
+// engineering).
+type InjectFault struct {
+	Source     string
+	Properties map[string]string
+}
+
+// RemoveFault is REMOVE FAULT <source>.
+type RemoveFault struct {
+	Source string
+}
+
+// ShowFaults is SHOW FAULTS: the active fault table with live counters.
+type ShowFaults struct{}
+
 func (*CreateShardingRule) distSQLStmt() {}
 func (*DropShardingRule) distSQLStmt()   {}
 func (*CreateBinding) distSQLStmt()      {}
@@ -127,6 +144,9 @@ func (*TraceStmt) distSQLStmt()          {}
 func (*ShowSQLMetrics) distSQLStmt()     {}
 func (*ShowSlowQueries) distSQLStmt()    {}
 func (*Reshard) distSQLStmt()            {}
+func (*InjectFault) distSQLStmt()        {}
+func (*RemoveFault) distSQLStmt()        {}
+func (*ShowFaults) distSQLStmt()         {}
 
 // parser walks the token stream from the shared lexer.
 type parser struct {
@@ -329,6 +349,9 @@ func (p *parser) parse() (Statement, error) {
 				return nil, err
 			}
 			return &ShowVariable{Name: strings.ToLower(name)}, nil
+		case "FAULTS":
+			p.pos++
+			return &ShowFaults{}, nil
 		}
 		return nil, fmt.Errorf("distsql: unsupported SHOW target %q", p.cur().Val)
 	case "RESHARD":
@@ -348,6 +371,49 @@ func (p *parser) parse() (Statement, error) {
 			return nil, err
 		}
 		return &Reshard{Rule: rule}, nil
+	case "INJECT":
+		p.pos++
+		if err := p.expect("FAULT"); err != nil {
+			return nil, err
+		}
+		src, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		stmt := &InjectFault{Source: src, Properties: map[string]string{}}
+		if p.accept("(") {
+			for {
+				k, err := p.value()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expect("="); err != nil {
+					return nil, err
+				}
+				v, err := p.value()
+				if err != nil {
+					return nil, err
+				}
+				stmt.Properties[strings.ToLower(k)] = v
+				if !p.accept(",") {
+					break
+				}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+		}
+		return stmt, nil
+	case "REMOVE":
+		p.pos++
+		if err := p.expect("FAULT"); err != nil {
+			return nil, err
+		}
+		src, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		return &RemoveFault{Source: src}, nil
 	case "SET":
 		p.pos++
 		if err := p.expect("VARIABLE"); err != nil {

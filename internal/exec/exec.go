@@ -11,6 +11,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -124,6 +125,14 @@ type Executor struct {
 	queryFanout  atomic.Uint64
 	updateInline atomic.Uint64
 	updateFanout atomic.Uint64
+
+	// Resilience counters: transient-failure retries, retries that ended
+	// in success, and fan-outs aborted early by fail-fast cancellation.
+	retries       atomic.Uint64
+	retrySuccess  atomic.Uint64
+	failFastAborts atomic.Uint64
+
+	retryPolicy atomic.Pointer[RetryPolicy]
 }
 
 // New builds an executor over the named data sources.
@@ -131,11 +140,13 @@ func New(sources map[string]*resource.DataSource, maxCon int) *Executor {
 	if maxCon <= 0 {
 		maxCon = 1
 	}
-	return &Executor{
+	e := &Executor{
 		sources: sources,
 		maxCon:  maxCon,
 		dsLocks: map[string]*sync.Mutex{},
 	}
+	e.retryPolicy.Store(DefaultRetryPolicy())
+	return e
 }
 
 // SetListener installs an execution observer.
@@ -166,10 +177,13 @@ func (e *Executor) rebuildStats() {
 // dispatch counters.
 func (e *Executor) Metrics() map[string]int64 {
 	return map[string]int64{
-		"query_inline":  int64(e.queryInline.Load()),
-		"query_fanout":  int64(e.queryFanout.Load()),
-		"update_inline": int64(e.updateInline.Load()),
-		"update_fanout": int64(e.updateFanout.Load()),
+		"query_inline":     int64(e.queryInline.Load()),
+		"query_fanout":     int64(e.queryFanout.Load()),
+		"update_inline":    int64(e.updateInline.Load()),
+		"update_fanout":    int64(e.updateFanout.Load()),
+		"retries":          int64(e.retries.Load()),
+		"retry_success":    int64(e.retrySuccess.Load()),
+		"fail_fast_aborts": int64(e.failFastAborts.Load()),
 	}
 }
 
@@ -416,12 +430,21 @@ func (e *Executor) plan(units []rewrite.SQLUnit, held *HeldConns) []group {
 // connections (and drain to memory, since the connection must be reusable
 // immediately).
 func (e *Executor) Query(units []rewrite.SQLUnit, held *HeldConns) (*QueryResult, error) {
-	return e.QueryTraced(units, held, nil)
+	return e.QueryCtx(context.Background(), units, held, nil, false)
 }
 
 // QueryTraced is Query with a statement trace receiving one execute span
 // per unit (nil trace is valid and free).
 func (e *Executor) QueryTraced(units []rewrite.SQLUnit, held *HeldConns, tr *telemetry.Trace) (*QueryResult, error) {
+	return e.QueryCtx(context.Background(), units, held, tr, false)
+}
+
+// QueryCtx is the full query entry point: the context carries the
+// statement deadline and fail-fast cancellation; retry opts idempotent
+// reads outside transactions into transparent transient-failure retries
+// with jittered backoff. Multi-group fan-outs cancel sibling groups on
+// the first error instead of letting them run to completion.
+func (e *Executor) QueryCtx(ctx context.Context, units []rewrite.SQLUnit, held *HeldConns, tr *telemetry.Trace, retry bool) (*QueryResult, error) {
 	groups := e.plan(units, held)
 	res := &QueryResult{
 		Sets:  make([]resource.ResultSet, len(units)),
@@ -437,23 +460,29 @@ func (e *Executor) QueryTraced(units []rewrite.SQLUnit, held *HeldConns, tr *tel
 		// caller's stack instead of paying a goroutine spawn (and its
 		// stack growth) per statement. Point queries live here.
 		e.queryInline.Add(1)
-		err = e.runQueryGroup(units, groups[0], held, res, &mu, tr)
+		err = e.queryGroupRetry(ctx, units, groups[0], held, res, &mu, tr, retry)
 	} else {
 		e.queryFanout.Add(1)
+		// Fail-fast fan-out: the first group error cancels the shared
+		// context, interrupting sibling acquisitions and cancellable
+		// conns instead of waiting for every shard to finish or time out.
+		fanCtx, cancel := context.WithCancel(ctx)
 		var wg sync.WaitGroup
-		errCh := make(chan error, len(groups))
-		for _, g := range groups {
+		errs := make([]error, len(groups))
+		for i, g := range groups {
 			wg.Add(1)
-			go func(g group) {
+			go func(i int, g group) {
 				defer wg.Done()
-				if gerr := e.runQueryGroup(units, g, held, res, &mu, tr); gerr != nil {
-					errCh <- gerr
+				if gerr := e.queryGroupRetry(fanCtx, units, g, held, res, &mu, tr, retry); gerr != nil {
+					errs[i] = gerr
+					e.failFastAborts.Add(1)
+					cancel()
 				}
-			}(g)
+			}(i, g)
 		}
 		wg.Wait()
-		close(errCh)
-		err = <-errCh
+		cancel()
+		err = firstError(errs)
 	}
 	if err != nil {
 		for _, rs := range res.Sets {
@@ -466,7 +495,47 @@ func (e *Executor) QueryTraced(units []rewrite.SQLUnit, held *HeldConns, tr *tel
 	return res, nil
 }
 
-func (e *Executor) runQueryGroup(units []rewrite.SQLUnit, g group, held *HeldConns, res *QueryResult, mu *sync.Mutex, tr *telemetry.Trace) error {
+// queryGroupRetry runs one group, retrying transient failures when the
+// caller opted in (idempotent reads outside transactions only — held
+// connections carry transaction state and are never retried).
+func (e *Executor) queryGroupRetry(ctx context.Context, units []rewrite.SQLUnit, g group, held *HeldConns, res *QueryResult, mu *sync.Mutex, tr *telemetry.Trace, retry bool) error {
+	err := e.runQueryGroup(ctx, units, g, held, res, mu, tr)
+	if err == nil || !retry || held != nil {
+		return err
+	}
+	pol := e.retryPolicy.Load()
+	for attempt := 1; attempt < pol.MaxAttempts; attempt++ {
+		if !resource.IsTransient(err) || ctx.Err() != nil {
+			return err
+		}
+		// A failed attempt may have parked partial results (including open
+		// streaming cursors holding connections); drop them before rerunning.
+		closeGroupSets(res, g, mu)
+		if serr := sleepCtx(ctx, pol.backoff(attempt)); serr != nil {
+			return err
+		}
+		e.retries.Add(1)
+		if err = e.runQueryGroup(ctx, units, g, held, res, mu, tr); err == nil {
+			e.retrySuccess.Add(1)
+			return nil
+		}
+	}
+	return err
+}
+
+// closeGroupSets releases any result sets a failed group attempt parked.
+func closeGroupSets(res *QueryResult, g group, mu *sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+	for _, idx := range g.units {
+		if rs := res.Sets[idx]; rs != nil {
+			rs.Close()
+			res.Sets[idx] = nil
+		}
+	}
+}
+
+func (e *Executor) runQueryGroup(ctx context.Context, units []rewrite.SQLUnit, g group, held *HeldConns, res *QueryResult, mu *sync.Mutex, tr *telemetry.Trace) error {
 	if held != nil {
 		conn, err := held.Get(e, g.ds)
 		if err != nil {
@@ -475,7 +544,7 @@ func (e *Executor) runQueryGroup(units []rewrite.SQLUnit, g group, held *HeldCon
 		for _, idx := range g.units {
 			u := units[idx]
 			start := time.Now()
-			rs, err := conn.Query(u.SQL, u.Args...)
+			rs, err := conn.QueryCtx(ctx, u.SQL, u.Args...)
 			dur := e.observe(tr, g.ds, u.SQL, start, err)
 			if err != nil {
 				return wrapUnitErr(u, dur, err)
@@ -514,7 +583,7 @@ func (e *Executor) runQueryGroup(units []rewrite.SQLUnit, g group, held *HeldCon
 	}
 	conns := make([]*resource.PooledConn, 0, g.conns)
 	for i := 0; i < g.conns; i++ {
-		c, err := src.Acquire()
+		c, err := src.AcquireCtx(ctx)
 		if err != nil {
 			for _, cc := range conns {
 				cc.Release()
@@ -531,7 +600,7 @@ func (e *Executor) runQueryGroup(units []rewrite.SQLUnit, g group, held *HeldCon
 	// connection executes its share serially, connections run in parallel.
 	// A single connection runs inline — nothing to overlap.
 	if len(conns) == 1 {
-		return e.runConnShare(units, g, conns[0], g.units, res, mu, tr)
+		return e.runConnShare(ctx, units, g, conns[0], g.units, res, mu, tr)
 	}
 	var wg sync.WaitGroup
 	errCh := make(chan error, len(conns))
@@ -543,7 +612,7 @@ func (e *Executor) runQueryGroup(units []rewrite.SQLUnit, g group, held *HeldCon
 		wg.Add(1)
 		go func(conn *resource.PooledConn, share []int) {
 			defer wg.Done()
-			if err := e.runConnShare(units, g, conn, share, res, mu, tr); err != nil {
+			if err := e.runConnShare(ctx, units, g, conn, share, res, mu, tr); err != nil {
 				errCh <- err
 			}
 		}(conn, share)
@@ -554,13 +623,13 @@ func (e *Executor) runQueryGroup(units []rewrite.SQLUnit, g group, held *HeldCon
 }
 
 // runConnShare executes one connection's share of a group's units.
-func (e *Executor) runConnShare(units []rewrite.SQLUnit, g group, conn *resource.PooledConn, share []int, res *QueryResult, mu *sync.Mutex, tr *telemetry.Trace) error {
+func (e *Executor) runConnShare(ctx context.Context, units []rewrite.SQLUnit, g group, conn *resource.PooledConn, share []int, res *QueryResult, mu *sync.Mutex, tr *telemetry.Trace) error {
 	streaming := false
 	var firstErr error
 	for _, idx := range share {
 		u := units[idx]
 		start := time.Now()
-		rs, err := conn.Query(u.SQL, u.Args...)
+		rs, err := conn.QueryCtx(ctx, u.SQL, u.Args...)
 		dur := e.observe(tr, g.ds, u.SQL, start, err)
 		if err != nil {
 			firstErr = wrapUnitErr(u, dur, err)
@@ -631,45 +700,56 @@ func (s *connBoundSet) Close() error {
 // ExecuteUpdate runs DML/DDL units and returns the summed affected count
 // and the last insert id observed.
 func (e *Executor) ExecuteUpdate(units []rewrite.SQLUnit, held *HeldConns) (resource.ExecResult, error) {
-	return e.ExecuteUpdateTraced(units, held, nil)
+	return e.ExecuteUpdateCtx(context.Background(), units, held, nil)
 }
 
 // ExecuteUpdateTraced is ExecuteUpdate with a statement trace receiving
 // one execute span per unit (nil trace is valid and free).
 func (e *Executor) ExecuteUpdateTraced(units []rewrite.SQLUnit, held *HeldConns, tr *telemetry.Trace) (resource.ExecResult, error) {
+	return e.ExecuteUpdateCtx(context.Background(), units, held, tr)
+}
+
+// ExecuteUpdateCtx is ExecuteUpdate under a statement context: the
+// deadline applies and the first shard error cancels sibling groups. DML
+// is never retried — a failed write's true outcome is unknown, and
+// replaying it could double-apply.
+func (e *Executor) ExecuteUpdateCtx(ctx context.Context, units []rewrite.SQLUnit, held *HeldConns, tr *telemetry.Trace) (resource.ExecResult, error) {
 	groups := e.plan(units, held)
 	var total resource.ExecResult
 	var mu sync.Mutex
 	if len(groups) == 1 {
 		// Single data source: run inline (see Query).
 		e.updateInline.Add(1)
-		if err := e.runUpdateGroup(units, groups[0], held, &total, &mu, tr); err != nil {
+		if err := e.runUpdateGroup(ctx, units, groups[0], held, &total, &mu, tr); err != nil {
 			return resource.ExecResult{}, err
 		}
 		return total, nil
 	}
 	e.updateFanout.Add(1)
+	fanCtx, cancel := context.WithCancel(ctx)
 	var wg sync.WaitGroup
-	errCh := make(chan error, len(groups))
-	for _, g := range groups {
+	errs := make([]error, len(groups))
+	for i, g := range groups {
 		wg.Add(1)
-		go func(g group) {
+		go func(i int, g group) {
 			defer wg.Done()
-			if err := e.runUpdateGroup(units, g, held, &total, &mu, tr); err != nil {
-				errCh <- err
+			if err := e.runUpdateGroup(fanCtx, units, g, held, &total, &mu, tr); err != nil {
+				errs[i] = err
+				e.failFastAborts.Add(1)
+				cancel()
 			}
-		}(g)
+		}(i, g)
 	}
 	wg.Wait()
-	close(errCh)
-	if err := <-errCh; err != nil {
+	cancel()
+	if err := firstError(errs); err != nil {
 		return resource.ExecResult{}, err
 	}
 	return total, nil
 }
 
 // runUpdateGroup executes one data source's DML units serially.
-func (e *Executor) runUpdateGroup(units []rewrite.SQLUnit, g group, held *HeldConns, total *resource.ExecResult, mu *sync.Mutex, tr *telemetry.Trace) error {
+func (e *Executor) runUpdateGroup(ctx context.Context, units []rewrite.SQLUnit, g group, held *HeldConns, total *resource.ExecResult, mu *sync.Mutex, tr *telemetry.Trace) error {
 	var conn *resource.PooledConn
 	var err error
 	if held != nil {
@@ -686,7 +766,7 @@ func (e *Executor) runUpdateGroup(units []rewrite.SQLUnit, g group, held *HeldCo
 		if tr.Detailed() {
 			acqStart = time.Now()
 		}
-		conn, err = src.Acquire()
+		conn, err = src.AcquireCtx(ctx)
 		if err != nil {
 			return err
 		}
@@ -698,7 +778,7 @@ func (e *Executor) runUpdateGroup(units []rewrite.SQLUnit, g group, held *HeldCo
 	for _, idx := range g.units {
 		u := units[idx]
 		start := time.Now()
-		r, err := conn.Exec(u.SQL, u.Args...)
+		r, err := conn.ExecCtx(ctx, u.SQL, u.Args...)
 		dur := e.observe(tr, g.ds, u.SQL, start, err)
 		if err != nil {
 			return wrapUnitErr(u, dur, err)

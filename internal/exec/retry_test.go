@@ -1,0 +1,245 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"shardingsphere/internal/resource"
+	"shardingsphere/internal/rewrite"
+	"shardingsphere/internal/sqltypes"
+)
+
+// flapConn fails its first failN queries with a transient error, then
+// succeeds.
+type flapConn struct {
+	failN *atomic.Int64
+}
+
+func (c *flapConn) Query(sql string, args ...sqltypes.Value) (resource.ResultSet, error) {
+	if c.failN.Add(-1) >= 0 {
+		return nil, errors.New("read tcp: connection reset by peer")
+	}
+	return resource.NewSliceResultSet([]string{"a"}, []sqltypes.Row{{sqltypes.NewInt(1)}}), nil
+}
+
+func (c *flapConn) Exec(sql string, args ...sqltypes.Value) (resource.ExecResult, error) {
+	if c.failN.Add(-1) >= 0 {
+		return resource.ExecResult{}, errors.New("read tcp: connection reset by peer")
+	}
+	return resource.ExecResult{Affected: 1}, nil
+}
+
+func (c *flapConn) Close() error { return nil }
+
+// hangConn blocks queries until its context is cancelled.
+type hangConn struct{}
+
+func (c *hangConn) Query(sql string, args ...sqltypes.Value) (resource.ResultSet, error) {
+	return c.QueryContext(context.Background(), sql, args...)
+}
+
+func (c *hangConn) Exec(sql string, args ...sqltypes.Value) (resource.ExecResult, error) {
+	return resource.ExecResult{}, nil
+}
+
+func (c *hangConn) QueryContext(ctx context.Context, sql string, args ...sqltypes.Value) (resource.ResultSet, error) {
+	<-ctx.Done()
+	return nil, ctx.Err()
+}
+
+func (c *hangConn) ExecContext(ctx context.Context, sql string, args ...sqltypes.Value) (resource.ExecResult, error) {
+	<-ctx.Done()
+	return resource.ExecResult{}, ctx.Err()
+}
+
+func (c *hangConn) Close() error { return nil }
+
+func srcOf(name string, factory resource.ConnFactory) *resource.DataSource {
+	return resource.NewDataSource(name, factory, &resource.Options{PoolSize: 4})
+}
+
+func TestQueryRetriesTransientFailure(t *testing.T) {
+	var failN atomic.Int64
+	failN.Store(2) // first two calls fail, third succeeds
+	e := New(map[string]*resource.DataSource{
+		"ds0": srcOf("ds0", func() (resource.Conn, error) { return &flapConn{failN: &failN}, nil }),
+	}, 1)
+	units := []rewrite.SQLUnit{{DataSource: "ds0", SQL: "SELECT 1"}}
+	res, err := e.QueryCtx(context.Background(), units, nil, nil, true)
+	if err != nil {
+		t.Fatalf("retry should recover: %v", err)
+	}
+	for _, rs := range res.Sets {
+		rs.Close()
+	}
+	m := e.Metrics()
+	if m["retries"] != 2 || m["retry_success"] != 1 {
+		t.Fatalf("retry counters: %v", m)
+	}
+}
+
+func TestQueryRetryBudgetExhausted(t *testing.T) {
+	var failN atomic.Int64
+	failN.Store(1000)
+	e := New(map[string]*resource.DataSource{
+		"ds0": srcOf("ds0", func() (resource.Conn, error) { return &flapConn{failN: &failN}, nil }),
+	}, 1)
+	e.SetRetryPolicy(&RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond})
+	units := []rewrite.SQLUnit{{DataSource: "ds0", SQL: "SELECT 1"}}
+	_, err := e.QueryCtx(context.Background(), units, nil, nil, true)
+	if err == nil || !resource.IsTransient(err) {
+		t.Fatalf("want the transient error after budget exhaustion, got %v", err)
+	}
+	if m := e.Metrics(); m["retries"] != 2 {
+		t.Fatalf("want MaxAttempts-1 retries, got %v", m)
+	}
+}
+
+func TestQueryNoRetryWhenDisabled(t *testing.T) {
+	var failN atomic.Int64
+	failN.Store(1000)
+	e := New(map[string]*resource.DataSource{
+		"ds0": srcOf("ds0", func() (resource.Conn, error) { return &flapConn{failN: &failN}, nil }),
+	}, 1)
+	units := []rewrite.SQLUnit{{DataSource: "ds0", SQL: "SELECT 1"}}
+	// retry=false models a read inside a transaction.
+	if _, err := e.QueryCtx(context.Background(), units, nil, nil, false); err == nil {
+		t.Fatal("query should fail")
+	}
+	if m := e.Metrics(); m["retries"] != 0 {
+		t.Fatalf("non-idempotent path must not retry: %v", m)
+	}
+}
+
+func TestPermanentErrorNotRetried(t *testing.T) {
+	e := fixture(t, 2)
+	units := []rewrite.SQLUnit{{DataSource: "ds0", SQL: "SELECT * FROM missing"}}
+	if _, err := e.QueryCtx(context.Background(), units, nil, nil, true); err == nil {
+		t.Fatal("query of missing table should fail")
+	}
+	if m := e.Metrics(); m["retries"] != 0 {
+		t.Fatalf("permanent error must not be retried: %v", m)
+	}
+}
+
+func TestFailFastCancelsSiblings(t *testing.T) {
+	var failN atomic.Int64
+	failN.Store(1000)
+	e := New(map[string]*resource.DataSource{
+		"bad":  srcOf("bad", func() (resource.Conn, error) { return &flapConn{failN: &failN}, nil }),
+		"hang": srcOf("hang", func() (resource.Conn, error) { return &hangConn{}, nil }),
+	}, 1)
+	e.SetRetryPolicy(&RetryPolicy{MaxAttempts: 1})
+	units := []rewrite.SQLUnit{
+		{DataSource: "bad", SQL: "SELECT 1"},
+		{DataSource: "hang", SQL: "SELECT 1"},
+	}
+	start := time.Now()
+	_, err := e.QueryCtx(context.Background(), units, nil, nil, true)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("fan-out should fail")
+	}
+	// The real shard error must win over the sibling's cancellation.
+	if !strings.Contains(err.Error(), "connection reset") {
+		t.Fatalf("first error should be the bad shard's, got %v", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("fail-fast took %v; sibling hang was not cancelled", elapsed)
+	}
+	if m := e.Metrics(); m["fail_fast_aborts"] == 0 {
+		t.Fatalf("fail-fast counter not bumped: %v", m)
+	}
+}
+
+func TestDeadlineCancelsFanout(t *testing.T) {
+	e := New(map[string]*resource.DataSource{
+		"h0": srcOf("h0", func() (resource.Conn, error) { return &hangConn{}, nil }),
+		"h1": srcOf("h1", func() (resource.Conn, error) { return &hangConn{}, nil }),
+	}, 1)
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	units := []rewrite.SQLUnit{
+		{DataSource: "h0", SQL: "SELECT 1"},
+		{DataSource: "h1", SQL: "SELECT 1"},
+	}
+	start := time.Now()
+	_, err := e.QueryCtx(ctx, units, nil, nil, true)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if elapsed > 200*time.Millisecond {
+		t.Fatalf("deadline overshot: %v", elapsed)
+	}
+	// No goroutine leak: the hung workers unblocked on cancellation.
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: before=%d after=%d", before, runtime.NumGoroutine())
+}
+
+func TestExecuteUpdateCtxFailFast(t *testing.T) {
+	var failN atomic.Int64
+	failN.Store(1000)
+	e := New(map[string]*resource.DataSource{
+		"bad":  srcOf("bad", func() (resource.Conn, error) { return &flapConn{failN: &failN}, nil }),
+		"hang": srcOf("hang", func() (resource.Conn, error) { return &hangConn{}, nil }),
+	}, 1)
+	units := []rewrite.SQLUnit{
+		{DataSource: "bad", SQL: "UPDATE t SET v = 1"},
+		{DataSource: "hang", SQL: "UPDATE t SET v = 1"},
+	}
+	start := time.Now()
+	_, err := e.ExecuteUpdateCtx(context.Background(), units, nil, nil)
+	if err == nil {
+		t.Fatal("update fan-out should fail")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("update fail-fast took %v", elapsed)
+	}
+	// DML is never retried.
+	if m := e.Metrics(); m["retries"] != 0 {
+		t.Fatalf("DML retried: %v", m)
+	}
+}
+
+func TestBackoffJitterWithinWindow(t *testing.T) {
+	p := &RetryPolicy{MaxAttempts: 5, BaseBackoff: 2 * time.Millisecond, MaxBackoff: 16 * time.Millisecond}
+	for retry := 1; retry <= 8; retry++ {
+		for i := 0; i < 50; i++ {
+			d := p.backoff(retry)
+			if d <= 0 || d > p.MaxBackoff {
+				t.Fatalf("backoff(%d) = %v outside (0, %v]", retry, d, p.MaxBackoff)
+			}
+		}
+	}
+}
+
+func TestFirstErrorPrefersRealCause(t *testing.T) {
+	real := errors.New("shard exploded")
+	cases := []struct {
+		errs []error
+		want error
+	}{
+		{[]error{nil, nil}, nil},
+		{[]error{context.Canceled, real, context.DeadlineExceeded}, real},
+		{[]error{context.Canceled, context.DeadlineExceeded}, context.DeadlineExceeded},
+		{[]error{context.Canceled, nil}, context.Canceled},
+	}
+	for _, c := range cases {
+		if got := firstError(c.errs); !errors.Is(got, c.want) && got != c.want {
+			t.Fatalf("firstError(%v) = %v, want %v", c.errs, got, c.want)
+		}
+	}
+}

@@ -100,6 +100,43 @@ func (f *Feature) EnableReplica(group, replica string) {
 	}
 }
 
+// OnSourceHealth applies a governor health event: a source going down is
+// pulled from every group's replica rotation, a recovery restores it.
+// Wired to Governor.Subscribe so breaker flips re-route reads without
+// manual intervention.
+func (f *Feature) OnSourceHealth(ds string, up bool) {
+	for _, g := range f.groups {
+		for _, r := range g.Replicas {
+			if r != ds {
+				continue
+			}
+			if up {
+				f.EnableReplica(g.Name, ds)
+			} else {
+				f.DisableReplica(g.Name, ds)
+			}
+		}
+	}
+}
+
+// Groups lists the group names with their primaries and live replica
+// counts (status surfaces).
+func (f *Feature) Groups() map[string][]string {
+	out := map[string][]string{}
+	for name, g := range f.groups {
+		g.mu.RLock()
+		live := make([]string, 0, len(g.Replicas))
+		for _, r := range g.Replicas {
+			if !g.disabled[r] {
+				live = append(live, r)
+			}
+		}
+		g.mu.RUnlock()
+		out[name] = append([]string{g.Primary}, live...)
+	}
+	return out
+}
+
 // ResolveSource implements the kernel hook: reads outside transactions go
 // to a healthy replica, everything else to the primary.
 func (f *Feature) ResolveSource(ds string, readOnly, inTx bool, stmt sqlparser.Statement) string {

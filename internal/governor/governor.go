@@ -7,15 +7,19 @@
 package governor
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"shardingsphere/internal/exec"
 	"shardingsphere/internal/registry"
+	"shardingsphere/internal/resource"
 	"shardingsphere/internal/sharding"
 )
 
@@ -45,10 +49,16 @@ type Governor struct {
 	stopCh      chan struct{}
 	stopOnce    sync.Once
 
+	probes        atomic.Int64
+	probeFailures atomic.Int64
+
 	// BreakThreshold consecutive probe failures open a source's breaker;
 	// CoolDown is how long it stays open before a half-open retry.
 	BreakThreshold int
 	CoolDown       time.Duration
+	// ProbeTimeout bounds one health probe, so a hung source cannot wedge
+	// the health-check loop.
+	ProbeTimeout time.Duration
 }
 
 // New builds a governor over the registry and executor.
@@ -62,6 +72,7 @@ func New(reg *registry.Registry, e *exec.Executor) *Governor {
 		stopCh:         make(chan struct{}),
 		BreakThreshold: 3,
 		CoolDown:       5 * time.Second,
+		ProbeTimeout:   time.Second,
 	}
 }
 
@@ -283,18 +294,99 @@ func (g *Governor) BreakSource(ds string, open bool) {
 	g.publishStatus(ds, !open)
 }
 
-// probe checks one source with a trivial query.
+// BreakerState reports one source's breaker position.
+func (g *Governor) BreakerState(ds string) BreakerState {
+	return g.breaker(ds).State()
+}
+
+// BreakerStates snapshots every source's breaker position, keyed by
+// source name (SHOW STATUS rows).
+func (g *Governor) BreakerStates() map[string]BreakerState {
+	out := map[string]BreakerState{}
+	for _, ds := range g.exec.Sources() {
+		out[ds] = g.breaker(ds).State()
+	}
+	return out
+}
+
+// AttachExecOutcomes feeds real execution outcomes into the breakers, so
+// a source dying mid-traffic opens its circuit without waiting for the
+// background prober. Classification: transient (infrastructure) failures
+// count against the breaker; SQL errors prove the source is reachable
+// and count as successes; context cancellation and deadline expiry say
+// nothing about the source and are ignored. A breaker state flip
+// publishes the health change synchronously, so subscribers (read-write
+// splitting) re-route before the failing statement's retry loop runs.
+func (g *Governor) AttachExecOutcomes() {
+	g.exec.SetListener(func(ds, sql string, dur time.Duration, err error) {
+		b := g.breaker(ds)
+		before := b.State()
+		switch {
+		case err == nil:
+			b.Observe(nil)
+		case resource.IsTransient(err):
+			b.Observe(err)
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			return
+		default:
+			b.Observe(nil)
+		}
+		after := b.State()
+		if before != after {
+			g.publishStatus(ds, after == BreakerClosed)
+		}
+	})
+}
+
+// ResilienceMetrics is a MetricsSource exposing the governor's fault-
+// tolerance counters: probes run/failed and per-source breaker
+// transitions plus current state (0 closed, 1 open, 2 half-open).
+func (g *Governor) ResilienceMetrics() map[string]int64 {
+	out := map[string]int64{
+		"probes":         g.probes.Load(),
+		"probe_failures": g.probeFailures.Load(),
+	}
+	g.mu.Lock()
+	names := make([]string, 0, len(g.breakers))
+	bs := make([]*Breaker, 0, len(g.breakers))
+	for ds, b := range g.breakers {
+		names = append(names, ds)
+		bs = append(bs, b)
+	}
+	g.mu.Unlock()
+	for i, ds := range names {
+		opens, closes := bs[i].transitions()
+		out["breaker."+ds+".opens"] = opens
+		out["breaker."+ds+".closes"] = closes
+		out["breaker."+ds+".state"] = int64(bs[i].State())
+	}
+	return out
+}
+
+// probe checks one source with a trivial query, bounded by ProbeTimeout
+// so a blackholed source cannot wedge the health-check loop.
 func (g *Governor) probe(ds string) error {
+	g.probes.Add(1)
+	err := g.probeOnce(ds)
+	if err != nil {
+		g.probeFailures.Add(1)
+	}
+	return err
+}
+
+func (g *Governor) probeOnce(ds string) error {
 	src, err := g.exec.Source(ds)
 	if err != nil {
 		return err
 	}
-	conn, err := src.Acquire()
+	ctx, cancel := context.WithTimeout(context.Background(), g.ProbeTimeout)
+	defer cancel()
+	conn, err := src.AcquireCtx(ctx)
 	if err != nil {
 		return err
 	}
 	defer conn.Release()
-	rs, err := conn.Query("SELECT 1")
+	rs, err := conn.QueryCtx(ctx, "SELECT 1")
 	if err != nil {
 		return err
 	}
@@ -330,16 +422,18 @@ func (g *Governor) publishStatus(ds string, up bool) {
 }
 
 // CheckOnce probes every source once, updating breakers and published
-// status; it returns the sources currently down.
+// status; it returns the sources currently down. Reading State (not
+// Allow) avoids consuming a half-open breaker's single probe slot —
+// the health probe's own outcome already went through Observe.
 func (g *Governor) CheckOnce() []string {
 	var down []string
 	for _, ds := range g.exec.Sources() {
 		b := g.breaker(ds)
 		err := g.probe(ds)
 		b.Observe(err)
-		up := b.Allow()
-		g.publishStatus(ds, up && err == nil)
-		if err != nil || !up {
+		up := b.State() == BreakerClosed && err == nil
+		g.publishStatus(ds, up)
+		if !up {
 			down = append(down, ds)
 		}
 	}
@@ -378,30 +472,81 @@ func (g *Governor) SourceStatus(ds string) string {
 
 // --- circuit breaker ---
 
-// Breaker is a per-source circuit breaker: threshold consecutive failures
-// open it; after coolDown it half-opens and one success closes it again.
+// BreakerState is a circuit breaker's position in the three-state
+// machine.
+type BreakerState int
+
+const (
+	// BreakerClosed passes all traffic (healthy source).
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects all traffic until the cool-down elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits exactly one probe; its outcome decides
+	// between closing and re-opening.
+	BreakerHalfOpen
+)
+
+// String renders the state for status surfaces.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Breaker is a per-source circuit breaker: threshold consecutive
+// transient failures open it; after coolDown it half-opens and admits
+// exactly one probe — success closes it, failure re-opens it
+// immediately. Admitting only one probe avoids the thundering herd where
+// every queued statement stampedes a source the instant the cool-down
+// elapses.
 type Breaker struct {
 	mu        sync.Mutex
 	threshold int
 	coolDown  time.Duration
 	failures  int
 	openedAt  time.Time
-	open      bool
+	state     BreakerState
+	probing   bool      // a half-open probe is in flight
+	probeAt   time.Time // when it was admitted (stuck-probe escape)
 	forced    bool
+	opens     int64
+	closes    int64
 }
 
-// Allow reports whether traffic may pass.
+// Allow reports whether traffic may pass, claiming the single half-open
+// probe slot when the cool-down has elapsed. The caller that wins the
+// slot must report its outcome via Observe or the slot stays claimed for
+// one cool-down period (the stuck-probe escape).
 func (b *Breaker) Allow() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.forced {
 		return false
 	}
-	if !b.open {
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if time.Since(b.openedAt) < b.coolDown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		b.probeAt = time.Now()
+		return true
+	default: // half-open
+		if b.probing && time.Since(b.probeAt) < b.coolDown {
+			return false
+		}
+		b.probing = true
+		b.probeAt = time.Now()
 		return true
 	}
-	// Half-open after the cool-down: let one probe through.
-	return time.Since(b.openedAt) >= b.coolDown
 }
 
 // Observe records a probe or execution outcome.
@@ -410,13 +555,27 @@ func (b *Breaker) Observe(err error) {
 	defer b.mu.Unlock()
 	if err == nil {
 		b.failures = 0
-		b.open = false
+		b.probing = false
+		if b.state != BreakerClosed {
+			b.closes++
+		}
+		b.state = BreakerClosed
+		return
+	}
+	if b.state == BreakerHalfOpen {
+		// The probe failed: straight back to open, full cool-down.
+		b.state = BreakerOpen
+		b.openedAt = time.Now()
+		b.probing = false
+		b.failures = b.threshold
+		b.opens++
 		return
 	}
 	b.failures++
-	if b.failures >= b.threshold && !b.open {
-		b.open = true
+	if b.failures >= b.threshold && b.state == BreakerClosed {
+		b.state = BreakerOpen
 		b.openedAt = time.Now()
+		b.opens++
 	}
 }
 
@@ -427,8 +586,26 @@ func (b *Breaker) Force(open bool) {
 	b.forced = open
 	if !open {
 		b.failures = 0
-		b.open = false
+		b.state = BreakerClosed
+		b.probing = false
 	}
+}
+
+// State returns the breaker's position; a forced breaker reads as open.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.forced {
+		return BreakerOpen
+	}
+	return b.state
+}
+
+// transitions returns the lifetime open/close counts.
+func (b *Breaker) transitions() (opens, closes int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens, b.closes
 }
 
 // --- throttling ---

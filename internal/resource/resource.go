@@ -13,9 +13,11 @@
 package resource
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -30,6 +32,46 @@ var (
 	ErrPoolExhausted = errors.New("resource: connection pool exhausted")
 	ErrConnClosed    = errors.New("resource: connection closed")
 )
+
+// TransientError marks failures worth retrying on a fresh connection (or
+// another replica): infrastructure trouble rather than a statement the
+// database rejected. Injected chaos faults implement it.
+type TransientError interface {
+	Transient() bool
+}
+
+// IsTransient classifies an execution error as transient (retry may
+// succeed: pool pressure, dead connections, wire resets, injected faults)
+// or permanent (the SQL itself failed; retrying is pointless and unsafe).
+// Context cancellation and deadline expiry are NOT transient — the caller
+// gave up, retrying would outlive its budget.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var te TransientError
+	if errors.As(err, &te) {
+		return te.Transient()
+	}
+	if errors.Is(err, ErrPoolExhausted) || errors.Is(err, ErrConnClosed) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	// Wire-level failures from remote connections surface as formatted
+	// errors; match the canonical transport markers.
+	msg := err.Error()
+	for _, marker := range []string{
+		"connection reset", "broken pipe", "connection refused",
+		"use of closed network connection", "defunct",
+	} {
+		if strings.Contains(msg, marker) {
+			return true
+		}
+	}
+	return false
+}
 
 // ExecResult is the outcome of DML/DDL on a data source.
 type ExecResult struct {
@@ -56,6 +98,15 @@ type Conn interface {
 	Exec(sql string, args ...sqltypes.Value) (ExecResult, error)
 	// Close releases the underlying session.
 	Close() error
+}
+
+// ContextConn is implemented by connections whose operations can be
+// interrupted by a context (the chaos layer's hang faults unblock through
+// it). Connections without it are pre-checked against the context and
+// then run uninterrupted — acceptable for fast in-process engines.
+type ContextConn interface {
+	QueryContext(ctx context.Context, sql string, args ...sqltypes.Value) (ResultSet, error)
+	ExecContext(ctx context.Context, sql string, args ...sqltypes.Value) (ExecResult, error)
 }
 
 // SliceResultSet adapts a materialized row set to the ResultSet interface.
@@ -200,6 +251,11 @@ func (o *Options) withDefaults() Options {
 // ConnFactory creates raw connections for a DataSource.
 type ConnFactory func() (Conn, error)
 
+// ConnInterceptor wraps a connection at checkout time; the chaos layer
+// injects faults through it. The raw connection (not the wrapper) is what
+// returns to the pool on release.
+type ConnInterceptor func(Conn) Conn
+
 // AcquireObserver is notified of every acquisition that missed the idle
 // fast path: the time spent blocked and whether it ended in timeout.
 type AcquireObserver func(wait time.Duration, timedOut bool)
@@ -216,12 +272,15 @@ type DataSource struct {
 
 	// Pool gauges. The idle fast path pays exactly two atomic adds; wait
 	// accounting happens only on the blocking path.
-	inUse    atomic.Int64
-	waiters  atomic.Int64
-	acquires atomic.Uint64
-	waitNs   atomic.Int64
-	timeouts atomic.Uint64
-	observer atomic.Pointer[AcquireObserver]
+	inUse     atomic.Int64
+	waiters   atomic.Int64
+	acquires  atomic.Uint64
+	waitNs    atomic.Int64
+	timeouts  atomic.Uint64
+	discarded atomic.Uint64 // defunct idle conns replaced on acquire
+	observer  atomic.Pointer[AcquireObserver]
+
+	interceptor atomic.Pointer[ConnInterceptor]
 }
 
 // PoolStats is a point-in-time snapshot of one pool's gauges.
@@ -233,6 +292,7 @@ type PoolStats struct {
 	Acquires  uint64
 	WaitTotal time.Duration
 	Timeouts  uint64
+	Discarded uint64
 }
 
 // NewDataSource builds a data source from a connection factory.
@@ -290,7 +350,18 @@ func (ds *DataSource) Stats() PoolStats {
 		Acquires:  ds.acquires.Load(),
 		WaitTotal: time.Duration(ds.waitNs.Load()),
 		Timeouts:  ds.timeouts.Load(),
+		Discarded: ds.discarded.Load(),
 	}
+}
+
+// SetConnInterceptor installs (or, with nil, removes) the checkout-time
+// connection wrapper. Safe to call concurrently with Acquire.
+func (ds *DataSource) SetConnInterceptor(fn ConnInterceptor) {
+	if fn == nil {
+		ds.interceptor.Store(nil)
+		return
+	}
+	ds.interceptor.Store(&fn)
 }
 
 func (ds *DataSource) observeWait(wait time.Duration, timedOut bool) {
@@ -303,52 +374,100 @@ func (ds *DataSource) observeWait(wait time.Duration, timedOut bool) {
 	}
 }
 
+// validIdle reports whether an idle connection is still usable. A remote
+// datanode restart leaves defunct connections sitting idle in the pool;
+// handing one out would surface a broken conn to the caller, so defunct
+// idles are closed and their capacity slot returned for a replacement.
+func (ds *DataSource) validIdle(c Conn) bool {
+	if d, ok := c.(Defuncter); ok && d.Defunct() {
+		c.Close()
+		ds.slots <- struct{}{}
+		ds.discarded.Add(1)
+		return false
+	}
+	return true
+}
+
+// checkout wraps a validated connection for the caller.
+func (ds *DataSource) checkout(c Conn) *PooledConn {
+	ds.acquires.Add(1)
+	ds.inUse.Add(1)
+	pc := &PooledConn{Conn: c, raw: c, ds: ds}
+	if f := ds.interceptor.Load(); f != nil {
+		pc.Conn = (*f)(c)
+	}
+	return pc
+}
+
 // Acquire returns a pooled connection, creating one if the pool has spare
 // capacity, or waiting until one is released.
 func (ds *DataSource) Acquire() (*PooledConn, error) {
-	// Fast path: an idle connection.
-	select {
-	case c := <-ds.idle:
-		ds.acquires.Add(1)
-		ds.inUse.Add(1)
-		return &PooledConn{Conn: c, ds: ds}, nil
-	default:
+	return ds.AcquireCtx(context.Background())
+}
+
+// AcquireCtx is Acquire bounded by a context: cancellation or deadline
+// expiry interrupts the wait (fail-fast fan-out cancels sibling
+// acquisitions through it). The pool's own AcquireTimeout still applies.
+func (ds *DataSource) AcquireCtx(ctx context.Context) (*PooledConn, error) {
+	// Fast path: an idle connection (validated; a defunct idle conn is
+	// replaced rather than surfaced).
+	for {
+		select {
+		case c := <-ds.idle:
+			if !ds.validIdle(c) {
+				continue
+			}
+			return ds.checkout(c), nil
+		default:
+		}
+		break
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("resource: acquire %s: %w", ds.name, err)
 	}
 	waitStart := time.Now()
 	ds.waiters.Add(1)
 	defer ds.waiters.Add(-1)
 	timer := time.NewTimer(ds.opts.AcquireTimeout)
 	defer timer.Stop()
-	select {
-	case c := <-ds.idle:
-		ds.observeWait(time.Since(waitStart), false)
-		ds.acquires.Add(1)
-		ds.inUse.Add(1)
-		return &PooledConn{Conn: c, ds: ds}, nil
-	case <-ds.slots:
-		ds.observeWait(time.Since(waitStart), false)
-		c, err := ds.factory()
-		if err != nil {
-			ds.slots <- struct{}{}
-			return nil, err
+	for {
+		select {
+		case c := <-ds.idle:
+			if !ds.validIdle(c) {
+				continue
+			}
+			ds.observeWait(time.Since(waitStart), false)
+			return ds.checkout(c), nil
+		case <-ds.slots:
+			ds.observeWait(time.Since(waitStart), false)
+			c, err := ds.factory()
+			if err != nil {
+				ds.slots <- struct{}{}
+				return nil, err
+			}
+			return ds.checkout(c), nil
+		case <-timer.C:
+			ds.observeWait(time.Since(waitStart), true)
+			return nil, fmt.Errorf("%w: %s (pool %d)", ErrPoolExhausted, ds.name, ds.opts.PoolSize)
+		case <-ctx.Done():
+			ds.observeWait(time.Since(waitStart), false)
+			return nil, fmt.Errorf("resource: acquire %s: %w", ds.name, ctx.Err())
 		}
-		ds.acquires.Add(1)
-		ds.inUse.Add(1)
-		return &PooledConn{Conn: c, ds: ds}, nil
-	case <-timer.C:
-		ds.observeWait(time.Since(waitStart), true)
-		return nil, fmt.Errorf("%w: %s (pool %d)", ErrPoolExhausted, ds.name, ds.opts.PoolSize)
 	}
 }
 
 // TryAcquire acquires a connection without blocking.
 func (ds *DataSource) TryAcquire() (*PooledConn, bool) {
-	select {
-	case c := <-ds.idle:
-		ds.acquires.Add(1)
-		ds.inUse.Add(1)
-		return &PooledConn{Conn: c, ds: ds}, true
-	default:
+	for {
+		select {
+		case c := <-ds.idle:
+			if !ds.validIdle(c) {
+				continue
+			}
+			return ds.checkout(c), true
+		default:
+		}
+		break
 	}
 	select {
 	case <-ds.slots:
@@ -357,9 +476,7 @@ func (ds *DataSource) TryAcquire() (*PooledConn, bool) {
 			ds.slots <- struct{}{}
 			return nil, false
 		}
-		ds.acquires.Add(1)
-		ds.inUse.Add(1)
-		return &PooledConn{Conn: c, ds: ds}, true
+		return ds.checkout(c), true
 	default:
 		return nil, false
 	}
@@ -378,9 +495,11 @@ func (ds *DataSource) Close() {
 	}
 }
 
-// PooledConn is a connection checked out of a DataSource pool.
+// PooledConn is a connection checked out of a DataSource pool. Conn may be
+// an interceptor wrapper (chaos); raw is what returns to the pool.
 type PooledConn struct {
 	Conn
+	raw      Conn
 	ds       *DataSource
 	released bool
 	// Broken marks the connection unusable (protocol error); it is closed
@@ -394,6 +513,29 @@ type Defuncter interface {
 	Defunct() bool
 }
 
+// QueryCtx runs Query under a context: interruptible connections are
+// interrupted, others are pre-checked so cancelled work never starts.
+func (pc *PooledConn) QueryCtx(ctx context.Context, sql string, args ...sqltypes.Value) (ResultSet, error) {
+	if cc, ok := pc.Conn.(ContextConn); ok {
+		return cc.QueryContext(ctx, sql, args...)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return pc.Conn.Query(sql, args...)
+}
+
+// ExecCtx runs Exec under a context (see QueryCtx).
+func (pc *PooledConn) ExecCtx(ctx context.Context, sql string, args ...sqltypes.Value) (ExecResult, error) {
+	if cc, ok := pc.Conn.(ContextConn); ok {
+		return cc.ExecContext(ctx, sql, args...)
+	}
+	if err := ctx.Err(); err != nil {
+		return ExecResult{}, err
+	}
+	return pc.Conn.Exec(sql, args...)
+}
+
 // Release returns the connection to the pool.
 func (pc *PooledConn) Release() {
 	if pc.released {
@@ -401,19 +543,23 @@ func (pc *PooledConn) Release() {
 	}
 	pc.released = true
 	pc.ds.inUse.Add(-1)
+	// The wrapper sees transport failures first (chaos break faults report
+	// through it); fall back to the raw conn's own verdict.
 	if d, ok := pc.Conn.(Defuncter); ok && d.Defunct() {
+		pc.Broken = true
+	} else if d, ok := pc.raw.(Defuncter); ok && d.Defunct() {
 		pc.Broken = true
 	}
 	if pc.Broken {
-		pc.Conn.Close()
+		pc.raw.Close()
 		pc.ds.slots <- struct{}{}
 		return
 	}
 	select {
-	case pc.ds.idle <- pc.Conn:
+	case pc.ds.idle <- pc.raw:
 	default:
 		// Pool full (shouldn't happen given slot accounting); close.
-		pc.Conn.Close()
+		pc.raw.Close()
 		pc.ds.slots <- struct{}{}
 	}
 }
