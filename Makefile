@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: build test race bench bench-plancache vet check chaos
+.PHONY: build test race bench bench-plancache bench-remote vet check chaos fuzz-smoke race-pipeline
 
-# Pre-PR gate: static checks plus the full suite under the race
-# detector. Run this before every PR.
-check: vet race
+# Pre-PR gate: static checks, the full suite under the race detector,
+# the wire-protocol fuzz smoke and the pipelined-mux concurrency tests.
+# Run this before every PR.
+check: vet race race-pipeline fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -30,3 +31,20 @@ bench:
 
 bench-plancache:
 	$(GO) test -run xxx -bench 'PointSelect|RepeatedShape' -benchtime 2s ./internal/bench/
+
+# Wire protocol v2 vs v1 throughput + socket-budget comparison.
+bench-remote:
+	$(GO) test -run TestRemoteV2VsV1 -v ./internal/bench/
+
+# Short fuzz pass over the frame reader and row decoder. `go test`
+# accepts one -fuzz target per invocation, hence two runs.
+fuzz-smoke:
+	$(GO) test -fuzz 'FuzzReadFrame' -fuzztime 10s -run '^$$' ./internal/protocol/
+	$(GO) test -fuzz 'FuzzDecodeRow' -fuzztime 10s -run '^$$' ./internal/protocol/
+
+# Multiplexed wire-protocol concurrency suite under the race detector:
+# pipelined streams sharing one socket, hung-stream isolation, batch
+# semantics and the mux socket budget.
+race-pipeline:
+	$(GO) test -race -run 'TestPipelinedConcurrency|TestExecBatchPipelined|TestHungStreamDoesNotStallSiblings|TestMuxSocketBudget' \
+		./internal/proxy/

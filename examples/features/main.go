@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -130,7 +131,7 @@ func execOn(db *shardingdb.DB, ds, sql string) error {
 		return err
 	}
 	defer conn.Release()
-	_, err = conn.Exec(sql)
+	_, err = conn.Exec(context.Background(), sql)
 	return err
 }
 
@@ -144,7 +145,7 @@ func queryOn(db *shardingdb.DB, ds, sql string) (string, error) {
 		return "", err
 	}
 	defer conn.Release()
-	rs, err := conn.Query(sql)
+	rs, err := conn.Query(context.Background(), sql)
 	if err != nil {
 		return "", err
 	}

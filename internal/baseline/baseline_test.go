@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -125,13 +126,13 @@ func TestNaiveInsertsStillPlaceRows(t *testing.T) {
 	for i := 0; i < 2; i++ {
 		src, _ := naive.Executor().Source(fmt.Sprintf("ds%d", i))
 		conn, _ := src.Acquire()
-		rs, err := conn.Query("SHOW TABLES")
+		rs, err := conn.Query(context.Background(), "SHOW TABLES")
 		if err != nil {
 			t.Fatal(err)
 		}
 		tables, _ := resource.ReadAll(rs)
 		for _, tr := range tables {
-			crs, _ := conn.Query("SELECT COUNT(*) FROM " + tr[0].S)
+			crs, _ := conn.Query(context.Background(), "SELECT COUNT(*) FROM " + tr[0].S)
 			cnt, _ := resource.ReadAll(crs)
 			if cnt[0][0].I != 5 {
 				t.Fatalf("%s.%s holds %d rows, want 5", fmt.Sprintf("ds%d", i), tr[0].S, cnt[0][0].I)

@@ -5,6 +5,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -74,13 +75,13 @@ func DialRemote(addr string) (*RemoteClient, error) {
 
 // Exec implements Client.
 func (c *RemoteClient) Exec(sql string, args ...sqltypes.Value) error {
-	_, err := c.Conn.Exec(sql, args...)
+	_, err := c.Conn.Exec(context.Background(), sql, args...)
 	return err
 }
 
 // Query implements Client.
 func (c *RemoteClient) Query(sql string, args ...sqltypes.Value) ([]sqltypes.Row, error) {
-	rs, err := c.Conn.Query(sql, args...)
+	rs, err := c.Conn.Query(context.Background(), sql, args...)
 	if err != nil {
 		return nil, err
 	}

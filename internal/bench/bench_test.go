@@ -1,6 +1,7 @@
 package bench_test
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -124,7 +125,7 @@ func TestSysbenchDataDistributes(t *testing.T) {
 		for _, table := range []string{} {
 			_ = table
 		}
-		rs, err := conn.Query("SHOW TABLES")
+		rs, err := conn.Query(context.Background(), "SHOW TABLES")
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -138,7 +139,7 @@ func TestSysbenchDataDistributes(t *testing.T) {
 		}
 		rs.Close()
 		for _, table := range tables {
-			crs, err := conn.Query("SELECT COUNT(*) FROM " + table)
+			crs, err := conn.Query(context.Background(), "SELECT COUNT(*) FROM " + table)
 			if err != nil {
 				t.Fatal(err)
 			}

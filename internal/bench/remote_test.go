@@ -1,0 +1,138 @@
+package bench_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"shardingsphere/internal/bench"
+	"shardingsphere/internal/proxy"
+	"shardingsphere/internal/resource"
+	"shardingsphere/internal/sqlexec"
+	"shardingsphere/internal/sqltypes"
+	"shardingsphere/internal/storage"
+	"shardingsphere/pkg/client"
+)
+
+// startBenchNode launches a data node seeded with one sbtest-style
+// table, mirroring the cmd/datanode deployment.
+func startBenchNode(t *testing.T, rows int) (string, *proxy.Server) {
+	t.Helper()
+	proc := sqlexec.NewProcessor(storage.NewEngine("bench-node"))
+	sess := proc.NewSession()
+	if _, err := sess.Execute("CREATE TABLE sbtest (id INT PRIMARY KEY, k INT, c VARCHAR(64))"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < rows; i += 100 {
+		sql := "INSERT INTO sbtest (id, k, c) VALUES "
+		for j := 0; j < 100 && i+j < rows; j++ {
+			if j > 0 {
+				sql += ", "
+			}
+			sql += fmt.Sprintf("(%d, %d, 'row-%d')", i+j, (i+j)%97, i+j)
+		}
+		if _, err := sess.Execute(sql); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sess.Close()
+	srv := proxy.NewServer(&proxy.NodeBackend{Processor: proc})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	return addr, srv
+}
+
+func pointSelect(rows int) bench.TxFunc {
+	return func(c bench.Client, rng *rand.Rand) error {
+		_, err := c.Query("SELECT c FROM sbtest WHERE id = ?", sqltypes.NewInt(int64(rng.Intn(rows))))
+		return err
+	}
+}
+
+// TestRemoteV2VsV1 compares point-select throughput through a data node
+// over protocol v1 (one socket + one RTT per statement per client) and
+// v2 (multiplexed streams sharing DefaultMuxSockets sockets). The
+// throughput ratio is logged for EXPERIMENTS.md; the assertions stick
+// to what is deterministic — v2's socket count stays at the mux budget
+// while v1 pays one socket per worker.
+func TestRemoteV2VsV1(t *testing.T) {
+	const rows = 1000
+	const workers = 64
+	dur := 500 * time.Millisecond
+	if testing.Short() {
+		dur = 100 * time.Millisecond
+	}
+
+	addr, srv := startBenchNode(t, rows)
+
+	// v1: every worker dials its own socket.
+	v1, err := bench.Run(bench.Options{Workers: workers, Duration: dur, Seed: 1},
+		func(int) (bench.Client, error) {
+			conn, err := client.DialV1(addr)
+			if err != nil {
+				return nil, err
+			}
+			return &bench.RemoteClient{Conn: conn}, nil
+		}, pointSelect(rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1Sockets := srv.Metrics()["connections_total"]
+
+	// v2: all workers share one mux pool's sockets.
+	ds := client.NewRemoteDataSource("bench", addr, &resource.Options{PoolSize: workers})
+	t.Cleanup(func() { ds.Close() })
+	v2, err := bench.Run(bench.Options{Workers: workers, Duration: dur, Seed: 1},
+		func(int) (bench.Client, error) {
+			pc, err := ds.Acquire()
+			if err != nil {
+				return nil, err
+			}
+			return &pooledClient{pc: pc}, nil
+		}, pointSelect(rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2Sockets := srv.Metrics()["connections_total"] - v1Sockets
+
+	t.Logf("v1: %s  sockets=%d", v1, v1Sockets)
+	t.Logf("v2: %s  sockets=%d", v2, v2Sockets)
+	t.Logf("v2/v1 TPS ratio: %.2fx", v2.TPS/v1.TPS)
+
+	if v1.Errors > 0 || v2.Errors > 0 {
+		t.Fatalf("benchmark errors: v1=%d v2=%d", v1.Errors, v2.Errors)
+	}
+	if v1Sockets < workers {
+		t.Fatalf("v1 should dial one socket per worker, got %d", v1Sockets)
+	}
+	if v2Sockets > client.DefaultMuxSockets {
+		t.Fatalf("v2 used %d sockets; mux budget is %d", v2Sockets, client.DefaultMuxSockets)
+	}
+}
+
+var contextBG = context.Background()
+
+// pooledClient adapts a pooled remote conn to the bench Client shape.
+type pooledClient struct {
+	pc *resource.PooledConn
+}
+
+func (c *pooledClient) Exec(sql string, args ...sqltypes.Value) error {
+	_, err := c.pc.Exec(contextBG, sql, args...)
+	return err
+}
+
+func (c *pooledClient) Query(sql string, args ...sqltypes.Value) ([]sqltypes.Row, error) {
+	rs, err := c.pc.Query(contextBG, sql, args...)
+	if err != nil {
+		return nil, err
+	}
+	return resource.ReadAll(rs)
+}
+
+func (c *pooledClient) Close() { c.pc.Release() }

@@ -1,6 +1,7 @@
 package tpcc
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -75,7 +76,7 @@ func TestPrepareLoadsConsistentState(t *testing.T) {
 	// order_line table-shards inside each source.
 	src, _ := sys.Kernel.Executor().Source("ds0")
 	conn, _ := src.Acquire()
-	rs, err := conn.Query("SHOW TABLES")
+	rs, err := conn.Query(context.Background(), "SHOW TABLES")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +207,7 @@ func TestItemIsBroadcast(t *testing.T) {
 	for i := 0; i < 2; i++ {
 		src, _ := sys.Kernel.Executor().Source(fmt.Sprintf("ds%d", i))
 		conn, _ := src.Acquire()
-		rs, err := conn.Query("SELECT COUNT(*) FROM bmsql_item")
+		rs, err := conn.Query(context.Background(), "SELECT COUNT(*) FROM bmsql_item")
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -258,43 +258,31 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// Query implements resource.Conn.
-func (c *faultConn) Query(sql string, args ...sqltypes.Value) (resource.ResultSet, error) {
-	return c.QueryContext(context.Background(), sql, args...)
+// Query implements resource.Conn: hang and latency faults unblock when
+// the caller's deadline or fail-fast cancellation fires.
+func (c *faultConn) Query(ctx context.Context, sql string, args ...sqltypes.Value) (resource.ResultSet, error) {
+	if err := c.apply(ctx); err != nil {
+		return nil, err
+	}
+	return c.inner.Query(ctx, sql, args...)
 }
 
 // Exec implements resource.Conn.
-func (c *faultConn) Exec(sql string, args ...sqltypes.Value) (resource.ExecResult, error) {
-	return c.ExecContext(context.Background(), sql, args...)
-}
-
-// QueryContext implements resource.ContextConn: hang and latency faults
-// unblock when the caller's deadline or fail-fast cancellation fires.
-func (c *faultConn) QueryContext(ctx context.Context, sql string, args ...sqltypes.Value) (resource.ResultSet, error) {
-	if err := c.apply(ctx); err != nil {
-		return nil, err
-	}
-	if cc, ok := c.inner.(resource.ContextConn); ok {
-		return cc.QueryContext(ctx, sql, args...)
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return c.inner.Query(sql, args...)
-}
-
-// ExecContext implements resource.ContextConn.
-func (c *faultConn) ExecContext(ctx context.Context, sql string, args ...sqltypes.Value) (resource.ExecResult, error) {
+func (c *faultConn) Exec(ctx context.Context, sql string, args ...sqltypes.Value) (resource.ExecResult, error) {
 	if err := c.apply(ctx); err != nil {
 		return resource.ExecResult{}, err
 	}
-	if cc, ok := c.inner.(resource.ContextConn); ok {
-		return cc.ExecContext(ctx, sql, args...)
+	return c.inner.Exec(ctx, sql, args...)
+}
+
+// ExecBatch implements resource.BatchConn: the fault gauntlet runs once
+// per batch (one acquire-sized unit of work), then the inner connection
+// pipelines it if it can.
+func (c *faultConn) ExecBatch(ctx context.Context, stmts []resource.Statement) ([]resource.ExecResult, error) {
+	if err := c.apply(ctx); err != nil {
+		return nil, &resource.BatchError{Index: 0, Err: err}
 	}
-	if err := ctx.Err(); err != nil {
-		return resource.ExecResult{}, err
-	}
-	return c.inner.Exec(sql, args...)
+	return resource.ExecBatch(ctx, c.inner, stmts)
 }
 
 // Close implements resource.Conn.

@@ -12,11 +12,11 @@ import (
 
 type okConn struct{}
 
-func (okConn) Query(sql string, args ...sqltypes.Value) (resource.ResultSet, error) {
+func (okConn) Query(_ context.Context, sql string, args ...sqltypes.Value) (resource.ResultSet, error) {
 	return resource.NewSliceResultSet([]string{"a"}, []sqltypes.Row{{sqltypes.NewInt(1)}}), nil
 }
 
-func (okConn) Exec(sql string, args ...sqltypes.Value) (resource.ExecResult, error) {
+func (okConn) Exec(_ context.Context, sql string, args ...sqltypes.Value) (resource.ExecResult, error) {
 	return resource.ExecResult{Affected: 1}, nil
 }
 
@@ -37,7 +37,7 @@ func TestErrorRateFullInjectsAlways(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Release()
-	if _, err := conn.Query("SELECT 1"); err == nil {
+	if _, err := conn.Query(context.Background(), "SELECT 1"); err == nil {
 		t.Fatal("100% error rate should fail every call")
 	} else if !resource.IsTransient(err) {
 		t.Fatalf("injected errors must classify transient: %v", err)
@@ -53,7 +53,7 @@ func TestErrorRateDeterministicUnderSeed(t *testing.T) {
 		defer conn.Release()
 		var out []bool
 		for i := 0; i < 32; i++ {
-			_, err := conn.Query("SELECT 1")
+			_, err := conn.Query(context.Background(), "SELECT 1")
 			out = append(out, err != nil)
 		}
 		return out
@@ -80,7 +80,7 @@ func TestRemoveFaultRestoresPassThrough(t *testing.T) {
 	defer conn.Release()
 	// The interceptor stays wired but passes through with no fault —
 	// including conns checked out after removal.
-	if _, err := conn.Query("SELECT 1"); err != nil {
+	if _, err := conn.Query(context.Background(), "SELECT 1"); err != nil {
 		t.Fatalf("removed fault still fires: %v", err)
 	}
 }
@@ -92,7 +92,7 @@ func TestLatencyFaultDelays(t *testing.T) {
 	conn, _ := ds.Acquire()
 	defer conn.Release()
 	start := time.Now()
-	if _, err := conn.Query("SELECT 1"); err != nil {
+	if _, err := conn.Query(context.Background(), "SELECT 1"); err != nil {
 		t.Fatal(err)
 	}
 	if d := time.Since(start); d < 30*time.Millisecond {
@@ -109,7 +109,7 @@ func TestHangFaultUnblocksOnContext(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
 	defer cancel()
 	start := time.Now()
-	_, err := conn.QueryCtx(ctx, "SELECT 1")
+	_, err := conn.Query(ctx, "SELECT 1")
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("want DeadlineExceeded, got %v", err)
 	}
@@ -127,11 +127,11 @@ func TestBreakAfterPoisonsConnection(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 2; i++ {
-		if _, err := conn.Query("SELECT 1"); err != nil {
+		if _, err := conn.Query(context.Background(), "SELECT 1"); err != nil {
 			t.Fatalf("call %d before the break failed: %v", i, err)
 		}
 	}
-	if _, err := conn.Query("SELECT 1"); err == nil {
+	if _, err := conn.Query(context.Background(), "SELECT 1"); err == nil {
 		t.Fatal("call after BreakAfter should fail")
 	}
 	conn.Release()
@@ -145,8 +145,8 @@ func TestStatusesAndMetrics(t *testing.T) {
 	ds := newChaosDS("ds0")
 	in.Apply(ds, Fault{ErrorRate: 1, Seed: 7})
 	conn, _ := ds.Acquire()
-	conn.Query("SELECT 1")
-	conn.Query("SELECT 1")
+	conn.Query(context.Background(), "SELECT 1")
+	conn.Query(context.Background(), "SELECT 1")
 	conn.Release()
 	sts := in.Statuses()
 	if len(sts) != 1 || sts[0].Source != "ds0" || sts[0].Calls != 2 || sts[0].Injected != 2 {
@@ -166,7 +166,7 @@ func TestReplaceFaultResetsCounters(t *testing.T) {
 	ds := newChaosDS("ds0")
 	in.Apply(ds, Fault{ErrorRate: 1, Seed: 1})
 	conn, _ := ds.Acquire()
-	conn.Query("SELECT 1")
+	conn.Query(context.Background(), "SELECT 1")
 	conn.Release()
 	in.Apply(ds, Fault{Latency: time.Millisecond})
 	sts := in.Statuses()

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -309,7 +310,7 @@ func (k *Kernel) TableMeta(ds, table string) ([]string, []string, error) {
 		return nil, nil, err
 	}
 	defer conn.Release()
-	rs, err := conn.Query("DESCRIBE " + table)
+	rs, err := conn.Query(context.Background(), "DESCRIBE "+table)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -398,7 +399,7 @@ func isDistSQL(sql string) bool {
 		"SET VARIABLE", "SHOW VARIABLE", "PREVIEW", "SHOW STATUS",
 		"CREATE BROADCAST", "SHOW BROADCAST", "SHOW TRANSACTION", "RESHARD",
 		"SHOW PLAN CACHE", "SHOW SQL METRICS", "SHOW SLOW QUERIES", "TRACE ",
-		"INJECT FAULT", "REMOVE FAULT", "SHOW FAULTS",
+		"INJECT FAULT", "REMOVE FAULT", "SHOW FAULTS", "SHOW REMOTE",
 	} {
 		if strings.HasPrefix(up, prefix) {
 			return true

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"testing"
@@ -341,7 +342,7 @@ func TestUnshardedTableOnDefaultSource(t *testing.T) {
 	src, _ := k.Executor().Source("ds1")
 	conn, _ := src.Acquire()
 	defer conn.Release()
-	if _, err := conn.Query("SELECT * FROM plain"); err == nil {
+	if _, err := conn.Query(context.Background(), "SELECT * FROM plain"); err == nil {
 		t.Fatal("plain table leaked to ds1")
 	}
 }
@@ -490,7 +491,7 @@ func TestHintRoutingEndToEnd(t *testing.T) {
 	// The row landed only on the hinted shard.
 	src, _ := k.Executor().Source("ds1")
 	conn, _ := src.Acquire()
-	rs, err := conn.Query("SELECT COUNT(*) FROM t_h_1")
+	rs, err := conn.Query(context.Background(), "SELECT COUNT(*) FROM t_h_1")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -484,7 +484,7 @@ func (s *Session) showTables() (*Result, error) {
 	if def := s.k.rules.DefaultDataSource; def != "" {
 		if src, err := s.k.executor.Source(def); err == nil {
 			if conn, err := src.Acquire(); err == nil {
-				if rs, err := conn.Query("SHOW TABLES"); err == nil {
+				if rs, err := conn.Query(context.Background(), "SHOW TABLES"); err == nil {
 					rows, _ := resource.ReadAll(rs)
 					for _, r := range rows {
 						if !s.k.isActualTable(r[0].AsString()) {
@@ -534,7 +534,7 @@ func (s *Session) describe(t *sqlparser.DescribeStmt) (*Result, error) {
 		return nil, err
 	}
 	defer conn.Release()
-	rs, err := conn.Query("DESCRIBE " + table)
+	rs, err := conn.Query(context.Background(), "DESCRIBE "+table)
 	if err != nil {
 		return nil, err
 	}
@@ -581,7 +581,7 @@ func (s *Session) selectWithoutFrom(sel *sqlparser.SelectStmt, args []sqltypes.V
 	}
 	defer conn.Release()
 	ser := sqlparser.NewSerializer(src.Dialect())
-	rs, err := conn.Query(ser.Serialize(sel), args...)
+	rs, err := conn.Query(context.Background(), ser.Serialize(sel), args...)
 	if err != nil {
 		return nil, err
 	}

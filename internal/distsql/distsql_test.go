@@ -1,6 +1,7 @@
 package distsql
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -84,7 +85,7 @@ func TestCreateShardingRuleAndUse(t *testing.T) {
 	for _, dsName := range []string{"ds0", "ds1"} {
 		src, _ := k.Executor().Source(dsName)
 		conn, _ := src.Acquire()
-		rs, err := conn.Query("SHOW TABLES")
+		rs, err := conn.Query(context.Background(), "SHOW TABLES")
 		if err != nil {
 			t.Fatal(err)
 		}

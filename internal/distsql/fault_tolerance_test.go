@@ -1,6 +1,7 @@
 package distsql
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -13,10 +14,13 @@ import (
 	"shardingsphere/internal/core"
 	"shardingsphere/internal/features/readwrite"
 	"shardingsphere/internal/governor"
+	"shardingsphere/internal/proxy"
 	"shardingsphere/internal/registry"
 	"shardingsphere/internal/resource"
 	"shardingsphere/internal/sharding"
+	"shardingsphere/internal/sqlexec"
 	"shardingsphere/internal/storage"
+	"shardingsphere/pkg/client"
 )
 
 // rwFixture builds a primary with two replicas behind read-write
@@ -32,11 +36,11 @@ func rwFixture(t *testing.T) (*core.Kernel, *governor.Governor) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := conn.Exec("CREATE TABLE t_user (uid INT PRIMARY KEY, name VARCHAR(32))"); err != nil {
+		if _, err := conn.Exec(context.Background(), "CREATE TABLE t_user (uid INT PRIMARY KEY, name VARCHAR(32))"); err != nil {
 			t.Fatal(err)
 		}
 		for i := 0; i < 8; i++ {
-			if _, err := conn.Exec(fmt.Sprintf("INSERT INTO t_user VALUES (%d, 'u%d')", i, i)); err != nil {
+			if _, err := conn.Exec(context.Background(), fmt.Sprintf("INSERT INTO t_user VALUES (%d, 'u%d')", i, i)); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -209,5 +213,83 @@ func TestStatementTimeoutFailFast(t *testing.T) {
 	}
 	if got, _ := resource.ReadAll(res.RS); len(got) != 8 {
 		t.Fatalf("rows after recovery: %d", len(got))
+	}
+}
+
+// TestChaosHangOverMuxedRemote runs the blackhole drill against a real
+// remote data node on protocol v2: a hang fault plus statement timeout
+// aborts the statement quickly, and the shared multiplexed socket
+// survives — follow-up statements reuse it (no redial) and SHOW REMOTE
+// STATUS keeps reporting live transport counters.
+func TestChaosHangOverMuxedRemote(t *testing.T) {
+	proc := sqlexec.NewProcessor(storage.NewEngine("chaos-remote"))
+	srv := proxy.NewServer(&proxy.NodeBackend{Processor: proc})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+
+	remote := client.NewRemoteDataSource("remote", addr, &resource.Options{PoolSize: 8})
+	rules := sharding.NewRuleSet()
+	rules.DefaultDataSource = "remote"
+	reg := registry.New()
+	k, err := core.New(core.Config{
+		Sources:  map[string]*resource.DataSource{"remote": remote},
+		Rules:    rules,
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gov := governor.New(reg, k.Executor())
+	k.AddGate(gov)
+	Install(k, gov)
+	s := k.NewSession()
+
+	exec(t, s, "CREATE TABLE t_user (uid INT PRIMARY KEY, name VARCHAR(32))")
+	for i := 0; i < 8; i++ {
+		exec(t, s, fmt.Sprintf("INSERT INTO t_user (uid, name) VALUES (%d, 'u%d')", i, i))
+	}
+	socketsBefore := srv.Metrics()["connections_total"]
+
+	exec(t, s, "INJECT FAULT remote (HANG = true)")
+	exec(t, s, "SET VARIABLE statement_timeout_ms = 100")
+	start := time.Now()
+	if _, err := s.Execute("SELECT * FROM t_user"); err == nil {
+		t.Fatal("hang fault should time the statement out")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+	exec(t, s, "REMOVE FAULT remote")
+	exec(t, s, "SET VARIABLE statement_timeout_ms = 0")
+
+	// The transport recovered without redialing: the aborted statement
+	// poisoned neither the socket nor sibling streams.
+	res, err := s.Execute("SELECT * FROM t_user")
+	if err != nil {
+		t.Fatalf("source broken after fault removed: %v", err)
+	}
+	got := rows(t, res)
+	if len(got) != 8 {
+		t.Fatalf("want 8 rows back, got %d", len(got))
+	}
+	if after := srv.Metrics()["connections_total"]; after != socketsBefore {
+		t.Fatalf("transport was redialed: %d -> %d sockets", socketsBefore, after)
+	}
+
+	// SHOW REMOTE STATUS surfaces the transport counters.
+	found := map[string]int64{}
+	for _, r := range rows(t, exec(t, s, "SHOW REMOTE STATUS")) {
+		if r[0].S == "remote" {
+			found[r[1].S] = r[2].I
+		}
+	}
+	if len(found) == 0 {
+		t.Fatal("SHOW REMOTE STATUS returned no rows for the remote source")
+	}
+	if found["sockets_open"] == 0 || found["streams_opened"] == 0 {
+		t.Fatalf("transport counters missing: %v", found)
 	}
 }

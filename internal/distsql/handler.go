@@ -48,6 +48,21 @@ func Install(k *core.Kernel, gov *governor.Governor) *Handler {
 		gov.RegisterMetrics("governor", gov.ResilienceMetrics)
 		gov.RegisterMetrics("resilience", k.ResilienceMetrics)
 		gov.RegisterMetrics("chaos", k.Chaos().Metrics)
+		// Remote transports (mux sockets, streams, prepared statements,
+		// pipelined batches) aggregated across remote data sources.
+		gov.RegisterMetrics("remote", func() map[string]int64 {
+			out := map[string]int64{}
+			for _, n := range k.Executor().Sources() {
+				ds, err := k.Executor().Source(n)
+				if err != nil {
+					continue
+				}
+				for key, v := range ds.AuxMetrics() {
+					out[n+"."+key] = v
+				}
+			}
+			return out
+		})
 		// Close the fault-tolerance loop: execution outcomes feed the
 		// breakers, and breaker-driven health flips pull dead replicas out
 		// of (or restore them into) read-write splitting rotation.
@@ -137,6 +152,8 @@ func (h *Handler) Execute(sess *core.Session, sql string) (*core.Result, error) 
 		return &core.Result{}, nil
 	case *ShowFaults:
 		return h.showFaults(k)
+	case *ShowRemoteStatus:
+		return h.showRemoteStatus(k)
 	default:
 		return nil, fmt.Errorf("distsql: unhandled statement %T", stmt)
 	}
@@ -200,6 +217,38 @@ func (h *Handler) showFaults(k *core.Kernel) (*core.Result, error) {
 		})
 	}
 	return rowsResult([]string{"source", "fault", "calls", "injected"}, rows), nil
+}
+
+// showRemoteStatus renders each remote data source's transport counters
+// (SHOW REMOTE STATUS). Embedded sources have no transport and are
+// skipped; a kernel with no remote sources returns zero rows.
+func (h *Handler) showRemoteStatus(k *core.Kernel) (*core.Result, error) {
+	var rows []sqltypes.Row
+	names := k.Executor().Sources()
+	sort.Strings(names)
+	for _, n := range names {
+		ds, err := k.Executor().Source(n)
+		if err != nil {
+			continue
+		}
+		m := ds.AuxMetrics()
+		if m == nil {
+			continue
+		}
+		keys := make([]string, 0, len(m))
+		for key := range m {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			rows = append(rows, sqltypes.Row{
+				sqltypes.NewString(n),
+				sqltypes.NewString(key),
+				sqltypes.NewInt(m[key]),
+			})
+		}
+	}
+	return rowsResult([]string{"source", "metric", "value"}, rows), nil
 }
 
 // createRule implements the AutoTable strategy (paper Section V-A): the

@@ -128,6 +128,11 @@ type RemoveFault struct {
 // ShowFaults is SHOW FAULTS: the active fault table with live counters.
 type ShowFaults struct{}
 
+// ShowRemoteStatus is SHOW REMOTE STATUS: transport-level counters for
+// remote data sources (mux sockets, streams, prepared statements,
+// pipelined batches, row batches).
+type ShowRemoteStatus struct{}
+
 func (*CreateShardingRule) distSQLStmt() {}
 func (*DropShardingRule) distSQLStmt()   {}
 func (*CreateBinding) distSQLStmt()      {}
@@ -146,7 +151,8 @@ func (*ShowSlowQueries) distSQLStmt()    {}
 func (*Reshard) distSQLStmt()            {}
 func (*InjectFault) distSQLStmt()        {}
 func (*RemoveFault) distSQLStmt()        {}
-func (*ShowFaults) distSQLStmt()         {}
+func (*ShowFaults) distSQLStmt()       {}
+func (*ShowRemoteStatus) distSQLStmt()         {}
 
 // parser walks the token stream from the shared lexer.
 type parser struct {
@@ -352,6 +358,12 @@ func (p *parser) parse() (Statement, error) {
 		case "FAULTS":
 			p.pos++
 			return &ShowFaults{}, nil
+		case "REMOTE":
+			p.pos++
+			if err := p.expect("STATUS"); err != nil {
+				return nil, err
+			}
+			return &ShowRemoteStatus{}, nil
 		}
 		return nil, fmt.Errorf("distsql: unsupported SHOW target %q", p.cur().Val)
 	case "RESHARD":

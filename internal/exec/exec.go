@@ -12,7 +12,9 @@ package exec
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -544,7 +546,7 @@ func (e *Executor) runQueryGroup(ctx context.Context, units []rewrite.SQLUnit, g
 		for _, idx := range g.units {
 			u := units[idx]
 			start := time.Now()
-			rs, err := conn.QueryCtx(ctx, u.SQL, u.Args...)
+			rs, err := conn.Query(ctx, u.SQL, u.Args...)
 			dur := e.observe(tr, g.ds, u.SQL, start, err)
 			if err != nil {
 				return wrapUnitErr(u, dur, err)
@@ -629,7 +631,7 @@ func (e *Executor) runConnShare(ctx context.Context, units []rewrite.SQLUnit, g 
 	for _, idx := range share {
 		u := units[idx]
 		start := time.Now()
-		rs, err := conn.QueryCtx(ctx, u.SQL, u.Args...)
+		rs, err := conn.Query(ctx, u.SQL, u.Args...)
 		dur := e.observe(tr, g.ds, u.SQL, start, err)
 		if err != nil {
 			firstErr = wrapUnitErr(u, dur, err)
@@ -660,16 +662,26 @@ func (e *Executor) runConnShare(ctx context.Context, units []rewrite.SQLUnit, g 
 	return firstErr
 }
 
-// drain materializes a result set so its connection can be reused. Both
-// connection implementations already return fully buffered sets, so the
-// common case is a free rewind rather than a row-by-row copy.
+// drain materializes a result set so its connection can be reused.
+// Already-buffered sets rewind for free; everything else drains through
+// NextBatch, moving a window of rows per interface call (for remote
+// cursors that is one row-batch frame per call, not one row).
 func drain(rs resource.ResultSet) (resource.ResultSet, error) {
 	if s, ok := rs.(*resource.SliceResultSet); ok && s.OnClose == nil {
 		return s, nil
 	}
-	rows, err := resource.ReadAll(rs)
-	if err != nil {
-		return nil, err
+	defer rs.Close()
+	var rows []sqltypes.Row
+	var buf [128]sqltypes.Row
+	for {
+		n, err := rs.NextBatch(buf[:])
+		rows = append(rows, buf[:n]...)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
 	}
 	return resource.NewSliceResultSet(rs.Columns(), rows), nil
 }
@@ -686,6 +698,8 @@ type connBoundSet struct {
 func (s *connBoundSet) Columns() []string { return s.inner.Columns() }
 
 func (s *connBoundSet) Next() (sqltypes.Row, error) { return s.inner.Next() }
+
+func (s *connBoundSet) NextBatch(buf []sqltypes.Row) (int, error) { return s.inner.NextBatch(buf) }
 
 func (s *connBoundSet) Close() error {
 	if s.done {
@@ -775,10 +789,41 @@ func (e *Executor) runUpdateGroup(ctx context.Context, units []rewrite.SQLUnit, 
 		}
 		defer conn.Release()
 	}
+	if len(g.units) > 1 {
+		// Multi-unit groups pipeline through the connection: all
+		// statements ship before the first response is read, so a
+		// remote shard costs one round trip per window instead of one
+		// per statement. A BatchError pins the failure to its unit.
+		stmts := make([]resource.Statement, len(g.units))
+		for i, idx := range g.units {
+			stmts[i] = resource.Statement{SQL: units[idx].SQL, Args: units[idx].Args}
+		}
+		start := time.Now()
+		results, err := resource.ExecBatch(ctx, conn, stmts)
+		if err != nil {
+			failed := units[g.units[0]]
+			var be *resource.BatchError
+			if errors.As(err, &be) && be.Index < len(g.units) {
+				failed = units[g.units[be.Index]]
+			}
+			dur := e.observe(tr, g.ds, failed.SQL, start, err)
+			return wrapUnitErr(failed, dur, err)
+		}
+		e.observe(tr, g.ds, units[g.units[0]].SQL, start, nil)
+		mu.Lock()
+		for _, r := range results {
+			total.Affected += r.Affected
+			if r.LastInsertID != 0 {
+				total.LastInsertID = r.LastInsertID
+			}
+		}
+		mu.Unlock()
+		return nil
+	}
 	for _, idx := range g.units {
 		u := units[idx]
 		start := time.Now()
-		r, err := conn.ExecCtx(ctx, u.SQL, u.Args...)
+		r, err := conn.Exec(ctx, u.SQL, u.Args...)
 		dur := e.observe(tr, g.ds, u.SQL, start, err)
 		if err != nil {
 			return wrapUnitErr(u, dur, err)

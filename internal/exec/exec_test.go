@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"testing"
@@ -24,12 +25,12 @@ func fixture(t *testing.T, poolSize int) *Executor {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := conn.Exec("CREATE TABLE t (id INT PRIMARY KEY, v INT)"); err != nil {
+		if _, err := conn.Exec(context.Background(), "CREATE TABLE t (id INT PRIMARY KEY, v INT)"); err != nil {
 			t.Fatal(err)
 		}
 		for i := 0; i < 10; i++ {
 			id := d*10 + i
-			if _, err := conn.Exec(fmt.Sprintf("INSERT INTO t VALUES (%d, %d)", id, id%3)); err != nil {
+			if _, err := conn.Exec(context.Background(), fmt.Sprintf("INSERT INTO t VALUES (%d, %d)", id, id%3)); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -99,8 +100,8 @@ func TestMaxConRaisesParallelism(t *testing.T) {
 	eng := storage.NewEngine("ds0")
 	ds := resource.NewEmbedded(eng, &resource.Options{PoolSize: 8})
 	conn, _ := ds.Acquire()
-	conn.Exec("CREATE TABLE t (id INT PRIMARY KEY)")
-	conn.Exec("INSERT INTO t VALUES (1), (2), (3), (4)")
+	conn.Exec(context.Background(), "CREATE TABLE t (id INT PRIMARY KEY)")
+	conn.Exec(context.Background(), "INSERT INTO t VALUES (1), (2), (3), (4)")
 	conn.Release()
 	sources["ds0"] = ds
 	e := New(sources, 4)
@@ -203,7 +204,7 @@ func TestHeldConnsPinning(t *testing.T) {
 		t.Fatalf("sources: %v", got)
 	}
 	// Transactional execution rides the pinned conn serially.
-	if _, err := c1.Exec("BEGIN"); err != nil {
+	if _, err := c1.Exec(context.Background(), "BEGIN"); err != nil {
 		t.Fatal(err)
 	}
 	res, err := e.Query(unitsFor(map[string][]string{
@@ -219,7 +220,7 @@ func TestHeldConnsPinning(t *testing.T) {
 	if res.Modes["ds0"] != ConnectionStrictly {
 		t.Fatalf("tx mode: %v", res.Modes["ds0"])
 	}
-	if _, err := c1.Exec("ROLLBACK"); err != nil {
+	if _, err := c1.Exec(context.Background(), "ROLLBACK"); err != nil {
 		t.Fatal(err)
 	}
 	held.ReleaseAll()
@@ -274,8 +275,8 @@ func TestParallelQueriesNoDeadlock(t *testing.T) {
 		AcquireTimeout: 2 * time.Second,
 	})
 	conn, _ := ds.Acquire()
-	conn.Exec("CREATE TABLE t (id INT PRIMARY KEY)")
-	conn.Exec("INSERT INTO t VALUES (1), (2)")
+	conn.Exec(context.Background(), "CREATE TABLE t (id INT PRIMARY KEY)")
+	conn.Exec(context.Background(), "INSERT INTO t VALUES (1), (2)")
 	conn.Release()
 	sources["ds0"] = ds
 	e := New(sources, 2)

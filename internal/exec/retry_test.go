@@ -20,14 +20,14 @@ type flapConn struct {
 	failN *atomic.Int64
 }
 
-func (c *flapConn) Query(sql string, args ...sqltypes.Value) (resource.ResultSet, error) {
+func (c *flapConn) Query(_ context.Context, sql string, args ...sqltypes.Value) (resource.ResultSet, error) {
 	if c.failN.Add(-1) >= 0 {
 		return nil, errors.New("read tcp: connection reset by peer")
 	}
 	return resource.NewSliceResultSet([]string{"a"}, []sqltypes.Row{{sqltypes.NewInt(1)}}), nil
 }
 
-func (c *flapConn) Exec(sql string, args ...sqltypes.Value) (resource.ExecResult, error) {
+func (c *flapConn) Exec(_ context.Context, sql string, args ...sqltypes.Value) (resource.ExecResult, error) {
 	if c.failN.Add(-1) >= 0 {
 		return resource.ExecResult{}, errors.New("read tcp: connection reset by peer")
 	}
@@ -39,20 +39,12 @@ func (c *flapConn) Close() error { return nil }
 // hangConn blocks queries until its context is cancelled.
 type hangConn struct{}
 
-func (c *hangConn) Query(sql string, args ...sqltypes.Value) (resource.ResultSet, error) {
-	return c.QueryContext(context.Background(), sql, args...)
-}
-
-func (c *hangConn) Exec(sql string, args ...sqltypes.Value) (resource.ExecResult, error) {
-	return resource.ExecResult{}, nil
-}
-
-func (c *hangConn) QueryContext(ctx context.Context, sql string, args ...sqltypes.Value) (resource.ResultSet, error) {
+func (c *hangConn) Query(ctx context.Context, sql string, args ...sqltypes.Value) (resource.ResultSet, error) {
 	<-ctx.Done()
 	return nil, ctx.Err()
 }
 
-func (c *hangConn) ExecContext(ctx context.Context, sql string, args ...sqltypes.Value) (resource.ExecResult, error) {
+func (c *hangConn) Exec(ctx context.Context, sql string, args ...sqltypes.Value) (resource.ExecResult, error) {
 	<-ctx.Done()
 	return resource.ExecResult{}, ctx.Err()
 }

@@ -344,6 +344,12 @@ type decryptSet struct {
 
 func (s *decryptSet) Columns() []string { return s.inner.Columns() }
 
+// NextBatch implements resource.ResultSet by filling from Next so the
+// per-row decryption stays on the single-row path.
+func (s *decryptSet) NextBatch(buf []sqltypes.Row) (int, error) {
+	return resource.FillBatch(s.Next, buf)
+}
+
 func (s *decryptSet) Next() (sqltypes.Row, error) {
 	row, err := s.inner.Next()
 	if err != nil {

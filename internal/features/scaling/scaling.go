@@ -7,6 +7,7 @@
 package scaling
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -156,7 +157,7 @@ func schemaDDL(k *core.Kernel, rule *sharding.TableRule) (string, []string, erro
 		return "", nil, err
 	}
 	defer conn.Release()
-	rs, err := conn.Query("DESCRIBE " + first.Table)
+	rs, err := conn.Query(context.Background(), "DESCRIBE "+first.Table)
 	if err != nil {
 		return "", nil, err
 	}
@@ -186,7 +187,7 @@ func copyData(k *core.Kernel, job *Job, oldRule, newRule *sharding.TableRule) (i
 		if err != nil {
 			return 0, err
 		}
-		rs, err := conn.Query("SELECT * FROM " + node.Table)
+		rs, err := conn.Query(context.Background(), "SELECT * FROM "+node.Table)
 		if err != nil {
 			conn.Release()
 			return 0, err
@@ -273,7 +274,7 @@ func execOn(k *core.Kernel, ds, sql string) error {
 		return err
 	}
 	defer conn.Release()
-	_, err = conn.Exec(sql)
+	_, err = conn.Exec(context.Background(), sql)
 	return err
 }
 
@@ -287,7 +288,7 @@ func countOn(k *core.Kernel, ds, table string) (int64, error) {
 		return 0, err
 	}
 	defer conn.Release()
-	rs, err := conn.Query("SELECT COUNT(*) FROM " + table)
+	rs, err := conn.Query(context.Background(), "SELECT COUNT(*) FROM "+table)
 	if err != nil {
 		return 0, err
 	}

@@ -1,6 +1,7 @@
 package scaling
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -105,10 +106,10 @@ func TestReshardToMoreShards(t *testing.T) {
 	src, _ := k.Executor().Source("ds0")
 	conn, _ := src.Acquire()
 	defer conn.Release()
-	if _, err := conn.Query("SELECT COUNT(*) FROM t_user_0"); err == nil {
+	if _, err := conn.Query(context.Background(), "SELECT COUNT(*) FROM t_user_0"); err == nil {
 		t.Fatal("old actual table not dropped")
 	}
-	if _, err := conn.Query("SELECT COUNT(*) FROM t_user_g1_0"); err != nil {
+	if _, err := conn.Query(context.Background(), "SELECT COUNT(*) FROM t_user_g1_0"); err != nil {
 		t.Fatalf("new actual table missing: %v", err)
 	}
 }
@@ -139,7 +140,7 @@ func TestReshardDistributesData(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		src, _ := k.Executor().Source(fmt.Sprintf("ds%d", i))
 		conn, _ := src.Acquire()
-		rs, err := conn.Query(fmt.Sprintf("SELECT COUNT(*) FROM t_user_g2_%d", i))
+		rs, err := conn.Query(context.Background(), fmt.Sprintf("SELECT COUNT(*) FROM t_user_g2_%d", i))
 		if err != nil {
 			t.Fatalf("ds%d: %v", i, err)
 		}

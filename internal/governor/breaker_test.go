@@ -1,6 +1,7 @@
 package governor
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -116,14 +117,14 @@ func TestBreakerAllowConcurrentSingleWinner(t *testing.T) {
 // flakyConn fails every call with a transient wire error.
 type flakyConn struct{ fail *bool }
 
-func (c *flakyConn) Query(sql string, args ...sqltypes.Value) (resource.ResultSet, error) {
+func (c *flakyConn) Query(_ context.Context, sql string, args ...sqltypes.Value) (resource.ResultSet, error) {
 	if *c.fail {
 		return nil, errors.New("read tcp: connection reset by peer")
 	}
 	return resource.NewSliceResultSet([]string{"a"}, nil), nil
 }
 
-func (c *flakyConn) Exec(sql string, args ...sqltypes.Value) (resource.ExecResult, error) {
+func (c *flakyConn) Exec(_ context.Context, sql string, args ...sqltypes.Value) (resource.ExecResult, error) {
 	if *c.fail {
 		return resource.ExecResult{}, errors.New("read tcp: connection reset by peer")
 	}

@@ -386,7 +386,7 @@ func (g *Governor) probeOnce(ds string) error {
 		return err
 	}
 	defer conn.Release()
-	rs, err := conn.QueryCtx(ctx, "SELECT 1")
+	rs, err := conn.Query(ctx, "SELECT 1")
 	if err != nil {
 		return err
 	}

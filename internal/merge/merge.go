@@ -149,6 +149,22 @@ func (s *iterationSet) Next() (sqltypes.Row, error) {
 	return nil, io.EOF
 }
 
+// NextBatch implements resource.ResultSet natively: the whole window
+// moves with one call on the current child cursor, so a remote child's
+// row-batch framing passes straight through the merger.
+func (s *iterationSet) NextBatch(buf []sqltypes.Row) (int, error) {
+	for s.idx < len(s.results) {
+		n, err := s.results[s.idx].NextBatch(buf)
+		if errors.Is(err, io.EOF) {
+			s.results[s.idx].Close()
+			s.idx++
+			continue
+		}
+		return n, err
+	}
+	return 0, io.EOF
+}
+
 func (s *iterationSet) Close() error {
 	for ; s.idx < len(s.results); s.idx++ {
 		s.results[s.idx].Close()
@@ -243,6 +259,10 @@ func (s *orderedStreamSet) Next() (sqltypes.Row, error) {
 		heap.Pop(s.h)
 	}
 	return row, nil
+}
+
+func (s *orderedStreamSet) NextBatch(buf []sqltypes.Row) (int, error) {
+	return resource.FillBatch(s.Next, buf)
 }
 
 func (s *orderedStreamSet) Close() error {
@@ -398,6 +418,10 @@ func (s *groupStreamSet) Next() (sqltypes.Row, error) {
 	}
 }
 
+func (s *groupStreamSet) NextBatch(buf []sqltypes.Row) (int, error) {
+	return resource.FillBatch(s.Next, buf)
+}
+
 func (s *groupStreamSet) Close() error { return s.inner.Close() }
 
 // --- group-by memory merger (paper VI-E case 4, Fig. 7(b)) ---
@@ -517,6 +541,10 @@ func (s *limitSet) Next() (sqltypes.Row, error) {
 	return row, nil
 }
 
+func (s *limitSet) NextBatch(buf []sqltypes.Row) (int, error) {
+	return resource.FillBatch(s.Next, buf)
+}
+
 func (s *limitSet) Close() error { return s.inner.Close() }
 
 // stripSet removes the trailing derived columns before rows reach the
@@ -543,6 +571,10 @@ func (s *stripSet) Next() (sqltypes.Row, error) {
 		return row[:len(row)-s.derived], nil
 	}
 	return row, nil
+}
+
+func (s *stripSet) NextBatch(buf []sqltypes.Row) (int, error) {
+	return resource.FillBatch(s.Next, buf)
 }
 
 func (s *stripSet) Close() error { return s.inner.Close() }

@@ -14,7 +14,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
 	"math"
 
 	"shardingsphere/internal/sqltypes"
@@ -59,21 +58,10 @@ func WriteFrame(w *bufio.Writer, typ byte, payload []byte) error {
 	return nil
 }
 
-// ReadFrame reads one frame.
+// ReadFrame reads one frame, rejecting payloads above MaxFrame. Use
+// ReadFrameLimit to enforce a tighter, caller-configured bound.
 func ReadFrame(r *bufio.Reader) (byte, []byte, error) {
-	var hdr [5]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
-	}
-	n := binary.BigEndian.Uint32(hdr[:4])
-	if n > MaxFrame {
-		return 0, nil, ErrFrameTooLarge
-	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return 0, nil, err
-	}
-	return hdr[4], payload, nil
+	return ReadFrameLimit(r, MaxFrame)
 }
 
 // --- payload encoding ---

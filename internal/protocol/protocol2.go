@@ -1,0 +1,272 @@
+// Protocol v2: stream-multiplexed framing.
+//
+// v1 frames one request/response pair at a time over a dedicated TCP
+// connection. v2 adds a 4-byte stream ID after the type byte so that one
+// TCP connection carries many logical conversations concurrently:
+//
+//	v1: | len u32 | type u8 | payload |
+//	v2: | len u32 | type u8 | stream u32 | payload |
+//
+// Version negotiation happens in v1 framing: the client sends FrameHello
+// (version + max frame size) as its first frame; a v2-aware server replies
+// FrameHelloAck and both sides switch to v2 framing on the same socket.
+// A v1 server rejects the unknown frame type with FrameError, which the
+// client treats as "speak v1".
+//
+// On top of v2 framing, three new exchanges remove per-statement overhead:
+//
+//   - FramePrepare registers SQL text under a client-chosen statement ID,
+//     once per (connection, statement shape). It is fire-and-forget: the
+//     server parses eagerly but reports any parse error on first execute,
+//     so preparation costs zero round trips.
+//   - FrameExecStmt executes a prepared statement by ID + bind args,
+//     letting the data node skip its own parse (mirroring what
+//     internal/plancache does proxy-side).
+//   - FrameRowBatch carries many rows per frame (~16KB per batch) instead
+//     of one frame per row.
+package protocol
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"shardingsphere/internal/sqltypes"
+)
+
+// Protocol versions exchanged in Hello/HelloAck.
+const (
+	Version1 uint32 = 1
+	Version2 uint32 = 2
+)
+
+// v2-era frame types. Client → server types continue from 0x03,
+// server → client types continue from 0x15.
+const (
+	FrameHello       byte = 0x04 // version negotiation; sent in v1 framing
+	FramePrepare     byte = 0x05 // stmtID + SQL text; fire-and-forget
+	FrameExecStmt    byte = 0x06 // stmtID + bind args
+	FrameStreamClose byte = 0x07 // client abandons a stream mid-result
+
+	FrameHelloAck byte = 0x16 // version + max frame size accepted
+	FrameRowBatch byte = 0x17 // many rows per frame
+)
+
+// DefaultBatchBytes is the target payload size of one FrameRowBatch.
+// Large enough to amortize framing and syscalls, small enough to keep
+// per-stream memory bounded and interleave fairly on a shared socket.
+const DefaultBatchBytes = 16 << 10
+
+// FrameTooLargeError reports an oversized frame with the offending sizes.
+// errors.Is(err, ErrFrameTooLarge) matches it.
+type FrameTooLargeError struct {
+	Size  uint32
+	Limit uint32
+}
+
+func (e *FrameTooLargeError) Error() string {
+	return fmt.Sprintf("protocol: frame of %d bytes exceeds limit %d", e.Size, e.Limit)
+}
+
+func (e *FrameTooLargeError) Unwrap() error { return ErrFrameTooLarge }
+
+// ReadFrameLimit reads one v1 frame, rejecting payloads above max before
+// allocating. ReadFrame is ReadFrameLimit with the protocol-wide MaxFrame.
+func ReadFrameLimit(r *bufio.Reader, max uint32) (byte, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > max {
+		return 0, nil, &FrameTooLargeError{Size: n, Limit: max}
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], payload, nil
+}
+
+// WriteFrameV2 writes one v2 frame carrying a stream ID.
+func WriteFrameV2(w *bufio.Writer, typ byte, stream uint32, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return &FrameTooLargeError{Size: uint32(len(payload)), Limit: MaxFrame}
+	}
+	var hdr [9]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = typ
+	binary.BigEndian.PutUint32(hdr[5:], stream)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrameV2 reads one v2 frame, rejecting payloads above max before
+// allocating.
+func ReadFrameV2(r *bufio.Reader, max uint32) (typ byte, stream uint32, payload []byte, err error) {
+	var hdr [9]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > max {
+		return 0, 0, nil, &FrameTooLargeError{Size: n, Limit: max}
+	}
+	stream = binary.BigEndian.Uint32(hdr[5:])
+	payload = make([]byte, n)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, 0, nil, err
+	}
+	return hdr[4], stream, payload, nil
+}
+
+// EncodeHello builds a FrameHello / FrameHelloAck payload: the protocol
+// version offered (or accepted) and the sender's max frame size.
+func EncodeHello(version, maxFrame uint32) []byte {
+	w := &writer{}
+	w.u32(version)
+	w.u32(maxFrame)
+	return w.buf
+}
+
+// DecodeHello parses a FrameHello / FrameHelloAck payload.
+func DecodeHello(payload []byte) (version, maxFrame uint32, err error) {
+	r := &reader{buf: payload}
+	if version, err = r.u32(); err != nil {
+		return 0, 0, err
+	}
+	if maxFrame, err = r.u32(); err != nil {
+		return 0, 0, err
+	}
+	return version, maxFrame, nil
+}
+
+// EncodePrepare builds a FramePrepare payload.
+func EncodePrepare(stmtID uint32, sql string) []byte {
+	w := &writer{}
+	w.u32(stmtID)
+	w.str(sql)
+	return w.buf
+}
+
+// DecodePrepare parses a FramePrepare payload.
+func DecodePrepare(payload []byte) (stmtID uint32, sql string, err error) {
+	r := &reader{buf: payload}
+	if stmtID, err = r.u32(); err != nil {
+		return 0, "", err
+	}
+	if sql, err = r.str(); err != nil {
+		return 0, "", err
+	}
+	return stmtID, sql, nil
+}
+
+// EncodeExecStmt builds a FrameExecStmt payload.
+func EncodeExecStmt(stmtID uint32, args []sqltypes.Value) []byte {
+	w := &writer{}
+	w.u32(stmtID)
+	w.u32(uint32(len(args)))
+	for _, a := range args {
+		w.value(a)
+	}
+	return w.buf
+}
+
+// DecodeExecStmt parses a FrameExecStmt payload.
+func DecodeExecStmt(payload []byte) (stmtID uint32, args []sqltypes.Value, err error) {
+	r := &reader{buf: payload}
+	if stmtID, err = r.u32(); err != nil {
+		return 0, nil, err
+	}
+	n, err := r.u32()
+	if err != nil {
+		return 0, nil, err
+	}
+	if n > 65535 {
+		return 0, nil, fmt.Errorf("protocol: %d bind args", n)
+	}
+	args = make([]sqltypes.Value, n)
+	for i := range args {
+		if args[i], err = r.value(); err != nil {
+			return 0, nil, err
+		}
+	}
+	return stmtID, args, nil
+}
+
+// BatchEncoder accumulates rows into a FrameRowBatch payload. Callers
+// append rows until Size crosses their flush threshold (typically
+// DefaultBatchBytes), emit Payload as one frame, then Reset.
+type BatchEncoder struct {
+	w    writer
+	rows int
+}
+
+// Append adds one row to the batch.
+func (b *BatchEncoder) Append(row sqltypes.Row) {
+	if b.rows == 0 {
+		// Reserve the row-count prefix.
+		b.w.u32(0)
+	}
+	b.rows++
+	b.w.u32(uint32(len(row)))
+	for _, v := range row {
+		b.w.value(v)
+	}
+}
+
+// Rows reports the number of buffered rows.
+func (b *BatchEncoder) Rows() int { return b.rows }
+
+// Size reports the current payload size in bytes.
+func (b *BatchEncoder) Size() int { return len(b.w.buf) }
+
+// Payload finalizes and returns the FrameRowBatch payload. The returned
+// slice is invalidated by the next Append or Reset.
+func (b *BatchEncoder) Payload() []byte {
+	binary.BigEndian.PutUint32(b.w.buf[:4], uint32(b.rows))
+	return b.w.buf
+}
+
+// Reset clears the encoder for reuse, keeping the allocated buffer.
+func (b *BatchEncoder) Reset() {
+	b.w.buf = b.w.buf[:0]
+	b.rows = 0
+}
+
+// DecodeRowBatch parses a FrameRowBatch payload, appending the decoded
+// rows to dst (which may be nil).
+func DecodeRowBatch(payload []byte, dst []sqltypes.Row) ([]sqltypes.Row, error) {
+	r := &reader{buf: payload}
+	nrows, err := r.u32()
+	if err != nil {
+		return dst, err
+	}
+	// A row costs at least 4 bytes (its column count), so nrows is
+	// bounded by the payload itself; reject inconsistent counts before
+	// allocating.
+	if int(nrows) > len(payload)/4 {
+		return dst, fmt.Errorf("protocol: %d rows in %d-byte batch", nrows, len(payload))
+	}
+	for i := uint32(0); i < nrows; i++ {
+		ncols, err := r.u32()
+		if err != nil {
+			return dst, err
+		}
+		if ncols > 4096 {
+			return dst, fmt.Errorf("protocol: %d row values", ncols)
+		}
+		row := make(sqltypes.Row, ncols)
+		for j := range row {
+			if row[j], err = r.value(); err != nil {
+				return dst, err
+			}
+		}
+		dst = append(dst, row)
+	}
+	return dst, nil
+}

@@ -1,6 +1,7 @@
 package proxy
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -102,7 +103,7 @@ func TestBrokenRemoteConnNotReused(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := conn.Exec("CREATE TABLE t (id INT PRIMARY KEY)"); err != nil {
+	if _, err := conn.Exec(context.Background(), "CREATE TABLE t (id INT PRIMARY KEY)"); err != nil {
 		t.Fatal(err)
 	}
 	// Simulate a protocol failure: close the raw connection under the
@@ -117,7 +118,7 @@ func TestBrokenRemoteConnNotReused(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn2.Release()
-	if _, err := conn2.Query("SELECT COUNT(*) FROM t"); err != nil {
+	if _, err := conn2.Query(context.Background(), "SELECT COUNT(*) FROM t"); err != nil {
 		t.Fatalf("fresh connection failed: %v", err)
 	}
 }

@@ -1,0 +1,322 @@
+// Protocol v2 server side: stream-multiplexed connection handling.
+//
+// One TCP connection carries many streams; each stream gets its own
+// backend session and worker goroutine, so a statement hung in one stream
+// never stalls its siblings on the same socket. Frames are dispatched to
+// bounded per-stream queues by the socket reader. The queue depth is a
+// multiple of the client's pipeline window, so a compliant client cannot
+// fill it; an overrunning client only wedges its own socket.
+//
+// All responses funnel through one writer goroutine per socket, which
+// drains everything the stream workers have queued before paying a
+// single flush syscall — under pipelined load many responses share one
+// write.
+package proxy
+
+import (
+	"bufio"
+	"net"
+	"runtime"
+	"sync"
+
+	"shardingsphere/internal/protocol"
+	"shardingsphere/internal/sqltypes"
+)
+
+// streamQueueDepth is the per-stream inbound frame budget; it must exceed
+// the client-side pipeline window (64) with margin for the interleaved
+// prepare frames.
+const streamQueueDepth = 256
+
+// PreparedBackendSession is optionally implemented by backend sessions
+// that can parse a statement once and execute it many times by handle —
+// what FramePrepare/FrameExecStmt buy on the wire. Sessions without it
+// still serve prepared statements by re-executing the registered SQL
+// text (the kernel backend's plan cache makes that nearly as cheap).
+type PreparedBackendSession interface {
+	// Prepare parses sql into a reusable statement handle.
+	Prepare(sql string) (handle any, err error)
+	// ExecutePrepared runs a handle from Prepare; rows is nil for
+	// non-queries.
+	ExecutePrepared(handle any, args []sqltypes.Value) (cols []string, rows []sqltypes.Row, affected, lastInsertID int64, err error)
+}
+
+// preparedStmt is one registered statement shape on one stream.
+type preparedStmt struct {
+	sql      string
+	handle   any   // non-nil when the session pre-parsed it
+	parseErr error // surfaced on first execute, not at prepare time
+}
+
+// inFrame is one frame routed to a stream worker.
+type inFrame struct {
+	typ     byte
+	payload []byte
+}
+
+// outFrame is one frame of a response run queued for the socket writer.
+type outFrame struct {
+	typ     byte
+	payload []byte
+}
+
+// outMsg is one stream's contiguous response frames, written as a unit.
+type outMsg struct {
+	sid    uint32
+	frames []outFrame
+}
+
+// muxConn is the server half of one multiplexed socket.
+type muxConn struct {
+	s *Server
+
+	w       *bufio.Writer
+	writeCh chan outMsg
+	wdone   chan struct{} // closed when the writer goroutine exits
+
+	mu      sync.Mutex
+	streams map[uint32]*muxStream
+	wg      sync.WaitGroup
+}
+
+type muxStream struct {
+	id uint32
+	in chan inFrame
+}
+
+// serveMux runs the v2 loop on a negotiated connection until the socket
+// dies or the client quits. The caller owns conn closing.
+func (s *Server) serveMux(conn net.Conn, r *bufio.Reader, w *bufio.Writer) {
+	s.v2Conns.Add(1)
+	m := &muxConn{
+		s:       s,
+		w:       w,
+		writeCh: make(chan outMsg, 256),
+		wdone:   make(chan struct{}),
+		streams: map[uint32]*muxStream{},
+	}
+	go m.writeLoop()
+	for {
+		typ, sid, payload, err := protocol.ReadFrameV2(r, protocol.MaxFrame)
+		if err != nil || typ == protocol.FrameQuit {
+			break
+		}
+		m.dispatch(typ, sid, payload)
+	}
+	// Teardown: stop feeding workers and wait for them to wind down
+	// their sessions.
+	m.mu.Lock()
+	streams := make([]*muxStream, 0, len(m.streams))
+	for _, st := range m.streams {
+		streams = append(streams, st)
+	}
+	m.streams = map[uint32]*muxStream{}
+	m.mu.Unlock()
+	for _, st := range streams {
+		close(st.in)
+	}
+	m.wg.Wait()
+	// Workers are the only writers; now the queue can close and the
+	// writer goroutine drain out.
+	close(m.writeCh)
+	<-m.wdone
+}
+
+// dispatch routes one frame to its stream, spawning the stream worker on
+// first sight. The queue send may block if a stream's queue is full —
+// that throttles only this socket, which is the misbehaving client's own.
+func (m *muxConn) dispatch(typ byte, sid uint32, payload []byte) {
+	m.mu.Lock()
+	st := m.streams[sid]
+	if st == nil {
+		if typ == protocol.FrameStreamClose {
+			m.mu.Unlock()
+			return
+		}
+		st = &muxStream{id: sid, in: make(chan inFrame, streamQueueDepth)}
+		m.streams[sid] = st
+		m.s.streamsOpened.Add(1)
+		m.s.streamsActive.Add(1)
+		m.wg.Add(1)
+		go m.worker(st)
+	}
+	m.mu.Unlock()
+	if typ == protocol.FrameStreamClose {
+		m.mu.Lock()
+		delete(m.streams, sid)
+		m.mu.Unlock()
+		close(st.in)
+		return
+	}
+	st.in <- inFrame{typ, payload}
+}
+
+// worker serves one stream: one backend session, statements in arrival
+// order. Pipelined statements queue in st.in and are answered strictly
+// in order, which is what lets the client match responses positionally.
+func (m *muxConn) worker(st *muxStream) {
+	defer m.wg.Done()
+	defer m.s.streamsActive.Add(-1)
+	sess := m.s.backend.NewBackendSession()
+	defer sess.Close()
+	prepared := map[uint32]*preparedStmt{}
+	for f := range st.in {
+		switch f.typ {
+		case protocol.FramePing:
+			m.send(st.id, protocol.FramePong, nil)
+		case protocol.FramePrepare:
+			// Fire-and-forget: no reply, errors surface on execute.
+			id, sql, err := protocol.DecodePrepare(f.payload)
+			if err != nil {
+				continue
+			}
+			ps := &preparedStmt{sql: sql}
+			if pb, ok := sess.(PreparedBackendSession); ok {
+				ps.handle, ps.parseErr = pb.Prepare(sql)
+			}
+			prepared[id] = ps
+			m.s.preparedTotal.Add(1)
+		case protocol.FrameExecStmt:
+			id, args, err := protocol.DecodeExecStmt(f.payload)
+			if err != nil {
+				m.s.errors.Add(1)
+				m.send(st.id, protocol.FrameError, protocol.EncodeError(err.Error()))
+				continue
+			}
+			ps := prepared[id]
+			if ps == nil {
+				m.s.errors.Add(1)
+				m.send(st.id, protocol.FrameError, protocol.EncodeError("proxy: unknown prepared statement"))
+				continue
+			}
+			m.runStatement(st.id, sess, ps, "", args)
+		case protocol.FrameQuery:
+			sql, args, err := protocol.DecodeQuery(f.payload)
+			if err != nil {
+				m.s.errors.Add(1)
+				m.send(st.id, protocol.FrameError, protocol.EncodeError(err.Error()))
+				continue
+			}
+			m.runStatement(st.id, sess, nil, sql, args)
+		default:
+			m.send(st.id, protocol.FrameError, protocol.EncodeError("proxy: unknown frame"))
+		}
+	}
+}
+
+// runStatement executes one statement and writes its complete response
+// (OK, Error, or Header+RowBatch*+EOF) to the stream.
+func (m *muxConn) runStatement(sid uint32, sess BackendSession, ps *preparedStmt, sql string, args []sqltypes.Value) {
+	s := m.s
+	s.statements.Add(1)
+	if s.limiter != nil && !s.limiter.Acquire() {
+		s.throttled.Add(1)
+		m.send(sid, protocol.FrameError, protocol.EncodeError("proxy: throttled"))
+		return
+	}
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1)
+
+	var (
+		cols     []string
+		rows     []sqltypes.Row
+		affected int64
+		lastID   int64
+		err      error
+	)
+	switch {
+	case ps != nil && ps.parseErr != nil:
+		err = ps.parseErr
+	case ps != nil && ps.handle != nil:
+		cols, rows, affected, lastID, err = sess.(PreparedBackendSession).ExecutePrepared(ps.handle, args)
+	case ps != nil:
+		cols, rows, affected, lastID, err = sess.Execute(ps.sql, args)
+	default:
+		cols, rows, affected, lastID, err = sess.Execute(sql, args)
+	}
+	if err != nil {
+		s.errors.Add(1)
+		m.send(sid, protocol.FrameError, protocol.EncodeError(err.Error()))
+		return
+	}
+	if cols == nil {
+		m.send(sid, protocol.FrameOK, protocol.EncodeOK(affected, lastID))
+		return
+	}
+	m.sendRows(sid, cols, rows)
+}
+
+// send queues one frame for the socket writer.
+func (m *muxConn) send(sid uint32, typ byte, payload []byte) {
+	m.writeCh <- outMsg{sid: sid, frames: []outFrame{{typ, payload}}}
+}
+
+// sendRows queues a full query response, chunking rows into ~16KB
+// FrameRowBatch frames. Encoding happens here on the worker goroutine;
+// only the socket write is serialized.
+func (m *muxConn) sendRows(sid uint32, cols []string, rows []sqltypes.Row) {
+	frames := []outFrame{{protocol.FrameHeader, protocol.EncodeHeader(cols)}}
+	enc := &protocol.BatchEncoder{}
+	for _, row := range rows {
+		enc.Append(row)
+		if enc.Size() >= protocol.DefaultBatchBytes {
+			frames = append(frames, outFrame{protocol.FrameRowBatch, enc.Payload()})
+			m.s.rowBatches.Add(1)
+			enc = &protocol.BatchEncoder{} // the old buffer now belongs to the queue
+		}
+	}
+	if enc.Rows() > 0 {
+		frames = append(frames, outFrame{protocol.FrameRowBatch, enc.Payload()})
+		m.s.rowBatches.Add(1)
+	}
+	frames = append(frames, outFrame{protocol.FrameEOF, nil})
+	m.writeCh <- outMsg{sid: sid, frames: frames}
+}
+
+// writeLoop is the socket's only writer: it drains every queued response
+// before flushing, so concurrent streams share flush syscalls. After a
+// write error it keeps consuming (and discarding) so stream workers never
+// block; the read side notices the dead socket and tears the conn down.
+func (m *muxConn) writeLoop() {
+	defer close(m.wdone)
+	var werr error
+	for msg := range m.writeCh {
+		if werr == nil {
+			werr = m.writeMsg(msg)
+		}
+		yielded := false
+	drain:
+		for {
+			select {
+			case next, ok := <-m.writeCh:
+				if !ok {
+					break drain
+				}
+				if werr == nil {
+					werr = m.writeMsg(next)
+				}
+				yielded = false
+			default:
+				// Yield once before flushing: runnable stream workers
+				// get to queue their responses into this same flush.
+				if yielded {
+					break drain
+				}
+				runtime.Gosched()
+				yielded = true
+			}
+		}
+		if werr == nil {
+			werr = m.w.Flush()
+		}
+	}
+}
+
+func (m *muxConn) writeMsg(msg outMsg) error {
+	for _, f := range msg.frames {
+		if err := protocol.WriteFrameV2(m.w, f.typ, msg.sid, f.payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -17,6 +17,7 @@ import (
 	"shardingsphere/internal/core"
 	"shardingsphere/internal/protocol"
 	"shardingsphere/internal/sqlexec"
+	"shardingsphere/internal/sqlparser"
 	"shardingsphere/internal/sqltypes"
 )
 
@@ -59,6 +60,14 @@ type Server struct {
 	throttled  atomic.Int64
 	bytesIn    atomic.Int64
 	bytesOut   atomic.Int64
+
+	// Protocol v2 counters: multiplexed connections, stream lifecycle,
+	// prepared statements and row-batch framing.
+	v2Conns       atomic.Int64
+	streamsOpened atomic.Int64
+	streamsActive atomic.Int64
+	preparedTotal atomic.Int64
+	rowBatches    atomic.Int64
 }
 
 // Metrics snapshots the server's wire-level counters; it satisfies the
@@ -73,6 +82,11 @@ func (s *Server) Metrics() map[string]int64 {
 		"throttled":          s.throttled.Load(),
 		"bytes_in":           s.bytesIn.Load(),
 		"bytes_out":          s.bytesOut.Load(),
+		"v2_connections":     s.v2Conns.Load(),
+		"streams_opened":     s.streamsOpened.Load(),
+		"streams_active":     s.streamsActive.Load(),
+		"prepared_stmts":     s.preparedTotal.Load(),
+		"row_batches":        s.rowBatches.Load(),
 	}
 }
 
@@ -188,15 +202,47 @@ func (s *Server) handle(conn net.Conn) {
 	s.connsTotal.Add(1)
 	s.active.Add(1)
 	defer s.active.Add(-1)
-	sess := s.backend.NewBackendSession()
-	defer sess.Close()
 	r := bufio.NewReaderSize(countingReader{conn, &s.bytesIn}, 64<<10)
 	w := bufio.NewWriterSize(countingWriter{conn, &s.bytesOut}, 64<<10)
 
+	// The session is created lazily: a v2 client never needs the
+	// connection-level session (each stream gets its own).
+	var sess BackendSession
+	defer func() {
+		if sess != nil {
+			sess.Close()
+		}
+	}()
+
+	first := true
 	for {
 		typ, payload, err := protocol.ReadFrame(r)
 		if err != nil {
 			return // client went away
+		}
+		// Version negotiation: a v2 client leads with Hello. Anything
+		// else (including Hello mid-conversation) stays on the v1 path;
+		// a v1 server equivalent would answer Hello with FrameError,
+		// which clients treat as "speak v1".
+		if first {
+			first = false
+			if typ == protocol.FrameHello {
+				version, _, derr := protocol.DecodeHello(payload)
+				if derr == nil && version >= protocol.Version2 {
+					if s.reply(w, protocol.FrameHelloAck, protocol.EncodeHello(protocol.Version2, protocol.MaxFrame)) != nil {
+						return
+					}
+					s.serveMux(conn, r, w)
+					return
+				}
+				if s.reply(w, protocol.FrameError, protocol.EncodeError("proxy: unsupported protocol version")) != nil {
+					return
+				}
+				continue
+			}
+		}
+		if sess == nil {
+			sess = s.backend.NewBackendSession()
 		}
 		switch typ {
 		case protocol.FrameQuit:
@@ -320,10 +366,11 @@ type NodeBackend struct {
 
 // NewBackendSession implements Backend.
 func (b *NodeBackend) NewBackendSession() BackendSession {
-	return &nodeSession{sess: b.Processor.NewSession()}
+	return &nodeSession{proc: b.Processor, sess: b.Processor.NewSession()}
 }
 
 type nodeSession struct {
+	proc *sqlexec.Processor
 	sess *sqlexec.Session
 }
 
@@ -332,6 +379,25 @@ func (ns *nodeSession) Execute(sql string, args []sqltypes.Value) ([]string, []s
 	if err != nil {
 		return nil, nil, 0, 0, err
 	}
+	return ns.result(res)
+}
+
+// Prepare implements PreparedBackendSession: the data node parses once
+// per statement shape, so prepared execution skips its parser entirely.
+func (ns *nodeSession) Prepare(sql string) (any, error) {
+	return ns.proc.Parse(sql)
+}
+
+// ExecutePrepared implements PreparedBackendSession.
+func (ns *nodeSession) ExecutePrepared(handle any, args []sqltypes.Value) ([]string, []sqltypes.Row, int64, int64, error) {
+	res, err := ns.sess.ExecuteStmt(handle.(sqlparser.Statement), args)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	return ns.result(res)
+}
+
+func (ns *nodeSession) result(res *sqlexec.Result) ([]string, []sqltypes.Row, int64, int64, error) {
 	if !res.IsQuery() {
 		return nil, nil, res.Affected, res.LastInsertID, nil
 	}

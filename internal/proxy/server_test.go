@@ -1,6 +1,7 @@
 package proxy
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -39,14 +40,14 @@ func TestDataNodeOverTCP(t *testing.T) {
 	if err := conn.Ping(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := conn.Exec("CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR(10))"); err != nil {
+	if _, err := conn.Exec(context.Background(), "CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR(10))"); err != nil {
 		t.Fatal(err)
 	}
-	res, err := conn.Exec("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+	res, err := conn.Exec(context.Background(), "INSERT INTO t VALUES (1, 'a'), (2, 'b')")
 	if err != nil || res.Affected != 2 {
 		t.Fatalf("insert: %+v %v", res, err)
 	}
-	rs, err := conn.Query("SELECT * FROM t WHERE id = ?", sqltypes.NewInt(2))
+	rs, err := conn.Query(context.Background(), "SELECT * FROM t WHERE id = ?", sqltypes.NewInt(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,16 +56,16 @@ func TestDataNodeOverTCP(t *testing.T) {
 		t.Fatalf("query: %v", rows)
 	}
 	// Remote errors surface with the message.
-	if _, err := conn.Query("SELECT * FROM missing"); err == nil || !strings.Contains(err.Error(), "missing") {
+	if _, err := conn.Query(context.Background(), "SELECT * FROM missing"); err == nil || !strings.Contains(err.Error(), "missing") {
 		t.Fatalf("remote error: %v", err)
 	}
 	// Transactions keep session state across frames.
-	if _, err := conn.Exec("BEGIN"); err != nil {
+	if _, err := conn.Exec(context.Background(), "BEGIN"); err != nil {
 		t.Fatal(err)
 	}
-	conn.Exec("UPDATE t SET v = 'x' WHERE id = 1")
-	conn.Exec("ROLLBACK")
-	rs, _ = conn.Query("SELECT v FROM t WHERE id = 1")
+	conn.Exec(context.Background(), "UPDATE t SET v = 'x' WHERE id = 1")
+	conn.Exec(context.Background(), "ROLLBACK")
+	rs, _ = conn.Query(context.Background(), "SELECT v FROM t WHERE id = 1")
 	rows, _ = resource.ReadAll(rs)
 	if rows[0][0].S != "a" {
 		t.Fatalf("tx over wire: %v", rows)
@@ -106,21 +107,21 @@ func TestProxyEndToEndSharded(t *testing.T) {
 
 	// Configure sharding through the proxy with DistSQL, then use it like
 	// one database — the paper's headline workflow.
-	if _, err := conn.Exec(`CREATE SHARDING TABLE RULE t_user (
+	if _, err := conn.Exec(context.Background(), `CREATE SHARDING TABLE RULE t_user (
 		RESOURCES(ds0, ds1), SHARDING_COLUMN = uid, TYPE = mod,
 		PROPERTIES("sharding-count" = 4))`); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := conn.Exec("CREATE TABLE t_user (uid INT PRIMARY KEY, name VARCHAR(32))"); err != nil {
+	if _, err := conn.Exec(context.Background(), "CREATE TABLE t_user (uid INT PRIMARY KEY, name VARCHAR(32))"); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 12; i++ {
-		if _, err := conn.Exec("INSERT INTO t_user (uid, name) VALUES (?, ?)",
+		if _, err := conn.Exec(context.Background(), "INSERT INTO t_user (uid, name) VALUES (?, ?)",
 			sqltypes.NewInt(int64(i)), sqltypes.NewString(fmt.Sprintf("u%d", i))); err != nil {
 			t.Fatal(err)
 		}
 	}
-	rs, err := conn.Query("SELECT COUNT(*) FROM t_user")
+	rs, err := conn.Query(context.Background(), "SELECT COUNT(*) FROM t_user")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestProxyEndToEndSharded(t *testing.T) {
 	if rows[0][0].I != 12 {
 		t.Fatalf("count through proxy: %v", rows)
 	}
-	rs, err = conn.Query("SELECT name FROM t_user WHERE uid = 7")
+	rs, err = conn.Query(context.Background(), "SELECT name FROM t_user WHERE uid = 7")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestProxyEndToEndSharded(t *testing.T) {
 		t.Fatalf("point query through proxy: %v", rows)
 	}
 	// Cross-shard ORDER BY + LIMIT through the proxy.
-	rs, err = conn.Query("SELECT uid FROM t_user ORDER BY uid DESC LIMIT 3")
+	rs, err = conn.Query(context.Background(), "SELECT uid FROM t_user ORDER BY uid DESC LIMIT 3")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,12 +147,12 @@ func TestProxyEndToEndSharded(t *testing.T) {
 		t.Fatalf("order through proxy: %v", rows)
 	}
 	// Distributed transaction through the proxy.
-	if _, err := conn.Exec("BEGIN"); err != nil {
+	if _, err := conn.Exec(context.Background(), "BEGIN"); err != nil {
 		t.Fatal(err)
 	}
-	conn.Exec("UPDATE t_user SET name = 'tx' WHERE uid IN (0, 1, 2, 3)")
-	conn.Exec("ROLLBACK")
-	rs, _ = conn.Query("SELECT COUNT(*) FROM t_user WHERE name = 'tx'")
+	conn.Exec(context.Background(), "UPDATE t_user SET name = 'tx' WHERE uid IN (0, 1, 2, 3)")
+	conn.Exec(context.Background(), "ROLLBACK")
+	rs, _ = conn.Query(context.Background(), "SELECT COUNT(*) FROM t_user WHERE name = 'tx'")
 	rows, _ = resource.ReadAll(rs)
 	if rows[0][0].I != 0 {
 		t.Fatalf("tx through proxy: %v", rows)
@@ -164,8 +165,8 @@ func TestProxyConcurrentClients(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	setup.Exec(`CREATE SHARDING TABLE RULE t (RESOURCES(ds0, ds1), SHARDING_COLUMN = id, TYPE = mod, PROPERTIES("sharding-count" = 2))`)
-	setup.Exec("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+	setup.Exec(context.Background(), `CREATE SHARDING TABLE RULE t (RESOURCES(ds0, ds1), SHARDING_COLUMN = id, TYPE = mod, PROPERTIES("sharding-count" = 2))`)
+	setup.Exec(context.Background(), "CREATE TABLE t (id INT PRIMARY KEY, v INT)")
 	setup.Close()
 
 	var wg sync.WaitGroup
@@ -182,7 +183,7 @@ func TestProxyConcurrentClients(t *testing.T) {
 			defer conn.Close()
 			for i := 0; i < 25; i++ {
 				id := int64(w*100 + i)
-				if _, err := conn.Exec("INSERT INTO t (id, v) VALUES (?, ?)",
+				if _, err := conn.Exec(context.Background(), "INSERT INTO t (id, v) VALUES (?, ?)",
 					sqltypes.NewInt(id), sqltypes.NewInt(id)); err != nil {
 					errs <- err
 					return
@@ -197,7 +198,7 @@ func TestProxyConcurrentClients(t *testing.T) {
 	}
 	check, _ := client.Dial(addr)
 	defer check.Close()
-	rs, err := check.Query("SELECT COUNT(*) FROM t")
+	rs, err := check.Query(context.Background(), "SELECT COUNT(*) FROM t")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +226,7 @@ func TestProxyThrottling(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Close()
-	if _, err := conn.Exec("SELECT 1"); err == nil || !strings.Contains(err.Error(), "throttled") {
+	if _, err := conn.Exec(context.Background(), "SELECT 1"); err == nil || !strings.Contains(err.Error(), "throttled") {
 		t.Fatalf("throttle: %v", err)
 	}
 	// Ping is not throttled.
@@ -257,13 +258,13 @@ func TestServerMetricsMove(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := conn.Exec("CREATE TABLE t (id INT PRIMARY KEY)"); err != nil {
+	if _, err := conn.Exec(context.Background(), "CREATE TABLE t (id INT PRIMARY KEY)"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := conn.Exec("INSERT INTO t VALUES (1)"); err != nil {
+	if _, err := conn.Exec(context.Background(), "INSERT INTO t VALUES (1)"); err != nil {
 		t.Fatal(err)
 	}
-	rs, err := conn.Query("SELECT * FROM t")
+	rs, err := conn.Query(context.Background(), "SELECT * FROM t")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +272,7 @@ func TestServerMetricsMove(t *testing.T) {
 		t.Fatal(err)
 	}
 	// A failing statement bumps the error counter.
-	if _, err := conn.Query("SELECT * FROM missing"); err == nil {
+	if _, err := conn.Query(context.Background(), "SELECT * FROM missing"); err == nil {
 		t.Fatal("expected remote error")
 	}
 

@@ -20,11 +20,11 @@ type stubConn struct {
 	closed  atomic.Bool
 }
 
-func (c *stubConn) Query(sql string, args ...sqltypes.Value) (ResultSet, error) {
+func (c *stubConn) Query(_ context.Context, sql string, args ...sqltypes.Value) (ResultSet, error) {
 	return NewSliceResultSet([]string{"a"}, nil), nil
 }
 
-func (c *stubConn) Exec(sql string, args ...sqltypes.Value) (ExecResult, error) {
+func (c *stubConn) Exec(_ context.Context, sql string, args ...sqltypes.Value) (ExecResult, error) {
 	return ExecResult{Affected: 1}, nil
 }
 

@@ -8,8 +8,13 @@
 //
 // Two implementations exist: the embedded connection in this package,
 // which drives an in-process sqlexec session, and the remote connection in
-// package proxyclient, which speaks the wire protocol to a data node
-// server.
+// package client, which speaks the wire protocol to a data node server.
+//
+// All connection operations are context-first: cancellation and deadlines
+// flow through the same methods that execute, so there is exactly one way
+// to run a statement. Result cursors are batch-oriented: NextBatch moves
+// many rows per interface call, and Next remains as the row-at-a-time
+// view over it.
 package resource
 
 import (
@@ -85,28 +90,125 @@ type ExecResult struct {
 type ResultSet interface {
 	Columns() []string
 	Next() (sqltypes.Row, error)
+	// NextBatch fills buf with up to len(buf) rows and returns how many
+	// were written. It returns (0, io.EOF) once the cursor is exhausted;
+	// a short (even zero-row) batch with a nil error just means "call
+	// again". Batched readers amortize the per-row interface-call and
+	// (for remote cursors) per-frame costs that Next pays.
+	NextBatch(buf []sqltypes.Row) (int, error)
 	Close() error
+}
+
+// LegacyResultSet is the pre-batch cursor shape: row-at-a-time only.
+// Implementations are adapted to the full ResultSet interface with
+// AdaptResultSet.
+type LegacyResultSet interface {
+	Columns() []string
+	Next() (sqltypes.Row, error)
+	Close() error
+}
+
+// FillBatch implements NextBatch semantics over a row-at-a-time next
+// function: fill buf until full or io.EOF, mapping "EOF with zero rows"
+// to (0, io.EOF).
+func FillBatch(next func() (sqltypes.Row, error), buf []sqltypes.Row) (int, error) {
+	n := 0
+	for n < len(buf) {
+		row, err := next()
+		if errors.Is(err, io.EOF) {
+			if n == 0 {
+				return 0, io.EOF
+			}
+			return n, nil
+		}
+		if err != nil {
+			return n, err
+		}
+		buf[n] = row
+		n++
+	}
+	return n, nil
+}
+
+// BatchAdapter lifts a LegacyResultSet to the batch-oriented ResultSet
+// interface by looping Next.
+type BatchAdapter struct {
+	LegacyResultSet
+}
+
+// NextBatch implements ResultSet.
+func (a BatchAdapter) NextBatch(buf []sqltypes.Row) (int, error) {
+	return FillBatch(a.Next, buf)
+}
+
+// AdaptResultSet returns rs unchanged if it already implements ResultSet,
+// and wraps it in a BatchAdapter otherwise.
+func AdaptResultSet(rs LegacyResultSet) ResultSet {
+	if full, ok := rs.(ResultSet); ok {
+		return full
+	}
+	return BatchAdapter{rs}
 }
 
 // Conn is one connection to a data source. Conns carry session state
 // (open transactions), so a transaction must stay on one Conn. Conns are
 // not safe for concurrent use.
+//
+// Both operations take a context: interruptible connections (remote, and
+// fault-injected ones) unblock when it is cancelled; in-process
+// connections pre-check it so cancelled work never starts.
 type Conn interface {
 	// Query executes a statement that returns rows.
-	Query(sql string, args ...sqltypes.Value) (ResultSet, error)
+	Query(ctx context.Context, sql string, args ...sqltypes.Value) (ResultSet, error)
 	// Exec executes a statement that returns no rows.
-	Exec(sql string, args ...sqltypes.Value) (ExecResult, error)
+	Exec(ctx context.Context, sql string, args ...sqltypes.Value) (ExecResult, error)
 	// Close releases the underlying session.
 	Close() error
 }
 
-// ContextConn is implemented by connections whose operations can be
-// interrupted by a context (the chaos layer's hang faults unblock through
-// it). Connections without it are pre-checked against the context and
-// then run uninterrupted — acceptable for fast in-process engines.
-type ContextConn interface {
-	QueryContext(ctx context.Context, sql string, args ...sqltypes.Value) (ResultSet, error)
-	ExecContext(ctx context.Context, sql string, args ...sqltypes.Value) (ExecResult, error)
+// Statement is one unit of a pipelined batch: SQL text plus bind args.
+type Statement struct {
+	SQL  string
+	Args []sqltypes.Value
+}
+
+// BatchConn is implemented by connections that can pipeline a batch of
+// statements: all statements are sent before the first response is read,
+// collapsing N round trips into one. Results are positional. A failed
+// statement yields a BatchError carrying its index; statements after it
+// are still executed (the batch is not transactional by itself).
+type BatchConn interface {
+	ExecBatch(ctx context.Context, stmts []Statement) ([]ExecResult, error)
+}
+
+// BatchError attributes a batch failure to one statement.
+type BatchError struct {
+	Index int
+	Err   error
+}
+
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("batch statement %d: %v", e.Index, e.Err)
+}
+
+func (e *BatchError) Unwrap() error { return e.Err }
+
+// ExecBatch executes stmts on c, pipelining when the connection supports
+// it and degrading to a sequential loop otherwise. On error the returned
+// error wraps (or is) a *BatchError identifying the failed statement.
+func ExecBatch(ctx context.Context, c Conn, stmts []Statement) ([]ExecResult, error) {
+	if bc, ok := c.(BatchConn); ok {
+		return bc.ExecBatch(ctx, stmts)
+	}
+	results := make([]ExecResult, 0, len(stmts))
+	for i, st := range stmts {
+		res, err := c.Exec(ctx, st.SQL, st.Args...)
+		if err != nil {
+			return results, &BatchError{Index: i, Err: err}
+		}
+		results = append(results, res)
+	}
+	return results, nil
 }
 
 // SliceResultSet adapts a materialized row set to the ResultSet interface.
@@ -138,6 +240,17 @@ func (rs *SliceResultSet) Next() (sqltypes.Row, error) {
 	return row, nil
 }
 
+// NextBatch implements ResultSet natively: one copy moves the whole
+// window.
+func (rs *SliceResultSet) NextBatch(buf []sqltypes.Row) (int, error) {
+	if rs.pos >= len(rs.Data) {
+		return 0, io.EOF
+	}
+	n := copy(buf, rs.Data[rs.pos:])
+	rs.pos += n
+	return n, nil
+}
+
 // Close implements ResultSet.
 func (rs *SliceResultSet) Close() error {
 	if !rs.closed {
@@ -152,16 +265,23 @@ func (rs *SliceResultSet) Close() error {
 // ReadAll drains a result set into memory and closes it.
 func ReadAll(rs ResultSet) ([]sqltypes.Row, error) {
 	defer rs.Close()
+	// Materialized sets hand over their backing slice without copying.
+	if s, ok := rs.(*SliceResultSet); ok {
+		rows := s.Data[s.pos:]
+		s.pos = len(s.Data)
+		return rows, nil
+	}
 	var rows []sqltypes.Row
+	var buf [64]sqltypes.Row
 	for {
-		row, err := rs.Next()
+		n, err := rs.NextBatch(buf[:])
+		rows = append(rows, buf[:n]...)
 		if errors.Is(err, io.EOF) {
 			return rows, nil
 		}
 		if err != nil {
 			return rows, err
 		}
-		rows = append(rows, row)
 	}
 }
 
@@ -176,17 +296,28 @@ type embeddedConn struct {
 	closed  bool
 }
 
-func (c *embeddedConn) delay() {
-	if c.latency > 0 {
-		time.Sleep(c.latency)
+// delay models the round trip; a cancelled context cuts it short.
+func (c *embeddedConn) delay(ctx context.Context) error {
+	if c.latency <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(c.latency)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
-func (c *embeddedConn) Query(sql string, args ...sqltypes.Value) (ResultSet, error) {
+func (c *embeddedConn) Query(ctx context.Context, sql string, args ...sqltypes.Value) (ResultSet, error) {
 	if c.closed {
 		return nil, ErrConnClosed
 	}
-	c.delay()
+	if err := c.delay(ctx); err != nil {
+		return nil, err
+	}
 	res, err := c.sess.Execute(sql, args...)
 	if err != nil {
 		return nil, err
@@ -197,11 +328,13 @@ func (c *embeddedConn) Query(sql string, args ...sqltypes.Value) (ResultSet, err
 	return NewSliceResultSet(res.Columns, res.Rows), nil
 }
 
-func (c *embeddedConn) Exec(sql string, args ...sqltypes.Value) (ExecResult, error) {
+func (c *embeddedConn) Exec(ctx context.Context, sql string, args ...sqltypes.Value) (ExecResult, error) {
 	if c.closed {
 		return ExecResult{}, ErrConnClosed
 	}
-	c.delay()
+	if err := c.delay(ctx); err != nil {
+		return ExecResult{}, err
+	}
 	res, err := c.sess.Execute(sql, args...)
 	if err != nil {
 		return ExecResult{}, err
@@ -260,6 +393,11 @@ type ConnInterceptor func(Conn) Conn
 // fast path: the time spent blocked and whether it ended in timeout.
 type AcquireObserver func(wait time.Duration, timedOut bool)
 
+// AuxMetricsFunc reports transport-level counters for a data source
+// (mux sockets, streams, prepared statements, pipelined batches);
+// installed by remote transports, surfaced by SHOW REMOTE STATUS.
+type AuxMetricsFunc func() map[string]int64
+
 // DataSource is one named database with a connection pool.
 type DataSource struct {
 	name    string
@@ -281,6 +419,7 @@ type DataSource struct {
 	observer  atomic.Pointer[AcquireObserver]
 
 	interceptor atomic.Pointer[ConnInterceptor]
+	auxMetrics  atomic.Pointer[AuxMetricsFunc]
 }
 
 // PoolStats is a point-in-time snapshot of one pool's gauges.
@@ -338,6 +477,25 @@ func (ds *DataSource) SetAcquireObserver(fn AcquireObserver) {
 		return
 	}
 	ds.observer.Store(&fn)
+}
+
+// SetAuxMetrics installs the transport counter source for this data
+// source (nil removes it). Safe to call concurrently with AuxMetrics.
+func (ds *DataSource) SetAuxMetrics(fn AuxMetricsFunc) {
+	if fn == nil {
+		ds.auxMetrics.Store(nil)
+		return
+	}
+	ds.auxMetrics.Store(&fn)
+}
+
+// AuxMetrics snapshots transport-level counters, or nil if the data
+// source has no remote transport behind it.
+func (ds *DataSource) AuxMetrics() map[string]int64 {
+	if p := ds.auxMetrics.Load(); p != nil {
+		return (*p)()
+	}
+	return nil
 }
 
 // Stats snapshots the pool gauges.
@@ -496,7 +654,9 @@ func (ds *DataSource) Close() {
 }
 
 // PooledConn is a connection checked out of a DataSource pool. Conn may be
-// an interceptor wrapper (chaos); raw is what returns to the pool.
+// an interceptor wrapper (chaos); raw is what returns to the pool. The
+// embedded Conn provides Query/Exec; ExecBatch pipelines through the
+// wrapped connection when it supports batching.
 type PooledConn struct {
 	Conn
 	raw      Conn
@@ -513,27 +673,11 @@ type Defuncter interface {
 	Defunct() bool
 }
 
-// QueryCtx runs Query under a context: interruptible connections are
-// interrupted, others are pre-checked so cancelled work never starts.
-func (pc *PooledConn) QueryCtx(ctx context.Context, sql string, args ...sqltypes.Value) (ResultSet, error) {
-	if cc, ok := pc.Conn.(ContextConn); ok {
-		return cc.QueryContext(ctx, sql, args...)
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return pc.Conn.Query(sql, args...)
-}
-
-// ExecCtx runs Exec under a context (see QueryCtx).
-func (pc *PooledConn) ExecCtx(ctx context.Context, sql string, args ...sqltypes.Value) (ExecResult, error) {
-	if cc, ok := pc.Conn.(ContextConn); ok {
-		return cc.ExecContext(ctx, sql, args...)
-	}
-	if err := ctx.Err(); err != nil {
-		return ExecResult{}, err
-	}
-	return pc.Conn.Exec(sql, args...)
+// ExecBatch implements BatchConn by delegating to the wrapped connection,
+// so interceptors (chaos) stay in the path and pipelining is preserved
+// when the underlying transport supports it.
+func (pc *PooledConn) ExecBatch(ctx context.Context, stmts []Statement) ([]ExecResult, error) {
+	return ExecBatch(ctx, pc.Conn, stmts)
 }
 
 // Release returns the connection to the pool.

@@ -1,6 +1,7 @@
 package resource
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -19,10 +20,10 @@ func newDS(t *testing.T, opts *Options) *DataSource {
 		t.Fatal(err)
 	}
 	defer conn.Release()
-	if _, err := conn.Exec("CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR(20))"); err != nil {
+	if _, err := conn.Exec(context.Background(), "CREATE TABLE t (id INT PRIMARY KEY, v VARCHAR(20))"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := conn.Exec("INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c')"); err != nil {
+	if _, err := conn.Exec(context.Background(), "INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c')"); err != nil {
 		t.Fatal(err)
 	}
 	return ds
@@ -35,7 +36,7 @@ func TestQueryAndExec(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer conn.Release()
-	rs, err := conn.Query("SELECT * FROM t WHERE id >= ?", sqltypes.NewInt(2))
+	rs, err := conn.Query(context.Background(), "SELECT * FROM t WHERE id >= ?", sqltypes.NewInt(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,12 +44,12 @@ func TestQueryAndExec(t *testing.T) {
 	if err != nil || len(rows) != 2 {
 		t.Fatalf("rows: %v err: %v", rows, err)
 	}
-	res, err := conn.Exec("UPDATE t SET v = 'x' WHERE id = 1")
+	res, err := conn.Exec(context.Background(), "UPDATE t SET v = 'x' WHERE id = 1")
 	if err != nil || res.Affected != 1 {
 		t.Fatalf("exec: %+v %v", res, err)
 	}
 	// Query on an Exec statement errors.
-	if _, err := conn.Query("UPDATE t SET v = 'y'"); err == nil {
+	if _, err := conn.Query(context.Background(), "UPDATE t SET v = 'y'"); err == nil {
 		t.Fatal("Query of DML should fail")
 	}
 }
@@ -144,22 +145,22 @@ func TestTransactionsPinnedToConn(t *testing.T) {
 	defer c1.Release()
 	c2, _ := ds.Acquire()
 	defer c2.Release()
-	if _, err := c1.Exec("BEGIN"); err != nil {
+	if _, err := c1.Exec(context.Background(), "BEGIN"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c1.Exec("UPDATE t SET v = 'tx' WHERE id = 1"); err != nil {
+	if _, err := c1.Exec(context.Background(), "UPDATE t SET v = 'tx' WHERE id = 1"); err != nil {
 		t.Fatal(err)
 	}
 	// c2 must not see the in-flight change.
-	rs, _ := c2.Query("SELECT v FROM t WHERE id = 1")
+	rs, _ := c2.Query(context.Background(), "SELECT v FROM t WHERE id = 1")
 	rows, _ := ReadAll(rs)
 	if rows[0][0].S != "a" {
 		t.Fatalf("dirty read across conns: %v", rows)
 	}
-	if _, err := c1.Exec("COMMIT"); err != nil {
+	if _, err := c1.Exec(context.Background(), "COMMIT"); err != nil {
 		t.Fatal(err)
 	}
-	rs, _ = c2.Query("SELECT v FROM t WHERE id = 1")
+	rs, _ = c2.Query(context.Background(), "SELECT v FROM t WHERE id = 1")
 	rows, _ = ReadAll(rs)
 	if rows[0][0].S != "tx" {
 		t.Fatalf("commit invisible: %v", rows)
@@ -179,7 +180,7 @@ func TestConcurrentAcquireRelease(t *testing.T) {
 					t.Error(err)
 					return
 				}
-				rs, err := c.Query("SELECT COUNT(*) FROM t")
+				rs, err := c.Query(context.Background(), "SELECT COUNT(*) FROM t")
 				if err != nil {
 					t.Error(err)
 					c.Release()
@@ -255,7 +256,7 @@ func TestLatencyOption(t *testing.T) {
 	c, _ := ds.Acquire()
 	defer c.Release()
 	start := time.Now()
-	c.Exec("CREATE TABLE t (id INT PRIMARY KEY)")
+	c.Exec(context.Background(), "CREATE TABLE t (id INT PRIMARY KEY)")
 	if time.Since(start) < 10*time.Millisecond {
 		t.Fatal("latency not applied")
 	}

@@ -1,6 +1,7 @@
 package transaction
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -147,7 +148,7 @@ func (t *baseTx) BeforeStatement(units []rewrite.SQLUnit) error {
 			return err
 		}
 		if !t.inLocal[u.DataSource] {
-			if _, err := conn.Exec("BEGIN"); err != nil {
+			if _, err := conn.Exec(context.Background(), "BEGIN"); err != nil {
 				return err
 			}
 			t.inLocal[u.DataSource] = true
@@ -174,7 +175,7 @@ func (t *baseTx) AfterStatement(units []rewrite.SQLUnit, execErr error) error {
 	}
 	for ds := range t.inLocal {
 		conn, _ := t.held.Peek(ds)
-		if _, err := conn.Exec("COMMIT"); err != nil {
+		if _, err := conn.Exec(context.Background(), "COMMIT"); err != nil {
 			conn.Broken = true
 			return fmt.Errorf("transaction: BASE local commit failed on %s: %w", ds, err)
 		}
@@ -190,7 +191,7 @@ func (t *baseTx) AfterStatement(units []rewrite.SQLUnit, execErr error) error {
 func (t *baseTx) abortLocals() {
 	for ds := range t.inLocal {
 		if conn, ok := t.held.Peek(ds); ok {
-			conn.Exec("ROLLBACK")
+			conn.Exec(context.Background(), "ROLLBACK")
 		}
 	}
 	t.pending = nil
@@ -227,7 +228,7 @@ func (t *baseTx) Rollback() error {
 		if err != nil {
 			return fmt.Errorf("transaction: BASE compensation lost on %s: %w", rec.DataSource, err)
 		}
-		if _, err := conn.Exec(rec.SQL); err != nil {
+		if _, err := conn.Exec(context.Background(), rec.SQL); err != nil {
 			return fmt.Errorf("transaction: BASE compensation failed on %s (%s): %w", rec.DataSource, rec.SQL, err)
 		}
 	}
@@ -276,7 +277,7 @@ func (t *baseTx) undoForUpdateDelete(conn *resource.PooledConn, ds, table string
 		Where:     where,
 		ForUpdate: true,
 	}
-	rs, err := conn.Query(ser.Serialize(sel), whereArgs...)
+	rs, err := conn.Query(context.Background(), ser.Serialize(sel), whereArgs...)
 	if err != nil {
 		return nil, err
 	}

@@ -17,6 +17,7 @@
 package transaction
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -166,7 +167,7 @@ func (t *localTx) BeforeStatement(units []rewrite.SQLUnit) error {
 		if err != nil {
 			return err
 		}
-		if _, err := conn.Exec("BEGIN"); err != nil {
+		if _, err := conn.Exec(context.Background(), "BEGIN"); err != nil {
 			return err
 		}
 		t.begun[u.DataSource] = true
@@ -192,7 +193,7 @@ func (t *localTx) finish(cmd string) error {
 	// failures are ignored (paper: "Even if some data source commits
 	// fail, ShardingSphere will ignore it").
 	t.held.Each(func(ds string, c *resource.PooledConn) error {
-		if _, err := c.Exec(cmd); err != nil {
+		if _, err := c.Exec(context.Background(), cmd); err != nil {
 			c.Broken = true
 		}
 		return nil

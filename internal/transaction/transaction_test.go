@@ -1,6 +1,7 @@
 package transaction
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -32,10 +33,10 @@ func fixture(t *testing.T, log LogStore) (*Manager, *exec.Executor) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := conn.Exec("CREATE TABLE t (id INT PRIMARY KEY, v INT)"); err != nil {
+		if _, err := conn.Exec(context.Background(), "CREATE TABLE t (id INT PRIMARY KEY, v INT)"); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := conn.Exec(fmt.Sprintf("INSERT INTO t VALUES (%d, 0)", d)); err != nil {
+		if _, err := conn.Exec(context.Background(), fmt.Sprintf("INSERT INTO t VALUES (%d, 0)", d)); err != nil {
 			t.Fatal(err)
 		}
 		conn.Release()
@@ -63,7 +64,7 @@ func readV(t *testing.T, e *exec.Executor, ds string, id int) int64 {
 		t.Fatal(err)
 	}
 	defer conn.Release()
-	rs, err := conn.Query(fmt.Sprintf("SELECT v FROM t WHERE id = %d", id))
+	rs, err := conn.Query(context.Background(), fmt.Sprintf("SELECT v FROM t WHERE id = %d", id))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,17 +180,17 @@ func TestXAPrepareFailureRollsBack(t *testing.T) {
 	// Park a prepared branch with the XID the next transaction will get.
 	src, _ := e.Source("ds0")
 	conn, _ := src.Acquire()
-	if _, err := conn.Exec("XA BEGIN 'gtx-1'"); err != nil {
+	if _, err := conn.Exec(context.Background(), "XA BEGIN 'gtx-1'"); err != nil {
 		t.Fatal(err)
 	}
 	// Touch a row the transaction under test will not lock.
-	if _, err := conn.Exec("INSERT INTO t (id, v) VALUES (50, 1)"); err != nil {
+	if _, err := conn.Exec(context.Background(), "INSERT INTO t (id, v) VALUES (50, 1)"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := conn.Exec("XA END 'gtx-1'"); err != nil {
+	if _, err := conn.Exec(context.Background(), "XA END 'gtx-1'"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := conn.Exec("XA PREPARE 'gtx-1'"); err != nil {
+	if _, err := conn.Exec(context.Background(), "XA PREPARE 'gtx-1'"); err != nil {
 		t.Fatal(err)
 	}
 	conn.Release()
@@ -218,10 +219,10 @@ func TestXARecoveryCommitsDecided(t *testing.T) {
 	for _, ds := range []string{"ds0", "ds1"} {
 		src, _ := e.Source(ds)
 		conn, _ := src.Acquire()
-		conn.Exec("XA BEGIN 'crash-1'")
-		conn.Exec("UPDATE t SET v = 42")
-		conn.Exec("XA END 'crash-1'")
-		if _, err := conn.Exec("XA PREPARE 'crash-1'"); err != nil {
+		conn.Exec(context.Background(), "XA BEGIN 'crash-1'")
+		conn.Exec(context.Background(), "UPDATE t SET v = 42")
+		conn.Exec(context.Background(), "XA END 'crash-1'")
+		if _, err := conn.Exec(context.Background(), "XA PREPARE 'crash-1'"); err != nil {
 			t.Fatal(err)
 		}
 		conn.Release()
@@ -252,10 +253,10 @@ func TestXARecoveryAbortsUndecided(t *testing.T) {
 	// Prepared branch with no log record: presumed abort.
 	src, _ := e.Source("ds0")
 	conn, _ := src.Acquire()
-	conn.Exec("XA BEGIN 'orphan-1'")
-	conn.Exec("UPDATE t SET v = 13")
-	conn.Exec("XA END 'orphan-1'")
-	if _, err := conn.Exec("XA PREPARE 'orphan-1'"); err != nil {
+	conn.Exec(context.Background(), "XA BEGIN 'orphan-1'")
+	conn.Exec(context.Background(), "UPDATE t SET v = 13")
+	conn.Exec(context.Background(), "XA END 'orphan-1'")
+	if _, err := conn.Exec(context.Background(), "XA PREPARE 'orphan-1'"); err != nil {
 		t.Fatal(err)
 	}
 	conn.Release()

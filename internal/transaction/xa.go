@@ -1,6 +1,7 @@
 package transaction
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -140,7 +141,7 @@ func (t *xaTx) BeforeStatement(units []rewrite.SQLUnit) error {
 		if err != nil {
 			return err
 		}
-		if _, err := conn.Exec(fmt.Sprintf("XA BEGIN '%s'", t.xid)); err != nil {
+		if _, err := conn.Exec(context.Background(), fmt.Sprintf("XA BEGIN '%s'", t.xid)); err != nil {
 			return err
 		}
 		t.begun[u.DataSource] = true
@@ -172,11 +173,12 @@ func (t *xaTx) Commit() error {
 	var prepareErr error
 	for _, ds := range branches {
 		conn, _ := t.held.Peek(ds)
-		if _, err := conn.Exec(fmt.Sprintf("XA END '%s'", t.xid)); err != nil {
-			prepareErr = err
-			break
-		}
-		if _, err := conn.Exec(fmt.Sprintf("XA PREPARE '%s'", t.xid)); err != nil {
+		// END and PREPARE pipeline as one batch: a remote branch pays a
+		// single round trip for phase 1 instead of two.
+		if _, err := resource.ExecBatch(context.Background(), conn, []resource.Statement{
+			{SQL: fmt.Sprintf("XA END '%s'", t.xid)},
+			{SQL: fmt.Sprintf("XA PREPARE '%s'", t.xid)},
+		}); err != nil {
 			prepareErr = err
 			break
 		}
@@ -189,7 +191,7 @@ func (t *xaTx) Commit() error {
 		// its own active branch).
 		for _, ds := range branches {
 			conn, _ := t.held.Peek(ds)
-			if _, err := conn.Exec(fmt.Sprintf("XA ROLLBACK '%s'", t.xid)); err != nil {
+			if _, err := conn.Exec(context.Background(), fmt.Sprintf("XA ROLLBACK '%s'", t.xid)); err != nil {
 				conn.Broken = true
 			}
 		}
@@ -200,7 +202,7 @@ func (t *xaTx) Commit() error {
 	if err := t.mgr.log.Write(LogRecord{XID: t.xid, Branches: branches, Decided: true}); err != nil {
 		for _, ds := range prepared {
 			conn, _ := t.held.Peek(ds)
-			conn.Exec(fmt.Sprintf("XA ROLLBACK '%s'", t.xid))
+			conn.Exec(context.Background(), fmt.Sprintf("XA ROLLBACK '%s'", t.xid))
 		}
 		return fmt.Errorf("transaction: XA log write failed, rolled back: %w", err)
 	}
@@ -210,7 +212,7 @@ func (t *xaTx) Commit() error {
 	allOK := true
 	for _, ds := range branches {
 		conn, _ := t.held.Peek(ds)
-		if _, err := conn.Exec(fmt.Sprintf("XA COMMIT '%s'", t.xid)); err != nil {
+		if _, err := conn.Exec(context.Background(), fmt.Sprintf("XA COMMIT '%s'", t.xid)); err != nil {
 			conn.Broken = true
 			allOK = false
 		}
@@ -230,7 +232,7 @@ func (t *xaTx) Rollback() error {
 	defer t.held.ReleaseAll()
 	for ds := range t.begun {
 		conn, _ := t.held.Peek(ds)
-		if _, err := conn.Exec(fmt.Sprintf("XA ROLLBACK '%s'", t.xid)); err != nil {
+		if _, err := conn.Exec(context.Background(), fmt.Sprintf("XA ROLLBACK '%s'", t.xid)); err != nil {
 			conn.Broken = true
 		}
 	}
@@ -304,7 +306,7 @@ func (m *Manager) execOn(ds, sql string) error {
 		return err
 	}
 	defer conn.Release()
-	_, err = conn.Exec(sql)
+	_, err = conn.Exec(context.Background(), sql)
 	return err
 }
 
@@ -318,7 +320,7 @@ func (m *Manager) recoverOn(ds string) ([]string, error) {
 		return nil, err
 	}
 	defer conn.Release()
-	rs, err := conn.Query("XA RECOVER")
+	rs, err := conn.Query(context.Background(), "XA RECOVER")
 	if err != nil {
 		return nil, err
 	}

@@ -3,14 +3,25 @@
 // drive networked data nodes (cmd/datanode). A Conn satisfies the
 // kernel's resource connection contract, so a remote data source plugs in
 // exactly like an embedded one.
+//
+// Dial negotiates protocol v2 (multiplexed streams, prepared statements,
+// pipelining, row-batch framing) and transparently falls back to v1
+// against older servers. NewRemoteDataSource goes further: all logical
+// connections of the pool share a handful of multiplexed sockets, so the
+// real TCP footprint stays far below the pool's MaxCon.
 package client
 
 import (
-	"bufio"
+	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
+	"sync"
+	"sync/atomic"
 	"time"
+
+	"bufio"
 
 	"shardingsphere/internal/protocol"
 	"shardingsphere/internal/resource"
@@ -20,12 +31,22 @@ import (
 // ErrRemote wraps an error reported by the server.
 var ErrRemote = errors.New("remote error")
 
-// Conn is one protocol connection. Not safe for concurrent use (like a
-// database connection).
+// Conn is one logical protocol connection: either a dedicated v1 socket
+// or one stream on a shared v2 transport. Not safe for concurrent use
+// (like a database connection).
 type Conn struct {
-	nc      net.Conn
-	r       *bufio.Reader
-	w       *bufio.Writer
+	// v1 state: a dedicated socket. nil when multiplexed.
+	nc net.Conn
+	r  *bufio.Reader
+	w  *bufio.Writer
+
+	// v2 state: one stream on a (possibly shared) transport.
+	t             *Transport
+	st            *stream
+	stmts         map[string]uint32 // SQL text → prepared statement ID
+	nextStmt      uint32
+	ownsTransport bool // Close tears the transport down too
+
 	closed  bool
 	defunct bool
 }
@@ -42,8 +63,28 @@ func (c *Conn) fail(err error) error {
 	return err
 }
 
-// Dial connects to a proxy or data node.
+// Dial connects to a proxy or data node, negotiating protocol v2 with
+// transparent fallback to v1. The returned Conn owns its socket.
 func Dial(addr string) (*Conn, error) {
+	t, legacy, err := negotiate(addr)
+	if err != nil {
+		return nil, err
+	}
+	if legacy != nil {
+		return legacy, nil
+	}
+	conn, err := t.OpenConn()
+	if err != nil {
+		t.Close()
+		return nil, err
+	}
+	conn.ownsTransport = true
+	return conn, nil
+}
+
+// DialV1 connects speaking protocol v1 only (no negotiation). Kept for
+// compatibility testing and benchmarking against the v2 path.
+func DialV1(addr string) (*Conn, error) {
 	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
 	if err != nil {
 		return nil, err
@@ -58,8 +99,34 @@ func Dial(addr string) (*Conn, error) {
 	}, nil
 }
 
+// armDeadline propagates a context deadline onto the v1 socket so blocked
+// reads unstick; the returned func restores the socket.
+func (c *Conn) armDeadline(ctx context.Context) func() {
+	if d, ok := ctx.Deadline(); ok {
+		c.nc.SetDeadline(d)
+		return func() { c.nc.SetDeadline(time.Time{}) }
+	}
+	return func() {}
+}
+
 // Ping round-trips a ping frame.
 func (c *Conn) Ping() error {
+	if c.closed {
+		return resource.ErrConnClosed
+	}
+	if c.st != nil {
+		if err := c.t.send(c.st.id, outFrame{protocol.FramePing, nil}); err != nil {
+			return c.fail(err)
+		}
+		f, err := c.pop(context.Background())
+		if err != nil {
+			return err
+		}
+		if f.typ != protocol.FramePong {
+			return c.fail(fmt.Errorf("client: unexpected frame %#x to ping", f.typ))
+		}
+		return nil
+	}
 	if err := protocol.WriteFrame(c.w, protocol.FramePing, nil); err != nil {
 		return c.fail(err)
 	}
@@ -76,20 +143,222 @@ func (c *Conn) Ping() error {
 	return nil
 }
 
-func (c *Conn) send(sql string, args []sqltypes.Value) error {
-	if c.closed {
-		return resource.ErrConnClosed
+// --- v2 (multiplexed) path ---
+
+// pop reads the next frame for this conn's stream. A context abort
+// abandons the conversation mid-stream, so the logical conn is marked
+// defunct and the server told to tear the stream down; sibling streams on
+// the same socket are unaffected.
+func (c *Conn) pop(ctx context.Context) (muxFrame, error) {
+	f, err := c.st.pop(ctx)
+	if err != nil {
+		c.defunct = true
+		if ctx.Err() != nil && c.t.Healthy() {
+			c.t.send(c.st.id, outFrame{protocol.FrameStreamClose, nil})
+			c.t.closeStream(c.st)
+		}
+		return muxFrame{}, err
 	}
-	if err := protocol.WriteFrame(c.w, protocol.FrameQuery, protocol.EncodeQuery(sql, args)); err != nil {
-		return c.fail(err)
-	}
-	return c.fail(c.w.Flush())
+	return f, nil
 }
 
-// Query executes a statement and returns its row set. Statements that
-// return no rows yield an empty result set with nil columns.
-func (c *Conn) Query(sql string, args ...sqltypes.Value) (resource.ResultSet, error) {
-	if err := c.send(sql, args); err != nil {
+// sendStmt ships one statement, registering its shape as a prepared
+// statement on first use. Preparation is fire-and-forget (no round trip):
+// the prepare and execute frames travel in the same write.
+func (c *Conn) sendStmt(sql string, args []sqltypes.Value) error {
+	id, ok := c.stmts[sql]
+	if !ok {
+		c.nextStmt++
+		id = c.nextStmt
+		c.stmts[sql] = id
+		c.t.preparedStmts.Add(1)
+		return c.t.send(c.st.id,
+			outFrame{protocol.FramePrepare, protocol.EncodePrepare(id, sql)},
+			outFrame{protocol.FrameExecStmt, protocol.EncodeExecStmt(id, args)})
+	}
+	return c.t.send(c.st.id, outFrame{protocol.FrameExecStmt, protocol.EncodeExecStmt(id, args)})
+}
+
+// readExecResult consumes one statement response, tolerating row sets by
+// draining them. Remote statement errors leave the conn healthy; protocol
+// or transport errors mark it defunct.
+func (c *Conn) readExecResult(ctx context.Context) (resource.ExecResult, error) {
+	f, err := c.pop(ctx)
+	if err != nil {
+		return resource.ExecResult{}, err
+	}
+	switch f.typ {
+	case protocol.FrameOK:
+		affected, lastID, err := protocol.DecodeOK(f.payload)
+		if err != nil {
+			return resource.ExecResult{}, c.fail(err)
+		}
+		return resource.ExecResult{Affected: affected, LastInsertID: lastID}, nil
+	case protocol.FrameError:
+		msg, _ := protocol.DecodeError(f.payload)
+		return resource.ExecResult{}, fmt.Errorf("%w: %s", ErrRemote, msg)
+	case protocol.FrameHeader:
+		// SELECT via Exec: drain the row set, report zero affected,
+		// mirroring database/sql's tolerance.
+		for {
+			f, err := c.pop(ctx)
+			if err != nil {
+				return resource.ExecResult{}, err
+			}
+			switch f.typ {
+			case protocol.FrameRowBatch, protocol.FrameRow:
+			case protocol.FrameEOF:
+				return resource.ExecResult{}, nil
+			case protocol.FrameError:
+				return resource.ExecResult{}, fmt.Errorf("%w: mid-stream", ErrRemote)
+			default:
+				return resource.ExecResult{}, c.fail(fmt.Errorf("client: unexpected frame %#x in row stream", f.typ))
+			}
+		}
+	default:
+		return resource.ExecResult{}, c.fail(fmt.Errorf("client: unexpected frame %#x", f.typ))
+	}
+}
+
+// remoteRows is the lazy batched cursor over one v2 query result. Row
+// batches are decoded one frame at a time as the reader advances, so a
+// large result never has to be resident all at once (Memory-Strictly
+// friendly). The cursor owns the stream until Close, which skims any
+// unread frames so the next statement starts clean.
+type remoteRows struct {
+	c      *Conn
+	ctx    context.Context
+	cols   []string
+	batch  []sqltypes.Row
+	pos    int
+	done   bool
+	err    error
+	closed bool
+}
+
+func (rs *remoteRows) Columns() []string { return rs.cols }
+
+// fetch ensures the current batch has unread rows, pulling the next
+// row-batch frame when it runs dry. After fetch: either pos < len(batch),
+// or done is set (EOF/error consumed).
+func (rs *remoteRows) fetch() error {
+	if rs.err != nil {
+		return rs.err
+	}
+	for !rs.done && rs.pos >= len(rs.batch) {
+		f, err := rs.c.pop(rs.ctx)
+		if err != nil {
+			rs.done, rs.err = true, err
+			return err
+		}
+		switch f.typ {
+		case protocol.FrameRowBatch:
+			rs.batch, err = protocol.DecodeRowBatch(f.payload, rs.batch[:0])
+			rs.pos = 0
+			if err != nil {
+				rs.done, rs.err = true, rs.c.fail(err)
+				return rs.err
+			}
+		case protocol.FrameRow:
+			row, err := protocol.DecodeRow(f.payload)
+			if err != nil {
+				rs.done, rs.err = true, rs.c.fail(err)
+				return rs.err
+			}
+			rs.batch, rs.pos = append(rs.batch[:0], row), 0
+		case protocol.FrameEOF:
+			rs.done = true
+		case protocol.FrameError:
+			msg, _ := protocol.DecodeError(f.payload)
+			rs.done = true
+			rs.err = fmt.Errorf("%w: %s", ErrRemote, msg)
+			return rs.err
+		default:
+			rs.done = true
+			rs.err = rs.c.fail(fmt.Errorf("client: unexpected frame %#x in row stream", f.typ))
+			return rs.err
+		}
+	}
+	return nil
+}
+
+func (rs *remoteRows) Next() (sqltypes.Row, error) {
+	if err := rs.fetch(); err != nil {
+		return nil, err
+	}
+	if rs.pos >= len(rs.batch) {
+		return nil, io.EOF
+	}
+	row := rs.batch[rs.pos]
+	rs.pos++
+	return row, nil
+}
+
+func (rs *remoteRows) NextBatch(buf []sqltypes.Row) (int, error) {
+	if err := rs.fetch(); err != nil {
+		return 0, err
+	}
+	if rs.pos >= len(rs.batch) {
+		return 0, io.EOF
+	}
+	n := copy(buf, rs.batch[rs.pos:])
+	rs.pos += n
+	return n, nil
+}
+
+func (rs *remoteRows) Close() error {
+	if rs.closed {
+		return nil
+	}
+	rs.closed = true
+	// Skim to end-of-result so the stream is clean for the next
+	// statement; error paths set done, so this terminates.
+	for !rs.done {
+		rs.pos = len(rs.batch)
+		rs.fetch()
+	}
+	return nil
+}
+
+// --- Conn operations (both paths) ---
+
+// Query executes a statement that returns rows. On a multiplexed conn the
+// result is a lazy batched cursor; on v1 the rows are materialized. A
+// context abort mid-conversation marks the conn defunct (the pool
+// discards it) without disturbing sibling streams.
+func (c *Conn) Query(ctx context.Context, sql string, args ...sqltypes.Value) (resource.ResultSet, error) {
+	if c.closed {
+		return nil, resource.ErrConnClosed
+	}
+	if c.st != nil {
+		if err := c.sendStmt(sql, args); err != nil {
+			return nil, c.fail(err)
+		}
+		f, err := c.pop(ctx)
+		if err != nil {
+			return nil, err
+		}
+		switch f.typ {
+		case protocol.FrameError:
+			msg, _ := protocol.DecodeError(f.payload)
+			return nil, fmt.Errorf("%w: %s", ErrRemote, msg)
+		case protocol.FrameOK:
+			return nil, fmt.Errorf("client: %q returned no row set", sql)
+		case protocol.FrameHeader:
+			cols, err := protocol.DecodeHeader(f.payload)
+			if err != nil {
+				return nil, c.fail(err)
+			}
+			return &remoteRows{c: c, ctx: ctx, cols: cols}, nil
+		default:
+			return nil, c.fail(fmt.Errorf("client: unexpected frame %#x", f.typ))
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	defer c.armDeadline(ctx)()
+	if err := c.sendV1(sql, args); err != nil {
 		return nil, err
 	}
 	typ, payload, err := protocol.ReadFrame(c.r)
@@ -107,36 +376,32 @@ func (c *Conn) Query(sql string, args ...sqltypes.Value) (resource.ResultSet, er
 		if err != nil {
 			return nil, err
 		}
-		var rows []sqltypes.Row
-		for {
-			typ, payload, err := protocol.ReadFrame(c.r)
-			if err != nil {
-				return nil, c.fail(err)
-			}
-			switch typ {
-			case protocol.FrameRow:
-				row, err := protocol.DecodeRow(payload)
-				if err != nil {
-					return nil, err
-				}
-				rows = append(rows, row)
-			case protocol.FrameEOF:
-				return resource.NewSliceResultSet(cols, rows), nil
-			case protocol.FrameError:
-				msg, _ := protocol.DecodeError(payload)
-				return nil, fmt.Errorf("%w: %s", ErrRemote, msg)
-			default:
-				return nil, fmt.Errorf("client: unexpected frame %#x in row stream", typ)
-			}
+		rows, err := c.readRowsV1()
+		if err != nil {
+			return nil, err
 		}
+		return resource.NewSliceResultSet(cols, rows), nil
 	default:
 		return nil, fmt.Errorf("client: unexpected frame %#x", typ)
 	}
 }
 
 // Exec executes a statement that returns no rows.
-func (c *Conn) Exec(sql string, args ...sqltypes.Value) (resource.ExecResult, error) {
-	if err := c.send(sql, args); err != nil {
+func (c *Conn) Exec(ctx context.Context, sql string, args ...sqltypes.Value) (resource.ExecResult, error) {
+	if c.closed {
+		return resource.ExecResult{}, resource.ErrConnClosed
+	}
+	if c.st != nil {
+		if err := c.sendStmt(sql, args); err != nil {
+			return resource.ExecResult{}, c.fail(err)
+		}
+		return c.readExecResult(ctx)
+	}
+	if err := ctx.Err(); err != nil {
+		return resource.ExecResult{}, err
+	}
+	defer c.armDeadline(ctx)()
+	if err := c.sendV1(sql, args); err != nil {
 		return resource.ExecResult{}, err
 	}
 	typ, payload, err := protocol.ReadFrame(c.r)
@@ -154,22 +419,115 @@ func (c *Conn) Exec(sql string, args ...sqltypes.Value) (resource.ExecResult, er
 		}
 		return resource.ExecResult{Affected: affected, LastInsertID: lastID}, nil
 	case protocol.FrameHeader:
-		// A row set came back (e.g. SELECT via Exec): drain it and report
-		// zero affected, mirroring database/sql's tolerance.
-		for {
-			typ, _, err := protocol.ReadFrame(c.r)
-			if err != nil {
-				return resource.ExecResult{}, err
-			}
-			if typ == protocol.FrameEOF {
-				return resource.ExecResult{}, nil
-			}
-			if typ == protocol.FrameError {
-				return resource.ExecResult{}, fmt.Errorf("%w: mid-stream", ErrRemote)
-			}
+		if _, err := c.readRowsV1(); err != nil {
+			return resource.ExecResult{}, err
 		}
+		return resource.ExecResult{}, nil
 	default:
 		return resource.ExecResult{}, fmt.Errorf("client: unexpected frame %#x", typ)
+	}
+}
+
+// ExecBatch pipelines a batch of statements on a multiplexed conn: every
+// statement in a window is written before the first response is read, so
+// the batch pays one round trip per window instead of one per statement.
+// On v1 conns it degrades to a sequential loop. Statement failures are
+// reported as *resource.BatchError with the failing index; later
+// statements in the same window still execute.
+func (c *Conn) ExecBatch(ctx context.Context, stmts []resource.Statement) ([]resource.ExecResult, error) {
+	if c.closed {
+		return nil, resource.ErrConnClosed
+	}
+	if c.st == nil {
+		results := make([]resource.ExecResult, 0, len(stmts))
+		for i, st := range stmts {
+			res, err := c.Exec(ctx, st.SQL, st.Args...)
+			if err != nil {
+				return results, &resource.BatchError{Index: i, Err: err}
+			}
+			results = append(results, res)
+		}
+		return results, nil
+	}
+	results := make([]resource.ExecResult, 0, len(stmts))
+	var firstErr error
+	for base := 0; base < len(stmts); base += MaxPipeline {
+		end := min(base+MaxPipeline, len(stmts))
+		frames := make([]outFrame, 0, 2*(end-base))
+		for _, st := range stmts[base:end] {
+			id, ok := c.stmts[st.SQL]
+			if !ok {
+				c.nextStmt++
+				id = c.nextStmt
+				c.stmts[st.SQL] = id
+				c.t.preparedStmts.Add(1)
+				frames = append(frames, outFrame{protocol.FramePrepare, protocol.EncodePrepare(id, st.SQL)})
+			}
+			frames = append(frames, outFrame{protocol.FrameExecStmt, protocol.EncodeExecStmt(id, st.Args)})
+		}
+		if err := c.t.send(c.st.id, frames...); err != nil {
+			return results, &resource.BatchError{Index: base, Err: c.fail(err)}
+		}
+		c.t.pipelined.Add(1)
+		// Read the whole window even past a statement failure, so the
+		// stream stays aligned for the next operation.
+		for i := base; i < end; i++ {
+			res, err := c.readExecResult(ctx)
+			if err != nil {
+				if c.defunct {
+					return results, &resource.BatchError{Index: i, Err: err}
+				}
+				if firstErr == nil {
+					firstErr = &resource.BatchError{Index: i, Err: err}
+				}
+				continue
+			}
+			if firstErr == nil {
+				results = append(results, res)
+			}
+		}
+		if firstErr != nil {
+			return results, firstErr
+		}
+	}
+	return results, nil
+}
+
+// --- v1 helpers ---
+
+func (c *Conn) sendV1(sql string, args []sqltypes.Value) error {
+	if err := protocol.WriteFrame(c.w, protocol.FrameQuery, protocol.EncodeQuery(sql, args)); err != nil {
+		return c.fail(err)
+	}
+	return c.fail(c.w.Flush())
+}
+
+func (c *Conn) readRowsV1() ([]sqltypes.Row, error) {
+	var rows []sqltypes.Row
+	for {
+		typ, payload, err := protocol.ReadFrame(c.r)
+		if err != nil {
+			return nil, c.fail(err)
+		}
+		switch typ {
+		case protocol.FrameRow:
+			row, err := protocol.DecodeRow(payload)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		case protocol.FrameRowBatch:
+			if rows, err = protocol.DecodeRowBatch(payload, rows); err != nil {
+				return nil, err
+			}
+		case protocol.FrameEOF:
+			return rows, nil
+		case protocol.FrameError:
+			msg, _ := protocol.DecodeError(payload)
+			return nil, fmt.Errorf("%w: %s", ErrRemote, msg)
+		default:
+			return nil, fmt.Errorf("client: unexpected frame %#x in row stream", typ)
+		}
 	}
 }
 
@@ -179,16 +537,56 @@ type Result struct {
 	Exec resource.ExecResult
 }
 
-// Do executes one statement in a single round trip, returning rows when
-// the server sends them and an exec result otherwise. Interactive shells
-// use it to avoid guessing the statement kind.
+// Do executes one statement, returning rows when the server sends them
+// and an exec result otherwise. Interactive shells use it to avoid
+// guessing the statement kind.
 func (c *Conn) Do(sql string, args ...sqltypes.Value) (*Result, error) {
-	if err := c.send(sql, args); err != nil {
+	ctx := context.Background()
+	if c.closed {
+		return nil, resource.ErrConnClosed
+	}
+	if c.st != nil {
+		// One send, one response: the server answers FrameOK for
+		// non-queries and a row set otherwise, so the statement is never
+		// executed twice to discover its kind.
+		if err := c.sendStmt(sql, args); err != nil {
+			return nil, c.fail(err)
+		}
+		f, err := c.pop(ctx)
+		if err != nil {
+			return nil, err
+		}
+		switch f.typ {
+		case protocol.FrameError:
+			msg, _ := protocol.DecodeError(f.payload)
+			return nil, fmt.Errorf("%w: %s", ErrRemote, msg)
+		case protocol.FrameOK:
+			affected, lastID, err := protocol.DecodeOK(f.payload)
+			if err != nil {
+				return nil, c.fail(err)
+			}
+			return &Result{Exec: resource.ExecResult{Affected: affected, LastInsertID: lastID}}, nil
+		case protocol.FrameHeader:
+			cols, err := protocol.DecodeHeader(f.payload)
+			if err != nil {
+				return nil, c.fail(err)
+			}
+			// Materialize: shells print whole results anyway.
+			rows, rerr := resource.ReadAll(&remoteRows{c: c, ctx: ctx, cols: cols})
+			if rerr != nil {
+				return nil, rerr
+			}
+			return &Result{Rows: resource.NewSliceResultSet(cols, rows)}, nil
+		default:
+			return nil, c.fail(fmt.Errorf("client: unexpected frame %#x", f.typ))
+		}
+	}
+	if err := c.sendV1(sql, args); err != nil {
 		return nil, err
 	}
 	typ, payload, err := protocol.ReadFrame(c.r)
 	if err != nil {
-		return nil, err
+		return nil, c.fail(err)
 	}
 	switch typ {
 	case protocol.FrameError:
@@ -205,48 +603,142 @@ func (c *Conn) Do(sql string, args ...sqltypes.Value) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		var rows []sqltypes.Row
-		for {
-			typ, payload, err := protocol.ReadFrame(c.r)
-			if err != nil {
-				return nil, c.fail(err)
-			}
-			switch typ {
-			case protocol.FrameRow:
-				row, err := protocol.DecodeRow(payload)
-				if err != nil {
-					return nil, err
-				}
-				rows = append(rows, row)
-			case protocol.FrameEOF:
-				return &Result{Rows: resource.NewSliceResultSet(cols, rows)}, nil
-			case protocol.FrameError:
-				msg, _ := protocol.DecodeError(payload)
-				return nil, fmt.Errorf("%w: %s", ErrRemote, msg)
-			default:
-				return nil, fmt.Errorf("client: unexpected frame %#x in row stream", typ)
-			}
+		rows, err := c.readRowsV1()
+		if err != nil {
+			return nil, err
 		}
+		return &Result{Rows: resource.NewSliceResultSet(cols, rows)}, nil
 	default:
 		return nil, fmt.Errorf("client: unexpected frame %#x", typ)
 	}
 }
 
-// Close terminates the connection.
+// Close terminates the logical connection. A multiplexed conn closes only
+// its stream (the shared socket lives on) unless it owns the transport.
 func (c *Conn) Close() error {
 	if c.closed {
 		return nil
 	}
 	c.closed = true
+	if c.st != nil {
+		if c.ownsTransport {
+			return c.t.Close()
+		}
+		if c.t.Healthy() {
+			c.t.send(c.st.id, outFrame{protocol.FrameStreamClose, nil})
+		}
+		c.t.closeStream(c.st)
+		return nil
+	}
 	protocol.WriteFrame(c.w, protocol.FrameQuit, nil)
 	c.w.Flush()
 	return c.nc.Close()
 }
 
-// NewRemoteDataSource builds a pooled data source whose connections dial
-// the given address — how the kernel attaches networked data nodes.
+// --- remote data source (mux pool) ---
+
+// DefaultMuxSockets is how many multiplexed TCP connections a remote data
+// source fans its logical connections across. A handful of sockets keeps
+// head-of-line effects negligible while the socket count stays an order
+// of magnitude below typical pool sizes.
+const DefaultMuxSockets = 4
+
+// muxPool shares a fixed set of transports among all pooled logical
+// conns, redialing slots whose transport died. If the server negotiates
+// down to v1 the pool permanently switches to dedicated sockets.
+type muxPool struct {
+	addr string
+
+	mu         sync.Mutex
+	transports []*Transport
+	next       int
+	v1         bool
+
+	socketsOpened atomic.Int64
+	fallbacks     atomic.Int64
+}
+
+func (p *muxPool) factory() (resource.Conn, error) {
+	p.mu.Lock()
+	if p.v1 {
+		p.mu.Unlock()
+		p.fallbacks.Add(1)
+		return DialV1(p.addr)
+	}
+	slot := p.next % len(p.transports)
+	p.next++
+	t := p.transports[slot]
+	p.mu.Unlock()
+	if t != nil && t.Healthy() {
+		return t.OpenConn()
+	}
+	tr, legacy, err := negotiate(p.addr)
+	if err != nil {
+		return nil, err
+	}
+	if legacy != nil {
+		p.mu.Lock()
+		p.v1 = true
+		p.mu.Unlock()
+		p.fallbacks.Add(1)
+		return legacy, nil
+	}
+	p.socketsOpened.Add(1)
+	p.mu.Lock()
+	// A concurrent factory call may have already replaced this slot;
+	// keep the healthy incumbent and fold our dial into it.
+	if cur := p.transports[slot]; cur != nil && cur.Healthy() {
+		p.mu.Unlock()
+		tr.Close()
+		return cur.OpenConn()
+	}
+	p.transports[slot] = tr
+	p.mu.Unlock()
+	return tr.OpenConn()
+}
+
+// metrics snapshots transport counters across all sockets; surfaced by
+// SHOW REMOTE STATUS and the telemetry layer.
+func (p *muxPool) metrics() map[string]int64 {
+	m := map[string]int64{
+		"sockets_open":       0,
+		"streams_active":     0,
+		"streams_opened":     0,
+		"prepared_stmts":     0,
+		"pipelined_batches":  0,
+		"row_batches":        0,
+		"sockets_dialed":     p.socketsOpened.Load(),
+		"v1_fallback_conns":  p.fallbacks.Load(),
+		"mux_socket_budget":  0,
+	}
+	p.mu.Lock()
+	transports := append([]*Transport(nil), p.transports...)
+	p.mu.Unlock()
+	m["mux_socket_budget"] = int64(len(transports))
+	for _, t := range transports {
+		if t == nil {
+			continue
+		}
+		if t.Healthy() {
+			m["sockets_open"]++
+		}
+		m["streams_active"] += int64(t.ActiveStreams())
+		m["streams_opened"] += t.streamsOpened.Load()
+		m["prepared_stmts"] += t.preparedStmts.Load()
+		m["pipelined_batches"] += t.pipelined.Load()
+		m["row_batches"] += t.rowBatches.Load()
+	}
+	return m
+}
+
+// NewRemoteDataSource builds a pooled data source whose logical
+// connections share DefaultMuxSockets multiplexed TCP connections to the
+// given address — how the kernel attaches networked data nodes. Against a
+// v1-only server every pooled conn falls back to its own socket.
 func NewRemoteDataSource(name, addr string, opts *resource.Options) *resource.DataSource {
-	return resource.NewDataSource(name, func() (resource.Conn, error) {
-		return Dial(addr)
-	}, opts)
+	sockets := DefaultMuxSockets
+	p := &muxPool{addr: addr, transports: make([]*Transport, sockets)}
+	ds := resource.NewDataSource(name, p.factory, opts)
+	ds.SetAuxMetrics(p.metrics)
+	return ds
 }

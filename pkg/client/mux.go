@@ -1,0 +1,362 @@
+// Multiplexed transport: protocol v2 client side.
+//
+// A Transport is one TCP connection carrying many logical connections
+// (streams). A single demux goroutine reads frames off the socket and
+// routes them to per-stream queues by stream ID; writes funnel through a
+// single writer goroutine that drains everything queued before paying
+// one flush syscall, so N concurrent streams cost far fewer syscalls
+// than N sockets would.
+//
+// Flow control is at statement granularity: a stream has at most
+// MaxPipeline statements in flight (client window), while the server
+// queues up to four times that per stream, so a compliant client can
+// never wedge the socket by overrunning a slow stream.
+package client
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"shardingsphere/internal/protocol"
+)
+
+// MaxPipeline bounds the statements one stream keeps in flight before
+// reading responses (the client-side flow-control window). It must stay
+// below the server's per-stream queue depth.
+const MaxPipeline = 64
+
+// muxFrame is one demultiplexed frame delivered to a stream.
+type muxFrame struct {
+	typ     byte
+	payload []byte
+}
+
+// outFrame is one frame queued for a coalesced write.
+type outFrame struct {
+	typ     byte
+	payload []byte
+}
+
+// outMsg is one stream's contiguous run of frames handed to the writer
+// goroutine as a unit.
+type outMsg struct {
+	sid    uint32
+	frames []outFrame
+}
+
+// Transport is one multiplexed TCP connection to a v2 server. Safe for
+// concurrent use; logical connections are opened with OpenConn.
+type Transport struct {
+	nc net.Conn
+	r  *bufio.Reader
+
+	w        *bufio.Writer
+	writeCh  chan outMsg
+	quit     chan struct{}
+	quitOnce sync.Once
+
+	mu         sync.Mutex
+	streams    map[uint32]*stream
+	nextStream uint32
+	err        error
+
+	maxFrame uint32 // read limit, from HelloAck
+
+	// Counters surfaced through SHOW REMOTE STATUS.
+	streamsOpened atomic.Int64
+	preparedStmts atomic.Int64
+	pipelined     atomic.Int64
+	rowBatches    atomic.Int64
+}
+
+// stream is the client half of one logical connection: an unbounded
+// inbound frame queue fed by the demux goroutine. Memory stays bounded in
+// practice by the pipeline window — a stream can have at most MaxPipeline
+// responses outstanding, and cursors consume row batches as they read.
+type stream struct {
+	id     uint32
+	mu     sync.Mutex
+	q      []muxFrame
+	err    error
+	notify chan struct{} // capacity 1; nudges a blocked pop
+}
+
+func (s *stream) push(f muxFrame) {
+	s.mu.Lock()
+	s.q = append(s.q, f)
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+func (s *stream) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.mu.Unlock()
+	select {
+	case s.notify <- struct{}{}:
+	default:
+	}
+}
+
+// pop returns the next frame for this stream, blocking until one arrives,
+// the stream fails, or ctx is done.
+func (s *stream) pop(ctx context.Context) (muxFrame, error) {
+	for {
+		s.mu.Lock()
+		if len(s.q) > 0 {
+			f := s.q[0]
+			s.q = s.q[1:]
+			if len(s.q) == 0 {
+				s.q = nil
+			}
+			s.mu.Unlock()
+			return f, nil
+		}
+		err := s.err
+		s.mu.Unlock()
+		if err != nil {
+			return muxFrame{}, err
+		}
+		select {
+		case <-s.notify:
+		case <-ctx.Done():
+			return muxFrame{}, ctx.Err()
+		}
+	}
+}
+
+// negotiate dials addr and offers protocol v2. Exactly one of the first
+// two returns is non-nil: a Transport when the server accepted v2, or a
+// plain v1 Conn reusing the same socket when it did not (a v1 server
+// rejects the Hello frame with an error and keeps serving).
+func negotiate(addr string) (*Transport, *Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	r := bufio.NewReaderSize(nc, 64<<10)
+	w := bufio.NewWriterSize(nc, 64<<10)
+	hello := protocol.EncodeHello(protocol.Version2, protocol.MaxFrame)
+	if err := protocol.WriteFrame(w, protocol.FrameHello, hello); err != nil {
+		nc.Close()
+		return nil, nil, err
+	}
+	if err := w.Flush(); err != nil {
+		nc.Close()
+		return nil, nil, err
+	}
+	typ, payload, err := protocol.ReadFrame(r)
+	if err != nil {
+		nc.Close()
+		return nil, nil, err
+	}
+	switch typ {
+	case protocol.FrameHelloAck:
+		version, maxFrame, err := protocol.DecodeHello(payload)
+		if err != nil || version != protocol.Version2 {
+			nc.Close()
+			return nil, nil, fmt.Errorf("client: bad hello ack (version %d): %v", version, err)
+		}
+		if maxFrame == 0 || maxFrame > protocol.MaxFrame {
+			maxFrame = protocol.MaxFrame
+		}
+		t := &Transport{
+			nc:       nc,
+			r:        r,
+			w:        w,
+			writeCh:  make(chan outMsg, 256),
+			quit:     make(chan struct{}),
+			streams:  map[uint32]*stream{},
+			maxFrame: maxFrame,
+		}
+		go t.demux()
+		go t.writeLoop()
+		return t, nil, nil
+	case protocol.FrameError:
+		// v1 server: it rejected the unknown frame type and is still
+		// serving. Keep the socket and speak v1 on it.
+		return nil, &Conn{nc: nc, r: r, w: w}, nil
+	default:
+		nc.Close()
+		return nil, nil, fmt.Errorf("client: unexpected frame %#x to hello", typ)
+	}
+}
+
+// DialMux connects to a data node and negotiates a multiplexed v2
+// transport. It fails (rather than falling back) if the server only
+// speaks v1; use Dial for transparent negotiation.
+func DialMux(addr string) (*Transport, error) {
+	t, legacy, err := negotiate(addr)
+	if err != nil {
+		return nil, err
+	}
+	if legacy != nil {
+		legacy.Close()
+		return nil, fmt.Errorf("client: %s only speaks protocol v1", addr)
+	}
+	return t, nil
+}
+
+// demux routes inbound frames to their streams. Any read error is fatal
+// for the whole transport: every stream is failed and the socket closed.
+func (t *Transport) demux() {
+	for {
+		typ, sid, payload, err := protocol.ReadFrameV2(t.r, t.maxFrame)
+		if err != nil {
+			t.fatal(fmt.Errorf("client: transport read: %w", err))
+			return
+		}
+		if typ == protocol.FrameRowBatch {
+			t.rowBatches.Add(1)
+		}
+		t.mu.Lock()
+		st := t.streams[sid]
+		t.mu.Unlock()
+		if st != nil {
+			st.push(muxFrame{typ, payload})
+		}
+		// Frames for unknown streams belong to abandoned conversations;
+		// drop them.
+	}
+}
+
+func (t *Transport) fatal(err error) {
+	t.mu.Lock()
+	if t.err == nil {
+		t.err = err
+	}
+	streams := make([]*stream, 0, len(t.streams))
+	for _, st := range t.streams {
+		streams = append(streams, st)
+	}
+	t.streams = map[uint32]*stream{}
+	t.mu.Unlock()
+	t.quitOnce.Do(func() { close(t.quit) })
+	t.nc.Close()
+	for _, st := range streams {
+		st.fail(err)
+	}
+}
+
+// send queues frames for one stream with the writer goroutine. A write
+// failure surfaces asynchronously: the transport dies and every stream's
+// next pop reports it.
+func (t *Transport) send(sid uint32, frames ...outFrame) error {
+	select {
+	case t.writeCh <- outMsg{sid: sid, frames: frames}:
+		return nil
+	case <-t.quit:
+		t.mu.Lock()
+		err := t.err
+		t.mu.Unlock()
+		if err == nil {
+			err = fmt.Errorf("client: transport closed")
+		}
+		return err
+	}
+}
+
+// writeLoop is the transport's only socket writer. Before paying the
+// flush syscall it drains everything queued, yields once so runnable
+// streams can queue their statements too, and drains again — so a burst
+// of concurrent statements shares one flush. The yield costs nothing
+// when the transport is idle: with no other runnable goroutine it
+// returns immediately and the single statement flushes at once.
+func (t *Transport) writeLoop() {
+	for {
+		var msg outMsg
+		select {
+		case msg = <-t.writeCh:
+		case <-t.quit:
+			return
+		}
+		err := t.writeMsg(msg)
+		yielded := false
+	drain:
+		for err == nil {
+			select {
+			case msg = <-t.writeCh:
+				err = t.writeMsg(msg)
+				yielded = false
+			default:
+				if yielded {
+					break drain
+				}
+				runtime.Gosched()
+				yielded = true
+			}
+		}
+		if err == nil {
+			err = t.w.Flush()
+		}
+		if err != nil {
+			t.fatal(err)
+			return
+		}
+	}
+}
+
+func (t *Transport) writeMsg(msg outMsg) error {
+	for _, f := range msg.frames {
+		if err := protocol.WriteFrameV2(t.w, f.typ, msg.sid, f.payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Healthy reports whether the transport can still carry streams.
+func (t *Transport) Healthy() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err == nil
+}
+
+// ActiveStreams counts the currently open logical connections.
+func (t *Transport) ActiveStreams() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.streams)
+}
+
+// OpenConn opens a new logical connection (stream) on the transport.
+func (t *Transport) OpenConn() (*Conn, error) {
+	t.mu.Lock()
+	if t.err != nil {
+		err := t.err
+		t.mu.Unlock()
+		return nil, err
+	}
+	t.nextStream++
+	st := &stream{id: t.nextStream, notify: make(chan struct{}, 1)}
+	t.streams[st.id] = st
+	t.mu.Unlock()
+	t.streamsOpened.Add(1)
+	return &Conn{t: t, st: st, stmts: map[string]uint32{}}, nil
+}
+
+func (t *Transport) closeStream(st *stream) {
+	t.mu.Lock()
+	delete(t.streams, st.id)
+	t.mu.Unlock()
+}
+
+// Close tears down the transport and fails all open streams.
+func (t *Transport) Close() error {
+	t.fatal(fmt.Errorf("client: transport closed"))
+	return nil
+}
