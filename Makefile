@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: build test race bench bench-plancache bench-remote vet check chaos fuzz-smoke race-pipeline
+.PHONY: build test race bench bench-plancache bench-remote vet check chaos fuzz-smoke race-pipeline obs-smoke
 
 # Pre-PR gate: static checks, the full suite under the race detector,
-# the wire-protocol fuzz smoke and the pipelined-mux concurrency tests.
-# Run this before every PR.
-check: vet race race-pipeline fuzz-smoke
+# the wire-protocol fuzz smoke, the pipelined-mux concurrency tests and
+# the observability-plane smoke. Run this before every PR.
+check: vet race race-pipeline fuzz-smoke obs-smoke
 
 build:
 	$(GO) build ./...
@@ -32,15 +32,24 @@ bench:
 bench-plancache:
 	$(GO) test -run xxx -bench 'PointSelect|RepeatedShape' -benchtime 2s ./internal/bench/
 
-# Wire protocol v2 vs v1 throughput + socket-budget comparison.
+# Wire protocol v2 vs v1 throughput + socket-budget comparison, and the
+# paired trace-propagation overhead measurement.
 bench-remote:
-	$(GO) test -run TestRemoteV2VsV1 -v ./internal/bench/
+	$(GO) test -run 'TestRemoteV2VsV1|TestTraceOverhead' -v ./internal/bench/
 
-# Short fuzz pass over the frame reader and row decoder. `go test`
-# accepts one -fuzz target per invocation, hence two runs.
+# Observability-plane smoke: a proxy kernel over two wire-v2 data nodes
+# runs a traced statement (remote child spans + wire gap must appear)
+# and SHOW CLUSTER METRICS (merged counts must equal node sums), -race.
+obs-smoke:
+	$(GO) test -race -run 'TestObsSmoke' -v ./internal/distsql/
+
+# Short fuzz pass over the frame reader, row decoder and trace-context
+# trailer. `go test` accepts one -fuzz target per invocation, hence
+# separate runs.
 fuzz-smoke:
 	$(GO) test -fuzz 'FuzzReadFrame' -fuzztime 10s -run '^$$' ./internal/protocol/
 	$(GO) test -fuzz 'FuzzDecodeRow' -fuzztime 10s -run '^$$' ./internal/protocol/
+	$(GO) test -fuzz 'FuzzTraceContext' -fuzztime 10s -run '^$$' ./internal/protocol/
 
 # Multiplexed wire-protocol concurrency suite under the race detector:
 # pipelined streams sharing one socket, hung-stream isolation, batch

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"shardingsphere/internal/obs"
 	"shardingsphere/internal/proxy"
 	"shardingsphere/internal/sqlexec"
 	"shardingsphere/internal/storage"
@@ -21,10 +22,21 @@ import (
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7301", "address to listen on")
 	name := flag.String("name", "ds0", "data source name")
+	obsAddr := flag.String("obs-addr", "", "observability HTTP address for pprof and /metrics (empty = off)")
 	flag.Parse()
 
 	engine := storage.NewEngine(*name)
 	srv := proxy.NewServer(&proxy.NodeBackend{Processor: sqlexec.NewProcessor(engine)})
+	if *obsAddr != "" {
+		o := obs.NewServer()
+		o.RegisterSnapshot("", srv.MetricsSnapshot)
+		bound, err := o.Start(*obsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("observability endpoint on http://%s (/metrics, /debug/pprof/)\n", bound)
+	}
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

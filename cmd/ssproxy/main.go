@@ -20,6 +20,7 @@ import (
 	"shardingsphere/internal/core"
 	"shardingsphere/internal/distsql"
 	"shardingsphere/internal/governor"
+	"shardingsphere/internal/obs"
 	"shardingsphere/internal/proxy"
 	"shardingsphere/internal/registry"
 	"shardingsphere/internal/resource"
@@ -39,6 +40,7 @@ func main() {
 	maxCon := flag.Int("maxcon", 4, "max connections per data source per query")
 	rate := flag.Float64("rate", 0, "statement rate limit per second (0 = unlimited)")
 	health := flag.Duration("health", 5*time.Second, "health check interval (0 = off)")
+	obsAddr := flag.String("obs-addr", "", "observability HTTP address for pprof and /metrics (empty = off)")
 	var remotes sourceFlags
 	flag.Var(&remotes, "source", "remote data source as name=host:port (repeatable)")
 	flag.Parse()
@@ -82,6 +84,17 @@ func main() {
 	gov.RegisterMetrics("proxy", srv.Metrics)
 	if *rate > 0 {
 		srv.SetLimiter(governor.NewRateLimiter(*rate, int(*rate)))
+	}
+	if *obsAddr != "" {
+		o := obs.NewServer()
+		o.Register("", gov.Metrics)
+		o.RegisterSnapshot("proxy", kernel.Telemetry().MetricsSnapshot)
+		bound, err := o.Start(*obsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("observability endpoint on http://%s (/metrics, /debug/pprof/)\n", bound)
 	}
 	addr, err := srv.Listen(*listen)
 	if err != nil {

@@ -400,6 +400,7 @@ func isDistSQL(sql string) bool {
 		"CREATE BROADCAST", "SHOW BROADCAST", "SHOW TRANSACTION", "RESHARD",
 		"SHOW PLAN CACHE", "SHOW SQL METRICS", "SHOW SLOW QUERIES", "TRACE ",
 		"INJECT FAULT", "REMOVE FAULT", "SHOW FAULTS", "SHOW REMOTE",
+		"SHOW CLUSTER",
 	} {
 		if strings.HasPrefix(up, prefix) {
 			return true

@@ -326,6 +326,10 @@ func (s *Session) runUnits(stmt sqlparser.Statement, sel *sqlparser.SelectStmt, 
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			s.k.failovers.Add(1)
+			// The retry's execute spans continue the statement's attempt
+			// sequence instead of restarting at 1, so TRACE shows the
+			// failed try and the failover side by side.
+			s.tr.BeginFailover()
 			for i := range rw.Units {
 				rw.Units[i].DataSource = origDS[i]
 			}

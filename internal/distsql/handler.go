@@ -1,6 +1,7 @@
 package distsql
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -46,6 +47,9 @@ func Install(k *core.Kernel, gov *governor.Governor) *Handler {
 			gov.RegisterMetrics("sql", tel.Metrics)
 		}
 		gov.RegisterMetrics("governor", gov.ResilienceMetrics)
+		// Federated node metrics: the merged cluster view, scraped live
+		// over FrameMetricsPull, published under /metrics/cluster.*.
+		gov.RegisterMetrics("cluster", gov.ClusterMetricsSource())
 		gov.RegisterMetrics("resilience", k.ResilienceMetrics)
 		gov.RegisterMetrics("chaos", k.Chaos().Metrics)
 		// Remote transports (mux sockets, streams, prepared statements,
@@ -154,6 +158,8 @@ func (h *Handler) Execute(sess *core.Session, sql string) (*core.Result, error) 
 		return h.showFaults(k)
 	case *ShowRemoteStatus:
 		return h.showRemoteStatus(k)
+	case *ShowClusterMetrics:
+		return h.showClusterMetrics()
 	default:
 		return nil, fmt.Errorf("distsql: unhandled statement %T", stmt)
 	}
@@ -249,6 +255,49 @@ func (h *Handler) showRemoteStatus(k *core.Kernel) (*core.Result, error) {
 		}
 	}
 	return rowsResult([]string{"source", "metric", "value"}, rows), nil
+}
+
+// showClusterMetrics scrapes every remote node's metrics snapshot and
+// renders per-node rows followed by the bucket-wise merged cluster rows
+// (node = "cluster"). Histogram rows carry count and quantiles; counter
+// rows carry value. Because the merge adds buckets, a merged histogram's
+// count always equals the sum of its node counts.
+func (h *Handler) showClusterMetrics() (*core.Result, error) {
+	if h.gov == nil {
+		return nil, fmt.Errorf("distsql: SHOW CLUSTER METRICS needs a governor")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	nodes, merged := h.gov.ClusterMetrics(ctx)
+	cols := []string{"node", "kind", "metric", "count", "p50_us", "p99_us", "value"}
+	var rows []sqltypes.Row
+	render := func(node string, snap *telemetry.MetricsSnapshot) {
+		for _, hist := range snap.Histograms {
+			rows = append(rows, sqltypes.Row{
+				sqltypes.NewString(node),
+				sqltypes.NewString("histogram"),
+				sqltypes.NewString(hist.Name),
+				sqltypes.NewInt(int64(hist.Count())),
+				sqltypes.NewInt(usOf(hist.Quantile(0.50))),
+				sqltypes.NewInt(usOf(hist.Quantile(0.99))),
+				sqltypes.NewInt(0),
+			})
+		}
+		for _, c := range snap.Counters {
+			rows = append(rows, sqltypes.Row{
+				sqltypes.NewString(node),
+				sqltypes.NewString("counter"),
+				sqltypes.NewString(c.Name),
+				sqltypes.NewInt(0), sqltypes.NewInt(0), sqltypes.NewInt(0),
+				sqltypes.NewInt(c.Value),
+			})
+		}
+	}
+	for _, n := range nodes {
+		render(n.Source, n.Snap)
+	}
+	render("cluster", merged)
+	return rowsResult(cols, rows), nil
 }
 
 // createRule implements the AutoTable strategy (paper Section V-A): the
@@ -609,7 +658,7 @@ func (h *Handler) trace(sess *core.Session, t *TraceStmt) (*core.Result, error) 
 			return nil, derr
 		}
 	}
-	cols := []string{"stage", "data_source", "offset_us", "duration_us", "error"}
+	cols := []string{"stage", "data_source", "offset_us", "duration_us", "error", "attempt"}
 	var rows []sqltypes.Row
 	for _, sp := range tr.Spans() {
 		rows = append(rows, sqltypes.Row{
@@ -618,11 +667,13 @@ func (h *Handler) trace(sess *core.Session, t *TraceStmt) (*core.Result, error) 
 			sqltypes.NewInt(usOf(sp.Offset)),
 			sqltypes.NewInt(usOf(sp.Dur)),
 			sqltypes.NewString(sp.Err),
+			sqltypes.NewInt(int64(sp.Attempt)),
 		})
 	}
 	rows = append(rows, sqltypes.Row{
 		sqltypes.NewString("total"), sqltypes.NewString(""),
 		sqltypes.NewInt(0), sqltypes.NewInt(usOf(tr.Total())), sqltypes.NewString(""),
+		sqltypes.NewInt(0),
 	})
 	return rowsResult(cols, rows), nil
 }
@@ -631,7 +682,8 @@ func (h *Handler) trace(sess *core.Session, t *TraceStmt) (*core.Result, error) 
 // latency percentiles (RAL's SHOW SQL METRICS).
 func (h *Handler) showSQLMetrics(k *core.Kernel) (*core.Result, error) {
 	tel := k.Telemetry()
-	cols := []string{"scope", "name", "count", "p50_us", "p95_us", "p99_us", "errors", "acquire_p99_us"}
+	cols := []string{"scope", "name", "count", "p50_us", "p95_us", "p99_us", "errors", "acquire_p99_us",
+		"wire_count", "wire_p99_us", "remote_p99_us"}
 	var rows []sqltypes.Row
 	for _, s := range tel.Stages() {
 		errs := int64(0)
@@ -647,8 +699,12 @@ func (h *Handler) showSQLMetrics(k *core.Kernel) (*core.Result, error) {
 			sqltypes.NewInt(usOf(s.P99)),
 			sqltypes.NewInt(errs),
 			sqltypes.NewInt(0),
+			sqltypes.NewInt(0), sqltypes.NewInt(0), sqltypes.NewInt(0),
 		})
 	}
+	// Source rows carry the remote-vs-wire breakdown: how much of each
+	// source's latency was the node working versus the network and the
+	// node's inbound queue (traced statements only; zero for embedded).
 	for _, s := range tel.SourcesSnapshot() {
 		rows = append(rows, sqltypes.Row{
 			sqltypes.NewString("source"),
@@ -659,6 +715,9 @@ func (h *Handler) showSQLMetrics(k *core.Kernel) (*core.Result, error) {
 			sqltypes.NewInt(usOf(s.P99)),
 			sqltypes.NewInt(int64(s.Errors)),
 			sqltypes.NewInt(usOf(s.AcquireP99)),
+			sqltypes.NewInt(int64(s.WireCount)),
+			sqltypes.NewInt(usOf(s.WireP99)),
+			sqltypes.NewInt(usOf(s.RemoteP99)),
 		})
 	}
 	// Fault-tolerance counters ride along as scope=counter rows: the
@@ -683,6 +742,7 @@ func (h *Handler) showSQLMetrics(k *core.Kernel) (*core.Result, error) {
 			sqltypes.NewInt(counters[name]),
 			sqltypes.NewInt(0), sqltypes.NewInt(0), sqltypes.NewInt(0),
 			sqltypes.NewInt(0), sqltypes.NewInt(0),
+			sqltypes.NewInt(0), sqltypes.NewInt(0), sqltypes.NewInt(0),
 		})
 	}
 	return rowsResult(cols, rows), nil

@@ -133,6 +133,11 @@ type ShowFaults struct{}
 // pipelined batches, row batches).
 type ShowRemoteStatus struct{}
 
+// ShowClusterMetrics is SHOW CLUSTER METRICS: every remote node's
+// histograms and counters scraped over FrameMetricsPull, plus the
+// bucket-wise merged cluster view (RAL, federated metrics).
+type ShowClusterMetrics struct{}
+
 func (*CreateShardingRule) distSQLStmt() {}
 func (*DropShardingRule) distSQLStmt()   {}
 func (*CreateBinding) distSQLStmt()      {}
@@ -151,8 +156,9 @@ func (*ShowSlowQueries) distSQLStmt()    {}
 func (*Reshard) distSQLStmt()            {}
 func (*InjectFault) distSQLStmt()        {}
 func (*RemoveFault) distSQLStmt()        {}
-func (*ShowFaults) distSQLStmt()       {}
-func (*ShowRemoteStatus) distSQLStmt()         {}
+func (*ShowFaults) distSQLStmt()         {}
+func (*ShowRemoteStatus) distSQLStmt()   {}
+func (*ShowClusterMetrics) distSQLStmt() {}
 
 // parser walks the token stream from the shared lexer.
 type parser struct {
@@ -364,6 +370,12 @@ func (p *parser) parse() (Statement, error) {
 				return nil, err
 			}
 			return &ShowRemoteStatus{}, nil
+		case "CLUSTER":
+			p.pos++
+			if err := p.expect("METRICS"); err != nil {
+				return nil, err
+			}
+			return &ShowClusterMetrics{}, nil
 		}
 		return nil, fmt.Errorf("distsql: unsupported SHOW target %q", p.cur().Val)
 	case "RESHARD":

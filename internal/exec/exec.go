@@ -259,9 +259,11 @@ func (e *Executor) dsLock(name string) *sync.Mutex {
 }
 
 // observe reports one unit execution to the listener, the telemetry
-// collector, and the statement trace. It reuses the single time.Since the
-// executor already pays, and returns the duration for error wrapping.
-func (e *Executor) observe(tr *telemetry.Trace, ds, sql string, start time.Time, err error) time.Duration {
+// collector, and the statement trace (tagged with its 1-based attempt
+// number, so retried units keep one span per try). It reuses the single
+// time.Since the executor already pays, and returns the duration for
+// error wrapping.
+func (e *Executor) observe(tr *telemetry.Trace, ds, sql string, start time.Time, attempt int, err error) time.Duration {
 	// Two fast exits that skip the clock read entirely: nothing consumes
 	// the measurement (telemetry disabled, no listener), or the statement
 	// is unsampled — its trace measures the total with one read at Finish,
@@ -295,7 +297,7 @@ func (e *Executor) observe(tr *telemetry.Trace, ds, sql string, start time.Time,
 			e.tel.ObserveExec(ds, dur, err)
 		}
 	}
-	tr.AddExec(ds, start, dur, err)
+	tr.AddExecAttempt(ds, start, dur, attempt, err)
 	return dur
 }
 
@@ -447,6 +449,12 @@ func (e *Executor) QueryTraced(units []rewrite.SQLUnit, held *HeldConns, tr *tel
 // with jittered backoff. Multi-group fan-outs cancel sibling groups on
 // the first error instead of letting them run to completion.
 func (e *Executor) QueryCtx(ctx context.Context, units []rewrite.SQLUnit, held *HeldConns, tr *telemetry.Trace, retry bool) (*QueryResult, error) {
+	if tr.Sampled() {
+		// Remote connections inject the trace into the wire protocol's
+		// trace-context trailer; the context is the only channel that
+		// reaches them. Unsampled statements skip the allocation.
+		ctx = telemetry.WithTrace(ctx, tr)
+	}
 	groups := e.plan(units, held)
 	res := &QueryResult{
 		Sets:  make([]resource.ResultSet, len(units)),
@@ -501,7 +509,7 @@ func (e *Executor) QueryCtx(ctx context.Context, units []rewrite.SQLUnit, held *
 // caller opted in (idempotent reads outside transactions only — held
 // connections carry transaction state and are never retried).
 func (e *Executor) queryGroupRetry(ctx context.Context, units []rewrite.SQLUnit, g group, held *HeldConns, res *QueryResult, mu *sync.Mutex, tr *telemetry.Trace, retry bool) error {
-	err := e.runQueryGroup(ctx, units, g, held, res, mu, tr)
+	err := e.runQueryGroup(ctx, units, g, held, res, mu, tr, 1)
 	if err == nil || !retry || held != nil {
 		return err
 	}
@@ -517,7 +525,7 @@ func (e *Executor) queryGroupRetry(ctx context.Context, units []rewrite.SQLUnit,
 			return err
 		}
 		e.retries.Add(1)
-		if err = e.runQueryGroup(ctx, units, g, held, res, mu, tr); err == nil {
+		if err = e.runQueryGroup(ctx, units, g, held, res, mu, tr, attempt+1); err == nil {
 			e.retrySuccess.Add(1)
 			return nil
 		}
@@ -537,7 +545,7 @@ func closeGroupSets(res *QueryResult, g group, mu *sync.Mutex) {
 	}
 }
 
-func (e *Executor) runQueryGroup(ctx context.Context, units []rewrite.SQLUnit, g group, held *HeldConns, res *QueryResult, mu *sync.Mutex, tr *telemetry.Trace) error {
+func (e *Executor) runQueryGroup(ctx context.Context, units []rewrite.SQLUnit, g group, held *HeldConns, res *QueryResult, mu *sync.Mutex, tr *telemetry.Trace, attempt int) error {
 	if held != nil {
 		conn, err := held.Get(e, g.ds)
 		if err != nil {
@@ -547,7 +555,7 @@ func (e *Executor) runQueryGroup(ctx context.Context, units []rewrite.SQLUnit, g
 			u := units[idx]
 			start := time.Now()
 			rs, err := conn.Query(ctx, u.SQL, u.Args...)
-			dur := e.observe(tr, g.ds, u.SQL, start, err)
+			dur := e.observe(tr, g.ds, u.SQL, start, attempt, err)
 			if err != nil {
 				return wrapUnitErr(u, dur, err)
 			}
@@ -602,7 +610,7 @@ func (e *Executor) runQueryGroup(ctx context.Context, units []rewrite.SQLUnit, g
 	// connection executes its share serially, connections run in parallel.
 	// A single connection runs inline — nothing to overlap.
 	if len(conns) == 1 {
-		return e.runConnShare(ctx, units, g, conns[0], g.units, res, mu, tr)
+		return e.runConnShare(ctx, units, g, conns[0], g.units, res, mu, tr, attempt)
 	}
 	var wg sync.WaitGroup
 	errCh := make(chan error, len(conns))
@@ -614,7 +622,7 @@ func (e *Executor) runQueryGroup(ctx context.Context, units []rewrite.SQLUnit, g
 		wg.Add(1)
 		go func(conn *resource.PooledConn, share []int) {
 			defer wg.Done()
-			if err := e.runConnShare(ctx, units, g, conn, share, res, mu, tr); err != nil {
+			if err := e.runConnShare(ctx, units, g, conn, share, res, mu, tr, attempt); err != nil {
 				errCh <- err
 			}
 		}(conn, share)
@@ -625,14 +633,14 @@ func (e *Executor) runQueryGroup(ctx context.Context, units []rewrite.SQLUnit, g
 }
 
 // runConnShare executes one connection's share of a group's units.
-func (e *Executor) runConnShare(ctx context.Context, units []rewrite.SQLUnit, g group, conn *resource.PooledConn, share []int, res *QueryResult, mu *sync.Mutex, tr *telemetry.Trace) error {
+func (e *Executor) runConnShare(ctx context.Context, units []rewrite.SQLUnit, g group, conn *resource.PooledConn, share []int, res *QueryResult, mu *sync.Mutex, tr *telemetry.Trace, attempt int) error {
 	streaming := false
 	var firstErr error
 	for _, idx := range share {
 		u := units[idx]
 		start := time.Now()
 		rs, err := conn.Query(ctx, u.SQL, u.Args...)
-		dur := e.observe(tr, g.ds, u.SQL, start, err)
+		dur := e.observe(tr, g.ds, u.SQL, start, attempt, err)
 		if err != nil {
 			firstErr = wrapUnitErr(u, dur, err)
 			break
@@ -728,6 +736,9 @@ func (e *Executor) ExecuteUpdateTraced(units []rewrite.SQLUnit, held *HeldConns,
 // is never retried — a failed write's true outcome is unknown, and
 // replaying it could double-apply.
 func (e *Executor) ExecuteUpdateCtx(ctx context.Context, units []rewrite.SQLUnit, held *HeldConns, tr *telemetry.Trace) (resource.ExecResult, error) {
+	if tr.Sampled() {
+		ctx = telemetry.WithTrace(ctx, tr)
+	}
 	groups := e.plan(units, held)
 	var total resource.ExecResult
 	var mu sync.Mutex
@@ -806,10 +817,10 @@ func (e *Executor) runUpdateGroup(ctx context.Context, units []rewrite.SQLUnit, 
 			if errors.As(err, &be) && be.Index < len(g.units) {
 				failed = units[g.units[be.Index]]
 			}
-			dur := e.observe(tr, g.ds, failed.SQL, start, err)
+			dur := e.observe(tr, g.ds, failed.SQL, start, 1, err)
 			return wrapUnitErr(failed, dur, err)
 		}
-		e.observe(tr, g.ds, units[g.units[0]].SQL, start, nil)
+		e.observe(tr, g.ds, units[g.units[0]].SQL, start, 1, nil)
 		mu.Lock()
 		for _, r := range results {
 			total.Affected += r.Affected
@@ -824,7 +835,7 @@ func (e *Executor) runUpdateGroup(ctx context.Context, units []rewrite.SQLUnit, 
 		u := units[idx]
 		start := time.Now()
 		r, err := conn.Exec(ctx, u.SQL, u.Args...)
-		dur := e.observe(tr, g.ds, u.SQL, start, err)
+		dur := e.observe(tr, g.ds, u.SQL, start, 1, err)
 		if err != nil {
 			return wrapUnitErr(u, dur, err)
 		}

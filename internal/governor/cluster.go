@@ -1,0 +1,71 @@
+// Federated cluster metrics (observability): the governor scrapes every
+// remote data source's metrics snapshot over the wire (FrameMetricsPull)
+// and merges them bucket-wise into one cluster view, so the proxy can
+// answer "what is the cluster-wide p99" without a separate metrics
+// pipeline. Embedded sources have no remote node and drop out silently.
+package governor
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"shardingsphere/internal/telemetry"
+)
+
+// NodeMetrics is one data source's pulled snapshot.
+type NodeMetrics struct {
+	Source string
+	Snap   *telemetry.MetricsSnapshot
+}
+
+// ClusterMetrics scrapes each data source's node-side metrics snapshot
+// and returns the per-node snapshots (sorted by source name) plus the
+// bucket-wise merge. Because MergeSnapshots adds buckets, every merged
+// histogram's count is exactly the sum of the node counts. Sources
+// without a pull hook (embedded) and failed pulls are skipped — a dead
+// node must not take the cluster view down with it.
+func (g *Governor) ClusterMetrics(ctx context.Context) ([]NodeMetrics, *telemetry.MetricsSnapshot) {
+	var nodes []NodeMetrics
+	names := g.exec.Sources()
+	sort.Strings(names)
+	for _, n := range names {
+		src, err := g.exec.Source(n)
+		if err != nil {
+			continue
+		}
+		snap, err := src.MetricsPull(ctx)
+		if err != nil || snap == nil {
+			continue
+		}
+		nodes = append(nodes, NodeMetrics{Source: n, Snap: snap})
+	}
+	snaps := make([]*telemetry.MetricsSnapshot, len(nodes))
+	for i, n := range nodes {
+		snaps[i] = n.Snap
+	}
+	return nodes, telemetry.MergeSnapshots(snaps)
+}
+
+// ClusterMetricsSource adapts the merged cluster view to a MetricsSource:
+// counters keep their names, histograms flatten to <name>.count and
+// <name>.p99_us. Registered under "cluster" the keys surface in the
+// registry as /metrics/cluster.*. Each invocation pulls live over the
+// wire, bounded by ProbeTimeout so a hung node cannot wedge the
+// health-check cycle that publishes metrics.
+func (g *Governor) ClusterMetricsSource() MetricsSource {
+	return func() map[string]int64 {
+		ctx, cancel := context.WithTimeout(context.Background(), g.ProbeTimeout)
+		defer cancel()
+		_, merged := g.ClusterMetrics(ctx)
+		out := map[string]int64{}
+		for _, c := range merged.Counters {
+			out[c.Name] = c.Value
+		}
+		for _, h := range merged.Histograms {
+			out[h.Name+".count"] = int64(h.Count())
+			out[h.Name+".p99_us"] = int64(h.Quantile(0.99) / time.Microsecond)
+		}
+		return out
+	}
+}

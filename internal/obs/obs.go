@@ -1,0 +1,190 @@
+// Package obs is the opt-in profiling and metrics endpoint (paper
+// Section VI, observability): one stdlib HTTP server per process
+// exposing net/http/pprof under /debug/pprof/ and a Prometheus
+// text-format /metrics page scraped from registered gatherers. Both
+// ssproxy and datanode wire it behind -obs-addr; with the flag unset
+// nothing listens and the hot path pays nothing.
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"sync"
+
+	"shardingsphere/internal/telemetry"
+)
+
+// Gatherer yields one component's counters at scrape time.
+type Gatherer func() map[string]int64
+
+// SnapshotSource yields a full metrics snapshot (histograms and
+// counters) at scrape time; histograms render as cumulative
+// Prometheus buckets in microseconds.
+type SnapshotSource func() *telemetry.MetricsSnapshot
+
+// Server is the observability HTTP endpoint.
+type Server struct {
+	mu        sync.Mutex
+	gatherers map[string]Gatherer
+	snaps     map[string]SnapshotSource
+	ln        net.Listener
+	srv       *http.Server
+}
+
+// NewServer builds an endpoint with no sources registered.
+func NewServer() *Server {
+	return &Server{gatherers: map[string]Gatherer{}, snaps: map[string]SnapshotSource{}}
+}
+
+// Register attaches a named counter gatherer; its keys render as
+// ss_<name>_<key>. An empty name drops the component segment.
+// Re-registering a name replaces the gatherer.
+func (s *Server) Register(name string, g Gatherer) {
+	s.mu.Lock()
+	s.gatherers[name] = g
+	s.mu.Unlock()
+}
+
+// RegisterSnapshot attaches a named snapshot source: counters render
+// like Register's, histograms as ss_<name>_<hist>_us buckets.
+func (s *Server) RegisterSnapshot(name string, src SnapshotSource) {
+	s.mu.Lock()
+	s.snaps[name] = src
+	s.mu.Unlock()
+}
+
+// Start listens on addr and serves pprof and /metrics in the
+// background, returning the bound address (addr may use port 0).
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.metrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.mu.Lock()
+	s.ln = ln
+	s.srv = &http.Server{Handler: mux}
+	srv := s.srv
+	s.mu.Unlock()
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Close stops the endpoint.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	srv := s.srv
+	s.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}
+
+// metrics renders every registered source in Prometheus text format.
+// All series are untyped counters/gauges except snapshot histograms,
+// which render as cumulative le-bucketed series in microseconds.
+// Snapshots render first and win name collisions: a gatherer may
+// republish a registry view of the same counter (e.g. the governor's
+// proxy.* keys), and duplicate series are illegal in the exposition
+// format, so the live snapshot value is kept and the stale copy
+// dropped.
+func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	gatherers := make(map[string]Gatherer, len(s.gatherers))
+	for n, g := range s.gatherers {
+		gatherers[n] = g
+	}
+	snaps := make(map[string]SnapshotSource, len(s.snaps))
+	for n, src := range s.snaps {
+		snaps[n] = src
+	}
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+	seen := map[string]bool{}
+	emit := func(name string, v int64) {
+		if seen[name] {
+			return
+		}
+		seen[name] = true
+		fmt.Fprintf(&b, "# TYPE %s untyped\n%s %d\n", name, name, v)
+	}
+	for _, sname := range sortedKeys(snaps) {
+		snap := snaps[sname]()
+		if snap == nil {
+			continue
+		}
+		for _, c := range snap.Counters {
+			emit(seriesName(sname, c.Name), c.Value)
+		}
+		for _, h := range snap.Histograms {
+			base := seriesName(sname, h.Name) + "_us"
+			if seen[base] {
+				continue
+			}
+			seen[base] = true
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", base)
+			var cum uint64
+			for i, c := range h.Buckets {
+				cum += c
+				if c == 0 {
+					continue
+				}
+				fmt.Fprintf(&b, "%s_bucket{le=\"%d\"} %d\n", base, uint64(1)<<uint(i), cum)
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n%s_count %d\n", base, h.Count(), base, h.Count())
+		}
+	}
+	for _, gname := range sortedKeys(gatherers) {
+		counters := gatherers[gname]()
+		keys := make([]string, 0, len(counters))
+		for k := range counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			emit(seriesName(gname, k), counters[k])
+		}
+	}
+	w.Write([]byte(b.String()))
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// seriesName builds a legal Prometheus metric name: the fixed ss_
+// prefix, the component segment, and the key with every character
+// outside [a-zA-Z0-9_] replaced by '_'.
+func seriesName(component, key string) string {
+	name := "ss"
+	if component != "" {
+		name += "_" + component
+	}
+	name += "_" + key
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}

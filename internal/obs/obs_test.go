@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"shardingsphere/internal/telemetry"
+)
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	s := NewServer()
+	s.Register("pool", func() map[string]int64 {
+		return map[string]int64{"acquires": 7, "in.use": 2}
+	})
+	s.RegisterSnapshot("node", func() *telemetry.MetricsSnapshot {
+		return &telemetry.MetricsSnapshot{
+			Histograms: []telemetry.NamedHistogram{{Name: "node.read", Buckets: []uint64{0, 3, 1}}},
+			Counters:   []telemetry.NamedCounter{{Name: "statements", Value: 4}},
+		}
+	})
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	body := get(t, "http://"+addr+"/metrics")
+	for _, want := range []string{
+		"ss_pool_acquires 7",
+		"ss_pool_in_use 2",
+		"ss_node_statements 4",
+		"ss_node_node_read_us_bucket{le=\"2\"} 3",
+		"ss_node_node_read_us_bucket{le=\"4\"} 4",
+		"ss_node_node_read_us_bucket{le=\"+Inf\"} 4",
+		"ss_node_node_read_us_count 4",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("metrics page missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestNoDuplicateSeries pins the collision rule: when a gatherer
+// republishes a counter the snapshot already carries (same series
+// name), the page keeps the snapshot's value and drops the copy —
+// duplicate series are illegal in the exposition format.
+func TestNoDuplicateSeries(t *testing.T) {
+	s := NewServer()
+	s.Register("", func() map[string]int64 {
+		return map[string]int64{"node.statements": 99, "only.gathered": 5}
+	})
+	s.RegisterSnapshot("", func() *telemetry.MetricsSnapshot {
+		return &telemetry.MetricsSnapshot{
+			Counters: []telemetry.NamedCounter{{Name: "node.statements", Value: 4}},
+		}
+	})
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	body := get(t, "http://"+addr+"/metrics")
+	if n := strings.Count(body, "\nss_node_statements "); n != 1 {
+		t.Fatalf("ss_node_statements emitted %d times, want 1:\n%s", n, body)
+	}
+	if !strings.Contains(body, "ss_node_statements 4") {
+		t.Fatalf("snapshot value should win the collision:\n%s", body)
+	}
+	if !strings.Contains(body, "ss_only_gathered 5") {
+		t.Fatalf("non-colliding gatherer key missing:\n%s", body)
+	}
+}
+
+func TestPprofIndex(t *testing.T) {
+	s := NewServer()
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	body := get(t, fmt.Sprintf("http://%s/debug/pprof/", addr))
+	if !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index looks wrong:\n%.200s", body)
+	}
+}

@@ -18,9 +18,11 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"time"
 
 	"shardingsphere/internal/protocol"
 	"shardingsphere/internal/sqltypes"
+	"shardingsphere/internal/telemetry"
 )
 
 // streamQueueDepth is the per-stream inbound frame budget; it must exceed
@@ -52,6 +54,10 @@ type preparedStmt struct {
 type inFrame struct {
 	typ     byte
 	payload []byte
+	// at is the frame's receive time, stamped by the dispatcher only for
+	// statements whose trace context requests recording — the worker's
+	// pickup delay becomes the statement's queue span.
+	at time.Time
 }
 
 // outFrame is one frame of a response run queued for the socket writer.
@@ -68,7 +74,8 @@ type outMsg struct {
 
 // muxConn is the server half of one multiplexed socket.
 type muxConn struct {
-	s *Server
+	s    *Server
+	caps uint32 // negotiated capability bits for this socket
 
 	w       *bufio.Writer
 	writeCh chan outMsg
@@ -86,10 +93,11 @@ type muxStream struct {
 
 // serveMux runs the v2 loop on a negotiated connection until the socket
 // dies or the client quits. The caller owns conn closing.
-func (s *Server) serveMux(conn net.Conn, r *bufio.Reader, w *bufio.Writer) {
+func (s *Server) serveMux(conn net.Conn, r *bufio.Reader, w *bufio.Writer, caps uint32) {
 	s.v2Conns.Add(1)
 	m := &muxConn{
 		s:       s,
+		caps:    caps,
 		w:       w,
 		writeCh: make(chan outMsg, 256),
 		wdone:   make(chan struct{}),
@@ -126,6 +134,24 @@ func (s *Server) serveMux(conn net.Conn, r *bufio.Reader, w *bufio.Writer) {
 // first sight. The queue send may block if a stream's queue is full —
 // that throttles only this socket, which is the misbehaving client's own.
 func (m *muxConn) dispatch(typ byte, sid uint32, payload []byte) {
+	// Metrics pulls are answered inline — no session, no stream state.
+	if typ == protocol.FrameMetricsPull {
+		if m.caps&protocol.CapMetricsPull == 0 {
+			m.send(sid, protocol.FrameError, protocol.EncodeError("proxy: metrics pull not negotiated"))
+			return
+		}
+		m.send(sid, protocol.FrameMetrics, protocol.EncodeMetrics(m.s.MetricsSnapshot()))
+		return
+	}
+	// Stamp the receive time only for statements that will be traced:
+	// one branchy peek per statement frame on capability conns, a
+	// time.Now() only when the client asked for recording.
+	var at time.Time
+	if m.caps&protocol.CapTraceContext != 0 &&
+		(typ == protocol.FrameQuery || typ == protocol.FrameExecStmt) &&
+		protocol.PeekTraceActive(payload) {
+		at = time.Now()
+	}
 	m.mu.Lock()
 	st := m.streams[sid]
 	if st == nil {
@@ -148,7 +174,7 @@ func (m *muxConn) dispatch(typ byte, sid uint32, payload []byte) {
 		close(st.in)
 		return
 	}
-	st.in <- inFrame{typ, payload}
+	st.in <- inFrame{typ: typ, payload: payload, at: at}
 }
 
 // worker serves one stream: one backend session, statements in arrival
@@ -177,7 +203,11 @@ func (m *muxConn) worker(st *muxStream) {
 			prepared[id] = ps
 			m.s.preparedTotal.Add(1)
 		case protocol.FrameExecStmt:
-			id, args, err := protocol.DecodeExecStmt(f.payload)
+			tc, body, ok := m.splitTrace(st.id, f.payload)
+			if !ok {
+				continue
+			}
+			id, args, err := protocol.DecodeExecStmt(body)
 			if err != nil {
 				m.s.errors.Add(1)
 				m.send(st.id, protocol.FrameError, protocol.EncodeError(err.Error()))
@@ -189,24 +219,48 @@ func (m *muxConn) worker(st *muxStream) {
 				m.send(st.id, protocol.FrameError, protocol.EncodeError("proxy: unknown prepared statement"))
 				continue
 			}
-			m.runStatement(st.id, sess, ps, "", args)
+			m.runStatement(st.id, sess, ps, "", args, tc, f.at)
 		case protocol.FrameQuery:
-			sql, args, err := protocol.DecodeQuery(f.payload)
+			tc, body, ok := m.splitTrace(st.id, f.payload)
+			if !ok {
+				continue
+			}
+			sql, args, err := protocol.DecodeQuery(body)
 			if err != nil {
 				m.s.errors.Add(1)
 				m.send(st.id, protocol.FrameError, protocol.EncodeError(err.Error()))
 				continue
 			}
-			m.runStatement(st.id, sess, nil, sql, args)
+			m.runStatement(st.id, sess, nil, sql, args, tc, f.at)
 		default:
 			m.send(st.id, protocol.FrameError, protocol.EncodeError("proxy: unknown frame"))
 		}
 	}
 }
 
+// splitTrace strips the trace-context trailer from a statement payload
+// on capability connections. A malformed trailer gets an Error reply
+// (the frame is length-delimited, so the stream itself stays in sync);
+// ok=false means the caller should skip the frame.
+func (m *muxConn) splitTrace(sid uint32, payload []byte) (protocol.TraceContext, []byte, bool) {
+	if m.caps&protocol.CapTraceContext == 0 {
+		return protocol.TraceContext{}, payload, true
+	}
+	tc, body, err := protocol.SplitTraceContext(payload)
+	if err != nil {
+		m.s.errors.Add(1)
+		m.send(sid, protocol.FrameError, protocol.EncodeError(err.Error()))
+		return protocol.TraceContext{}, nil, false
+	}
+	return tc, body, true
+}
+
 // runStatement executes one statement and writes its complete response
-// (OK, Error, or Header+RowBatch*+EOF) to the stream.
-func (m *muxConn) runStatement(sid uint32, sess BackendSession, ps *preparedStmt, sql string, args []sqltypes.Value) {
+// (OK, Error, or Header+RowBatch*+EOF) to the stream. When the trace
+// context requests recording, the terminal frame carries a span block:
+// the node's receive→reply total plus whatever stage spans the backend
+// session recorded.
+func (m *muxConn) runStatement(sid uint32, sess BackendSession, ps *preparedStmt, sql string, args []sqltypes.Value, tc protocol.TraceContext, recvAt time.Time) {
 	s := m.s
 	s.statements.Add(1)
 	if s.limiter != nil && !s.limiter.Acquire() {
@@ -216,6 +270,20 @@ func (m *muxConn) runStatement(sid uint32, sess BackendSession, ps *preparedStmt
 	}
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
+
+	traced := tc.Active()
+	var started time.Time
+	var tracer TracingBackendSession
+	if traced {
+		started = time.Now()
+		if recvAt.IsZero() {
+			recvAt = started
+		}
+		if ts, ok := sess.(TracingBackendSession); ok {
+			tracer = ts
+			ts.BeginTrace(recvAt, started, tc.Detailed)
+		}
+	}
 
 	var (
 		cols     []string
@@ -234,16 +302,30 @@ func (m *muxConn) runStatement(sid uint32, sess BackendSession, ps *preparedStmt
 	default:
 		cols, rows, affected, lastID, err = sess.Execute(sql, args)
 	}
+
+	// The span block rides the terminal frame. Backends without span
+	// recording still get a block with the measured total, so the client
+	// can compute the wire/queue gap against any backend.
+	var tail []byte
+	if traced {
+		total := time.Since(recvAt)
+		var spans []telemetry.RemoteSpan
+		if tracer != nil {
+			spans = tracer.EndTrace(total)
+		}
+		tail = protocol.AppendSpanBlock(nil, total, spans)
+	}
+
 	if err != nil {
 		s.errors.Add(1)
-		m.send(sid, protocol.FrameError, protocol.EncodeError(err.Error()))
+		m.send(sid, protocol.FrameError, append(protocol.EncodeError(err.Error()), tail...))
 		return
 	}
 	if cols == nil {
-		m.send(sid, protocol.FrameOK, protocol.EncodeOK(affected, lastID))
+		m.send(sid, protocol.FrameOK, append(protocol.EncodeOK(affected, lastID), tail...))
 		return
 	}
-	m.sendRows(sid, cols, rows)
+	m.sendRows(sid, cols, rows, tail)
 }
 
 // send queues one frame for the socket writer.
@@ -252,9 +334,10 @@ func (m *muxConn) send(sid uint32, typ byte, payload []byte) {
 }
 
 // sendRows queues a full query response, chunking rows into ~16KB
-// FrameRowBatch frames. Encoding happens here on the worker goroutine;
-// only the socket write is serialized.
-func (m *muxConn) sendRows(sid uint32, cols []string, rows []sqltypes.Row) {
+// FrameRowBatch frames; tail (a span block, or nil) becomes the EOF
+// payload. Encoding happens here on the worker goroutine; only the
+// socket write is serialized.
+func (m *muxConn) sendRows(sid uint32, cols []string, rows []sqltypes.Row, tail []byte) {
 	frames := []outFrame{{protocol.FrameHeader, protocol.EncodeHeader(cols)}}
 	enc := &protocol.BatchEncoder{}
 	for _, row := range rows {
@@ -269,7 +352,7 @@ func (m *muxConn) sendRows(sid uint32, cols []string, rows []sqltypes.Row) {
 		frames = append(frames, outFrame{protocol.FrameRowBatch, enc.Payload()})
 		m.s.rowBatches.Add(1)
 	}
-	frames = append(frames, outFrame{protocol.FrameEOF, nil})
+	frames = append(frames, outFrame{protocol.FrameEOF, tail})
 	m.writeCh <- outMsg{sid: sid, frames: frames}
 }
 

@@ -11,14 +11,17 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"shardingsphere/internal/core"
 	"shardingsphere/internal/protocol"
 	"shardingsphere/internal/sqlexec"
 	"shardingsphere/internal/sqlparser"
 	"shardingsphere/internal/sqltypes"
+	"shardingsphere/internal/telemetry"
 )
 
 // BackendSession serves one client connection's statements.
@@ -31,6 +34,22 @@ type BackendSession interface {
 // Backend creates per-connection sessions.
 type Backend interface {
 	NewBackendSession() BackendSession
+}
+
+// TracingBackendSession is optionally implemented by backend sessions
+// that can record per-stage spans for a traced statement. BeginTrace
+// arms recording (base is the frame receive time, started the worker
+// pickup time); EndTrace disarms it and returns the collected spans,
+// which the mux layer piggybacks on the terminal reply frame.
+type TracingBackendSession interface {
+	BeginTrace(base, started time.Time, detailed bool)
+	EndTrace(total time.Duration) []telemetry.RemoteSpan
+}
+
+// MetricsBackend is optionally implemented by backends that can export
+// a histogram/counter snapshot for federation (FrameMetricsPull).
+type MetricsBackend interface {
+	MetricsSnapshot() *telemetry.MetricsSnapshot
 }
 
 // Limiter optionally throttles inbound statements (the governor's rate
@@ -88,6 +107,26 @@ func (s *Server) Metrics() map[string]int64 {
 		"prepared_stmts":     s.preparedTotal.Load(),
 		"row_batches":        s.rowBatches.Load(),
 	}
+}
+
+// MetricsSnapshot exports the node's federated metrics view: the
+// backend's execution histograms and counters (when the backend can
+// produce them) plus the server's own wire counters under "wire.".
+// This is what FrameMetricsPull answers with.
+func (s *Server) MetricsSnapshot() *telemetry.MetricsSnapshot {
+	var snap *telemetry.MetricsSnapshot
+	if mb, ok := s.backend.(MetricsBackend); ok {
+		snap = mb.MetricsSnapshot()
+	}
+	if snap == nil {
+		snap = &telemetry.MetricsSnapshot{}
+	}
+	wire := s.Metrics()
+	for k, v := range wire {
+		snap.Counters = append(snap.Counters, telemetry.NamedCounter{Name: "wire." + k, Value: v})
+	}
+	sort.Slice(snap.Counters, func(i, j int) bool { return snap.Counters[i].Name < snap.Counters[j].Name })
+	return snap
 }
 
 // countingReader / countingWriter tally wire bytes as they stream.
@@ -227,12 +266,20 @@ func (s *Server) handle(conn net.Conn) {
 		if first {
 			first = false
 			if typ == protocol.FrameHello {
-				version, _, derr := protocol.DecodeHello(payload)
+				version, _, clientCaps, derr := protocol.DecodeHelloCaps(payload)
 				if derr == nil && version >= protocol.Version2 {
-					if s.reply(w, protocol.FrameHelloAck, protocol.EncodeHello(protocol.Version2, protocol.MaxFrame)) != nil {
+					// Capability intersection. A capability-less client
+					// gets the legacy 8-byte ack, byte-identical to what
+					// older servers send.
+					caps := clientCaps & protocol.LocalCaps
+					ack := protocol.EncodeHello(protocol.Version2, protocol.MaxFrame)
+					if caps != 0 {
+						ack = protocol.EncodeHelloCaps(protocol.Version2, protocol.MaxFrame, caps)
+					}
+					if s.reply(w, protocol.FrameHelloAck, ack) != nil {
 						return
 					}
-					s.serveMux(conn, r, w)
+					s.serveMux(conn, r, w, caps)
 					return
 				}
 				if s.reply(w, protocol.FrameError, protocol.EncodeError("proxy: unsupported protocol version")) != nil {
@@ -325,6 +372,11 @@ func (b *KernelBackend) NewBackendSession() BackendSession {
 	return &kernelSession{sess: b.Kernel.NewSession()}
 }
 
+// MetricsSnapshot implements MetricsBackend over the kernel's collector.
+func (b *KernelBackend) MetricsSnapshot() *telemetry.MetricsSnapshot {
+	return b.Kernel.Telemetry().MetricsSnapshot()
+}
+
 type kernelSession struct {
 	sess *core.Session
 }
@@ -369,6 +421,12 @@ func (b *NodeBackend) NewBackendSession() BackendSession {
 	return &nodeSession{proc: b.Processor, sess: b.Processor.NewSession()}
 }
 
+// MetricsSnapshot implements MetricsBackend over the processor's
+// node-local aggregates.
+func (b *NodeBackend) MetricsSnapshot() *telemetry.MetricsSnapshot {
+	return b.Processor.Stats().Snapshot()
+}
+
 type nodeSession struct {
 	proc *sqlexec.Processor
 	sess *sqlexec.Session
@@ -395,6 +453,16 @@ func (ns *nodeSession) ExecutePrepared(handle any, args []sqltypes.Value) ([]str
 		return nil, nil, 0, 0, err
 	}
 	return ns.result(res)
+}
+
+// BeginTrace / EndTrace implement TracingBackendSession by delegating
+// to the executor session's span recorder.
+func (ns *nodeSession) BeginTrace(base, started time.Time, detailed bool) {
+	ns.sess.BeginTrace(base, started, detailed)
+}
+
+func (ns *nodeSession) EndTrace(total time.Duration) []telemetry.RemoteSpan {
+	return ns.sess.EndTrace(total)
 }
 
 func (ns *nodeSession) result(res *sqlexec.Result) ([]string, []sqltypes.Row, int64, int64, error) {

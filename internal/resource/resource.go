@@ -30,6 +30,7 @@ import (
 	"shardingsphere/internal/sqlparser"
 	"shardingsphere/internal/sqltypes"
 	"shardingsphere/internal/storage"
+	"shardingsphere/internal/telemetry"
 )
 
 // Errors returned by the resource layer.
@@ -398,6 +399,11 @@ type AcquireObserver func(wait time.Duration, timedOut bool)
 // installed by remote transports, surfaced by SHOW REMOTE STATUS.
 type AuxMetricsFunc func() map[string]int64
 
+// MetricsPullFunc scrapes the histogram/counter snapshot of the peer
+// behind a data source; installed by remote transports (wire-v2
+// FrameMetricsPull), consumed by the governor's cluster federation.
+type MetricsPullFunc func(ctx context.Context) (*telemetry.MetricsSnapshot, error)
+
 // DataSource is one named database with a connection pool.
 type DataSource struct {
 	name    string
@@ -420,6 +426,7 @@ type DataSource struct {
 
 	interceptor atomic.Pointer[ConnInterceptor]
 	auxMetrics  atomic.Pointer[AuxMetricsFunc]
+	metricsPull atomic.Pointer[MetricsPullFunc]
 }
 
 // PoolStats is a point-in-time snapshot of one pool's gauges.
@@ -496,6 +503,25 @@ func (ds *DataSource) AuxMetrics() map[string]int64 {
 		return (*p)()
 	}
 	return nil
+}
+
+// SetMetricsPull installs the peer-scrape hook for this data source
+// (nil removes it).
+func (ds *DataSource) SetMetricsPull(fn MetricsPullFunc) {
+	if fn == nil {
+		ds.metricsPull.Store(nil)
+		return
+	}
+	ds.metricsPull.Store(&fn)
+}
+
+// MetricsPull scrapes the peer's metrics snapshot, or returns (nil, nil)
+// when the data source has no scrapeable peer (embedded sources).
+func (ds *DataSource) MetricsPull(ctx context.Context) (*telemetry.MetricsSnapshot, error) {
+	if p := ds.metricsPull.Load(); p != nil {
+		return (*p)(ctx)
+	}
+	return nil, nil
 }
 
 // Stats snapshots the pool gauges.

@@ -3,10 +3,12 @@ package sqlexec
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"shardingsphere/internal/sqlparser"
 	"shardingsphere/internal/sqltypes"
 	"shardingsphere/internal/storage"
+	"shardingsphere/internal/telemetry"
 )
 
 // Processor wraps one storage engine with a shared parsed-statement cache,
@@ -17,6 +19,7 @@ import (
 // BenchmarkParserCache quantifies it.
 type Processor struct {
 	engine *storage.Engine
+	stats  Stats
 
 	mu    sync.RWMutex
 	cache map[string]sqlparser.Statement
@@ -69,6 +72,13 @@ type Session struct {
 	tx     *storage.Tx
 	xaXID  string
 	vars   map[string]sqltypes.Value
+
+	// Span recording state, armed via BeginTrace for statements that
+	// arrived with an active trace context (see trace.go).
+	recOn       bool
+	recDetailed bool
+	recBase     time.Time
+	rec         []telemetry.RemoteSpan
 }
 
 // InTransaction reports whether an explicit transaction is open.
@@ -87,8 +97,12 @@ func (s *Session) Vars() map[string]sqltypes.Value { return s.vars }
 
 // Execute runs one SQL statement with optional bind arguments.
 func (s *Session) Execute(sql string, args ...sqltypes.Value) (*Result, error) {
+	t0 := s.recStart()
 	stmt, err := s.proc.Parse(sql)
+	s.recSpan("parse", t0, err)
 	if err != nil {
+		s.proc.stats.Statements.Add(1)
+		s.proc.stats.Errors.Add(1)
 		return nil, err
 	}
 	return s.ExecuteStmt(stmt, args)
@@ -97,25 +111,49 @@ func (s *Session) Execute(sql string, args ...sqltypes.Value) (*Result, error) {
 // ExecuteStmt runs an already-parsed statement. The statement is treated
 // as read-only and may be shared across sessions.
 func (s *Session) ExecuteStmt(stmt sqlparser.Statement, args []sqltypes.Value) (*Result, error) {
+	res, err := s.executeStmt(stmt, args)
+	s.proc.stats.Statements.Add(1)
+	if err != nil {
+		s.proc.stats.Errors.Add(1)
+	}
+	return res, err
+}
+
+func (s *Session) executeStmt(stmt sqlparser.Statement, args []sqltypes.Value) (*Result, error) {
 	switch t := stmt.(type) {
 	case *sqlparser.SelectStmt:
 		if t.ForUpdate {
-			if err := s.lockForUpdate(t, args); err != nil {
+			t0 := s.recStart()
+			err := s.lockForUpdate(t, args)
+			s.recSpan("lock_wait", t0, err)
+			if err != nil {
 				return nil, err
 			}
 		}
-		return s.executeSelect(t, args)
+		t0 := s.recStart()
+		res, err := s.executeSelect(t, args)
+		s.recSpan("read", t0, err)
+		return res, err
 	case *sqlparser.InsertStmt:
 		return s.autocommit(func(tx *storage.Tx) (*Result, error) {
-			return s.executeInsert(tx, t, args)
+			t0 := s.recStart()
+			res, err := s.executeInsert(tx, t, args)
+			s.recSpan("write", t0, err)
+			return res, err
 		})
 	case *sqlparser.UpdateStmt:
 		return s.autocommit(func(tx *storage.Tx) (*Result, error) {
-			return s.executeUpdate(tx, t, args)
+			t0 := s.recStart()
+			res, err := s.executeUpdate(tx, t, args)
+			s.recSpan("write", t0, err)
+			return res, err
 		})
 	case *sqlparser.DeleteStmt:
 		return s.autocommit(func(tx *storage.Tx) (*Result, error) {
-			return s.executeDelete(tx, t, args)
+			t0 := s.recStart()
+			res, err := s.executeDelete(tx, t, args)
+			s.recSpan("write", t0, err)
+			return res, err
 		})
 	case *sqlparser.CreateTableStmt:
 		return s.executeCreateTable(t)
@@ -149,7 +187,10 @@ func (s *Session) ExecuteStmt(stmt sqlparser.Statement, args []sqltypes.Value) (
 		}
 		tx := s.tx
 		s.tx = nil
-		if err := tx.Commit(); err != nil {
+		t0 := s.recStart()
+		err := tx.Commit()
+		s.recSpan("commit", t0, err)
+		if err != nil {
 			return nil, err
 		}
 		return &Result{}, nil
@@ -214,7 +255,10 @@ func (s *Session) autocommit(op func(*storage.Tx) (*Result, error)) (*Result, er
 		tx.Rollback()
 		return nil, err
 	}
-	if err := tx.Commit(); err != nil {
+	t0 := s.recStart()
+	err = tx.Commit()
+	s.recSpan("commit", t0, err)
+	if err != nil {
 		return nil, err
 	}
 	return res, nil

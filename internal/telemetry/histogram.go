@@ -52,8 +52,15 @@ func (h *Histogram) Snapshot() [NumBuckets]uint64 {
 // where the cumulative count crosses q·total). Returns 0 when empty.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	snap := h.Snapshot()
+	return quantileOf(snap[:], q)
+}
+
+// quantileOf applies the bucket-upper-bound quantile rule to a raw
+// bucket slice (shared by live histograms and merged snapshots, so both
+// views agree bucket-for-bucket).
+func quantileOf(buckets []uint64, q float64) time.Duration {
 	var total uint64
-	for _, c := range snap {
+	for _, c := range buckets {
 		total += c
 	}
 	if total == 0 {
@@ -70,13 +77,30 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 		rank = 1
 	}
 	var cum uint64
-	for i, c := range snap {
+	for i, c := range buckets {
 		cum += c
 		if cum >= rank {
 			return BucketUpperBound(i)
 		}
 	}
-	return BucketUpperBound(NumBuckets - 1)
+	return BucketUpperBound(len(buckets) - 1)
+}
+
+// Merge adds a snapshot's bucket counts into h (bucket-wise, so the
+// merged count is the exact sum and every quantile of the merge lands
+// on a bucket boundary some input also used). Buckets beyond the
+// fixed layout collapse into the last bucket rather than being dropped.
+func (h *Histogram) Merge(buckets []uint64) {
+	for i, c := range buckets {
+		if c == 0 {
+			continue
+		}
+		idx := i
+		if idx >= NumBuckets {
+			idx = NumBuckets - 1
+		}
+		h.buckets[idx].Add(c)
+	}
 }
 
 // BucketUpperBound returns the exclusive upper latency bound of bucket i.

@@ -1,0 +1,164 @@
+package telemetry
+
+import (
+	"math/bits"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// exactQuantile computes the true pooled quantile over raw samples with
+// the same "first value whose rank crosses q·n" convention the
+// histograms use.
+func exactQuantile(samples []time.Duration, q float64) time.Duration {
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(q * float64(len(sorted)))
+	if rank == 0 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// bucketOf mirrors Histogram.Observe's bucket assignment.
+func bucketOf(d time.Duration) int {
+	idx := bits.Len64(uint64(d / time.Microsecond))
+	if idx >= NumBuckets {
+		idx = NumBuckets - 1
+	}
+	return idx
+}
+
+// TestMergePreservesCountAndQuantiles is the property test for the
+// federation merge: merging N per-node histograms must preserve the
+// exact total count, and p50/p99 of the merge must land within one
+// bucket of the exact pooled quantile.
+func TestMergePreservesCountAndQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for round := 0; round < 200; round++ {
+		nodes := 1 + rng.Intn(8)
+		var merged Histogram
+		var all []time.Duration
+		var wantCount uint64
+		for n := 0; n < nodes; n++ {
+			var h Histogram
+			samples := rng.Intn(400)
+			for i := 0; i < samples; i++ {
+				// Mix of magnitudes: sub-µs up to tens of seconds, so
+				// every bucket regime including the overflow bucket is hit.
+				us := rng.Int63n(1 << uint(rng.Intn(36)))
+				d := time.Duration(us) * time.Microsecond
+				h.Observe(d)
+				all = append(all, d)
+			}
+			snap := h.Snapshot()
+			merged.Merge(snap[:])
+			wantCount += h.Count()
+		}
+		if got := merged.Count(); got != wantCount {
+			t.Fatalf("round %d: merged count %d, want %d", round, got, wantCount)
+		}
+		if len(all) == 0 {
+			continue
+		}
+		for _, q := range []float64{0.50, 0.99} {
+			got := merged.Quantile(q)
+			exact := exactQuantile(all, q)
+			// The merge must land in the exact sample's bucket (its
+			// upper bound) or at most one bucket off.
+			exactBucket := bucketOf(exact)
+			gotBucket := bucketOf(got - 1) // got is an exclusive upper bound
+			if diff := gotBucket - exactBucket; diff < -1 || diff > 1 {
+				t.Fatalf("round %d: q%v merged=%v (bucket %d) exact=%v (bucket %d)",
+					round, q, got, gotBucket, exact, exactBucket)
+			}
+		}
+	}
+}
+
+// TestMergeMatchesSingleHistogram: merging node histograms must give the
+// same buckets as observing every sample in one histogram — no
+// bucket-boundary drift between the live and the merged view.
+func TestMergeMatchesSingleHistogram(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var pooled, merged Histogram
+	for n := 0; n < 5; n++ {
+		var h Histogram
+		for i := 0; i < 1000; i++ {
+			d := time.Duration(rng.Int63n(1<<30)) * time.Nanosecond
+			h.Observe(d)
+			pooled.Observe(d)
+		}
+		snap := h.Snapshot()
+		merged.Merge(snap[:])
+	}
+	ps, ms := pooled.Snapshot(), merged.Snapshot()
+	if ps != ms {
+		t.Fatalf("merged buckets drift from pooled buckets:\n pooled %v\n merged %v", ps, ms)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 1.0} {
+		if pooled.Quantile(q) != merged.Quantile(q) {
+			t.Fatalf("q%v: pooled %v vs merged %v", q, pooled.Quantile(q), merged.Quantile(q))
+		}
+	}
+}
+
+// TestMergeOverflowBuckets: snapshots wider than the local layout (a
+// newer node) collapse into the last bucket instead of being dropped.
+func TestMergeOverflowBuckets(t *testing.T) {
+	wide := make([]uint64, NumBuckets+4)
+	wide[3] = 5
+	wide[NumBuckets+2] = 7
+	var h Histogram
+	h.Merge(wide)
+	if got := h.Count(); got != 12 {
+		t.Fatalf("count %d, want 12", got)
+	}
+	snap := h.Snapshot()
+	if snap[3] != 5 || snap[NumBuckets-1] != 7 {
+		t.Fatalf("bucket placement: %v", snap)
+	}
+}
+
+func TestMergeSnapshots(t *testing.T) {
+	a := &MetricsSnapshot{
+		Histograms: []NamedHistogram{{Name: "stage.total", Buckets: []uint64{1, 2, 3}}},
+		Counters:   []NamedCounter{{Name: "statements", Value: 6}},
+	}
+	b := &MetricsSnapshot{
+		Histograms: []NamedHistogram{
+			{Name: "stage.total", Buckets: []uint64{0, 1, 0, 9}},
+			{Name: "stage.parse", Buckets: []uint64{4}},
+		},
+		Counters: []NamedCounter{{Name: "statements", Value: 10}, {Name: "errors", Value: 1}},
+	}
+	m := MergeSnapshots([]*MetricsSnapshot{a, nil, b})
+	if len(m.Histograms) != 2 {
+		t.Fatalf("%d histograms", len(m.Histograms))
+	}
+	// Sorted: stage.parse, stage.total.
+	if m.Histograms[0].Name != "stage.parse" || m.Histograms[0].Count() != 4 {
+		t.Fatalf("parse: %+v", m.Histograms[0])
+	}
+	total := m.Histograms[1]
+	if total.Name != "stage.total" || total.Count() != a.Histograms[0].Count()+b.Histograms[0].Count() {
+		t.Fatalf("total: %+v", total)
+	}
+	want := []uint64{1, 3, 3, 9}
+	for i, c := range want {
+		if total.Buckets[i] != c {
+			t.Fatalf("bucket %d: %d want %d", i, total.Buckets[i], c)
+		}
+	}
+	if len(m.Counters) != 2 || m.Counters[1].Value != 16 || m.Counters[0].Value != 1 {
+		t.Fatalf("counters: %+v", m.Counters)
+	}
+	// Merging into a live histogram agrees with the snapshot merge.
+	var h Histogram
+	h.Merge(a.Histograms[0].Buckets)
+	h.Merge(b.Histograms[0].Buckets)
+	if h.Count() != total.Count() || h.Quantile(0.99) != total.Quantile(0.99) {
+		t.Fatalf("live merge disagrees with snapshot merge")
+	}
+}

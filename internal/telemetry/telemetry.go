@@ -43,6 +43,20 @@ const (
 	StageXACommit
 	// StageBaseUndo covers BASE before-image (undo log) capture.
 	StageBaseUndo
+	// StageWire covers the client-observed round trip to a remote data
+	// source minus the server-reported processing time: network transit
+	// plus socket/stream queueing on both ends.
+	StageWire
+	// Remote (datanode-side) stages, grafted from span blocks piggybacked
+	// on wire-v2 replies. Offsets are mapped into the local trace clock
+	// assuming a symmetric network (half the wire gap on each side).
+	StageNodeQueue  // frame receive → stream-worker pickup on the node
+	StageNodeParse  // datanode SQL parse (incl. its parse cache)
+	StageNodeRead   // storage read (SELECT execution)
+	StageNodeWrite  // storage write (DML execution)
+	StageNodeLock   // lock wait (SELECT ... FOR UPDATE / DML row locks)
+	StageNodeCommit // autocommit/commit durability on the node
+	StageNodeOther  // remote stage this build does not know by name
 	// StageTotal is the whole statement; also the slow-log trigger.
 	StageTotal
 	numStages
@@ -56,10 +70,30 @@ var stageNames = [numStages]string{
 	StageExecute:   "execute",
 	StageMerge:     "merge",
 	StageAcquire:   "pool_acquire",
-	StageXAPrepare: "xa_prepare",
-	StageXACommit:  "xa_commit",
-	StageBaseUndo:  "base_undo",
-	StageTotal:     "total",
+	StageXAPrepare:  "xa_prepare",
+	StageXACommit:   "xa_commit",
+	StageBaseUndo:   "base_undo",
+	StageWire:       "wire",
+	StageNodeQueue:  "node_queue",
+	StageNodeParse:  "node_parse",
+	StageNodeRead:   "node_read",
+	StageNodeWrite:  "node_write",
+	StageNodeLock:   "node_lock_wait",
+	StageNodeCommit: "node_commit",
+	StageNodeOther:  "node_other",
+	StageTotal:      "total",
+}
+
+// remoteStageByName maps the compact stage names datanodes put on the
+// wire to local stages. Unknown names degrade to StageNodeOther rather
+// than erroring, so a newer node can talk to an older proxy.
+var remoteStageByName = map[string]Stage{
+	"queue":     StageNodeQueue,
+	"parse":     StageNodeParse,
+	"read":      StageNodeRead,
+	"write":     StageNodeWrite,
+	"lock_wait": StageNodeLock,
+	"commit":    StageNodeCommit,
 }
 
 // String returns the wire name of the stage ("parse", "route", ...).
@@ -77,6 +111,7 @@ type Span struct {
 	DataSource string // set on per-unit execute and acquire spans
 	Offset     time.Duration
 	Dur        time.Duration
+	Attempt    int    // 1-based try number on retried/failed-over units; 0 = first and only
 	Err        string // non-empty when the spanned work failed
 }
 
@@ -109,6 +144,7 @@ type Trace struct {
 	startOff time.Duration // statement start, relative to col.base
 	lastOff  time.Duration // offset of the previous mark
 	tick     int64         // owner-local stage-sampling counter
+	id       uint64        // nonzero on sampled traces; propagated to remote nodes
 	sampled  bool          // stage marks active for this trace
 	detailed bool
 	retained bool
@@ -121,6 +157,11 @@ type Trace struct {
 
 	mu    sync.Mutex
 	spans []Span
+	// Attempt numbering for retried/failed-over statements: maxAttempt is
+	// the highest attempt number recorded so far, attemptBase what the next
+	// execution round's local attempt numbers are offset by. Both under mu.
+	attemptBase int
+	maxAttempt  int
 }
 
 // advanceEnd lifts endOff to at least end (monotonic max).
@@ -164,12 +205,32 @@ func (t *Trace) Skip() {
 // unsampled statements.
 func (t *Trace) Sampled() bool { return t != nil && t.sampled }
 
+// ID returns the trace's collector-local identifier (nonzero only on
+// sampled traces); it travels to remote data nodes in the wire-v2
+// trace-context trailer.
+func (t *Trace) ID() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.id
+}
+
 // AddExec records one per-data-source execute span using timings the
 // executor already measured — no extra clock reads. Unsampled traces
 // only advance the work-end watermark unless the unit failed (their
 // slow-log entries carry SQL and total, not spans). Safe to call from
 // concurrent executor goroutines.
 func (t *Trace) AddExec(dataSource string, start time.Time, dur time.Duration, err error) {
+	t.AddExecAttempt(dataSource, start, dur, 0, err)
+}
+
+// AddExecAttempt is AddExec for retried/failed-over units: each try gets
+// its own appended span tagged with a 1-based attempt number, so a
+// failed first attempt's timing survives next to the retry that
+// replaced it. Local attempt numbers compose with BeginFailover's base,
+// so session-level failover rounds continue the sequence instead of
+// restarting at 1.
+func (t *Trace) AddExecAttempt(dataSource string, start time.Time, dur time.Duration, attempt int, err error) {
 	if t == nil {
 		return
 	}
@@ -183,13 +244,38 @@ func (t *Trace) AddExec(dataSource string, start time.Time, dur time.Duration, e
 		msg = err.Error()
 	}
 	t.mu.Lock()
+	if attempt > 0 {
+		attempt += t.attemptBase
+		if attempt > t.maxAttempt {
+			t.maxAttempt = attempt
+		}
+	}
 	t.spans = append(t.spans, Span{
 		Stage:      StageExecute,
 		DataSource: dataSource,
 		Offset:     off,
 		Dur:        dur,
+		Attempt:    attempt,
 		Err:        msg,
 	})
+	t.mu.Unlock()
+}
+
+// BeginFailover marks the start of a session-level failover round: the
+// next execution's local attempt numbers (1, 2, …) continue after the
+// highest attempt already recorded, keeping the statement's attempt
+// sequence globally monotonic across both retry layers.
+func (t *Trace) BeginFailover() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.maxAttempt == 0 {
+		// Nothing recorded (unsampled trace or spans elided): still bump
+		// the base so the retry is distinguishable from a first attempt.
+		t.maxAttempt = 1
+	}
+	t.attemptBase = t.maxAttempt
 	t.mu.Unlock()
 }
 
@@ -295,8 +381,14 @@ func (t *Trace) sortSpans() {
 type SourceStats struct {
 	Execute     Histogram
 	AcquireWait Histogram
-	Errors      atomic.Uint64
-	Timeouts    atomic.Uint64
+	// Wire and Remote split a remote source's execute latency: Wire is
+	// the client-observed round trip minus the node-reported processing
+	// time, Remote is the node-reported processing time itself. Both are
+	// fed by span grafting, i.e. sampled statements only.
+	Wire     Histogram
+	Remote   Histogram
+	Errors   atomic.Uint64
+	Timeouts atomic.Uint64
 }
 
 // Collector owns the aggregate state traces feed into. A nil Collector is
@@ -307,6 +399,7 @@ type Collector struct {
 	errors          atomic.Uint64
 	sampleEvery     atomic.Int64
 	sampleTick      atomic.Int64
+	traceSeq        atomic.Uint64
 
 	stage [numStages]Histogram
 
@@ -420,10 +513,15 @@ func (c *Collector) StartInto(buf *Trace, sql string) *Trace {
 	} else {
 		buf.sampled = false
 	}
+	buf.id = 0
+	if buf.sampled {
+		buf.id = c.traceSeq.Add(1)
+	}
 	buf.detailed = false
 	buf.retained = false
 	buf.owned = true
 	buf.spans = buf.spans[:0]
+	buf.attemptBase, buf.maxAttempt = 0, 0
 	return buf
 }
 
@@ -448,10 +546,15 @@ func (c *Collector) begin(sql string, detailed bool) *Trace {
 	t.endOff.Store(0)
 	t.total = 0
 	t.sampled = detailed || (c.sampleTick.Add(1)-1)%c.sampleEvery.Load() == 0
+	t.id = 0
+	if t.sampled {
+		t.id = c.traceSeq.Add(1)
+	}
 	t.detailed = detailed
 	t.retained = false
 	t.owned = false
 	t.spans = t.spans[:0]
+	t.attemptBase, t.maxAttempt = 0, 0
 	return t
 }
 
@@ -553,6 +656,10 @@ type SourceSnapshot struct {
 	P95        time.Duration
 	P99        time.Duration
 	AcquireP99 time.Duration
+	// Remote-vs-wire breakdown; zero for embedded (in-process) sources.
+	WireCount uint64
+	WireP99   time.Duration
+	RemoteP99 time.Duration
 }
 
 // Sources returns per-data-source snapshots sorted by name.
@@ -572,6 +679,9 @@ func (c *Collector) SourcesSnapshot() []SourceSnapshot {
 			P95:        s.Execute.Quantile(0.95),
 			P99:        s.Execute.Quantile(0.99),
 			AcquireP99: s.AcquireWait.Quantile(0.99),
+			WireCount:  s.Wire.Count(),
+			WireP99:    s.Wire.Quantile(0.99),
+			RemoteP99:  s.Remote.Quantile(0.99),
 		})
 		return true
 	})

@@ -45,7 +45,8 @@ type Conn struct {
 	st            *stream
 	stmts         map[string]uint32 // SQL text → prepared statement ID
 	nextStmt      uint32
-	ownsTransport bool // Close tears the transport down too
+	ownsTransport bool   // Close tears the transport down too
+	source        string // trace-source label (data source name or address)
 
 	closed  bool
 	defunct bool
@@ -165,7 +166,7 @@ func (c *Conn) pop(ctx context.Context) (muxFrame, error) {
 // sendStmt ships one statement, registering its shape as a prepared
 // statement on first use. Preparation is fire-and-forget (no round trip):
 // the prepare and execute frames travel in the same write.
-func (c *Conn) sendStmt(sql string, args []sqltypes.Value) error {
+func (c *Conn) sendStmt(sql string, args []sqltypes.Value, tc protocol.TraceContext) error {
 	id, ok := c.stmts[sql]
 	if !ok {
 		c.nextStmt++
@@ -174,27 +175,29 @@ func (c *Conn) sendStmt(sql string, args []sqltypes.Value) error {
 		c.t.preparedStmts.Add(1)
 		return c.t.send(c.st.id,
 			outFrame{protocol.FramePrepare, protocol.EncodePrepare(id, sql)},
-			outFrame{protocol.FrameExecStmt, protocol.EncodeExecStmt(id, args)})
+			outFrame{protocol.FrameExecStmt, c.appendTrace(protocol.EncodeExecStmt(id, args), tc)})
 	}
-	return c.t.send(c.st.id, outFrame{protocol.FrameExecStmt, protocol.EncodeExecStmt(id, args)})
+	return c.t.send(c.st.id, outFrame{protocol.FrameExecStmt, c.appendTrace(protocol.EncodeExecStmt(id, args), tc)})
 }
 
 // readExecResult consumes one statement response, tolerating row sets by
 // draining them. Remote statement errors leave the conn healthy; protocol
 // or transport errors mark it defunct.
-func (c *Conn) readExecResult(ctx context.Context) (resource.ExecResult, error) {
+func (c *Conn) readExecResult(ctx context.Context, exp spanExpect) (resource.ExecResult, error) {
 	f, err := c.pop(ctx)
 	if err != nil {
 		return resource.ExecResult{}, err
 	}
 	switch f.typ {
 	case protocol.FrameOK:
+		exp.observe(c, f)
 		affected, lastID, err := protocol.DecodeOK(f.payload)
 		if err != nil {
 			return resource.ExecResult{}, c.fail(err)
 		}
 		return resource.ExecResult{Affected: affected, LastInsertID: lastID}, nil
 	case protocol.FrameError:
+		exp.observe(c, f)
 		msg, _ := protocol.DecodeError(f.payload)
 		return resource.ExecResult{}, fmt.Errorf("%w: %s", ErrRemote, msg)
 	case protocol.FrameHeader:
@@ -208,8 +211,10 @@ func (c *Conn) readExecResult(ctx context.Context) (resource.ExecResult, error) 
 			switch f.typ {
 			case protocol.FrameRowBatch, protocol.FrameRow:
 			case protocol.FrameEOF:
+				exp.observe(c, f)
 				return resource.ExecResult{}, nil
 			case protocol.FrameError:
+				exp.observe(c, f)
 				return resource.ExecResult{}, fmt.Errorf("%w: mid-stream", ErrRemote)
 			default:
 				return resource.ExecResult{}, c.fail(fmt.Errorf("client: unexpected frame %#x in row stream", f.typ))
@@ -234,6 +239,7 @@ type remoteRows struct {
 	done   bool
 	err    error
 	closed bool
+	exp    spanExpect // span grafting on the terminal frame, if traced
 }
 
 func (rs *remoteRows) Columns() []string { return rs.cols }
@@ -267,8 +273,10 @@ func (rs *remoteRows) fetch() error {
 			}
 			rs.batch, rs.pos = append(rs.batch[:0], row), 0
 		case protocol.FrameEOF:
+			rs.exp.observe(rs.c, f)
 			rs.done = true
 		case protocol.FrameError:
+			rs.exp.observe(rs.c, f)
 			msg, _ := protocol.DecodeError(f.payload)
 			rs.done = true
 			rs.err = fmt.Errorf("%w: %s", ErrRemote, msg)
@@ -331,7 +339,8 @@ func (c *Conn) Query(ctx context.Context, sql string, args ...sqltypes.Value) (r
 		return nil, resource.ErrConnClosed
 	}
 	if c.st != nil {
-		if err := c.sendStmt(sql, args); err != nil {
+		tc, exp := c.beginTrace(ctx)
+		if err := c.sendStmt(sql, args, tc); err != nil {
 			return nil, c.fail(err)
 		}
 		f, err := c.pop(ctx)
@@ -340,16 +349,18 @@ func (c *Conn) Query(ctx context.Context, sql string, args ...sqltypes.Value) (r
 		}
 		switch f.typ {
 		case protocol.FrameError:
+			exp.observe(c, f)
 			msg, _ := protocol.DecodeError(f.payload)
 			return nil, fmt.Errorf("%w: %s", ErrRemote, msg)
 		case protocol.FrameOK:
+			exp.observe(c, f)
 			return nil, fmt.Errorf("client: %q returned no row set", sql)
 		case protocol.FrameHeader:
 			cols, err := protocol.DecodeHeader(f.payload)
 			if err != nil {
 				return nil, c.fail(err)
 			}
-			return &remoteRows{c: c, ctx: ctx, cols: cols}, nil
+			return &remoteRows{c: c, ctx: ctx, cols: cols, exp: exp}, nil
 		default:
 			return nil, c.fail(fmt.Errorf("client: unexpected frame %#x", f.typ))
 		}
@@ -392,10 +403,11 @@ func (c *Conn) Exec(ctx context.Context, sql string, args ...sqltypes.Value) (re
 		return resource.ExecResult{}, resource.ErrConnClosed
 	}
 	if c.st != nil {
-		if err := c.sendStmt(sql, args); err != nil {
+		tc, exp := c.beginTrace(ctx)
+		if err := c.sendStmt(sql, args, tc); err != nil {
 			return resource.ExecResult{}, c.fail(err)
 		}
-		return c.readExecResult(ctx)
+		return c.readExecResult(ctx, exp)
 	}
 	if err := ctx.Err(); err != nil {
 		return resource.ExecResult{}, err
@@ -453,6 +465,7 @@ func (c *Conn) ExecBatch(ctx context.Context, stmts []resource.Statement) ([]res
 	var firstErr error
 	for base := 0; base < len(stmts); base += MaxPipeline {
 		end := min(base+MaxPipeline, len(stmts))
+		tc, exp := c.beginTrace(ctx)
 		frames := make([]outFrame, 0, 2*(end-base))
 		for _, st := range stmts[base:end] {
 			id, ok := c.stmts[st.SQL]
@@ -463,7 +476,7 @@ func (c *Conn) ExecBatch(ctx context.Context, stmts []resource.Statement) ([]res
 				c.t.preparedStmts.Add(1)
 				frames = append(frames, outFrame{protocol.FramePrepare, protocol.EncodePrepare(id, st.SQL)})
 			}
-			frames = append(frames, outFrame{protocol.FrameExecStmt, protocol.EncodeExecStmt(id, st.Args)})
+			frames = append(frames, outFrame{protocol.FrameExecStmt, c.appendTrace(protocol.EncodeExecStmt(id, st.Args), tc)})
 		}
 		if err := c.t.send(c.st.id, frames...); err != nil {
 			return results, &resource.BatchError{Index: base, Err: c.fail(err)}
@@ -472,7 +485,7 @@ func (c *Conn) ExecBatch(ctx context.Context, stmts []resource.Statement) ([]res
 		// Read the whole window even past a statement failure, so the
 		// stream stays aligned for the next operation.
 		for i := base; i < end; i++ {
-			res, err := c.readExecResult(ctx)
+			res, err := c.readExecResult(ctx, exp)
 			if err != nil {
 				if c.defunct {
 					return results, &resource.BatchError{Index: i, Err: err}
@@ -549,7 +562,8 @@ func (c *Conn) Do(sql string, args ...sqltypes.Value) (*Result, error) {
 		// One send, one response: the server answers FrameOK for
 		// non-queries and a row set otherwise, so the statement is never
 		// executed twice to discover its kind.
-		if err := c.sendStmt(sql, args); err != nil {
+		tc, exp := c.beginTrace(ctx)
+		if err := c.sendStmt(sql, args, tc); err != nil {
 			return nil, c.fail(err)
 		}
 		f, err := c.pop(ctx)
@@ -558,9 +572,11 @@ func (c *Conn) Do(sql string, args ...sqltypes.Value) (*Result, error) {
 		}
 		switch f.typ {
 		case protocol.FrameError:
+			exp.observe(c, f)
 			msg, _ := protocol.DecodeError(f.payload)
 			return nil, fmt.Errorf("%w: %s", ErrRemote, msg)
 		case protocol.FrameOK:
+			exp.observe(c, f)
 			affected, lastID, err := protocol.DecodeOK(f.payload)
 			if err != nil {
 				return nil, c.fail(err)
@@ -572,7 +588,7 @@ func (c *Conn) Do(sql string, args ...sqltypes.Value) (*Result, error) {
 				return nil, c.fail(err)
 			}
 			// Materialize: shells print whole results anyway.
-			rows, rerr := resource.ReadAll(&remoteRows{c: c, ctx: ctx, cols: cols})
+			rows, rerr := resource.ReadAll(&remoteRows{c: c, ctx: ctx, cols: cols, exp: exp})
 			if rerr != nil {
 				return nil, rerr
 			}
@@ -643,11 +659,18 @@ func (c *Conn) Close() error {
 // of magnitude below typical pool sizes.
 const DefaultMuxSockets = 4
 
+// NegotiateCaps is the capability mask offered in the v2 Hello. Zeroing
+// it yields a capability-less v2 client whose frames are byte-identical
+// to the pre-capability protocol — interop tests and the trace-overhead
+// benchmark use it. Set before dialing; not synchronized.
+var NegotiateCaps uint32 = protocol.LocalCaps
+
 // muxPool shares a fixed set of transports among all pooled logical
 // conns, redialing slots whose transport died. If the server negotiates
 // down to v1 the pool permanently switches to dedicated sockets.
 type muxPool struct {
 	addr string
+	name string // data source name; labels traced spans from this pool
 
 	mu         sync.Mutex
 	transports []*Transport
@@ -670,7 +693,7 @@ func (p *muxPool) factory() (resource.Conn, error) {
 	t := p.transports[slot]
 	p.mu.Unlock()
 	if t != nil && t.Healthy() {
-		return t.OpenConn()
+		return p.openConn(t)
 	}
 	tr, legacy, err := negotiate(p.addr)
 	if err != nil {
@@ -690,11 +713,24 @@ func (p *muxPool) factory() (resource.Conn, error) {
 	if cur := p.transports[slot]; cur != nil && cur.Healthy() {
 		p.mu.Unlock()
 		tr.Close()
-		return cur.OpenConn()
+		return p.openConn(cur)
 	}
 	p.transports[slot] = tr
 	p.mu.Unlock()
-	return tr.OpenConn()
+	return p.openConn(tr)
+}
+
+// openConn opens a stream labeled with the pool's data source name, so
+// grafted remote spans attribute to the source rather than its address.
+func (p *muxPool) openConn(t *Transport) (resource.Conn, error) {
+	c, err := t.OpenConn()
+	if err != nil {
+		return nil, err
+	}
+	if p.name != "" {
+		c.source = p.name
+	}
+	return c, nil
 }
 
 // metrics snapshots transport counters across all sockets; surfaced by
@@ -737,8 +773,9 @@ func (p *muxPool) metrics() map[string]int64 {
 // v1-only server every pooled conn falls back to its own socket.
 func NewRemoteDataSource(name, addr string, opts *resource.Options) *resource.DataSource {
 	sockets := DefaultMuxSockets
-	p := &muxPool{addr: addr, transports: make([]*Transport, sockets)}
+	p := &muxPool{addr: addr, name: name, transports: make([]*Transport, sockets)}
 	ds := resource.NewDataSource(name, p.factory, opts)
 	ds.SetAuxMetrics(p.metrics)
+	ds.SetMetricsPull(p.pullMetrics)
 	return ds
 }

@@ -35,6 +35,11 @@ const MaxPipeline = 64
 type muxFrame struct {
 	typ     byte
 	payload []byte
+	// at is the receive time, stamped by the demux goroutine on terminal
+	// frames of trace-capable transports — closer to the wire than the
+	// consumer's clock, so queue time on the client side counts toward
+	// the wire gap too.
+	at time.Time
 }
 
 // outFrame is one frame queued for a coalesced write.
@@ -53,8 +58,10 @@ type outMsg struct {
 // Transport is one multiplexed TCP connection to a v2 server. Safe for
 // concurrent use; logical connections are opened with OpenConn.
 type Transport struct {
-	nc net.Conn
-	r  *bufio.Reader
+	nc   net.Conn
+	r    *bufio.Reader
+	addr string // dialed address; default trace-source label
+	caps uint32 // negotiated capability bits
 
 	w        *bufio.Writer
 	writeCh  chan outMsg
@@ -150,7 +157,7 @@ func negotiate(addr string) (*Transport, *Conn, error) {
 	}
 	r := bufio.NewReaderSize(nc, 64<<10)
 	w := bufio.NewWriterSize(nc, 64<<10)
-	hello := protocol.EncodeHello(protocol.Version2, protocol.MaxFrame)
+	hello := protocol.EncodeHelloCaps(protocol.Version2, protocol.MaxFrame, NegotiateCaps)
 	if err := protocol.WriteFrame(w, protocol.FrameHello, hello); err != nil {
 		nc.Close()
 		return nil, nil, err
@@ -166,7 +173,7 @@ func negotiate(addr string) (*Transport, *Conn, error) {
 	}
 	switch typ {
 	case protocol.FrameHelloAck:
-		version, maxFrame, err := protocol.DecodeHello(payload)
+		version, maxFrame, caps, err := protocol.DecodeHelloCaps(payload)
 		if err != nil || version != protocol.Version2 {
 			nc.Close()
 			return nil, nil, fmt.Errorf("client: bad hello ack (version %d): %v", version, err)
@@ -177,6 +184,8 @@ func negotiate(addr string) (*Transport, *Conn, error) {
 		t := &Transport{
 			nc:       nc,
 			r:        r,
+			addr:     addr,
+			caps:     caps & protocol.LocalCaps,
 			w:        w,
 			writeCh:  make(chan outMsg, 256),
 			quit:     make(chan struct{}),
@@ -223,11 +232,16 @@ func (t *Transport) demux() {
 		if typ == protocol.FrameRowBatch {
 			t.rowBatches.Add(1)
 		}
+		var at time.Time
+		if t.caps&protocol.CapTraceContext != 0 &&
+			(typ == protocol.FrameOK || typ == protocol.FrameEOF || typ == protocol.FrameError) {
+			at = time.Now()
+		}
 		t.mu.Lock()
 		st := t.streams[sid]
 		t.mu.Unlock()
 		if st != nil {
-			st.push(muxFrame{typ, payload})
+			st.push(muxFrame{typ: typ, payload: payload, at: at})
 		}
 		// Frames for unknown streams belong to abandoned conversations;
 		// drop them.
@@ -346,7 +360,7 @@ func (t *Transport) OpenConn() (*Conn, error) {
 	t.streams[st.id] = st
 	t.mu.Unlock()
 	t.streamsOpened.Add(1)
-	return &Conn{t: t, st: st, stmts: map[string]uint32{}}, nil
+	return &Conn{t: t, st: st, stmts: map[string]uint32{}, source: t.addr}, nil
 }
 
 func (t *Transport) closeStream(st *stream) {
