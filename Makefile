@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: build test race bench bench-plancache bench-remote vet check chaos fuzz-smoke race-pipeline obs-smoke
+.PHONY: build test race bench bench-plancache bench-remote bench-stream vet check chaos fuzz-smoke race-pipeline obs-smoke stream-smoke
 
 # Pre-PR gate: static checks, the full suite under the race detector,
 # the wire-protocol fuzz smoke, the pipelined-mux concurrency tests and
-# the observability-plane smoke. Run this before every PR.
-check: vet race race-pipeline fuzz-smoke obs-smoke
+# the observability- and streaming-plane smokes. Run this before every PR.
+check: vet race race-pipeline fuzz-smoke obs-smoke stream-smoke
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,22 @@ bench-plancache:
 # paired trace-propagation overhead measurement.
 bench-remote:
 	$(GO) test -run 'TestRemoteV2VsV1|TestTraceOverhead' -v ./internal/bench/
+
+# Streaming scatter-gather measurement: bounded-memory merge vs full
+# drain (peak live heap), time-to-first-row, and early cursor stop over
+# two wire-v2 data nodes. Numbers feed EXPERIMENTS.md.
+bench-stream:
+	$(GO) test -run 'TestStreamMemoryAndTTFR' -v -count=1 ./internal/bench/
+
+# Fast streaming acceptance drill: cross-shard ORDER BY order, bounded
+# batch windows, early-stop lease release — plus the mid-stream
+# cancellation/kill suite and the chaos hang during a streaming merge,
+# all under -race.
+stream-smoke:
+	$(GO) test -race -run 'TestStreamSmoke' -v ./internal/bench/
+	$(GO) test -race -run 'TestCursorCancelEarlyStop|TestStreamWindowBounded|TestStreamingLimitStopsShards|TestClientAbandonCascadesCancelToShards|TestClientKillMidStreamReleasesEverything|TestDatanodeKillMidStream' \
+		./internal/proxy/
+	$(GO) test -race -run 'TestChaosHangDuringStreamingMerge' ./internal/distsql/
 
 # Observability-plane smoke: a proxy kernel over two wire-v2 data nodes
 # runs a traced statement (remote child spans + wire gap must appear)

@@ -303,10 +303,9 @@ func (s *Session) runUnits(stmt sqlparser.Statement, sel *sqlparser.SelectStmt, 
 	isSelect := sel != nil
 	readOnly := isSelect && !sel.ForUpdate
 	ctx := context.Background()
+	var cancel context.CancelFunc
 	if s.stmtTimeout > 0 {
-		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.stmtTimeout)
-		defer cancel()
 	}
 	canFailover := readOnly && s.tx == nil
 	attempts := 1
@@ -339,12 +338,27 @@ func (s *Session) runUnits(stmt sqlparser.Statement, sel *sqlparser.SelectStmt, 
 			if attempt > 0 {
 				s.k.failoverSuccess.Add(1)
 			}
+			if cancel != nil {
+				// A streaming result keeps reading through the timeout
+				// context after this function returns; cancelling now
+				// would kill the cursor mid-stream. Defer the cancel to
+				// the result's Close, keeping the deadline live so a
+				// stalled client still can't pin the statement forever.
+				if res.RS != nil {
+					res.RS = resource.WithCloseHook(res.RS, cancel)
+				} else {
+					cancel()
+				}
+			}
 			return res, nil
 		}
 		if !canFailover || ctx.Err() != nil ||
 			!(resource.IsTransient(err) || errors.Is(err, ErrSourceDown)) {
 			break
 		}
+	}
+	if cancel != nil {
+		cancel()
 	}
 	if errors.Is(err, context.DeadlineExceeded) && s.stmtTimeout > 0 {
 		s.k.statementTimeouts.Add(1)

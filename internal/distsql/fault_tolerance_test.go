@@ -293,3 +293,109 @@ func TestChaosHangOverMuxedRemote(t *testing.T) {
 		t.Fatalf("transport counters missing: %v", found)
 	}
 }
+
+// TestChaosHangDuringStreamingMerge hangs one of two remote shards while
+// the sibling already holds an open streaming lease (memory-strict mode:
+// conn-lease cursors, no drain barrier). The statement timeout must abort
+// the fan-out, and the abort must close the sibling's live cursor and
+// release its pooled connection — a stuck shard may cost the statement,
+// never a leaked lease.
+func TestChaosHangDuringStreamingMerge(t *testing.T) {
+	sources := map[string]*resource.DataSource{}
+	for _, name := range []string{"ds0", "ds1"} {
+		srv := proxy.NewServer(&proxy.NodeBackend{Processor: sqlexec.NewProcessor(storage.NewEngine(name))})
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(srv.Close)
+		sources[name] = client.NewRemoteDataSource(name, addr, &resource.Options{PoolSize: 4})
+	}
+	reg := registry.New()
+	k, err := core.New(core.Config{
+		Sources:  sources,
+		Rules:    sharding.NewRuleSet(),
+		Registry: reg,
+		MaxCon:   4, // θ ≤ 1 on both shards: streaming conn-lease mode
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gov := governor.New(reg, k.Executor())
+	k.AddGate(gov)
+	Install(k, gov)
+	s := k.NewSession()
+
+	exec(t, s, createUserRule)
+	exec(t, s, "CREATE TABLE t_user (uid INT PRIMARY KEY, name VARCHAR(32))")
+	const total = 200
+	for i := 0; i < total; i++ {
+		exec(t, s, fmt.Sprintf("INSERT INTO t_user (uid, name) VALUES (%d, 'u%d')", i, i))
+	}
+
+	// Warm the pools to their streaming working set (memory-strict mode
+	// opens one conn per unit, growing the pool past the insert-path
+	// single conn) so the goroutine baseline includes the persistent
+	// per-stream transport workers.
+	warm, err := s.Execute("SELECT uid, name FROM t_user ORDER BY uid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := resource.ReadAll(warm.RS); len(got) != total {
+		t.Fatalf("warmup rows: %d", len(got))
+	}
+	before := runtime.NumGoroutine()
+	exec(t, s, "INJECT FAULT ds0 (HANG = true)")
+	exec(t, s, "SET VARIABLE statement_timeout_ms = 150")
+
+	// ORDER BY forces the streaming sort-merge across both shards; ds1's
+	// cursors open and start prefetching while ds0 never answers.
+	start := time.Now()
+	_, err = s.Execute("SELECT uid, name FROM t_user ORDER BY uid")
+	if err == nil {
+		t.Fatal("hung shard should time the streaming statement out")
+	}
+	if !errors.Is(err, core.ErrStatementTimeout) {
+		t.Fatalf("want ErrStatementTimeout, got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("abort took %v; deadline was 150ms", elapsed)
+	}
+
+	// The abort must sweep the sibling's open lease back into the pool.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if sources["ds0"].Stats().InUse == 0 && sources["ds1"].Stats().InUse == 0 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	for _, name := range []string{"ds0", "ds1"} {
+		if n := sources[name].Stats().InUse; n != 0 {
+			t.Fatalf("%s leaked %d pooled conns after streaming abort", name, n)
+		}
+	}
+	for time.Now().Before(deadline) && runtime.NumGoroutine() > before {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Fatalf("goroutines leaked: before=%d after=%d", before, after)
+	}
+
+	// Recovery: the same streaming merge returns every row in order.
+	exec(t, s, "REMOVE FAULT ds0")
+	exec(t, s, "SET VARIABLE statement_timeout_ms = 0")
+	res, err := s.Execute("SELECT uid, name FROM t_user ORDER BY uid")
+	if err != nil {
+		t.Fatalf("after recovery: %v", err)
+	}
+	got := rows(t, res)
+	if len(got) != total {
+		t.Fatalf("rows after recovery: %d, want %d", len(got), total)
+	}
+	for i, r := range got {
+		if int(r[0].I) != i {
+			t.Fatalf("row %d out of order: uid=%d", i, r[0].I)
+		}
+	}
+}

@@ -745,6 +745,38 @@ func (h *Handler) showSQLMetrics(k *core.Kernel) (*core.Result, error) {
 			sqltypes.NewInt(0), sqltypes.NewInt(0), sqltypes.NewInt(0),
 		})
 	}
+	// Streaming-pipeline rows: per-source backpressure observability —
+	// how many rows/batches/bytes each remote source streamed, how deep
+	// its batch window ever got (peak unconsumed batches queued per
+	// stream; bounded by the protocol window), and how many cursors were
+	// stopped early. Embedded sources have no transport and are skipped.
+	streamKeys := []string{"rows_streamed", "batches_streamed", "bytes_streamed", "batch_window_peak", "cursor_cancels"}
+	srcNames := k.Executor().Sources()
+	sort.Strings(srcNames)
+	for _, n := range srcNames {
+		ds, err := k.Executor().Source(n)
+		if err != nil {
+			continue
+		}
+		m := ds.AuxMetrics()
+		if m == nil {
+			continue
+		}
+		for _, key := range streamKeys {
+			v, ok := m[key]
+			if !ok {
+				continue
+			}
+			rows = append(rows, sqltypes.Row{
+				sqltypes.NewString("stream"),
+				sqltypes.NewString(n + "." + key),
+				sqltypes.NewInt(v),
+				sqltypes.NewInt(0), sqltypes.NewInt(0), sqltypes.NewInt(0),
+				sqltypes.NewInt(0), sqltypes.NewInt(0),
+				sqltypes.NewInt(0), sqltypes.NewInt(0), sqltypes.NewInt(0),
+			})
+		}
+	}
 	return rowsResult(cols, rows), nil
 }
 

@@ -130,8 +130,8 @@ type Executor struct {
 
 	// Resilience counters: transient-failure retries, retries that ended
 	// in success, and fan-outs aborted early by fail-fast cancellation.
-	retries       atomic.Uint64
-	retrySuccess  atomic.Uint64
+	retries        atomic.Uint64
+	retrySuccess   atomic.Uint64
 	failFastAborts atomic.Uint64
 
 	retryPolicy atomic.Pointer[RetryPolicy]
@@ -491,8 +491,16 @@ func (e *Executor) QueryCtx(ctx context.Context, units []rewrite.SQLUnit, held *
 			}(i, g)
 		}
 		wg.Wait()
-		cancel()
 		err = firstError(errs)
+		if err != nil {
+			cancel()
+		} else {
+			// Streaming sets escape this function and keep reading
+			// through fanCtx; cancelling here would kill their cursors
+			// mid-stream once the prefetch window drains. Hold the
+			// cancel until the last live set is closed.
+			deferCancelToSets(res.Sets, cancel)
+		}
 	}
 	if err != nil {
 		for _, rs := range res.Sets {
@@ -503,6 +511,34 @@ func (e *Executor) QueryCtx(ctx context.Context, units []rewrite.SQLUnit, held *
 		return nil, err
 	}
 	return res, nil
+}
+
+// deferCancelToSets ties a fan-out cancel to the lifetime of the result
+// sets it guards: each set is wrapped so the cancel fires when the last
+// one closes. With no live sets the cancel runs immediately.
+func deferCancelToSets(sets []resource.ResultSet, cancel context.CancelFunc) {
+	var live atomic.Int32
+	n := int32(0)
+	for _, rs := range sets {
+		if rs != nil {
+			n++
+		}
+	}
+	if n == 0 {
+		cancel()
+		return
+	}
+	live.Store(n)
+	release := func() {
+		if live.Add(-1) == 0 {
+			cancel()
+		}
+	}
+	for i, rs := range sets {
+		if rs != nil {
+			sets[i] = resource.WithCloseHook(rs, release)
+		}
+	}
 }
 
 // queryGroupRetry runs one group, retrying transient failures when the
@@ -655,12 +691,13 @@ func (e *Executor) runConnShare(ctx context.Context, units []rewrite.SQLUnit, g 
 			res.Sets[idx] = drained
 			mu.Unlock()
 		} else {
-			// Memory-strict: hand the open cursor to the merger;
-			// the connection releases when the cursor closes.
-			wrapped := &connBoundSet{inner: rs, conn: conn}
+			// Memory-strict: hand the open cursor to the merger under a
+			// conn lease — the connection stays checked out until the
+			// merged set closes the cursor (paper: stream merger keeps
+			// one connection per data node).
 			streaming = true
 			mu.Lock()
-			res.Sets[idx] = wrapped
+			res.Sets[idx] = resource.NewConnLease(rs, conn)
 			mu.Unlock()
 		}
 	}
@@ -670,19 +707,53 @@ func (e *Executor) runConnShare(ctx context.Context, units []rewrite.SQLUnit, g 
 	return firstErr
 }
 
+// drainBufRows is the full drain buffer size, used once a result proves
+// bigger than the stack probe.
+const drainBufRows = 128
+
+// drainBufPool recycles full-size drain buffers across the paths where
+// drain must remain (connection-reuse: multi-statement transactions and
+// connection-strict groups). Buffers are cleared before pooling so rows
+// are not pinned past their result's lifetime.
+var drainBufPool = sync.Pool{
+	New: func() any {
+		b := make([]sqltypes.Row, drainBufRows)
+		return &b
+	},
+}
+
 // drain materializes a result set so its connection can be reused.
-// Already-buffered sets rewind for free; everything else drains through
-// NextBatch, moving a window of rows per interface call (for remote
-// cursors that is one row-batch frame per call, not one row).
+// Already-buffered sets rewind for free. Everything else drains through
+// NextBatch — a window of rows per interface call (for remote cursors
+// one row-batch frame per call, not one row) — starting with a small
+// stack probe so a point select never allocates a full batch buffer,
+// and escalating to a pooled full-size buffer only when the result
+// outgrows the probe.
 func drain(rs resource.ResultSet) (resource.ResultSet, error) {
 	if s, ok := rs.(*resource.SliceResultSet); ok && s.OnClose == nil {
 		return s, nil
 	}
 	defer rs.Close()
 	var rows []sqltypes.Row
-	var buf [128]sqltypes.Row
+	var probe [8]sqltypes.Row
+	for len(rows) < len(probe) {
+		n, err := rs.NextBatch(probe[:])
+		rows = append(rows, probe[:n]...)
+		if errors.Is(err, io.EOF) {
+			return resource.NewSliceResultSet(rs.Columns(), rows), nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	bufp := drainBufPool.Get().(*[]sqltypes.Row)
+	buf := *bufp
+	defer func() {
+		clear(buf)
+		drainBufPool.Put(bufp)
+	}()
 	for {
-		n, err := rs.NextBatch(buf[:])
+		n, err := rs.NextBatch(buf)
 		rows = append(rows, buf[:n]...)
 		if errors.Is(err, io.EOF) {
 			break
@@ -692,31 +763,6 @@ func drain(rs resource.ResultSet) (resource.ResultSet, error) {
 		}
 	}
 	return resource.NewSliceResultSet(rs.Columns(), rows), nil
-}
-
-// connBoundSet ties a connection's lifetime to its cursor: the stream
-// merger holds both until it finishes (paper: stream merger keeps one
-// connection per data node).
-type connBoundSet struct {
-	inner resource.ResultSet
-	conn  *resource.PooledConn
-	done  bool
-}
-
-func (s *connBoundSet) Columns() []string { return s.inner.Columns() }
-
-func (s *connBoundSet) Next() (sqltypes.Row, error) { return s.inner.Next() }
-
-func (s *connBoundSet) NextBatch(buf []sqltypes.Row) (int, error) { return s.inner.NextBatch(buf) }
-
-func (s *connBoundSet) Close() error {
-	if s.done {
-		return nil
-	}
-	s.done = true
-	err := s.inner.Close()
-	s.conn.Release()
-	return err
 }
 
 // ExecuteUpdate runs DML/DDL units and returns the summed affected count

@@ -55,6 +55,8 @@ func Merge(results []resource.ResultSet, ctx *rewrite.SelectContext) (resource.R
 	if ctx.Distinct && len(results) > 1 {
 		merged, err = dedupe(merged, ctx.Derived)
 		if err != nil {
+			// dedupe consumed (and closed) the merged stream; nothing
+			// else holds the shard cursors.
 			return nil, err
 		}
 	}
@@ -174,24 +176,52 @@ func (s *iterationSet) Close() error {
 
 // --- order-by stream merger (paper VI-E case 2) ---
 
-// cursor is one node stream with its buffered head row.
+// cursorBatchRows is the per-shard refill window of the k-way merge:
+// one NextBatch call pulls this many rows off a node cursor, so the
+// heap's per-row work stays memory-local and a remote child is
+// consulted once per window instead of once per row (for remote
+// cursors each consult decodes one row-batch frame).
+const cursorBatchRows = 128
+
+// cursor is one node stream with its buffered refill window and head
+// row.
 type cursor struct {
-	rs   resource.ResultSet
-	head sqltypes.Row
+	rs     resource.ResultSet
+	buf    []sqltypes.Row // refill window; buf[:n] holds decoded rows
+	n, pos int
+	head   sqltypes.Row
+	closed bool
 }
 
 func (c *cursor) advance() (bool, error) {
-	row, err := c.rs.Next()
-	if errors.Is(err, io.EOF) {
-		c.rs.Close()
-		c.head = nil
-		return false, nil
+	for c.pos >= c.n {
+		if c.buf == nil {
+			c.buf = make([]sqltypes.Row, cursorBatchRows)
+		}
+		n, err := c.rs.NextBatch(c.buf)
+		if errors.Is(err, io.EOF) {
+			c.close()
+			c.head = nil
+			return false, nil
+		}
+		if err != nil {
+			return false, err
+		}
+		c.n, c.pos = n, 0
 	}
-	if err != nil {
-		return false, err
-	}
-	c.head = row
+	c.head = c.buf[c.pos]
+	c.pos++
 	return true, nil
+}
+
+// close releases the node cursor exactly once — advance closes on
+// natural exhaustion, the merged set's Close sweeps the rest, and an
+// early-stopped merge may do both.
+func (c *cursor) close() {
+	if !c.closed {
+		c.closed = true
+		c.rs.Close()
+	}
 }
 
 // cursorHeap implements the multiway-merge priority queue the paper
@@ -243,10 +273,9 @@ func newOrderedStreamMerger(results []resource.ResultSet, keys []rewrite.OrderKe
 
 func (s *orderedStreamSet) Columns() []string { return s.cols }
 
-func (s *orderedStreamSet) Next() (sqltypes.Row, error) {
-	if s.h.Len() == 0 {
-		return nil, io.EOF
-	}
+// popOne emits the smallest head and refills that cursor from its
+// batched window.
+func (s *orderedStreamSet) popOne() (sqltypes.Row, error) {
 	c := s.h.cursors[0]
 	row := c.head
 	ok, err := c.advance()
@@ -261,13 +290,38 @@ func (s *orderedStreamSet) Next() (sqltypes.Row, error) {
 	return row, nil
 }
 
+func (s *orderedStreamSet) Next() (sqltypes.Row, error) {
+	if s.h.Len() == 0 {
+		return nil, io.EOF
+	}
+	return s.popOne()
+}
+
+// NextBatch implements resource.ResultSet natively: the heap loop fills
+// the caller's buffer directly, so the k-way merge moves batch-at-a-time
+// with no per-row interface calls between merger layers.
 func (s *orderedStreamSet) NextBatch(buf []sqltypes.Row) (int, error) {
-	return resource.FillBatch(s.Next, buf)
+	n := 0
+	for n < len(buf) {
+		if s.h.Len() == 0 {
+			if n == 0 {
+				return 0, io.EOF
+			}
+			return n, nil
+		}
+		row, err := s.popOne()
+		if err != nil {
+			return n, err
+		}
+		buf[n] = row
+		n++
+	}
+	return n, nil
 }
 
 func (s *orderedStreamSet) Close() error {
 	for _, c := range s.h.cursors {
-		c.rs.Close()
+		c.close()
 	}
 	s.h.cursors = nil
 	return nil
@@ -331,6 +385,12 @@ func (c *combiner) finish() sqltypes.Row {
 	}
 	return c.row
 }
+
+// Memory mergers may sit over live shard cursors (nothing guarantees
+// their inputs were pre-drained), so each set's connection must release
+// as soon as its rows are read — not when the whole merge finishes.
+// resource.ReadAll closes the set it drains, success or failure, which
+// is exactly that contract.
 
 // mergeGlobalAggregates combines the single partial-aggregate row each
 // node returns for an ungrouped aggregate query.
@@ -513,39 +573,107 @@ func dedupe(rs resource.ResultSet, derived int) (resource.ResultSet, error) {
 
 // --- decorators ---
 
-// limitSet re-applies pagination across the merged stream.
+// limitSet re-applies pagination across the merged stream. The moment
+// the limit is satisfied it closes the inner merged set — which closes
+// every still-open shard cursor, releasing their connections and (for
+// remote cursors) cancelling the server-side producers — so a LIMIT 10
+// over 64 shards stops 63 of them after their first batch instead of
+// shipping the rest of the result. Close is idempotent and exhaustive:
+// however the stream ends (limit hit, natural EOF, mid-batch abandon),
+// the inner set closes exactly once.
 type limitSet struct {
-	inner resource.ResultSet
-	skip  int64
-	take  int64
-	given int64
+	inner       resource.ResultSet
+	skip        int64
+	take        int64
+	given       int64
+	innerClosed bool
 }
 
 func (s *limitSet) Columns() []string { return s.inner.Columns() }
 
+// closeInner releases the merged stream and all its shard cursors once.
+func (s *limitSet) closeInner() error {
+	if s.innerClosed {
+		return nil
+	}
+	s.innerClosed = true
+	return s.inner.Close()
+}
+
 func (s *limitSet) Next() (sqltypes.Row, error) {
+	if s.given >= s.take {
+		s.closeInner()
+		return nil, io.EOF
+	}
 	for s.skip > 0 {
 		if _, err := s.inner.Next(); err != nil {
+			if errors.Is(err, io.EOF) {
+				s.closeInner()
+			}
 			return nil, err
 		}
 		s.skip--
 	}
-	if s.given >= s.take {
-		return nil, io.EOF
-	}
 	row, err := s.inner.Next()
 	if err != nil {
+		if errors.Is(err, io.EOF) {
+			s.closeInner()
+		}
 		return nil, err
 	}
 	s.given++
+	if s.given >= s.take {
+		s.closeInner()
+	}
 	return row, nil
 }
 
+// NextBatch implements resource.ResultSet natively: the remaining quota
+// bounds the window handed to the inner merge, so batches flow through
+// without per-row calls and the final short batch triggers the early
+// stop.
 func (s *limitSet) NextBatch(buf []sqltypes.Row) (int, error) {
-	return resource.FillBatch(s.Next, buf)
+	for s.skip > 0 {
+		w := s.skip
+		if w > int64(len(buf)) {
+			w = int64(len(buf))
+		}
+		n, err := s.inner.NextBatch(buf[:w])
+		s.skip -= int64(n)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				s.closeInner()
+			}
+			return 0, err
+		}
+	}
+	if s.given >= s.take {
+		s.closeInner()
+		return 0, io.EOF
+	}
+	w := s.take - s.given
+	if w > int64(len(buf)) {
+		w = int64(len(buf))
+	}
+	n, err := s.inner.NextBatch(buf[:w])
+	s.given += int64(n)
+	if errors.Is(err, io.EOF) {
+		s.closeInner()
+		if n == 0 {
+			return 0, io.EOF
+		}
+		return n, nil
+	}
+	if err != nil {
+		return n, err
+	}
+	if s.given >= s.take {
+		s.closeInner()
+	}
+	return n, nil
 }
 
-func (s *limitSet) Close() error { return s.inner.Close() }
+func (s *limitSet) Close() error { return s.closeInner() }
 
 // stripSet removes the trailing derived columns before rows reach the
 // client.
@@ -573,8 +701,17 @@ func (s *stripSet) Next() (sqltypes.Row, error) {
 	return row, nil
 }
 
+// NextBatch implements resource.ResultSet natively: the inner batch is
+// filled first and the derived columns are sliced off in place — a
+// header adjustment per row, no copying and no per-row interface calls.
 func (s *stripSet) NextBatch(buf []sqltypes.Row) (int, error) {
-	return resource.FillBatch(s.Next, buf)
+	n, err := s.inner.NextBatch(buf)
+	for i := 0; i < n; i++ {
+		if len(buf[i]) >= s.derived {
+			buf[i] = buf[i][:len(buf[i])-s.derived]
+		}
+	}
+	return n, err
 }
 
 func (s *stripSet) Close() error { return s.inner.Close() }

@@ -363,3 +363,259 @@ func TestIterationCloseMidway(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// --- close propagation / leak checks ---
+
+// countingRS wraps a result set, counting Close calls and rows served,
+// so tests can prove every shard cursor is released exactly once and
+// that early-stopped merges never drained the whole source.
+type countingRS struct {
+	inner  resource.ResultSet
+	closes int
+	served int
+	// failAfter, when > 0, makes NextBatch/Next error once that many
+	// rows have been served.
+	failAfter int
+}
+
+var errInjected = errors.New("injected mid-stream failure")
+
+func (c *countingRS) Columns() []string { return c.inner.Columns() }
+
+func (c *countingRS) Next() (sqltypes.Row, error) {
+	if c.failAfter > 0 && c.served >= c.failAfter {
+		return nil, errInjected
+	}
+	row, err := c.inner.Next()
+	if err == nil {
+		c.served++
+	}
+	return row, err
+}
+
+func (c *countingRS) NextBatch(buf []sqltypes.Row) (int, error) {
+	if c.failAfter > 0 {
+		if c.served >= c.failAfter {
+			return 0, errInjected
+		}
+		if room := c.failAfter - c.served; room < len(buf) {
+			buf = buf[:room]
+		}
+	}
+	n, err := c.inner.NextBatch(buf)
+	c.served += n
+	return n, err
+}
+
+func (c *countingRS) Close() error {
+	c.closes++
+	return c.inner.Close()
+}
+
+// bigSource builds a counting source with rows*[id] ascending from start,
+// striding by step (so multiple sources interleave under ORDER BY).
+func bigSource(start, step, count int) *countingRS {
+	rows := make([]sqltypes.Row, 0, count)
+	for i := 0; i < count; i++ {
+		rows = append(rows, sqltypes.Row{vi(int64(start + i*step))})
+	}
+	return &countingRS{inner: rsOf([]string{"id"}, rows...)}
+}
+
+// TestLimitEagerCloseStopsSources proves the early-stop chain: the
+// moment LIMIT is satisfied, every shard cursor is closed — before the
+// caller ever calls Close — and each source served only its prefetch
+// window, not its whole result.
+func TestLimitEagerCloseStopsSources(t *testing.T) {
+	const perSource = 600
+	srcs := []*countingRS{bigSource(0, 3, perSource), bigSource(1, 3, perSource), bigSource(2, 3, perSource)}
+	merged, err := Merge([]resource.ResultSet{srcs[0], srcs[1], srcs[2]}, &rewrite.SelectContext{
+		OrderBy: []rewrite.OrderKey{{Index: 0}},
+		Limit:   &rewrite.LimitInfo{Count: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := drain(t, merged)
+	if len(rows) != 3 || rows[0][0].I != 0 || rows[2][0].I != 2 {
+		t.Fatalf("limited merge: %v", rows)
+	}
+	for i, s := range srcs {
+		if s.closes != 1 {
+			t.Fatalf("source %d: %d closes before merged.Close (want eager close exactly once)", i, s.closes)
+		}
+		// Each cursor pulls at most its refill window (plus one refill of
+		// slack), never the full source.
+		if s.served > 2*cursorBatchRows {
+			t.Fatalf("source %d served %d rows for a LIMIT 3 (early stop broken)", i, s.served)
+		}
+	}
+	// Closing again is a no-op, not a double close.
+	if err := merged.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range srcs {
+		if s.closes != 1 {
+			t.Fatalf("source %d: %d closes after repeated merged.Close", i, s.closes)
+		}
+	}
+}
+
+// TestLimitEagerCloseViaNextBatch is the same guarantee on the
+// batch-at-a-time path the proxy streamer uses.
+func TestLimitEagerCloseViaNextBatch(t *testing.T) {
+	const perSource = 600
+	srcs := []*countingRS{bigSource(0, 2, perSource), bigSource(1, 2, perSource)}
+	merged, err := Merge([]resource.ResultSet{srcs[0], srcs[1]}, &rewrite.SelectContext{
+		OrderBy: []rewrite.OrderKey{{Index: 0}},
+		Limit:   &rewrite.LimitInfo{Offset: 5, Count: 4, Revised: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []sqltypes.Row
+	buf := make([]sqltypes.Row, 7)
+	for {
+		n, err := merged.NextBatch(buf)
+		got = append(got, buf[:n]...)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != 4 || got[0][0].I != 5 || got[3][0].I != 8 {
+		t.Fatalf("batched limit: %v", got)
+	}
+	for i, s := range srcs {
+		if s.closes != 1 {
+			t.Fatalf("source %d: closes=%d (want eager close via NextBatch)", i, s.closes)
+		}
+		if s.served > 2*cursorBatchRows {
+			t.Fatalf("source %d served %d rows (early stop broken)", i, s.served)
+		}
+	}
+	merged.Close()
+	for i, s := range srcs {
+		if s.closes != 1 {
+			t.Fatalf("source %d double-closed", i)
+		}
+	}
+}
+
+// TestMergeCloseWithoutDrain abandons a merged stream immediately; every
+// source must still close exactly once.
+func TestMergeCloseWithoutDrain(t *testing.T) {
+	srcs := []*countingRS{bigSource(0, 2, 300), bigSource(1, 2, 300)}
+	merged, err := Merge([]resource.ResultSet{srcs[0], srcs[1]}, &rewrite.SelectContext{
+		OrderBy: []rewrite.OrderKey{{Index: 0}},
+		Limit:   &rewrite.LimitInfo{Count: 10},
+		Derived: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range srcs {
+		if s.closes != 1 {
+			t.Fatalf("source %d: closes=%d after abandon", i, s.closes)
+		}
+	}
+}
+
+// TestMergeErrorPathClosesAll injects a mid-stream failure in one shard
+// of an ordered merge; after the caller's Close, every source — failed
+// and healthy — is released exactly once.
+func TestMergeErrorPathClosesAll(t *testing.T) {
+	healthy := bigSource(0, 2, 300)
+	failing := bigSource(1, 2, 300)
+	failing.failAfter = 150
+	merged, err := Merge([]resource.ResultSet{healthy, failing}, &rewrite.SelectContext{
+		OrderBy: []rewrite.OrderKey{{Index: 0}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = resource.ReadAll(merged)
+	if !errors.Is(err, errInjected) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	merged.Close()
+	if healthy.closes != 1 || failing.closes != 1 {
+		t.Fatalf("closes after error: healthy=%d failing=%d", healthy.closes, failing.closes)
+	}
+}
+
+// TestMemoryMergersCloseInputsEagerly: memory mergers (group hash,
+// distinct, global aggregates) must release each shard cursor as soon as
+// it is drained, not when the merged set is eventually closed.
+func TestMemoryMergersCloseInputsEagerly(t *testing.T) {
+	cols := []string{"name", "COUNT(*)"}
+	a := &countingRS{inner: rsOf(cols, sqltypes.Row{vs("a"), vi(1)})}
+	b := &countingRS{inner: rsOf(cols, sqltypes.Row{vs("b"), vi(2)})}
+	merged, err := Merge([]resource.ResultSet{a, b}, &rewrite.SelectContext{
+		GroupBy:    []rewrite.OrderKey{{Index: 0}},
+		Aggregates: []rewrite.AggregateItem{{Index: 1, Kind: rewrite.AggCount}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inputs were fully consumed during Merge; they must already be closed.
+	if a.closes != 1 || b.closes != 1 {
+		t.Fatalf("memory merge input closes: a=%d b=%d", a.closes, b.closes)
+	}
+	merged.Close()
+	if a.closes != 1 || b.closes != 1 {
+		t.Fatalf("double close after merged.Close: a=%d b=%d", a.closes, b.closes)
+	}
+
+	// Distinct path: dedupe drains through readAllClosed too.
+	c := &countingRS{inner: rsOf([]string{"v"}, sqltypes.Row{vi(1)}, sqltypes.Row{vi(1)})}
+	d := &countingRS{inner: rsOf([]string{"v"}, sqltypes.Row{vi(2)})}
+	merged, err = Merge([]resource.ResultSet{c, d}, &rewrite.SelectContext{Distinct: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := drain(t, merged); len(got) != 2 {
+		t.Fatalf("distinct rows: %v", got)
+	}
+	if c.closes != 1 || d.closes != 1 {
+		t.Fatalf("distinct input closes: c=%d d=%d", c.closes, d.closes)
+	}
+}
+
+// TestIterationMergeCloseSweepsRemaining closes an iteration merge
+// mid-way: the already-exhausted source closed once on EOF, the
+// untouched ones close once on the sweep.
+func TestIterationMergeCloseSweepsRemaining(t *testing.T) {
+	srcs := []*countingRS{
+		{inner: rsOf([]string{"id"}, sqltypes.Row{vi(1)})},
+		{inner: rsOf([]string{"id"}, sqltypes.Row{vi(2)})},
+		{inner: rsOf([]string{"id"}, sqltypes.Row{vi(3)})},
+	}
+	merged := newIterationMerger([]resource.ResultSet{srcs[0], srcs[1], srcs[2]})
+	// Consume source 0 fully (its EOF closes it) and peek into source 1.
+	if _, err := merged.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := merged.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range srcs {
+		if s.closes != 1 {
+			t.Fatalf("source %d: closes=%d after midway close", i, s.closes)
+		}
+	}
+}

@@ -40,9 +40,15 @@ const (
 	CapTraceContext uint32 = 1 << 0
 	// CapMetricsPull: the server answers FrameMetricsPull.
 	CapMetricsPull uint32 = 1 << 1
+	// CapStreamFlow: per-stream row-batch flow control. The server keeps
+	// at most StreamWindow unacked FrameRowBatch frames in flight per
+	// stream, the client acks each consumed batch with FrameBatchAck, and
+	// FrameCursorCancel stops an in-progress row stream early without
+	// abandoning the logical connection.
+	CapStreamFlow uint32 = 1 << 2
 
 	// LocalCaps is everything this build implements.
-	LocalCaps = CapTraceContext | CapMetricsPull
+	LocalCaps = CapTraceContext | CapMetricsPull | CapStreamFlow
 )
 
 // Observability frame types. Client → server continues from 0x07,

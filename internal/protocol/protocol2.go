@@ -42,12 +42,15 @@ const (
 )
 
 // v2-era frame types. Client → server types continue from 0x03,
-// server → client types continue from 0x15.
+// server → client types continue from 0x15. (0x08/0x18 are the
+// metrics-federation frames in obs.go.)
 const (
-	FrameHello       byte = 0x04 // version negotiation; sent in v1 framing
-	FramePrepare     byte = 0x05 // stmtID + SQL text; fire-and-forget
-	FrameExecStmt    byte = 0x06 // stmtID + bind args
-	FrameStreamClose byte = 0x07 // client abandons a stream mid-result
+	FrameHello        byte = 0x04 // version negotiation; sent in v1 framing
+	FramePrepare      byte = 0x05 // stmtID + SQL text; fire-and-forget
+	FrameExecStmt     byte = 0x06 // stmtID + bind args
+	FrameStreamClose  byte = 0x07 // client abandons a stream mid-result
+	FrameCursorCancel byte = 0x09 // stop streaming rows for one statement
+	FrameBatchAck     byte = 0x0a // consumer took one row batch (flow credit)
 
 	FrameHelloAck byte = 0x16 // version + max frame size accepted
 	FrameRowBatch byte = 0x17 // many rows per frame
@@ -57,6 +60,36 @@ const (
 // Large enough to amortize framing and syscalls, small enough to keep
 // per-stream memory bounded and interleave fairly on a shared socket.
 const DefaultBatchBytes = 16 << 10
+
+// StreamWindow is the per-stream row-batch flow-control window on
+// CapStreamFlow connections: the server keeps at most this many unacked
+// FrameRowBatch frames in flight per stream, and the client acks each
+// batch (FrameBatchAck) as its consumer takes it off the queue. The
+// product StreamWindow × DefaultBatchBytes (~64KB) is the per-source
+// working set a merging proxy holds regardless of result size; the
+// window is deliberately deeper than one batch so decode and network
+// transfer overlap.
+const StreamWindow = 4
+
+// EncodeCursorCancel builds a FrameCursorCancel payload: the 1-based
+// per-stream statement sequence number whose row stream the client no
+// longer wants. The server matches it against the statement it is
+// currently streaming — a stale cancel (statement already finished) is
+// a no-op, so a cancel racing the natural EOF can never clip the next
+// statement's result.
+func EncodeCursorCancel(seq uint32) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], seq)
+	return b[:]
+}
+
+// DecodeCursorCancel parses a FrameCursorCancel payload.
+func DecodeCursorCancel(payload []byte) (uint32, error) {
+	if len(payload) != 4 {
+		return 0, fmt.Errorf("protocol: cursor-cancel payload of %d bytes", len(payload))
+	}
+	return binary.BigEndian.Uint32(payload), nil
+}
 
 // FrameTooLargeError reports an oversized frame with the offending sizes.
 // errors.Is(err, ErrFrameTooLarge) matches it.

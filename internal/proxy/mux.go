@@ -15,12 +15,16 @@ package proxy
 
 import (
 	"bufio"
+	"errors"
+	"io"
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"shardingsphere/internal/protocol"
+	"shardingsphere/internal/resource"
 	"shardingsphere/internal/sqltypes"
 	"shardingsphere/internal/telemetry"
 )
@@ -89,6 +93,21 @@ type muxConn struct {
 type muxStream struct {
 	id uint32
 	in chan inFrame
+
+	// Flow control (CapStreamFlow). The dispatcher updates these
+	// out-of-band — the worker is busy producing row batches when acks
+	// and cancels arrive, so they cannot ride the in queue.
+	inflight  atomic.Int32  // row batches sent but not yet acked
+	cancelSeq atomic.Uint32 // latest cursor-cancel target (statement seq)
+	flow      chan struct{} // capacity 1; nudges a credit-blocked worker
+	done      chan struct{} // closed at teardown; unsticks credit waits
+	doneOnce  sync.Once
+}
+
+// shutdown unsticks a worker blocked waiting for flow credit. Called
+// when the stream (or the whole socket) is being torn down.
+func (st *muxStream) shutdown() {
+	st.doneOnce.Do(func() { close(st.done) })
 }
 
 // serveMux runs the v2 loop on a negotiated connection until the socket
@@ -121,6 +140,7 @@ func (s *Server) serveMux(conn net.Conn, r *bufio.Reader, w *bufio.Writer, caps 
 	m.streams = map[uint32]*muxStream{}
 	m.mu.Unlock()
 	for _, st := range streams {
+		st.shutdown()
 		close(st.in)
 	}
 	m.wg.Wait()
@@ -143,6 +163,34 @@ func (m *muxConn) dispatch(typ byte, sid uint32, payload []byte) {
 		m.send(sid, protocol.FrameMetrics, protocol.EncodeMetrics(m.s.MetricsSnapshot()))
 		return
 	}
+	// Flow-control frames are handled here, out-of-band: the stream's
+	// worker is busy producing the row batches these frames govern, so
+	// routing them through the in queue would deadlock the window.
+	if m.caps&protocol.CapStreamFlow != 0 &&
+		(typ == protocol.FrameBatchAck || typ == protocol.FrameCursorCancel) {
+		m.mu.Lock()
+		st := m.streams[sid]
+		m.mu.Unlock()
+		if st == nil {
+			return // abandoned conversation
+		}
+		switch typ {
+		case protocol.FrameBatchAck:
+			st.inflight.Add(-1)
+		case protocol.FrameCursorCancel:
+			seq, err := protocol.DecodeCursorCancel(payload)
+			if err != nil {
+				return
+			}
+			st.cancelSeq.Store(seq)
+			m.s.cursorCancels.Add(1)
+		}
+		select {
+		case st.flow <- struct{}{}:
+		default:
+		}
+		return
+	}
 	// Stamp the receive time only for statements that will be traced:
 	// one branchy peek per statement frame on capability conns, a
 	// time.Now() only when the client asked for recording.
@@ -159,7 +207,12 @@ func (m *muxConn) dispatch(typ byte, sid uint32, payload []byte) {
 			m.mu.Unlock()
 			return
 		}
-		st = &muxStream{id: sid, in: make(chan inFrame, streamQueueDepth)}
+		st = &muxStream{
+			id:   sid,
+			in:   make(chan inFrame, streamQueueDepth),
+			flow: make(chan struct{}, 1),
+			done: make(chan struct{}),
+		}
 		m.streams[sid] = st
 		m.s.streamsOpened.Add(1)
 		m.s.streamsActive.Add(1)
@@ -171,6 +224,7 @@ func (m *muxConn) dispatch(typ byte, sid uint32, payload []byte) {
 		m.mu.Lock()
 		delete(m.streams, sid)
 		m.mu.Unlock()
+		st.shutdown()
 		close(st.in)
 		return
 	}
@@ -186,6 +240,11 @@ func (m *muxConn) worker(st *muxStream) {
 	sess := m.s.backend.NewBackendSession()
 	defer sess.Close()
 	prepared := map[uint32]*preparedStmt{}
+	// seq numbers the statements this stream has processed, 1-based and
+	// in arrival order — the same count the client keeps for statements
+	// sent, which is what lets FrameCursorCancel name exactly one
+	// statement's row stream.
+	var seq uint32
 	for f := range st.in {
 		switch f.typ {
 		case protocol.FramePing:
@@ -203,6 +262,7 @@ func (m *muxConn) worker(st *muxStream) {
 			prepared[id] = ps
 			m.s.preparedTotal.Add(1)
 		case protocol.FrameExecStmt:
+			seq++
 			tc, body, ok := m.splitTrace(st.id, f.payload)
 			if !ok {
 				continue
@@ -219,8 +279,9 @@ func (m *muxConn) worker(st *muxStream) {
 				m.send(st.id, protocol.FrameError, protocol.EncodeError("proxy: unknown prepared statement"))
 				continue
 			}
-			m.runStatement(st.id, sess, ps, "", args, tc, f.at)
+			m.runStatement(st, seq, sess, ps, "", args, tc, f.at)
 		case protocol.FrameQuery:
+			seq++
 			tc, body, ok := m.splitTrace(st.id, f.payload)
 			if !ok {
 				continue
@@ -231,7 +292,7 @@ func (m *muxConn) worker(st *muxStream) {
 				m.send(st.id, protocol.FrameError, protocol.EncodeError(err.Error()))
 				continue
 			}
-			m.runStatement(st.id, sess, nil, sql, args, tc, f.at)
+			m.runStatement(st, seq, sess, nil, sql, args, tc, f.at)
 		default:
 			m.send(st.id, protocol.FrameError, protocol.EncodeError("proxy: unknown frame"))
 		}
@@ -260,8 +321,14 @@ func (m *muxConn) splitTrace(sid uint32, payload []byte) (protocol.TraceContext,
 // context requests recording, the terminal frame carries a span block:
 // the node's receive→reply total plus whatever stage spans the backend
 // session recorded.
-func (m *muxConn) runStatement(sid uint32, sess BackendSession, ps *preparedStmt, sql string, args []sqltypes.Value, tc protocol.TraceContext, recvAt time.Time) {
+//
+// Sessions that implement the streaming interfaces serve queries as a
+// pull cursor: the header goes out as soon as the cursor exists, and
+// row batches are produced one at a time, paced by the stream's
+// flow-control window — the result is never materialized here.
+func (m *muxConn) runStatement(st *muxStream, seq uint32, sess BackendSession, ps *preparedStmt, sql string, args []sqltypes.Value, tc protocol.TraceContext, recvAt time.Time) {
 	s := m.s
+	sid := st.id
 	s.statements.Add(1)
 	if s.limiter != nil && !s.limiter.Acquire() {
 		s.throttled.Add(1)
@@ -284,10 +351,27 @@ func (m *muxConn) runStatement(sid uint32, sess BackendSession, ps *preparedStmt
 			ts.BeginTrace(recvAt, started, tc.Detailed)
 		}
 	}
+	// The span block rides the terminal frame. Backends without span
+	// recording still get a block with the measured total, so the client
+	// can compute the wire/queue gap against any backend. Streaming
+	// responses stamp it when the cursor finishes, so the total covers
+	// production time too.
+	finishTrace := func() []byte {
+		if !traced {
+			return nil
+		}
+		total := time.Since(recvAt)
+		var spans []telemetry.RemoteSpan
+		if tracer != nil {
+			spans = tracer.EndTrace(total)
+		}
+		return protocol.AppendSpanBlock(nil, total, spans)
+	}
 
 	var (
 		cols     []string
 		rows     []sqltypes.Row
+		rs       resource.ResultSet
 		affected int64
 		lastID   int64
 		err      error
@@ -296,41 +380,118 @@ func (m *muxConn) runStatement(sid uint32, sess BackendSession, ps *preparedStmt
 	case ps != nil && ps.parseErr != nil:
 		err = ps.parseErr
 	case ps != nil && ps.handle != nil:
-		cols, rows, affected, lastID, err = sess.(PreparedBackendSession).ExecutePrepared(ps.handle, args)
-	case ps != nil:
-		cols, rows, affected, lastID, err = sess.Execute(ps.sql, args)
-	default:
-		cols, rows, affected, lastID, err = sess.Execute(sql, args)
-	}
-
-	// The span block rides the terminal frame. Backends without span
-	// recording still get a block with the measured total, so the client
-	// can compute the wire/queue gap against any backend.
-	var tail []byte
-	if traced {
-		total := time.Since(recvAt)
-		var spans []telemetry.RemoteSpan
-		if tracer != nil {
-			spans = tracer.EndTrace(total)
+		if ss, ok := sess.(StreamingPreparedBackendSession); ok {
+			cols, rs, affected, lastID, err = ss.ExecutePreparedStream(ps.handle, args)
+		} else {
+			cols, rows, affected, lastID, err = sess.(PreparedBackendSession).ExecutePrepared(ps.handle, args)
 		}
-		tail = protocol.AppendSpanBlock(nil, total, spans)
+	default:
+		text := sql
+		if ps != nil {
+			text = ps.sql
+		}
+		if ss, ok := sess.(StreamingBackendSession); ok {
+			cols, rs, affected, lastID, err = ss.ExecuteStream(text, args)
+		} else {
+			cols, rows, affected, lastID, err = sess.Execute(text, args)
+		}
 	}
 
 	if err != nil {
 		s.errors.Add(1)
-		m.send(sid, protocol.FrameError, append(protocol.EncodeError(err.Error()), tail...))
+		m.send(sid, protocol.FrameError, append(protocol.EncodeError(err.Error()), finishTrace()...))
 		return
 	}
 	if cols == nil {
-		m.send(sid, protocol.FrameOK, append(protocol.EncodeOK(affected, lastID), tail...))
+		m.send(sid, protocol.FrameOK, append(protocol.EncodeOK(affected, lastID), finishTrace()...))
 		return
 	}
-	m.sendRows(sid, cols, rows, tail)
+	if rs != nil {
+		m.streamRows(st, seq, cols, rs, finishTrace)
+		return
+	}
+	m.sendRows(sid, cols, rows, finishTrace())
 }
 
 // send queues one frame for the socket writer.
 func (m *muxConn) send(sid uint32, typ byte, payload []byte) {
 	m.writeCh <- outMsg{sid: sid, frames: []outFrame{{typ, payload}}}
+}
+
+// streamFillRows is how many rows one cursor pull requests. The byte
+// threshold still decides batch boundaries; this only caps the slice a
+// fill can hand back at once.
+const streamFillRows = 256
+
+// streamRows streams a query response from a pull cursor: one row batch
+// per write-queue message, so the socket writer interleaves streams
+// fairly and a result is never resident here as a whole. On
+// flow-controlled connections each batch first waits for window credit —
+// a stalled consumer pins at most StreamWindow batches of memory per
+// stream — and a cursor cancel naming this statement stops production
+// at the next batch boundary, finishing the stream with a clean EOF.
+func (m *muxConn) streamRows(st *muxStream, seq uint32, cols []string, rs resource.ResultSet, finishTrace func() []byte) {
+	defer rs.Close()
+	m.send(st.id, protocol.FrameHeader, protocol.EncodeHeader(cols))
+	flow := m.caps&protocol.CapStreamFlow != 0
+	buf := make([]sqltypes.Row, streamFillRows)
+	enc := &protocol.BatchEncoder{}
+	canceled := false
+fill:
+	for {
+		n, err := rs.NextBatch(buf)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			m.s.errors.Add(1)
+			m.send(st.id, protocol.FrameError, append(protocol.EncodeError(err.Error()), finishTrace()...))
+			return
+		}
+		m.s.rowsStreamed.Add(int64(n))
+		for _, row := range buf[:n] {
+			enc.Append(row)
+			if enc.Size() >= protocol.DefaultBatchBytes {
+				if !m.streamBatch(st, seq, enc.Payload(), flow) {
+					canceled = true
+					break fill
+				}
+				enc = &protocol.BatchEncoder{} // the old buffer now belongs to the queue
+			}
+		}
+	}
+	if !canceled && enc.Rows() > 0 {
+		m.streamBatch(st, seq, enc.Payload(), flow)
+	}
+	m.send(st.id, protocol.FrameEOF, finishTrace())
+}
+
+// streamBatch ships one row batch, first waiting for window credit on
+// flow-controlled connections. It returns false when this statement's
+// cursor was canceled or the stream is being torn down; the caller
+// stops producing and closes out the response.
+func (m *muxConn) streamBatch(st *muxStream, seq uint32, payload []byte, flow bool) bool {
+	if flow {
+		for {
+			if st.cancelSeq.Load() == seq {
+				return false
+			}
+			if st.inflight.Load() < protocol.StreamWindow {
+				break
+			}
+			// Re-check both conditions after every nudge: the flow
+			// channel is a condition signal, not a credit token.
+			select {
+			case <-st.flow:
+			case <-st.done:
+				return false
+			}
+		}
+		st.inflight.Add(1)
+	}
+	m.send(st.id, protocol.FrameRowBatch, payload)
+	m.s.rowBatches.Add(1)
+	return true
 }
 
 // sendRows queues a full query response, chunking rows into ~16KB

@@ -18,6 +18,7 @@ import (
 
 	"shardingsphere/internal/core"
 	"shardingsphere/internal/protocol"
+	"shardingsphere/internal/resource"
 	"shardingsphere/internal/sqlexec"
 	"shardingsphere/internal/sqlparser"
 	"shardingsphere/internal/sqltypes"
@@ -34,6 +35,23 @@ type BackendSession interface {
 // Backend creates per-connection sessions.
 type Backend interface {
 	NewBackendSession() BackendSession
+}
+
+// StreamingBackendSession is optionally implemented by backend sessions
+// that can expose query results as a pull cursor instead of a
+// materialized slice. The mux layer then streams row batches straight
+// off the cursor, paced by per-stream flow control, so a scatter result
+// is never resident in this process as a whole. rs is non-nil exactly
+// when the statement returned rows; the caller owns closing it.
+type StreamingBackendSession interface {
+	ExecuteStream(sql string, args []sqltypes.Value) (cols []string, rs resource.ResultSet, affected, lastInsertID int64, err error)
+}
+
+// StreamingPreparedBackendSession is the prepared-handle analog of
+// StreamingBackendSession, for sessions that also implement
+// PreparedBackendSession.
+type StreamingPreparedBackendSession interface {
+	ExecutePreparedStream(handle any, args []sqltypes.Value) (cols []string, rs resource.ResultSet, affected, lastInsertID int64, err error)
 }
 
 // TracingBackendSession is optionally implemented by backend sessions
@@ -87,6 +105,11 @@ type Server struct {
 	streamsActive atomic.Int64
 	preparedTotal atomic.Int64
 	rowBatches    atomic.Int64
+
+	// Streaming-pipeline counters: rows produced through pull cursors
+	// and early cursor stops requested by clients.
+	rowsStreamed  atomic.Int64
+	cursorCancels atomic.Int64
 }
 
 // Metrics snapshots the server's wire-level counters; it satisfies the
@@ -106,6 +129,8 @@ func (s *Server) Metrics() map[string]int64 {
 		"streams_active":     s.streamsActive.Load(),
 		"prepared_stmts":     s.preparedTotal.Load(),
 		"row_batches":        s.rowBatches.Load(),
+		"rows_streamed":      s.rowsStreamed.Load(),
+		"cursor_cancels":     s.cursorCancels.Load(),
 	}
 }
 
@@ -408,6 +433,27 @@ func (ks *kernelSession) Execute(sql string, args []sqltypes.Value) ([]string, [
 	return cols, rows, 0, 0, nil
 }
 
+// ExecuteStream implements StreamingBackendSession: the merged result
+// set from the kernel pipeline is handed to the mux layer as-is, so
+// rows flow from the shard cursors through the merge to the wire
+// without ever being materialized in the proxy — this is what removes
+// the frontend drain barrier. Closing the returned set releases the
+// shard cursors and their pooled connections.
+func (ks *kernelSession) ExecuteStream(sql string, args []sqltypes.Value) ([]string, resource.ResultSet, int64, int64, error) {
+	res, err := ks.sess.Execute(sql, args...)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	if !res.IsQuery() {
+		return nil, nil, res.Affected, res.LastInsertID, nil
+	}
+	cols := res.RS.Columns()
+	if cols == nil {
+		cols = []string{}
+	}
+	return cols, res.RS, 0, 0, nil
+}
+
 func (ks *kernelSession) Close() { ks.sess.Close() }
 
 // NodeBackend serves plain query-processor sessions: the data node mode
@@ -463,6 +509,39 @@ func (ns *nodeSession) BeginTrace(base, started time.Time, detailed bool) {
 
 func (ns *nodeSession) EndTrace(total time.Duration) []telemetry.RemoteSpan {
 	return ns.sess.EndTrace(total)
+}
+
+// ExecuteStream / ExecutePreparedStream implement the streaming backend
+// interfaces. The embedded executor materializes its result per
+// statement anyway (it is the stand-in storage engine), so the cursor
+// wraps the slice — what streaming buys on a data node is wire-level
+// pacing: batches leave under the client's flow-control window and a
+// cursor cancel stops transmission early instead of shipping the rest.
+func (ns *nodeSession) ExecuteStream(sql string, args []sqltypes.Value) ([]string, resource.ResultSet, int64, int64, error) {
+	res, err := ns.sess.Execute(sql, args...)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	return ns.streamResult(res)
+}
+
+func (ns *nodeSession) ExecutePreparedStream(handle any, args []sqltypes.Value) ([]string, resource.ResultSet, int64, int64, error) {
+	res, err := ns.sess.ExecuteStmt(handle.(sqlparser.Statement), args)
+	if err != nil {
+		return nil, nil, 0, 0, err
+	}
+	return ns.streamResult(res)
+}
+
+func (ns *nodeSession) streamResult(res *sqlexec.Result) ([]string, resource.ResultSet, int64, int64, error) {
+	if !res.IsQuery() {
+		return nil, nil, res.Affected, res.LastInsertID, nil
+	}
+	cols := res.Columns
+	if cols == nil {
+		cols = []string{}
+	}
+	return cols, resource.NewSliceResultSet(cols, res.Rows), 0, 0, nil
 }
 
 func (ns *nodeSession) result(res *sqlexec.Result) ([]string, []sqltypes.Row, int64, int64, error) {

@@ -263,6 +263,30 @@ func (rs *SliceResultSet) Close() error {
 	return nil
 }
 
+// closeHookSet runs a hook exactly once after the wrapped set closes.
+type closeHookSet struct {
+	ResultSet
+	hook func()
+	done bool
+}
+
+// WithCloseHook wraps a result set so hook fires exactly once when the
+// set is closed. Executors use it to keep a fan-out cancel context alive
+// until the last live cursor reading through it is released.
+func WithCloseHook(rs ResultSet, hook func()) ResultSet {
+	return &closeHookSet{ResultSet: rs, hook: hook}
+}
+
+// Close implements ResultSet.
+func (s *closeHookSet) Close() error {
+	err := s.ResultSet.Close()
+	if !s.done {
+		s.done = true
+		s.hook()
+	}
+	return err
+}
+
 // ReadAll drains a result set into memory and closes it.
 func ReadAll(rs ResultSet) ([]sqltypes.Row, error) {
 	defer rs.Close()
@@ -732,4 +756,44 @@ func (pc *PooledConn) Release() {
 		pc.raw.Close()
 		pc.ds.slots <- struct{}{}
 	}
+}
+
+// ConnLease ties a pooled connection's lifetime to a live cursor riding
+// it: the streaming merge path holds shard cursors (and therefore their
+// connections) open until the merged set closes, so the lease is what
+// keeps connection checkout and cursor lifetime in lockstep. Close is
+// idempotent; it closes the cursor first — for a remote cursor that is
+// the early-stop cancel of an unfinished stream — and then releases the
+// connection, which returns it to the pool or, when the cursor left the
+// transport broken, defuncts it (Release consults the conn's Defuncter).
+type ConnLease struct {
+	rs   ResultSet
+	conn *PooledConn
+	done bool
+}
+
+// NewConnLease wraps an open cursor and the pooled connection it rides.
+func NewConnLease(rs ResultSet, conn *PooledConn) *ConnLease {
+	return &ConnLease{rs: rs, conn: conn}
+}
+
+// Columns implements ResultSet.
+func (l *ConnLease) Columns() []string { return l.rs.Columns() }
+
+// Next implements ResultSet.
+func (l *ConnLease) Next() (sqltypes.Row, error) { return l.rs.Next() }
+
+// NextBatch implements ResultSet.
+func (l *ConnLease) NextBatch(buf []sqltypes.Row) (int, error) { return l.rs.NextBatch(buf) }
+
+// Close implements ResultSet: cursor first, then the connection goes
+// back to (or out of) the pool exactly once.
+func (l *ConnLease) Close() error {
+	if l.done {
+		return nil
+	}
+	l.done = true
+	err := l.rs.Close()
+	l.conn.Release()
+	return err
 }

@@ -272,3 +272,47 @@ func TestSliceResultSetOnClose(t *testing.T) {
 		t.Fatalf("OnClose called %d times", called)
 	}
 }
+
+// TestConnLeaseLifecycle: a lease ties a live cursor to its pooled
+// conn — Close closes the cursor first, then returns the conn, and a
+// second Close is a no-op (the pool gauge never goes negative).
+func TestConnLeaseLifecycle(t *testing.T) {
+	ds := newDS(t, &Options{PoolSize: 1})
+	pc, err := ds.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := pc.Query(context.Background(), "SELECT * FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lease := NewConnLease(rs, pc)
+	if got := ds.Stats().InUse; got != 1 {
+		t.Fatalf("in-use while leased: %d", got)
+	}
+	if cols := lease.Columns(); len(cols) != 2 {
+		t.Fatalf("lease columns: %v", cols)
+	}
+	if _, err := lease.Next(); err != nil {
+		t.Fatal(err)
+	}
+	// Close mid-stream: the conn goes back to the pool exactly once.
+	if err := lease.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.Stats().InUse; got != 0 {
+		t.Fatalf("in-use after lease close: %d", got)
+	}
+	if err := lease.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ds.Stats().InUse; got != 0 {
+		t.Fatalf("in-use after double close: %d", got)
+	}
+	// The pool slot is reusable.
+	pc2, err := ds.Acquire()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc2.Release()
+}

@@ -45,6 +45,7 @@ type Conn struct {
 	st            *stream
 	stmts         map[string]uint32 // SQL text → prepared statement ID
 	nextStmt      uint32
+	seq           uint32 // 1-based count of statements sent on this stream
 	ownsTransport bool   // Close tears the transport down too
 	source        string // trace-source label (data source name or address)
 
@@ -150,6 +151,9 @@ func (c *Conn) Ping() error {
 // abandons the conversation mid-stream, so the logical conn is marked
 // defunct and the server told to tear the stream down; sibling streams on
 // the same socket are unaffected.
+//
+// On flow-controlled transports every row batch taken off the queue is
+// acked back to the server — the credit that lets it send the next one.
 func (c *Conn) pop(ctx context.Context) (muxFrame, error) {
 	f, err := c.st.pop(ctx)
 	if err != nil {
@@ -160,6 +164,9 @@ func (c *Conn) pop(ctx context.Context) (muxFrame, error) {
 		}
 		return muxFrame{}, err
 	}
+	if f.typ == protocol.FrameRowBatch && c.t.caps&protocol.CapStreamFlow != 0 {
+		c.t.send(c.st.id, outFrame{protocol.FrameBatchAck, nil})
+	}
 	return f, nil
 }
 
@@ -167,6 +174,7 @@ func (c *Conn) pop(ctx context.Context) (muxFrame, error) {
 // statement on first use. Preparation is fire-and-forget (no round trip):
 // the prepare and execute frames travel in the same write.
 func (c *Conn) sendStmt(sql string, args []sqltypes.Value, tc protocol.TraceContext) error {
+	c.seq++
 	id, ok := c.stmts[sql]
 	if !ok {
 		c.nextStmt++
@@ -228,11 +236,15 @@ func (c *Conn) readExecResult(ctx context.Context, exp spanExpect) (resource.Exe
 // remoteRows is the lazy batched cursor over one v2 query result. Row
 // batches are decoded one frame at a time as the reader advances, so a
 // large result never has to be resident all at once (Memory-Strictly
-// friendly). The cursor owns the stream until Close, which skims any
-// unread frames so the next statement starts clean.
+// friendly). The cursor owns the stream until Close. On flow-controlled
+// transports, closing an unfinished cursor sends FrameCursorCancel so
+// the server stops producing; the bounded skim to EOF then costs at
+// most the in-flight window, not the rest of the result — the logical
+// connection stays healthy for the next statement.
 type remoteRows struct {
 	c      *Conn
 	ctx    context.Context
+	seq    uint32 // this statement's 1-based sequence on the stream
 	cols   []string
 	batch  []sqltypes.Row
 	pos    int
@@ -265,6 +277,7 @@ func (rs *remoteRows) fetch() error {
 				rs.done, rs.err = true, rs.c.fail(err)
 				return rs.err
 			}
+			rs.c.t.rowsStreamed.Add(int64(len(rs.batch)))
 		case protocol.FrameRow:
 			row, err := protocol.DecodeRow(f.payload)
 			if err != nil {
@@ -319,6 +332,15 @@ func (rs *remoteRows) Close() error {
 		return nil
 	}
 	rs.closed = true
+	// An unfinished cursor on a flow-controlled transport cancels the
+	// server-side producer first: the server stops at the next batch
+	// boundary and sends EOF, so the skim below reads at most the
+	// in-flight window instead of the whole remaining result. The seq
+	// match server-side makes a cancel racing the natural EOF harmless.
+	if !rs.done && rs.c.t != nil && rs.c.t.caps&protocol.CapStreamFlow != 0 && rs.c.t.Healthy() {
+		rs.c.t.cursorCancels.Add(1)
+		rs.c.t.send(rs.c.st.id, outFrame{protocol.FrameCursorCancel, protocol.EncodeCursorCancel(rs.seq)})
+	}
 	// Skim to end-of-result so the stream is clean for the next
 	// statement; error paths set done, so this terminates.
 	for !rs.done {
@@ -360,7 +382,7 @@ func (c *Conn) Query(ctx context.Context, sql string, args ...sqltypes.Value) (r
 			if err != nil {
 				return nil, c.fail(err)
 			}
-			return &remoteRows{c: c, ctx: ctx, cols: cols, exp: exp}, nil
+			return &remoteRows{c: c, ctx: ctx, seq: c.seq, cols: cols, exp: exp}, nil
 		default:
 			return nil, c.fail(fmt.Errorf("client: unexpected frame %#x", f.typ))
 		}
@@ -476,6 +498,7 @@ func (c *Conn) ExecBatch(ctx context.Context, stmts []resource.Statement) ([]res
 				c.t.preparedStmts.Add(1)
 				frames = append(frames, outFrame{protocol.FramePrepare, protocol.EncodePrepare(id, st.SQL)})
 			}
+			c.seq++
 			frames = append(frames, outFrame{protocol.FrameExecStmt, c.appendTrace(protocol.EncodeExecStmt(id, st.Args), tc)})
 		}
 		if err := c.t.send(c.st.id, frames...); err != nil {
@@ -588,7 +611,7 @@ func (c *Conn) Do(sql string, args ...sqltypes.Value) (*Result, error) {
 				return nil, c.fail(err)
 			}
 			// Materialize: shells print whole results anyway.
-			rows, rerr := resource.ReadAll(&remoteRows{c: c, ctx: ctx, cols: cols, exp: exp})
+			rows, rerr := resource.ReadAll(&remoteRows{c: c, ctx: ctx, seq: c.seq, cols: cols, exp: exp})
 			if rerr != nil {
 				return nil, rerr
 			}
@@ -737,15 +760,20 @@ func (p *muxPool) openConn(t *Transport) (resource.Conn, error) {
 // SHOW REMOTE STATUS and the telemetry layer.
 func (p *muxPool) metrics() map[string]int64 {
 	m := map[string]int64{
-		"sockets_open":       0,
-		"streams_active":     0,
-		"streams_opened":     0,
-		"prepared_stmts":     0,
-		"pipelined_batches":  0,
-		"row_batches":        0,
-		"sockets_dialed":     p.socketsOpened.Load(),
-		"v1_fallback_conns":  p.fallbacks.Load(),
-		"mux_socket_budget":  0,
+		"sockets_open":      0,
+		"streams_active":    0,
+		"streams_opened":    0,
+		"prepared_stmts":    0,
+		"pipelined_batches": 0,
+		"row_batches":       0,
+		"rows_streamed":     0,
+		"batches_streamed":  0,
+		"bytes_streamed":    0,
+		"cursor_cancels":    0,
+		"batch_window_peak": 0,
+		"sockets_dialed":    p.socketsOpened.Load(),
+		"v1_fallback_conns": p.fallbacks.Load(),
+		"mux_socket_budget": 0,
 	}
 	p.mu.Lock()
 	transports := append([]*Transport(nil), p.transports...)
@@ -763,6 +791,11 @@ func (p *muxPool) metrics() map[string]int64 {
 		m["prepared_stmts"] += t.preparedStmts.Load()
 		m["pipelined_batches"] += t.pipelined.Load()
 		m["row_batches"] += t.rowBatches.Load()
+		m["rows_streamed"] += t.rowsStreamed.Load()
+		m["batches_streamed"] += t.rowBatches.Load()
+		m["bytes_streamed"] += t.bytesStreamed.Load()
+		m["cursor_cancels"] += t.cursorCancels.Load()
+		m["batch_window_peak"] = max(m["batch_window_peak"], t.windowPeak.Load())
 	}
 	return m
 }

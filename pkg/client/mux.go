@@ -16,7 +16,9 @@ package client
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
+	"io"
 	"net"
 	"runtime"
 	"sync"
@@ -80,28 +82,44 @@ type Transport struct {
 	preparedStmts atomic.Int64
 	pipelined     atomic.Int64
 	rowBatches    atomic.Int64
+	rowsStreamed  atomic.Int64
+	bytesStreamed atomic.Int64
+	cursorCancels atomic.Int64
+	windowPeak    atomic.Int64 // deepest per-stream row-batch queue seen
 }
 
-// stream is the client half of one logical connection: an unbounded
-// inbound frame queue fed by the demux goroutine. Memory stays bounded in
-// practice by the pipeline window — a stream can have at most MaxPipeline
-// responses outstanding, and cursors consume row batches as they read.
+// stream is the client half of one logical connection: an inbound frame
+// queue fed by the demux goroutine. Control frames are bounded by the
+// pipeline window (at most MaxPipeline responses outstanding); row
+// batches are bounded by the server's flow-control window on
+// CapStreamFlow transports — the server keeps at most StreamWindow
+// unacked batches in flight, and the consumer acks each batch as it
+// pops, so a stalled merge holds ~StreamWindow×DefaultBatchBytes per
+// source instead of the whole result.
 type stream struct {
-	id     uint32
-	mu     sync.Mutex
-	q      []muxFrame
-	err    error
-	notify chan struct{} // capacity 1; nudges a blocked pop
+	id      uint32
+	mu      sync.Mutex
+	q       []muxFrame
+	batches int // row-batch frames currently queued
+	err     error
+	notify  chan struct{} // capacity 1; nudges a blocked pop
 }
 
-func (s *stream) push(f muxFrame) {
+// push queues one inbound frame and reports the row-batch queue depth
+// after the append (the flow-control window occupancy).
+func (s *stream) push(f muxFrame) int {
 	s.mu.Lock()
 	s.q = append(s.q, f)
+	if f.typ == protocol.FrameRowBatch {
+		s.batches++
+	}
+	depth := s.batches
 	s.mu.Unlock()
 	select {
 	case s.notify <- struct{}{}:
 	default:
 	}
+	return depth
 }
 
 func (s *stream) fail(err error) {
@@ -126,6 +144,9 @@ func (s *stream) pop(ctx context.Context) (muxFrame, error) {
 			s.q = s.q[1:]
 			if len(s.q) == 0 {
 				s.q = nil
+			}
+			if f.typ == protocol.FrameRowBatch {
+				s.batches--
 			}
 			s.mu.Unlock()
 			return f, nil
@@ -226,11 +247,19 @@ func (t *Transport) demux() {
 	for {
 		typ, sid, payload, err := protocol.ReadFrameV2(t.r, t.maxFrame)
 		if err != nil {
+			// A socket-level EOF here is a peer disconnect mid-protocol,
+			// not end-of-result: surface it as ErrUnexpectedEOF so row
+			// cursors reading through this transport don't mistake
+			// truncation for clean exhaustion.
+			if errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				err = io.ErrUnexpectedEOF
+			}
 			t.fatal(fmt.Errorf("client: transport read: %w", err))
 			return
 		}
 		if typ == protocol.FrameRowBatch {
 			t.rowBatches.Add(1)
+			t.bytesStreamed.Add(int64(len(payload)))
 		}
 		var at time.Time
 		if t.caps&protocol.CapTraceContext != 0 &&
@@ -241,7 +270,15 @@ func (t *Transport) demux() {
 		st := t.streams[sid]
 		t.mu.Unlock()
 		if st != nil {
-			st.push(muxFrame{typ: typ, payload: payload, at: at})
+			depth := st.push(muxFrame{typ: typ, payload: payload, at: at})
+			if typ == protocol.FrameRowBatch {
+				for {
+					p := t.windowPeak.Load()
+					if int64(depth) <= p || t.windowPeak.CompareAndSwap(p, int64(depth)) {
+						break
+					}
+				}
+			}
 		}
 		// Frames for unknown streams belong to abandoned conversations;
 		// drop them.
