@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: build test race bench bench-plancache bench-remote bench-stream vet check chaos fuzz-smoke race-pipeline obs-smoke stream-smoke
+.PHONY: build test race bench bench-plancache bench-remote bench-stream bench-storm vet check chaos fuzz-smoke race-pipeline obs-smoke stream-smoke storm-smoke
 
 # Pre-PR gate: static checks, the full suite under the race detector,
 # the wire-protocol fuzz smoke, the pipelined-mux concurrency tests and
 # the observability- and streaming-plane smokes. Run this before every PR.
-check: vet race race-pipeline fuzz-smoke obs-smoke stream-smoke
+check: vet race race-pipeline fuzz-smoke obs-smoke stream-smoke storm-smoke
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,21 @@ stream-smoke:
 	$(GO) test -race -run 'TestCursorCancelEarlyStop|TestStreamWindowBounded|TestStreamingLimitStopsShards|TestClientAbandonCascadesCancelToShards|TestClientKillMidStreamReleasesEverything|TestDatanodeKillMidStream' \
 		./internal/proxy/
 	$(GO) test -race -run 'TestChaosHangDuringStreamingMerge' ./internal/distsql/
+
+# Overload-protection smoke: a connection storm at >= 3x saturation must
+# keep admitted p99 inside the unloaded envelope, shed the excess with
+# the typed overload error (no silent drops) and leak no goroutines,
+# plus the admission/drain/slow-loris unit suite under -race. The storm
+# itself runs without -race — the 2x latency envelope is a timing
+# criterion and the race detector distorts it.
+storm-smoke:
+	$(GO) test -run 'TestStormSmoke' -v -count=1 ./internal/bench/
+	$(GO) test -race -run 'TestStatementShedTypedError|TestConnCapTypedRejection|TestSlowLorisReclaimed|TestDrainNotDrop|TestAcceptTransientRetry|TestAcceptPermanentErrorStillFatal' \
+		./internal/proxy/
+
+# Longer storm run for the EXPERIMENTS.md measurement.
+bench-storm:
+	STORM_DURATION=3s $(GO) test -run 'TestStormSmoke' -v -count=1 ./internal/bench/
 
 # Observability-plane smoke: a proxy kernel over two wire-v2 data nodes
 # runs a traced statement (remote child spans + wire gap must appear)

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"shardingsphere/internal/obs"
 	"shardingsphere/internal/proxy"
@@ -23,10 +24,12 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:7301", "address to listen on")
 	name := flag.String("name", "ds0", "data source name")
 	obsAddr := flag.String("obs-addr", "", "observability HTTP address for pprof and /metrics (empty = off)")
+	idleTO := flag.Duration("idle-timeout", 5*time.Minute, "per-connection frame read deadline (0 = none)")
 	flag.Parse()
 
 	engine := storage.NewEngine(*name)
 	srv := proxy.NewServer(&proxy.NodeBackend{Processor: sqlexec.NewProcessor(engine)})
+	srv.SetIdleTimeout(*idleTO)
 	if *obsAddr != "" {
 		o := obs.NewServer()
 		o.RegisterSnapshot("", srv.MetricsSnapshot)

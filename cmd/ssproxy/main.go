@@ -17,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"shardingsphere/internal/admission"
 	"shardingsphere/internal/core"
 	"shardingsphere/internal/distsql"
 	"shardingsphere/internal/governor"
@@ -41,6 +42,12 @@ func main() {
 	rate := flag.Float64("rate", 0, "statement rate limit per second (0 = unlimited)")
 	health := flag.Duration("health", 5*time.Second, "health check interval (0 = off)")
 	obsAddr := flag.String("obs-addr", "", "observability HTTP address for pprof and /metrics (empty = off)")
+	maxConns := flag.Int("max-connections", 0, "max concurrent client connections (0 = unlimited)")
+	admQueue := flag.Int("admission-queue", 0, "admission queue depth (0 = default 8x concurrency)")
+	admConc := flag.Int("admission-concurrency", 0, "max statements executing at once (0 = default 4x GOMAXPROCS)")
+	admWait := flag.Duration("admission-max-wait", 100*time.Millisecond, "max predicted queue wait before shedding")
+	idleTO := flag.Duration("idle-timeout", 5*time.Minute, "per-connection frame read deadline (0 = none)")
+	drainTO := flag.Duration("drain-timeout", 5*time.Second, "grace period to drain in-flight statements on shutdown")
 	var remotes sourceFlags
 	flag.Var(&remotes, "source", "remote data source as name=host:port (repeatable)")
 	flag.Parse()
@@ -82,6 +89,18 @@ func main() {
 
 	srv := proxy.NewServer(&proxy.KernelBackend{Kernel: kernel})
 	gov.RegisterMetrics("proxy", srv.Metrics)
+	ctl := admission.NewController(admission.Config{
+		MaxConcurrent: *admConc,
+		QueueDepth:    *admQueue,
+		MaxQueueWait:  *admWait,
+		MaxConns:      *maxConns,
+	})
+	ctl.SetGate(gov)
+	srv.SetAdmission(ctl)
+	kernel.SetAdmission(ctl)
+	srv.SetChaosFrontend(kernel.Chaos())
+	srv.SetIdleTimeout(*idleTO)
+	srv.SetDrainTimeout(*drainTO)
 	if *rate > 0 {
 		srv.SetLimiter(governor.NewRateLimiter(*rate, int(*rate)))
 	}

@@ -16,9 +16,8 @@ import (
 	"shardingsphere/pkg/client"
 )
 
-// startBenchNode launches a data node seeded with one sbtest-style
-// table, mirroring the cmd/datanode deployment.
-func startBenchNode(t *testing.T, rows int) (string, *proxy.Server) {
+// seededProcessor builds a query processor over one sbtest-style table.
+func seededProcessor(t *testing.T, rows int) *sqlexec.Processor {
 	t.Helper()
 	proc := sqlexec.NewProcessor(storage.NewEngine("bench-node"))
 	sess := proc.NewSession()
@@ -38,7 +37,14 @@ func startBenchNode(t *testing.T, rows int) (string, *proxy.Server) {
 		}
 	}
 	sess.Close()
-	srv := proxy.NewServer(&proxy.NodeBackend{Processor: proc})
+	return proc
+}
+
+// startBenchNode launches a data node seeded with one sbtest-style
+// table, mirroring the cmd/datanode deployment.
+func startBenchNode(t *testing.T, rows int) (string, *proxy.Server) {
+	t.Helper()
+	srv := proxy.NewServer(&proxy.NodeBackend{Processor: seededProcessor(t, rows)})
 	addr, err := srv.Start("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)

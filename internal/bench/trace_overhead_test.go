@@ -110,10 +110,11 @@ func TestTraceOverhead(t *testing.T) {
 		return overhead
 	}
 
-	// Budget is <2%; the in-code gate allows 3% plus up to three attempts
-	// — a shared CI machine getting descheduled mid-window produces
-	// arbitrary one-off readings, and a real regression fails all three.
-	const gate = 0.03
+	// Budget is <2%; the in-code gate allows 3% (loosened under -race —
+	// see gates_race_test.go) plus up to three attempts — a shared CI
+	// machine getting descheduled mid-window produces arbitrary one-off
+	// readings, and a real regression fails all three.
+	const gate = traceOverheadGate
 	overhead := measure()
 	for attempt := 1; overhead > gate && attempt < 3; attempt++ {
 		t.Logf("over budget, remeasuring (attempt %d)", attempt+1)

@@ -97,6 +97,64 @@ func (s Status) Describe() string {
 	return strings.Join(parts, " ")
 }
 
+// FrontendFault perturbs the proxy's client-facing side — the storm and
+// slow-client scenarios the admission layer exists to survive. Unlike
+// backend faults it wraps no connection: the proxy server consults the
+// injector at its accept and session loops.
+type FrontendFault struct {
+	// AcceptDelay stalls every accepted connection before its session
+	// loop starts (models an accept queue backing up).
+	AcceptDelay time.Duration
+	// ConnResetRate is the probability ∈ [0,1] that a freshly accepted
+	// connection is reset immediately (models flaky clients / LB resets).
+	ConnResetRate float64
+	// ClientStall inserts a server-side pause before each statement is
+	// served, holding the session goroutine the way a stalled client
+	// holds it mid-frame (models slow-loris senders).
+	ClientStall time.Duration
+	// Seed makes the reset dice deterministic; 0 seeds from entropy.
+	Seed int64
+}
+
+// Describe renders the frontend fault as a compact k=v list.
+func (f FrontendFault) Describe() string {
+	var parts []string
+	if f.AcceptDelay > 0 {
+		parts = append(parts, fmt.Sprintf("accept_delay=%s", f.AcceptDelay))
+	}
+	if f.ConnResetRate > 0 {
+		parts = append(parts, fmt.Sprintf("conn_reset=%g", f.ConnResetRate))
+	}
+	if f.ClientStall > 0 {
+		parts = append(parts, fmt.Sprintf("client_stall=%s", f.ClientStall))
+	}
+	if f.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", f.Seed))
+	}
+	if len(parts) == 0 {
+		return "noop"
+	}
+	return strings.Join(parts, " ")
+}
+
+// FrontendStatus is the active frontend fault with live counters.
+type FrontendStatus struct {
+	Fault    FrontendFault
+	Conns    int64 // connections that ran the gauntlet
+	Injected int64 // resets actually injected
+}
+
+// frontendFault is the live state of the frontend fault.
+type frontendFault struct {
+	fault FrontendFault
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	conns    atomic.Int64
+	injected atomic.Int64
+}
+
 // sourceFault is the live state of one source's fault.
 type sourceFault struct {
 	fault Fault
@@ -124,9 +182,10 @@ func (sf *sourceFault) roll() bool {
 // Injector owns the fault table and wraps data sources. One injector
 // serves a whole kernel; sources without an entry pass through untouched.
 type Injector struct {
-	mu     sync.Mutex
-	faults map[string]*sourceFault
-	wired  map[string]bool
+	mu       sync.Mutex
+	faults   map[string]*sourceFault
+	wired    map[string]bool
+	frontend *frontendFault
 }
 
 // NewInjector returns an empty injector.
@@ -167,6 +226,86 @@ func (in *Injector) Remove(source string) bool {
 	return true
 }
 
+// ApplyFrontend installs (or replaces) the frontend fault. Counters
+// reset on replacement.
+func (in *Injector) ApplyFrontend(f FrontendFault) {
+	seed := f.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	in.mu.Lock()
+	in.frontend = &frontendFault{fault: f, rng: rand.New(rand.NewSource(seed))}
+	in.mu.Unlock()
+}
+
+// RemoveFrontend clears the frontend fault, reporting whether one was
+// active.
+func (in *Injector) RemoveFrontend() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	active := in.frontend != nil
+	in.frontend = nil
+	return active
+}
+
+// FrontendStatus snapshots the active frontend fault.
+func (in *Injector) FrontendStatus() (FrontendStatus, bool) {
+	in.mu.Lock()
+	ff := in.frontend
+	in.mu.Unlock()
+	if ff == nil {
+		return FrontendStatus{}, false
+	}
+	return FrontendStatus{Fault: ff.fault, Conns: ff.conns.Load(), Injected: ff.injected.Load()}, true
+}
+
+func (in *Injector) lookupFrontend() *frontendFault {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.frontend
+}
+
+// FrontendAcceptDelay runs the accept-side gauntlet for one incoming
+// connection: it counts the connection and returns how long the accept
+// path should stall before serving it (0 = no fault).
+func (in *Injector) FrontendAcceptDelay() time.Duration {
+	ff := in.lookupFrontend()
+	if ff == nil {
+		return 0
+	}
+	ff.conns.Add(1)
+	return ff.fault.AcceptDelay
+}
+
+// FrontendConnReset rolls the reset dice for a freshly accepted
+// connection; true means the proxy should drop it on the floor.
+func (in *Injector) FrontendConnReset() bool {
+	ff := in.lookupFrontend()
+	if ff == nil || ff.fault.ConnResetRate <= 0 {
+		return false
+	}
+	hit := ff.fault.ConnResetRate >= 1
+	if !hit {
+		ff.mu.Lock()
+		hit = ff.rng.Float64() < ff.fault.ConnResetRate
+		ff.mu.Unlock()
+	}
+	if hit {
+		ff.injected.Add(1)
+	}
+	return hit
+}
+
+// FrontendClientStall returns the per-statement stall to inject before
+// serving (0 = no fault).
+func (in *Injector) FrontendClientStall() time.Duration {
+	ff := in.lookupFrontend()
+	if ff == nil {
+		return 0
+	}
+	return ff.fault.ClientStall
+}
+
 // lookup returns the live fault state for a source (nil when none).
 func (in *Injector) lookup(source string) *sourceFault {
 	in.mu.Lock()
@@ -197,6 +336,10 @@ func (in *Injector) Metrics() map[string]int64 {
 	for _, s := range in.Statuses() {
 		out[s.Source+".calls"] = s.Calls
 		out[s.Source+".injected"] = s.Injected
+	}
+	if fs, ok := in.FrontendStatus(); ok {
+		out["frontend.conns"] = fs.Conns
+		out["frontend.injected"] = fs.Injected
 	}
 	return out
 }

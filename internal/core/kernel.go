@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"shardingsphere/internal/admission"
 	"shardingsphere/internal/chaos"
 	"shardingsphere/internal/exec"
 	"shardingsphere/internal/plancache"
@@ -110,6 +111,11 @@ type Kernel struct {
 	// chaosInj is the kernel's fault-injection table (DistSQL INJECT
 	// FAULT); it wires interceptors onto data sources on demand.
 	chaosInj *chaos.Injector
+
+	// admissionCtl is the frontend admission controller when a proxy
+	// installed one (SHOW ADMISSION STATUS, admission quotas); nil for
+	// embedded deployments with no frontend.
+	admissionCtl atomic.Pointer[admission.Controller]
 
 	// Fault-tolerance counters (surfaced in SHOW SQL METRICS and the
 	// governor's metrics snapshot).
@@ -365,6 +371,14 @@ func (k *Kernel) Features() []Feature { return k.features }
 // Chaos exposes the kernel's fault-injection table.
 func (k *Kernel) Chaos() *chaos.Injector { return k.chaosInj }
 
+// SetAdmission installs the proxy frontend's admission controller so
+// DistSQL surfaces (SHOW ADMISSION STATUS, SET VARIABLE admission_quota)
+// can reach it.
+func (k *Kernel) SetAdmission(c *admission.Controller) { k.admissionCtl.Store(c) }
+
+// Admission returns the installed admission controller, or nil.
+func (k *Kernel) Admission() *admission.Controller { return k.admissionCtl.Load() }
+
 // ResilienceMetrics is a governor MetricsSource: the kernel's failover
 // and statement-timeout counters.
 func (k *Kernel) ResilienceMetrics() map[string]int64 {
@@ -400,7 +414,7 @@ func isDistSQL(sql string) bool {
 		"CREATE BROADCAST", "SHOW BROADCAST", "SHOW TRANSACTION", "RESHARD",
 		"SHOW PLAN CACHE", "SHOW SQL METRICS", "SHOW SLOW QUERIES", "TRACE ",
 		"INJECT FAULT", "REMOVE FAULT", "SHOW FAULTS", "SHOW REMOTE",
-		"SHOW CLUSTER",
+		"SHOW CLUSTER", "SHOW ADMISSION",
 	} {
 		if strings.HasPrefix(up, prefix) {
 			return true

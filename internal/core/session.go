@@ -66,6 +66,12 @@ type Session struct {
 	// stmtTimeout bounds each statement's execution (SET VARIABLE
 	// statement_timeout_ms); 0 means unbounded.
 	stmtTimeout time.Duration
+	// queueWait is frontend admission-queue time reported by the proxy
+	// for the next statement (NoteQueueWait); Execute moves it into
+	// stmtQueueWait, where runUnits subtracts it from the statement's
+	// timeout budget — queue wait is time the client already spent.
+	queueWait     time.Duration
+	stmtQueueWait time.Duration
 	// tr is the current statement's trace (nil when collection is off);
 	// it lives only for the duration of one Execute call. trBuf is its
 	// session-owned storage, reused across statements so the hot path
@@ -101,6 +107,12 @@ func (s *Session) SetStatementTimeout(d time.Duration) { s.stmtTimeout = d }
 // unbounded).
 func (s *Session) StatementTimeout() time.Duration { return s.stmtTimeout }
 
+// NoteQueueWait tells the session how long the next statement sat in the
+// frontend admission queue. The wait is charged against the statement's
+// timeout budget and recorded as an admission_wait span on sampled
+// traces. It applies to exactly one statement.
+func (s *Session) NoteQueueWait(d time.Duration) { s.queueWait = d }
+
 // Close rolls back any open transaction.
 func (s *Session) Close() {
 	if s.tx != nil {
@@ -116,6 +128,7 @@ func (s *Session) Close() {
 // hit the parser never runs (the former per-session exact-string AST map,
 // wiped wholesale at 4096 entries, is gone).
 func (s *Session) Execute(sql string, args ...sqltypes.Value) (*Result, error) {
+	s.stmtQueueWait, s.queueWait = s.queueWait, 0
 	if isDistSQL(sql) {
 		if s.k.distSQL == nil {
 			return nil, fmt.Errorf("core: DistSQL handler not installed")
@@ -123,6 +136,7 @@ func (s *Session) Execute(sql string, args ...sqltypes.Value) (*Result, error) {
 		return s.k.distSQL(s, sql)
 	}
 	tr := s.k.tel.StartInto(&s.trBuf, sql)
+	tr.AddQueueWait(s.stmtQueueWait)
 	s.tr = tr
 	res, err := s.executeSQL(sql, args)
 	s.tr = nil
@@ -136,7 +150,9 @@ func (s *Session) Execute(sql string, args ...sqltypes.Value) (*Result, error) {
 // the caller can read its span table (DistSQL TRACE). The caller must
 // Release the returned trace.
 func (s *Session) ExecuteTraced(sql string, args ...sqltypes.Value) (*Result, *telemetry.Trace, error) {
+	s.stmtQueueWait, s.queueWait = s.queueWait, 0
 	tr := s.k.tel.StartDetailed(sql)
+	tr.AddQueueWait(s.stmtQueueWait)
 	s.tr = tr
 	stmt, err := sqlparser.Parse(sql)
 	tr.Mark(telemetry.StageParse)
@@ -305,7 +321,18 @@ func (s *Session) runUnits(stmt sqlparser.Statement, sel *sqlparser.SelectStmt, 
 	ctx := context.Background()
 	var cancel context.CancelFunc
 	if s.stmtTimeout > 0 {
-		ctx, cancel = context.WithTimeout(ctx, s.stmtTimeout)
+		// Admission-queue wait is time the client already spent waiting on
+		// this statement: charge it against the budget so the end-to-end
+		// deadline holds. A fully consumed budget is a statement timeout —
+		// the admission controller sheds such requests at the door, but
+		// the queue estimate is predictive, so this is the backstop.
+		budget := s.stmtTimeout - s.stmtQueueWait
+		if budget <= 0 {
+			s.k.statementTimeouts.Add(1)
+			return nil, fmt.Errorf("%w: %v admission queue wait consumed the %v budget",
+				ErrStatementTimeout, s.stmtQueueWait, s.stmtTimeout)
+		}
+		ctx, cancel = context.WithTimeout(ctx, budget)
 	}
 	canFailover := readOnly && s.tx == nil
 	attempts := 1

@@ -52,6 +52,14 @@ func Install(k *core.Kernel, gov *governor.Governor) *Handler {
 		gov.RegisterMetrics("cluster", gov.ClusterMetricsSource())
 		gov.RegisterMetrics("resilience", k.ResilienceMetrics)
 		gov.RegisterMetrics("chaos", k.Chaos().Metrics)
+		// Frontend admission counters. The controller is installed by the
+		// proxy after this wiring runs, so resolve it per snapshot.
+		gov.RegisterMetrics("admission", func() map[string]int64 {
+			if c := k.Admission(); c != nil {
+				return c.Metrics()
+			}
+			return nil
+		})
 		// Remote transports (mux sockets, streams, prepared statements,
 		// pipelined batches) aggregated across remote data sources.
 		gov.RegisterMetrics("remote", func() map[string]int64 {
@@ -150,6 +158,12 @@ func (h *Handler) Execute(sess *core.Session, sql string) (*core.Result, error) 
 	case *InjectFault:
 		return h.injectFault(k, t)
 	case *RemoveFault:
+		if strings.EqualFold(t.Source, "frontend") {
+			if !k.Chaos().RemoveFrontend() {
+				return nil, fmt.Errorf("distsql: no active frontend fault")
+			}
+			return &core.Result{}, nil
+		}
 		if !k.Chaos().Remove(t.Source) {
 			return nil, fmt.Errorf("distsql: no active fault on %s", t.Source)
 		}
@@ -160,6 +174,8 @@ func (h *Handler) Execute(sess *core.Session, sql string) (*core.Result, error) 
 		return h.showRemoteStatus(k)
 	case *ShowClusterMetrics:
 		return h.showClusterMetrics()
+	case *ShowAdmission:
+		return h.showAdmission(k)
 	default:
 		return nil, fmt.Errorf("distsql: unhandled statement %T", stmt)
 	}
@@ -169,6 +185,13 @@ func (h *Handler) Execute(sess *core.Session, sql string) (*core.Result, error) 
 // engineering): INJECT FAULT ds (ERROR_RATE=0.5, LATENCY_MS=10,
 // HANG=true, BREAK_AFTER=100, SEED=42).
 func (h *Handler) injectFault(k *core.Kernel, t *InjectFault) (*core.Result, error) {
+	// "frontend" is a reserved pseudo-source: the fault perturbs the
+	// proxy's client-facing side (accept path and session loops) instead
+	// of a backend connection. INJECT FAULT frontend (ACCEPT_DELAY_MS=10,
+	// CONN_RESET=0.2, CLIENT_STALL_MS=50, SEED=42).
+	if strings.EqualFold(t.Source, "frontend") {
+		return h.injectFrontendFault(k, t)
+	}
 	src, err := k.Executor().Source(t.Source)
 	if err != nil {
 		return nil, err
@@ -211,6 +234,45 @@ func (h *Handler) injectFault(k *core.Kernel, t *InjectFault) (*core.Result, err
 	return &core.Result{}, nil
 }
 
+// injectFrontendFault parses and installs the frontend (accept-path)
+// fault.
+func (h *Handler) injectFrontendFault(k *core.Kernel, t *InjectFault) (*core.Result, error) {
+	var f chaos.FrontendFault
+	for key, val := range t.Properties {
+		val = strings.TrimSpace(val)
+		switch key {
+		case "accept_delay_ms":
+			ms, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || ms < 0 {
+				return nil, fmt.Errorf("distsql: ACCEPT_DELAY_MS wants a non-negative integer, got %q", val)
+			}
+			f.AcceptDelay = time.Duration(ms) * time.Millisecond
+		case "conn_reset":
+			rate, err := strconv.ParseFloat(val, 64)
+			if err != nil || rate < 0 || rate > 1 {
+				return nil, fmt.Errorf("distsql: CONN_RESET wants a number in [0,1], got %q", val)
+			}
+			f.ConnResetRate = rate
+		case "client_stall_ms":
+			ms, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || ms < 0 {
+				return nil, fmt.Errorf("distsql: CLIENT_STALL_MS wants a non-negative integer, got %q", val)
+			}
+			f.ClientStall = time.Duration(ms) * time.Millisecond
+		case "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("distsql: SEED wants an integer, got %q", val)
+			}
+			f.Seed = n
+		default:
+			return nil, fmt.Errorf("distsql: unknown frontend fault property %q (want ACCEPT_DELAY_MS, CONN_RESET, CLIENT_STALL_MS or SEED)", key)
+		}
+	}
+	k.Chaos().ApplyFrontend(f)
+	return &core.Result{}, nil
+}
+
 // showFaults lists the active faults with their live counters.
 func (h *Handler) showFaults(k *core.Kernel) (*core.Result, error) {
 	var rows []sqltypes.Row
@@ -220,6 +282,14 @@ func (h *Handler) showFaults(k *core.Kernel) (*core.Result, error) {
 			sqltypes.NewString(s.Describe()),
 			sqltypes.NewInt(s.Calls),
 			sqltypes.NewInt(s.Injected),
+		})
+	}
+	if fs, ok := k.Chaos().FrontendStatus(); ok {
+		rows = append(rows, sqltypes.Row{
+			sqltypes.NewString("frontend"),
+			sqltypes.NewString(fs.Fault.Describe()),
+			sqltypes.NewInt(fs.Conns),
+			sqltypes.NewInt(fs.Injected),
 		})
 	}
 	return rowsResult([]string{"source", "fault", "calls", "injected"}, rows), nil
@@ -579,6 +649,25 @@ func (h *Handler) setVariable(sess *core.Session, t *SetVariable) (*core.Result,
 		}
 		sess.Kernel().Telemetry().SetStageSampling(int(n))
 		return &core.Result{}, nil
+	case "admission_quota":
+		// Value form: "<tenant>:<weight>" — the tenant's weighted-fair-
+		// queueing share of the frontend admission queue.
+		c := sess.Kernel().Admission()
+		if c == nil {
+			return nil, fmt.Errorf("distsql: admission quotas need a proxy frontend with admission control")
+		}
+		parts := strings.SplitN(t.Value, ":", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("distsql: admission_quota wants '<tenant>:<weight>'")
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("distsql: admission_quota weight wants a number, got %q", parts[1])
+		}
+		if err := c.SetWeight(strings.TrimSpace(parts[0]), w); err != nil {
+			return nil, err
+		}
+		return &core.Result{}, nil
 	case "sharding_hint":
 		v := sqltypes.NewString(t.Value)
 		if n := strings.TrimSpace(t.Value); n != "" {
@@ -730,6 +819,13 @@ func (h *Handler) showSQLMetrics(k *core.Kernel) (*core.Result, error) {
 	for name, v := range k.ResilienceMetrics() {
 		counters[name] = v
 	}
+	// Admission shed/queue counters ride along when a proxy frontend
+	// installed its controller.
+	if c := k.Admission(); c != nil {
+		for name, v := range c.Metrics() {
+			counters["admission."+name] = v
+		}
+	}
 	names := make([]string, 0, len(counters))
 	for name := range counters {
 		names = append(names, name)
@@ -806,6 +902,58 @@ func (h *Handler) showSlowQueries(k *core.Kernel) (*core.Result, error) {
 }
 
 func usOf(d time.Duration) int64 { return int64(d / time.Microsecond) }
+
+// showAdmission renders the frontend admission controller's live state
+// (RAL's SHOW ADMISSION STATUS): config, gauges and per-tenant
+// fair-queueing rows on one three-column surface.
+func (h *Handler) showAdmission(k *core.Kernel) (*core.Result, error) {
+	cols := []string{"scope", "name", "value"}
+	c := k.Admission()
+	if c == nil {
+		return rowsResult(cols, []sqltypes.Row{{
+			sqltypes.NewString("controller"), sqltypes.NewString("installed"), sqltypes.NewString("false"),
+		}}), nil
+	}
+	st := c.Status()
+	var rows []sqltypes.Row
+	row := func(scope, name, value string) {
+		rows = append(rows, sqltypes.Row{
+			sqltypes.NewString(scope), sqltypes.NewString(name), sqltypes.NewString(value),
+		})
+	}
+	row("controller", "installed", "true")
+	row("config", "max_concurrent", strconv.Itoa(st.Cfg.MaxConcurrent))
+	row("config", "queue_depth", strconv.Itoa(st.Cfg.QueueDepth))
+	row("config", "max_queue_wait", st.Cfg.MaxQueueWait.String())
+	row("config", "codel_target", st.Cfg.Target.String())
+	row("config", "codel_interval", st.Cfg.Interval.String())
+	row("config", "max_connections", strconv.Itoa(st.Cfg.MaxConns))
+	row("gauge", "running", strconv.Itoa(st.Running))
+	row("gauge", "queued", strconv.Itoa(st.Queued))
+	row("gauge", "connections", strconv.FormatInt(st.Conns, 10))
+	row("gauge", "connections_peak", strconv.FormatInt(st.ConnsPeak, 10))
+	row("gauge", "overloaded", strconv.FormatBool(st.Overloaded))
+	row("gauge", "draining", strconv.FormatBool(st.Draining))
+	row("gauge", "service_estimate", st.SvcEstimate.String())
+	row("gauge", "queue_wait_p50", st.QueueWaitP50.String())
+	row("gauge", "queue_wait_p99", st.QueueWaitP99.String())
+	m := c.Metrics()
+	names := make([]string, 0, len(m))
+	for name := range m {
+		if strings.HasPrefix(name, "shed_") || name == "admitted" || name == "queued_total" || name == "overload_flips" {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		row("counter", name, strconv.FormatInt(m[name], 10))
+	}
+	for _, t := range st.Tenants {
+		row("tenant", t.Name, fmt.Sprintf("weight=%g queued=%d admitted=%d shed=%d",
+			t.Weight, t.Queued, t.Admitted, t.Shed))
+	}
+	return rowsResult(cols, rows), nil
+}
 
 // reshard runs an online scaling job (paper Section IV-C): copy the logic
 // table onto the new layout, verify row counts, switch the rule. The

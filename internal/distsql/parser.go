@@ -138,6 +138,12 @@ type ShowRemoteStatus struct{}
 // bucket-wise merged cluster view (RAL, federated metrics).
 type ShowClusterMetrics struct{}
 
+// ShowAdmission is SHOW ADMISSION STATUS: the frontend admission
+// controller's live state — running/queued statements, connection gauge,
+// overload state, queue-wait percentiles, and per-tenant fair-queueing
+// rows (RAL, overload protection).
+type ShowAdmission struct{}
+
 func (*CreateShardingRule) distSQLStmt() {}
 func (*DropShardingRule) distSQLStmt()   {}
 func (*CreateBinding) distSQLStmt()      {}
@@ -159,6 +165,7 @@ func (*RemoveFault) distSQLStmt()        {}
 func (*ShowFaults) distSQLStmt()         {}
 func (*ShowRemoteStatus) distSQLStmt()   {}
 func (*ShowClusterMetrics) distSQLStmt() {}
+func (*ShowAdmission) distSQLStmt()      {}
 
 // parser walks the token stream from the shared lexer.
 type parser struct {
@@ -376,6 +383,12 @@ func (p *parser) parse() (Statement, error) {
 				return nil, err
 			}
 			return &ShowClusterMetrics{}, nil
+		case "ADMISSION":
+			p.pos++
+			if err := p.expect("STATUS"); err != nil {
+				return nil, err
+			}
+			return &ShowAdmission{}, nil
 		}
 		return nil, fmt.Errorf("distsql: unsupported SHOW target %q", p.cur().Val)
 	case "RESHARD":

@@ -300,12 +300,21 @@ func (g *Governor) BreakerState(ds string) BreakerState {
 }
 
 // BreakerStates snapshots every source's breaker position, keyed by
-// source name (SHOW STATUS rows).
+// source name (SHOW STATUS rows). Dynamically created breakers — e.g.
+// the "frontend" admission brake, which gates no data source — are
+// included alongside the executor's sources.
 func (g *Governor) BreakerStates() map[string]BreakerState {
 	out := map[string]BreakerState{}
 	for _, ds := range g.exec.Sources() {
 		out[ds] = g.breaker(ds).State()
 	}
+	g.mu.Lock()
+	for name, b := range g.breakers {
+		if _, ok := out[name]; !ok {
+			out[name] = b.State()
+		}
+	}
+	g.mu.Unlock()
 	return out
 }
 

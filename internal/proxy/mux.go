@@ -71,9 +71,13 @@ type outFrame struct {
 }
 
 // outMsg is one stream's contiguous response frames, written as a unit.
+// done, when non-nil, is closed by the writer once every frame queued up
+// to and including this message has been flushed to the socket — the
+// barrier the admission release rides on.
 type outMsg struct {
 	sid    uint32
 	frames []outFrame
+	done   chan struct{}
 }
 
 // muxConn is the server half of one multiplexed socket.
@@ -124,8 +128,19 @@ func (s *Server) serveMux(conn net.Conn, r *bufio.Reader, w *bufio.Writer, caps 
 	}
 	go m.writeLoop()
 	for {
+		// Same slow-loris protection as the v1 loop: each frame must
+		// arrive whole within the idle window. Reclaiming the socket
+		// tears down the streams, which unblocks credit-parked workers
+		// (st.done) and releases their admission slots.
+		if d := s.idleTimeout; d > 0 {
+			conn.SetReadDeadline(time.Now().Add(d))
+		}
 		typ, sid, payload, err := protocol.ReadFrameV2(r, protocol.MaxFrame)
 		if err != nil || typ == protocol.FrameQuit {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				s.idleReclaims.Add(1)
+			}
 			break
 		}
 		m.dispatch(typ, sid, payload)
@@ -335,6 +350,34 @@ func (m *muxConn) runStatement(st *muxStream, seq uint32, sess BackendSession, p
 		m.send(sid, protocol.FrameError, protocol.EncodeError("proxy: throttled"))
 		return
 	}
+	if fe := s.chaosFE; fe != nil {
+		if d := fe.FrontendClientStall(); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	// Admission: the slot is held until the full response — including a
+	// streamed cursor — has been produced, so concurrency covers the work
+	// the statement actually pins. A client stalling its flow-control
+	// window cannot pin the slot forever: the idle deadline reclaims the
+	// socket, which closes st.done and unwinds this worker.
+	if ac := s.admission; ac != nil {
+		tenant, budget := admissionInfo(sess)
+		rel, qwait, aerr := ac.Acquire(tenant, budget)
+		if aerr != nil {
+			s.shedStatements.Add(1)
+			m.send(sid, protocol.FrameError, protocol.EncodeError(aerr.Error()))
+			return
+		}
+		defer func() {
+			m.flushBarrier()
+			rel()
+		}()
+		if qwait > 0 {
+			if as, ok := sess.(AdmissionBackendSession); ok {
+				as.NoteQueueWait(qwait)
+			}
+		}
+	}
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1)
 
@@ -416,6 +459,17 @@ func (m *muxConn) runStatement(st *muxStream, seq uint32, sess BackendSession, p
 // send queues one frame for the socket writer.
 func (m *muxConn) send(sid uint32, typ byte, payload []byte) {
 	m.writeCh <- outMsg{sid: sid, frames: []outFrame{{typ, payload}}}
+}
+
+// flushBarrier blocks until everything queued before it — the calling
+// statement's terminal frame included — has been written and flushed to
+// the socket (or discarded on a dead socket). Holding the admission
+// slot across this barrier is what makes drain mean "response
+// delivered", not "response queued".
+func (m *muxConn) flushBarrier() {
+	done := make(chan struct{})
+	m.writeCh <- outMsg{done: done}
+	<-done
 }
 
 // streamFillRows is how many rows one cursor pull requests. The byte
@@ -524,9 +578,13 @@ func (m *muxConn) sendRows(sid uint32, cols []string, rows []sqltypes.Row, tail 
 func (m *muxConn) writeLoop() {
 	defer close(m.wdone)
 	var werr error
+	var dones []chan struct{}
 	for msg := range m.writeCh {
 		if werr == nil {
 			werr = m.writeMsg(msg)
+		}
+		if msg.done != nil {
+			dones = append(dones, msg.done)
 		}
 		yielded := false
 	drain:
@@ -538,6 +596,9 @@ func (m *muxConn) writeLoop() {
 				}
 				if werr == nil {
 					werr = m.writeMsg(next)
+				}
+				if next.done != nil {
+					dones = append(dones, next.done)
 				}
 				yielded = false
 			default:
@@ -553,6 +614,12 @@ func (m *muxConn) writeLoop() {
 		if werr == nil {
 			werr = m.w.Flush()
 		}
+		// Barriers release only after the flush (or on a dead socket,
+		// where the bytes are gone anyway and blocking would wedge drain).
+		for _, d := range dones {
+			close(d)
+		}
+		dones = dones[:0]
 	}
 }
 

@@ -10,12 +10,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
+	"shardingsphere/internal/admission"
 	"shardingsphere/internal/core"
 	"shardingsphere/internal/protocol"
 	"shardingsphere/internal/resource"
@@ -76,10 +79,48 @@ type Limiter interface {
 	Acquire() bool
 }
 
+// AdmissionBackendSession is optionally implemented by backend sessions
+// that carry admission context: the fair-queueing tenant and the
+// statement's remaining timeout budget (for deadline-aware shedding),
+// plus a sink for the measured queue wait so the kernel charges it
+// against that budget.
+type AdmissionBackendSession interface {
+	AdmissionInfo() (tenant string, budget time.Duration)
+	NoteQueueWait(d time.Duration)
+}
+
+// admissionInfo resolves a session's admission context; sessions without
+// one share the default tenant with no deadline budget.
+func admissionInfo(sess BackendSession) (string, time.Duration) {
+	if as, ok := sess.(AdmissionBackendSession); ok {
+		return as.AdmissionInfo()
+	}
+	return "default", 0
+}
+
+// FrontendPerturber is the chaos injector's frontend face (INJECT FAULT
+// frontend): accept-time delay and connection resets, plus per-statement
+// client stalls.
+type FrontendPerturber interface {
+	FrontendAcceptDelay() time.Duration
+	FrontendConnReset() bool
+	FrontendClientStall() time.Duration
+}
+
 // Server is a TCP server speaking the wire protocol.
 type Server struct {
 	backend Backend
 	limiter Limiter
+
+	// admission is the overload-protection controller (nil = admit all).
+	// chaosFE injects frontend faults; idleTimeout bounds how long a
+	// client may take to deliver each frame (slow-loris reclaim);
+	// drainTimeout, when set, makes Close drain instead of drop. All four
+	// are configured before Serve.
+	admission    *admission.Controller
+	chaosFE      FrontendPerturber
+	idleTimeout  time.Duration
+	drainTimeout time.Duration
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -110,6 +151,14 @@ type Server struct {
 	// and early cursor stops requested by clients.
 	rowsStreamed  atomic.Int64
 	cursorCancels atomic.Int64
+
+	// Overload-protection counters: statements shed by admission,
+	// connections reclaimed by the idle deadline, transient accept
+	// errors retried, and connections rejected at accept time.
+	shedStatements atomic.Int64
+	idleReclaims   atomic.Int64
+	acceptRetries  atomic.Int64
+	connsRejected  atomic.Int64
 }
 
 // Metrics snapshots the server's wire-level counters; it satisfies the
@@ -131,6 +180,10 @@ func (s *Server) Metrics() map[string]int64 {
 		"row_batches":        s.rowBatches.Load(),
 		"rows_streamed":      s.rowsStreamed.Load(),
 		"cursor_cancels":     s.cursorCancels.Load(),
+		"shed_statements":    s.shedStatements.Load(),
+		"idle_reclaims":      s.idleReclaims.Load(),
+		"accept_retries":     s.acceptRetries.Load(),
+		"conns_rejected":     s.connsRejected.Load(),
 	}
 }
 
@@ -185,6 +238,32 @@ func NewServer(backend Backend) *Server {
 // SetLimiter installs a statement rate limiter.
 func (s *Server) SetLimiter(l Limiter) { s.limiter = l }
 
+// SetAdmission installs the overload-protection controller: statement
+// admission on both protocol paths and the connection cap at accept
+// time. Configure before Serve.
+func (s *Server) SetAdmission(c *admission.Controller) { s.admission = c }
+
+// Admission returns the installed controller (nil when none).
+func (s *Server) Admission() *admission.Controller { return s.admission }
+
+// SetChaosFrontend installs the frontend fault injector (INJECT FAULT
+// frontend). Configure before Serve.
+func (s *Server) SetChaosFrontend(p FrontendPerturber) { s.chaosFE = p }
+
+// SetIdleTimeout bounds how long a client may take to deliver each
+// complete frame. A connection that stalls mid-frame or goes silent —
+// the slow-loris shape — is reclaimed, releasing its goroutines and any
+// admission slot its streams were pinning. 0 (default) disables the
+// deadline; long-lived idle pooled connections then persist, matching
+// previous behavior. Configure before Serve.
+func (s *Server) SetIdleTimeout(d time.Duration) { s.idleTimeout = d }
+
+// SetDrainTimeout makes Close drain instead of drop: stop accepting,
+// shed new statements through the admission controller, wait up to d for
+// in-flight statements to finish, then close what remains. 0 (default)
+// keeps the historical hard close. Requires SetAdmission.
+func (s *Server) SetDrainTimeout(d time.Duration) { s.drainTimeout = d }
+
 // Listen binds the address and returns the bound address (useful with
 // ":0" for tests).
 func (s *Server) Listen(addr string) (string, error) {
@@ -199,6 +278,10 @@ func (s *Server) Listen(addr string) (string, error) {
 }
 
 // Serve accepts connections until Close; it returns nil after Close.
+// Transient accept failures — fd exhaustion (EMFILE/ENFILE), aborted
+// handshakes, timeouts — are retried with jittered exponential backoff
+// instead of killing the accept loop: under a connection storm the
+// listener must survive exactly when it is hardest to restart.
 func (s *Server) Serve() error {
 	s.mu.Lock()
 	ln := s.listener
@@ -206,6 +289,7 @@ func (s *Server) Serve() error {
 	if ln == nil {
 		return fmt.Errorf("proxy: Serve before Listen")
 	}
+	var backoff time.Duration
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -215,7 +299,30 @@ func (s *Server) Serve() error {
 			if closed {
 				return nil
 			}
+			if isTransientAccept(err) {
+				s.acceptRetries.Add(1)
+				if backoff == 0 {
+					backoff = 5 * time.Millisecond
+				} else if backoff < time.Second {
+					backoff *= 2
+				}
+				// Full jitter over [backoff/2, backoff): synchronized
+				// retry waves are what caused the storm in the first place.
+				time.Sleep(backoff/2 + time.Duration(rand.Int63n(int64(backoff/2))))
+				continue
+			}
 			return err
+		}
+		backoff = 0
+		if fe := s.chaosFE; fe != nil && fe.FrontendConnReset() {
+			conn.Close()
+			continue
+		}
+		if ac := s.admission; ac != nil {
+			if err := ac.AdmitConn(); err != nil {
+				s.rejectConn(conn, err)
+				continue
+			}
 		}
 		s.mu.Lock()
 		s.conns[conn] = struct{}{}
@@ -223,9 +330,72 @@ func (s *Server) Serve() error {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
+			if s.admission != nil {
+				defer s.admission.ReleaseConn()
+			}
+			if fe := s.chaosFE; fe != nil {
+				if d := fe.FrontendAcceptDelay(); d > 0 {
+					time.Sleep(d)
+				}
+			}
 			s.handle(conn)
 		}()
 	}
+}
+
+// isTransientAccept classifies accept errors worth retrying.
+func isTransientAccept(err error) bool {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	for _, e := range []error{syscall.EMFILE, syscall.ENFILE, syscall.ECONNABORTED, syscall.ECONNRESET, syscall.EINTR} {
+		if errors.Is(err, e) {
+			return true
+		}
+	}
+	return false
+}
+
+// rejectConn turns away a connection at accept time with the typed
+// overload error, so well-behaved clients back off instead of
+// interpreting the close as a network flake. The rejection is delivered
+// as the reply to whatever the client sends first: answering its Hello
+// with an error frame rides the existing "speak v1" fallback, and the
+// follow-up v1 statement then gets the typed error too — both protocol
+// generations surface it instead of a dead socket. The goroutine is
+// bounded by a short deadline, then half-closes and drains so the error
+// frame is not reset away.
+func (s *Server) rejectConn(conn net.Conn, aerr error) {
+	s.connsTotal.Add(1)
+	s.connsRejected.Add(1)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer conn.Close()
+		conn.SetDeadline(time.Now().Add(2 * time.Second))
+		r := bufio.NewReader(countingReader{conn, &s.bytesIn})
+		w := bufio.NewWriter(countingWriter{conn, &s.bytesOut})
+		payload := protocol.EncodeError(aerr.Error())
+		for i := 0; i < 2; i++ {
+			typ, _, err := protocol.ReadFrame(r)
+			if err != nil {
+				return
+			}
+			if protocol.WriteFrame(w, protocol.FrameError, payload) != nil || w.Flush() != nil {
+				return
+			}
+			// A Hello answered with an error retries as v1 on this same
+			// socket; anything else just got its final answer.
+			if typ != protocol.FrameHello {
+				break
+			}
+		}
+		if tc, ok := conn.(*net.TCPConn); ok {
+			tc.CloseWrite()
+			io.Copy(io.Discard, conn)
+		}
+	}()
 }
 
 // Start is Listen+Serve on a goroutine; it returns the bound address.
@@ -239,6 +409,9 @@ func (s *Server) Start(addr string) (string, error) {
 }
 
 // Close stops accepting, closes every connection and waits for handlers.
+// With a drain timeout configured (SetDrainTimeout + SetAdmission), new
+// statements are shed first and in-flight ones get up to that long to
+// finish before their connections are closed — draining, not dropping.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -246,9 +419,16 @@ func (s *Server) Close() {
 		return
 	}
 	s.closed = true
-	if s.listener != nil {
-		s.listener.Close()
+	ln := s.listener
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
 	}
+	if s.drainTimeout > 0 && s.admission != nil {
+		s.admission.BeginDrain()
+		s.admission.WaitIdle(s.drainTimeout)
+	}
+	s.mu.Lock()
 	for c := range s.conns {
 		c.Close()
 	}
@@ -280,8 +460,18 @@ func (s *Server) handle(conn net.Conn) {
 
 	first := true
 	for {
+		// One deadline per frame: the whole frame must arrive within the
+		// idle window, so a client that sends a partial frame and stalls
+		// (slow loris) is reclaimed just like one that goes fully silent.
+		if d := s.idleTimeout; d > 0 {
+			conn.SetReadDeadline(time.Now().Add(d))
+		}
 		typ, payload, err := protocol.ReadFrame(r)
 		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				s.idleReclaims.Add(1)
+			}
 			return // client went away
 		}
 		// Version negotiation: a v2 client leads with Hello. Anything
@@ -335,15 +525,41 @@ func (s *Server) handle(conn net.Conn) {
 				}
 				continue
 			}
+			if fe := s.chaosFE; fe != nil {
+				if d := fe.FrontendClientStall(); d > 0 {
+					time.Sleep(d)
+				}
+			}
 			sql, args, err := protocol.DecodeQuery(payload)
 			if err != nil {
 				s.errors.Add(1)
 				s.reply(w, protocol.FrameError, protocol.EncodeError(err.Error()))
 				return
 			}
+			var relAdm func()
+			if ac := s.admission; ac != nil {
+				tenant, budget := admissionInfo(sess)
+				rel, qwait, aerr := ac.Acquire(tenant, budget)
+				if aerr != nil {
+					s.shedStatements.Add(1)
+					if err := s.reply(w, protocol.FrameError, protocol.EncodeError(aerr.Error())); err != nil {
+						return
+					}
+					continue
+				}
+				relAdm = rel
+				if qwait > 0 {
+					if as, ok := sess.(AdmissionBackendSession); ok {
+						as.NoteQueueWait(qwait)
+					}
+				}
+			}
 			s.inFlight.Add(1)
 			err = s.runQuery(w, sess, sql, args)
 			s.inFlight.Add(-1)
+			if relAdm != nil {
+				relAdm()
+			}
 			if err != nil {
 				return
 			}
@@ -453,6 +669,25 @@ func (ks *kernelSession) ExecuteStream(sql string, args []sqltypes.Value) ([]str
 	}
 	return cols, res.RS, 0, 0, nil
 }
+
+// AdmissionInfo implements AdmissionBackendSession: the fair-queueing
+// tenant comes from the session variable `tenant` (SET VARIABLE tenant =
+// '...'), the budget from the session's statement timeout — giving the
+// admission controller exactly the deadline the kernel would enforce.
+func (ks *kernelSession) AdmissionInfo() (string, time.Duration) {
+	tenant := "default"
+	if v, ok := ks.sess.Vars()["tenant"]; ok {
+		if s := v.AsString(); s != "" {
+			tenant = s
+		}
+	}
+	return tenant, ks.sess.StatementTimeout()
+}
+
+// NoteQueueWait implements AdmissionBackendSession: the measured queue
+// wait is charged against the next statement's timeout budget and shows
+// up as an admission_wait span on sampled traces.
+func (ks *kernelSession) NoteQueueWait(d time.Duration) { ks.sess.NoteQueueWait(d) }
 
 func (ks *kernelSession) Close() { ks.sess.Close() }
 

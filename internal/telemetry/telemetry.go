@@ -57,6 +57,10 @@ const (
 	StageNodeLock   // lock wait (SELECT ... FOR UPDATE / DML row locks)
 	StageNodeCommit // autocommit/commit durability on the node
 	StageNodeOther  // remote stage this build does not know by name
+	// StageAdmission covers time spent queued in the frontend admission
+	// controller before the statement entered the kernel. Its span sits
+	// at a negative offset: the wait happened before trace start.
+	StageAdmission
 	// StageTotal is the whole statement; also the slow-log trigger.
 	StageTotal
 	numStages
@@ -81,6 +85,7 @@ var stageNames = [numStages]string{
 	StageNodeLock:   "node_lock_wait",
 	StageNodeCommit: "node_commit",
 	StageNodeOther:  "node_other",
+	StageAdmission:  "admission_wait",
 	StageTotal:      "total",
 }
 
@@ -301,6 +306,23 @@ func (t *Trace) AddSpan(stage Stage, dataSource string, start time.Time, dur tim
 	}
 	t.mu.Unlock()
 	t.col.observeStage(stage, dur)
+}
+
+// AddQueueWait records time the statement spent queued in frontend
+// admission before this trace began. The span lands at a negative
+// offset — the wait preceded trace start — so the waterfall shows it
+// ahead of parse without shifting any other span. Recorded only on
+// sampled traces (the admission controller keeps its own exact
+// histogram); the statement total is not extended, matching how
+// statement_timeout budgets treat queue wait as already spent.
+func (t *Trace) AddQueueWait(d time.Duration) {
+	if t == nil || !t.sampled || d <= 0 {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{Stage: StageAdmission, Offset: -d, Dur: d})
+	t.mu.Unlock()
+	t.col.observeStage(StageAdmission, d)
 }
 
 // Detailed reports whether the trace wants fine-grained spans (TRACE

@@ -23,6 +23,7 @@ import (
 
 	"bufio"
 
+	"shardingsphere/internal/admission"
 	"shardingsphere/internal/protocol"
 	"shardingsphere/internal/resource"
 	"shardingsphere/internal/sqltypes"
@@ -30,6 +31,30 @@ import (
 
 // ErrRemote wraps an error reported by the server.
 var ErrRemote = errors.New("remote error")
+
+// remoteError types a server-reported error message. Overload
+// rejections survive the wire round trip: the typed retryable error the
+// proxy shed with is reconstructed here — transient for the retry
+// machinery, with its reason and retry-after hint intact (IsOverloaded).
+// Everything else stays a plain ErrRemote wrap.
+func remoteError(msg string) error {
+	if ov, ok := admission.ParseOverloaded(msg); ok {
+		return fmt.Errorf("%w: %w", ErrRemote, ov)
+	}
+	return fmt.Errorf("%w: %s", ErrRemote, msg)
+}
+
+// IsOverloaded reports whether err is the server's typed "overloaded,
+// retry later" rejection, and if so the shed reason (queue_full,
+// deadline, queue_wait, timeout, brake, draining, conn_limit) and the
+// server's suggested backoff before retrying.
+func IsOverloaded(err error) (reason string, retryAfter time.Duration, ok bool) {
+	var ov *admission.OverloadedError
+	if errors.As(err, &ov) {
+		return ov.Reason, ov.RetryAfter, true
+	}
+	return "", 0, false
+}
 
 // Conn is one logical protocol connection: either a dedicated v1 socket
 // or one stream on a shared v2 transport. Not safe for concurrent use
@@ -207,7 +232,7 @@ func (c *Conn) readExecResult(ctx context.Context, exp spanExpect) (resource.Exe
 	case protocol.FrameError:
 		exp.observe(c, f)
 		msg, _ := protocol.DecodeError(f.payload)
-		return resource.ExecResult{}, fmt.Errorf("%w: %s", ErrRemote, msg)
+		return resource.ExecResult{}, remoteError(msg)
 	case protocol.FrameHeader:
 		// SELECT via Exec: drain the row set, report zero affected,
 		// mirroring database/sql's tolerance.
@@ -292,7 +317,7 @@ func (rs *remoteRows) fetch() error {
 			rs.exp.observe(rs.c, f)
 			msg, _ := protocol.DecodeError(f.payload)
 			rs.done = true
-			rs.err = fmt.Errorf("%w: %s", ErrRemote, msg)
+			rs.err = remoteError(msg)
 			return rs.err
 		default:
 			rs.done = true
@@ -373,7 +398,7 @@ func (c *Conn) Query(ctx context.Context, sql string, args ...sqltypes.Value) (r
 		case protocol.FrameError:
 			exp.observe(c, f)
 			msg, _ := protocol.DecodeError(f.payload)
-			return nil, fmt.Errorf("%w: %s", ErrRemote, msg)
+			return nil, remoteError(msg)
 		case protocol.FrameOK:
 			exp.observe(c, f)
 			return nil, fmt.Errorf("client: %q returned no row set", sql)
@@ -401,7 +426,7 @@ func (c *Conn) Query(ctx context.Context, sql string, args ...sqltypes.Value) (r
 	switch typ {
 	case protocol.FrameError:
 		msg, _ := protocol.DecodeError(payload)
-		return nil, fmt.Errorf("%w: %s", ErrRemote, msg)
+		return nil, remoteError(msg)
 	case protocol.FrameOK:
 		return nil, fmt.Errorf("client: %q returned no row set", sql)
 	case protocol.FrameHeader:
@@ -445,7 +470,7 @@ func (c *Conn) Exec(ctx context.Context, sql string, args ...sqltypes.Value) (re
 	switch typ {
 	case protocol.FrameError:
 		msg, _ := protocol.DecodeError(payload)
-		return resource.ExecResult{}, fmt.Errorf("%w: %s", ErrRemote, msg)
+		return resource.ExecResult{}, remoteError(msg)
 	case protocol.FrameOK:
 		affected, lastID, err := protocol.DecodeOK(payload)
 		if err != nil {
@@ -560,7 +585,7 @@ func (c *Conn) readRowsV1() ([]sqltypes.Row, error) {
 			return rows, nil
 		case protocol.FrameError:
 			msg, _ := protocol.DecodeError(payload)
-			return nil, fmt.Errorf("%w: %s", ErrRemote, msg)
+			return nil, remoteError(msg)
 		default:
 			return nil, fmt.Errorf("client: unexpected frame %#x in row stream", typ)
 		}
@@ -597,7 +622,7 @@ func (c *Conn) Do(sql string, args ...sqltypes.Value) (*Result, error) {
 		case protocol.FrameError:
 			exp.observe(c, f)
 			msg, _ := protocol.DecodeError(f.payload)
-			return nil, fmt.Errorf("%w: %s", ErrRemote, msg)
+			return nil, remoteError(msg)
 		case protocol.FrameOK:
 			exp.observe(c, f)
 			affected, lastID, err := protocol.DecodeOK(f.payload)
@@ -630,7 +655,7 @@ func (c *Conn) Do(sql string, args ...sqltypes.Value) (*Result, error) {
 	switch typ {
 	case protocol.FrameError:
 		msg, _ := protocol.DecodeError(payload)
-		return nil, fmt.Errorf("%w: %s", ErrRemote, msg)
+		return nil, remoteError(msg)
 	case protocol.FrameOK:
 		affected, lastID, err := protocol.DecodeOK(payload)
 		if err != nil {

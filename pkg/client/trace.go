@@ -96,7 +96,7 @@ func (c *Conn) PullMetrics(ctx context.Context) (*telemetry.MetricsSnapshot, err
 		return snap, nil
 	case protocol.FrameError:
 		msg, _ := protocol.DecodeError(f.payload)
-		return nil, fmt.Errorf("%w: %s", ErrRemote, msg)
+		return nil, remoteError(msg)
 	default:
 		return nil, c.fail(fmt.Errorf("client: unexpected frame %#x to metrics pull", f.typ))
 	}
