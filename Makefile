@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: build test race bench bench-plancache bench-remote bench-stream bench-storm vet check chaos fuzz-smoke race-pipeline obs-smoke stream-smoke storm-smoke
+.PHONY: build test race bench bench-plancache bench-remote bench-stream bench-storm bench-txn vet check chaos fuzz-smoke race-pipeline obs-smoke stream-smoke storm-smoke txn-smoke
 
 # Pre-PR gate: static checks, the full suite under the race detector,
 # the wire-protocol fuzz smoke, the pipelined-mux concurrency tests and
-# the observability- and streaming-plane smokes. Run this before every PR.
-check: vet race race-pipeline fuzz-smoke obs-smoke stream-smoke storm-smoke
+# the observability-, streaming-, storm- and transaction-plane smokes.
+# Run this before every PR.
+check: vet race race-pipeline fuzz-smoke obs-smoke stream-smoke storm-smoke txn-smoke
 
 build:
 	$(GO) build ./...
@@ -67,6 +68,22 @@ storm-smoke:
 # Longer storm run for the EXPERIMENTS.md measurement.
 bench-storm:
 	STORM_DURATION=3s $(GO) test -run 'TestStormSmoke' -v -count=1 ./internal/bench/
+
+# Transaction-plane smoke: the full commit-path suite (fast path, lazy
+# XA upgrade, group-commit race, prepare-failure cleanup, deadlines,
+# recovery), the coordinator-crash chaos acceptance and the in-doubt
+# wire-contract test, all under -race.
+txn-smoke:
+	$(GO) test -race -count=1 ./internal/transaction/
+	$(GO) test -race -run 'TestTxnChaos' -count=1 ./internal/distsql/
+	$(GO) test -race -run 'TestInDoubtOverWire' -count=1 ./internal/proxy/
+
+# TPC-C Payment commit-path benchmark: legacy sequential 2PC vs parallel
+# phases + group commit (cross-shard) and vs the single-shard 1PC fast
+# path. The acceptance gate is >= 2x cross-shard throughput at 32
+# workers. Numbers feed EXPERIMENTS.md.
+bench-txn:
+	TXN_DURATION=3s $(GO) test -run 'TestTxnThroughput' -v -count=1 ./internal/bench/
 
 # Observability-plane smoke: a proxy kernel over two wire-v2 data nodes
 # runs a traced statement (remote child spans + wire gap must appear)

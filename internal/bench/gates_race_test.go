@@ -12,4 +12,8 @@ package bench_test
 const (
 	stormLatencySlack = 4.0
 	traceOverheadGate = 0.15
+	// Instrumentation inflates the CPU-bound concurrent path more than
+	// the sync-bound legacy path, compressing the measured gain; the
+	// real >= 2x acceptance runs without -race (`make bench-txn`).
+	txnCrossGainGate = 1.5
 )

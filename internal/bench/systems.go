@@ -52,6 +52,9 @@ type Topology struct {
 	// DisableTelemetry passes through to core.Config: the telemetry-off
 	// baseline in the observability overhead experiment.
 	DisableTelemetry bool
+	// TxLog passes through to core.Config: the transaction benchmark
+	// injects a sync-cost-modeling XA log.
+	TxLog transaction.LogStore
 }
 
 // WithRules returns a copy of the topology using the given rule set.
@@ -138,6 +141,7 @@ func NewSSJ(top Topology) (*System, error) {
 		DefaultTxType:    top.TxType,
 		PlanCacheSize:    top.PlanCacheSize,
 		DisableTelemetry: top.DisableTelemetry,
+		TxLog:            top.TxLog,
 	})
 	if err != nil {
 		return nil, err

@@ -32,6 +32,12 @@ type Config struct {
 	Items                 int
 	// InitialOrdersPerDistrict pre-loads delivered and undelivered orders.
 	InitialOrdersPerDistrict int
+	// RemotePaymentPct is the percentage (0–100) of Payment transactions
+	// paying for a customer of a different (remote) warehouse — the
+	// TPC-C clause 2.5.1.2 cross-warehouse case. With warehouse-sharded
+	// tables a remote payment touches two shards and exercises the
+	// distributed commit path; 0 keeps every payment single-warehouse.
+	RemotePaymentPct int
 }
 
 // DefaultConfig returns a laptop-scale configuration.

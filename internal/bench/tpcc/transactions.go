@@ -75,12 +75,22 @@ func (cfg Config) NewOrder(c bench.Client, rng *rand.Rand) error {
 }
 
 // Payment updates warehouse and district YTD and the customer balance,
-// and records history.
+// and records history. Per RemotePaymentPct the customer may belong to a
+// different warehouse (TPC-C's cross-warehouse payment): the
+// warehouse/district updates stay on the home warehouse's shard while
+// the customer and history rows land on the remote one's.
 func (cfg Config) Payment(c bench.Client, rng *rand.Rand) error {
 	w := rng.Intn(cfg.Warehouses) + 1
 	d := rng.Intn(cfg.DistrictsPerWarehouse) + 1
 	cu := rng.Intn(cfg.CustomersPerDistrict) + 1
 	amount := 1 + rng.Float64()*4999
+	cw := w // customer's warehouse
+	if cfg.RemotePaymentPct > 0 && cfg.Warehouses > 1 && rng.Intn(100) < cfg.RemotePaymentPct {
+		cw = rng.Intn(cfg.Warehouses-1) + 1
+		if cw >= w {
+			cw++
+		}
+	}
 
 	if err := c.Exec("BEGIN"); err != nil {
 		return err
@@ -98,11 +108,11 @@ func (cfg Config) Payment(c bench.Client, rng *rand.Rand) error {
 		return abort(err)
 	}
 	if err := c.Exec("UPDATE bmsql_customer SET c_balance = c_balance - ? WHERE c_key = ? AND c_w_id = ?",
-		vf(amount), vi(cfg.cKey(w, d, cu)), vi(int64(w))); err != nil {
+		vf(amount), vi(cfg.cKey(cw, d, cu)), vi(int64(cw))); err != nil {
 		return abort(err)
 	}
 	if err := c.Exec("INSERT INTO bmsql_history (h_key, h_w_id, h_c_key, h_amount) VALUES (?, ?, ?, ?)",
-		vi(rng.Int63()), vi(int64(w)), vi(cfg.cKey(w, d, cu)), vf(amount)); err != nil {
+		vi(rng.Int63()), vi(int64(cw)), vi(cfg.cKey(cw, d, cu)), vf(amount)); err != nil {
 		return abort(err)
 	}
 	return c.Exec("COMMIT")

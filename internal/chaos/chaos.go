@@ -144,6 +144,41 @@ type FrontendStatus struct {
 	Injected int64 // resets actually injected
 }
 
+// CoordinatorFault kills the 2PC coordinator at a protocol point: the
+// transaction manager consults the injector between commit steps and
+// abandons the commit there, as if the coordinator process died. Like the
+// frontend fault it wraps no connection — it is a pseudo-source named
+// "coordinator" in INJECT FAULT.
+type CoordinatorFault struct {
+	// CrashPoint names where the coordinator dies:
+	// "after_prepare" (branches prepared, decision not logged → presumed
+	// abort on recovery) or "after_log_write" (decision logged, phase 2
+	// never runs → Recover completes the commit).
+	CrashPoint string
+}
+
+// Describe renders the coordinator fault as a compact k=v list.
+func (f CoordinatorFault) Describe() string {
+	if f.CrashPoint == "" {
+		return "noop"
+	}
+	return fmt.Sprintf("crash_point=%s", f.CrashPoint)
+}
+
+// CoordinatorStatus is the active coordinator fault with live counters.
+type CoordinatorStatus struct {
+	Fault    CoordinatorFault
+	Checks   int64 // crash points consulted
+	Injected int64 // crashes actually injected
+}
+
+// coordinatorFault is the live state of the coordinator fault.
+type coordinatorFault struct {
+	fault    CoordinatorFault
+	checks   atomic.Int64
+	injected atomic.Int64
+}
+
 // frontendFault is the live state of the frontend fault.
 type frontendFault struct {
 	fault FrontendFault
@@ -182,10 +217,11 @@ func (sf *sourceFault) roll() bool {
 // Injector owns the fault table and wraps data sources. One injector
 // serves a whole kernel; sources without an entry pass through untouched.
 type Injector struct {
-	mu       sync.Mutex
-	faults   map[string]*sourceFault
-	wired    map[string]bool
-	frontend *frontendFault
+	mu          sync.Mutex
+	faults      map[string]*sourceFault
+	wired       map[string]bool
+	frontend    *frontendFault
+	coordinator *coordinatorFault
 }
 
 // NewInjector returns an empty injector.
@@ -265,6 +301,52 @@ func (in *Injector) lookupFrontend() *frontendFault {
 	return in.frontend
 }
 
+// ApplyCoordinator installs (or replaces) the coordinator fault. Counters
+// reset on replacement.
+func (in *Injector) ApplyCoordinator(f CoordinatorFault) {
+	in.mu.Lock()
+	in.coordinator = &coordinatorFault{fault: f}
+	in.mu.Unlock()
+}
+
+// RemoveCoordinator clears the coordinator fault, reporting whether one
+// was active.
+func (in *Injector) RemoveCoordinator() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	active := in.coordinator != nil
+	in.coordinator = nil
+	return active
+}
+
+// CoordinatorStatus snapshots the active coordinator fault.
+func (in *Injector) CoordinatorStatus() (CoordinatorStatus, bool) {
+	in.mu.Lock()
+	cf := in.coordinator
+	in.mu.Unlock()
+	if cf == nil {
+		return CoordinatorStatus{}, false
+	}
+	return CoordinatorStatus{Fault: cf.fault, Checks: cf.checks.Load(), Injected: cf.injected.Load()}, true
+}
+
+// CoordinatorCrash is the transaction manager's crash hook: it reports
+// whether the coordinator should die at the named 2PC point.
+func (in *Injector) CoordinatorCrash(point string) bool {
+	in.mu.Lock()
+	cf := in.coordinator
+	in.mu.Unlock()
+	if cf == nil {
+		return false
+	}
+	cf.checks.Add(1)
+	if cf.fault.CrashPoint != point {
+		return false
+	}
+	cf.injected.Add(1)
+	return true
+}
+
 // FrontendAcceptDelay runs the accept-side gauntlet for one incoming
 // connection: it counts the connection and returns how long the accept
 // path should stall before serving it (0 = no fault).
@@ -340,6 +422,10 @@ func (in *Injector) Metrics() map[string]int64 {
 	if fs, ok := in.FrontendStatus(); ok {
 		out["frontend.conns"] = fs.Conns
 		out["frontend.injected"] = fs.Injected
+	}
+	if cs, ok := in.CoordinatorStatus(); ok {
+		out["coordinator.checks"] = cs.Checks
+		out["coordinator.injected"] = cs.Injected
 	}
 	return out
 }

@@ -219,6 +219,9 @@ func New(cfg Config) (*Kernel, error) {
 	}
 	k.txMgr = transaction.NewManager(executor, txLog, k)
 	k.txMgr.SetTelemetry(tel)
+	// Chaos can kill the 2PC coordinator at protocol points (INJECT FAULT
+	// coordinator); with no fault applied the hook is a cheap no.
+	k.txMgr.SetCrashHook(k.chaosInj.CoordinatorCrash)
 	var gates []SourceGate
 	for _, f := range cfg.Features {
 		if g, ok := f.(SourceGate); ok {

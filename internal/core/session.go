@@ -116,7 +116,7 @@ func (s *Session) NoteQueueWait(d time.Duration) { s.queueWait = d }
 // Close rolls back any open transaction.
 func (s *Session) Close() {
 	if s.tx != nil {
-		s.tx.Rollback()
+		s.tx.Rollback(context.Background())
 		s.tx = nil
 	}
 }
@@ -240,7 +240,9 @@ func (s *Session) ExecuteStmt(stmt sqlparser.Statement, args []sqltypes.Value) (
 		tx := s.tx
 		s.tx = nil
 		tx.AttachTrace(s.tr)
-		if err := tx.Commit(); err != nil {
+		ctx, cancel := s.stmtCtx()
+		defer cancel()
+		if err := tx.Commit(ctx); err != nil {
 			return nil, err
 		}
 		return &Result{}, nil
@@ -251,7 +253,9 @@ func (s *Session) ExecuteStmt(stmt sqlparser.Statement, args []sqltypes.Value) (
 		tx := s.tx
 		s.tx = nil
 		tx.AttachTrace(s.tr)
-		if err := tx.Rollback(); err != nil {
+		ctx, cancel := s.stmtCtx()
+		defer cancel()
+		if err := tx.Rollback(ctx); err != nil {
 			return nil, err
 		}
 		return &Result{}, nil
@@ -301,6 +305,16 @@ func (s *Session) ExecuteStmt(stmt sqlparser.Statement, args []sqltypes.Value) (
 	}
 	s.tr.Mark(telemetry.StageRewrite)
 	return s.runUnits(stmt, sel, rw, genKey)
+}
+
+// stmtCtx bounds transaction-control work (COMMIT/ROLLBACK) with the
+// session's statement deadline so statement_timeout_ms reaches the 2PC
+// verbs, not just DML.
+func (s *Session) stmtCtx() (context.Context, context.CancelFunc) {
+	if s.stmtTimeout > 0 {
+		return context.WithTimeout(context.Background(), s.stmtTimeout)
+	}
+	return context.Background(), func() {}
 }
 
 // runUnits executes rewritten SQL units: source resolution, circuit-breaker
@@ -406,7 +420,7 @@ func (s *Session) runUnitsOnce(ctx context.Context, stmt sqlparser.Statement, se
 		// Transaction phases (XA prepare/commit, BASE undo capture) record
 		// their spans into the current statement's trace.
 		s.tx.AttachTrace(s.tr)
-		if err := s.tx.BeforeStatement(rw.Units); err != nil {
+		if err := s.tx.BeforeStatement(ctx, rw.Units); err != nil {
 			return nil, err
 		}
 	}
@@ -450,7 +464,7 @@ func (s *Session) runUnitsOnce(ctx context.Context, stmt sqlparser.Statement, se
 		}
 	}
 	if s.tx != nil {
-		if err := s.tx.AfterStatement(rw.Units, execErr); err != nil {
+		if err := s.tx.AfterStatement(ctx, rw.Units, execErr); err != nil {
 			return nil, err
 		}
 		// Include AfterStatement work (BASE local commits) in the trace

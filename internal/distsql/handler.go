@@ -52,6 +52,9 @@ func Install(k *core.Kernel, gov *governor.Governor) *Handler {
 		gov.RegisterMetrics("cluster", gov.ClusterMetricsSource())
 		gov.RegisterMetrics("resilience", k.ResilienceMetrics)
 		gov.RegisterMetrics("chaos", k.Chaos().Metrics)
+		// Transaction commit-path counters (fast path, group commit,
+		// in-doubt) — the same table SHOW TRANSACTION METRICS renders.
+		gov.RegisterMetrics("txn", k.TxManager().Metrics)
 		// Frontend admission counters. The controller is installed by the
 		// proxy after this wiring runs, so resolve it per snapshot.
 		gov.RegisterMetrics("admission", func() map[string]int64 {
@@ -164,6 +167,12 @@ func (h *Handler) Execute(sess *core.Session, sql string) (*core.Result, error) 
 			}
 			return &core.Result{}, nil
 		}
+		if strings.EqualFold(t.Source, "coordinator") {
+			if !k.Chaos().RemoveCoordinator() {
+				return nil, fmt.Errorf("distsql: no active coordinator fault")
+			}
+			return &core.Result{}, nil
+		}
 		if !k.Chaos().Remove(t.Source) {
 			return nil, fmt.Errorf("distsql: no active fault on %s", t.Source)
 		}
@@ -176,6 +185,8 @@ func (h *Handler) Execute(sess *core.Session, sql string) (*core.Result, error) 
 		return h.showClusterMetrics()
 	case *ShowAdmission:
 		return h.showAdmission(k)
+	case *ShowTxnMetrics:
+		return h.showTxnMetrics(k)
 	default:
 		return nil, fmt.Errorf("distsql: unhandled statement %T", stmt)
 	}
@@ -191,6 +202,11 @@ func (h *Handler) injectFault(k *core.Kernel, t *InjectFault) (*core.Result, err
 	// CONN_RESET=0.2, CLIENT_STALL_MS=50, SEED=42).
 	if strings.EqualFold(t.Source, "frontend") {
 		return h.injectFrontendFault(k, t)
+	}
+	// "coordinator" kills the 2PC coordinator at a protocol point:
+	// INJECT FAULT coordinator (CRASH_POINT=after_log_write).
+	if strings.EqualFold(t.Source, "coordinator") {
+		return h.injectCoordinatorFault(k, t)
 	}
 	src, err := k.Executor().Source(t.Source)
 	if err != nil {
@@ -273,6 +289,49 @@ func (h *Handler) injectFrontendFault(k *core.Kernel, t *InjectFault) (*core.Res
 	return &core.Result{}, nil
 }
 
+// injectCoordinatorFault parses and installs the 2PC coordinator crash
+// fault.
+func (h *Handler) injectCoordinatorFault(k *core.Kernel, t *InjectFault) (*core.Result, error) {
+	var f chaos.CoordinatorFault
+	for key, val := range t.Properties {
+		val = strings.TrimSpace(val)
+		switch key {
+		case "crash_point":
+			point := strings.ToLower(val)
+			if point != transaction.CrashAfterPrepare && point != transaction.CrashAfterLogWrite {
+				return nil, fmt.Errorf("distsql: CRASH_POINT wants %q or %q, got %q",
+					transaction.CrashAfterPrepare, transaction.CrashAfterLogWrite, val)
+			}
+			f.CrashPoint = point
+		default:
+			return nil, fmt.Errorf("distsql: unknown coordinator fault property %q (want CRASH_POINT)", key)
+		}
+	}
+	if f.CrashPoint == "" {
+		return nil, fmt.Errorf("distsql: coordinator fault needs CRASH_POINT")
+	}
+	k.Chaos().ApplyCoordinator(f)
+	return &core.Result{}, nil
+}
+
+// showTxnMetrics renders the transaction manager's commit-path counters
+// (SHOW TRANSACTION METRICS). fastpath_commits counting while xa_commits
+// stays flat is the observable proof that single-shard transactions skip
+// XA entirely.
+func (h *Handler) showTxnMetrics(k *core.Kernel) (*core.Result, error) {
+	m := k.TxManager().Metrics()
+	names := make([]string, 0, len(m))
+	for name := range m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	rows := make([]sqltypes.Row, 0, len(names))
+	for _, name := range names {
+		rows = append(rows, sqltypes.Row{sqltypes.NewString(name), sqltypes.NewInt(m[name])})
+	}
+	return rowsResult([]string{"metric", "value"}, rows), nil
+}
+
 // showFaults lists the active faults with their live counters.
 func (h *Handler) showFaults(k *core.Kernel) (*core.Result, error) {
 	var rows []sqltypes.Row
@@ -290,6 +349,14 @@ func (h *Handler) showFaults(k *core.Kernel) (*core.Result, error) {
 			sqltypes.NewString(fs.Fault.Describe()),
 			sqltypes.NewInt(fs.Conns),
 			sqltypes.NewInt(fs.Injected),
+		})
+	}
+	if cs, ok := k.Chaos().CoordinatorStatus(); ok {
+		rows = append(rows, sqltypes.Row{
+			sqltypes.NewString("coordinator"),
+			sqltypes.NewString(cs.Fault.Describe()),
+			sqltypes.NewInt(cs.Checks),
+			sqltypes.NewInt(cs.Injected),
 		})
 	}
 	return rowsResult([]string{"source", "fault", "calls", "injected"}, rows), nil

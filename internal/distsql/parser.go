@@ -144,6 +144,12 @@ type ShowClusterMetrics struct{}
 // rows (RAL, overload protection).
 type ShowAdmission struct{}
 
+// ShowTxnMetrics is SHOW TRANSACTION METRICS: the transaction manager's
+// commit-path counters — fast-path vs XA commits, lazy upgrades, group
+// commit batching, prepare failures, in-doubt and recovered transactions
+// (RAL, distributed transactions).
+type ShowTxnMetrics struct{}
+
 func (*CreateShardingRule) distSQLStmt() {}
 func (*DropShardingRule) distSQLStmt()   {}
 func (*CreateBinding) distSQLStmt()      {}
@@ -166,6 +172,7 @@ func (*ShowFaults) distSQLStmt()         {}
 func (*ShowRemoteStatus) distSQLStmt()   {}
 func (*ShowClusterMetrics) distSQLStmt() {}
 func (*ShowAdmission) distSQLStmt()      {}
+func (*ShowTxnMetrics) distSQLStmt()     {}
 
 // parser walks the token stream from the shared lexer.
 type parser struct {
@@ -389,6 +396,12 @@ func (p *parser) parse() (Statement, error) {
 				return nil, err
 			}
 			return &ShowAdmission{}, nil
+		case "TRANSACTION":
+			p.pos++
+			if err := p.expect("METRICS"); err != nil {
+				return nil, err
+			}
+			return &ShowTxnMetrics{}, nil
 		}
 		return nil, fmt.Errorf("distsql: unsupported SHOW target %q", p.cur().Val)
 	case "RESHARD":

@@ -324,7 +324,7 @@ func NewHeldConns() *HeldConns {
 
 // Get returns the pinned connection for ds, acquiring and pinning one on
 // first use.
-func (h *HeldConns) Get(e *Executor, ds string) (*resource.PooledConn, error) {
+func (h *HeldConns) Get(ctx context.Context, e *Executor, ds string) (*resource.PooledConn, error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if c, ok := h.conns[ds]; ok {
@@ -334,7 +334,7 @@ func (h *HeldConns) Get(e *Executor, ds string) (*resource.PooledConn, error) {
 	if err != nil {
 		return nil, err
 	}
-	c, err := src.Acquire()
+	c, err := src.AcquireCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -583,7 +583,7 @@ func closeGroupSets(res *QueryResult, g group, mu *sync.Mutex) {
 
 func (e *Executor) runQueryGroup(ctx context.Context, units []rewrite.SQLUnit, g group, held *HeldConns, res *QueryResult, mu *sync.Mutex, tr *telemetry.Trace, attempt int) error {
 	if held != nil {
-		conn, err := held.Get(e, g.ds)
+		conn, err := held.Get(ctx, e, g.ds)
 		if err != nil {
 			return err
 		}
@@ -824,7 +824,7 @@ func (e *Executor) runUpdateGroup(ctx context.Context, units []rewrite.SQLUnit, 
 	var conn *resource.PooledConn
 	var err error
 	if held != nil {
-		conn, err = held.Get(e, g.ds)
+		conn, err = held.Get(ctx, e, g.ds)
 		if err != nil {
 			return err
 		}

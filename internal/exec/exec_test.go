@@ -189,11 +189,11 @@ func TestUnknownDataSource(t *testing.T) {
 func TestHeldConnsPinning(t *testing.T) {
 	e := fixture(t, 4)
 	held := NewHeldConns()
-	c1, err := held.Get(e, "ds0")
+	c1, err := held.Get(context.Background(), e, "ds0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	c2, err := held.Get(e, "ds0")
+	c2, err := held.Get(context.Background(), e, "ds0")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -111,6 +111,40 @@ func (r *Registry) Put(path, value string) int64 {
 	return v
 }
 
+// PutAll writes every entry in one critical section: one lock round trip
+// and one watcher pass per batch instead of per key. The XA group
+// committer relies on it to amortize decision-log writes across
+// concurrent transactions.
+func (r *Registry) PutAll(entries map[string]string) {
+	r.mu.Lock()
+	for path, value := range entries {
+		path = clean(path)
+		n, existed := r.nodes[path]
+		if !existed {
+			n = &node{}
+			r.nodes[path] = n
+		}
+		n.value = value
+		n.version++
+		evt := Event{Type: EventUpdated, Path: path, Value: value}
+		if !existed {
+			evt.Type = EventCreated
+		}
+		r.notifyLocked(evt)
+	}
+	r.mu.Unlock()
+}
+
+// DeleteAll removes every listed node in one critical section; missing
+// nodes are skipped.
+func (r *Registry) DeleteAll(paths []string) {
+	r.mu.Lock()
+	for _, path := range paths {
+		r.deleteLocked(clean(path))
+	}
+	r.mu.Unlock()
+}
+
 // PutEphemeral writes a node owned by the session; it is deleted when the
 // session closes, which is how liveness is advertised.
 func (r *Registry) PutEphemeral(sess *Session, path, value string) (int64, error) {

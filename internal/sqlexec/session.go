@@ -303,6 +303,18 @@ func (s *Session) executeXA(t *sqlparser.XAStmt) (*Result, error) {
 		s.tx = s.engine.Begin()
 		s.xaXID = t.XID
 		return &Result{}, nil
+	case sqlparser.XAAdopt:
+		// Lazy upgrade: bind the active plain transaction to the XID so it
+		// can be prepared. The coordinator's single-shard fast path promotes
+		// its local branch this way when a second data source joins.
+		if s.tx == nil {
+			return nil, fmt.Errorf("sqlexec: XA ADOPT with no open transaction")
+		}
+		if s.xaXID != "" && s.xaXID != t.XID {
+			return nil, fmt.Errorf("sqlexec: XA ADOPT inside XA branch %q", s.xaXID)
+		}
+		s.xaXID = t.XID
+		return &Result{}, nil
 	case sqlparser.XAEnd:
 		if s.tx == nil || s.xaXID != t.XID {
 			return nil, fmt.Errorf("sqlexec: XA END for unknown xid %q", t.XID)

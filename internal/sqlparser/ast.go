@@ -444,6 +444,10 @@ const (
 	XACommit
 	XARollback
 	XARecover
+	// XAAdopt binds a session's active plain transaction to an XID so it
+	// can be prepared — the lazy single-shard→XA upgrade verb (not part
+	// of X/Open; a ShardingSphere-dialect extension).
+	XAAdopt
 )
 
 func (o XAOp) String() string {
@@ -460,6 +464,8 @@ func (o XAOp) String() string {
 		return "XA ROLLBACK"
 	case XARecover:
 		return "XA RECOVER"
+	case XAAdopt:
+		return "XA ADOPT"
 	default:
 		return "XA ?"
 	}

@@ -917,6 +917,9 @@ func (p *parser) parseXA() (Statement, error) {
 		op = XARollback
 	case p.isKeyword("RECOVER"):
 		op = XARecover
+	case p.tok.Type == TokenIdent && upper(p.tok.Val) == "ADOPT":
+		// ADOPT is not a reserved word: it lexes as an identifier.
+		op = XAAdopt
 	default:
 		return nil, p.errf("unsupported XA verb %q", p.tok.String())
 	}

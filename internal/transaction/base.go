@@ -135,7 +135,7 @@ func (t *baseTx) AttachTrace(tr *telemetry.Trace) { t.tr = tr }
 // BeforeStatement opens a branch-local transaction on every touched
 // source and computes the compensation SQL from the current row images
 // (the "save the redo and undo logs" step of paper Fig. 6).
-func (t *baseTx) BeforeStatement(units []rewrite.SQLUnit) error {
+func (t *baseTx) BeforeStatement(ctx context.Context, units []rewrite.SQLUnit) error {
 	if t.closed {
 		return ErrTxClosed
 	}
@@ -143,19 +143,19 @@ func (t *baseTx) BeforeStatement(units []rewrite.SQLUnit) error {
 	t.pending = t.pending[:0]
 	t.inLocal = map[string]bool{}
 	for _, u := range units {
-		conn, err := t.held.Get(t.mgr.exec, u.DataSource)
+		conn, err := t.held.Get(ctx, t.mgr.exec, u.DataSource)
 		if err != nil {
 			return err
 		}
 		if !t.inLocal[u.DataSource] {
-			if _, err := conn.Exec(context.Background(), "BEGIN"); err != nil {
+			if _, err := conn.Exec(ctx, "BEGIN"); err != nil {
 				return err
 			}
 			t.inLocal[u.DataSource] = true
 		}
-		undo, err := t.buildUndo(conn, u)
+		undo, err := t.buildUndo(ctx, conn, u)
 		if err != nil {
-			t.abortLocals()
+			t.abortLocals(ctx)
 			return err
 		}
 		t.pending = append(t.pending, undo...)
@@ -168,14 +168,14 @@ func (t *baseTx) BeforeStatement(units []rewrite.SQLUnit) error {
 // 6: "commit locally, report status to TC") and registers the undo
 // records with the TC; on execution error the local work rolls back and
 // no undo is kept.
-func (t *baseTx) AfterStatement(units []rewrite.SQLUnit, execErr error) error {
+func (t *baseTx) AfterStatement(ctx context.Context, units []rewrite.SQLUnit, execErr error) error {
 	if execErr != nil {
-		t.abortLocals()
+		t.abortLocals(ctx)
 		return nil
 	}
 	for ds := range t.inLocal {
 		conn, _ := t.held.Peek(ds)
-		if _, err := conn.Exec(context.Background(), "COMMIT"); err != nil {
+		if _, err := conn.Exec(ctx, "COMMIT"); err != nil {
 			conn.Broken = true
 			return fmt.Errorf("transaction: BASE local commit failed on %s: %w", ds, err)
 		}
@@ -188,10 +188,13 @@ func (t *baseTx) AfterStatement(units []rewrite.SQLUnit, execErr error) error {
 	return nil
 }
 
-func (t *baseTx) abortLocals() {
+func (t *baseTx) abortLocals(ctx context.Context) {
+	// Branch aborts must run even after the statement deadline fired, or
+	// the local transactions would leak their locks back into the pool.
+	ctx = context.WithoutCancel(ctx)
 	for ds := range t.inLocal {
 		if conn, ok := t.held.Peek(ds); ok {
-			conn.Exec(context.Background(), "ROLLBACK")
+			conn.Exec(ctx, "ROLLBACK")
 		}
 	}
 	t.pending = nil
@@ -200,7 +203,7 @@ func (t *baseTx) abortLocals() {
 
 // Commit checks status with the TC and deletes the undo logs (phase 2 of
 // Fig. 6). Local data is already committed, so this is fast.
-func (t *baseTx) Commit() error {
+func (t *baseTx) Commit(context.Context) error {
 	if t.closed {
 		return ErrTxClosed
 	}
@@ -212,7 +215,7 @@ func (t *baseTx) Commit() error {
 
 // Rollback restores data by replaying the compensation SQL in reverse
 // order ("restore the data by redo and undo logs").
-func (t *baseTx) Rollback() error {
+func (t *baseTx) Rollback(ctx context.Context) error {
 	if t.closed {
 		return ErrTxClosed
 	}
@@ -222,13 +225,17 @@ func (t *baseTx) Rollback() error {
 	if err != nil {
 		return err
 	}
+	// Compensation must run to completion once started: a half-replayed
+	// undo chain is worse than a late one, so it detaches from the
+	// statement deadline.
+	ctx = context.WithoutCancel(ctx)
 	for i := len(undo) - 1; i >= 0; i-- {
 		rec := undo[i]
-		conn, err := t.held.Get(t.mgr.exec, rec.DataSource)
+		conn, err := t.held.Get(ctx, t.mgr.exec, rec.DataSource)
 		if err != nil {
 			return fmt.Errorf("transaction: BASE compensation lost on %s: %w", rec.DataSource, err)
 		}
-		if _, err := conn.Exec(context.Background(), rec.SQL); err != nil {
+		if _, err := conn.Exec(ctx, rec.SQL); err != nil {
 			return fmt.Errorf("transaction: BASE compensation failed on %s (%s): %w", rec.DataSource, rec.SQL, err)
 		}
 	}
@@ -237,7 +244,7 @@ func (t *baseTx) Rollback() error {
 
 // buildUndo computes compensation SQL for one unit by reading the row
 // images the statement is about to change.
-func (t *baseTx) buildUndo(conn *resource.PooledConn, u rewrite.SQLUnit) ([]UndoRecord, error) {
+func (t *baseTx) buildUndo(ctx context.Context, conn *resource.PooledConn, u rewrite.SQLUnit) ([]UndoRecord, error) {
 	stmt, err := sqlparser.Parse(u.SQL)
 	if err != nil {
 		return nil, err
@@ -245,9 +252,9 @@ func (t *baseTx) buildUndo(conn *resource.PooledConn, u rewrite.SQLUnit) ([]Undo
 	ser := sqlparser.NewSerializer(sqlparser.DialectMySQL)
 	switch s := stmt.(type) {
 	case *sqlparser.UpdateStmt:
-		return t.undoForUpdateDelete(conn, u.DataSource, s.Table, s.Where, u.Args, ser, false)
+		return t.undoForUpdateDelete(ctx, conn, u.DataSource, s.Table, s.Where, u.Args, ser, false)
 	case *sqlparser.DeleteStmt:
-		return t.undoForUpdateDelete(conn, u.DataSource, s.Table, s.Where, u.Args, ser, true)
+		return t.undoForUpdateDelete(ctx, conn, u.DataSource, s.Table, s.Where, u.Args, ser, true)
 	case *sqlparser.InsertStmt:
 		return t.undoForInsert(u.DataSource, s, u.Args, ser)
 	default:
@@ -258,7 +265,7 @@ func (t *baseTx) buildUndo(conn *resource.PooledConn, u rewrite.SQLUnit) ([]Undo
 // undoForUpdateDelete selects the before image (FOR UPDATE, inside the
 // branch-local transaction, so the rows stay locked until local commit)
 // and emits one restoring statement per row.
-func (t *baseTx) undoForUpdateDelete(conn *resource.PooledConn, ds, table string, where sqlparser.Expr, args []sqltypes.Value, ser *sqlparser.Serializer, isDelete bool) ([]UndoRecord, error) {
+func (t *baseTx) undoForUpdateDelete(ctx context.Context, conn *resource.PooledConn, ds, table string, where sqlparser.Expr, args []sqltypes.Value, ser *sqlparser.Serializer, isDelete bool) ([]UndoRecord, error) {
 	pk, cols, err := t.mgr.meta.TableMeta(ds, table)
 	if err != nil {
 		return nil, err
@@ -277,7 +284,7 @@ func (t *baseTx) undoForUpdateDelete(conn *resource.PooledConn, ds, table string
 		Where:     where,
 		ForUpdate: true,
 	}
-	rs, err := conn.Query(context.Background(), ser.Serialize(sel), whereArgs...)
+	rs, err := conn.Query(ctx, ser.Serialize(sel), whereArgs...)
 	if err != nil {
 		return nil, err
 	}

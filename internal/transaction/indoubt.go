@@ -1,0 +1,71 @@
+package transaction
+
+import (
+	"fmt"
+	"strings"
+)
+
+// inDoubtMarker is the wire form's recognizable prefix; the proxy sends
+// errors as plain text, so — like admission.OverloadedError — the typed
+// outcome rides inside the message and ParseInDoubt re-types it on the
+// client side.
+const inDoubtMarker = "SS_IN_DOUBT"
+
+// InDoubtError is the typed outcome of a partially failed phase 2: the
+// commit decision is logged and some branches committed, but the listed
+// branches are still prepared. The transaction WILL commit — Recover
+// finishes the stragglers from the log — so retrying the statement would
+// double-apply it. The error deliberately does not implement
+// Transient() bool: pools and retry layers must treat it as final.
+type InDoubtError struct {
+	// XID is the global transaction whose phase 2 did not finish.
+	XID string
+	// Pending lists the branches (data source names) still prepared.
+	Pending []string
+	// Cause is the first branch failure, when known locally.
+	Cause error
+}
+
+// Error doubles as the wire encoding (see ParseInDoubt).
+func (e *InDoubtError) Error() string {
+	s := fmt.Sprintf("%s xid=%s pending=%s: commit decision logged, recovery completes phase 2",
+		inDoubtMarker, e.XID, strings.Join(e.Pending, ","))
+	if e.Cause != nil {
+		s += ": " + e.Cause.Error()
+	}
+	return s
+}
+
+func (e *InDoubtError) Unwrap() error { return e.Cause }
+
+// ParseInDoubt recovers a typed InDoubtError from an error message that
+// crossed the wire as text. The Cause does not survive the round trip.
+func ParseInDoubt(msg string) (*InDoubtError, bool) {
+	i := strings.Index(msg, inDoubtMarker)
+	if i < 0 {
+		return nil, false
+	}
+	rest := msg[i+len(inDoubtMarker):]
+	if c := strings.IndexByte(rest, ':'); c >= 0 {
+		rest = rest[:c]
+	}
+	e := &InDoubtError{}
+	for _, f := range strings.Fields(rest) {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			continue
+		}
+		switch k {
+		case "xid":
+			e.XID = v
+		case "pending":
+			if v != "" {
+				e.Pending = strings.Split(v, ",")
+			}
+		}
+	}
+	if e.XID == "" {
+		return nil, false
+	}
+	return e, true
+}

@@ -8,6 +8,12 @@
 // XA — 2PC over the data sources' XA verbs, with a transaction log kept
 // in the Governor's registry: the commit decision is logged before phase
 // 2, and Recover completes in-doubt branches after a coordinator restart.
+// The commit path is built for concurrency: phase 1 and phase 2 fan out
+// across branches in parallel, concurrent transactions' log writes batch
+// through a group committer, and a transaction that only ever touched one
+// data source commits as plain 1PC with no XA verbs and no log record
+// (the STAR observation: single-partition transactions dominate OLTP
+// mixes and should skip coordination entirely).
 //
 // BASE — a Seata-AT-style flow (paper Fig. 6): each statement commits
 // locally right away inside its own branch transaction while the manager
@@ -71,6 +77,12 @@ var ErrTxClosed = errors.New("transaction: already finished")
 // Tx is one distributed transaction. The kernel calls BeforeStatement
 // before executing a statement's units and AfterStatement once they ran;
 // transactions pin one connection per data source via Held.
+//
+// Every method that talks to data sources takes the statement context:
+// statement_timeout_ms deadlines and client cancellation propagate into
+// BEGIN/undo capture and the 2PC verbs. Cleanup after a failure detaches
+// from the (possibly already expired) cause via context.WithoutCancel so
+// abort verbs still reach the branches.
 type Tx interface {
 	Type() Type
 	XID() string
@@ -78,12 +90,12 @@ type Tx interface {
 	Held() *exec.HeldConns
 	// BeforeStatement prepares the touched data sources (BEGIN / XA BEGIN
 	// / undo capture) for the units about to execute.
-	BeforeStatement(units []rewrite.SQLUnit) error
+	BeforeStatement(ctx context.Context, units []rewrite.SQLUnit) error
 	// AfterStatement finalizes per-statement work (BASE local commit and
 	// after-image capture). execErr is the execution outcome.
-	AfterStatement(units []rewrite.SQLUnit, execErr error) error
-	Commit() error
-	Rollback() error
+	AfterStatement(ctx context.Context, units []rewrite.SQLUnit, execErr error) error
+	Commit(ctx context.Context) error
+	Rollback(ctx context.Context) error
 	// AttachTrace routes transaction-phase spans (XA prepare/commit, BASE
 	// undo capture) into the current statement's trace. The session calls
 	// it before each statement and before Commit/Rollback; nil detaches.
@@ -92,17 +104,86 @@ type Tx interface {
 
 // Manager creates distributed transactions over an executor.
 type Manager struct {
-	exec *exec.Executor
-	log  LogStore
-	tc   *Coordinator
-	meta MetaProvider
-	seq  atomic.Int64
-	tel  *telemetry.Collector
+	exec  *exec.Executor
+	log   LogStore
+	group *groupCommitter
+	tc    *Coordinator
+	meta  MetaProvider
+	seq   atomic.Int64
+	tel   *telemetry.Collector
+
+	// legacy restores the sequential commit path (XA verbs from the first
+	// statement, serial phase 1/2, one log write per transaction) — the
+	// benchmark baseline against which the concurrent path is measured.
+	legacy    atomic.Bool
+	crashHook atomic.Value // func(point string) bool
+
+	metrics txnCounters
+}
+
+// Crash points the coordinator consults between 2PC steps; a chaos hook
+// returning true at one of them simulates the coordinator dying there.
+const (
+	CrashAfterPrepare  = "after_prepare"   // branches prepared, decision not yet logged
+	CrashAfterLogWrite = "after_log_write" // decision logged, phase 2 not started
+)
+
+// txnCounters backs SHOW TRANSACTION METRICS.
+type txnCounters struct {
+	begun           atomic.Int64
+	fastPathCommits atomic.Int64
+	xaCommits       atomic.Int64
+	xaRollbacks     atomic.Int64
+	upgrades        atomic.Int64
+	prepareFailures atomic.Int64
+	inDoubt         atomic.Int64
+	recoverResolved atomic.Int64
 }
 
 // SetTelemetry wires the kernel's collector; transaction-phase latencies
 // recorded through attached traces aggregate there.
 func (m *Manager) SetTelemetry(c *telemetry.Collector) { m.tel = c }
+
+// SetLegacyCommit toggles the pre-concurrency commit path (every
+// transaction runs full sequential 2PC with a per-transaction log write,
+// no single-shard fast path). Benchmarks use it as the baseline.
+func (m *Manager) SetLegacyCommit(on bool) { m.legacy.Store(on) }
+
+// SetCrashHook installs a chaos hook consulted at the 2PC crash points;
+// returning true makes the coordinator abandon the commit at that point
+// as if the process died. nil-safe: no hook means no crashes.
+func (m *Manager) SetCrashHook(hook func(point string) bool) {
+	if hook != nil {
+		m.crashHook.Store(hook)
+	}
+}
+
+func (m *Manager) crash(point string) bool {
+	if h, ok := m.crashHook.Load().(func(string) bool); ok && h != nil {
+		return h(point)
+	}
+	return false
+}
+
+// Metrics reports transaction counters (a governor metrics source and the
+// body of SHOW TRANSACTION METRICS). The fastpath_commits counter is the
+// observable proof that single-shard transactions skip XA entirely.
+func (m *Manager) Metrics() map[string]int64 {
+	out := map[string]int64{
+		"begun":            m.metrics.begun.Load(),
+		"fastpath_commits": m.metrics.fastPathCommits.Load(),
+		"xa_commits":       m.metrics.xaCommits.Load(),
+		"xa_rollbacks":     m.metrics.xaRollbacks.Load(),
+		"upgrades":         m.metrics.upgrades.Load(),
+		"prepare_failures": m.metrics.prepareFailures.Load(),
+		"in_doubt":         m.metrics.inDoubt.Load(),
+		"recover_resolved": m.metrics.recoverResolved.Load(),
+	}
+	for k, v := range m.group.metrics() {
+		out[k] = v
+	}
+	return out
+}
 
 // MetaProvider resolves table metadata (primary key and column names) of
 // actual tables on a data source; BASE undo generation needs it.
@@ -116,7 +197,7 @@ func NewManager(e *exec.Executor, log LogStore, meta MetaProvider) *Manager {
 	if log == nil {
 		log = NewMemoryLog()
 	}
-	return &Manager{exec: e, log: log, tc: NewCoordinator(), meta: meta}
+	return &Manager{exec: e, log: log, group: newGroupCommitter(log), tc: NewCoordinator(), meta: meta}
 }
 
 // Coordinator exposes the BASE transaction coordinator (for inspection).
@@ -125,9 +206,11 @@ func (m *Manager) Coordinator() *Coordinator { return m.tc }
 // Begin opens a distributed transaction of the given type.
 func (m *Manager) Begin(t Type) (Tx, error) {
 	xid := fmt.Sprintf("gtx-%d", m.seq.Add(1))
+	m.metrics.begun.Add(1)
 	switch t {
 	case XA:
-		return &xaTx{mgr: m, xid: xid, held: exec.NewHeldConns(), begun: map[string]bool{}}, nil
+		return &xaTx{mgr: m, xid: xid, held: exec.NewHeldConns(),
+			state: map[string]branchState{}, legacy: m.legacy.Load()}, nil
 	case Base:
 		if m.meta == nil {
 			return nil, fmt.Errorf("transaction: BASE needs a metadata provider")
@@ -155,7 +238,7 @@ func (t *localTx) XID() string                     { return t.xid }
 func (t *localTx) Held() *exec.HeldConns           { return t.held }
 func (t *localTx) AttachTrace(tr *telemetry.Trace) { t.tr = tr }
 
-func (t *localTx) BeforeStatement(units []rewrite.SQLUnit) error {
+func (t *localTx) BeforeStatement(ctx context.Context, units []rewrite.SQLUnit) error {
 	if t.closed {
 		return ErrTxClosed
 	}
@@ -163,11 +246,11 @@ func (t *localTx) BeforeStatement(units []rewrite.SQLUnit) error {
 		if t.begun[u.DataSource] {
 			continue
 		}
-		conn, err := t.held.Get(t.mgr.exec, u.DataSource)
+		conn, err := t.held.Get(ctx, t.mgr.exec, u.DataSource)
 		if err != nil {
 			return err
 		}
-		if _, err := conn.Exec(context.Background(), "BEGIN"); err != nil {
+		if _, err := conn.Exec(ctx, "BEGIN"); err != nil {
 			return err
 		}
 		t.begun[u.DataSource] = true
@@ -175,15 +258,15 @@ func (t *localTx) BeforeStatement(units []rewrite.SQLUnit) error {
 	return nil
 }
 
-func (t *localTx) AfterStatement([]rewrite.SQLUnit, error) error { return nil }
+func (t *localTx) AfterStatement(context.Context, []rewrite.SQLUnit, error) error { return nil }
 
 // Commit is 1PC: the command fans out and per-source failures are
 // ignored (paper Fig. 5(d)).
-func (t *localTx) Commit() error { return t.finish("COMMIT") }
+func (t *localTx) Commit(ctx context.Context) error { return t.finish(ctx, "COMMIT") }
 
-func (t *localTx) Rollback() error { return t.finish("ROLLBACK") }
+func (t *localTx) Rollback(ctx context.Context) error { return t.finish(ctx, "ROLLBACK") }
 
-func (t *localTx) finish(cmd string) error {
+func (t *localTx) finish(ctx context.Context, cmd string) error {
 	if t.closed {
 		return ErrTxClosed
 	}
@@ -191,9 +274,12 @@ func (t *localTx) finish(cmd string) error {
 	defer t.held.ReleaseAll()
 	// 1PC: fan the command out over the pinned connections; individual
 	// failures are ignored (paper: "Even if some data source commits
-	// fail, ShardingSphere will ignore it").
+	// fail, ShardingSphere will ignore it"). The fan-out must still run
+	// when the statement deadline already fired — an unfinished branch
+	// would otherwise leak its locks back into the pool.
+	ctx = context.WithoutCancel(ctx)
 	t.held.Each(func(ds string, c *resource.PooledConn) error {
-		if _, err := c.Exec(context.Background(), cmd); err != nil {
+		if _, err := c.Exec(ctx, cmd); err != nil {
 			c.Broken = true
 		}
 		return nil

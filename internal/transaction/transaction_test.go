@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"shardingsphere/internal/exec"
 	"shardingsphere/internal/registry"
@@ -14,6 +16,11 @@ import (
 	"shardingsphere/internal/sqltypes"
 	"shardingsphere/internal/storage"
 )
+
+// bg is the tests' root context. The production package threads caller
+// contexts everywhere (cleanup detaches via context.WithoutCancel), so
+// the only context the tests ever mint is this one.
+var bg = context.TODO()
 
 // testMeta serves metadata for the fixture tables.
 type testMeta struct{}
@@ -33,10 +40,10 @@ func fixture(t *testing.T, log LogStore) (*Manager, *exec.Executor) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := conn.Exec(context.Background(), "CREATE TABLE t (id INT PRIMARY KEY, v INT)"); err != nil {
+		if _, err := conn.Exec(bg, "CREATE TABLE t (id INT PRIMARY KEY, v INT)"); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := conn.Exec(context.Background(), fmt.Sprintf("INSERT INTO t VALUES (%d, 0)", d)); err != nil {
+		if _, err := conn.Exec(bg, fmt.Sprintf("INSERT INTO t VALUES (%d, 0)", d)); err != nil {
 			t.Fatal(err)
 		}
 		conn.Release()
@@ -53,6 +60,10 @@ func unitsBoth(sql string) []rewrite.SQLUnit {
 	}
 }
 
+func unitsOn(ds, sql string) []rewrite.SQLUnit {
+	return []rewrite.SQLUnit{{DataSource: ds, SQL: sql}}
+}
+
 func readV(t *testing.T, e *exec.Executor, ds string, id int) int64 {
 	t.Helper()
 	src, err := e.Source(ds)
@@ -64,7 +75,7 @@ func readV(t *testing.T, e *exec.Executor, ds string, id int) int64 {
 		t.Fatal(err)
 	}
 	defer conn.Release()
-	rs, err := conn.Query(context.Background(), fmt.Sprintf("SELECT v FROM t WHERE id = %d", id))
+	rs, err := conn.Query(bg, fmt.Sprintf("SELECT v FROM t WHERE id = %d", id))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,16 +93,53 @@ func readV(t *testing.T, e *exec.Executor, ds string, id int) int64 {
 // kernel does.
 func run(t *testing.T, mgr *Manager, e *exec.Executor, tx Tx, units []rewrite.SQLUnit) {
 	t.Helper()
-	if err := tx.BeforeStatement(units); err != nil {
+	if err := tx.BeforeStatement(bg, units); err != nil {
 		t.Fatal(err)
 	}
 	_, execErr := e.ExecuteUpdate(units, tx.Held())
-	if err := tx.AfterStatement(units, execErr); err != nil {
+	if err := tx.AfterStatement(bg, units, execErr); err != nil {
 		t.Fatal(err)
 	}
 	if execErr != nil {
 		t.Fatal(execErr)
 	}
+}
+
+// sqlRecorder wraps a connection and records every statement that crosses
+// it; tests install it as a pool interceptor to prove which verbs a
+// commit path actually issued.
+type sqlRecorder struct {
+	resource.Conn
+	mu  *sync.Mutex
+	log *[]string
+}
+
+func (r sqlRecorder) Exec(ctx context.Context, sql string, args ...sqltypes.Value) (resource.ExecResult, error) {
+	r.mu.Lock()
+	*r.log = append(*r.log, sql)
+	r.mu.Unlock()
+	return r.Conn.Exec(ctx, sql, args...)
+}
+
+// recordSQL taps every statement executed on the source from now on.
+func recordSQL(t *testing.T, e *exec.Executor, ds string) (*sync.Mutex, *[]string) {
+	t.Helper()
+	src, err := e.Source(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mu := &sync.Mutex{}
+	log := &[]string{}
+	src.SetConnInterceptor(func(c resource.Conn) resource.Conn {
+		return sqlRecorder{Conn: c, mu: mu, log: log}
+	})
+	return mu, log
+}
+
+func recorded(mu *sync.Mutex, log *[]string) []string {
+	mu.Lock()
+	defer mu.Unlock()
+	return append([]string(nil), *log...)
 }
 
 func TestParseType(t *testing.T) {
@@ -120,13 +168,13 @@ func TestLocalCommitSpansSources(t *testing.T) {
 	if readV(t, e, "ds0", 0) != 0 || readV(t, e, "ds1", 1) != 0 {
 		t.Fatal("local tx leaked before commit")
 	}
-	if err := tx.Commit(); err != nil {
+	if err := tx.Commit(bg); err != nil {
 		t.Fatal(err)
 	}
 	if readV(t, e, "ds0", 0) != 7 || readV(t, e, "ds1", 1) != 7 {
 		t.Fatal("local commit lost")
 	}
-	if err := tx.Commit(); !errors.Is(err, ErrTxClosed) {
+	if err := tx.Commit(bg); !errors.Is(err, ErrTxClosed) {
 		t.Fatalf("double commit: %v", err)
 	}
 }
@@ -135,7 +183,7 @@ func TestLocalRollback(t *testing.T) {
 	mgr, e := fixture(t, nil)
 	tx, _ := mgr.Begin(Local)
 	run(t, mgr, e, tx, unitsBoth("UPDATE t SET v = 7"))
-	if err := tx.Rollback(); err != nil {
+	if err := tx.Rollback(bg); err != nil {
 		t.Fatal(err)
 	}
 	if readV(t, e, "ds0", 0) != 0 || readV(t, e, "ds1", 1) != 0 {
@@ -147,7 +195,7 @@ func TestXACommit(t *testing.T) {
 	mgr, e := fixture(t, nil)
 	tx, _ := mgr.Begin(XA)
 	run(t, mgr, e, tx, unitsBoth("UPDATE t SET v = 9"))
-	if err := tx.Commit(); err != nil {
+	if err := tx.Commit(bg); err != nil {
 		t.Fatal(err)
 	}
 	if readV(t, e, "ds0", 0) != 9 || readV(t, e, "ds1", 1) != 9 {
@@ -158,17 +206,122 @@ func TestXACommit(t *testing.T) {
 	if len(recs) != 0 {
 		t.Fatalf("log lingers: %v", recs)
 	}
+	m := mgr.Metrics()
+	if m["xa_commits"] != 1 || m["fastpath_commits"] != 0 {
+		t.Fatalf("metrics: %v", m)
+	}
 }
 
 func TestXARollback(t *testing.T) {
 	mgr, e := fixture(t, nil)
 	tx, _ := mgr.Begin(XA)
 	run(t, mgr, e, tx, unitsBoth("UPDATE t SET v = 9"))
-	if err := tx.Rollback(); err != nil {
+	if err := tx.Rollback(bg); err != nil {
 		t.Fatal(err)
 	}
 	if readV(t, e, "ds0", 0) != 0 || readV(t, e, "ds1", 1) != 0 {
 		t.Fatal("xa rollback lost")
+	}
+	if mgr.Metrics()["xa_rollbacks"] != 1 {
+		t.Fatalf("metrics: %v", mgr.Metrics())
+	}
+}
+
+// TestFastPathSingleShardNoXAVerbs proves the tentpole's fast path: a
+// transaction that only ever touches one data source commits as plain
+// BEGIN/COMMIT — no XA verb on the wire, no log record, and the
+// fastpath_commits counter (the observable SHOW TRANSACTION METRICS
+// proof) ticks.
+func TestFastPathSingleShardNoXAVerbs(t *testing.T) {
+	mgr, e := fixture(t, nil)
+	mu, log := recordSQL(t, e, "ds0")
+	tx, _ := mgr.Begin(XA)
+	run(t, mgr, e, tx, unitsOn("ds0", "UPDATE t SET v = 3"))
+	run(t, mgr, e, tx, unitsOn("ds0", "UPDATE t SET v = v + 1"))
+	if err := tx.Commit(bg); err != nil {
+		t.Fatal(err)
+	}
+	if got := readV(t, e, "ds0", 0); got != 4 {
+		t.Fatalf("fast-path commit lost: v=%d", got)
+	}
+	for _, sql := range recorded(mu, log) {
+		if strings.HasPrefix(sql, "XA ") {
+			t.Fatalf("single-shard transaction issued an XA verb: %q", sql)
+		}
+	}
+	recs, _ := mgr.log.List()
+	if len(recs) != 0 {
+		t.Fatalf("fast path wrote a log record: %v", recs)
+	}
+	m := mgr.Metrics()
+	if m["fastpath_commits"] != 1 || m["xa_commits"] != 0 || m["upgrades"] != 0 {
+		t.Fatalf("metrics: %v", m)
+	}
+	if m["group_ops"] != 0 {
+		t.Fatalf("fast path went through the group committer: %v", m)
+	}
+	if err := tx.Commit(bg); !errors.Is(err, ErrTxClosed) {
+		t.Fatalf("double commit: %v", err)
+	}
+}
+
+func TestFastPathRollback(t *testing.T) {
+	mgr, e := fixture(t, nil)
+	mu, log := recordSQL(t, e, "ds0")
+	tx, _ := mgr.Begin(XA)
+	run(t, mgr, e, tx, unitsOn("ds0", "UPDATE t SET v = 3"))
+	if err := tx.Rollback(bg); err != nil {
+		t.Fatal(err)
+	}
+	if readV(t, e, "ds0", 0) != 0 {
+		t.Fatal("fast-path rollback lost")
+	}
+	for _, sql := range recorded(mu, log) {
+		if strings.HasPrefix(sql, "XA ") {
+			t.Fatalf("single-shard rollback issued an XA verb: %q", sql)
+		}
+	}
+}
+
+// TestLazyUpgradeToXA drives the fast path across its promotion: the
+// first statement stays local on ds0, the second touches ds1 too, so the
+// ds0 branch is adopted into the XA transaction (XA ADOPT) and the whole
+// commit runs 2PC.
+func TestLazyUpgradeToXA(t *testing.T) {
+	mgr, e := fixture(t, nil)
+	mu, log := recordSQL(t, e, "ds0")
+	tx, _ := mgr.Begin(XA)
+	run(t, mgr, e, tx, unitsOn("ds0", "UPDATE t SET v = 5"))
+	run(t, mgr, e, tx, unitsBoth("UPDATE t SET v = v + 1"))
+	if err := tx.Commit(bg); err != nil {
+		t.Fatal(err)
+	}
+	if readV(t, e, "ds0", 0) != 6 || readV(t, e, "ds1", 1) != 1 {
+		t.Fatal("upgraded commit lost")
+	}
+	adopt := fmt.Sprintf("XA ADOPT '%s'", tx.XID())
+	var sawAdopt, sawXABegin bool
+	for _, sql := range recorded(mu, log) {
+		if sql == adopt {
+			sawAdopt = true
+		}
+		if strings.HasPrefix(sql, "XA BEGIN") {
+			sawXABegin = true
+		}
+	}
+	if !sawAdopt {
+		t.Fatal("ds0 branch was never adopted into the XA transaction")
+	}
+	if sawXABegin {
+		t.Fatal("ds0 should upgrade via ADOPT, not reopen with XA BEGIN")
+	}
+	m := mgr.Metrics()
+	if m["upgrades"] != 1 || m["xa_commits"] != 1 || m["fastpath_commits"] != 0 {
+		t.Fatalf("metrics: %v", m)
+	}
+	recs, _ := mgr.log.List()
+	if len(recs) != 0 {
+		t.Fatalf("log lingers: %v", recs)
 	}
 }
 
@@ -180,17 +333,17 @@ func TestXAPrepareFailureRollsBack(t *testing.T) {
 	// Park a prepared branch with the XID the next transaction will get.
 	src, _ := e.Source("ds0")
 	conn, _ := src.Acquire()
-	if _, err := conn.Exec(context.Background(), "XA BEGIN 'gtx-1'"); err != nil {
+	if _, err := conn.Exec(bg, "XA BEGIN 'gtx-1'"); err != nil {
 		t.Fatal(err)
 	}
 	// Touch a row the transaction under test will not lock.
-	if _, err := conn.Exec(context.Background(), "INSERT INTO t (id, v) VALUES (50, 1)"); err != nil {
+	if _, err := conn.Exec(bg, "INSERT INTO t (id, v) VALUES (50, 1)"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := conn.Exec(context.Background(), "XA END 'gtx-1'"); err != nil {
+	if _, err := conn.Exec(bg, "XA END 'gtx-1'"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := conn.Exec(context.Background(), "XA PREPARE 'gtx-1'"); err != nil {
+	if _, err := conn.Exec(bg, "XA PREPARE 'gtx-1'"); err != nil {
 		t.Fatal(err)
 	}
 	conn.Release()
@@ -200,12 +353,256 @@ func TestXAPrepareFailureRollsBack(t *testing.T) {
 		t.Skipf("xid scheme changed: %s", tx.XID())
 	}
 	run(t, mgr, e, tx, unitsBoth("UPDATE t SET v = 9"))
-	if err := tx.Commit(); err == nil {
+	err := tx.Commit(bg)
+	if err == nil {
 		t.Fatal("commit should fail on duplicate XID prepare")
+	}
+	var id *InDoubtError
+	if errors.As(err, &id) {
+		t.Fatalf("prepare failure is a clean abort, not in-doubt: %v", err)
 	}
 	// Neither source shows the update (ds1's branch rolled back too).
 	if readV(t, e, "ds1", 1) != 0 {
 		t.Fatal("xa abort incomplete")
+	}
+	if mgr.Metrics()["prepare_failures"] != 1 {
+		t.Fatalf("metrics: %v", mgr.Metrics())
+	}
+	// The spurious prepare failure must not poison the pools: freshly
+	// acquired connections on both sources keep working.
+	for _, ds := range []string{"ds0", "ds1"} {
+		s, _ := e.Source(ds)
+		c, err := s.Acquire()
+		if err != nil {
+			t.Fatalf("pool %s unusable after aborted prepare: %v", ds, err)
+		}
+		if _, err := c.Exec(bg, "UPDATE t SET v = v"); err != nil {
+			t.Fatalf("conn on %s broken after aborted prepare: %v", ds, err)
+		}
+		c.Release()
+	}
+}
+
+// TestCommitHonorsDeadline: a statement deadline that already fired makes
+// Commit fail fast instead of committing half a transaction — and the
+// abort still reaches the branches (cleanup detaches from the dead
+// context), so nothing stays locked or half-applied.
+func TestCommitHonorsDeadline(t *testing.T) {
+	mgr, e := fixture(t, nil)
+	tx, _ := mgr.Begin(XA)
+	run(t, mgr, e, tx, unitsBoth("UPDATE t SET v = 9"))
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	if err := tx.Commit(ctx); err == nil {
+		t.Fatal("commit with expired context succeeded")
+	}
+	if readV(t, e, "ds0", 0) != 0 || readV(t, e, "ds1", 1) != 0 {
+		t.Fatal("expired commit leaked data")
+	}
+
+	// Fast path too: the single branch rolls back, the row is untouched.
+	tx2, _ := mgr.Begin(XA)
+	run(t, mgr, e, tx2, unitsOn("ds0", "UPDATE t SET v = 8"))
+	if err := tx2.Commit(ctx); err == nil {
+		t.Fatal("fast-path commit with expired context succeeded")
+	}
+	if readV(t, e, "ds0", 0) != 0 {
+		t.Fatal("expired fast-path commit leaked data")
+	}
+	// The aborted branches left their rows unlocked: a fresh write works.
+	src, _ := e.Source("ds0")
+	c, _ := src.Acquire()
+	if _, err := c.Exec(bg, "UPDATE t SET v = 1 WHERE id = 0"); err != nil {
+		t.Fatalf("row still locked after deadline abort: %v", err)
+	}
+	c.Release()
+}
+
+// TestCrashAfterPrepareAborts: the coordinator dies after phase 1 but
+// before the decision is logged. Presumed abort: recovery rolls the
+// prepared branches back and the data never appears.
+func TestCrashAfterPrepareAborts(t *testing.T) {
+	mgr, e := fixture(t, nil)
+	armed := true
+	mgr.SetCrashHook(func(point string) bool {
+		if armed && point == CrashAfterPrepare {
+			armed = false
+			return true
+		}
+		return false
+	})
+	tx, _ := mgr.Begin(XA)
+	run(t, mgr, e, tx, unitsBoth("UPDATE t SET v = 9"))
+	err := tx.Commit(bg)
+	if err == nil {
+		t.Fatal("crashed commit returned nil")
+	}
+	var id *InDoubtError
+	if errors.As(err, &id) {
+		t.Fatalf("undecided crash must not be in-doubt: %v", err)
+	}
+	n, err := mgr.Recover(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("nothing recovered")
+	}
+	if readV(t, e, "ds0", 0) != 0 || readV(t, e, "ds1", 1) != 0 {
+		t.Fatal("presumed abort failed: data visible")
+	}
+}
+
+// TestInDoubtTypedErrorAndRecovery: the coordinator dies after the
+// decision-point log write. The caller gets the typed InDoubtError (not
+// a silent nil), and Recover completes phase 2 exactly once.
+func TestInDoubtTypedErrorAndRecovery(t *testing.T) {
+	reg := registry.New()
+	mgr, e := fixture(t, NewRegistryLog(reg, "/transactions"))
+	armed := true
+	mgr.SetCrashHook(func(point string) bool {
+		if armed && point == CrashAfterLogWrite {
+			armed = false
+			return true
+		}
+		return false
+	})
+	tx, _ := mgr.Begin(XA)
+	run(t, mgr, e, tx, unitsBoth("UPDATE t SET v = 9"))
+	err := tx.Commit(bg)
+	if err == nil {
+		t.Fatal("in-doubt commit returned nil")
+	}
+	var id *InDoubtError
+	if !errors.As(err, &id) {
+		t.Fatalf("want InDoubtError, got %v", err)
+	}
+	if id.XID != tx.XID() || len(id.Pending) != 2 {
+		t.Fatalf("in-doubt details: %+v", id)
+	}
+	if mgr.Metrics()["in_doubt"] != 1 {
+		t.Fatalf("metrics: %v", mgr.Metrics())
+	}
+
+	// A "new" coordinator over the same registry completes the commit.
+	mgr2 := NewManager(e, NewRegistryLog(reg, "/transactions"), testMeta{})
+	n, err := mgr2.Recover(bg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("recovered %d transactions, want 1", n)
+	}
+	if readV(t, e, "ds0", 0) != 9 || readV(t, e, "ds1", 1) != 9 {
+		t.Fatal("recovery did not complete the decided commit")
+	}
+	// Exactly once: a second pass finds nothing left to resolve.
+	if n, _ := mgr2.Recover(bg); n != 0 {
+		t.Fatalf("second recovery resolved %d", n)
+	}
+	recs, _ := mgr2.log.List()
+	if len(recs) != 0 {
+		t.Fatalf("log lingers: %v", recs)
+	}
+}
+
+// TestGroupCommitConcurrentRace hammers the group committer: many
+// concurrent cross-shard commits over a sync-cost-modeling log. Every
+// transaction must land durably, the log must end empty, and the batches
+// must actually amortize (fewer store round trips than log operations).
+// Run under -race this doubles as the group committer's race test.
+func TestGroupCommitConcurrentRace(t *testing.T) {
+	const n = 48
+	mgr, e := fixture(t, NewDurableLog(NewMemoryLog(), time.Millisecond))
+	start := make(chan struct{})
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			tx, err := mgr.Begin(XA)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			units := []rewrite.SQLUnit{
+				{DataSource: "ds0", SQL: fmt.Sprintf("INSERT INTO t (id, v) VALUES (%d, %d)", 1000+i, i)},
+				{DataSource: "ds1", SQL: fmt.Sprintf("INSERT INTO t (id, v) VALUES (%d, %d)", 1000+i, i)},
+			}
+			if err := tx.BeforeStatement(bg, units); err != nil {
+				errs[i] = err
+				return
+			}
+			if _, err := e.ExecuteUpdate(units, tx.Held()); err != nil {
+				errs[i] = err
+				tx.Rollback(bg)
+				return
+			}
+			errs[i] = tx.Commit(bg)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("tx %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if readV(t, e, "ds0", 1000+i) != int64(i) || readV(t, e, "ds1", 1000+i) != int64(i) {
+			t.Fatalf("tx %d not durable", i)
+		}
+	}
+	recs, _ := mgr.log.List()
+	if len(recs) != 0 {
+		t.Fatalf("log lingers: %v", recs)
+	}
+	m := mgr.Metrics()
+	if m["xa_commits"] != n {
+		t.Fatalf("metrics: %v", m)
+	}
+	// Each commit submits one write and one delete; grouping means fewer
+	// store round trips than operations.
+	if m["group_ops"] != 2*n {
+		t.Fatalf("group_ops = %d, want %d", m["group_ops"], 2*n)
+	}
+	if m["group_batches"] >= m["group_ops"] {
+		t.Fatalf("group commit never batched: %d batches for %d ops", m["group_batches"], m["group_ops"])
+	}
+	if m["group_max_batch"] < 2 {
+		t.Fatalf("max batch %d", m["group_max_batch"])
+	}
+}
+
+// TestLegacyCommitPath keeps the benchmark baseline honest: with legacy
+// mode on, even a single-shard transaction runs full XA and writes its
+// own log record.
+func TestLegacyCommitPath(t *testing.T) {
+	mgr, e := fixture(t, nil)
+	mgr.SetLegacyCommit(true)
+	mu, log := recordSQL(t, e, "ds0")
+	tx, _ := mgr.Begin(XA)
+	run(t, mgr, e, tx, unitsOn("ds0", "UPDATE t SET v = 3"))
+	if err := tx.Commit(bg); err != nil {
+		t.Fatal(err)
+	}
+	if readV(t, e, "ds0", 0) != 3 {
+		t.Fatal("legacy commit lost")
+	}
+	var sawPrepare bool
+	for _, sql := range recorded(mu, log) {
+		if strings.HasPrefix(sql, "XA PREPARE") {
+			sawPrepare = true
+		}
+	}
+	if !sawPrepare {
+		t.Fatal("legacy mode skipped 2PC")
+	}
+	m := mgr.Metrics()
+	if m["fastpath_commits"] != 0 || m["xa_commits"] != 1 || m["group_ops"] != 0 {
+		t.Fatalf("metrics: %v", m)
 	}
 }
 
@@ -219,10 +616,10 @@ func TestXARecoveryCommitsDecided(t *testing.T) {
 	for _, ds := range []string{"ds0", "ds1"} {
 		src, _ := e.Source(ds)
 		conn, _ := src.Acquire()
-		conn.Exec(context.Background(), "XA BEGIN 'crash-1'")
-		conn.Exec(context.Background(), "UPDATE t SET v = 42")
-		conn.Exec(context.Background(), "XA END 'crash-1'")
-		if _, err := conn.Exec(context.Background(), "XA PREPARE 'crash-1'"); err != nil {
+		conn.Exec(bg, "XA BEGIN 'crash-1'")
+		conn.Exec(bg, "UPDATE t SET v = 42")
+		conn.Exec(bg, "XA END 'crash-1'")
+		if _, err := conn.Exec(bg, "XA PREPARE 'crash-1'"); err != nil {
 			t.Fatal(err)
 		}
 		conn.Release()
@@ -231,7 +628,7 @@ func TestXARecoveryCommitsDecided(t *testing.T) {
 
 	// A "new" coordinator (same registry) recovers and commits.
 	mgr2 := NewManager(e, NewRegistryLog(reg, "/transactions"), testMeta{})
-	n, err := mgr2.Recover()
+	n, err := mgr2.Recover(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,15 +650,15 @@ func TestXARecoveryAbortsUndecided(t *testing.T) {
 	// Prepared branch with no log record: presumed abort.
 	src, _ := e.Source("ds0")
 	conn, _ := src.Acquire()
-	conn.Exec(context.Background(), "XA BEGIN 'orphan-1'")
-	conn.Exec(context.Background(), "UPDATE t SET v = 13")
-	conn.Exec(context.Background(), "XA END 'orphan-1'")
-	if _, err := conn.Exec(context.Background(), "XA PREPARE 'orphan-1'"); err != nil {
+	conn.Exec(bg, "XA BEGIN 'orphan-1'")
+	conn.Exec(bg, "UPDATE t SET v = 13")
+	conn.Exec(bg, "XA END 'orphan-1'")
+	if _, err := conn.Exec(bg, "XA PREPARE 'orphan-1'"); err != nil {
 		t.Fatal(err)
 	}
 	conn.Release()
 
-	n, err := mgr.Recover()
+	n, err := mgr.Recover(bg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,6 +667,33 @@ func TestXARecoveryAbortsUndecided(t *testing.T) {
 	}
 	if readV(t, e, "ds0", 0) != 0 {
 		t.Fatal("orphan branch committed")
+	}
+}
+
+func TestParseInDoubtRoundTrip(t *testing.T) {
+	in := &InDoubtError{XID: "gtx-7", Pending: []string{"ds1", "ds3"},
+		Cause: errors.New("branch ds1: connection reset")}
+	// The wire form is just the message; a proxy prefix must not break it.
+	msg := "remote server error: " + in.Error()
+	out, ok := ParseInDoubt(msg)
+	if !ok {
+		t.Fatalf("round trip failed: %q", msg)
+	}
+	if out.XID != "gtx-7" || len(out.Pending) != 2 || out.Pending[0] != "ds1" || out.Pending[1] != "ds3" {
+		t.Fatalf("parsed: %+v", out)
+	}
+	if out.Cause != nil {
+		t.Fatal("cause should not survive the wire")
+	}
+	// No pending list still parses (all branches may have raced to done).
+	if got, ok := ParseInDoubt((&InDoubtError{XID: "x"}).Error()); !ok || got.XID != "x" {
+		t.Fatalf("minimal form: %+v %v", got, ok)
+	}
+	if _, ok := ParseInDoubt("ordinary error"); ok {
+		t.Fatal("false positive")
+	}
+	if _, ok := ParseInDoubt(inDoubtMarker + " pending=ds0: no xid"); ok {
+		t.Fatal("missing xid accepted")
 	}
 }
 
@@ -284,7 +708,7 @@ func TestBaseCommit(t *testing.T) {
 	if readV(t, e, "ds0", 0) != 5 || readV(t, e, "ds1", 1) != 5 {
 		t.Fatal("BASE phase-1 local commit missing")
 	}
-	if err := tx.Commit(); err != nil {
+	if err := tx.Commit(bg); err != nil {
 		t.Fatal(err)
 	}
 	st, ok := mgr.Coordinator().Status(tx.XID())
@@ -303,7 +727,7 @@ func TestBaseRollbackCompensates(t *testing.T) {
 	if readV(t, e, "ds0", 100) != 1 || readV(t, e, "ds1", 1) != -1 {
 		t.Fatal("BASE local effects missing")
 	}
-	if err := tx.Rollback(); err != nil {
+	if err := tx.Rollback(bg); err != nil {
 		t.Fatal(err)
 	}
 	// Compensations restore everything.
@@ -331,7 +755,7 @@ func TestBaseInsertWithPlaceholders(t *testing.T) {
 		Args:       []sqltypes.Value{sqltypes.NewInt(200), sqltypes.NewInt(3)},
 	}}
 	run(t, mgr, e, tx, units)
-	if err := tx.Rollback(); err != nil {
+	if err := tx.Rollback(bg); err != nil {
 		t.Fatal(err)
 	}
 	if readV(t, e, "ds0", 200) != -1 {
@@ -369,6 +793,24 @@ func TestRegistryLogRoundTrip(t *testing.T) {
 	recs, _ = log.List()
 	if len(recs) != 0 {
 		t.Fatalf("lingering: %v", recs)
+	}
+	// Batch variants: one registry round trip for many records.
+	if err := log.WriteBatch([]LogRecord{
+		{XID: "b1", Branches: []string{"ds0"}, Decided: true},
+		{XID: "b2", Branches: []string{"ds1"}, Decided: true},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ = log.List()
+	if len(recs) != 2 {
+		t.Fatalf("batch write: %v", recs)
+	}
+	if err := log.DeleteBatch([]string{"b1", "b2", "missing"}); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ = log.List()
+	if len(recs) != 0 {
+		t.Fatalf("batch delete: %v", recs)
 	}
 }
 

@@ -28,10 +28,14 @@ type LogRecord struct {
 
 // LogStore persists XA transaction logs; the registry-backed
 // implementation survives a coordinator restart (the paper's recovery
-// after "the server is down or the network jitters").
+// after "the server is down or the network jitters"). The batch variants
+// let the group committer retire many concurrent transactions' records in
+// one store operation.
 type LogStore interface {
 	Write(rec LogRecord) error
+	WriteBatch(recs []LogRecord) error
 	Delete(xid string) error
+	DeleteBatch(xids []string) error
 	List() ([]LogRecord, error)
 }
 
@@ -44,17 +48,25 @@ type memoryLog struct {
 // NewMemoryLog returns an in-memory XA log store.
 func NewMemoryLog() LogStore { return &memoryLog{recs: map[string]LogRecord{}} }
 
-func (l *memoryLog) Write(rec LogRecord) error {
+func (l *memoryLog) Write(rec LogRecord) error { return l.WriteBatch([]LogRecord{rec}) }
+
+func (l *memoryLog) WriteBatch(recs []LogRecord) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.recs[rec.XID] = rec
+	for _, rec := range recs {
+		l.recs[rec.XID] = rec
+	}
 	return nil
 }
 
-func (l *memoryLog) Delete(xid string) error {
+func (l *memoryLog) Delete(xid string) error { return l.DeleteBatch([]string{xid}) }
+
+func (l *memoryLog) DeleteBatch(xids []string) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	delete(l.recs, xid)
+	for _, xid := range xids {
+		delete(l.recs, xid)
+	}
 	return nil
 }
 
@@ -83,21 +95,32 @@ func NewRegistryLog(reg *registry.Registry, prefix string) LogStore {
 
 func (l *registryLog) path(xid string) string { return l.prefix + "/" + xid }
 
-func (l *registryLog) Write(rec LogRecord) error {
-	data, err := json.Marshal(rec)
-	if err != nil {
-		return err
+func (l *registryLog) Write(rec LogRecord) error { return l.WriteBatch([]LogRecord{rec}) }
+
+func (l *registryLog) WriteBatch(recs []LogRecord) error {
+	entries := make(map[string]string, len(recs))
+	for _, rec := range recs {
+		data, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		entries[l.path(rec.XID)] = string(data)
 	}
-	l.reg.Put(l.path(rec.XID), string(data))
+	// One registry critical section for the whole batch: this is the
+	// amortization the group committer buys.
+	l.reg.PutAll(entries)
 	return nil
 }
 
-func (l *registryLog) Delete(xid string) error {
-	err := l.reg.Delete(l.path(xid))
-	if err == registry.ErrNotFound {
-		return nil
+func (l *registryLog) Delete(xid string) error { return l.DeleteBatch([]string{xid}) }
+
+func (l *registryLog) DeleteBatch(xids []string) error {
+	paths := make([]string, len(xids))
+	for i, xid := range xids {
+		paths[i] = l.path(xid)
 	}
-	return err
+	l.reg.DeleteAll(paths)
+	return nil
 }
 
 func (l *registryLog) List() ([]LogRecord, error) {
@@ -113,15 +136,72 @@ func (l *registryLog) List() ([]LogRecord, error) {
 	return out, nil
 }
 
+// durableLog models a write-ahead log with a physical sync cost: every
+// Write/Delete — batched or not — serializes on one "device" and pays
+// syncDelay once, the way a real XA log pays an fsync per decision-point
+// write. Benchmarks wrap the registry log in it so the group committer's
+// amortization (N records, one sync) is measurable against the
+// per-transaction path (N records, N syncs).
+type durableLog struct {
+	inner LogStore
+	delay time.Duration
+	mu    sync.Mutex
+}
+
+// NewDurableLog wraps inner with a serialized per-operation sync delay.
+func NewDurableLog(inner LogStore, syncDelay time.Duration) LogStore {
+	return &durableLog{inner: inner, delay: syncDelay}
+}
+
+func (l *durableLog) sync(op func() error) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	time.Sleep(l.delay)
+	return op()
+}
+
+func (l *durableLog) Write(rec LogRecord) error {
+	return l.sync(func() error { return l.inner.Write(rec) })
+}
+
+func (l *durableLog) WriteBatch(recs []LogRecord) error {
+	return l.sync(func() error { return l.inner.WriteBatch(recs) })
+}
+
+func (l *durableLog) Delete(xid string) error {
+	return l.sync(func() error { return l.inner.Delete(xid) })
+}
+
+func (l *durableLog) DeleteBatch(xids []string) error {
+	return l.sync(func() error { return l.inner.DeleteBatch(xids) })
+}
+
+func (l *durableLog) List() ([]LogRecord, error) { return l.inner.List() }
+
 // --- XA transaction (2PC, paper Fig. 5(c)) ---
 
+// branchState tracks how far one branch has progressed; the abort path
+// chooses its verbs from it (a prepared branch needs XA ROLLBACK on the
+// prepared XID, an active one needs END first, a fast-path local branch
+// takes a plain ROLLBACK).
+type branchState uint8
+
+const (
+	stateLocal    branchState = iota // plain BEGIN (fast path, not yet upgraded)
+	stateActive                      // XA BEGIN / XA ADOPT done, not yet prepared
+	statePrepared                    // phase 1 acknowledged
+)
+
 type xaTx struct {
-	mgr    *Manager
-	xid    string
-	held   *exec.HeldConns
-	begun  map[string]bool
-	closed bool
-	tr     *telemetry.Trace
+	mgr      *Manager
+	xid      string
+	held     *exec.HeldConns
+	order    []string // branches in first-touch order
+	state    map[string]branchState
+	upgraded bool // XA verbs in play (second source touched, or legacy)
+	legacy   bool // sequential seed-behaviour commit path
+	closed   bool
+	tr       *telemetry.Trace
 }
 
 func (t *xaTx) Type() Type                      { return XA }
@@ -129,114 +209,330 @@ func (t *xaTx) XID() string                     { return t.xid }
 func (t *xaTx) Held() *exec.HeldConns           { return t.held }
 func (t *xaTx) AttachTrace(tr *telemetry.Trace) { t.tr = tr }
 
-func (t *xaTx) BeforeStatement(units []rewrite.SQLUnit) error {
+func (t *xaTx) BeforeStatement(ctx context.Context, units []rewrite.SQLUnit) error {
 	if t.closed {
 		return ErrTxClosed
 	}
+	var fresh []string
 	for _, u := range units {
-		if t.begun[u.DataSource] {
+		if _, ok := t.state[u.DataSource]; ok {
 			continue
 		}
-		conn, err := t.held.Get(t.mgr.exec, u.DataSource)
+		dup := false
+		for _, ds := range fresh {
+			if ds == u.DataSource {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			fresh = append(fresh, u.DataSource)
+		}
+	}
+	if len(fresh) == 0 {
+		return nil
+	}
+	if !t.legacy && !t.upgraded {
+		if len(t.order) == 0 && len(fresh) == 1 {
+			// Fast path: everything so far lands on one data source. Open a
+			// plain local transaction and defer all XA work until a second
+			// source proves the transaction is really distributed — the
+			// single-shard majority of an OLTP mix never pays 2PC.
+			ds := fresh[0]
+			conn, err := t.held.Get(ctx, t.mgr.exec, ds)
+			if err != nil {
+				return err
+			}
+			if _, err := conn.Exec(ctx, "BEGIN"); err != nil {
+				return err
+			}
+			t.state[ds] = stateLocal
+			t.order = append(t.order, ds)
+			return nil
+		}
+		if err := t.upgrade(ctx); err != nil {
+			return err
+		}
+	}
+	for _, ds := range fresh {
+		conn, err := t.held.Get(ctx, t.mgr.exec, ds)
 		if err != nil {
 			return err
 		}
-		if _, err := conn.Exec(context.Background(), fmt.Sprintf("XA BEGIN '%s'", t.xid)); err != nil {
+		if _, err := conn.Exec(ctx, fmt.Sprintf("XA BEGIN '%s'", t.xid)); err != nil {
 			return err
 		}
-		t.begun[u.DataSource] = true
+		t.state[ds] = stateActive
+		t.order = append(t.order, ds)
 	}
 	return nil
 }
 
-func (t *xaTx) AfterStatement([]rewrite.SQLUnit, error) error { return nil }
+// upgrade promotes fast-path local branches to XA: the data source binds
+// its active plain transaction to this transaction's XID (XA ADOPT) so
+// the branch can be prepared. Runs once, the moment a second source is
+// touched; from then on new branches open with XA BEGIN directly.
+func (t *xaTx) upgrade(ctx context.Context) error {
+	promoted := 0
+	for _, ds := range t.order {
+		if t.state[ds] != stateLocal {
+			continue
+		}
+		conn, _ := t.held.Peek(ds)
+		if _, err := conn.Exec(ctx, fmt.Sprintf("XA ADOPT '%s'", t.xid)); err != nil {
+			return fmt.Errorf("transaction: XA upgrade failed on %s: %w", ds, err)
+		}
+		t.state[ds] = stateActive
+		promoted++
+	}
+	t.upgraded = true
+	if promoted > 0 {
+		t.mgr.metrics.upgrades.Add(1)
+	}
+	return nil
+}
 
-// Commit runs two-phase commit: prepare every branch, log the commit
-// decision, then commit every branch. A failed prepare rolls everything
-// back; a failed phase-2 commit leaves the log record for Recover.
-func (t *xaTx) Commit() error {
+func (t *xaTx) AfterStatement(context.Context, []rewrite.SQLUnit, error) error { return nil }
+
+// fanOut runs fn over the branches — concurrently on the concurrent
+// commit path, in order on the legacy path (where stopOnErr reproduces
+// the seed's break-on-first-error prepare loop).
+func (t *xaTx) fanOut(branches []string, stopOnErr bool, fn func(i int, ds string) error) []error {
+	errs := make([]error, len(branches))
+	if t.legacy || len(branches) == 1 {
+		for i, ds := range branches {
+			if errs[i] = fn(i, ds); errs[i] != nil && stopOnErr {
+				break
+			}
+		}
+		return errs
+	}
+	var wg sync.WaitGroup
+	for i, ds := range branches {
+		wg.Add(1)
+		go func(i int, ds string) {
+			defer wg.Done()
+			errs[i] = fn(i, ds)
+		}(i, ds)
+	}
+	wg.Wait()
+	return errs
+}
+
+// Commit runs the transaction's commit protocol.
+//
+// Fast path (never upgraded): one plain COMMIT, no XA verbs, no log
+// record. Otherwise two-phase commit: phase 1 (XA END+PREPARE, pipelined
+// per branch, fanned out across branches with fail-fast cancellation),
+// the decision-point log write (batched with concurrent transactions by
+// the group committer), then phase 2 (XA COMMIT fanned out). A failed
+// prepare aborts every branch with state-matched verbs; a partial phase-2
+// failure returns the typed InDoubtError — the decision stands and
+// Recover completes the stragglers.
+func (t *xaTx) Commit(ctx context.Context) error {
 	if t.closed {
 		return ErrTxClosed
 	}
 	t.closed = true
 	defer t.held.ReleaseAll()
 
-	branches := make([]string, 0, len(t.begun))
-	for ds := range t.begun {
-		branches = append(branches, ds)
-	}
+	branches := append([]string(nil), t.order...)
 	sort.Strings(branches)
 
-	// Phase 1: prepare. An RM replying "NO" (an error here) aborts.
-	prepareStart := time.Now()
-	prepared := make([]string, 0, len(branches))
-	var prepareErr error
-	for _, ds := range branches {
-		conn, _ := t.held.Peek(ds)
-		// END and PREPARE pipeline as one batch: a remote branch pays a
-		// single round trip for phase 1 instead of two.
-		if _, err := resource.ExecBatch(context.Background(), conn, []resource.Statement{
-			{SQL: fmt.Sprintf("XA END '%s'", t.xid)},
-			{SQL: fmt.Sprintf("XA PREPARE '%s'", t.xid)},
-		}); err != nil {
-			prepareErr = err
-			break
-		}
-		prepared = append(prepared, ds)
+	if !t.legacy && !t.upgraded {
+		return t.commitFastPath(ctx, branches)
 	}
-	t.tr.AddSpan(telemetry.StageXAPrepare, "", prepareStart, time.Since(prepareStart))
-	if prepareErr != nil {
-		// Roll back every branch: prepared ones via XA ROLLBACK on the
-		// prepared XID, unprepared ones likewise (the session resolves
-		// its own active branch).
-		for _, ds := range branches {
-			conn, _ := t.held.Peek(ds)
-			if _, err := conn.Exec(context.Background(), fmt.Sprintf("XA ROLLBACK '%s'", t.xid)); err != nil {
-				conn.Broken = true
-			}
-		}
-		return fmt.Errorf("transaction: XA prepare failed, rolled back: %w", prepareErr)
+	if len(branches) == 0 {
+		t.mgr.metrics.xaCommits.Add(1)
+		return nil
+	}
+
+	// Phase 1: prepare. An RM replying "NO" (an error here) aborts.
+	if err := t.prepare(ctx, branches); err != nil {
+		return err
+	}
+	if t.mgr.crash(CrashAfterPrepare) {
+		// The coordinator "dies" before the decision is logged: branches
+		// stay prepared and presumed abort rolls them back on recovery.
+		return fmt.Errorf("transaction: coordinator crashed before commit decision for %s (injected)", t.xid)
 	}
 
 	// Decision point: log before phase 2 so a coordinator crash commits.
-	if err := t.mgr.log.Write(LogRecord{XID: t.xid, Branches: branches, Decided: true}); err != nil {
-		for _, ds := range prepared {
-			conn, _ := t.held.Peek(ds)
-			conn.Exec(context.Background(), fmt.Sprintf("XA ROLLBACK '%s'", t.xid))
-		}
-		return fmt.Errorf("transaction: XA log write failed, rolled back: %w", err)
+	rec := LogRecord{XID: t.xid, Branches: branches, Decided: true}
+	var logErr error
+	if t.legacy {
+		logErr = t.mgr.log.Write(rec)
+	} else {
+		logErr = t.mgr.group.write(ctx, rec)
+	}
+	if logErr != nil {
+		t.abort(ctx, branches)
+		t.mgr.metrics.xaRollbacks.Add(1)
+		return fmt.Errorf("transaction: XA log write failed, rolled back: %w", logErr)
+	}
+	if t.mgr.crash(CrashAfterLogWrite) {
+		t.mgr.metrics.inDoubt.Add(1)
+		return &InDoubtError{XID: t.xid, Pending: branches}
 	}
 
-	// Phase 2: commit. Failures leave the log record; Recover finishes.
-	commitStart := time.Now()
-	allOK := true
-	for _, ds := range branches {
+	// Phase 2: commit, fanned out. Every branch is attempted even if a
+	// sibling fails — the decision is logged and each success is final.
+	committed := make([]bool, len(branches))
+	errs := t.fanOut(branches, false, func(i int, ds string) error {
 		conn, _ := t.held.Peek(ds)
-		if _, err := conn.Exec(context.Background(), fmt.Sprintf("XA COMMIT '%s'", t.xid)); err != nil {
-			conn.Broken = true
-			allOK = false
+		start := time.Now()
+		_, err := conn.Exec(ctx, fmt.Sprintf("XA COMMIT '%s'", t.xid))
+		t.tr.AddSpan(telemetry.StageXACommit, ds, start, time.Since(start))
+		if err == nil {
+			committed[i] = true
+		}
+		return err
+	})
+	var pending []string
+	var cause error
+	for i, ds := range branches {
+		if !committed[i] {
+			pending = append(pending, ds)
+			if cause == nil {
+				cause = errs[i]
+			}
 		}
 	}
-	t.tr.AddSpan(telemetry.StageXACommit, "", commitStart, time.Since(commitStart))
-	if allOK {
+	if len(pending) > 0 {
+		// The commit decision stands and the stragglers are prepared and
+		// detached from their sessions — the pooled connections are fine,
+		// so they are NOT marked Broken. Recover finishes phase 2; the
+		// caller gets the typed in-doubt outcome instead of a silent nil.
+		t.mgr.metrics.inDoubt.Add(1)
+		return &InDoubtError{XID: t.xid, Pending: pending, Cause: cause}
+	}
+	t.mgr.metrics.xaCommits.Add(1)
+	// Retire the log record. The delete batches through the group
+	// committer too, detached from the statement deadline: the commit is
+	// already durable, cleanup must not be abandoned halfway.
+	if t.legacy {
 		return t.mgr.log.Delete(t.xid)
 	}
-	return nil // commit decision stands; recovery completes the stragglers
+	return t.mgr.group.delete(context.WithoutCancel(ctx), t.xid)
 }
 
-func (t *xaTx) Rollback() error {
+// commitFastPath is the single-shard 1PC downgrade: the only branch holds
+// a plain local transaction, so COMMIT finishes it — no XA verbs on the
+// wire, no log record to write or retire, and no in-doubt window (a
+// single participant either commits or aborts atomically).
+func (t *xaTx) commitFastPath(ctx context.Context, branches []string) error {
+	if len(branches) == 0 {
+		t.mgr.metrics.fastPathCommits.Add(1)
+		return nil
+	}
+	ds := branches[0]
+	conn, _ := t.held.Peek(ds)
+	start := time.Now()
+	if _, err := conn.Exec(ctx, "COMMIT"); err != nil {
+		// The branch never prepared, so the global outcome is a clean
+		// abort — roll the local transaction back, detached from the
+		// (possibly expired) statement context.
+		if _, rbErr := conn.Exec(context.WithoutCancel(ctx), "ROLLBACK"); rbErr != nil {
+			conn.Broken = true
+		}
+		return fmt.Errorf("transaction: fast-path commit failed on %s, rolled back: %w", ds, err)
+	}
+	t.tr.AddSpan(telemetry.StageXACommit, ds, start, time.Since(start))
+	t.mgr.metrics.fastPathCommits.Add(1)
+	return nil
+}
+
+// prepare fans XA END+PREPARE out across the branches (pipelined as one
+// batch per branch: a remote branch pays a single round trip for phase
+// 1). The first NO cancels the in-flight siblings, then every branch is
+// aborted with verbs matched to how far it got.
+func (t *xaTx) prepare(ctx context.Context, branches []string) error {
+	fanCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	prepared := make([]bool, len(branches))
+	errs := t.fanOut(branches, true, func(i int, ds string) error {
+		conn, _ := t.held.Peek(ds)
+		start := time.Now()
+		_, err := resource.ExecBatch(fanCtx, conn, []resource.Statement{
+			{SQL: fmt.Sprintf("XA END '%s'", t.xid)},
+			{SQL: fmt.Sprintf("XA PREPARE '%s'", t.xid)},
+		})
+		t.tr.AddSpan(telemetry.StageXAPrepare, ds, start, time.Since(start))
+		if err != nil {
+			cancel() // fail fast: no point preparing the siblings
+			return err
+		}
+		prepared[i] = true
+		return nil
+	})
+	var failedDS string
+	var cause error
+	for i, ds := range branches {
+		if prepared[i] {
+			t.state[ds] = statePrepared
+		} else if cause == nil && errs[i] != nil {
+			failedDS, cause = ds, errs[i]
+		}
+	}
+	if cause == nil {
+		return nil
+	}
+	t.mgr.metrics.prepareFailures.Add(1)
+	t.abort(ctx, branches)
+	return fmt.Errorf("transaction: XA prepare failed on %s, rolled back: %w", failedDS, cause)
+}
+
+func (t *xaTx) Rollback(ctx context.Context) error {
 	if t.closed {
 		return ErrTxClosed
 	}
 	t.closed = true
 	defer t.held.ReleaseAll()
-	for ds := range t.begun {
-		conn, _ := t.held.Peek(ds)
-		if _, err := conn.Exec(context.Background(), fmt.Sprintf("XA ROLLBACK '%s'", t.xid)); err != nil {
+	t.abort(ctx, append([]string(nil), t.order...))
+	t.mgr.metrics.xaRollbacks.Add(1)
+	return nil
+}
+
+// abortTimeout bounds cleanup fan-outs that run detached from the
+// (possibly already cancelled) statement context.
+const abortTimeout = 10 * time.Second
+
+// abort rolls the branches back with verbs matched to each branch's
+// state: prepared branches take XA ROLLBACK on the prepared XID; branches
+// that never reached PREPARE need END on their active work first; a
+// fast-path local branch takes a plain ROLLBACK. It runs detached from
+// the caller's context so cleanup still reaches the branches after a
+// deadline or a fail-fast cancellation, and only a failed abort — branch
+// state genuinely unknown — marks the pooled connection Broken.
+func (t *xaTx) abort(ctx context.Context, branches []string) {
+	ctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), abortTimeout)
+	defer cancel()
+	t.fanOut(branches, false, func(i int, ds string) error {
+		conn, ok := t.held.Peek(ds)
+		if !ok {
+			return nil
+		}
+		var err error
+		switch t.state[ds] {
+		case statePrepared:
+			_, err = conn.Exec(ctx, fmt.Sprintf("XA ROLLBACK '%s'", t.xid))
+		case stateActive:
+			// Not yet prepared: END the active association, then roll it
+			// back. A branch whose prepare batch died between END and
+			// PREPARE sees END again — the data node treats the repeat as
+			// validation of an already-ended branch.
+			_, err = resource.ExecBatch(ctx, conn, []resource.Statement{
+				{SQL: fmt.Sprintf("XA END '%s'", t.xid)},
+				{SQL: fmt.Sprintf("XA ROLLBACK '%s'", t.xid)},
+			})
+		default: // stateLocal: fast-path plain transaction
+			_, err = conn.Exec(ctx, "ROLLBACK")
+		}
+		if err != nil {
 			conn.Broken = true
 		}
-	}
-	return nil
+		return err
+	})
 }
 
 // Recover completes in-doubt XA transactions after a coordinator restart
@@ -244,7 +540,7 @@ func (t *xaTx) Rollback() error {
 // periodically according to the recorded logs"). Logged-decided branches
 // are committed; every other prepared XID found via XA RECOVER is rolled
 // back (presumed abort). It returns the number of resolved transactions.
-func (m *Manager) Recover() (int, error) {
+func (m *Manager) Recover(ctx context.Context) (int, error) {
 	resolved := 0
 	recs, err := m.log.List()
 	if err != nil {
@@ -257,7 +553,7 @@ func (m *Manager) Recover() (int, error) {
 			continue
 		}
 		for _, ds := range rec.Branches {
-			if err := m.execOn(ds, fmt.Sprintf("XA COMMIT '%s'", rec.XID)); err != nil {
+			if err := m.execOn(ctx, ds, fmt.Sprintf("XA COMMIT '%s'", rec.XID)); err != nil {
 				// Already committed on this branch, or branch unknown —
 				// both mean the branch needs no further action.
 				continue
@@ -267,10 +563,11 @@ func (m *Manager) Recover() (int, error) {
 			return resolved, err
 		}
 		resolved++
+		m.metrics.recoverResolved.Add(1)
 	}
 	// Presumed abort: any prepared XID with no decided log rolls back.
 	for _, ds := range m.exec.Sources() {
-		xids, err := m.recoverOn(ds)
+		xids, err := m.recoverOn(ctx, ds)
 		if err != nil {
 			continue
 		}
@@ -278,8 +575,9 @@ func (m *Manager) Recover() (int, error) {
 			if logged[xid] {
 				continue
 			}
-			if err := m.execOn(ds, fmt.Sprintf("XA ROLLBACK '%s'", xid)); err == nil {
+			if err := m.execOn(ctx, ds, fmt.Sprintf("XA ROLLBACK '%s'", xid)); err == nil {
 				resolved++
+				m.metrics.recoverResolved.Add(1)
 			}
 		}
 	}
@@ -287,40 +585,41 @@ func (m *Manager) Recover() (int, error) {
 	for _, rec := range recs {
 		if !rec.Decided {
 			for _, ds := range rec.Branches {
-				m.execOn(ds, fmt.Sprintf("XA ROLLBACK '%s'", rec.XID))
+				m.execOn(ctx, ds, fmt.Sprintf("XA ROLLBACK '%s'", rec.XID))
 			}
 			m.log.Delete(rec.XID)
 			resolved++
+			m.metrics.recoverResolved.Add(1)
 		}
 	}
 	return resolved, nil
 }
 
-func (m *Manager) execOn(ds, sql string) error {
+func (m *Manager) execOn(ctx context.Context, ds, sql string) error {
 	src, err := m.exec.Source(ds)
 	if err != nil {
 		return err
 	}
-	conn, err := src.Acquire()
+	conn, err := src.AcquireCtx(ctx)
 	if err != nil {
 		return err
 	}
 	defer conn.Release()
-	_, err = conn.Exec(context.Background(), sql)
+	_, err = conn.Exec(ctx, sql)
 	return err
 }
 
-func (m *Manager) recoverOn(ds string) ([]string, error) {
+func (m *Manager) recoverOn(ctx context.Context, ds string) ([]string, error) {
 	src, err := m.exec.Source(ds)
 	if err != nil {
 		return nil, err
 	}
-	conn, err := src.Acquire()
+	conn, err := src.AcquireCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Release()
-	rs, err := conn.Query(context.Background(), "XA RECOVER")
+	rs, err := conn.Query(ctx, "XA RECOVER")
 	if err != nil {
 		return nil, err
 	}

@@ -26,6 +26,7 @@ import (
 	"shardingsphere/internal/admission"
 	"shardingsphere/internal/protocol"
 	"shardingsphere/internal/resource"
+	"shardingsphere/internal/transaction"
 	"shardingsphere/internal/sqltypes"
 )
 
@@ -36,10 +37,16 @@ var ErrRemote = errors.New("remote error")
 // rejections survive the wire round trip: the typed retryable error the
 // proxy shed with is reconstructed here — transient for the retry
 // machinery, with its reason and retry-after hint intact (IsOverloaded).
-// Everything else stays a plain ErrRemote wrap.
+// In-doubt commit outcomes are re-typed too, and stay NON-transient:
+// the commit decision is logged server-side, so a retry would
+// double-apply the transaction (IsInDoubt). Everything else stays a
+// plain ErrRemote wrap.
 func remoteError(msg string) error {
 	if ov, ok := admission.ParseOverloaded(msg); ok {
 		return fmt.Errorf("%w: %w", ErrRemote, ov)
+	}
+	if id, ok := transaction.ParseInDoubt(msg); ok {
+		return fmt.Errorf("%w: %w", ErrRemote, id)
 	}
 	return fmt.Errorf("%w: %s", ErrRemote, msg)
 }
@@ -54,6 +61,20 @@ func IsOverloaded(err error) (reason string, retryAfter time.Duration, ok bool) 
 		return ov.Reason, ov.RetryAfter, true
 	}
 	return "", 0, false
+}
+
+// IsInDoubt reports whether err is a COMMIT's typed in-doubt outcome:
+// the commit decision is durably logged but some branches have not
+// acknowledged phase 2 yet. The transaction WILL commit — the
+// coordinator's recovery completes the listed branches — so the caller
+// must NOT retry the transaction; treat the work as applied (pending
+// recovery) or reconcile via the returned XID.
+func IsInDoubt(err error) (*transaction.InDoubtError, bool) {
+	var id *transaction.InDoubtError
+	if errors.As(err, &id) {
+		return id, true
+	}
+	return nil, false
 }
 
 // Conn is one logical protocol connection: either a dedicated v1 socket

@@ -8,6 +8,7 @@
 package shardingdb
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -167,4 +168,6 @@ func (db *DB) Close() {
 
 // Recover completes in-doubt XA transactions from the transaction log
 // (run it after restarting a crashed coordinator).
-func (db *DB) Recover() (int, error) { return db.kernel.TxManager().Recover() }
+func (db *DB) Recover() (int, error) {
+	return db.kernel.TxManager().Recover(context.Background())
+}
