@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: build test race bench bench-plancache bench-remote bench-stream bench-storm bench-txn vet check chaos fuzz-smoke race-pipeline obs-smoke stream-smoke storm-smoke txn-smoke
+.PHONY: build test race bench bench-plancache bench-remote bench-stream bench-storm bench-txn bench-digest vet check chaos fuzz-smoke race-pipeline obs-smoke stream-smoke storm-smoke txn-smoke digest-smoke
 
 # Pre-PR gate: static checks, the full suite under the race detector,
 # the wire-protocol fuzz smoke, the pipelined-mux concurrency tests and
-# the observability-, streaming-, storm- and transaction-plane smokes.
-# Run this before every PR.
-check: vet race race-pipeline fuzz-smoke obs-smoke stream-smoke storm-smoke txn-smoke
+# the observability-, streaming-, storm-, transaction- and workload-plane
+# smokes. Run this before every PR.
+check: vet race race-pipeline fuzz-smoke obs-smoke stream-smoke storm-smoke txn-smoke digest-smoke
 
 build:
 	$(GO) build ./...
@@ -90,6 +90,20 @@ bench-txn:
 # and SHOW CLUSTER METRICS (merged counts must equal node sums), -race.
 obs-smoke:
 	$(GO) test -race -run 'TestObsSmoke' -v ./internal/distsql/
+
+# Workload-observability smoke: a proxy kernel over two wire-v2 data
+# nodes runs a skewed 8-shard storm; SHOW SHARD HEAT must rank the hot
+# shard first, SHOW HOT KEYS the hot key, SHOW STATEMENT DIGESTS must
+# carry exact counts, and SHOW CLUSTER METRICS must merge the datanodes'
+# per-table heat counters to the exact node sum, -race.
+digest-smoke:
+	$(GO) test -race -run 'TestDigestSmoke' -v ./internal/distsql/
+
+# Paired interleaved overhead measurement for the always-on workload
+# plane (digests + heat) on a plan-cached point select. The acceptance
+# bar is <2% median overhead. Numbers feed EXPERIMENTS.md.
+bench-digest:
+	$(GO) test -run 'TestDigestOverheadInterleaved' -v -count=1 ./internal/bench/
 
 # Short fuzz pass over the frame reader, row decoder and trace-context
 # trailer. `go test` accepts one -fuzz target per invocation, hence

@@ -1,0 +1,78 @@
+package bench_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"shardingsphere/internal/bench"
+	"shardingsphere/internal/bench/sysbench"
+	"shardingsphere/internal/sqltypes"
+)
+
+// TestDigestOverheadInterleaved measures what the always-on workload
+// plane (statement digests + shard heat) adds on top of telemetry for a
+// plan-cached point select, using the same paired-interleaved design as
+// the telemetry overhead experiment: alternate on/off batches so drift
+// cancels within a pair, and report the median of per-pair ratios. The
+// acceptance bar is <2% median overhead.
+func TestDigestOverheadInterleaved(t *testing.T) {
+	mk := func(disabled bool) bench.Client {
+		sys, err := bench.NewSSJ(bench.Topology{
+			Sources: 2, TablesPerSource: 2, MaxCon: 4, DisableDigests: disabled,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := sysbench.DefaultConfig(1000)
+		if err := bench.PrepareOn(sys, func(c bench.Client) error {
+			return sysbench.Prepare(c, cfg)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		c, err := sys.NewClient(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	on, off := mk(false), mk(true)
+	rng := rand.New(rand.NewSource(11))
+	run := func(c bench.Client, n int) time.Duration {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			id := sqltypes.NewInt(int64(rng.Intn(1000)))
+			if _, err := c.Query("SELECT c FROM sbtest WHERE id = ?", id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	// warmup
+	run(on, 20000)
+	run(off, 20000)
+	const batch, rounds = 2000, 201
+	onNs := make([]float64, rounds)
+	offNs := make([]float64, rounds)
+	ratios := make([]float64, rounds)
+	for r := 0; r < rounds; r++ {
+		if r%2 == 0 {
+			onNs[r] = float64(run(on, batch).Nanoseconds()) / batch
+			offNs[r] = float64(run(off, batch).Nanoseconds()) / batch
+		} else {
+			offNs[r] = float64(run(off, batch).Nanoseconds()) / batch
+			onNs[r] = float64(run(on, batch).Nanoseconds()) / batch
+		}
+		ratios[r] = onNs[r] / offNs[r]
+	}
+	median := func(v []float64) float64 {
+		s := append([]float64(nil), v...)
+		sort.Float64s(s)
+		return s[len(s)/2]
+	}
+	nsOn, nsOff := median(onNs), median(offNs)
+	fmt.Printf("digests on=%.0f ns/op off=%.0f ns/op overhead=%.2f%% (median of per-pair ratios)\n",
+		nsOn, nsOff, (median(ratios)-1)*100)
+}

@@ -52,6 +52,9 @@ type Topology struct {
 	// DisableTelemetry passes through to core.Config: the telemetry-off
 	// baseline in the observability overhead experiment.
 	DisableTelemetry bool
+	// DisableDigests passes through to core.Config: the workload-plane-off
+	// baseline in the digest overhead experiment.
+	DisableDigests bool
 	// TxLog passes through to core.Config: the transaction benchmark
 	// injects a sync-cost-modeling XA log.
 	TxLog transaction.LogStore
@@ -141,6 +144,7 @@ func NewSSJ(top Topology) (*System, error) {
 		DefaultTxType:    top.TxType,
 		PlanCacheSize:    top.PlanCacheSize,
 		DisableTelemetry: top.DisableTelemetry,
+		DisableDigests:   top.DisableDigests,
 		TxLog:            top.TxLog,
 	})
 	if err != nil {

@@ -18,6 +18,7 @@ import (
 
 	"shardingsphere/internal/admission"
 	"shardingsphere/internal/chaos"
+	"shardingsphere/internal/digest"
 	"shardingsphere/internal/exec"
 	"shardingsphere/internal/plancache"
 	"shardingsphere/internal/registry"
@@ -93,6 +94,12 @@ type Config struct {
 	// DisableTelemetry turns off per-statement trace collection (the
 	// collector still exists so TRACE and DistSQL surfaces keep working).
 	DisableTelemetry bool
+	// DisableDigests turns off the workload-observability plane (statement
+	// digests + shard heat map); used by the overhead benchmark's baseline.
+	DisableDigests bool
+	// DigestCapacity bounds the statement digest registry (0 uses
+	// digest.DefaultCapacity).
+	DigestCapacity int
 }
 
 // Kernel is one runtime instance shared by all sessions.
@@ -137,6 +144,11 @@ type Kernel struct {
 
 	// tel is the always-on telemetry collector every statement feeds.
 	tel *telemetry.Collector
+
+	// workload is the digest/heat/hot-key plane (nil when disabled);
+	// sessions feed digests, the executor feeds heat, the router feeds
+	// hot keys.
+	workload *digest.Workload
 
 	ruleMu sync.RWMutex
 }
@@ -229,6 +241,13 @@ func New(cfg Config) (*Kernel, error) {
 		}
 	}
 	k.gates.Store(&gates)
+	if !cfg.DisableDigests {
+		k.workload = digest.NewWorkload(cfg.DigestCapacity)
+		executor.SetHeat(k.workload.Heat)
+		// Digest/heat totals ride the federated snapshot so cluster-wide
+		// counts merge exactly through MetricsPull/MergeSnapshots.
+		tel.RegisterSnapshotExtra(k.workload.SnapshotInto)
+	}
 	return k, nil
 }
 
@@ -280,6 +299,28 @@ func (k *Kernel) PlanCache() *plancache.Cache { return k.planCache }
 
 // Telemetry exposes the statement telemetry collector (never nil).
 func (k *Kernel) Telemetry() *telemetry.Collector { return k.tel }
+
+// Workload exposes the digest/heat/hot-key plane (nil when disabled).
+func (k *Kernel) Workload() *digest.Workload { return k.workload }
+
+// SetHotKeyTracking switches the hot-key sketch on or off (SET VARIABLE
+// hotkey_tracking). The router observer is installed only while
+// tracking is on, so the disabled cost at route time is one atomic nil
+// load.
+func (k *Kernel) SetHotKeyTracking(on bool) {
+	if k.workload == nil {
+		return
+	}
+	k.workload.SetHotKeyTracking(on)
+	if on {
+		t := k.workload.HotKeys()
+		k.router.SetKeyObserver(func(table, column string, v sqltypes.Value) {
+			t.Note(table, column, v.AsString())
+		})
+	} else {
+		k.router.SetKeyObserver(nil)
+	}
+}
 
 // BumpPlanEpoch invalidates every cached plan. DDL, DistSQL rule changes
 // and governor-pushed config updates call it.
@@ -418,6 +459,8 @@ func isDistSQL(sql string) bool {
 		"SHOW PLAN CACHE", "SHOW SQL METRICS", "SHOW SLOW QUERIES", "TRACE ",
 		"INJECT FAULT", "REMOVE FAULT", "SHOW FAULTS", "SHOW REMOTE",
 		"SHOW CLUSTER", "SHOW ADMISSION",
+		"SHOW STATEMENT DIGESTS", "SHOW SHARD HEAT", "SHOW HOT KEYS",
+		"RESET DIGESTS",
 	} {
 		if strings.HasPrefix(up, prefix) {
 			return true

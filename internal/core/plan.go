@@ -1,6 +1,9 @@
 package core
 
 import (
+	"sync/atomic"
+
+	"shardingsphere/internal/digest"
 	"shardingsphere/internal/rewrite"
 	"shardingsphere/internal/route"
 	"shardingsphere/internal/sqlparser"
@@ -26,6 +29,18 @@ type plan struct {
 	selCtx      *rewrite.SelectContext // single-node merge context (SELECT only)
 	tableInStmt string                 // logic table as written in the statement
 	logicTable  string                 // rule's LogicTable key for TableMap lookups
+
+	// dig caches the shape's digest entry so plan-cache hits skip even
+	// the registry's striped map probe; the epoch detects RESET DIGESTS
+	// and entry eviction forces a re-resolve through Touch.
+	dig atomic.Pointer[digRef]
+}
+
+// digRef pairs a digest entry with the registry epoch it was resolved
+// under.
+type digRef struct {
+	e     *digest.Entry
+	epoch uint64
 }
 
 // buildPlan compiles a normalized shape into a plan. It runs once per shape
@@ -83,6 +98,7 @@ func buildPlan(k *Kernel, norm *sqlparser.Normalized) (*plan, error) {
 // render) instead of separate route/rewrite marks, keeping the hot path
 // at a handful of clock reads.
 func (s *Session) executePlan(p *plan, args []sqltypes.Value) (*Result, error) {
+	s.resolvePlanDigest(p)
 	if !p.fast {
 		s.tr.Mark(telemetry.StagePlanCache)
 		return s.ExecuteStmt(p.stmt, args)
@@ -130,4 +146,26 @@ func (s *Session) executePlan(p *plan, args []sqltypes.Value) (*Result, error) {
 	}
 	s.tr.Mark(telemetry.StagePlanCache)
 	return s.runUnits(p.stmt, p.sel, rw, 0)
+}
+
+// resolvePlanDigest attaches the plan's digest entry to the current
+// statement. The entry pointer rides the cached plan, so a plan-cache
+// hit refreshes the LRU stamp without a map probe; the registry is
+// consulted only when the cache is cold, the entry was evicted, or a
+// RESET DIGESTS bumped the epoch.
+func (s *Session) resolvePlanDigest(p *plan) {
+	w := s.k.workload
+	if w == nil {
+		return
+	}
+	reg := w.Digests
+	if ref := p.dig.Load(); ref != nil && ref.epoch == reg.Epoch() && reg.Touch(ref.e) {
+		s.stmtDigest = ref.e
+		s.tr.SetDigest(ref.e.ID, p.key)
+		return
+	}
+	e := reg.Get(p.key)
+	p.dig.Store(&digRef{e: e, epoch: reg.Epoch()})
+	s.stmtDigest = e
+	s.tr.SetDigest(e.ID, p.key)
 }

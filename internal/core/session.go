@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"shardingsphere/internal/digest"
 	"shardingsphere/internal/exec"
 	"shardingsphere/internal/merge"
 	"shardingsphere/internal/resource"
@@ -78,6 +79,13 @@ type Session struct {
 	// skips the collector's trace pool.
 	tr    *telemetry.Trace
 	trBuf telemetry.Trace
+	// stmtDigest is the current statement's digest entry (nil when the
+	// statement has no normalizable shape or digests are disabled);
+	// stmtShards and stmtRetries are filled by runUnits so Execute can
+	// observe the finished statement in one call after Finish.
+	stmtDigest  *digest.Entry
+	stmtShards  int
+	stmtRetries int
 }
 
 // Kernel returns the owning kernel (DistSQL needs it).
@@ -138,9 +146,37 @@ func (s *Session) Execute(sql string, args ...sqltypes.Value) (*Result, error) {
 	tr := s.k.tel.StartInto(&s.trBuf, sql)
 	tr.AddQueueWait(s.stmtQueueWait)
 	s.tr = tr
+	s.stmtDigest, s.stmtShards, s.stmtRetries = nil, 0, 0
 	res, err := s.executeSQL(sql, args)
 	s.tr = nil
 	tr.Finish(err)
+	if e := s.stmtDigest; e != nil {
+		// Trace-finish hook: one Observe per statement. Query rows are
+		// charged as they stream to the client; DML charges the affected
+		// count directly.
+		e.Observe(tr.Total(), s.stmtShards, s.stmtRetries, err != nil)
+		if res != nil {
+			switch rs := res.RS.(type) {
+			case nil:
+				e.AddRows(res.Affected, 0)
+			case *resource.SliceResultSet:
+				// Drained result: charge the rows already in memory instead
+				// of paying a wrapper allocation and a per-batch interface
+				// hop on the client read path.
+				var b int64
+				for _, r := range rs.Data {
+					b += digest.RowBytes(r)
+				}
+				e.AddRows(int64(len(rs.Data)), b)
+			case *resource.ConnLease:
+				// Single-shard stream handed through unmerged: ride the
+				// lease's sink slots instead of another wrapper.
+				rs.AddSink(e)
+			default:
+				res.RS = digest.WrapRows(res.RS, e)
+			}
+		}
+	}
 	return res, err
 }
 
@@ -185,6 +221,14 @@ func (s *Session) executeSQL(sql string, args []sqltypes.Value) (*Result, error)
 					// parse so syntax errors reference the original text.
 				}
 			}
+			// Normalizable but off the plan path (locking read in a
+			// transaction, bind or build failure): resolve the digest by
+			// shape so these executions still aggregate.
+			s.noteDigest(norm.Key)
+		}
+	} else if s.k.workload != nil {
+		if norm, ok := sqlparser.Normalize(sql); ok {
+			s.noteDigest(norm.Key)
 		}
 	}
 	stmt, err := sqlparser.Parse(sql)
@@ -193,6 +237,19 @@ func (s *Session) executeSQL(sql string, args []sqltypes.Value) (*Result, error)
 	}
 	s.tr.Mark(telemetry.StageParse)
 	return s.ExecuteStmt(stmt, args)
+}
+
+// noteDigest resolves the statement's digest entry by its normalized
+// shape and stamps the trace, so a slow-log capture carries the same
+// digest id the registry row shows (and redacts without re-normalizing).
+func (s *Session) noteDigest(key string) {
+	w := s.k.workload
+	if w == nil {
+		return
+	}
+	e := w.Digests.Get(key)
+	s.stmtDigest = e
+	s.tr.SetDigest(e.ID, key)
 }
 
 // Query runs a statement that must return rows.
@@ -330,6 +387,7 @@ func (s *Session) stmtCtx() (context.Context, context.CancelFunc) {
 // governor's health events just updated) lands the retry on a healthy
 // replica.
 func (s *Session) runUnits(stmt sqlparser.Statement, sel *sqlparser.SelectStmt, rw *rewrite.Result, genKey int64) (*Result, error) {
+	s.stmtShards = len(rw.Units)
 	isSelect := sel != nil
 	readOnly := isSelect && !sel.ForUpdate
 	ctx := context.Background()
@@ -366,6 +424,7 @@ func (s *Session) runUnits(stmt sqlparser.Statement, sel *sqlparser.SelectStmt, 
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
 			s.k.failovers.Add(1)
+			s.stmtRetries++
 			// The retry's execute spans continue the statement's attempt
 			// sequence instead of restarting at 1, so TRACE shows the
 			// failed try and the failover side by side.

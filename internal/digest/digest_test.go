@@ -1,0 +1,239 @@
+package digest
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"shardingsphere/internal/resource"
+	"shardingsphere/internal/sqltypes"
+	"shardingsphere/internal/telemetry"
+)
+
+func TestRegistryObserveAndSnapshot(t *testing.T) {
+	r := NewRegistry(0)
+	e := r.Get("SELECT c FROM t WHERE id = ?")
+	if e == nil || e.ID == "" || len(e.ID) != 16 {
+		t.Fatalf("bad entry: %+v", e)
+	}
+	if again := r.Get("SELECT c FROM t WHERE id = ?"); again != e {
+		t.Fatal("same shape resolved to a different entry")
+	}
+	e.Observe(2*time.Millisecond, 1, 0, false)
+	e.Observe(4*time.Millisecond, 3, 1, true)
+	e.AddRows(10, 100)
+
+	snaps := r.Snapshot()
+	if len(snaps) != 1 {
+		t.Fatalf("snapshot: %v", snaps)
+	}
+	s := snaps[0]
+	if s.Calls != 2 || s.Errors != 1 || s.Retries != 1 || s.Rows != 10 || s.Bytes != 100 {
+		t.Fatalf("counts: %+v", s)
+	}
+	if s.Total != 6*time.Millisecond {
+		t.Fatalf("total: %v", s.Total)
+	}
+	if s.SingleShard != 1 || s.CrossShard != 1 || s.ShardsSum != 4 || s.ShardsMax != 3 {
+		t.Fatalf("shard split: %+v", s)
+	}
+	calls, errs, rows, shapes, evictions := r.Totals()
+	if calls != 2 || errs != 1 || rows != 10 || shapes != 1 || evictions != 0 {
+		t.Fatalf("totals: %d %d %d %d %d", calls, errs, rows, shapes, evictions)
+	}
+}
+
+func TestRegistryEvictsLeastRecentShape(t *testing.T) {
+	// Capacity 16 → one slot per stripe: every second distinct shape in a
+	// stripe evicts the first, so the registry stays bounded under a
+	// literal storm of distinct shapes.
+	r := NewRegistry(16)
+	held := make([]*Entry, 0, 200)
+	for i := 0; i < 200; i++ {
+		held = append(held, r.Get(fmt.Sprintf("shape-%d", i)))
+	}
+	_, _, _, shapes, evictions := r.Totals()
+	if shapes > 16 {
+		t.Fatalf("registry grew past capacity: %d shapes", shapes)
+	}
+	if evictions == 0 {
+		t.Fatal("no evictions under a shape storm")
+	}
+	// Evicted victims are marked dead so plan caches re-resolve, and Touch
+	// must agree with liveness either way.
+	deadSeen := false
+	for _, e := range held {
+		if e.dead.Load() {
+			deadSeen = true
+			if r.Touch(e) {
+				t.Fatal("Touch succeeded on a dead entry")
+			}
+		}
+	}
+	if !deadSeen {
+		t.Fatal("no entry was marked dead despite evictions")
+	}
+}
+
+func TestRegistryResetBumpsEpochAndKillsEntries(t *testing.T) {
+	r := NewRegistry(0)
+	e := r.Get("k")
+	epoch := r.Epoch()
+	r.Reset()
+	if r.Epoch() != epoch+1 {
+		t.Fatalf("epoch: %d -> %d", epoch, r.Epoch())
+	}
+	if r.Touch(e) {
+		t.Fatal("Touch succeeded on an entry killed by Reset")
+	}
+	if len(r.Snapshot()) != 0 {
+		t.Fatal("snapshot not empty after Reset")
+	}
+	fresh := r.Get("k")
+	if fresh == e {
+		t.Fatal("Reset did not replace the entry")
+	}
+}
+
+func TestHeatDecayedRateRanksRecentTraffic(t *testing.T) {
+	h := NewHeat()
+	base := time.Unix(1_000_000, 0)
+	cold := h.Cell("t", "ds0", "t_0")
+	hot := h.Cell("t", "ds1", "t_1")
+	// The cold shard was busy a while ago; the hot shard is busy now.
+	for i := 0; i < 100; i++ {
+		cold.ObserveQuery(base, 0, nil)
+	}
+	for i := 0; i < 100; i++ {
+		hot.ObserveQuery(base.Add(90*time.Second), 0, nil)
+	}
+	now := base.Add(91 * time.Second)
+	if cr, hr := cold.RateAt(now), hot.RateAt(now); hr <= cr {
+		t.Fatalf("decayed rate should rank recent traffic first: cold=%f hot=%f", cr, hr)
+	}
+	snaps := h.Snapshot(now)
+	if len(snaps) != 2 {
+		t.Fatalf("snapshot: %v", snaps)
+	}
+	for _, s := range snaps {
+		if s.Queries != 100 {
+			t.Fatalf("queries: %+v", s)
+		}
+	}
+}
+
+func TestHeatRateFoldsAcrossWindows(t *testing.T) {
+	h := NewHeat()
+	c := h.Cell("t", "ds0", "t_0")
+	base := time.Unix(2_000_000, 0)
+	// 10 events per second for 5 seconds → rate approaches 10/s.
+	for s := 0; s < 5; s++ {
+		for i := 0; i < 10; i++ {
+			c.ObserveQuery(base.Add(time.Duration(s)*time.Second), 0, nil)
+		}
+	}
+	r := c.RateAt(base.Add(5 * time.Second))
+	if r < 1 || r > 20 {
+		t.Fatalf("steady 10/s load reported rate %f", r)
+	}
+	// A minute of silence decays it well below the live estimate.
+	later := c.RateAt(base.Add(120 * time.Second))
+	if later >= r/2 {
+		t.Fatalf("rate did not decay: %f -> %f", r, later)
+	}
+}
+
+func TestHeatCapacityBound(t *testing.T) {
+	h := NewHeat()
+	for i := 0; i < maxCells+100; i++ {
+		h.Cell("t", "ds", fmt.Sprintf("t_%d", i))
+	}
+	_, _, _, _, _, _, cells := h.Totals()
+	if cells > maxCells {
+		t.Fatalf("heat map grew past its bound: %d cells", cells)
+	}
+	if c := h.Cell("t", "ds", "one-more"); c != nil {
+		t.Fatal("cell allocated past capacity")
+	}
+}
+
+func TestTopKSpaceSavingBound(t *testing.T) {
+	tk := NewTopK(4)
+	// One genuinely hot key among churn.
+	for i := 0; i < 100; i++ {
+		tk.Note("t", "id", "hot")
+	}
+	for i := 0; i < 50; i++ {
+		tk.Note("t", "id", fmt.Sprintf("cold-%d", i))
+	}
+	top := tk.Top(1)
+	if len(top) != 1 || top[0].Value != "hot" {
+		t.Fatalf("hot key not ranked first: %v", top)
+	}
+	// Space-saving invariant: true count ≥ Count - MaxError.
+	if top[0].Count-top[0].MaxError > 100 {
+		t.Fatalf("error bound violated: %+v", top[0])
+	}
+	if got := tk.Top(0); len(got) != 4 {
+		t.Fatalf("sketch width: %v", got)
+	}
+	tk.Reset()
+	if len(tk.Top(0)) != 0 {
+		t.Fatal("reset did not clear the sketch")
+	}
+}
+
+func TestWrapRowsChargesSink(t *testing.T) {
+	rows := []sqltypes.Row{
+		{sqltypes.NewInt(1), sqltypes.NewString("abc")},
+		{sqltypes.NewInt(2), sqltypes.NewString("defg")},
+	}
+	e := &Entry{}
+	rs := WrapRows(resource.NewSliceResultSet([]string{"id", "c"}, rows), e)
+	if _, err := resource.ReadAll(rs); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.rows.Load(); got != 2 {
+		t.Fatalf("rows: %d", got)
+	}
+	want := RowBytes(rows[0]) + RowBytes(rows[1])
+	if got := e.bytes.Load(); got != want {
+		t.Fatalf("bytes: %d want %d", got, want)
+	}
+	// Typed-nil sinks pass through unwrapped.
+	var nilEntry *Entry
+	inner := resource.NewSliceResultSet([]string{"id"}, nil)
+	if got := WrapRows(inner, nilEntry); got != resource.ResultSet(inner) {
+		t.Fatal("typed-nil sink should not wrap")
+	}
+}
+
+func TestWorkloadSnapshotIntoAndReset(t *testing.T) {
+	w := NewWorkload(0)
+	w.Digests.Get("q1").Observe(time.Millisecond, 1, 0, false)
+	w.Heat.Cell("t", "ds0", "t_0").ObserveQuery(time.Unix(3_000_000, 0), 0, nil)
+	w.SetHotKeyTracking(true)
+	w.HotKeys().Note("t", "id", "7")
+
+	ms := &telemetry.MetricsSnapshot{}
+	w.SnapshotInto(ms)
+	counters := map[string]int64{}
+	for _, c := range ms.Counters {
+		counters[c.Name] = c.Value
+	}
+	if counters["digest.calls"] != 1 || counters["heat.queries"] != 1 {
+		t.Fatalf("snapshot counters: %v", counters)
+	}
+
+	w.Reset()
+	if calls, _, _, shapes, _ := w.Digests.Totals(); calls != 0 || shapes != 0 {
+		t.Fatal("digests survived Reset")
+	}
+	if len(w.HotKeys().Top(0)) != 0 {
+		t.Fatal("hot keys survived Reset")
+	}
+	w.SetHotKeyTracking(false)
+	if w.HotKeys() != nil {
+		t.Fatal("tracking off should drop the sketch")
+	}
+}

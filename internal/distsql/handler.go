@@ -10,6 +10,7 @@ import (
 
 	"shardingsphere/internal/chaos"
 	"shardingsphere/internal/core"
+	"shardingsphere/internal/digest"
 	"shardingsphere/internal/features/scaling"
 	"shardingsphere/internal/governor"
 	"shardingsphere/internal/resource"
@@ -55,6 +56,12 @@ func Install(k *core.Kernel, gov *governor.Governor) *Handler {
 		// Transaction commit-path counters (fast path, group commit,
 		// in-doubt) — the same table SHOW TRANSACTION METRICS renders.
 		gov.RegisterMetrics("txn", k.TxManager().Metrics)
+		// Workload plane: digest.* and heat.* families on /metrics, the
+		// same totals SHOW CLUSTER METRICS merges across nodes.
+		if w := k.Workload(); w != nil {
+			gov.RegisterMetrics("digest", w.DigestMetrics)
+			gov.RegisterMetrics("heat", w.HeatMetrics)
+		}
 		// Frontend admission counters. The controller is installed by the
 		// proxy after this wiring runs, so resolve it per snapshot.
 		gov.RegisterMetrics("admission", func() map[string]int64 {
@@ -187,6 +194,18 @@ func (h *Handler) Execute(sess *core.Session, sql string) (*core.Result, error) 
 		return h.showAdmission(k)
 	case *ShowTxnMetrics:
 		return h.showTxnMetrics(k)
+	case *ShowDigests:
+		return h.showDigests(k, t)
+	case *ShowShardHeat:
+		return h.showShardHeat(k)
+	case *ShowHotKeys:
+		return h.showHotKeys(k)
+	case *ResetDigests:
+		if k.Workload() == nil {
+			return nil, fmt.Errorf("distsql: statement digests are disabled")
+		}
+		k.Workload().Reset()
+		return &core.Result{}, nil
 	default:
 		return nil, fmt.Errorf("distsql: unhandled statement %T", stmt)
 	}
@@ -716,6 +735,30 @@ func (h *Handler) setVariable(sess *core.Session, t *SetVariable) (*core.Result,
 		}
 		sess.Kernel().Telemetry().SetStageSampling(int(n))
 		return &core.Result{}, nil
+	case "hotkey_tracking":
+		on, err := parseBoolVar(t.Value)
+		if err != nil {
+			return nil, fmt.Errorf("distsql: hotkey_tracking wants true or false, got %q", t.Value)
+		}
+		if sess.Kernel().Workload() == nil {
+			return nil, fmt.Errorf("distsql: statement digests are disabled")
+		}
+		sess.Kernel().SetHotKeyTracking(on)
+		return &core.Result{}, nil
+	case "slow_query_raw_sql":
+		on, err := parseBoolVar(t.Value)
+		if err != nil {
+			return nil, fmt.Errorf("distsql: slow_query_raw_sql wants true or false, got %q", t.Value)
+		}
+		sess.Kernel().Telemetry().SetRawSlowSQL(on)
+		return &core.Result{}, nil
+	case "slow_query_log_size":
+		n, err := strconv.ParseInt(strings.TrimSpace(t.Value), 10, 64)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("distsql: slow_query_log_size wants a positive integer, got %q", t.Value)
+		}
+		sess.Kernel().Telemetry().SetSlowLogCapacity(int(n))
+		return &core.Result{}, nil
 	case "admission_quota":
 		// Value form: "<tenant>:<weight>" — the tenant's weighted-fair-
 		// queueing share of the frontend admission queue.
@@ -814,7 +857,7 @@ func (h *Handler) trace(sess *core.Session, t *TraceStmt) (*core.Result, error) 
 			return nil, derr
 		}
 	}
-	cols := []string{"stage", "data_source", "offset_us", "duration_us", "error", "attempt"}
+	cols := []string{"stage", "data_source", "offset_us", "duration_us", "error", "attempt", "sql"}
 	var rows []sqltypes.Row
 	for _, sp := range tr.Spans() {
 		rows = append(rows, sqltypes.Row{
@@ -824,12 +867,17 @@ func (h *Handler) trace(sess *core.Session, t *TraceStmt) (*core.Result, error) 
 			sqltypes.NewInt(usOf(sp.Dur)),
 			sqltypes.NewString(sp.Err),
 			sqltypes.NewInt(int64(sp.Attempt)),
+			sqltypes.NewString(""),
 		})
 	}
+	// The total row echoes the traced statement through the collector's
+	// capture policy: redacted by default, raw only when slow_query_raw_sql
+	// is on — TRACE output carries no user literals unless asked.
 	rows = append(rows, sqltypes.Row{
 		sqltypes.NewString("total"), sqltypes.NewString(""),
 		sqltypes.NewInt(0), sqltypes.NewInt(usOf(tr.Total())), sqltypes.NewString(""),
 		sqltypes.NewInt(0),
+		sqltypes.NewString(sess.Kernel().Telemetry().Redact(t.SQL)),
 	})
 	return rowsResult(cols, rows), nil
 }
@@ -947,7 +995,7 @@ func (h *Handler) showSQLMetrics(k *core.Kernel) (*core.Result, error) {
 // compact per-span breakdown (RAL's SHOW SLOW QUERIES).
 func (h *Handler) showSlowQueries(k *core.Kernel) (*core.Result, error) {
 	tel := k.Telemetry()
-	cols := []string{"sql", "total_us", "at", "spans"}
+	cols := []string{"sql", "total_us", "at", "spans", "digest"}
 	var rows []sqltypes.Row
 	for _, e := range tel.Slow() {
 		parts := make([]string, 0, len(e.Spans))
@@ -963,12 +1011,147 @@ func (h *Handler) showSlowQueries(k *core.Kernel) (*core.Result, error) {
 			sqltypes.NewInt(usOf(e.Total)),
 			sqltypes.NewString(e.At.Format(time.RFC3339Nano)),
 			sqltypes.NewString(strings.Join(parts, " ")),
+			sqltypes.NewString(e.Digest),
+		})
+	}
+	return rowsResult(cols, rows), nil
+}
+
+// showDigests renders the statement digest registry (RAL's SHOW
+// STATEMENT DIGESTS), ranked by accumulated wall time or call count.
+func (h *Handler) showDigests(k *core.Kernel, t *ShowDigests) (*core.Result, error) {
+	w := k.Workload()
+	if w == nil {
+		return nil, fmt.Errorf("distsql: statement digests are disabled")
+	}
+	snaps := w.Digests.Snapshot()
+	if t.OrderBy == "calls" {
+		sort.Slice(snaps, func(i, j int) bool {
+			if snaps[i].Calls != snaps[j].Calls {
+				return snaps[i].Calls > snaps[j].Calls
+			}
+			return snaps[i].Key < snaps[j].Key
+		})
+	} else {
+		sort.Slice(snaps, func(i, j int) bool {
+			if snaps[i].Total != snaps[j].Total {
+				return snaps[i].Total > snaps[j].Total
+			}
+			return snaps[i].Key < snaps[j].Key
+		})
+	}
+	cols := []string{"digest", "sql", "calls", "errors", "retries", "rows", "bytes",
+		"total_us", "avg_us", "p50_us", "p99_us", "single_shard", "cross_shard", "avg_shards", "max_shards"}
+	rows := make([]sqltypes.Row, 0, len(snaps))
+	for _, s := range snaps {
+		avg := int64(0)
+		avgShards := "0.00"
+		if s.Calls > 0 {
+			avg = usOf(s.Total) / s.Calls
+			avgShards = fmt.Sprintf("%.2f", float64(s.ShardsSum)/float64(s.Calls))
+		}
+		rows = append(rows, sqltypes.Row{
+			sqltypes.NewString(s.ID),
+			sqltypes.NewString(s.Key),
+			sqltypes.NewInt(s.Calls),
+			sqltypes.NewInt(s.Errors),
+			sqltypes.NewInt(s.Retries),
+			sqltypes.NewInt(s.Rows),
+			sqltypes.NewInt(s.Bytes),
+			sqltypes.NewInt(usOf(s.Total)),
+			sqltypes.NewInt(avg),
+			sqltypes.NewInt(usOf(s.P50)),
+			sqltypes.NewInt(usOf(s.P99)),
+			sqltypes.NewInt(s.SingleShard),
+			sqltypes.NewInt(s.CrossShard),
+			sqltypes.NewString(avgShards),
+			sqltypes.NewInt(s.ShardsMax),
+		})
+	}
+	return rowsResult(cols, rows), nil
+}
+
+// showShardHeat renders the (table, shard) heat map ranked by decayed
+// rate, so the currently-hot shards come first even after a traffic
+// shift (RAL's SHOW SHARD HEAT).
+func (h *Handler) showShardHeat(k *core.Kernel) (*core.Result, error) {
+	w := k.Workload()
+	if w == nil {
+		return nil, fmt.Errorf("distsql: statement digests are disabled")
+	}
+	snaps := w.Heat.Snapshot(digest.Now())
+	sort.Slice(snaps, func(i, j int) bool {
+		if snaps[i].Rate != snaps[j].Rate {
+			return snaps[i].Rate > snaps[j].Rate
+		}
+		if ti, tj := snaps[i].Queries+snaps[i].Execs, snaps[j].Queries+snaps[j].Execs; ti != tj {
+			return ti > tj
+		}
+		if snaps[i].DataSource != snaps[j].DataSource {
+			return snaps[i].DataSource < snaps[j].DataSource
+		}
+		return snaps[i].ActualTable < snaps[j].ActualTable
+	})
+	cols := []string{"table", "data_source", "actual_table", "rate_per_s",
+		"queries", "execs", "rows_read", "rows_written", "bytes", "errors", "p50_us", "p99_us"}
+	rows := make([]sqltypes.Row, 0, len(snaps))
+	for _, s := range snaps {
+		rows = append(rows, sqltypes.Row{
+			sqltypes.NewString(s.LogicTable),
+			sqltypes.NewString(s.DataSource),
+			sqltypes.NewString(s.ActualTable),
+			sqltypes.NewString(fmt.Sprintf("%.2f", s.Rate)),
+			sqltypes.NewInt(s.Queries),
+			sqltypes.NewInt(s.Execs),
+			sqltypes.NewInt(s.RowsRead),
+			sqltypes.NewInt(s.RowsWritten),
+			sqltypes.NewInt(s.Bytes),
+			sqltypes.NewInt(s.Errors),
+			sqltypes.NewInt(usOf(s.P50)),
+			sqltypes.NewInt(usOf(s.P99)),
+		})
+	}
+	return rowsResult(cols, rows), nil
+}
+
+// showHotKeys renders the space-saving sketch's top sharding-key values
+// (RAL's SHOW HOT KEYS).
+func (h *Handler) showHotKeys(k *core.Kernel) (*core.Result, error) {
+	w := k.Workload()
+	if w == nil {
+		return nil, fmt.Errorf("distsql: statement digests are disabled")
+	}
+	tk := w.HotKeys()
+	if tk == nil {
+		return nil, fmt.Errorf("distsql: hot-key tracking is off; SET VARIABLE hotkey_tracking = true")
+	}
+	cols := []string{"table", "column", "value", "count", "max_error"}
+	var rows []sqltypes.Row
+	for _, r := range tk.Top(0) {
+		rows = append(rows, sqltypes.Row{
+			sqltypes.NewString(r.Table),
+			sqltypes.NewString(r.Column),
+			sqltypes.NewString(r.Value),
+			sqltypes.NewInt(r.Count),
+			sqltypes.NewInt(r.MaxError),
 		})
 	}
 	return rowsResult(cols, rows), nil
 }
 
 func usOf(d time.Duration) int64 { return int64(d / time.Microsecond) }
+
+// parseBoolVar accepts the forms clients actually send for boolean RAL
+// variables.
+func parseBoolVar(v string) (bool, error) {
+	switch strings.ToLower(strings.TrimSpace(v)) {
+	case "true", "on", "1":
+		return true, nil
+	case "false", "off", "0":
+		return false, nil
+	}
+	return false, fmt.Errorf("not a boolean: %q", v)
+}
 
 // showAdmission renders the frontend admission controller's live state
 // (RAL's SHOW ADMISSION STATUS): config, gauges and per-tenant

@@ -150,6 +150,26 @@ type ShowAdmission struct{}
 // (RAL, distributed transactions).
 type ShowTxnMetrics struct{}
 
+// ShowDigests is SHOW STATEMENT DIGESTS [ORDER BY total_time|calls]:
+// the per-shape workload table — calls, errors, retries, rows, latency
+// quantiles and the single- vs cross-shard split (RAL, workload
+// observability).
+type ShowDigests struct {
+	OrderBy string // "total_time" (default) or "calls"
+}
+
+// ShowShardHeat is SHOW SHARD HEAT: per-(table, shard) traffic with an
+// exponentially-decayed rate, ranked hottest first.
+type ShowShardHeat struct{}
+
+// ShowHotKeys is SHOW HOT KEYS: the top-k sharding-key values observed
+// by the router while SET VARIABLE hotkey_tracking = true.
+type ShowHotKeys struct{}
+
+// ResetDigests is RESET DIGESTS: clears the digest registry, the shard
+// heat map and the hot-key sketch.
+type ResetDigests struct{}
+
 func (*CreateShardingRule) distSQLStmt() {}
 func (*DropShardingRule) distSQLStmt()   {}
 func (*CreateBinding) distSQLStmt()      {}
@@ -173,6 +193,10 @@ func (*ShowRemoteStatus) distSQLStmt()   {}
 func (*ShowClusterMetrics) distSQLStmt() {}
 func (*ShowAdmission) distSQLStmt()      {}
 func (*ShowTxnMetrics) distSQLStmt()     {}
+func (*ShowDigests) distSQLStmt()        {}
+func (*ShowShardHeat) distSQLStmt()      {}
+func (*ShowHotKeys) distSQLStmt()        {}
+func (*ResetDigests) distSQLStmt()       {}
 
 // parser walks the token stream from the shared lexer.
 type parser struct {
@@ -402,8 +426,48 @@ func (p *parser) parse() (Statement, error) {
 				return nil, err
 			}
 			return &ShowTxnMetrics{}, nil
+		case "STATEMENT":
+			p.pos++
+			if err := p.expect("DIGESTS"); err != nil {
+				return nil, err
+			}
+			stmt := &ShowDigests{OrderBy: "total_time"}
+			if p.accept("ORDER") {
+				if err := p.expect("BY"); err != nil {
+					return nil, err
+				}
+				col, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				switch strings.ToLower(col) {
+				case "total_time", "calls":
+					stmt.OrderBy = strings.ToLower(col)
+				default:
+					return nil, fmt.Errorf("distsql: ORDER BY wants total_time or calls, got %q", col)
+				}
+			}
+			return stmt, nil
+		case "SHARD":
+			p.pos++
+			if err := p.expect("HEAT"); err != nil {
+				return nil, err
+			}
+			return &ShowShardHeat{}, nil
+		case "HOT":
+			p.pos++
+			if err := p.expect("KEYS"); err != nil {
+				return nil, err
+			}
+			return &ShowHotKeys{}, nil
 		}
 		return nil, fmt.Errorf("distsql: unsupported SHOW target %q", p.cur().Val)
+	case "RESET":
+		p.pos++
+		if err := p.expect("DIGESTS"); err != nil {
+			return nil, err
+		}
+		return &ResetDigests{}, nil
 	case "RESHARD":
 		p.pos++
 		if p.word() == "SHARDING" {

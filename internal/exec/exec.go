@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"shardingsphere/internal/digest"
 	"shardingsphere/internal/resource"
 	"shardingsphere/internal/rewrite"
 	"shardingsphere/internal/sqltypes"
@@ -116,6 +117,15 @@ type Executor struct {
 
 	listener Listener
 	tel      *telemetry.Collector
+	// heat is the (table, shard) workload heat map; nil until the kernel
+	// installs one, and per-unit attribution costs one atomic load when
+	// absent.
+	heat atomic.Pointer[digest.Heat]
+	// heatCache is a direct-mapped cache of resolved heat cells, indexed
+	// by a cheap hash of the actual table name: repeated point queries
+	// against the same few shards skip the striped map probe. Entries
+	// carry the heat map's reset epoch so RESET DIGESTS invalidates them.
+	heatCache [16]atomic.Pointer[cellRef]
 	// stats is a copy-on-write snapshot of per-source telemetry buckets,
 	// rebuilt on SetTelemetry/AddSource/RemoveSource so the per-unit hot
 	// path resolves its bucket with one plain map read.
@@ -161,6 +171,61 @@ func (e *Executor) SetTelemetry(c *telemetry.Collector) {
 	e.lockMu.Lock()
 	e.rebuildStats()
 	e.lockMu.Unlock()
+}
+
+// SetHeat installs the shard heat map; every routed unit is attributed
+// to its (logic table, data source, actual table) cell.
+func (e *Executor) SetHeat(h *digest.Heat) { e.heat.Store(h) }
+
+// cellRef is one heatCache slot: the resolved cell plus the heat map's
+// reset epoch it was resolved under.
+type cellRef struct {
+	cell  *digest.Cell
+	epoch uint64
+}
+
+// heatCell resolves a unit's heat cell, or nil when the heat map is off
+// or the unit carries no table attribution (unsharded default routes,
+// TCL broadcasts). The direct-mapped cache turns the steady-state cost
+// into one atomic load and three string compares (usually pointer-equal:
+// unit names come from the same rule metadata every execution).
+func (e *Executor) heatCell(u rewrite.SQLUnit) *digest.Cell {
+	h := e.heat.Load()
+	if h == nil || u.LogicTable == "" {
+		return nil
+	}
+	at := u.ActualTable
+	if at == "" {
+		return h.Cell(u.LogicTable, u.DataSource, at)
+	}
+	slot := &e.heatCache[(uint(at[len(at)-1])^uint(len(at)))&15]
+	if ref := slot.Load(); ref != nil && ref.epoch == h.Epoch() {
+		if c := ref.cell; c.ActualTable == at && c.DataSource == u.DataSource && c.LogicTable == u.LogicTable {
+			return c
+		}
+	}
+	c := h.Cell(u.LogicTable, u.DataSource, at)
+	if c != nil {
+		slot.Store(&cellRef{cell: c, epoch: h.Epoch()})
+	}
+	return c
+}
+
+// noteDrainedRows charges a drained (fully materialized) result's rows
+// to a heat cell. Drained sets are slice-backed, so counting is a walk
+// over rows already in memory — the streaming path counts through
+// digest.WrapRows instead.
+func noteDrainedRows(c *digest.Cell, rs resource.ResultSet) {
+	if c == nil {
+		return
+	}
+	if s, ok := rs.(*resource.SliceResultSet); ok {
+		var b int64
+		for _, r := range s.Data {
+			b += digest.RowBytes(r)
+		}
+		c.AddRead(len(s.Data), b)
+	}
 }
 
 // rebuildStats recomputes the per-source stats snapshot; lockMu held.
@@ -589,9 +654,11 @@ func (e *Executor) runQueryGroup(ctx context.Context, units []rewrite.SQLUnit, g
 		}
 		for _, idx := range g.units {
 			u := units[idx]
+			cell := e.heatCell(u)
 			start := time.Now()
 			rs, err := conn.Query(ctx, u.SQL, u.Args...)
 			dur := e.observe(tr, g.ds, u.SQL, start, attempt, err)
+			cell.ObserveQuery(start, dur, err)
 			if err != nil {
 				return wrapUnitErr(u, dur, err)
 			}
@@ -599,6 +666,7 @@ func (e *Executor) runQueryGroup(ctx context.Context, units []rewrite.SQLUnit, g
 			if err != nil {
 				return wrapUnitErr(u, dur, err)
 			}
+			noteDrainedRows(cell, drained)
 			mu.Lock()
 			res.Sets[idx] = drained
 			mu.Unlock()
@@ -674,9 +742,11 @@ func (e *Executor) runConnShare(ctx context.Context, units []rewrite.SQLUnit, g 
 	var firstErr error
 	for _, idx := range share {
 		u := units[idx]
+		cell := e.heatCell(u)
 		start := time.Now()
 		rs, err := conn.Query(ctx, u.SQL, u.Args...)
 		dur := e.observe(tr, g.ds, u.SQL, start, attempt, err)
+		cell.ObserveQuery(start, dur, err)
 		if err != nil {
 			firstErr = wrapUnitErr(u, dur, err)
 			break
@@ -687,6 +757,7 @@ func (e *Executor) runConnShare(ctx context.Context, units []rewrite.SQLUnit, g 
 				firstErr = wrapUnitErr(u, dur, err)
 				break
 			}
+			noteDrainedRows(cell, drained)
 			mu.Lock()
 			res.Sets[idx] = drained
 			mu.Unlock()
@@ -694,10 +765,15 @@ func (e *Executor) runConnShare(ctx context.Context, units []rewrite.SQLUnit, g 
 			// Memory-strict: hand the open cursor to the merger under a
 			// conn lease — the connection stays checked out until the
 			// merged set closes the cursor (paper: stream merger keeps
-			// one connection per data node).
+			// one connection per data node). Rows are counted into the
+			// heat cell as batches stream through the lease.
 			streaming = true
+			lease := resource.NewConnLease(rs, conn)
+			if cell != nil {
+				lease.AddSink(cell)
+			}
 			mu.Lock()
-			res.Sets[idx] = resource.NewConnLease(rs, conn)
+			res.Sets[idx] = lease
 			mu.Unlock()
 		}
 	}
@@ -864,6 +940,7 @@ func (e *Executor) runUpdateGroup(ctx context.Context, units []rewrite.SQLUnit, 
 				failed = units[g.units[be.Index]]
 			}
 			dur := e.observe(tr, g.ds, failed.SQL, start, 1, err)
+			e.heatCell(failed).ObserveExec(start, dur, 0, err)
 			return wrapUnitErr(failed, dur, err)
 		}
 		e.observe(tr, g.ds, units[g.units[0]].SQL, start, 1, nil)
@@ -875,6 +952,12 @@ func (e *Executor) runUpdateGroup(ctx context.Context, units []rewrite.SQLUnit, 
 			}
 		}
 		mu.Unlock()
+		// Per-unit heat attribution: results line up with g.units. The
+		// batch measured one duration for the whole window, so unit cells
+		// skip the latency histogram and count calls/rows only.
+		for i, idx := range g.units {
+			e.heatCell(units[idx]).ObserveExec(start, 0, results[i].Affected, nil)
+		}
 		return nil
 	}
 	for _, idx := range g.units {
@@ -882,6 +965,7 @@ func (e *Executor) runUpdateGroup(ctx context.Context, units []rewrite.SQLUnit, 
 		start := time.Now()
 		r, err := conn.Exec(ctx, u.SQL, u.Args...)
 		dur := e.observe(tr, g.ds, u.SQL, start, 1, err)
+		e.heatCell(u).ObserveExec(start, dur, r.Affected, err)
 		if err != nil {
 			return wrapUnitErr(u, dur, err)
 		}

@@ -11,6 +11,8 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -35,9 +37,60 @@ type Server struct {
 	srv       *http.Server
 }
 
-// NewServer builds an endpoint with no sources registered.
+// NewServer builds an endpoint with the process's Go runtime gauges
+// pre-registered under the "go" component, so every binary that mounts
+// the endpoint exports them without extra wiring.
 func NewServer() *Server {
-	return &Server{gatherers: map[string]Gatherer{}, snaps: map[string]SnapshotSource{}}
+	s := &Server{gatherers: map[string]Gatherer{}, snaps: map[string]SnapshotSource{}}
+	s.Register("go", RuntimeGauges)
+	return s
+}
+
+// RuntimeGauges reports process health at scrape time: goroutine count,
+// heap bytes, GC pause p99 over the runtime's recent-pause ring, and
+// the open file-descriptor count (sockets dominate it on a proxy).
+func RuntimeGauges() map[string]int64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return map[string]int64{
+		"goroutines":      int64(runtime.NumGoroutine()),
+		"heap_bytes":      int64(ms.HeapAlloc),
+		"heap_objects":    int64(ms.HeapObjects),
+		"gc_cycles":       int64(ms.NumGC),
+		"gc_pause_p99_us": gcPauseP99(&ms),
+		"fds":             openFDs(),
+	}
+}
+
+// gcPauseP99 computes the 99th-percentile stop-the-world pause from
+// MemStats' circular ring of recent pauses (order is irrelevant for a
+// quantile), in microseconds.
+func gcPauseP99(ms *runtime.MemStats) int64 {
+	n := int(ms.NumGC)
+	if n == 0 {
+		return 0
+	}
+	if n > len(ms.PauseNs) {
+		n = len(ms.PauseNs)
+	}
+	pauses := make([]uint64, n)
+	copy(pauses, ms.PauseNs[:n])
+	sort.Slice(pauses, func(i, j int) bool { return pauses[i] < pauses[j] })
+	idx := n * 99 / 100
+	if idx >= n {
+		idx = n - 1
+	}
+	return int64(pauses[idx] / 1000)
+}
+
+// openFDs counts the process's open file descriptors via /proc; on
+// platforms without procfs it reports -1 rather than guessing.
+func openFDs() int64 {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return -1
+	}
+	return int64(len(ents))
 }
 
 // Register attaches a named counter gatherer; its keys render as

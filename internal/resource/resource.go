@@ -770,6 +770,33 @@ type ConnLease struct {
 	rs   ResultSet
 	conn *PooledConn
 	done bool
+	// sinks receive streamed row counts. Fixed slots rather than a
+	// wrapper chain: the workload plane charges both a shard heat cell
+	// and a statement digest entry on every streamed statement, and
+	// wrapping the cursor twice per statement is measurable on a cached
+	// point select. Counts accumulate in plain fields (the lease is
+	// single-reader) and flush to the sinks once, at stream end or Close,
+	// so a point select pays one sink call instead of one per batch.
+	sinks        [2]RowSink
+	pendingRows  int
+	pendingBytes int64
+}
+
+// RowSink receives streamed row counts; the workload plane's digest
+// entries and heat cells implement it.
+type RowSink interface {
+	AddStreamedRows(rows int, bytes int64)
+}
+
+// RowBytes approximates a row's wire size: the string payload plus a
+// fixed 16 bytes per value for kind and numeric storage. Cheap and
+// stable — good enough for ranking shards by bytes moved.
+func RowBytes(row sqltypes.Row) int64 {
+	b := int64(len(row)) * 16
+	for i := range row {
+		b += int64(len(row[i].S))
+	}
+	return b
 }
 
 // NewConnLease wraps an open cursor and the pooled connection it rides.
@@ -777,14 +804,65 @@ func NewConnLease(rs ResultSet, conn *PooledConn) *ConnLease {
 	return &ConnLease{rs: rs, conn: conn}
 }
 
+// AddSink attaches a row sink (up to two; extras are dropped). Callers
+// attach sinks before handing the lease out, never concurrently with
+// reads.
+func (l *ConnLease) AddSink(s RowSink) {
+	for i := range l.sinks {
+		if l.sinks[i] == nil {
+			l.sinks[i] = s
+			return
+		}
+	}
+}
+
+// flush charges the accumulated counts to every sink.
+func (l *ConnLease) flush() {
+	if l.pendingRows == 0 {
+		return
+	}
+	rows, bytes := l.pendingRows, l.pendingBytes
+	l.pendingRows, l.pendingBytes = 0, 0
+	for _, s := range l.sinks {
+		if s != nil {
+			s.AddStreamedRows(rows, bytes)
+		}
+	}
+}
+
 // Columns implements ResultSet.
 func (l *ConnLease) Columns() []string { return l.rs.Columns() }
 
 // Next implements ResultSet.
-func (l *ConnLease) Next() (sqltypes.Row, error) { return l.rs.Next() }
+func (l *ConnLease) Next() (sqltypes.Row, error) {
+	row, err := l.rs.Next()
+	if l.sinks[0] == nil && l.sinks[1] == nil {
+		return row, err
+	}
+	if err == nil {
+		l.pendingRows++
+		l.pendingBytes += RowBytes(row)
+	} else {
+		l.flush()
+	}
+	return row, err
+}
 
 // NextBatch implements ResultSet.
-func (l *ConnLease) NextBatch(buf []sqltypes.Row) (int, error) { return l.rs.NextBatch(buf) }
+func (l *ConnLease) NextBatch(buf []sqltypes.Row) (int, error) {
+	n, err := l.rs.NextBatch(buf)
+	if l.sinks[0] == nil && l.sinks[1] == nil {
+		return n, err
+	}
+	for i := 0; i < n; i++ {
+		l.pendingRows++
+		l.pendingBytes += RowBytes(buf[i])
+	}
+	if err != nil || n == 0 {
+		l.flush()
+	}
+	return n, err
+}
 
 // Close implements ResultSet: cursor first, then the connection goes
 // back to (or out of) the pool exactly once.
@@ -793,6 +871,7 @@ func (l *ConnLease) Close() error {
 		return nil
 	}
 	l.done = true
+	l.flush()
 	err := l.rs.Close()
 	l.conn.Release()
 	return err

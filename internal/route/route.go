@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"shardingsphere/internal/sharding"
 	"shardingsphere/internal/sqlparser"
@@ -95,6 +96,41 @@ type Router struct {
 	// statements without an explicit column list need it to locate the
 	// sharding key. The kernel wires its metadata service here.
 	Columns func(logicTable string) ([]string, error)
+
+	// keyObs, when installed, sees every equality sharding-key value the
+	// router resolves (hot-key tracking). Off by default: the cost is one
+	// atomic nil load per routed table.
+	keyObs atomic.Pointer[KeyObserver]
+}
+
+// KeyObserver receives routed sharding-key values.
+type KeyObserver func(table, column string, v sqltypes.Value)
+
+// SetKeyObserver installs (or, with nil, removes) the sharding-key
+// observer.
+func (r *Router) SetKeyObserver(fn KeyObserver) {
+	if fn == nil {
+		r.keyObs.Store(nil)
+		return
+	}
+	r.keyObs.Store(&fn)
+}
+
+// noteKeys reports a routed statement's equality sharding-key values to
+// the observer. Range conditions are skipped — a range is not a key.
+func (r *Router) noteKeys(table string, conds map[string]sharding.Condition) {
+	obs := r.keyObs.Load()
+	if obs == nil || len(conds) == 0 {
+		return
+	}
+	for col, c := range conds {
+		if c.Ranged {
+			continue
+		}
+		for _, v := range c.Values {
+			(*obs)(table, col, v)
+		}
+	}
 }
 
 // New builds a router. allDataSources is the complete data source list
@@ -199,7 +235,9 @@ func (r *Router) routeSelect(stmt *sqlparser.SelectStmt, args []sqltypes.Value, 
 
 	primary := shardedTables[0]
 	rule, _ := r.rules.Rule(primary)
-	nodes, err := rule.Route(condsFor(conds, primary, rule), hint)
+	primaryConds := condsFor(conds, primary, rule)
+	r.noteKeys(primary, primaryConds)
+	nodes, err := rule.Route(primaryConds, hint)
 	if err != nil {
 		return nil, err
 	}
@@ -239,7 +277,9 @@ func (r *Router) cartesian(tables []string, conds map[string]map[string]sharding
 	perTable := make([][]sharding.DataNode, len(tables))
 	for i, t := range tables {
 		rule, _ := r.rules.Rule(t)
-		nodes, err := rule.Route(condsFor(conds, t, rule), hint)
+		tableConds := condsFor(conds, t, rule)
+		r.noteKeys(t, tableConds)
+		nodes, err := rule.Route(tableConds, hint)
 		if err != nil {
 			return nil, err
 		}
@@ -346,6 +386,7 @@ func (r *Router) routeInsert(stmt *sqlparser.InsertStmt, args []sqltypes.Value, 
 			}
 			conds[col] = sharding.Condition{Values: []sqltypes.Value{v}}
 		}
+		r.noteKeys(stmt.Table, conds)
 		nodes, err := rule.Route(conds, hint)
 		if err != nil {
 			return nil, err
@@ -406,7 +447,9 @@ func (r *Router) routeWhereOnly(table, alias string, where sqlparser.Expr, args 
 		aliases[strings.ToLower(alias)] = strings.ToLower(table)
 	}
 	conds := extractConditions(where, args, aliases)
-	nodes, err := rule.Route(condsFor(conds, table, rule), hint)
+	tableConds := condsFor(conds, table, rule)
+	r.noteKeys(table, tableConds)
+	nodes, err := rule.Route(tableConds, hint)
 	if err != nil {
 		return nil, err
 	}

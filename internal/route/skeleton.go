@@ -192,7 +192,9 @@ func (s *Skeleton) Route(args []sqltypes.Value, hint *sqltypes.Value) (*Result, 
 			putCond(conds, tbl, slot.col, sharding.Condition{Ranged: true, Lo: &lo, Hi: &hi})
 		}
 	}
-	nodes, err := s.rule.Route(condsFor(conds, s.table, s.rule), hint)
+	tableConds := condsFor(conds, s.table, s.rule)
+	s.r.noteKeys(s.table, tableConds)
+	nodes, err := s.rule.Route(tableConds, hint)
 	if err != nil {
 		return nil, err
 	}

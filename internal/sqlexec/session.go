@@ -116,7 +116,28 @@ func (s *Session) ExecuteStmt(stmt sqlparser.Statement, args []sqltypes.Value) (
 	if err != nil {
 		s.proc.stats.Errors.Add(1)
 	}
+	if table, write, ok := stmtTable(stmt); ok {
+		s.proc.stats.noteTable(table, write, err != nil)
+	}
 	return res, err
+}
+
+// stmtTable names the table a DML statement targets (single-table
+// shapes only), for the node's per-table heat counters.
+func stmtTable(stmt sqlparser.Statement) (table string, write, ok bool) {
+	switch t := stmt.(type) {
+	case *sqlparser.SelectStmt:
+		if len(t.From) == 1 {
+			return t.From[0].Name, false, true
+		}
+	case *sqlparser.InsertStmt:
+		return t.Table, true, true
+	case *sqlparser.UpdateStmt:
+		return t.Table, true, true
+	case *sqlparser.DeleteStmt:
+		return t.Table, true, true
+	}
+	return "", false, false
 }
 
 func (s *Session) executeStmt(stmt sqlparser.Statement, args []sqltypes.Value) (*Result, error) {

@@ -5,11 +5,25 @@
 package sqlexec
 
 import (
+	"sort"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"shardingsphere/internal/telemetry"
 )
+
+// maxTableStats bounds the per-table counter map so a workload creating
+// tables in a loop cannot grow the node snapshot without bound.
+const maxTableStats = 256
+
+// tableStat is one actual table's always-on counters on the node: the
+// node-side half of the proxy's shard heat map, federated per node over
+// FrameMetricsPull.
+type tableStat struct {
+	reads, writes, errors atomic.Int64
+}
 
 // Stats aggregates node-local execution metrics. Statement and error
 // counters are always on (one atomic add per statement); the latency
@@ -27,6 +41,38 @@ type Stats struct {
 	Write    telemetry.Histogram
 	LockWait telemetry.Histogram
 	Commit   telemetry.Histogram
+
+	tables     sync.Map // string -> *tableStat
+	tableCount atomic.Int64
+}
+
+// noteTable charges one statement to its target table. Unknown shapes
+// (multi-table selects, DDL) pass an empty table and are skipped.
+func (st *Stats) noteTable(table string, write, failed bool) {
+	if table == "" {
+		return
+	}
+	table = strings.ToLower(table)
+	v, ok := st.tables.Load(table)
+	if !ok {
+		if st.tableCount.Load() >= maxTableStats {
+			return
+		}
+		var loaded bool
+		v, loaded = st.tables.LoadOrStore(table, &tableStat{})
+		if !loaded {
+			st.tableCount.Add(1)
+		}
+	}
+	ts := v.(*tableStat)
+	if write {
+		ts.writes.Add(1)
+	} else {
+		ts.reads.Add(1)
+	}
+	if failed {
+		ts.errors.Add(1)
+	}
 }
 
 // Snapshot exports the node's metrics in the federated shape pulled by
@@ -37,6 +83,23 @@ func (st *Stats) Snapshot() *telemetry.MetricsSnapshot {
 			{Name: "node.statements", Value: st.Statements.Load()},
 			{Name: "node.errors", Value: st.Errors.Load()},
 		},
+	}
+	// Per-table heat rides along as heat.<table>.* counters; names sort
+	// deterministically so repeated pulls diff cleanly.
+	var tableNames []string
+	st.tables.Range(func(k, _ any) bool {
+		tableNames = append(tableNames, k.(string))
+		return true
+	})
+	sort.Strings(tableNames)
+	for _, name := range tableNames {
+		v, _ := st.tables.Load(name)
+		ts := v.(*tableStat)
+		out.Counters = append(out.Counters,
+			telemetry.NamedCounter{Name: "heat." + name + ".reads", Value: ts.reads.Load()},
+			telemetry.NamedCounter{Name: "heat." + name + ".writes", Value: ts.writes.Load()},
+			telemetry.NamedCounter{Name: "heat." + name + ".errors", Value: ts.errors.Load()},
+		)
 	}
 	add := func(name string, h *telemetry.Histogram) {
 		if h.Count() == 0 {

@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestMergeSnapshotsDisjointDigestCounters: nodes reporting disjoint
+// digest counter sets (each node saw different statement shapes) must
+// union cleanly — every counter survives the merge with its node value,
+// nothing is dropped or double-counted.
+func TestMergeSnapshotsDisjointDigestCounters(t *testing.T) {
+	a := &MetricsSnapshot{Counters: []NamedCounter{
+		{Name: "digest.calls", Value: 100},
+		{Name: "heat.sbtest_0.reads", Value: 40},
+	}}
+	b := &MetricsSnapshot{Counters: []NamedCounter{
+		{Name: "digest.errors", Value: 3},
+		{Name: "heat.sbtest_1.reads", Value: 60},
+	}}
+	m := MergeSnapshots([]*MetricsSnapshot{a, b})
+	got := map[string]int64{}
+	for _, c := range m.Counters {
+		got[c.Name] = c.Value
+	}
+	want := map[string]int64{
+		"digest.calls":        100,
+		"digest.errors":       3,
+		"heat.sbtest_0.reads": 40,
+		"heat.sbtest_1.reads": 60,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("merged counters: %v", got)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("%s = %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+// TestMergeSnapshotsDigestCallsProperty is the federation invariant the
+// digest surfaces rely on: for any partition of the workload across
+// nodes, merged digest.calls must equal the exact sum of the per-node
+// values — overlapping and disjoint counter sets alike.
+func TestMergeSnapshotsDigestCallsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 100; round++ {
+		nodes := 1 + rng.Intn(6)
+		snaps := make([]*MetricsSnapshot, 0, nodes)
+		wantCalls := map[string]int64{}
+		for n := 0; n < nodes; n++ {
+			s := &MetricsSnapshot{}
+			families := 1 + rng.Intn(4)
+			for f := 0; f < families; f++ {
+				// A small name space so rounds mix overlap and disjointness.
+				name := fmt.Sprintf("digest.calls.%d", rng.Intn(5))
+				v := rng.Int63n(1 << 40)
+				s.Counters = append(s.Counters, NamedCounter{Name: name, Value: v})
+				wantCalls[name] += v
+			}
+			snaps = append(snaps, s)
+		}
+		m := MergeSnapshots(snaps)
+		got := map[string]int64{}
+		for _, c := range m.Counters {
+			got[c.Name] = c.Value
+		}
+		for name, want := range wantCalls {
+			if got[name] != want {
+				t.Fatalf("round %d: %s = %d, want node sum %d", round, name, got[name], want)
+			}
+		}
+		if len(got) != len(wantCalls) {
+			t.Fatalf("round %d: %d merged names, want %d", round, len(got), len(wantCalls))
+		}
+	}
+}
+
+// TestMergeSnapshotsCounterOverflow: summing counters near the int64
+// ceiling wraps like two's-complement addition — the merge must not
+// panic or drop the counter, and the wrapped value is exactly what
+// int64 arithmetic gives. (Monotonic counters take centuries to get
+// here; the test pins the behavior so a future checked-add change is a
+// deliberate one.)
+func TestMergeSnapshotsCounterOverflow(t *testing.T) {
+	a := &MetricsSnapshot{Counters: []NamedCounter{{Name: "digest.calls", Value: math.MaxInt64}}}
+	b := &MetricsSnapshot{Counters: []NamedCounter{{Name: "digest.calls", Value: 2}}}
+	m := MergeSnapshots([]*MetricsSnapshot{a, b})
+	if len(m.Counters) != 1 {
+		t.Fatalf("counters: %+v", m.Counters)
+	}
+	var want int64 = math.MaxInt64
+	want += 2 // wraps to MinInt64+1
+	if got := m.Counters[0].Value; got != want {
+		t.Fatalf("overflowed sum = %d, want %d", got, want)
+	}
+}

@@ -217,5 +217,11 @@ func (c *Collector) MetricsSnapshot() *MetricsSnapshot {
 		return true
 	})
 	sort.Slice(out.Histograms, func(i, j int) bool { return out.Histograms[i].Name < out.Histograms[j].Name })
+	c.extraMu.Lock()
+	extras := c.snapshotExtras
+	c.extraMu.Unlock()
+	for _, fn := range extras {
+		fn(out)
+	}
 	return out
 }

@@ -6,53 +6,94 @@ import (
 )
 
 // SlowEntry is one captured slow statement with its full span breakdown.
+// SQL holds the normalized (literal-redacted) text unless the collector
+// was switched to raw capture; Digest is the statement's digest id when
+// the shape was known at capture time, joining the entry to SHOW
+// STATEMENT DIGESTS.
 type SlowEntry struct {
-	SQL   string
-	Total time.Duration
-	At    time.Time
-	Spans []Span
+	SQL    string
+	Digest string
+	Total  time.Duration
+	At     time.Time
+	Spans  []Span
 }
 
-// slowLog is a fixed-capacity ring of the most recent slow statements.
-// Capture happens only for statements over the threshold, so the mutex is
-// off the hot path entirely.
+// slowLog is a bounded ring of the most recent slow statements. Capture
+// happens only for statements over the threshold, so the mutex is off
+// the hot path entirely.
+//
+// Invariant: either the ring is filling (len(ring) < capacity and next
+// == len(ring)) or full (len(ring) == capacity and next is the index
+// the next capture overwrites, i.e. the oldest entry). setCapacity
+// re-establishes the invariant when the bound changes at runtime; all
+// index arithmetic is modulo len(ring), never cap(ring) — the two
+// diverge as soon as the capacity shrinks below an earlier allocation.
 type slowLog struct {
-	mu    sync.Mutex
-	ring  []SlowEntry
-	next  int
-	count uint64 // cumulative captures, not ring occupancy
+	mu       sync.Mutex
+	ring     []SlowEntry
+	capacity int
+	next     int
+	count    uint64 // cumulative captures, not ring occupancy
 }
 
 func newSlowLog(capacity int) *slowLog {
 	if capacity <= 0 {
 		capacity = 64
 	}
-	return &slowLog{ring: make([]SlowEntry, 0, capacity)}
+	return &slowLog{ring: make([]SlowEntry, 0, capacity), capacity: capacity}
 }
 
 func (l *slowLog) add(e SlowEntry) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	l.count++
-	if len(l.ring) < cap(l.ring) {
+	if len(l.ring) < l.capacity {
 		l.ring = append(l.ring, e)
-		l.next = len(l.ring) % cap(l.ring)
+		l.next = len(l.ring) % l.capacity
 		return
 	}
 	l.ring[l.next] = e
-	l.next = (l.next + 1) % cap(l.ring)
+	l.next = (l.next + 1) % l.capacity
+}
+
+// setCapacity rebounds the ring, keeping the most recent min(n,
+// occupancy) entries in order.
+func (l *slowLog) setCapacity(n int) {
+	if n <= 0 {
+		n = 64
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	recent := l.entriesLocked() // most recent first
+	if len(recent) > n {
+		recent = recent[:n]
+	}
+	ring := make([]SlowEntry, 0, n)
+	for i := len(recent) - 1; i >= 0; i-- {
+		ring = append(ring, recent[i])
+	}
+	l.ring = ring
+	l.capacity = n
+	l.next = len(ring) % n
 }
 
 // entries returns captured statements, most recent first.
 func (l *slowLog) entries() []SlowEntry {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	out := make([]SlowEntry, 0, len(l.ring))
-	for i := 0; i < len(l.ring); i++ {
-		idx := (l.next - 1 - i + 2*cap(l.ring)) % cap(l.ring)
-		if idx >= len(l.ring) {
-			continue
-		}
+	return l.entriesLocked()
+}
+
+func (l *slowLog) entriesLocked() []SlowEntry {
+	n := len(l.ring)
+	out := make([]SlowEntry, 0, n)
+	if n == 0 {
+		return out
+	}
+	// Newest entry: next-1 in full mode; in filling mode next == len, so
+	// the same expression lands on the last appended slot.
+	for i := 0; i < n; i++ {
+		idx := ((l.next-1-i)%n + n) % n
 		out = append(out, l.ring[idx])
 	}
 	return out

@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestSlowLogWrapAround drives the ring through fill, wrap, and runtime
+// capacity changes, checking after every step that entries() returns
+// exactly the most recent min(captures, capacity) statements, newest
+// first. The table covers the index-arithmetic trap the ring had: after
+// a capacity change len(ring) and cap(ring) diverge, and any modulo
+// taken over cap(ring) walks garbage slots.
+func TestSlowLogWrapAround(t *testing.T) {
+	cases := []struct {
+		name    string
+		initial int
+		steps   []any // int = capture n more entries; string "cap=N" = resize
+	}{
+		{"fill only", 4, []any{3}},
+		{"exact fill", 4, []any{4}},
+		{"single wrap", 4, []any{7}},
+		{"many wraps", 3, []any{20}},
+		{"capacity one", 1, []any{5}},
+		{"shrink after wrap", 4, []any{10, "cap=2", 1}},
+		{"shrink while filling", 8, []any{3, "cap=2", 4}},
+		{"grow after wrap", 3, []any{8, "cap=6", 2}},
+		{"grow then wrap again", 2, []any{5, "cap=4", 9}},
+		{"shrink to same occupancy", 6, []any{4, "cap=4", 3}},
+		{"repeated resizes", 4, []any{6, "cap=8", 3, "cap=2", 1, "cap=5", 7}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l := newSlowLog(tc.initial)
+			capacity := tc.initial
+			seq, occupancy := 0, 0
+			check := func() {
+				t.Helper()
+				got := l.entries()
+				if len(got) != occupancy {
+					t.Fatalf("after %d captures at capacity %d: %d entries, want %d",
+						seq, capacity, len(got), occupancy)
+				}
+				// Entries must be the most recent captures, newest first,
+				// with no gaps and no stale slots.
+				for i, e := range got {
+					if wantSQL := fmt.Sprintf("q%d", seq-1-i); e.SQL != wantSQL {
+						t.Fatalf("after %d captures at capacity %d: entry %d = %q, want %q",
+							seq, capacity, i, e.SQL, wantSQL)
+					}
+				}
+				if l.total() != uint64(seq) {
+					t.Fatalf("total %d, want %d", l.total(), seq)
+				}
+			}
+			for _, step := range tc.steps {
+				switch s := step.(type) {
+				case int:
+					for i := 0; i < s; i++ {
+						l.add(SlowEntry{SQL: fmt.Sprintf("q%d", seq), Total: time.Millisecond})
+						seq++
+						if occupancy < capacity {
+							occupancy++
+						}
+						check()
+					}
+				case string:
+					var n int
+					fmt.Sscanf(s, "cap=%d", &n)
+					l.setCapacity(n)
+					capacity = n
+					if occupancy > capacity {
+						occupancy = capacity
+					}
+					check()
+				}
+			}
+		})
+	}
+}

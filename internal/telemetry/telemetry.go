@@ -13,6 +13,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"shardingsphere/internal/sqlparser"
 )
 
 // Stage identifies one pipeline phase of a statement's lifetime.
@@ -155,6 +157,8 @@ type Trace struct {
 	retained bool
 	owned    bool          // caller-owned storage: Finish skips the pool
 	total    time.Duration // set by Finish
+	digest   string        // statement digest id, set by the session when known
+	redacted string        // normalized (literal-free) SQL, set with digest
 
 	// endOff is the furthest known work end (exec / tx spans), advanced
 	// by executor goroutines with a CAS max loop.
@@ -329,6 +333,17 @@ func (t *Trace) AddQueueWait(d time.Duration) {
 // statements); hot-path traces keep coarse spans to stay cheap.
 func (t *Trace) Detailed() bool { return t != nil && t.detailed }
 
+// SetDigest attaches the statement's digest id and normalized shape so
+// a slow-log capture can carry the digest column and redact literals
+// without re-normalizing. Two string stores — no clock, no allocation.
+func (t *Trace) SetDigest(id, normalizedKey string) {
+	if t == nil {
+		return
+	}
+	t.digest = id
+	t.redacted = normalizedKey
+}
+
 // Finish closes the trace: records the total, counts errors, feeds the
 // slow log, and returns the trace to the pool unless it is retained.
 // Sampled traces already know their extent (last mark or furthest
@@ -354,7 +369,15 @@ func (t *Trace) Finish(err error) {
 	if total >= time.Duration(t.col.slowThresholdNs.Load()) {
 		spans := make([]Span, len(t.spans))
 		copy(spans, t.spans)
-		t.col.slow.add(SlowEntry{SQL: t.sql, Total: total, At: t.col.base.Add(t.startOff), Spans: spans})
+		sqlText := t.sql
+		if !t.col.rawSlowSQL.Load() {
+			if t.redacted != "" {
+				sqlText = t.redacted
+			} else {
+				sqlText = RedactSQL(t.sql)
+			}
+		}
+		t.col.slow.add(SlowEntry{SQL: sqlText, Digest: t.digest, Total: total, At: t.col.base.Add(t.startOff), Spans: spans})
 	}
 	if t.retained {
 		t.sortSpans()
@@ -425,9 +448,20 @@ type Collector struct {
 
 	stage [numStages]Histogram
 
+	// rawSlowSQL switches slow-log / trace surfaces back to raw SQL
+	// capture (SET VARIABLE slow_query_raw_sql); the default redacts
+	// literals so captured statements carry no user data.
+	rawSlowSQL atomic.Bool
+
 	// sources is a sync.Map[string]*SourceStats: lock-free reads once a
 	// data source has been seen.
 	sources sync.Map
+
+	// snapshotExtras extend MetricsSnapshot with counters owned by other
+	// planes (the workload digest/heat totals), so they federate through
+	// MetricsPull/MergeSnapshots without telemetry importing them.
+	extraMu        sync.Mutex
+	snapshotExtras []func(*MetricsSnapshot)
 
 	// base anchors all trace offsets: one wall+monotonic read at
 	// construction, so per-statement clocking stays on the cheaper
@@ -498,6 +532,81 @@ func (c *Collector) SlowThreshold() time.Duration {
 	return time.Duration(c.slowThresholdNs.Load())
 }
 
+// SetRawSlowSQL switches slow-log capture between redacted (default)
+// and raw SQL.
+func (c *Collector) SetRawSlowSQL(on bool) {
+	if c != nil {
+		c.rawSlowSQL.Store(on)
+	}
+}
+
+// RawSlowSQL reports whether raw-SQL capture is on.
+func (c *Collector) RawSlowSQL() bool { return c != nil && c.rawSlowSQL.Load() }
+
+// SetSlowLogCapacity rebounds the slow-query ring at runtime, keeping
+// the most recent entries.
+func (c *Collector) SetSlowLogCapacity(n int) {
+	if c != nil {
+		c.slow.setCapacity(n)
+	}
+}
+
+// Redact applies the collector's capture policy to a statement: the
+// normalized literal-free shape unless raw capture is on. Surfaces that
+// echo SQL they did not capture through Finish (TRACE) share the policy
+// through this method.
+func (c *Collector) Redact(sql string) string {
+	if c != nil && c.rawSlowSQL.Load() {
+		return sql
+	}
+	return RedactSQL(sql)
+}
+
+// RedactSQL returns the literal-free normalized form of sql, or sql
+// unchanged when it has no normalizable shape (DistSQL, DDL — shapes
+// that carry no bound user values).
+func RedactSQL(sql string) string {
+	if n, ok := sqlparser.Normalize(sql); ok {
+		return n.Key
+	}
+	return sql
+}
+
+// DigestID returns the stable digest id of a normalized statement
+// shape: fnv-1a/64 in fixed-width hex. It lives here (rather than the
+// digest package, which imports telemetry) so slow-log entries and the
+// digest registry derive identical ids.
+func DigestID(key string) string {
+	const (
+		offset64  = 14695981039346656037
+		prime64   = 1099511628211
+		hexdigits = "0123456789abcdef"
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexdigits[h&0xf]
+		h >>= 4
+	}
+	return string(b[:])
+}
+
+// RegisterSnapshotExtra appends fn to the snapshot pipeline:
+// MetricsSnapshot calls it with the snapshot under construction so
+// other planes' counters federate cluster-wide.
+func (c *Collector) RegisterSnapshotExtra(fn func(*MetricsSnapshot)) {
+	if c == nil || fn == nil {
+		return
+	}
+	c.extraMu.Lock()
+	c.snapshotExtras = append(c.snapshotExtras, fn)
+	c.extraMu.Unlock()
+}
+
 // Start begins a trace for one statement, or returns nil (a valid inert
 // trace) when collection is disabled.
 func (c *Collector) Start(sql string) *Trace {
@@ -542,6 +651,7 @@ func (c *Collector) StartInto(buf *Trace, sql string) *Trace {
 	buf.detailed = false
 	buf.retained = false
 	buf.owned = true
+	buf.digest, buf.redacted = "", ""
 	buf.spans = buf.spans[:0]
 	buf.attemptBase, buf.maxAttempt = 0, 0
 	return buf
@@ -575,6 +685,7 @@ func (c *Collector) begin(sql string, detailed bool) *Trace {
 	t.detailed = detailed
 	t.retained = false
 	t.owned = false
+	t.digest, t.redacted = "", ""
 	t.spans = t.spans[:0]
 	t.attemptBase, t.maxAttempt = 0, 0
 	return t
